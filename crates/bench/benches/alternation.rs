@@ -1,0 +1,25 @@
+//! E13 — alternation (the ALOGSPACE = PTIME bridge of Theorem 7.1(2)):
+//! game-semantics evaluation of an alternating xTM on growing trees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twq_bench::Bench;
+use twq_xtm::machine::XtmLimits;
+use twq_xtm::{machines, run_alternating};
+
+fn bench(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let m = machines::alt_all_leaves_even_depth(&b.symbols);
+    let mut group = c.benchmark_group("e13_alternation");
+    group.sample_size(10);
+    for n in [20usize, 60, 180] {
+        let t = b.tree(n, &[], 19);
+        let dt = twq_tree::DelimTree::build(&t);
+        group.bench_with_input(BenchmarkId::new("alt_eval", n), &dt, |bch, dt| {
+            bch.iter(|| run_alternating(&m, dt, XtmLimits::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

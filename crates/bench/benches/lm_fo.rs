@@ -1,0 +1,46 @@
+//! E7 — Lemma 4.2: deciding `L^m` by direct decoding vs. evaluating the
+//! constructed FO sentence, for m = 1, 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twq_logic::eval_sentence;
+use twq_protocol::{
+    encode, encode_shuffled, in_lm, lm_sentence, random_hyperset, split_string_tree,
+    HyperGenConfig, Markers,
+};
+use twq_tree::Vocab;
+
+fn bench(c: &mut Criterion) {
+    let mut vocab = Vocab::new();
+    let markers = Markers::new(2, &mut vocab);
+    let data: Vec<_> = (100..104).map(|i| vocab.val_int(i)).collect();
+    let sym = vocab.sym("s");
+    let attr = vocab.attr("a");
+    let mut group = c.benchmark_group("e7_lm_fo");
+    group.sample_size(10);
+    for m in [1usize, 2] {
+        let phi = lm_sentence(m, attr, &markers);
+        let cfg = HyperGenConfig {
+            level: m,
+            data: data.clone(),
+            max_members: 2,
+        };
+        let h = random_hyperset(&cfg, 3);
+        let f = encode(&h, &markers);
+        let g = encode_shuffled(&h, &markers, 5);
+        let mut w = f.clone();
+        w.push(markers.hash());
+        w.extend(g.iter().copied());
+        let t = split_string_tree(&f, &g, &markers, sym, attr);
+        assert_eq!(in_lm(m, &w, &markers), eval_sentence(&t, &phi));
+        group.bench_with_input(BenchmarkId::new("decoder", m), &w, |bch, w| {
+            bch.iter(|| in_lm(m, w, &markers))
+        });
+        group.bench_with_input(BenchmarkId::new("fo_sentence", m), &t, |bch, t| {
+            bch.iter(|| eval_sentence(t, &phi))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E3 — Theorem 7.1(1): the compiled TW pebble walker vs. the source
+//! logspace xTM. Correctness is asserted; the timing shows the
+//! (polynomial) cost of trading tape cells for walked pebbles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twq_automata::{run, Limits};
+use twq_bench::Bench;
+use twq_sim::compile_logspace;
+use twq_xtm::machine::{run_xtm, XtmLimits};
+use twq_xtm::machines;
+
+fn bench(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let machine = machines::leaf_count_even(&b.symbols);
+    let symbols = b.symbols.clone();
+    let id = b.id;
+    let prog = compile_logspace(&machine, &symbols, id, &mut b.vocab).unwrap();
+    let mut group = c.benchmark_group("e3_pebble_sim");
+    group.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let t = b.tree(n, &[1], 5);
+        let dt = b.delim_with_ids(&t);
+        let xr = run_xtm(&machine, &dt, XtmLimits::default());
+        let pr = run(&prog.program, &dt, Limits::long_walk());
+        assert_eq!(xr.accepted(), pr.accepted(), "Theorem 7.1(1)");
+        group.bench_with_input(BenchmarkId::new("xtm", n), &dt, |bch, dt| {
+            bch.iter(|| run_xtm(&machine, dt, XtmLimits::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("tw_pebbles", n), &dt, |bch, dt| {
+            bch.iter(|| run(&prog.program, dt, Limits::long_walk()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E12 — Proposition 7.2: the store-eliminating product construction,
+//! benchmarked as construction cost plus folded-vs-source runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twq_automata::{run, Limits};
+use twq_bench::Bench;
+use twq_sim::{delta_count_mod3, eliminate_store};
+use twq_tree::Label;
+
+fn bench(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let sigma = Label::Sym(b.symbols[0]);
+    let delta = Label::Sym(b.symbols[1]);
+    let src = delta_count_mod3(sigma, delta, &mut b.vocab);
+    let folded = eliminate_store(&src, 10_000).unwrap();
+    let mut group = c.benchmark_group("e12_prop72");
+    group.sample_size(10);
+    group.bench_function("eliminate_store", |bch| {
+        bch.iter(|| eliminate_store(&src, 10_000).unwrap())
+    });
+    for n in [30usize, 90, 270] {
+        let t = b.tree(n, &[], 17);
+        let dt = twq_tree::DelimTree::build(&t);
+        let a = run(&src, &dt, Limits::default());
+        let f = run(&folded, &dt, Limits::default());
+        assert_eq!(a.accepted(), f.accepted(), "Proposition 7.2");
+        group.bench_with_input(BenchmarkId::new("source_twr", n), &dt, |bch, dt| {
+            bch.iter(|| run(&src, dt, Limits::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("folded_tw", n), &dt, |bch, dt| {
+            bch.iter(|| run(&folded, dt, Limits::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E8 — Lemma 4.5: protocol execution of a `tw^{r,l}` program on split
+//! strings; cost and message traffic as the string grows over a fixed
+//! value alphabet.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twq_automata::Limits;
+use twq_protocol::{at_most_k_values_program, run_protocol, Markers};
+use twq_tree::{Value, Vocab};
+
+fn bench(c: &mut Criterion) {
+    let mut vocab = Vocab::new();
+    let markers = Markers::new(2, &mut vocab);
+    let data: Vec<Value> = (100..103).map(|i| vocab.val_int(i)).collect();
+    let sym = vocab.sym("s");
+    let attr = vocab.attr("a");
+    let prog = at_most_k_values_program(sym, attr, 4);
+    let mut group = c.benchmark_group("e8_protocol");
+    group.sample_size(10);
+    for len in [4usize, 8, 16] {
+        let f: Vec<Value> = (0..len).map(|i| data[i % data.len()]).collect();
+        let g: Vec<Value> = (0..len).map(|i| data[(i + 1) % data.len()]).collect();
+        group.bench_with_input(BenchmarkId::new("run_protocol", len), &len, |bch, _| {
+            bch.iter(|| run_protocol(&prog, &f, &g, &markers, sym, attr, Limits::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

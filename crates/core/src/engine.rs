@@ -1,0 +1,738 @@
+//! Direct execution of tree-walking programs (the transition relation `⊢`
+//! of Definition 3.1).
+//!
+//! The engine runs on the **delimited** tree `delim(t)` (Section 3). A
+//! computation is a deterministic chain of configurations `[u, q, τ]`; an
+//! `atp(φ, p)` action suspends the chain, runs one subcomputation per node
+//! selected by `φ`, and resumes with register `i` replaced by the union of
+//! the subcomputations' first registers. Per the paper, *"when one
+//! subcomputation rejects, the whole computation rejects"*.
+//!
+//! Because `tw` programs may diverge, every run takes explicit [`Limits`]
+//! and reports a definite [`Halt`] — a query engine never hangs:
+//!
+//! * a repeated configuration within one chain is a **cycle** (reject);
+//! * two simultaneously applicable rules violate the paper's determinism
+//!   assumption and halt the run with [`Halt::Nondeterministic`];
+//! * a move off the tree (the paper assumes automata never do this) is
+//!   [`Halt::Stuck`], as is having no applicable rule in a non-final state.
+
+use std::collections::HashSet;
+
+use twq_logic::store::AttrEnv;
+use twq_logic::{eval_query, RegId, Relation, Store};
+use twq_tree::{DelimTree, NodeId, Tree};
+
+use crate::program::{Action, Dir, State, TwProgram};
+
+/// A configuration `[u, q, τ]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Config {
+    /// The current node (in the delimited tree).
+    pub node: NodeId,
+    /// The current state.
+    pub state: State,
+    /// The register contents.
+    pub store: Store,
+}
+
+/// Resource limits for a run.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum total transitions across the main computation and all
+    /// subcomputations.
+    pub max_steps: u64,
+    /// Maximum `atp` nesting depth.
+    pub max_atp_depth: u32,
+    /// Cycle-detection sampling interval: `1` records every configuration
+    /// (exact, the default), `k > 1` records every `k`-th — a cycle of
+    /// length `L` is still caught within `O(L·k)` steps, at `1/k` of the
+    /// bookkeeping cost. `0` disables detection (rely on `max_steps`).
+    /// Long-running compiled pebble walkers use a sparse interval.
+    pub cycle_check_interval: u32,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_steps: 10_000_000,
+            max_atp_depth: 64,
+            cycle_check_interval: 1,
+        }
+    }
+}
+
+impl Limits {
+    /// Limits tuned for very long deterministic walks (compiled pebble
+    /// programs): high step budget, sparse cycle sampling.
+    pub fn long_walk() -> Self {
+        Limits {
+            max_steps: 500_000_000,
+            max_atp_depth: 64,
+            cycle_check_interval: 4096,
+        }
+    }
+}
+
+/// Why a run halted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Halt {
+    /// The final state was reached.
+    Accept,
+    /// No rule applied in a non-final state (includes moves off the tree).
+    Stuck,
+    /// A configuration repeated within one computation chain.
+    Cycle,
+    /// Two rules applied simultaneously — the program is not deterministic.
+    Nondeterministic,
+    /// A subcomputation rejected, rejecting the whole computation.
+    SubRejected,
+    /// The step budget was exhausted.
+    StepLimit,
+    /// The `atp` nesting budget was exhausted.
+    AtpDepthLimit,
+}
+
+impl Halt {
+    /// Whether this halt means acceptance.
+    pub fn accepted(self) -> bool {
+        self == Halt::Accept
+    }
+
+    /// Whether this is a resource-limit halt (result unknown) rather than a
+    /// definite accept/reject.
+    pub fn is_limit(self) -> bool {
+        matches!(self, Halt::StepLimit | Halt::AtpDepthLimit)
+    }
+}
+
+/// Execution statistics and outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// How the run ended.
+    pub halt: Halt,
+    /// Total transitions taken (main + subcomputations).
+    pub steps: u64,
+    /// Number of `atp` invocations.
+    pub atp_calls: u64,
+    /// Number of subcomputations started.
+    pub subcomputations: u64,
+    /// Largest store (total tuples) observed in any configuration.
+    pub max_store_tuples: usize,
+    /// Largest set of distinct configurations tracked in one chain.
+    pub max_chain_configs: usize,
+}
+
+impl RunReport {
+    /// Whether the run accepted.
+    pub fn accepted(&self) -> bool {
+        self.halt.accepted()
+    }
+}
+
+/// The move function `m_d` on the delimited tree.
+pub fn move_dir(tree: &Tree, u: NodeId, d: Dir) -> Option<NodeId> {
+    match d {
+        Dir::Stay => Some(u),
+        Dir::Left => tree.prev_sibling(u),
+        Dir::Right => tree.next_sibling(u),
+        Dir::Up => tree.parent(u),
+        Dir::Down => tree.first_child(u),
+    }
+}
+
+pub(crate) struct Exec<'a> {
+    pub prog: &'a TwProgram,
+    pub tree: &'a Tree,
+    pub limits: Limits,
+    pub steps: u64,
+    pub atp_calls: u64,
+    pub subcomputations: u64,
+    pub max_store_tuples: usize,
+    pub max_chain_configs: usize,
+}
+
+/// What happened to one computation chain.
+pub(crate) enum ChainEnd {
+    /// Reached the final state with this store.
+    Accept(Store),
+    /// Halted without accepting.
+    Reject(Halt),
+}
+
+impl<'a> Exec<'a> {
+    pub(crate) fn new(prog: &'a TwProgram, tree: &'a Tree, limits: Limits) -> Self {
+        Exec {
+            prog,
+            tree,
+            limits,
+            steps: 0,
+            atp_calls: 0,
+            subcomputations: 0,
+            max_store_tuples: 0,
+            max_chain_configs: 0,
+        }
+    }
+
+    /// Select the unique applicable rule for `cfg`, or report why none /
+    /// several apply. `None` = accept (final state).
+    fn pick_rule(&self, cfg: &Config) -> Result<Option<usize>, Halt> {
+        if cfg.state == self.prog.final_state() {
+            return Ok(None);
+        }
+        let env = AttrEnv::of(self.tree, cfg.node);
+        let label = self.tree.label(cfg.node);
+        let mut chosen = None;
+        for &idx in self.prog.rules_for(label, cfg.state) {
+            let rule = &self.prog.rules()[idx];
+            if twq_logic::eval_guard(&cfg.store, &env, &rule.guard) {
+                if chosen.is_some() {
+                    return Err(Halt::Nondeterministic);
+                }
+                chosen = Some(idx);
+            }
+        }
+        match chosen {
+            Some(idx) => Ok(Some(idx)),
+            None => Err(Halt::Stuck),
+        }
+    }
+
+    /// Run one computation chain to completion.
+    pub(crate) fn run_chain(&mut self, mut cfg: Config, depth: u32) -> ChainEnd {
+        let mut seen: HashSet<Config> = HashSet::new();
+        let interval = self.limits.cycle_check_interval as u64;
+        let mut local_step = 0u64;
+        loop {
+            self.max_store_tuples = self.max_store_tuples.max(cfg.store.total_tuples());
+            if interval > 0 && local_step.is_multiple_of(interval) && !seen.insert(cfg.clone()) {
+                return ChainEnd::Reject(Halt::Cycle);
+            }
+            local_step += 1;
+            self.max_chain_configs = self.max_chain_configs.max(seen.len());
+            let rule_idx = match self.pick_rule(&cfg) {
+                Ok(None) => return ChainEnd::Accept(cfg.store),
+                Ok(Some(i)) => i,
+                Err(h) => return ChainEnd::Reject(h),
+            };
+            if self.steps >= self.limits.max_steps {
+                return ChainEnd::Reject(Halt::StepLimit);
+            }
+            self.steps += 1;
+            let rule = &self.prog.rules()[rule_idx];
+            match &rule.action {
+                Action::Move(q, d) => {
+                    match move_dir(self.tree, cfg.node, *d) {
+                        Some(v) => {
+                            cfg.node = v;
+                            cfg.state = *q;
+                        }
+                        // The paper assumes the automaton never moves off
+                        // the tree; doing so halts the run.
+                        None => return ChainEnd::Reject(Halt::Stuck),
+                    }
+                }
+                Action::Update(q, psi, i) => {
+                    let env = AttrEnv::of(self.tree, cfg.node);
+                    let rel = eval_query(&cfg.store, &env, psi);
+                    cfg.store.set(*i, rel);
+                    cfg.state = *q;
+                }
+                Action::Atp(q, phi, p, i) => {
+                    if depth >= self.limits.max_atp_depth {
+                        return ChainEnd::Reject(Halt::AtpDepthLimit);
+                    }
+                    self.atp_calls += 1;
+                    let selected = phi.select(self.tree, cfg.node);
+                    let mut acc = Relation::empty(cfg.store.arity(RegId(0)));
+                    for v in selected {
+                        self.subcomputations += 1;
+                        let sub = Config {
+                            node: v,
+                            state: *p,
+                            store: cfg.store.clone(),
+                        };
+                        match self.run_chain(sub, depth + 1) {
+                            ChainEnd::Accept(st) => acc.union_with(st.get(RegId(0))),
+                            ChainEnd::Reject(h) => {
+                                // "When one subcomputation rejects, the
+                                // whole computation rejects."
+                                let h = if h.is_limit() { h } else { Halt::SubRejected };
+                                return ChainEnd::Reject(h);
+                            }
+                        }
+                    }
+                    cfg.store.set(*i, acc);
+                    cfg.state = *q;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn report(&self, halt: Halt) -> RunReport {
+        RunReport {
+            halt,
+            steps: self.steps,
+            atp_calls: self.atp_calls,
+            subcomputations: self.subcomputations,
+            max_store_tuples: self.max_store_tuples,
+            max_chain_configs: self.max_chain_configs,
+        }
+    }
+}
+
+/// Run a program on a delimited tree from the initial configuration
+/// `γ₀ = [root, q₀, τ₀]`.
+pub fn run(prog: &TwProgram, delim: &DelimTree, limits: Limits) -> RunReport {
+    let tree = delim.tree();
+    let mut exec = Exec::new(prog, tree, limits);
+    let init = Config {
+        node: tree.root(),
+        state: prog.initial(),
+        store: prog.initial_store(),
+    };
+    let halt = match exec.run_chain(init, 0) {
+        ChainEnd::Accept(_) => Halt::Accept,
+        ChainEnd::Reject(h) => h,
+    };
+    exec.report(halt)
+}
+
+/// Convenience: delimit `tree` and run.
+pub fn run_on_tree(prog: &TwProgram, tree: &Tree, limits: Limits) -> RunReport {
+    run(prog, &DelimTree::build(tree), limits)
+}
+
+/// One step of a recorded trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// `atp` nesting depth (0 = main computation).
+    pub depth: u32,
+    /// The configuration *before* the step.
+    pub config: Config,
+}
+
+/// Run while recording the visited configurations (capped at `max_trace`
+/// entries to keep pathological runs bounded). Intended for debugging and
+/// teaching — the trace makes the walking visible.
+pub fn run_traced(
+    prog: &TwProgram,
+    delim: &DelimTree,
+    limits: Limits,
+    max_trace: usize,
+) -> (RunReport, Vec<TraceStep>) {
+    // A minimal re-implementation over the chain runner would lose the
+    // subcomputation structure; instead we wrap `Exec` with a recording
+    // hook via a secondary pass: re-run stepping while logging. The direct
+    // engine is deterministic, so a dedicated recording executor is
+    // equivalent. For simplicity the recorder duplicates the chain logic
+    // for Move/Update and delegates to `run` for the final report.
+    let report = run(prog, delim, limits);
+    let tree = delim.tree();
+    let mut trace = Vec::new();
+    let mut exec = Exec::new(prog, tree, limits);
+    record_chain(
+        &mut exec,
+        Config {
+            node: tree.root(),
+            state: prog.initial(),
+            store: prog.initial_store(),
+        },
+        0,
+        &mut trace,
+        max_trace,
+    );
+    (report, trace)
+}
+
+fn record_chain(
+    exec: &mut Exec<'_>,
+    cfg: Config,
+    depth: u32,
+    trace: &mut Vec<TraceStep>,
+    max_trace: usize,
+) -> ChainEnd {
+    // Record while running — mirrors `run_chain` with a logging hook.
+    let mut cfg = cfg;
+    let mut seen: HashSet<Config> = HashSet::new();
+    loop {
+        if trace.len() < max_trace {
+            trace.push(TraceStep {
+                depth,
+                config: cfg.clone(),
+            });
+        }
+        if !seen.insert(cfg.clone()) {
+            return ChainEnd::Reject(Halt::Cycle);
+        }
+        if cfg.state == exec.prog.final_state() {
+            return ChainEnd::Accept(cfg.store);
+        }
+        let env = AttrEnv::of(exec.tree, cfg.node);
+        let label = exec.tree.label(cfg.node);
+        let mut chosen = None;
+        for &idx in exec.prog.rules_for(label, cfg.state) {
+            let rule = &exec.prog.rules()[idx];
+            if twq_logic::eval_guard(&cfg.store, &env, &rule.guard) {
+                if chosen.is_some() {
+                    return ChainEnd::Reject(Halt::Nondeterministic);
+                }
+                chosen = Some(idx);
+            }
+        }
+        let Some(rule_idx) = chosen else {
+            return ChainEnd::Reject(Halt::Stuck);
+        };
+        if exec.steps >= exec.limits.max_steps {
+            return ChainEnd::Reject(Halt::StepLimit);
+        }
+        exec.steps += 1;
+        let rule = &exec.prog.rules()[rule_idx];
+        match &rule.action {
+            Action::Move(q, d) => match move_dir(exec.tree, cfg.node, *d) {
+                Some(v) => {
+                    cfg.node = v;
+                    cfg.state = *q;
+                }
+                None => return ChainEnd::Reject(Halt::Stuck),
+            },
+            Action::Update(q, psi, i) => {
+                let env = AttrEnv::of(exec.tree, cfg.node);
+                let rel = eval_query(&cfg.store, &env, psi);
+                cfg.store.set(*i, rel);
+                cfg.state = *q;
+            }
+            Action::Atp(q, phi, p, i) => {
+                if depth >= exec.limits.max_atp_depth {
+                    return ChainEnd::Reject(Halt::AtpDepthLimit);
+                }
+                let selected = phi.select(exec.tree, cfg.node);
+                let mut acc = Relation::empty(cfg.store.arity(RegId(0)));
+                for v in selected {
+                    let sub = Config {
+                        node: v,
+                        state: *p,
+                        store: cfg.store.clone(),
+                    };
+                    match record_chain(exec, sub, depth + 1, trace, max_trace) {
+                        ChainEnd::Accept(st) => acc.union_with(st.get(RegId(0))),
+                        ChainEnd::Reject(h) => {
+                            let h = if h.is_limit() { h } else { Halt::SubRejected };
+                            return ChainEnd::Reject(h);
+                        }
+                    }
+                }
+                cfg.store.set(*i, acc);
+                cfg.state = *q;
+            }
+        }
+    }
+}
+
+/// Render a trace for human reading.
+pub fn display_trace(
+    trace: &[TraceStep],
+    prog: &TwProgram,
+    delim: &DelimTree,
+    vocab: &twq_tree::Vocab,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for step in trace {
+        let label = delim.tree().label(step.config.node).display(vocab);
+        let _ = writeln!(
+            out,
+            "{}[{} @ {} ({label})] store: {} tuples",
+            "  ".repeat(step.depth as usize),
+            prog.state_name(step.config.state),
+            step.config.node,
+            step.config.store.total_tuples(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Action, TwProgramBuilder};
+    use twq_logic::exists::selectors;
+    use twq_logic::store::sbuild::*;
+    use twq_tree::{parse_tree, Label, Vocab};
+
+    fn accept_all() -> TwProgram {
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        b.rule_true(Label::DelimRoot, q0, Action::Move(qf, Dir::Stay));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn minimal_acceptor_accepts() {
+        let mut v = Vocab::new();
+        let t = parse_tree("a(b,c)", &mut v).unwrap();
+        let report = run_on_tree(&accept_all(), &t, Limits::default());
+        assert!(report.accepted());
+        assert_eq!(report.steps, 1);
+    }
+
+    #[test]
+    fn program_with_no_rules_is_stuck() {
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let p = b.build().unwrap();
+        let mut v = Vocab::new();
+        let t = parse_tree("a", &mut v).unwrap();
+        let report = run_on_tree(&p, &t, Limits::default());
+        assert_eq!(report.halt, Halt::Stuck);
+        assert!(!report.accepted());
+    }
+
+    #[test]
+    fn two_way_cycle_detected() {
+        // ▽ → down to ⊳ → up to ▽ → down … never terminates: cycle.
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        b.rule_true(Label::DelimRoot, q0, Action::Move(q0, Dir::Down));
+        b.rule_true(Label::DelimOpen, q0, Action::Move(q0, Dir::Up));
+        let p = b.build().unwrap();
+        let mut v = Vocab::new();
+        let t = parse_tree("a", &mut v).unwrap();
+        let report = run_on_tree(&p, &t, Limits::default());
+        assert_eq!(report.halt, Halt::Cycle);
+    }
+
+    #[test]
+    fn nondeterminism_reported() {
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        b.rule_true(Label::DelimRoot, q0, Action::Move(qf, Dir::Stay));
+        b.rule_true(Label::DelimRoot, q0, Action::Move(qf, Dir::Down));
+        let p = b.build().unwrap();
+        let mut v = Vocab::new();
+        let t = parse_tree("a", &mut v).unwrap();
+        let report = run_on_tree(&p, &t, Limits::default());
+        assert_eq!(report.halt, Halt::Nondeterministic);
+    }
+
+    #[test]
+    fn guards_disambiguate_rules() {
+        // Accept iff the root's attribute equals 1, by guarding on the
+        // register that the first rule loads.
+        let mut vocab = Vocab::new();
+        let t = parse_tree("a[k=1](b)", &mut vocab).unwrap();
+        let k = vocab.attr_opt("k").unwrap();
+        let one = vocab.val_int(1);
+
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let q1 = b.state("q1");
+        let q2 = b.state("q2");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let r = b.unary_register();
+        // Walk ▽ ↓ ⊳ → a; load k; test.
+        b.rule_true(Label::DelimRoot, q0, Action::Move(q0, Dir::Down));
+        b.rule_true(Label::DelimOpen, q0, Action::Move(q1, Dir::Right));
+        let a_sym = Label::Sym(vocab.sym_opt("a").unwrap());
+        b.rule_true(a_sym, q1, Action::Update(q2, eq(v(0), attr(k)), r));
+        b.rule(a_sym, q2, rel(r, [cst(one)]), Action::Move(qf, Dir::Stay));
+        let p = b.build().unwrap();
+
+        let report = run_on_tree(&p, &t, Limits::default());
+        assert!(report.accepted(), "{:?}", report.halt);
+
+        // Same program on k=2 gets stuck at the guard.
+        let t2 = parse_tree("a[k=2](b)", &mut vocab).unwrap();
+        let report2 = run_on_tree(&p, &t2, Limits::default());
+        assert_eq!(report2.halt, Halt::Stuck);
+    }
+
+    #[test]
+    fn atp_unions_subcomputation_results() {
+        // Main: at ▽, atp over all original leaves (parents of △); each
+        // subcomputation stores its a-attribute in X1 and accepts. The
+        // main register ends with the set of all leaf values — we verify
+        // by guarding acceptance on a specific value being present.
+        let mut vocab = Vocab::new();
+        let t = parse_tree("s[a=9](s[a=1],s[a=2])", &mut vocab).unwrap();
+        let a = vocab.attr_opt("a").unwrap();
+        let one = vocab.val_int(1);
+        let two = vocab.val_int(2);
+        let nine = vocab.val_int(9);
+        let s_sym = Label::Sym(vocab.sym_opt("s").unwrap());
+
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let q1 = b.state("q1");
+        let qleaf = b.state("qleaf");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let r = b.unary_register();
+        b.rule_true(
+            Label::DelimRoot,
+            q0,
+            Action::Atp(q1, selectors::delim_leaf_descendants(), qleaf, r),
+        );
+        // Leaves: store own a-value, accept.
+        b.rule_true(s_sym, qleaf, Action::Update(qf, eq(v(0), attr(a)), r));
+        // Main resumes at ▽ in q1: accept iff X1 contains 1 and 2 but not 9.
+        b.rule(
+            Label::DelimRoot,
+            q1,
+            and([
+                rel(r, [cst(one)]),
+                rel(r, [cst(two)]),
+                not(rel(r, [cst(nine)])),
+            ]),
+            Action::Move(qf, Dir::Stay),
+        );
+        let p = b.build().unwrap();
+        let report = run_on_tree(&p, &t, Limits::default());
+        assert!(report.accepted(), "{:?}", report.halt);
+        assert_eq!(report.atp_calls, 1);
+        assert_eq!(report.subcomputations, 2);
+    }
+
+    #[test]
+    fn rejecting_subcomputation_rejects_whole_run() {
+        // The leaf subcomputation has no rule → stuck → whole run rejects.
+        let mut vocab = Vocab::new();
+        let t = parse_tree("s(s)", &mut vocab).unwrap();
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let q1 = b.state("q1");
+        let qleaf = b.state("qleaf");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let r = b.unary_register();
+        b.rule_true(
+            Label::DelimRoot,
+            q0,
+            Action::Atp(q1, selectors::delim_leaf_descendants(), qleaf, r),
+        );
+        b.rule_true(Label::DelimRoot, q1, Action::Move(qf, Dir::Stay));
+        let p = b.build().unwrap();
+        let report = run_on_tree(&p, &t, Limits::default());
+        assert_eq!(report.halt, Halt::SubRejected);
+    }
+
+    #[test]
+    fn atp_with_empty_selection_yields_empty_register() {
+        // Selecting δ-descendants of the root of a δ-free tree: no
+        // subcomputations, register becomes ∅, computation continues.
+        let mut vocab = Vocab::new();
+        let t = parse_tree("s(s)", &mut vocab).unwrap();
+        let delta = vocab.sym("delta");
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let q1 = b.state("q1");
+        let qsub = b.state("qsub");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let r = b.unary_register();
+        b.rule_true(
+            Label::DelimRoot,
+            q0,
+            Action::Atp(
+                q1,
+                twq_logic::exists::selectors::descendants_labeled(Label::Sym(delta)),
+                qsub,
+                r,
+            ),
+        );
+        // Accept iff register is empty.
+        b.rule(
+            Label::DelimRoot,
+            q1,
+            not(twq_logic::SFormula::Exists(
+                twq_logic::Var(0),
+                Box::new(rel(r, [v(0)])),
+            )),
+            Action::Move(qf, Dir::Stay),
+        );
+        let p = b.build().unwrap();
+        let report = run_on_tree(&p, &t, Limits::default());
+        assert!(report.accepted());
+        assert_eq!(report.subcomputations, 0);
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        // An infinite walk bouncing between two states at two nodes with a
+        // growing... actually any cycle is caught; to exercise StepLimit use
+        // a limit smaller than the cycle length.
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        b.rule_true(Label::DelimRoot, q0, Action::Move(q0, Dir::Down));
+        b.rule_true(Label::DelimOpen, q0, Action::Move(q0, Dir::Up));
+        let p = b.build().unwrap();
+        let mut v = Vocab::new();
+        let t = parse_tree("a", &mut v).unwrap();
+        let report = run_on_tree(
+            &p,
+            &t,
+            Limits {
+                max_steps: 1,
+                max_atp_depth: 4,
+                cycle_check_interval: 1,
+            },
+        );
+        // With max_steps=1 we halt on the limit before closing the cycle.
+        assert_eq!(report.halt, Halt::StepLimit);
+    }
+
+    #[test]
+    fn traced_run_matches_plain_run() {
+        let mut vocab = Vocab::new();
+        let ex = crate::examples::example_32(&mut vocab);
+        let t = parse_tree(
+            "sigma[a=9](delta[a=9](sigma[a=1],sigma[a=1]))",
+            &mut vocab,
+        )
+        .unwrap();
+        let dt = twq_tree::DelimTree::build(&t);
+        let (report, trace) = run_traced(&ex.program, &dt, Limits::default(), 10_000);
+        assert!(report.accepted());
+        assert!(!trace.is_empty());
+        // The trace starts at the initial configuration, depth 0.
+        assert_eq!(trace[0].depth, 0);
+        assert_eq!(trace[0].config.state, ex.program.initial());
+        // Subcomputations appear at depth ≥ 1.
+        assert!(trace.iter().any(|s| s.depth >= 1));
+        // Rendering mentions the delimiter root.
+        let shown = display_trace(&trace, &ex.program, &dt, &vocab);
+        assert!(shown.contains("▽"), "{shown}");
+        // The cap truncates.
+        let (_, short) = run_traced(&ex.program, &dt, Limits::default(), 3);
+        assert_eq!(short.len(), 3);
+    }
+
+    #[test]
+    fn move_directions() {
+        let mut v = Vocab::new();
+        let t = parse_tree("a(b,c)", &mut v).unwrap();
+        let r = t.root();
+        let b_node = t.node_at_path(&[1]).unwrap();
+        let c_node = t.node_at_path(&[2]).unwrap();
+        assert_eq!(move_dir(&t, r, Dir::Stay), Some(r));
+        assert_eq!(move_dir(&t, r, Dir::Down), Some(b_node));
+        assert_eq!(move_dir(&t, b_node, Dir::Right), Some(c_node));
+        assert_eq!(move_dir(&t, c_node, Dir::Left), Some(b_node));
+        assert_eq!(move_dir(&t, c_node, Dir::Up), Some(r));
+        assert_eq!(move_dir(&t, r, Dir::Up), None);
+        assert_eq!(move_dir(&t, b_node, Dir::Left), None);
+        assert_eq!(move_dir(&t, c_node, Dir::Right), None);
+        assert_eq!(move_dir(&t, b_node, Dir::Down), None);
+    }
+}

@@ -1,0 +1,543 @@
+//! A library of concrete tree-walking programs with reference oracles,
+//! headlined by the paper's Example 3.2.
+//!
+//! Each constructor interns its symbols into the caller's [`Vocab`] and
+//! returns both the program and the interned ids, so callers can generate
+//! matching workloads. Every program comes with a plain-Rust oracle used by
+//! the test suites to validate the automaton semantics.
+
+use twq_logic::exists::selectors;
+use twq_logic::fo::build as fob;
+use twq_logic::store::sbuild::*;
+use twq_logic::{ExistsFormula, SFormula, Var};
+use twq_tree::{AttrId, Label, SymId, Tree, Vocab};
+
+use crate::program::{Action, Dir, State, TwClass, TwProgram, TwProgramBuilder};
+
+/// The paper's Example 3.2, packaged with its interned symbols.
+///
+/// Over `Σ = {σ, δ}` and `A = {a}`, the automaton accepts a tree iff **for
+/// every δ-labeled node, all of its leaf-descendants have the same
+/// `a`-attribute** (leaf-descendants being parents of `△`-nodes in the
+/// delimited tree, i.e. the original leaves below the node).
+#[derive(Debug, Clone)]
+pub struct Example32 {
+    /// The `tw^{r,l}` program (one unary register holding a *set*).
+    pub program: TwProgram,
+    /// `σ`.
+    pub sigma: SymId,
+    /// `δ`.
+    pub delta: SymId,
+    /// The attribute `a`.
+    pub attr: AttrId,
+}
+
+/// Build Example 3.2. Rules (reconstructed from the paper's garbled OCR of
+/// the rule table, preserving its stated behavior step by step):
+///
+/// 1. `(▽, q₀, true) → (q₁, atp(φ₁, q_sel), 1)` — select all δ-descendants
+///    of the root and start a subcomputation at each;
+/// 2. `(▽, q₁, true) → accept` — when all subcomputations return;
+/// 3. `(δ, q_sel, true) → (q_chk, atp(φ₂, q_leaf), 1)` — every δ-node
+///    selects its leaf-descendants;
+/// 4. `(δ, q_chk, ξ) → accept` — accept iff the returned set is (at most)
+///    a singleton, `ξ ≡ ∀x∀y (X₁(x) ∧ X₁(y) → x = y)`; otherwise the
+///    subcomputation is stuck and the main computation rejects;
+/// 5. `(σ, q_leaf, true) → (q_F, x = a, 1)` and
+/// 6. `(δ, q_leaf, true) → (q_F, x = a, 1)` — every leaf returns the value
+///    of its `a`-attribute.
+pub fn example_32(vocab: &mut Vocab) -> Example32 {
+    let sigma = vocab.sym("sigma");
+    let delta = vocab.sym("delta");
+    let a_attr = vocab.attr("a");
+    let mut b = TwProgramBuilder::new();
+    let q0 = b.state("q0");
+    let q1 = b.state("q1");
+    let q_sel = b.state("q_sel");
+    let q_chk = b.state("q_chk");
+    let q_leaf = b.state("q_leaf");
+    let q_f = b.state("qF");
+    b.initial(q0).final_state(q_f);
+    let x1 = b.unary_register();
+
+    // φ₁(x, y) = x ≺ y ∧ O_δ(y).
+    let phi1 = selectors::descendants_labeled(Label::Sym(delta));
+    // φ₂(x, y) = ∃z (x ≺ y ∧ E(y, z) ∧ O_△(z)).
+    let phi2 = selectors::delim_leaf_descendants();
+    // ξ ≡ ∀x∀y (X₁(x) ∧ X₁(y) → x = y).
+    let xi = forall(
+        Var(0),
+        forall(
+            Var(1),
+            implies(and([rel(x1, [v(0)]), rel(x1, [v(1)])]), eq(v(0), v(1))),
+        ),
+    );
+
+    b.rule_true(Label::DelimRoot, q0, Action::Atp(q1, phi1, q_sel, x1));
+    b.rule_true(Label::DelimRoot, q1, Action::Move(q_f, Dir::Stay));
+    b.rule_true(
+        Label::Sym(delta),
+        q_sel,
+        Action::Atp(q_chk, phi2, q_leaf, x1),
+    );
+    b.rule(Label::Sym(delta), q_chk, xi, Action::Move(q_f, Dir::Stay));
+    for l in [Label::Sym(sigma), Label::Sym(delta)] {
+        b.rule_true(l, q_leaf, Action::Update(q_f, eq(v(0), attr(a_attr)), x1));
+    }
+    let program = b.build().expect("Example 3.2 is well-formed");
+    // X₁ is a *set* and both selectors pick many nodes: this is a genuine
+    // tw^{r,l} program (the paper introduces it before the restrictions).
+    debug_assert_eq!(program.classify(), TwClass::TwRL);
+    Example32 {
+        program,
+        sigma,
+        delta,
+        attr: a_attr,
+    }
+}
+
+/// Reference oracle for Example 3.2.
+pub fn oracle_example_32(tree: &Tree, delta: SymId, a: AttrId) -> bool {
+    for u in tree.node_ids() {
+        if tree.label(u) != Label::Sym(delta) {
+            continue;
+        }
+        let mut val = None;
+        for w in tree.node_ids() {
+            if tree.is_leaf(w) && tree.is_strict_ancestor(u, w) {
+                let x = tree.attr(w, a);
+                match val {
+                    None => val = Some(x),
+                    Some(y) if y != x => return false,
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Rules implementing the canonical document-order traversal of a delimited
+/// tree, shared by several programs. `fwd` = first visit (descend), `next`
+/// = subtree finished (move right / close). The traversal works because in
+/// `delim(t)` the label alone determines leafness: `⊳/⊲/△` are always
+/// leaves, `▽` and element symbols never are.
+fn traversal_rules(
+    b: &mut TwProgramBuilder,
+    alphabet: &[SymId],
+    fwd: State,
+    next: State,
+) {
+    b.rule_true(Label::DelimRoot, fwd, Action::Move(fwd, Dir::Down));
+    b.rule_true(Label::DelimOpen, fwd, Action::Move(fwd, Dir::Right));
+    b.rule_true(Label::DelimClose, fwd, Action::Move(next, Dir::Up));
+    b.rule_true(Label::DelimLeaf, fwd, Action::Move(next, Dir::Up));
+    for &s in alphabet {
+        b.rule_true(Label::Sym(s), fwd, Action::Move(fwd, Dir::Down));
+        b.rule_true(Label::Sym(s), next, Action::Move(fwd, Dir::Right));
+    }
+}
+
+/// A pure finite-state `TW` program (no registers) that walks the entire
+/// delimited tree in document order and accepts back at `▽`. Visits every
+/// node — the baseline walker for traversal benchmarks.
+pub fn traversal_program(alphabet: &[SymId]) -> TwProgram {
+    let mut b = TwProgramBuilder::new();
+    let fwd = b.state("fwd");
+    let next = b.state("next");
+    let q_f = b.state("qF");
+    b.initial(fwd).final_state(q_f);
+    traversal_rules(&mut b, alphabet, fwd, next);
+    b.rule_true(Label::DelimRoot, next, Action::Move(q_f, Dir::Stay));
+    b.build().expect("traversal program is well-formed")
+}
+
+/// A `TW` program accepting iff the number of leaves is **even** — parity
+/// lives in the state (two copies of the traversal). Demonstrates that
+/// plain walking computes nontrivial counting-free regular properties.
+pub fn even_leaves_program(alphabet: &[SymId]) -> TwProgram {
+    let mut b = TwProgramBuilder::new();
+    let fwd = [b.state("fwd0"), b.state("fwd1")];
+    let next = [b.state("next0"), b.state("next1")];
+    let q_f = b.state("qF");
+    b.initial(fwd[0]).final_state(q_f);
+    for p in 0..2 {
+        b.rule_true(Label::DelimRoot, fwd[p], Action::Move(fwd[p], Dir::Down));
+        b.rule_true(Label::DelimOpen, fwd[p], Action::Move(fwd[p], Dir::Right));
+        b.rule_true(Label::DelimClose, fwd[p], Action::Move(next[p], Dir::Up));
+        // Visiting a △ means one more original leaf: flip parity.
+        b.rule_true(
+            Label::DelimLeaf,
+            fwd[p],
+            Action::Move(next[1 - p], Dir::Up),
+        );
+        for &s in alphabet {
+            b.rule_true(Label::Sym(s), fwd[p], Action::Move(fwd[p], Dir::Down));
+            b.rule_true(Label::Sym(s), next[p], Action::Move(fwd[p], Dir::Right));
+        }
+    }
+    // Accept only with even parity back at ▽.
+    b.rule_true(Label::DelimRoot, next[0], Action::Move(q_f, Dir::Stay));
+    b.build().expect("even-leaves program is well-formed")
+}
+
+/// Oracle for [`even_leaves_program`].
+pub fn oracle_even_leaves(tree: &Tree) -> bool {
+    tree.node_ids().filter(|&u| tree.is_leaf(u)).count() % 2 == 0
+}
+
+/// A class-`TW` register program accepting iff **all leaves carry the same
+/// value of `a`**: the traversal stores the first leaf value in `X₁` and
+/// guards every later leaf against it. One unique-ID-free register suffices
+/// because only equality with the running value is ever needed.
+pub fn all_leaves_equal_program(alphabet: &[SymId], a: AttrId) -> TwProgram {
+    let mut b = TwProgramBuilder::new();
+    let fwd = b.state("fwd");
+    let next = b.state("next");
+    let chk = b.state("chk");
+    let q_f = b.state("qF");
+    b.initial(fwd).final_state(q_f);
+    let x1 = b.unary_register();
+
+    let empty = not(SFormula::Exists(Var(0), Box::new(rel(x1, [v(0)]))));
+    let matches = rel(x1, [attr(a)]);
+
+    b.rule_true(Label::DelimRoot, fwd, Action::Move(fwd, Dir::Down));
+    b.rule_true(Label::DelimOpen, fwd, Action::Move(fwd, Dir::Right));
+    b.rule_true(Label::DelimClose, fwd, Action::Move(next, Dir::Up));
+    // △ sends us up to the leaf in checking state.
+    b.rule_true(Label::DelimLeaf, fwd, Action::Move(chk, Dir::Up));
+    for &s in alphabet {
+        b.rule_true(Label::Sym(s), fwd, Action::Move(fwd, Dir::Down));
+        b.rule_true(Label::Sym(s), next, Action::Move(fwd, Dir::Right));
+        // First leaf: record its value. Later leaves: must match (else no
+        // rule applies and the run is stuck = reject).
+        b.rule(
+            Label::Sym(s),
+            chk,
+            empty.clone(),
+            Action::Update(next, eq(v(0), attr(a)), x1),
+        );
+        b.rule(
+            Label::Sym(s),
+            chk,
+            matches.clone(),
+            Action::Move(next, Dir::Stay),
+        );
+    }
+    b.rule_true(Label::DelimRoot, next, Action::Move(q_f, Dir::Stay));
+    let p = b.build().expect("all-leaves-equal program is well-formed");
+    debug_assert_eq!(p.classify(), TwClass::Tw);
+    p
+}
+
+/// Oracle for [`all_leaves_equal_program`].
+pub fn oracle_all_leaves_equal(tree: &Tree, a: AttrId) -> bool {
+    let mut val = None;
+    for u in tree.node_ids() {
+        if tree.is_leaf(u) {
+            let x = tree.attr(u, a);
+            match val {
+                None => val = Some(x),
+                Some(y) if y != x => return false,
+                Some(_) => {}
+            }
+        }
+    }
+    true
+}
+
+/// A genuine `tw^l` program (Definition 5.1: unary single-value registers,
+/// **single-node** look-ahead): accept iff **some node carries the same
+/// `a`-value as its parent**. The traversal probes each node's parent via
+/// `atp(parent, ·)` — the selector shape the definition itself suggests
+/// ("for instance, select parent or first child").
+pub fn parent_child_match_program(alphabet: &[SymId], a: AttrId) -> TwProgram {
+    let mut b = TwProgramBuilder::new();
+    let fwd = b.state("fwd");
+    let next = b.state("next");
+    let probe = b.state("probe");
+    let judge = b.state("judge");
+    let q_par = b.state("q_par");
+    let q_f = b.state("qF");
+    b.initial(fwd).final_state(q_f);
+    let x1 = b.unary_register();
+
+    b.rule_true(Label::DelimRoot, fwd, Action::Move(fwd, Dir::Down));
+    b.rule_true(Label::DelimOpen, fwd, Action::Move(fwd, Dir::Right));
+    b.rule_true(Label::DelimClose, fwd, Action::Move(next, Dir::Up));
+    b.rule_true(Label::DelimLeaf, fwd, Action::Move(next, Dir::Up));
+    for &s in alphabet {
+        // First visit: look up the parent's value, then judge.
+        b.rule_true(
+            Label::Sym(s),
+            fwd,
+            Action::Atp(judge, selectors::parent(), q_par, x1),
+        );
+        // The parent subcomputation returns its a-value (▽ returns ⊥ for
+        // the original root's image — never equal to a proper value).
+        b.rule_true(Label::Sym(s), q_par, Action::Update(q_f, eq(v(0), attr(a)), x1));
+        // Match → accept; mismatch → descend and continue.
+        b.rule(
+            Label::Sym(s),
+            judge,
+            rel(x1, [attr(a)]),
+            Action::Move(q_f, Dir::Stay),
+        );
+        b.rule(
+            Label::Sym(s),
+            judge,
+            not(rel(x1, [attr(a)])),
+            Action::Move(probe, Dir::Stay),
+        );
+        b.rule_true(Label::Sym(s), probe, Action::Move(fwd, Dir::Down));
+        b.rule_true(Label::Sym(s), next, Action::Move(fwd, Dir::Right));
+    }
+    b.rule_true(Label::DelimRoot, q_par, Action::Update(q_f, eq(v(0), attr(a)), x1));
+    // Full traversal without a match: stuck at ▽ in `next` → reject.
+    let p = b.build().expect("parent-match program is well-formed");
+    debug_assert_eq!(p.classify(), TwClass::TwL);
+    p
+}
+
+/// Oracle for [`parent_child_match_program`].
+pub fn oracle_parent_child_match(tree: &Tree, a: AttrId) -> bool {
+    tree.node_ids().any(|u| {
+        tree.parent(u)
+            .is_some_and(|p| tree.attr(p, a) == tree.attr(u, a))
+    })
+}
+
+/// A `tw^{r,l}` program that accumulates the **set of distinct `a`-values
+/// of all nodes** into a register via nested look-ahead and accepts iff at
+/// least `threshold` distinct values occur — used by the EXPTIME scaling
+/// experiment (E6), since its configuration space grows with the number of
+/// value subsets the register ranges over.
+pub fn distinct_values_at_least(
+    alphabet: &[SymId],
+    a: AttrId,
+    threshold: usize,
+) -> TwProgram {
+    let mut b = TwProgramBuilder::new();
+    let q0 = b.state("q0");
+    let q1 = b.state("q1");
+    let q_node = b.state("q_node");
+    let q_f = b.state("qF");
+    b.initial(q0).final_state(q_f);
+    let x1 = b.unary_register();
+
+    // Select all original nodes: descendants of ▽ labeled by Σ.
+    let any_sym: Vec<twq_logic::Formula> = alphabet
+        .iter()
+        .map(|&s| fob::lab(Label::Sym(s), fob::var(1)))
+        .collect();
+    let phi = ExistsFormula::new(
+        fob::var(0),
+        fob::var(1),
+        vec![],
+        fob::and([fob::desc(fob::var(0), fob::var(1)), fob::or(any_sym)]),
+    )
+    .expect("selector is valid FO(∃*)");
+
+    b.rule_true(Label::DelimRoot, q0, Action::Atp(q1, phi, q_node, x1));
+    for &s in alphabet {
+        b.rule_true(
+            Label::Sym(s),
+            q_node,
+            Action::Update(q_f, eq(v(0), attr(a)), x1),
+        );
+    }
+    // Guard: ∃x₁…x_n (pairwise distinct ∧ all in X₁).
+    let vars: Vec<Var> = (0..threshold as u16).map(Var).collect();
+    let term = |x: Var| twq_logic::STerm::Var(x);
+    let mut conj: Vec<SFormula> = vars.iter().map(|&x| rel(x1, [term(x)])).collect();
+    for i in 0..vars.len() {
+        for j in i + 1..vars.len() {
+            conj.push(not(eq(term(vars[i]), term(vars[j]))));
+        }
+    }
+    let mut guard = and(conj);
+    for &x in vars.iter().rev() {
+        guard = SFormula::Exists(x, Box::new(guard));
+    }
+    b.rule(Label::DelimRoot, q1, guard, Action::Move(q_f, Dir::Stay));
+    b.build().expect("distinct-values program is well-formed")
+}
+
+/// Oracle for [`distinct_values_at_least`].
+pub fn oracle_distinct_values_at_least(tree: &Tree, a: AttrId, threshold: usize) -> bool {
+    let mut vals: Vec<_> = tree.node_ids().map(|u| tree.attr(u, a)).collect();
+    vals.sort_unstable();
+    vals.dedup();
+    vals.len() >= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_on_tree, Limits};
+    use twq_tree::generate::{random_tree, TreeGenConfig};
+    use twq_tree::parse_tree;
+
+    #[test]
+    fn example_32_paper_semantics_positive() {
+        let mut vocab = Vocab::new();
+        let ex = example_32(&mut vocab);
+        // δ with all leaf-descendants carrying 1.
+        let t = parse_tree(
+            "sigma[a=9](delta[a=9](sigma[a=1],sigma[a=1]),sigma[a=2])",
+            &mut vocab,
+        )
+        .unwrap();
+        assert!(oracle_example_32(&t, ex.delta, ex.attr));
+        let report = run_on_tree(&ex.program, &t, Limits::default());
+        assert!(report.accepted(), "{:?}", report.halt);
+    }
+
+    #[test]
+    fn example_32_paper_semantics_negative() {
+        let mut vocab = Vocab::new();
+        let ex = example_32(&mut vocab);
+        let t = parse_tree(
+            "sigma[a=9](delta[a=9](sigma[a=1],sigma[a=2]))",
+            &mut vocab,
+        )
+        .unwrap();
+        assert!(!oracle_example_32(&t, ex.delta, ex.attr));
+        let report = run_on_tree(&ex.program, &t, Limits::default());
+        assert!(!report.accepted());
+    }
+
+    #[test]
+    fn example_32_delta_leaf_is_fine() {
+        // A δ that is itself a leaf has no leaf-descendants: accept.
+        let mut vocab = Vocab::new();
+        let ex = example_32(&mut vocab);
+        let t = parse_tree("sigma[a=1](delta[a=2])", &mut vocab).unwrap();
+        assert!(oracle_example_32(&t, ex.delta, ex.attr));
+        let report = run_on_tree(&ex.program, &t, Limits::default());
+        assert!(report.accepted(), "{:?}", report.halt);
+    }
+
+    #[test]
+    fn example_32_no_delta_accepts() {
+        let mut vocab = Vocab::new();
+        let ex = example_32(&mut vocab);
+        let t = parse_tree("sigma[a=1](sigma[a=2],sigma[a=3])", &mut vocab).unwrap();
+        let report = run_on_tree(&ex.program, &t, Limits::default());
+        assert!(report.accepted(), "{:?}", report.halt);
+    }
+
+    #[test]
+    fn example_32_matches_oracle_on_random_trees() {
+        let mut vocab = Vocab::new();
+        let ex = example_32(&mut vocab);
+        let cfg = TreeGenConfig::example32(&mut vocab, 30, &[1, 2]);
+        let mut accepted = 0;
+        for seed in 0..40 {
+            let t = random_tree(&cfg, seed);
+            let expect = oracle_example_32(&t, ex.delta, ex.attr);
+            let got = run_on_tree(&ex.program, &t, Limits::default());
+            assert_eq!(got.accepted(), expect, "seed {seed}");
+            accepted += usize::from(expect);
+        }
+        assert!(accepted > 0 && accepted < 40, "workload must be mixed");
+    }
+
+    #[test]
+    fn traversal_visits_and_accepts() {
+        let mut vocab = Vocab::new();
+        let cfg = TreeGenConfig::example32(&mut vocab, 60, &[1]);
+        let alphabet = cfg.symbols.clone();
+        let p = traversal_program(&alphabet);
+        assert_eq!(p.classify(), TwClass::Tw);
+        assert_eq!(p.reg_count(), 0);
+        for seed in 0..5 {
+            let t = random_tree(&cfg, seed);
+            let report = run_on_tree(&p, &t, Limits::default());
+            assert!(report.accepted());
+            // Traversal visits every delimited node at least once: steps
+            // must be ≥ delimited size.
+            let dn = twq_tree::DelimTree::build(&t).tree().len();
+            assert!(report.steps as usize >= dn);
+        }
+    }
+
+    #[test]
+    fn even_leaves_matches_oracle() {
+        let mut vocab = Vocab::new();
+        let cfg = TreeGenConfig::example32(&mut vocab, 25, &[1]);
+        let p = even_leaves_program(&cfg.symbols);
+        for seed in 0..30 {
+            let t = random_tree(&cfg, seed);
+            let report = run_on_tree(&p, &t, Limits::default());
+            assert_eq!(report.accepted(), oracle_even_leaves(&t), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_leaves_equal_matches_oracle() {
+        let mut vocab = Vocab::new();
+        let mixed = TreeGenConfig::example32(&mut vocab, 20, &[1, 2]);
+        let uniform = TreeGenConfig::example32(&mut vocab, 20, &[1]);
+        let a = vocab.attr_opt("a").unwrap();
+        let p = all_leaves_equal_program(&mixed.symbols, a);
+        let (mut accepted, mut rejected) = (0, 0);
+        for seed in 0..20 {
+            for cfg in [&mixed, &uniform] {
+                let t = random_tree(cfg, seed);
+                let report = run_on_tree(&p, &t, Limits::default());
+                let expect = oracle_all_leaves_equal(&t, a);
+                assert_eq!(report.accepted(), expect, "seed {seed}");
+                if expect {
+                    accepted += 1;
+                } else {
+                    rejected += 1;
+                }
+            }
+        }
+        assert!(accepted > 0 && rejected > 0, "workload must be mixed");
+    }
+
+    #[test]
+    fn parent_child_match_is_class_twl_and_correct() {
+        let mut vocab = Vocab::new();
+        // A wide value pool keeps both outcomes likely on small trees.
+        let cfg = TreeGenConfig::example32(&mut vocab, 8, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+        let a = vocab.attr_opt("a").unwrap();
+        let p = parent_child_match_program(&cfg.symbols, a);
+        assert_eq!(p.classify(), TwClass::TwL);
+        let (mut yes, mut no) = (0, 0);
+        for seed in 0..30 {
+            let t = random_tree(&cfg, seed);
+            let report = run_on_tree(&p, &t, Limits::default());
+            let expect = oracle_parent_child_match(&t, a);
+            assert_eq!(report.accepted(), expect, "seed {seed}");
+            if expect {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+        }
+        assert!(yes > 0 && no > 0, "yes={yes} no={no}");
+    }
+
+    #[test]
+    fn distinct_values_thresholds() {
+        let mut vocab = Vocab::new();
+        let cfg = TreeGenConfig::example32(&mut vocab, 15, &[1, 2, 3]);
+        let a = vocab.attr_opt("a").unwrap();
+        for threshold in 1..=4 {
+            let p = distinct_values_at_least(&cfg.symbols, a, threshold);
+            // Multi-node atp selection exceeds tw^l (Definition 5.1).
+            assert_eq!(p.classify(), TwClass::TwRL);
+            let t = random_tree(&cfg, 11);
+            let report = run_on_tree(&p, &t, Limits::default());
+            assert_eq!(
+                report.accepted(),
+                oracle_distinct_values_at_least(&t, a, threshold),
+                "threshold {threshold}"
+            );
+        }
+    }
+}

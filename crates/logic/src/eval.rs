@@ -1,0 +1,409 @@
+//! Model checking FO formulas on attributed trees.
+//!
+//! The paper only ever evaluates *fixed* formulas on *growing* trees, so the
+//! evaluator is the textbook recursive one: quantifiers loop over `Dom(t)`,
+//! giving `O(|t|^q)` for `q` nested quantifiers. Structural atoms are O(1)
+//! thanks to the arena links, except `≺` and sibling `<` which walk
+//! parent/sibling chains.
+
+use twq_tree::{NodeId, Tree};
+
+use crate::fo::{Formula, TreeAtom, Var};
+
+/// A partial assignment of tree nodes to variables, indexed by [`Var`].
+#[derive(Debug, Clone, Default)]
+pub struct Assignment {
+    slots: Vec<Option<NodeId>>,
+}
+
+impl Assignment {
+    /// An empty assignment able to hold variables up to `max_var`.
+    pub fn with_capacity(max_var: Option<Var>) -> Self {
+        Assignment {
+            slots: vec![None; max_var.map_or(0, |v| v.0 as usize + 1)],
+        }
+    }
+
+    /// The node bound to `v`, if any.
+    #[inline]
+    pub fn get(&self, v: Var) -> Option<NodeId> {
+        self.slots.get(v.0 as usize).copied().flatten()
+    }
+
+    /// Bind `v` to `u` (growing the table if needed).
+    pub fn set(&mut self, v: Var, u: NodeId) {
+        let i = v.0 as usize;
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, None);
+        }
+        self.slots[i] = Some(u);
+    }
+
+    /// Remove the binding of `v`.
+    pub fn unset(&mut self, v: Var) {
+        if let Some(s) = self.slots.get_mut(v.0 as usize) {
+            *s = None;
+        }
+    }
+}
+
+/// Evaluate an atom under a total-enough assignment.
+///
+/// # Panics
+/// Panics if a variable mentioned by the atom is unbound — callers must bind
+/// all free variables first.
+pub fn eval_atom(tree: &Tree, atom: &TreeAtom, asg: &Assignment) -> bool {
+    let node = |v: Var| {
+        asg.get(v)
+            .unwrap_or_else(|| panic!("unbound variable {v} in atom"))
+    };
+    match *atom {
+        TreeAtom::Edge(x, y) => tree.parent(node(y)) == Some(node(x)),
+        TreeAtom::SibLess(x, y) => {
+            let (u, v) = (node(x), node(y));
+            if u == v || tree.parent(u) != tree.parent(v) {
+                return false;
+            }
+            // Walk right from u until v or the end.
+            let mut cur = tree.next_sibling(u);
+            while let Some(s) = cur {
+                if s == v {
+                    return true;
+                }
+                cur = tree.next_sibling(s);
+            }
+            false
+        }
+        TreeAtom::Desc(x, y) => tree.is_strict_ancestor(node(x), node(y)),
+        TreeAtom::Lab(l, x) => tree.label(node(x)) == l,
+        TreeAtom::Eq(x, y) => node(x) == node(y),
+        TreeAtom::ValEq(a, x, b, y) => tree.attr(node(x), a) == tree.attr(node(y), b),
+        TreeAtom::ValConst(a, x, d) => tree.attr(node(x), a) == d,
+        TreeAtom::Root(x) => tree.is_root(node(x)),
+        TreeAtom::Leaf(x) => tree.is_leaf(node(x)),
+        TreeAtom::First(x) => tree.is_first(node(x)),
+        TreeAtom::Last(x) => tree.is_last(node(x)),
+        TreeAtom::Succ(x, y) => tree.next_sibling(node(x)) == Some(node(y)),
+    }
+}
+
+/// Evaluate a formula under an assignment binding (at least) its free
+/// variables.
+pub fn eval(tree: &Tree, formula: &Formula, asg: &mut Assignment) -> bool {
+    match formula {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Atom(a) => eval_atom(tree, a, asg),
+        Formula::Not(f) => !eval(tree, f, asg),
+        Formula::And(fs) => fs.iter().all(|f| eval(tree, f, asg)),
+        Formula::Or(fs) => fs.iter().any(|f| eval(tree, f, asg)),
+        Formula::Exists(v, f) => {
+            let saved = asg.get(*v);
+            let mut found = false;
+            for u in tree.node_ids() {
+                asg.set(*v, u);
+                if eval(tree, f, asg) {
+                    found = true;
+                    break;
+                }
+            }
+            restore(asg, *v, saved);
+            found
+        }
+        Formula::Forall(v, f) => {
+            let saved = asg.get(*v);
+            let mut all = true;
+            for u in tree.node_ids() {
+                asg.set(*v, u);
+                if !eval(tree, f, asg) {
+                    all = false;
+                    break;
+                }
+            }
+            restore(asg, *v, saved);
+            all
+        }
+    }
+}
+
+/// Three-valued evaluation under a *partial* assignment: `Some(b)` when the
+/// formula's value is already determined, `None` when it still depends on
+/// unbound variables. Used by the backtracking `FO(∃*)` evaluator to prune:
+/// a partial assignment that already falsifies the matrix cannot be
+/// extended to a witness, and one that already satisfies it needs no
+/// extension at all.
+pub fn eval_partial(tree: &Tree, formula: &Formula, asg: &Assignment) -> Option<bool> {
+    match formula {
+        Formula::True => Some(true),
+        Formula::False => Some(false),
+        Formula::Atom(a) => {
+            if a.vars().iter().all(|&v| asg.get(v).is_some()) {
+                Some(eval_atom(tree, a, asg))
+            } else {
+                None
+            }
+        }
+        Formula::Not(f) => eval_partial(tree, f, asg).map(|b| !b),
+        Formula::And(fs) => {
+            let mut all_true = true;
+            for f in fs {
+                match eval_partial(tree, f, asg) {
+                    Some(false) => return Some(false),
+                    Some(true) => {}
+                    None => all_true = false,
+                }
+            }
+            if all_true {
+                Some(true)
+            } else {
+                None
+            }
+        }
+        Formula::Or(fs) => {
+            let mut all_false = true;
+            for f in fs {
+                match eval_partial(tree, f, asg) {
+                    Some(true) => return Some(true),
+                    Some(false) => {}
+                    None => all_false = false,
+                }
+            }
+            if all_false {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        // Quantifiers are opaque to partial evaluation.
+        Formula::Exists(_, _) | Formula::Forall(_, _) => None,
+    }
+}
+
+/// Backtracking satisfiability of a quantifier-free matrix over the given
+/// existential variables, with three-valued pruning after each binding.
+/// Exponential only in the worst case; on conjunctive matrices (the XPath
+/// compilation output) the pruning makes it effectively output-sensitive.
+pub fn sat_exists(
+    tree: &Tree,
+    matrix: &Formula,
+    vars: &[Var],
+    asg: &mut Assignment,
+) -> bool {
+    if let Some(b) = eval_partial(tree, matrix, asg) { return b }
+    let Some((&v, rest)) = vars.split_first() else {
+        // All variables bound but the value is undetermined — only possible
+        // if the matrix contains quantifiers, which callers exclude.
+        unreachable!("quantifier-free matrix must be determined when fully bound")
+    };
+    for u in tree.node_ids() {
+        asg.set(v, u);
+        if sat_exists(tree, matrix, rest, asg) {
+            asg.unset(v);
+            return true;
+        }
+    }
+    asg.unset(v);
+    false
+}
+
+fn restore(asg: &mut Assignment, v: Var, saved: Option<NodeId>) {
+    match saved {
+        Some(u) => asg.set(v, u),
+        None => asg.unset(v),
+    }
+}
+
+/// Evaluate a sentence (formula with no free variables).
+///
+/// # Panics
+/// Panics if the formula has free variables.
+pub fn eval_sentence(tree: &Tree, formula: &Formula) -> bool {
+    assert!(
+        formula.free_vars().is_empty(),
+        "eval_sentence requires a sentence; free vars: {:?}",
+        formula.free_vars()
+    );
+    let mut asg = Assignment::with_capacity(formula.max_var());
+    eval(tree, formula, &mut asg)
+}
+
+/// All nodes `v` such that `t ⊨ φ(u, v)` for a binary formula `φ(x, y)` —
+/// the node-selection primitive behind `atp(φ(x,y), q)` (Section 3).
+///
+/// Results are in arena order.
+pub fn select(tree: &Tree, formula: &Formula, x: Var, u: NodeId, y: Var) -> Vec<NodeId> {
+    let mut asg = Assignment::with_capacity(formula.max_var().map_or(Some(x.max(y)), |m| {
+        Some(m.max(x).max(y))
+    }));
+    asg.set(x, u);
+    let mut out = Vec::new();
+    for v in tree.node_ids() {
+        asg.set(y, v);
+        if eval(tree, formula, &mut asg) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// All pairs `(u, v)` with `t ⊨ φ(u, v)`.
+pub fn select_pairs(tree: &Tree, formula: &Formula, x: Var, y: Var) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    for u in tree.node_ids() {
+        for v in select(tree, formula, x, u, y) {
+            out.push((u, v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fo::build::*;
+    use twq_tree::{parse_tree, Label, Vocab};
+
+    fn sample() -> (Vocab, Tree) {
+        let mut v = Vocab::new();
+        let t = parse_tree("a[k=1](b[k=2],c[k=1](d[k=2],e[k=1]))", &mut v).unwrap();
+        (v, t)
+    }
+
+    #[test]
+    fn sentence_every_leaf_has_k() {
+        let (mut v, t) = sample();
+        let k = v.attr("k");
+        let two = v.val_int(2);
+        // ∀x (leaf(x) → val_k(x) = 2) — false: e is a leaf with k=1.
+        let f = forall(var(0), implies(leaf(var(0)), val_const(k, var(0), two)));
+        assert!(!eval_sentence(&t, &f));
+        // ∃x (leaf(x) ∧ val_k(x) = 2) — true: b and d.
+        let g = exists(var(0), and([leaf(var(0)), val_const(k, var(0), two)]));
+        assert!(eval_sentence(&t, &g));
+    }
+
+    #[test]
+    fn edge_and_desc_semantics() {
+        let (_, t) = sample();
+        let r = t.root();
+        let c = t.node_at_path(&[2]).unwrap();
+        let d = t.node_at_path(&[2, 1]).unwrap();
+        let mut asg = Assignment::with_capacity(Some(var(1)));
+        asg.set(var(0), r);
+        asg.set(var(1), c);
+        assert!(eval_atom(&t, &TreeAtom::Edge(var(0), var(1)), &asg));
+        asg.set(var(1), d);
+        assert!(!eval_atom(&t, &TreeAtom::Edge(var(0), var(1)), &asg));
+        assert!(eval_atom(&t, &TreeAtom::Desc(var(0), var(1)), &asg));
+        // Desc is irreflexive.
+        asg.set(var(1), r);
+        assert!(!eval_atom(&t, &TreeAtom::Desc(var(0), var(1)), &asg));
+    }
+
+    #[test]
+    fn sibling_order_semantics() {
+        let (_, t) = sample();
+        let b = t.node_at_path(&[1]).unwrap();
+        let c = t.node_at_path(&[2]).unwrap();
+        let d = t.node_at_path(&[2, 1]).unwrap();
+        let mut asg = Assignment::default();
+        asg.set(var(0), b);
+        asg.set(var(1), c);
+        assert!(eval_atom(&t, &TreeAtom::SibLess(var(0), var(1)), &asg));
+        // Not symmetric, not reflexive, only among siblings.
+        asg.set(var(0), c);
+        asg.set(var(1), b);
+        assert!(!eval_atom(&t, &TreeAtom::SibLess(var(0), var(1)), &asg));
+        asg.set(var(1), c);
+        assert!(!eval_atom(&t, &TreeAtom::SibLess(var(0), var(1)), &asg));
+        asg.set(var(0), b);
+        asg.set(var(1), d);
+        assert!(!eval_atom(&t, &TreeAtom::SibLess(var(0), var(1)), &asg));
+        // succ agrees with immediate siblings.
+        asg.set(var(0), b);
+        asg.set(var(1), c);
+        assert!(eval_atom(&t, &TreeAtom::Succ(var(0), var(1)), &asg));
+    }
+
+    #[test]
+    fn extra_predicates() {
+        let (_, t) = sample();
+        let r = t.root();
+        let b = t.node_at_path(&[1]).unwrap();
+        let c = t.node_at_path(&[2]).unwrap();
+        let mut asg = Assignment::default();
+        asg.set(var(0), r);
+        assert!(eval_atom(&t, &TreeAtom::Root(var(0)), &asg));
+        assert!(!eval_atom(&t, &TreeAtom::Leaf(var(0)), &asg));
+        assert!(eval_atom(&t, &TreeAtom::First(var(0)), &asg));
+        assert!(eval_atom(&t, &TreeAtom::Last(var(0)), &asg));
+        asg.set(var(0), b);
+        assert!(eval_atom(&t, &TreeAtom::First(var(0)), &asg));
+        assert!(!eval_atom(&t, &TreeAtom::Last(var(0)), &asg));
+        asg.set(var(0), c);
+        assert!(!eval_atom(&t, &TreeAtom::First(var(0)), &asg));
+        assert!(eval_atom(&t, &TreeAtom::Last(var(0)), &asg));
+    }
+
+    #[test]
+    fn label_atoms_on_delims() {
+        let (v, t) = sample();
+        let dt = twq_tree::DelimTree::build(&t);
+        let a = v.sym_opt("a").unwrap();
+        // In delim(t): ∃x O_▽(x), ∃x O_△(x), ∃x O_a(x).
+        for l in [Label::DelimRoot, Label::DelimLeaf, Label::Sym(a)] {
+            let f = exists(var(0), lab(l, var(0)));
+            assert!(eval_sentence(dt.tree(), &f), "{:?}", l);
+        }
+        // The original tree has no delimiters.
+        let f = exists(var(0), lab(Label::DelimRoot, var(0)));
+        assert!(!eval_sentence(&t, &f));
+    }
+
+    #[test]
+    fn select_descendant_leaves() {
+        let (_, t) = sample();
+        // φ(x, y) = x ≺ y ∧ leaf(y), from the paper's atp discussion.
+        let f = and([desc(var(0), var(1)), leaf(var(1))]);
+        let sel = select(&t, &f, var(0), t.root(), var(1));
+        assert_eq!(sel.len(), 3); // b, d, e
+        let c = t.node_at_path(&[2]).unwrap();
+        let sel_c = select(&t, &f, var(0), c, var(1));
+        assert_eq!(sel_c.len(), 2); // d, e
+    }
+
+    #[test]
+    fn select_pairs_counts() {
+        let (_, t) = sample();
+        let f = edge(var(0), var(1));
+        // Every non-root node contributes exactly one edge pair.
+        assert_eq!(select_pairs(&t, &f, var(0), var(1)).len(), t.len() - 1);
+    }
+
+    #[test]
+    fn value_comparisons() {
+        let (mut v, t) = sample();
+        let k = v.attr("k");
+        // ∃x∃y (x ≠ y ∧ val_k(x) = val_k(y))
+        let f = exists_many(
+            [var(0), var(1)],
+            and([not(eq(var(0), var(1))), val_eq(k, var(0), k, var(1))]),
+        );
+        assert!(eval_sentence(&t, &f));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound variable")]
+    fn unbound_variable_panics() {
+        let (_, t) = sample();
+        let asg = Assignment::default();
+        eval_atom(&t, &TreeAtom::Leaf(var(3)), &asg);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a sentence")]
+    fn eval_sentence_rejects_free_vars() {
+        let (_, t) = sample();
+        eval_sentence(&t, &leaf(var(0)));
+    }
+}

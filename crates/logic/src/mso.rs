@@ -1,0 +1,448 @@
+//! Monadic second-order logic over trees — the yardstick of
+//! Proposition 7.2 ("when `A = ∅`, `tw^l = MSO`") and of the open
+//! question the paper closes Section 1 with (does `tw` capture the
+//! regular tree languages?).
+//!
+//! MSO extends FO with quantification over *sets* of nodes. Evaluation
+//! here is the textbook naive one: set quantifiers enumerate all `2^|t|`
+//! subsets, so this module is for **small witnesses only** — cross-checking
+//! automata against logically-specified regular properties (experiment
+//! E12's companion checks), not for production query evaluation. Every
+//! entry point takes a node cap and refuses larger inputs rather than
+//! silently exploding.
+
+use twq_tree::Tree;
+
+use crate::eval::{eval_atom, Assignment};
+use crate::fo::{TreeAtom, Var};
+
+/// A second-order (set) variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SetVar(pub u16);
+
+impl std::fmt::Display for SetVar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// An MSO formula: FO atoms, membership atoms, boolean connectives, and
+/// both first- and second-order quantifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MsoFormula {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// A first-order atom.
+    Atom(TreeAtom),
+    /// `x ∈ X`.
+    In(Var, SetVar),
+    /// Negation.
+    Not(Box<MsoFormula>),
+    /// Conjunction.
+    And(Vec<MsoFormula>),
+    /// Disjunction.
+    Or(Vec<MsoFormula>),
+    /// `∃x φ`.
+    Exists(Var, Box<MsoFormula>),
+    /// `∀x φ`.
+    Forall(Var, Box<MsoFormula>),
+    /// `∃X φ` — over all subsets of `Dom(t)`.
+    ExistsSet(SetVar, Box<MsoFormula>),
+    /// `∀X φ`.
+    ForallSet(SetVar, Box<MsoFormula>),
+}
+
+impl MsoFormula {
+    /// Syntactic size.
+    pub fn size(&self) -> usize {
+        match self {
+            MsoFormula::True | MsoFormula::False | MsoFormula::Atom(_) | MsoFormula::In(_, _) => 1,
+            MsoFormula::Not(f) => 1 + f.size(),
+            MsoFormula::And(fs) | MsoFormula::Or(fs) => {
+                1 + fs.iter().map(MsoFormula::size).sum::<usize>()
+            }
+            MsoFormula::Exists(_, f)
+            | MsoFormula::Forall(_, f)
+            | MsoFormula::ExistsSet(_, f)
+            | MsoFormula::ForallSet(_, f) => 1 + f.size(),
+        }
+    }
+}
+
+/// Error for oversized MSO inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeTooLarge {
+    /// The tree size.
+    pub nodes: usize,
+    /// The configured cap.
+    pub cap: usize,
+}
+
+impl std::fmt::Display for TreeTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "naive MSO evaluation over 2^{} subsets refused (cap 2^{})",
+            self.nodes, self.cap
+        )
+    }
+}
+
+impl std::error::Error for TreeTooLarge {}
+
+struct SetAsg {
+    /// Bitmask per set variable (trees are capped well below 64 nodes).
+    slots: Vec<Option<u64>>,
+}
+
+impl SetAsg {
+    fn get(&self, x: SetVar) -> u64 {
+        self.slots
+            .get(x.0 as usize)
+            .copied()
+            .flatten()
+            .unwrap_or_else(|| panic!("unbound set variable {x}"))
+    }
+
+    fn set(&mut self, x: SetVar, mask: u64) {
+        let i = x.0 as usize;
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, None);
+        }
+        self.slots[i] = Some(mask);
+    }
+
+    fn unset(&mut self, x: SetVar) {
+        if let Some(s) = self.slots.get_mut(x.0 as usize) {
+            *s = None;
+        }
+    }
+}
+
+fn eval_inner(
+    tree: &Tree,
+    f: &MsoFormula,
+    asg: &mut Assignment,
+    sets: &mut SetAsg,
+) -> bool {
+    match f {
+        MsoFormula::True => true,
+        MsoFormula::False => false,
+        MsoFormula::Atom(a) => eval_atom(tree, a, asg),
+        MsoFormula::In(x, set) => {
+            let u = asg.get(*x).unwrap_or_else(|| panic!("unbound variable {x}"));
+            sets.get(*set) >> u.0 & 1 == 1
+        }
+        MsoFormula::Not(g) => !eval_inner(tree, g, asg, sets),
+        MsoFormula::And(gs) => gs.iter().all(|g| eval_inner(tree, g, asg, sets)),
+        MsoFormula::Or(gs) => gs.iter().any(|g| eval_inner(tree, g, asg, sets)),
+        MsoFormula::Exists(x, g) => {
+            for u in tree.node_ids() {
+                asg.set(*x, u);
+                if eval_inner(tree, g, asg, sets) {
+                    asg.unset(*x);
+                    return true;
+                }
+            }
+            asg.unset(*x);
+            false
+        }
+        MsoFormula::Forall(x, g) => {
+            for u in tree.node_ids() {
+                asg.set(*x, u);
+                if !eval_inner(tree, g, asg, sets) {
+                    asg.unset(*x);
+                    return false;
+                }
+            }
+            asg.unset(*x);
+            true
+        }
+        MsoFormula::ExistsSet(x, g) => {
+            let n = tree.len() as u32;
+            for mask in 0..(1u64 << n) {
+                sets.set(*x, mask);
+                if eval_inner(tree, g, asg, sets) {
+                    sets.unset(*x);
+                    return true;
+                }
+            }
+            sets.unset(*x);
+            false
+        }
+        MsoFormula::ForallSet(x, g) => {
+            let n = tree.len() as u32;
+            for mask in 0..(1u64 << n) {
+                sets.set(*x, mask);
+                if !eval_inner(tree, g, asg, sets) {
+                    sets.unset(*x);
+                    return false;
+                }
+            }
+            sets.unset(*x);
+            true
+        }
+    }
+}
+
+/// Evaluate an MSO sentence on a tree of at most `cap` nodes (default
+/// callers use [`eval_mso`]'s cap of 16).
+pub fn eval_mso_capped(
+    tree: &Tree,
+    formula: &MsoFormula,
+    cap: usize,
+) -> Result<bool, TreeTooLarge> {
+    if tree.len() > cap || tree.len() > 60 {
+        return Err(TreeTooLarge {
+            nodes: tree.len(),
+            cap,
+        });
+    }
+    let mut asg = Assignment::default();
+    let mut sets = SetAsg { slots: Vec::new() };
+    Ok(eval_inner(tree, formula, &mut asg, &mut sets))
+}
+
+/// Evaluate an MSO sentence on a small tree (≤ 16 nodes).
+pub fn eval_mso(tree: &Tree, formula: &MsoFormula) -> Result<bool, TreeTooLarge> {
+    eval_mso_capped(tree, formula, 16)
+}
+
+/// Ergonomic constructors.
+pub mod mbuild {
+    use super::*;
+    use crate::fo::Formula;
+
+    /// Lift an FO formula into MSO.
+    pub fn fo(f: &Formula) -> MsoFormula {
+        match f {
+            Formula::True => MsoFormula::True,
+            Formula::False => MsoFormula::False,
+            Formula::Atom(a) => MsoFormula::Atom(a.clone()),
+            Formula::Not(g) => MsoFormula::Not(Box::new(fo(g))),
+            Formula::And(gs) => MsoFormula::And(gs.iter().map(fo).collect()),
+            Formula::Or(gs) => MsoFormula::Or(gs.iter().map(fo).collect()),
+            Formula::Exists(x, g) => MsoFormula::Exists(*x, Box::new(fo(g))),
+            Formula::Forall(x, g) => MsoFormula::Forall(*x, Box::new(fo(g))),
+        }
+    }
+
+    /// `x ∈ X`.
+    pub fn member(x: Var, set: SetVar) -> MsoFormula {
+        MsoFormula::In(x, set)
+    }
+
+    /// Negation.
+    pub fn not(f: MsoFormula) -> MsoFormula {
+        MsoFormula::Not(Box::new(f))
+    }
+
+    /// Conjunction.
+    pub fn and(fs: impl IntoIterator<Item = MsoFormula>) -> MsoFormula {
+        MsoFormula::And(fs.into_iter().collect())
+    }
+
+    /// Disjunction.
+    pub fn or(fs: impl IntoIterator<Item = MsoFormula>) -> MsoFormula {
+        MsoFormula::Or(fs.into_iter().collect())
+    }
+
+    /// Implication.
+    pub fn implies(a: MsoFormula, b: MsoFormula) -> MsoFormula {
+        or([not(a), b])
+    }
+
+    /// `∃x φ`.
+    pub fn exists(x: Var, f: MsoFormula) -> MsoFormula {
+        MsoFormula::Exists(x, Box::new(f))
+    }
+
+    /// `∀x φ`.
+    pub fn forall(x: Var, f: MsoFormula) -> MsoFormula {
+        MsoFormula::Forall(x, Box::new(f))
+    }
+
+    /// `∃X φ`.
+    pub fn exists_set(x: SetVar, f: MsoFormula) -> MsoFormula {
+        MsoFormula::ExistsSet(x, Box::new(f))
+    }
+
+    /// `∀X φ`.
+    pub fn forall_set(x: SetVar, f: MsoFormula) -> MsoFormula {
+        MsoFormula::ForallSet(x, Box::new(f))
+    }
+}
+
+/// The classic genuinely-MSO sentence: **the number of `σ`-nodes is
+/// even**. FO cannot count modulo 2; MSO can, by guessing the set of
+/// odd-indexed `σ`-positions along the document order… here phrased via
+/// a split: ∃X such that σ-nodes alternate membership along document
+/// order (first σ ∈ X, consecutive σs alternate, last σ ∉ X requires the
+/// count even — we instead assert the last σ is in X iff the count is
+/// odd, so evenness is "last σ ∉ X").
+///
+/// For implementation simplicity over *unranked* document order, the
+/// sentence here uses the descendant-based successor on σ-nodes of a
+/// **monadic** tree; callers use it on chains (strings), where document
+/// order is `≺`.
+pub fn even_sigma_nodes_on_chains(sym: twq_tree::SymId) -> MsoFormula {
+    use mbuild::*;
+    use twq_tree::Label;
+    let x = Var(0);
+    let y = Var(1);
+    let z = Var(2);
+    let set = SetVar(0);
+    let is_sig = |v: Var| MsoFormula::Atom(TreeAtom::Lab(Label::Sym(sym), v));
+    // succ_σ(x, y): both σ, x ≺ y, no σ strictly between.
+    let succ_sigma = and([
+        is_sig(x),
+        is_sig(y),
+        MsoFormula::Atom(TreeAtom::Desc(x, y)),
+        not(exists(
+            z,
+            and([
+                is_sig(z),
+                MsoFormula::Atom(TreeAtom::Desc(x, z)),
+                MsoFormula::Atom(TreeAtom::Desc(z, y)),
+            ]),
+        )),
+    ]);
+    // first σ: no σ before it; last σ: no σ after it.
+    let first_sigma = |v: Var, other: Var| {
+        and([
+            is_sig(v),
+            not(exists(
+                other,
+                and([is_sig(other), MsoFormula::Atom(TreeAtom::Desc(other, v))]),
+            )),
+        ])
+    };
+    let last_sigma = |v: Var, other: Var| {
+        and([
+            is_sig(v),
+            not(exists(
+                other,
+                and([is_sig(other), MsoFormula::Atom(TreeAtom::Desc(v, other))]),
+            )),
+        ])
+    };
+    // X marks σ-positions with odd index (1-based): first ∈ X, membership
+    // alternates along succ_σ, and the last has even total iff last ∉ X…
+    // wait: last σ has index = count, so count even ⇔ last ∉ X is wrong —
+    // odd indices are in X, so count even ⇔ last has even index ⇔ last ∉ X.
+    exists_set(
+        set,
+        and([
+            forall(x, implies(first_sigma(x, y), member(x, set))),
+            forall(
+                x,
+                forall(
+                    y,
+                    implies(
+                        succ_sigma.clone(),
+                        or([
+                            and([member(x, set), not(member(y, set))]),
+                            and([not(member(x, set)), member(y, set)]),
+                        ]),
+                    ),
+                ),
+            ),
+            // Alternation only: still need it to be *consistent*, which the
+            // two clauses above force uniquely on σ-nodes; the verdict:
+            forall(x, implies(last_sigma(x, y), not(member(x, set)))),
+            // Edge case: no σ at all → vacuously true (count 0 is even).
+        ]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::mbuild::*;
+    use super::*;
+    use twq_tree::generate::monadic_tree;
+    use twq_tree::{parse_tree, Vocab};
+
+    #[test]
+    fn fo_lifting_agrees_with_fo_eval() {
+        let mut v = Vocab::new();
+        let t = parse_tree("a(b,c(d))", &mut v).unwrap();
+        let p = crate::parse::parse_fo("E x. leaf(x) & last(x)", &mut v).unwrap();
+        let lifted = fo(&p.formula);
+        assert_eq!(
+            eval_mso(&t, &lifted).unwrap(),
+            crate::eval::eval_sentence(&t, &p.formula)
+        );
+    }
+
+    #[test]
+    fn set_quantifier_existence() {
+        // ∃X (root ∈ X): trivially true.
+        let mut v = Vocab::new();
+        let t = parse_tree("a(b)", &mut v).unwrap();
+        let x = Var(0);
+        let set = SetVar(0);
+        let f = exists_set(
+            set,
+            exists(
+                x,
+                and([MsoFormula::Atom(TreeAtom::Root(x)), member(x, set)]),
+            ),
+        );
+        assert!(eval_mso(&t, &f).unwrap());
+        // ∀X (root ∈ X): false (the empty set).
+        let g = forall_set(
+            SetVar(0),
+            exists(
+                x,
+                and([MsoFormula::Atom(TreeAtom::Root(x)), member(x, set)]),
+            ),
+        );
+        assert!(!eval_mso(&t, &g).unwrap());
+    }
+
+    #[test]
+    fn even_sigma_counting_beats_fo() {
+        let mut v = Vocab::new();
+        let s = v.sym("s");
+        let a = v.attr("a");
+        let one = v.val_int(1);
+        let phi = even_sigma_nodes_on_chains(s);
+        for len in 1..=8usize {
+            let t = monadic_tree(s, a, &vec![one; len]);
+            assert_eq!(
+                eval_mso(&t, &phi).unwrap(),
+                len % 2 == 0,
+                "chain length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn even_sigma_on_branching_trees() {
+        // The sentence's succ_σ is phrased over ≺, which on chains is the
+        // position order; on a star every leaf is a ≺-successor of the
+        // root with nothing between, so alternation forces all leaves out
+        // of phase with the root — the sentence then holds iff the root
+        // is in X and every leaf is not, and the last-σ clause inspects
+        // the leaves: a star with k leaves satisfies it iff the leaves
+        // (σ-count k+1 total, leaves at "index 2") are consistent. We
+        // simply pin the behavior on tiny stars as a regression guard.
+        let mut v = Vocab::new();
+        let s = v.sym("s");
+        let phi = even_sigma_nodes_on_chains(s);
+        let t1 = twq_tree::generate::star_tree(s, 1); // chain of 2: even ✓
+        assert!(eval_mso(&t1, &phi).unwrap());
+    }
+
+    #[test]
+    fn size_cap_enforced() {
+        let mut v = Vocab::new();
+        let s = v.sym("s");
+        let t = twq_tree::generate::star_tree(s, 30);
+        let phi = even_sigma_nodes_on_chains(s);
+        assert!(eval_mso(&t, &phi).is_err());
+        assert!(eval_mso_capped(&t, &phi, 40).is_ok());
+    }
+}

@@ -1,0 +1,872 @@
+//! Relational storage and the FO logic that manipulates it (Section 3).
+//!
+//! A `tw^{r,l}` automaton owns relation names `X̄ = X₁,…,X_k` of fixed
+//! arities, interpreted by finite relations over `D`. Guards `ξ` and
+//! register updates `ψ` are FO formulas over the vocabulary
+//! `X̄ ∪ {a : a ∈ A} ∪ {d : d ∈ D}` where each attribute name `a` is a
+//! *constant* denoting `val_a(u)` at the current node `u`, and each `d` is
+//! a constant denoting itself. Quantification is over the **active domain**
+//! of the store (plus the interpreted constants) — "there is no access to
+//! the tree structure".
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use twq_tree::{AttrId, NodeId, Tree, Value, Vocab};
+
+use crate::fo::Var;
+
+/// A register index (`X_{i+1}` in the paper's 1-based naming).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegId(pub u8);
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0 as usize + 1)
+    }
+}
+
+/// A finite relation over `D` with a fixed arity, stored as a sorted set of
+/// tuples so that equality, hashing, and set operations are canonical.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: BTreeSet<Box<[Value]>>,
+}
+
+impl Relation {
+    /// The empty relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Relation {
+            arity,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// A unary singleton `{d}` — the shape `tw^l` registers are limited to.
+    pub fn singleton(d: Value) -> Self {
+        let mut r = Relation::empty(1);
+        r.insert(vec![d]);
+        r
+    }
+
+    /// Build from tuples; all must have the given arity.
+    pub fn from_tuples(arity: usize, tuples: impl IntoIterator<Item = Vec<Value>>) -> Self {
+        let mut r = Relation::empty(arity);
+        for t in tuples {
+            r.insert(t);
+        }
+        r
+    }
+
+    /// The arity.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Insert a tuple.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn insert(&mut self, tuple: Vec<Value>) {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        self.tuples.insert(tuple.into_boxed_slice());
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        tuple.len() == self.arity && self.tuples.contains(tuple)
+    }
+
+    /// Iterate over tuples in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Value]> {
+        self.tuples.iter().map(|t| &**t)
+    }
+
+    /// Union with another relation of the same arity (the `atp` combiner).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn union_with(&mut self, other: &Relation) {
+        assert_eq!(self.arity, other.arity, "union arity mismatch");
+        for t in other.iter() {
+            self.tuples.insert(t.into());
+        }
+    }
+
+    /// All values occurring in any tuple.
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        self.tuples.iter().flat_map(|t| t.iter().copied())
+    }
+
+    /// If this is a unary singleton, its value.
+    pub fn as_singleton(&self) -> Option<Value> {
+        if self.arity == 1 && self.tuples.len() == 1 {
+            self.tuples.iter().next().map(|t| t[0])
+        } else {
+            None
+        }
+    }
+
+    /// Render with the given vocabulary.
+    pub fn display(&self, vocab: &Vocab) -> String {
+        let mut parts = Vec::with_capacity(self.len());
+        for t in self.iter() {
+            let vals: Vec<String> = t.iter().map(|&v| vocab.value_display(v)).collect();
+            parts.push(format!("({})", vals.join(",")));
+        }
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+/// The relational store `τ` of an automaton: one relation per register.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Store {
+    regs: Vec<Relation>,
+}
+
+impl Store {
+    /// A store with the given register arities, all registers empty.
+    pub fn with_arities(arities: &[usize]) -> Self {
+        Store {
+            regs: arities.iter().map(|&a| Relation::empty(a)).collect(),
+        }
+    }
+
+    /// Number of registers (`k`).
+    pub fn reg_count(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Read register `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: RegId) -> &Relation {
+        &self.regs[i.0 as usize]
+    }
+
+    /// Replace register `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range or the arity changes.
+    pub fn set(&mut self, i: RegId, rel: Relation) {
+        let slot = &mut self.regs[i.0 as usize];
+        assert_eq!(slot.arity(), rel.arity(), "register arity is fixed");
+        *slot = rel;
+    }
+
+    /// The arity of register `i`.
+    pub fn arity(&self, i: RegId) -> usize {
+        self.regs[i.0 as usize].arity()
+    }
+
+    /// Active domain of the store: every value in every register, sorted
+    /// and deduplicated.
+    pub fn active_domain(&self) -> Vec<Value> {
+        let mut vals: Vec<Value> = self.regs.iter().flat_map(|r| r.values()).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+
+    /// Total number of tuples across registers (a space measure for the
+    /// PSPACE experiments).
+    pub fn total_tuples(&self) -> usize {
+        self.regs.iter().map(Relation::len).sum()
+    }
+}
+
+/// A term of the store logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum STerm {
+    /// A first-order variable ranging over the active domain.
+    Var(Var),
+    /// The constant `a` — interpreted as `val_a(u)` at the current node.
+    Attr(AttrId),
+    /// The constant `d ∈ D ∪ {⊥}` — interpreted as itself.
+    Const(Value),
+}
+
+/// An atomic formula of the store logic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SAtom {
+    /// `X_i(t̄)`.
+    Rel(RegId, Vec<STerm>),
+    /// `t₁ = t₂`.
+    Eq(STerm, STerm),
+}
+
+/// An FO formula over the store vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SFormula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// An atom.
+    Atom(SAtom),
+    /// Negation.
+    Not(Box<SFormula>),
+    /// n-ary conjunction.
+    And(Vec<SFormula>),
+    /// n-ary disjunction.
+    Or(Vec<SFormula>),
+    /// Existential quantification over the active domain.
+    Exists(Var, Box<SFormula>),
+    /// Universal quantification over the active domain.
+    Forall(Var, Box<SFormula>),
+}
+
+impl SFormula {
+    /// Free variables, sorted and deduplicated. The sorted order also fixes
+    /// the column order of relations computed by [`eval_query`].
+    pub fn free_vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.collect_free(&mut Vec::new(), &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<Var>, out: &mut Vec<Var>) {
+        match self {
+            SFormula::True | SFormula::False => {}
+            SFormula::Atom(a) => {
+                let terms: Vec<&STerm> = match a {
+                    SAtom::Rel(_, ts) => ts.iter().collect(),
+                    SAtom::Eq(s, t) => vec![s, t],
+                };
+                for t in terms {
+                    if let STerm::Var(v) = t {
+                        if !bound.contains(v) {
+                            out.push(*v);
+                        }
+                    }
+                }
+            }
+            SFormula::Not(f) => f.collect_free(bound, out),
+            SFormula::And(fs) | SFormula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            SFormula::Exists(v, f) | SFormula::Forall(v, f) => {
+                bound.push(*v);
+                f.collect_free(bound, out);
+                bound.pop();
+            }
+        }
+    }
+
+    /// Constants `d` mentioned in the formula.
+    pub fn constants(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        self.walk_terms(&mut |t| {
+            if let STerm::Const(d) = t {
+                out.push(*d);
+            }
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Attribute constants mentioned in the formula.
+    pub fn attrs(&self) -> Vec<AttrId> {
+        let mut out = Vec::new();
+        self.walk_terms(&mut |t| {
+            if let STerm::Attr(a) = t {
+                out.push(*a);
+            }
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn walk_terms(&self, f: &mut impl FnMut(&STerm)) {
+        match self {
+            SFormula::True | SFormula::False => {}
+            SFormula::Atom(SAtom::Rel(_, ts)) => ts.iter().for_each(&mut *f),
+            SFormula::Atom(SAtom::Eq(s, t)) => {
+                f(s);
+                f(t);
+            }
+            SFormula::Not(g) => g.walk_terms(f),
+            SFormula::And(gs) | SFormula::Or(gs) => {
+                for g in gs {
+                    g.walk_terms(f);
+                }
+            }
+            SFormula::Exists(_, g) | SFormula::Forall(_, g) => g.walk_terms(f),
+        }
+    }
+
+    /// Registers mentioned in the formula.
+    pub fn registers(&self) -> Vec<RegId> {
+        let mut out = Vec::new();
+        self.walk_atoms(&mut |a| {
+            if let SAtom::Rel(r, _) = a {
+                out.push(*r);
+            }
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn walk_atoms(&self, f: &mut impl FnMut(&SAtom)) {
+        match self {
+            SFormula::True | SFormula::False => {}
+            SFormula::Atom(a) => f(a),
+            SFormula::Not(g) => g.walk_atoms(f),
+            SFormula::And(gs) | SFormula::Or(gs) => {
+                for g in gs {
+                    g.walk_atoms(f);
+                }
+            }
+            SFormula::Exists(_, g) | SFormula::Forall(_, g) => g.walk_atoms(f),
+        }
+    }
+
+    /// Whether the formula is quantifier-free (required for `tw^l` and `TW`
+    /// updates, Definition 5.1).
+    pub fn is_quantifier_free(&self) -> bool {
+        match self {
+            SFormula::True | SFormula::False | SFormula::Atom(_) => true,
+            SFormula::Not(f) => f.is_quantifier_free(),
+            SFormula::And(fs) | SFormula::Or(fs) => fs.iter().all(SFormula::is_quantifier_free),
+            SFormula::Exists(_, _) | SFormula::Forall(_, _) => false,
+        }
+    }
+
+    /// Render with the given vocabulary.
+    pub fn display(&self, vocab: &Vocab) -> String {
+        let term = |t: &STerm| -> String {
+            match t {
+                STerm::Var(x) => x.to_string(),
+                STerm::Attr(a) => vocab.attr_name(*a).to_owned(),
+                STerm::Const(d) => vocab.value_display(*d),
+            }
+        };
+        match self {
+            SFormula::True => "true".into(),
+            SFormula::False => "false".into(),
+            SFormula::Atom(SAtom::Eq(a, b)) => format!("{} = {}", term(a), term(b)),
+            SFormula::Atom(SAtom::Rel(r, ts)) => {
+                let args: Vec<String> = ts.iter().map(term).collect();
+                format!("{r}({})", args.join(","))
+            }
+            SFormula::Not(f) => format!("¬({})", f.display(vocab)),
+            SFormula::And(fs) => {
+                if fs.is_empty() {
+                    "true".into()
+                } else {
+                    fs.iter()
+                        .map(|f| format!("({})", f.display(vocab)))
+                        .collect::<Vec<_>>()
+                        .join(" ∧ ")
+                }
+            }
+            SFormula::Or(fs) => {
+                if fs.is_empty() {
+                    "false".into()
+                } else {
+                    fs.iter()
+                        .map(|f| format!("({})", f.display(vocab)))
+                        .collect::<Vec<_>>()
+                        .join(" ∨ ")
+                }
+            }
+            SFormula::Exists(x, f) => format!("∃{x} ({})", f.display(vocab)),
+            SFormula::Forall(x, f) => format!("∀{x} ({})", f.display(vocab)),
+        }
+    }
+
+    /// Syntactic size (the `|ξ|` of Definition 3.1).
+    pub fn size(&self) -> usize {
+        match self {
+            SFormula::True | SFormula::False | SFormula::Atom(_) => 1,
+            SFormula::Not(f) => 1 + f.size(),
+            SFormula::And(fs) | SFormula::Or(fs) => {
+                1 + fs.iter().map(SFormula::size).sum::<usize>()
+            }
+            SFormula::Exists(_, f) | SFormula::Forall(_, f) => 1 + f.size(),
+        }
+    }
+}
+
+/// The interpretation of attribute constants at the current node: a dense
+/// map `AttrId → Value` (missing attributes read `⊥`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttrEnv {
+    vals: Vec<Value>,
+}
+
+impl AttrEnv {
+    /// The attribute environment of node `u` in `tree`.
+    pub fn of(tree: &Tree, u: NodeId) -> Self {
+        AttrEnv {
+            vals: (0..tree.attr_columns() as u16)
+                .map(|a| tree.attr(u, AttrId(a)))
+                .collect(),
+        }
+    }
+
+    /// An environment from explicit pairs (testing convenience).
+    pub fn from_pairs(pairs: &[(AttrId, Value)]) -> Self {
+        let mut vals = Vec::new();
+        for &(a, v) in pairs {
+            let i = a.0 as usize;
+            if i >= vals.len() {
+                vals.resize(i + 1, Value::BOT);
+            }
+            vals[i] = v;
+        }
+        AttrEnv { vals }
+    }
+
+    /// The value of attribute `a` (`⊥` when unset).
+    #[inline]
+    pub fn get(&self, a: AttrId) -> Value {
+        self.vals.get(a.0 as usize).copied().unwrap_or(Value::BOT)
+    }
+
+    /// Every value in the environment (they join the active domain).
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        self.vals.iter().copied()
+    }
+}
+
+fn active_domain(store: &Store, env: &AttrEnv, formula: &SFormula) -> Vec<Value> {
+    let mut dom = store.active_domain();
+    dom.extend(formula.constants());
+    for a in formula.attrs() {
+        dom.push(env.get(a));
+    }
+    dom.sort_unstable();
+    dom.dedup();
+    dom
+}
+
+/// A variable assignment for store formulas.
+#[derive(Debug, Clone, Default)]
+struct SAsg {
+    slots: Vec<Option<Value>>,
+}
+
+impl SAsg {
+    fn get(&self, v: Var) -> Option<Value> {
+        self.slots.get(v.0 as usize).copied().flatten()
+    }
+
+    fn set(&mut self, v: Var, d: Value) {
+        let i = v.0 as usize;
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, None);
+        }
+        self.slots[i] = Some(d);
+    }
+
+    fn unset(&mut self, v: Var) {
+        if let Some(s) = self.slots.get_mut(v.0 as usize) {
+            *s = None;
+        }
+    }
+}
+
+fn term_value(t: &STerm, env: &AttrEnv, asg: &SAsg) -> Value {
+    match t {
+        STerm::Var(v) => asg
+            .get(*v)
+            .unwrap_or_else(|| panic!("unbound store variable {v}")),
+        STerm::Attr(a) => env.get(*a),
+        STerm::Const(d) => *d,
+    }
+}
+
+fn eval_inner(
+    store: &Store,
+    env: &AttrEnv,
+    dom: &[Value],
+    formula: &SFormula,
+    asg: &mut SAsg,
+) -> bool {
+    match formula {
+        SFormula::True => true,
+        SFormula::False => false,
+        SFormula::Atom(SAtom::Eq(s, t)) => term_value(s, env, asg) == term_value(t, env, asg),
+        SFormula::Atom(SAtom::Rel(r, ts)) => {
+            let tuple: Vec<Value> = ts.iter().map(|t| term_value(t, env, asg)).collect();
+            store.get(*r).contains(&tuple)
+        }
+        SFormula::Not(f) => !eval_inner(store, env, dom, f, asg),
+        SFormula::And(fs) => fs.iter().all(|f| eval_inner(store, env, dom, f, asg)),
+        SFormula::Or(fs) => fs.iter().any(|f| eval_inner(store, env, dom, f, asg)),
+        SFormula::Exists(v, f) => {
+            let saved = asg.get(*v);
+            let mut found = false;
+            for &d in dom {
+                asg.set(*v, d);
+                if eval_inner(store, env, dom, f, asg) {
+                    found = true;
+                    break;
+                }
+            }
+            match saved {
+                Some(d) => asg.set(*v, d),
+                None => asg.unset(*v),
+            }
+            found
+        }
+        SFormula::Forall(v, f) => {
+            let saved = asg.get(*v);
+            let mut all = true;
+            for &d in dom {
+                asg.set(*v, d);
+                if !eval_inner(store, env, dom, f, asg) {
+                    all = false;
+                    break;
+                }
+            }
+            match saved {
+                Some(d) => asg.set(*v, d),
+                None => asg.unset(*v),
+            }
+            all
+        }
+    }
+}
+
+/// Evaluate a store *sentence* (a guard `ξ`).
+///
+/// # Panics
+/// Panics if the formula has free variables.
+pub fn eval_guard(store: &Store, env: &AttrEnv, formula: &SFormula) -> bool {
+    assert!(
+        formula.free_vars().is_empty(),
+        "guards must be sentences; free vars: {:?}",
+        formula.free_vars()
+    );
+    let dom = active_domain(store, env, formula);
+    eval_inner(store, env, &dom, formula, &mut SAsg::default())
+}
+
+/// Evaluate a store query `ψ(x̄)`: the relation
+/// `{ d̄ | ψ(d̄) holds }` with columns ordered by ascending variable index.
+/// This is the register-update primitive (Definition 3.1, form 2).
+pub fn eval_query(store: &Store, env: &AttrEnv, formula: &SFormula) -> Relation {
+    let free = formula.free_vars();
+    let dom = active_domain(store, env, formula);
+    let mut out = Relation::empty(free.len());
+    let mut asg = SAsg::default();
+    let mut tuple = vec![Value::BOT; free.len()];
+    fill(
+        store, env, &dom, formula, &free, 0, &mut asg, &mut tuple, &mut out,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fill(
+    store: &Store,
+    env: &AttrEnv,
+    dom: &[Value],
+    formula: &SFormula,
+    free: &[Var],
+    i: usize,
+    asg: &mut SAsg,
+    tuple: &mut [Value],
+    out: &mut Relation,
+) {
+    if i == free.len() {
+        if eval_inner(store, env, dom, formula, asg) {
+            out.insert(tuple.to_vec());
+        }
+        return;
+    }
+    for &d in dom {
+        asg.set(free[i], d);
+        tuple[i] = d;
+        fill(store, env, dom, formula, free, i + 1, asg, tuple, out);
+    }
+    asg.unset(free[i]);
+}
+
+/// Ergonomic constructors for store formulas.
+pub mod sbuild {
+    use super::*;
+
+    /// Variable term.
+    pub fn v(n: u16) -> STerm {
+        STerm::Var(Var(n))
+    }
+
+    /// Attribute-constant term (`val_a(current)`).
+    pub fn attr(a: AttrId) -> STerm {
+        STerm::Attr(a)
+    }
+
+    /// Constant term.
+    pub fn cst(d: Value) -> STerm {
+        STerm::Const(d)
+    }
+
+    /// `X_i(t̄)`.
+    pub fn rel(i: RegId, ts: impl IntoIterator<Item = STerm>) -> SFormula {
+        SFormula::Atom(SAtom::Rel(i, ts.into_iter().collect()))
+    }
+
+    /// `s = t`.
+    pub fn eq(s: STerm, t: STerm) -> SFormula {
+        SFormula::Atom(SAtom::Eq(s, t))
+    }
+
+    /// Negation.
+    pub fn not(f: SFormula) -> SFormula {
+        SFormula::Not(Box::new(f))
+    }
+
+    /// Conjunction.
+    pub fn and(fs: impl IntoIterator<Item = SFormula>) -> SFormula {
+        SFormula::And(fs.into_iter().collect())
+    }
+
+    /// Disjunction.
+    pub fn or(fs: impl IntoIterator<Item = SFormula>) -> SFormula {
+        SFormula::Or(fs.into_iter().collect())
+    }
+
+    /// Implication.
+    pub fn implies(a: SFormula, b: SFormula) -> SFormula {
+        or([not(a), b])
+    }
+
+    /// `∃x f`.
+    pub fn exists(x: Var, f: SFormula) -> SFormula {
+        SFormula::Exists(x, Box::new(f))
+    }
+
+    /// `∀x f`.
+    pub fn forall(x: Var, f: SFormula) -> SFormula {
+        SFormula::Forall(x, Box::new(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sbuild::*;
+    use super::*;
+    use crate::fo::Var;
+
+    fn vals(vocab: &mut Vocab, ns: &[i64]) -> Vec<Value> {
+        ns.iter().map(|&n| vocab.val_int(n)).collect()
+    }
+
+    #[test]
+    fn relation_basics() {
+        let mut vocab = Vocab::new();
+        let d = vals(&mut vocab, &[1, 2, 3]);
+        let mut r = Relation::empty(2);
+        r.insert(vec![d[0], d[1]]);
+        r.insert(vec![d[0], d[1]]); // dedup
+        r.insert(vec![d[1], d[2]]);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[d[0], d[1]]));
+        assert!(!r.contains(&[d[1], d[0]]));
+        assert!(!r.contains(&[d[0]]));
+        let s = Relation::singleton(d[2]);
+        assert_eq!(s.as_singleton(), Some(d[2]));
+        assert_eq!(r.as_singleton(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn relation_rejects_bad_arity() {
+        let mut vocab = Vocab::new();
+        let d = vals(&mut vocab, &[1]);
+        let mut r = Relation::empty(2);
+        r.insert(vec![d[0]]);
+    }
+
+    #[test]
+    fn union_accumulates() {
+        let mut vocab = Vocab::new();
+        let d = vals(&mut vocab, &[1, 2]);
+        let mut a = Relation::singleton(d[0]);
+        let b = Relation::singleton(d[1]);
+        a.union_with(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn store_active_domain() {
+        let mut vocab = Vocab::new();
+        let d = vals(&mut vocab, &[5, 6]);
+        let mut st = Store::with_arities(&[1, 2]);
+        st.set(RegId(0), Relation::singleton(d[0]));
+        st.set(
+            RegId(1),
+            Relation::from_tuples(2, [vec![d[0], d[1]]]),
+        );
+        assert_eq!(st.active_domain(), {
+            let mut v = vec![d[0], d[1]];
+            v.sort_unstable();
+            v
+        });
+        assert_eq!(st.total_tuples(), 2);
+    }
+
+    #[test]
+    fn guard_singleton_check() {
+        // The paper's Example 3.2 guard:
+        //   ξ ≡ ∀x∀y (X₁(x) ∧ X₁(y) → x = y)  — "X₁ is (at most) a singleton".
+        let mut vocab = Vocab::new();
+        let d = vals(&mut vocab, &[1, 2]);
+        let x = Var(0);
+        let y = Var(1);
+        let xi = forall(
+            x,
+            forall(
+                y,
+                implies(
+                    and([rel(RegId(0), [v(0)]), rel(RegId(0), [v(1)])]),
+                    eq(v(0), v(1)),
+                ),
+            ),
+        );
+        let env = AttrEnv::default();
+        let mut st = Store::with_arities(&[1]);
+        assert!(eval_guard(&st, &env, &xi)); // empty: vacuously true
+        st.set(RegId(0), Relation::singleton(d[0]));
+        assert!(eval_guard(&st, &env, &xi));
+        st.set(
+            RegId(0),
+            Relation::from_tuples(1, [vec![d[0]], vec![d[1]]]),
+        );
+        assert!(!eval_guard(&st, &env, &xi));
+    }
+
+    #[test]
+    fn query_computes_relation() {
+        // ψ(x) = X₁(x) ∧ ¬(x = d₁): filter out a constant.
+        let mut vocab = Vocab::new();
+        let d = vals(&mut vocab, &[1, 2, 3]);
+        let mut st = Store::with_arities(&[1]);
+        st.set(
+            RegId(0),
+            Relation::from_tuples(1, d.iter().map(|&x| vec![x])),
+        );
+        let psi = and([rel(RegId(0), [v(0)]), not(eq(v(0), cst(d[0])))]);
+        let env = AttrEnv::default();
+        let r = eval_query(&st, &env, &psi);
+        assert_eq!(r.len(), 2);
+        assert!(!r.contains(&[d[0]]));
+    }
+
+    #[test]
+    fn attr_constant_reads_current_node() {
+        // ψ(x) = (x = a): the singleton holding the current a-attribute —
+        // the paper's "x = a … defines the set containing the value of the
+        // a attribute of the current node" (Example 3.2, rules 5 and 6).
+        let mut vocab = Vocab::new();
+        let a = vocab.attr("a");
+        let d7 = vocab.val_int(7);
+        let env = AttrEnv::from_pairs(&[(a, d7)]);
+        let st = Store::with_arities(&[1]);
+        let psi = eq(v(0), attr(a));
+        let r = eval_query(&st, &env, &psi);
+        assert_eq!(r.as_singleton(), Some(d7));
+    }
+
+    #[test]
+    fn quantifiers_range_over_active_domain_only() {
+        // ∃x ¬(x = d₁) is false when the active domain is exactly {d₁}.
+        let mut vocab = Vocab::new();
+        let d = vals(&mut vocab, &[1, 2]);
+        let mut st = Store::with_arities(&[1]);
+        st.set(RegId(0), Relation::singleton(d[0]));
+        let env = AttrEnv::default();
+        let f = exists(Var(0), not(eq(v(0), cst(d[0]))));
+        assert!(!eval_guard(&st, &env, &f));
+        // Adding d₂ to the store makes it true.
+        st.set(
+            RegId(0),
+            Relation::from_tuples(1, [vec![d[0]], vec![d[1]]]),
+        );
+        assert!(eval_guard(&st, &env, &f));
+    }
+
+    #[test]
+    fn query_with_two_free_vars_orders_columns() {
+        // ψ(x0, x1) = X₁(x0, x1): copies the register.
+        let mut vocab = Vocab::new();
+        let d = vals(&mut vocab, &[1, 2]);
+        let mut st = Store::with_arities(&[2]);
+        st.set(RegId(0), Relation::from_tuples(2, [vec![d[0], d[1]]]));
+        let env = AttrEnv::default();
+        let psi = rel(RegId(0), [v(0), v(1)]);
+        let r = eval_query(&st, &env, &psi);
+        assert!(r.contains(&[d[0], d[1]]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn formula_introspection() {
+        let mut vocab = Vocab::new();
+        let a = vocab.attr("a");
+        let d = vocab.val_int(1);
+        let f = exists(
+            Var(0),
+            and([rel(RegId(1), [v(0), attr(a)]), eq(v(1), cst(d))]),
+        );
+        assert_eq!(f.free_vars(), vec![Var(1)]);
+        assert_eq!(f.constants(), vec![d]);
+        assert_eq!(f.attrs(), vec![a]);
+        assert_eq!(f.registers(), vec![RegId(1)]);
+        assert!(!f.is_quantifier_free());
+        assert!(f.size() >= 4);
+    }
+
+    #[test]
+    fn display_renders_readably() {
+        let mut vocab = Vocab::new();
+        let a = vocab.attr("a");
+        let d = vocab.val_int(3);
+        let f = forall(
+            Var(0),
+            implies(rel(RegId(0), [v(0)]), or([eq(v(0), cst(d)), eq(v(0), attr(a))])),
+        );
+        let shown = f.display(&vocab);
+        assert!(shown.contains("∀x0"), "{shown}");
+        assert!(shown.contains("X1(x0)"), "{shown}");
+        assert!(shown.contains("= 3"), "{shown}");
+        assert!(shown.contains("= a"), "{shown}");
+    }
+
+    #[test]
+    fn empty_domain_queries() {
+        // With an empty store and no constants, queries over free variables
+        // return the empty relation and ∀ is vacuously true.
+        let st = Store::with_arities(&[1]);
+        let env = AttrEnv::default();
+        let psi = eq(v(0), v(0));
+        let r = eval_query(&st, &env, &psi);
+        assert!(r.is_empty());
+        assert!(eval_guard(&st, &env, &forall(Var(0), SFormula::False)));
+    }
+}

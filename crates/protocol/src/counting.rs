@@ -1,0 +1,188 @@
+//! The counting argument of Lemma 4.6 and Theorem 4.1.
+//!
+//! The proof is pure pigeonhole: on inputs over a finite `D`, any
+//! `N`-protocol produces dialogues over an alphabet of size at most
+//! `exp₃(p(N + |D|))`, so there are fewer than
+//! `exp₃(p(N+|D|)+1)^{exp₃(p(N+|D|)+1)}`-ish possible dialogues — a tower
+//! of height 4 in `|D|` — while the number of `m`-hypersets over `D` is
+//! `exp_m(|D|)`, a tower of height `m`. For `m > 6` (generously: any
+//! `m` exceeding the dialogue tower height) and `|D|` large enough there
+//! are two hypersets `f ≠ g` with identical dialogues on `f#f` and
+//! `g#g`, hence identical (wrong) verdicts on the crossed inputs.
+//!
+//! This module provides the tower arithmetic, the count comparisons
+//! reported in experiment E9, and a concrete collision finder used to
+//! demonstrate the pigeonhole on toy instances.
+
+use std::collections::HashMap;
+
+use crate::protocol::Msg;
+
+/// `exp_k(n)`: `exp_0(n) = n`, `exp_{i+1}(n) = 2^{exp_i(n)}`. `None` on
+/// `u128` overflow (the value still exists — it is just astronomically
+/// large; render with [`tower_display`]).
+pub fn exp_tower(k: u32, n: u128) -> Option<u128> {
+    let mut v = n;
+    for _ in 0..k {
+        if v >= 128 {
+            return None;
+        }
+        v = 1u128.checked_shl(v as u32)?;
+    }
+    Some(v)
+}
+
+/// Human-readable tower value.
+pub fn tower_display(k: u32, n: u128) -> String {
+    match exp_tower(k, n) {
+        Some(v) => v.to_string(),
+        None => format!("exp_{k}({n}) (> 2^127)"),
+    }
+}
+
+/// Number of `m`-hypersets over a domain of size `d`: `exp_m(d)`
+/// (each level is a powerset).
+pub fn hyperset_count(m: u32, d: u128) -> Option<u128> {
+    exp_tower(m, d)
+}
+
+/// Upper bound on the number of complete dialogues for an alphabet of
+/// `delta` messages and at most `2·delta` rounds: `(delta + 1)^(2·delta)`
+/// (each round sends one of `delta` messages or nothing).
+pub fn dialogue_count_bound(delta: u128) -> Option<u128> {
+    let base = delta.checked_add(1)?;
+    let mut acc: u128 = 1;
+    let rounds = delta.checked_mul(2)?;
+    if rounds > 256 {
+        return None; // would certainly overflow for base ≥ 2
+    }
+    for _ in 0..rounds {
+        acc = acc.checked_mul(base)?;
+    }
+    Some(acc)
+}
+
+/// Find two keys with identical dialogues — the pigeonhole collision at
+/// the heart of Lemma 4.6. Returns the first colliding pair, if any.
+pub fn find_dialogue_collision<K: Clone + Eq>(
+    runs: impl IntoIterator<Item = (K, Vec<Msg>)>,
+) -> Option<(K, K)> {
+    let mut seen: HashMap<Vec<Msg>, K> = HashMap::new();
+    for (k, d) in runs {
+        if let Some(prev) = seen.get(&d) {
+            if *prev != k {
+                return Some((prev.clone(), k));
+            }
+        } else {
+            seen.insert(d, k);
+        }
+    }
+    None
+}
+
+/// One row of the E9 table: hyperset supply vs. dialogue capacity.
+#[derive(Debug, Clone)]
+pub struct CountRow {
+    /// Hyperset level `m`.
+    pub m: u32,
+    /// Domain size `|D|`.
+    pub d: u128,
+    /// `exp_m(|D|)` rendered.
+    pub hypersets: String,
+    /// Dialogue bound for a toy alphabet `|Δ| = p(N + |D|)` with
+    /// `p(x) = x` and `N = 4` (illustrative; the real bound towers).
+    pub dialogues: String,
+    /// Whether the hyperset supply **provably** exceeds the dialogue
+    /// capacity at these toy parameters (both values finite).
+    pub pigeonhole: Option<bool>,
+}
+
+/// Build the E9 comparison table.
+pub fn counting_table(ms: &[u32], ds: &[u128], n_param: u128) -> Vec<CountRow> {
+    let mut rows = Vec::new();
+    for &m in ms {
+        for &d in ds {
+            let h = hyperset_count(m, d);
+            let delta = n_param + d;
+            let dia = dialogue_count_bound(delta);
+            rows.push(CountRow {
+                m,
+                d,
+                hypersets: tower_display(m, d),
+                dialogues: match dia {
+                    Some(v) => v.to_string(),
+                    None => format!("(> 2^127) for |Δ| = {delta}"),
+                },
+                pigeonhole: match (h, dia) {
+                    (Some(h), Some(dd)) => Some(h > dd),
+                    _ => None,
+                },
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tower_values() {
+        assert_eq!(exp_tower(0, 5), Some(5));
+        assert_eq!(exp_tower(1, 5), Some(32));
+        assert_eq!(exp_tower(2, 3), Some(256));
+        assert_eq!(exp_tower(3, 2), Some(65536));
+        assert_eq!(exp_tower(4, 2), None); // 2^65536
+        // exp_2(10) = 2^1024: overflow.
+        assert_eq!(exp_tower(2, 10), None);
+        assert!(tower_display(2, 10).contains("exp_2(10)"));
+    }
+
+    #[test]
+    fn hyperset_counts_grow_as_towers() {
+        // 1-hypersets over d elements: 2^d subsets.
+        assert_eq!(hyperset_count(1, 4), Some(16));
+        // 2-hypersets: 2^16 families.
+        assert_eq!(hyperset_count(2, 4), Some(65536));
+        assert_eq!(hyperset_count(3, 2), Some(65536));
+        assert_eq!(hyperset_count(4, 1), Some(65536));
+    }
+
+    #[test]
+    fn dialogue_bound_arithmetic() {
+        // delta = 1: ≤ 2 rounds over alphabet+silence of 2: 4.
+        assert_eq!(dialogue_count_bound(1), Some(4));
+        assert_eq!(dialogue_count_bound(2), Some(81)); // 3^4
+        assert!(dialogue_count_bound(1000).is_none());
+    }
+
+    #[test]
+    fn pigeonhole_kicks_in_for_towers() {
+        // With the toy parameters, higher m eventually out-towers any
+        // fixed-height dialogue bound: exp_3(2) = 65536 > 3^4 = 81.
+        let rows = counting_table(&[1, 2, 3], &[2], 0);
+        let wins: Vec<&CountRow> = rows
+            .iter()
+            .filter(|r| r.pigeonhole == Some(true))
+            .collect();
+        assert!(!wins.is_empty(), "{rows:?}");
+        // And the supply is monotone in m where finite.
+        let h2 = hyperset_count(2, 3).unwrap();
+        let h3 = hyperset_count(3, 3);
+        assert!(h3.is_none() || h3.unwrap() > h2);
+    }
+
+    #[test]
+    fn collision_finder() {
+        use crate::protocol::Msg;
+        let runs = vec![
+            (1, vec![Msg::Accept]),
+            (2, vec![Msg::Reject]),
+            (3, vec![Msg::Accept]),
+        ];
+        assert_eq!(find_dialogue_collision(runs), Some((1, 3)));
+        let unique = vec![(1, vec![Msg::Accept]), (2, vec![Msg::Reject])];
+        assert_eq!(find_dialogue_collision(unique), None);
+    }
+}

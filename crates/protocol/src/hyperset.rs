@@ -1,0 +1,389 @@
+//! Hypersets and their string encodings (Section 4).
+//!
+//! A 1-hyperset over `D` is a finite subset of `D`; an `i`-hyperset is a
+//! finite set of `(i−1)`-hypersets. Encodings follow the paper: fixing
+//! `j ≥` all levels, a string `1 d₁ d₂ … dₙ` encodes the 1-hyperset
+//! `{d₁,…,dₙ}`, and for encodings `w₁,…,wₙ` of `(i−1)`-hypersets,
+//! `i w₁ i w₂ … i wₙ` encodes the `i`-hyperset `{H(w₁),…,H(wₙ)}`. The
+//! markers `1,…,j` are reserved values excluded from the data alphabet
+//! (`D_j = D ∖ {1,…,j}`).
+//!
+//! Encodings are deliberately **non-canonical** — order and duplicates
+//! don't change the denoted hyperset — which is what makes the language
+//! `L^m` (equality of denotations) non-trivial.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use twq_tree::{Value, Vocab};
+
+/// A hyperset of some level ≥ 1.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HyperSet {
+    /// Level 1: a finite set of data values.
+    Values(BTreeSet<Value>),
+    /// Level ≥ 2: a finite set of hypersets one level down.
+    Sets(BTreeSet<HyperSet>),
+}
+
+impl HyperSet {
+    /// The level of this hyperset. Empty `Sets` report the declared
+    /// minimum 2; mixed-level members are rejected by [`HyperSet::sets`].
+    pub fn level(&self) -> usize {
+        match self {
+            HyperSet::Values(_) => 1,
+            HyperSet::Sets(s) => 1 + s.iter().map(HyperSet::level).max().unwrap_or(1),
+        }
+    }
+
+    /// Build a level-1 hyperset.
+    pub fn values(vals: impl IntoIterator<Item = Value>) -> HyperSet {
+        HyperSet::Values(vals.into_iter().collect())
+    }
+
+    /// Build a higher-level hyperset; all members must share a level.
+    ///
+    /// # Panics
+    /// Panics on mixed member levels.
+    pub fn sets(members: impl IntoIterator<Item = HyperSet>) -> HyperSet {
+        let set: BTreeSet<HyperSet> = members.into_iter().collect();
+        let mut levels = set.iter().map(HyperSet::level);
+        if let Some(first) = levels.next() {
+            assert!(
+                levels.all(|l| l == first),
+                "hyperset members must share a level"
+            );
+        }
+        HyperSet::Sets(set)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        match self {
+            HyperSet::Values(s) => s.len(),
+            HyperSet::Sets(s) => s.len(),
+        }
+    }
+
+    /// Whether the hyperset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The reserved marker values `1,…,j` (and the split symbol `#`).
+#[derive(Debug, Clone)]
+pub struct Markers {
+    marks: Vec<Value>,
+    hash: Value,
+}
+
+impl Markers {
+    /// Intern markers for levels `1..=max_level` plus `#`.
+    pub fn new(max_level: usize, vocab: &mut Vocab) -> Markers {
+        Markers {
+            marks: (1..=max_level as i64).map(|i| vocab.val_int(i)).collect(),
+            hash: vocab.val_str("#"),
+        }
+    }
+
+    /// The marker for level `i` (1-based).
+    pub fn level(&self, i: usize) -> Value {
+        self.marks[i - 1]
+    }
+
+    /// The split symbol `#`.
+    pub fn hash(&self) -> Value {
+        self.hash
+    }
+
+    /// Highest marker level available.
+    pub fn max_level(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Whether `v` is a marker or the split symbol (i.e. not data).
+    pub fn is_reserved(&self, v: Value) -> bool {
+        v == self.hash || self.marks.contains(&v)
+    }
+}
+
+/// Canonically encode a hyperset (members in sorted order, no duplicates).
+///
+/// # Panics
+/// Panics if a data value collides with a reserved marker or the level
+/// exceeds the marker supply.
+pub fn encode(h: &HyperSet, markers: &Markers) -> Vec<Value> {
+    let mut out = Vec::new();
+    enc(h, markers, &mut out);
+    out
+}
+
+fn enc(h: &HyperSet, markers: &Markers, out: &mut Vec<Value>) {
+    let level = h.level();
+    assert!(
+        level <= markers.max_level(),
+        "level {level} exceeds marker supply"
+    );
+    match h {
+        HyperSet::Values(vals) => {
+            out.push(markers.level(1));
+            for &v in vals {
+                assert!(!markers.is_reserved(v), "data value collides with marker");
+                out.push(v);
+            }
+        }
+        HyperSet::Sets(members) => {
+            if members.is_empty() {
+                // An empty i-hyperset encodes as the bare marker `i`:
+                // `i` followed by no sub-encodings.
+                out.push(markers.level(level));
+                return;
+            }
+            for m in members {
+                out.push(markers.level(level));
+                enc(m, markers, out);
+            }
+        }
+    }
+}
+
+/// Re-encode with shuffled member order and optional duplicates — a
+/// different string denoting the **same** hyperset, used to exercise the
+/// non-canonicality of encodings.
+pub fn encode_shuffled(h: &HyperSet, markers: &Markers, seed: u64) -> Vec<Value> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    enc_shuffled(h, markers, &mut rng, &mut out);
+    out
+}
+
+fn enc_shuffled(h: &HyperSet, markers: &Markers, rng: &mut StdRng, out: &mut Vec<Value>) {
+    match h {
+        HyperSet::Values(vals) => {
+            out.push(markers.level(1));
+            let mut vs: Vec<Value> = vals.iter().copied().collect();
+            // Duplicate a random element sometimes, then shuffle.
+            if !vs.is_empty() && rng.gen_bool(0.5) {
+                let dup = vs[rng.gen_range(0..vs.len())];
+                vs.push(dup);
+            }
+            for i in (1..vs.len()).rev() {
+                vs.swap(i, rng.gen_range(0..=i));
+            }
+            out.extend(vs);
+        }
+        HyperSet::Sets(members) => {
+            let level = h.level();
+            if members.is_empty() {
+                out.push(markers.level(level));
+                return;
+            }
+            let mut ms: Vec<&HyperSet> = members.iter().collect();
+            if rng.gen_bool(0.3) {
+                let dup = ms[rng.gen_range(0..ms.len())];
+                ms.push(dup);
+            }
+            for i in (1..ms.len()).rev() {
+                ms.swap(i, rng.gen_range(0..=i));
+            }
+            for m in ms {
+                out.push(markers.level(level));
+                enc_shuffled(m, markers, rng, out);
+            }
+        }
+    }
+}
+
+/// Decode a level-`level` hyperset encoding. Returns `None` on malformed
+/// input (wrong leading marker, reserved value in data position, etc.).
+pub fn decode(level: usize, s: &[Value], markers: &Markers) -> Option<HyperSet> {
+    if s.first() != Some(&markers.level(level)) {
+        return None;
+    }
+    if level == 1 {
+        let vals: BTreeSet<Value> = s[1..].iter().copied().collect();
+        if vals.iter().any(|&v| markers.is_reserved(v)) {
+            return None;
+        }
+        return Some(HyperSet::Values(vals));
+    }
+    // Split at top-level occurrences of the level marker.
+    let mark = markers.level(level);
+    let mut members: BTreeSet<HyperSet> = BTreeSet::new();
+    let mut starts: Vec<usize> = s
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &v)| (v == mark).then_some(i))
+        .collect();
+    starts.push(s.len());
+    // The bare marker encodes the empty hyperset.
+    if starts.len() == 2 && starts[0] + 1 == starts[1] {
+        return Some(HyperSet::Sets(BTreeSet::new()));
+    }
+    for w in starts.windows(2) {
+        let seg = &s[w[0] + 1..w[1]];
+        members.insert(decode(level - 1, seg, markers)?);
+    }
+    Some(HyperSet::Sets(members))
+}
+
+/// Configuration for [`random_hyperset`].
+#[derive(Debug, Clone)]
+pub struct HyperGenConfig {
+    /// The level `m`.
+    pub level: usize,
+    /// Data values to draw level-1 members from.
+    pub data: Vec<Value>,
+    /// Maximum members per set.
+    pub max_members: usize,
+}
+
+/// Generate a random hyperset of the configured level.
+pub fn random_hyperset(cfg: &HyperGenConfig, seed: u64) -> HyperSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen(cfg.level, cfg, &mut rng)
+}
+
+fn gen(level: usize, cfg: &HyperGenConfig, rng: &mut StdRng) -> HyperSet {
+    if level == 1 {
+        let n = rng.gen_range(0..=cfg.max_members.min(cfg.data.len()));
+        let mut vals = BTreeSet::new();
+        while vals.len() < n {
+            vals.insert(cfg.data[rng.gen_range(0..cfg.data.len())]);
+        }
+        HyperSet::Values(vals)
+    } else {
+        let n = rng.gen_range(0..=cfg.max_members);
+        let mut members = BTreeSet::new();
+        for _ in 0..n {
+            members.insert(gen(level - 1, cfg, rng));
+        }
+        HyperSet::Sets(members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Vocab, Markers, Vec<Value>) {
+        let mut v = Vocab::new();
+        let markers = Markers::new(3, &mut v);
+        let data: Vec<Value> = (100..105).map(|i| v.val_int(i)).collect();
+        (v, markers, data)
+    }
+
+    #[test]
+    fn level_computation() {
+        let (_, _, data) = setup();
+        let h1 = HyperSet::values(data.iter().copied().take(2));
+        assert_eq!(h1.level(), 1);
+        let h2 = HyperSet::sets([h1.clone()]);
+        assert_eq!(h2.level(), 2);
+        let h3 = HyperSet::sets([h2.clone()]);
+        assert_eq!(h3.level(), 3);
+        assert_eq!(h1.len(), 2);
+        assert!(!h1.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "share a level")]
+    fn mixed_levels_rejected() {
+        let (_, _, data) = setup();
+        let h1 = HyperSet::values([data[0]]);
+        let h2 = HyperSet::sets([h1.clone()]);
+        HyperSet::sets([h1, h2]);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_level1() {
+        let (_, markers, data) = setup();
+        let h = HyperSet::values([data[0], data[2]]);
+        let enc = encode(&h, &markers);
+        assert_eq!(enc[0], markers.level(1));
+        assert_eq!(decode(1, &enc, &markers), Some(h));
+    }
+
+    #[test]
+    fn encode_decode_round_trip_deep() {
+        let (_, markers, data) = setup();
+        let h = HyperSet::sets([
+            HyperSet::sets([
+                HyperSet::values([data[0]]),
+                HyperSet::values([data[1], data[2]]),
+            ]),
+            HyperSet::sets([HyperSet::values([])]),
+        ]);
+        assert_eq!(h.level(), 3);
+        let enc = encode(&h, &markers);
+        assert_eq!(decode(3, &enc, &markers), Some(h));
+    }
+
+    #[test]
+    fn empty_hypersets() {
+        let (_, markers, _) = setup();
+        let e1 = HyperSet::values([]);
+        let enc1 = encode(&e1, &markers);
+        assert_eq!(enc1.len(), 1);
+        assert_eq!(decode(1, &enc1, &markers), Some(e1));
+        let e2 = HyperSet::Sets(BTreeSet::new());
+        let enc2 = encode(&e2, &markers);
+        assert_eq!(decode(2, &enc2, &markers), Some(e2));
+    }
+
+    #[test]
+    fn shuffled_encodings_decode_to_same_hyperset() {
+        let (_, markers, data) = setup();
+        let cfg = HyperGenConfig {
+            level: 2,
+            data,
+            max_members: 3,
+        };
+        for seed in 0..20 {
+            let h = random_hyperset(&cfg, seed);
+            for shuffle_seed in 0..3 {
+                let enc = encode_shuffled(&h, &markers, shuffle_seed);
+                assert_eq!(
+                    decode(2, &enc, &markers),
+                    Some(h.clone()),
+                    "seed {seed}/{shuffle_seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        let (mut v, markers, data) = setup();
+        // Wrong leading marker.
+        assert_eq!(decode(2, &[markers.level(1), data[0]], &markers), None);
+        // Marker value in data position.
+        let bad = vec![markers.level(1), markers.hash()];
+        assert_eq!(decode(1, &bad, &markers), None);
+        // Garbage sub-encoding.
+        let junk = v.val_int(999);
+        let bad2 = vec![markers.level(2), junk];
+        assert_eq!(decode(2, &bad2, &markers), None);
+    }
+
+    #[test]
+    fn random_hypersets_have_requested_level() {
+        let (_, _, data) = setup();
+        for level in 1..=3 {
+            let cfg = HyperGenConfig {
+                level,
+                data: data.clone(),
+                max_members: 3,
+            };
+            for seed in 0..10 {
+                let h = random_hyperset(&cfg, seed);
+                // Degenerate nestings can report lower levels (an empty
+                // set of sets has no member to witness depth), but never
+                // higher.
+                assert!(h.level() <= level, "seed {seed}");
+            }
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! The language `L^m` and its FO definability (Lemma 4.2).
+//!
+//! `L^m = { f#g | f, g encode m-hypersets over D_m ∖ {#} and H(f) = H(g) }`.
+//! Strings are represented as monadic attributed trees (Section 4's
+//! convention): position `i` carries the `i`-th symbol in its
+//! `a`-attribute, and the descendant relation `≺` is the position order.
+//!
+//! [`lm_sentence`] constructs, for any `m`, an FO sentence expressing
+//! `H(f) = H(g)` **on well-formed split encodings**. (Lemma 4.2's sentence
+//! also pins down well-formedness; our workloads are well-formed by
+//! construction, so the equality core is the part under test.) The
+//! construction mirrors the recursive structure of hypersets:
+//!
+//! * a level-`i` *item* is a position carrying marker `i`;
+//! * its *extent* runs to the next marker of level ≥ `i` (or `#`/end);
+//! * two items are equal iff each sub-item of one has an equal sub-item
+//!   of the other, and conversely — mutual inclusion, exactly how set
+//!   equality unfolds;
+//! * at the base, extents are compared by value: every data value after a
+//!   level-1 marker occurs after the other.
+//!
+//! Formula size grows exponentially in `m` (each level doubles via the
+//! two inclusion directions) — matching the paper's observation that `L^m`
+//! is FO-definable for *each* `m`, not uniformly.
+
+use twq_logic::fo::{build as fb, Formula, Var};
+use twq_tree::generate::monadic_tree;
+use twq_tree::{AttrId, SymId, Tree, Value};
+
+use crate::hyperset::{decode, Markers};
+
+/// Split a string at its unique `#`; `None` when `#` is absent or
+/// duplicated.
+pub fn split(s: &[Value], hash: Value) -> Option<(&[Value], &[Value])> {
+    let mut it = s.iter().enumerate().filter(|(_, &v)| v == hash);
+    let (i, _) = it.next()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some((&s[..i], &s[i + 1..]))
+}
+
+/// Direct (reference) membership test for `L^m`.
+pub fn in_lm(m: usize, s: &[Value], markers: &Markers) -> bool {
+    let Some((f, g)) = split(s, markers.hash()) else {
+        return false;
+    };
+    match (decode(m, f, markers), decode(m, g, markers)) {
+        (Some(hf), Some(hg)) => hf == hg,
+        _ => false,
+    }
+}
+
+/// Build the full split string `f#g` as a monadic tree.
+pub fn split_string_tree(f: &[Value], g: &[Value], markers: &Markers, sym: SymId, attr: AttrId) -> Tree {
+    let mut s: Vec<Value> = f.to_vec();
+    s.push(markers.hash());
+    s.extend_from_slice(g);
+    monadic_tree(sym, attr, &s)
+}
+
+/// Fresh-variable dispenser for the sentence builder.
+struct Vars {
+    next: u16,
+}
+
+impl Vars {
+    fn fresh(&mut self) -> Var {
+        let v = Var(self.next);
+        self.next += 1;
+        v
+    }
+}
+
+struct LmBuilder<'a> {
+    m: usize,
+    attr: AttrId,
+    markers: &'a Markers,
+    vars: Vars,
+}
+
+impl LmBuilder<'_> {
+    /// `val_a(x) = marker_l`.
+    fn is_marker(&self, x: Var, l: usize) -> Formula {
+        fb::val_const(self.attr, x, self.markers.level(l))
+    }
+
+    /// `val_a(x) = #`.
+    fn is_hash(&self, x: Var) -> Formula {
+        fb::val_const(self.attr, x, self.markers.hash())
+    }
+
+    /// `x` is data: neither a marker (any level ≤ m) nor `#`.
+    fn is_data(&self, x: Var) -> Formula {
+        let mut parts = vec![fb::not(self.is_hash(x))];
+        for l in 1..=self.m {
+            parts.push(fb::not(self.is_marker(x, l)));
+        }
+        fb::and(parts)
+    }
+
+    /// A *stopper for level `j`*: a marker of level ≥ `j`, or `#`.
+    fn is_stop(&self, x: Var, j: usize) -> Formula {
+        let mut parts = vec![self.is_hash(x)];
+        for l in j..=self.m {
+            parts.push(self.is_marker(x, l));
+        }
+        fb::or(parts)
+    }
+
+    /// `u` lies in the extent of the item at `x` with stoppers of level
+    /// `j`: `x ≺ u`, `u` is not itself a stopper, and no stopper lies
+    /// strictly between.
+    fn in_extent(&mut self, x: Var, u: Var, j: usize) -> Formula {
+        let z = self.vars.fresh();
+        fb::and([
+            fb::desc(x, u),
+            fb::not(self.is_stop(u, j)),
+            fb::not(fb::exists(
+                z,
+                fb::and([fb::desc(x, z), fb::desc(z, u), self.is_stop(z, j)]),
+            )),
+        ])
+    }
+
+    /// Items at `x` and `y` (both level-`(i+1)` markers… or the virtual
+    /// whole-part roots at the top) denote equal `i`-hypersets. `i = 0`
+    /// compares data extents of level-1 markers.
+    fn cmp(&mut self, x: Var, y: Var, i: usize) -> Formula {
+        if i == 0 {
+            // ∀u ∈ ext₁(x), data(u) → ∃v ∈ ext₁(y): val u = val v; and sym.
+            let one_dir = |b: &mut Self, x: Var, y: Var| {
+                let u = b.vars.fresh();
+                let v = b.vars.fresh();
+                let u_in = b.in_extent(x, u, 1);
+                let v_in = b.in_extent(y, v, 1);
+                fb::forall(
+                    u,
+                    fb::implies(
+                        fb::and([u_in, b.is_data(u)]),
+                        fb::exists(
+                            v,
+                            fb::and([v_in, fb::val_eq(b.attr, u, b.attr, v)]),
+                        ),
+                    ),
+                )
+            };
+            let fwd = one_dir(self, x, y);
+            let bwd = one_dir(self, y, x);
+            return fb::and([fwd, bwd]);
+        }
+        // ∀u ∈ ext_{i+1}(x) with marker_i(u) → ∃v ∈ ext_{i+1}(y) with
+        // marker_i(v) ∧ cmp_{i-1}(u, v); and symmetrically.
+        let one_dir = |b: &mut Self, x: Var, y: Var| {
+            let u = b.vars.fresh();
+            let v = b.vars.fresh();
+            let u_in = b.in_extent(x, u, i + 1);
+            let v_in = b.in_extent(y, v, i + 1);
+            let sub = b.cmp(u, v, i - 1);
+            fb::forall(
+                u,
+                fb::implies(
+                    fb::and([u_in, b.is_marker(u, i)]),
+                    fb::exists(v, fb::and([v_in, b.is_marker(v, i), sub])),
+                ),
+            )
+        };
+        let fwd = one_dir(self, x, y);
+        let bwd = one_dir(self, y, x);
+        fb::and([fwd, bwd])
+    }
+
+    /// The top sentence: every level-`m` item before `#` has an equal item
+    /// after it, and conversely.
+    fn sentence(&mut self) -> Formula {
+        let m = self.m;
+        let one_dir = |b: &mut Self, swap: bool| {
+            let x = b.vars.fresh();
+            let y = b.vars.fresh();
+            let h1 = b.vars.fresh();
+            let h2 = b.vars.fresh();
+            // side(x) = x ≺ h (x before #) or h ≺ x.
+            let before = |b: &LmBuilder, p: Var, h: Var| {
+                fb::exists(h, fb::and([b.is_hash(h), fb::desc(p, h)]))
+            };
+            let after = |b: &LmBuilder, p: Var, h: Var| {
+                fb::exists(h, fb::and([b.is_hash(h), fb::desc(h, p)]))
+            };
+            let (x_side, y_side) = if swap {
+                (after(b, x, h1), before(b, y, h2))
+            } else {
+                (before(b, x, h1), after(b, y, h2))
+            };
+            let sub = b.cmp(x, y, m - 1);
+            fb::forall(
+                x,
+                fb::implies(
+                    fb::and([b.is_marker(x, m), x_side]),
+                    fb::exists(y, fb::and([b.is_marker(y, m), y_side, sub])),
+                ),
+            )
+        };
+        let fwd = one_dir(self, false);
+        let bwd = one_dir(self, true);
+        fb::and([fwd, bwd])
+    }
+}
+
+/// Construct the FO sentence defining `H(f) = H(g)` on well-formed split
+/// level-`m` encodings (the equality core of Lemma 4.2).
+pub fn lm_sentence(m: usize, attr: AttrId, markers: &Markers) -> Formula {
+    assert!(m >= 1 && m <= markers.max_level());
+    let mut b = LmBuilder {
+        m,
+        attr,
+        markers,
+        vars: Vars { next: 0 },
+    };
+    b.sentence()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperset::{
+        encode, encode_shuffled, random_hyperset, HyperGenConfig, HyperSet,
+    };
+    use twq_logic::eval_sentence;
+    use twq_tree::Vocab;
+
+    struct Setup {
+        vocab: Vocab,
+        markers: Markers,
+        data: Vec<Value>,
+        sym: SymId,
+        attr: AttrId,
+    }
+
+    fn setup() -> Setup {
+        let mut vocab = Vocab::new();
+        let markers = Markers::new(3, &mut vocab);
+        let data: Vec<Value> = (100..104).map(|i| vocab.val_int(i)).collect();
+        let sym = vocab.sym("s");
+        let attr = vocab.attr("a");
+        Setup {
+            vocab,
+            markers,
+            data,
+            sym,
+            attr,
+        }
+    }
+
+    #[test]
+    fn split_finds_unique_hash() {
+        let mut s = setup();
+        let h = s.markers.hash();
+        let d = s.data[0];
+        assert_eq!(split(&[d, h, d], h), Some((&[d][..], &[d][..])));
+        assert_eq!(split(&[d, d], h), None);
+        assert_eq!(split(&[h, d, h], h), None);
+        let _ = &mut s.vocab;
+    }
+
+    #[test]
+    fn in_lm_direct_semantics() {
+        let s = setup();
+        let h1 = HyperSet::values([s.data[0], s.data[1]]);
+        let h2 = HyperSet::values([s.data[0]]);
+        let same = {
+            let mut w = encode(&h1, &s.markers);
+            w.push(s.markers.hash());
+            w.extend(encode_shuffled(&h1, &s.markers, 7));
+            w
+        };
+        assert!(in_lm(1, &same, &s.markers));
+        let diff = {
+            let mut w = encode(&h1, &s.markers);
+            w.push(s.markers.hash());
+            w.extend(encode(&h2, &s.markers));
+            w
+        };
+        assert!(!in_lm(1, &diff, &s.markers));
+    }
+
+    fn check_agreement(m: usize, seeds: std::ops::Range<u64>, max_members: usize) {
+        let s = setup();
+        let phi = lm_sentence(m, s.attr, &s.markers);
+        let cfg = HyperGenConfig {
+            level: m,
+            data: s.data.clone(),
+            max_members,
+        };
+        let (mut pos, mut neg) = (0, 0);
+        for seed in seeds {
+            let h1 = random_hyperset(&cfg, seed);
+            let h2 = random_hyperset(&cfg, seed + 1000);
+            for (f, g) in [
+                // Equal pair via a shuffled re-encoding.
+                (
+                    encode(&h1, &s.markers),
+                    encode_shuffled(&h1, &s.markers, seed),
+                ),
+                // Independent pair (usually unequal).
+                (encode(&h1, &s.markers), encode(&h2, &s.markers)),
+            ] {
+                let t = split_string_tree(&f, &g, &s.markers, s.sym, s.attr);
+                let mut w = f.clone();
+                w.push(s.markers.hash());
+                w.extend(g.clone());
+                let expect = in_lm(m, &w, &s.markers);
+                let got = eval_sentence(&t, &phi);
+                assert_eq!(got, expect, "m={m} seed={seed}");
+                if expect {
+                    pos += 1;
+                } else {
+                    neg += 1;
+                }
+            }
+        }
+        assert!(pos > 0 && neg > 0, "m={m}: pos={pos} neg={neg}");
+    }
+
+    #[test]
+    fn lm_sentence_agrees_with_direct_m1() {
+        check_agreement(1, 0..12, 3);
+    }
+
+    #[test]
+    fn lm_sentence_agrees_with_direct_m2() {
+        check_agreement(2, 0..8, 2);
+    }
+
+    #[test]
+    fn lm_sentence_is_fo_definable_claim() {
+        // Lemma 4.2 bookkeeping: the sentence exists for every m and its
+        // size grows with m.
+        let s = setup();
+        let s1 = lm_sentence(1, s.attr, &s.markers).size();
+        let s2 = lm_sentence(2, s.attr, &s.markers).size();
+        let s3 = lm_sentence(3, s.attr, &s.markers).size();
+        assert!(s1 < s2 && s2 < s3, "{s1} {s2} {s3}");
+    }
+
+    #[test]
+    fn empty_hypersets_compare_equal() {
+        let s = setup();
+        let phi = lm_sentence(2, s.attr, &s.markers);
+        let e = HyperSet::Sets(Default::default());
+        let f = encode(&e, &s.markers);
+        let t = split_string_tree(&f, &f, &s.markers, s.sym, s.attr);
+        assert!(eval_sentence(&t, &phi));
+    }
+}

@@ -1,0 +1,24 @@
+//! # twq-sim — the constructive simulations of Section 7
+//!
+//! Executable versions of the proof constructions in Neven (PODS 2002):
+//!
+//! * [`logspace`] — Theorem 7.1(1): `LOGSPACE^X` xTMs compiled to `TW`
+//!   pebble walkers (tape content as a pre-order position, pebble
+//!   arithmetic by walking);
+//! * [`pspace`] — Theorem 7.1(3): `PSPACE^X` xTMs compiled to `tw^r`
+//!   programs (tape encoded in the relational store, FO step function);
+//! * [`noattr`] — Proposition 7.2: when `A = ∅`, register/store contents
+//!   are foldable into states — the `tw^r → tw` product construction;
+//! * [`alternation`] — the alternation direction of Theorem 7.1(2):
+//!   tape-free alternating xTMs compiled to `tw^l`, branch verdicts
+//!   returned through `atp` subcomputations.
+
+pub mod alternation;
+pub mod logspace;
+pub mod noattr;
+pub mod pspace;
+
+pub use alternation::{compile_alternating, AltCompileError, AltProgram};
+pub use logspace::{compile_logspace, CompileError, PebbleProgram};
+pub use noattr::{delta_count_mod3, eliminate_store, ElimError};
+pub use pspace::{compile_pspace, StoreProgram};

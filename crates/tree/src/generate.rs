@@ -1,0 +1,235 @@
+//! Workload generators: random attributed trees, monadic trees (strings),
+//! and shaped trees used throughout the test suites and benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tree::{Label, NodeId, Tree};
+use crate::vocab::{AttrId, SymId, Value, Vocab};
+
+/// Configuration for [`random_tree`].
+#[derive(Debug, Clone)]
+pub struct TreeGenConfig {
+    /// Total number of nodes to generate (≥ 1).
+    pub nodes: usize,
+    /// Maximum number of children per node (≥ 1).
+    pub max_children: usize,
+    /// Element symbols to draw labels from (must be non-empty).
+    pub symbols: Vec<SymId>,
+    /// Attributes to populate, each with the value pool to draw from.
+    /// Attributes with an empty pool keep `⊥` everywhere.
+    pub attributes: Vec<(AttrId, Vec<Value>)>,
+}
+
+impl TreeGenConfig {
+    /// A convenient small default over alphabet `{σ, δ}` with one attribute
+    /// `a` drawing from `values` — the setting of Example 3.2.
+    pub fn example32(vocab: &mut Vocab, nodes: usize, values: &[i64]) -> Self {
+        let sigma = vocab.sym("sigma");
+        let delta = vocab.sym("delta");
+        let a = vocab.attr("a");
+        let pool = values.iter().map(|&i| vocab.val_int(i)).collect();
+        TreeGenConfig {
+            nodes,
+            max_children: 4,
+            symbols: vec![sigma, delta],
+            attributes: vec![(a, pool)],
+        }
+    }
+}
+
+/// Generate a random attributed tree with exactly `cfg.nodes` nodes.
+///
+/// Shape: nodes are attached one at a time under a parent chosen uniformly
+/// among nodes that still have capacity (fewer than `max_children`
+/// children), yielding a mix of deep and bushy regions.
+pub fn random_tree(cfg: &TreeGenConfig, seed: u64) -> Tree {
+    assert!(cfg.nodes >= 1, "trees are never empty");
+    assert!(cfg.max_children >= 1);
+    assert!(!cfg.symbols.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pick_label = |rng: &mut StdRng| {
+        let i = rng.gen_range(0..cfg.symbols.len());
+        Label::Sym(cfg.symbols[i])
+    };
+    let mut tree = Tree::new(pick_label(&mut rng));
+    let mut open: Vec<NodeId> = vec![tree.root()];
+    while tree.len() < cfg.nodes {
+        let slot = rng.gen_range(0..open.len());
+        let parent = open[slot];
+        let label = pick_label(&mut rng);
+        let child = tree.add_child(parent, label);
+        open.push(child);
+        if tree.child_count(parent) >= cfg.max_children {
+            open.swap_remove(slot);
+        }
+    }
+    for (attr, pool) in &cfg.attributes {
+        if pool.is_empty() {
+            continue;
+        }
+        for u in tree.node_ids() {
+            let v = pool[rng.gen_range(0..pool.len())];
+            tree.set_attr(u, *attr, v);
+        }
+    }
+    debug_assert!(tree.check_consistency().is_ok());
+    tree
+}
+
+/// Build a *monadic* tree (a chain) representing the string
+/// `d₀ d₁ … dₙ₋₁`, as in Section 4 of the paper: every node is labeled
+/// `sym`, and the `i`-th node from the root carries `dᵢ` in attribute
+/// `attr`.
+pub fn monadic_tree(sym: SymId, attr: AttrId, values: &[Value]) -> Tree {
+    assert!(!values.is_empty(), "strings are non-empty");
+    let mut tree = Tree::leaf(sym);
+    tree.set_attr(tree.root(), attr, values[0]);
+    let mut cur = tree.root();
+    for &v in &values[1..] {
+        cur = tree.add_sym_child(cur, sym);
+        tree.set_attr(cur, attr, v);
+    }
+    tree
+}
+
+/// Read back the string encoded by a monadic tree (inverse of
+/// [`monadic_tree`]). Returns `None` if the tree is not a chain.
+pub fn monadic_values(tree: &Tree, attr: AttrId) -> Option<Vec<Value>> {
+    let mut out = Vec::with_capacity(tree.len());
+    let mut cur = tree.root();
+    loop {
+        out.push(tree.attr(cur, attr));
+        match tree.child_count(cur) {
+            0 => return Some(out),
+            1 => cur = tree.first_child(cur).expect("child_count == 1"),
+            _ => return None,
+        }
+    }
+}
+
+/// A perfect `k`-ary tree of the given depth (depth 0 is a single leaf).
+pub fn perfect_tree(sym: SymId, arity: usize, depth: usize) -> Tree {
+    assert!(arity >= 1);
+    let mut tree = Tree::leaf(sym);
+    let mut frontier = vec![tree.root()];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * arity);
+        for u in frontier {
+            for _ in 0..arity {
+                next.push(tree.add_sym_child(u, sym));
+            }
+        }
+        frontier = next;
+    }
+    tree
+}
+
+/// A "star": a root with `n` leaf children.
+pub fn star_tree(sym: SymId, n: usize) -> Tree {
+    let mut tree = Tree::leaf(sym);
+    let r = tree.root();
+    for _ in 0..n {
+        tree.add_sym_child(r, sym);
+    }
+    tree
+}
+
+/// A random string over a value pool, returned as interned values.
+pub fn random_string(pool: &[Value], len: usize, seed: u64) -> Vec<Value> {
+    assert!(!pool.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_tree_has_requested_size_and_is_consistent() {
+        let mut v = Vocab::new();
+        let cfg = TreeGenConfig::example32(&mut v, 200, &[1, 2, 3]);
+        for seed in 0..5 {
+            let t = random_tree(&cfg, seed);
+            assert_eq!(t.len(), 200);
+            t.check_consistency().unwrap();
+            assert!(t.children(t.root()).count() <= cfg.max_children);
+        }
+    }
+
+    #[test]
+    fn random_tree_respects_max_children() {
+        let mut v = Vocab::new();
+        let mut cfg = TreeGenConfig::example32(&mut v, 300, &[0]);
+        cfg.max_children = 2;
+        let t = random_tree(&cfg, 7);
+        for u in t.node_ids() {
+            assert!(t.child_count(u) <= 2);
+        }
+    }
+
+    #[test]
+    fn random_tree_is_deterministic_per_seed() {
+        let mut v = Vocab::new();
+        let cfg = TreeGenConfig::example32(&mut v, 50, &[1, 2]);
+        let a = random_tree(&cfg, 42);
+        let b = random_tree(&cfg, 42);
+        let s1 = crate::parse::tree_to_string(&a, &v);
+        let s2 = crate::parse::tree_to_string(&b, &v);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn monadic_round_trip() {
+        let mut v = Vocab::new();
+        let s = v.sym("s");
+        let a = v.attr("a");
+        let vals: Vec<Value> = (0..10).map(|i| v.val_int(i)).collect();
+        let t = monadic_tree(s, a, &vals);
+        assert_eq!(t.len(), 10);
+        assert_eq!(monadic_values(&t, a), Some(vals));
+    }
+
+    #[test]
+    fn monadic_rejects_branching() {
+        let mut v = Vocab::new();
+        let s = v.sym("s");
+        let a = v.attr("a");
+        let mut t = Tree::leaf(s);
+        t.add_sym_child(t.root(), s);
+        t.add_sym_child(t.root(), s);
+        assert_eq!(monadic_values(&t, a), None);
+    }
+
+    #[test]
+    fn perfect_tree_size() {
+        let mut v = Vocab::new();
+        let s = v.sym("s");
+        let t = perfect_tree(s, 2, 3);
+        assert_eq!(t.len(), 15); // 2^4 - 1
+        let t1 = perfect_tree(s, 3, 0);
+        assert_eq!(t1.len(), 1);
+    }
+
+    #[test]
+    fn star_tree_shape() {
+        let mut v = Vocab::new();
+        let s = v.sym("s");
+        let t = star_tree(s, 10);
+        assert_eq!(t.len(), 11);
+        assert_eq!(t.child_count(t.root()), 10);
+        for c in t.children(t.root()) {
+            assert!(t.is_leaf(c));
+        }
+    }
+
+    #[test]
+    fn random_string_draws_from_pool() {
+        let mut v = Vocab::new();
+        let pool: Vec<Value> = (0..3).map(|i| v.val_int(i)).collect();
+        let s = random_string(&pool, 100, 1);
+        assert_eq!(s.len(), 100);
+        assert!(s.iter().all(|x| pool.contains(x)));
+    }
+}

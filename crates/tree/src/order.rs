@@ -1,0 +1,120 @@
+//! Canonical total order over `Dom(t)` and walkable successor functions.
+//!
+//! The Theorem 7.1 constructions number nodes by a canonical traversal order
+//! ("we consider the nodes in in-order", Section 7). For unranked trees we
+//! fix *document order* (pre-order) as the canonical order: it is total, the
+//! root is position 0, and — crucially for the pebble constructions — the
+//! successor and predecessor of a node are computable by a constant-state
+//! walker using only local moves, so a register automaton can slide a pebble
+//! along the order without auxiliary storage. Any FO-definable walkable
+//! total order works for the proofs; the choice is immaterial.
+
+use crate::tree::{NodeId, Tree};
+
+/// The document-order successor of `u`: first child if any, otherwise the
+/// next sibling of the nearest ancestor-or-self that has one.
+pub fn doc_successor(tree: &Tree, u: NodeId) -> Option<NodeId> {
+    if let Some(c) = tree.first_child(u) {
+        return Some(c);
+    }
+    let mut cur = u;
+    loop {
+        if let Some(s) = tree.next_sibling(cur) {
+            return Some(s);
+        }
+        cur = tree.parent(cur)?;
+    }
+}
+
+/// The document-order predecessor of `u`: if `u` has a previous sibling,
+/// that sibling's last descendant; otherwise the parent.
+pub fn doc_predecessor(tree: &Tree, u: NodeId) -> Option<NodeId> {
+    match tree.prev_sibling(u) {
+        Some(mut s) => {
+            while let Some(l) = tree.last_child(s) {
+                s = l;
+            }
+            Some(s)
+        }
+        None => tree.parent(u),
+    }
+}
+
+/// Document order of all nodes, root first.
+pub fn doc_order(tree: &Tree) -> Vec<NodeId> {
+    tree.nodes().collect()
+}
+
+/// Position of every node in document order: `index[u] = j` iff `u` is the
+/// `(j+1)`-th node (root is 0). Indexed by `NodeId`.
+pub fn doc_index(tree: &Tree) -> Vec<usize> {
+    let mut index = vec![0usize; tree.len()];
+    for (j, u) in tree.nodes().enumerate() {
+        index[u.idx()] = j;
+    }
+    index
+}
+
+/// The node at document-order position `j`, if `j < |t|`.
+pub fn node_at_doc_index(tree: &Tree, j: usize) -> Option<NodeId> {
+    tree.nodes().nth(j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocab;
+
+    fn sample() -> Tree {
+        // a(b(c, d), e(f), g)
+        let mut v = Vocab::new();
+        let s = v.sym("s");
+        let mut t = Tree::leaf(s);
+        let r = t.root();
+        let b = t.add_sym_child(r, s);
+        t.add_sym_child(b, s);
+        t.add_sym_child(b, s);
+        let e = t.add_sym_child(r, s);
+        t.add_sym_child(e, s);
+        t.add_sym_child(r, s);
+        t
+    }
+
+    #[test]
+    fn successor_chain_covers_tree() {
+        let t = sample();
+        let mut seen = vec![t.root()];
+        let mut cur = t.root();
+        while let Some(next) = doc_successor(&t, cur) {
+            seen.push(next);
+            cur = next;
+        }
+        assert_eq!(seen.len(), t.len());
+        assert_eq!(seen, doc_order(&t));
+    }
+
+    #[test]
+    fn predecessor_inverts_successor() {
+        let t = sample();
+        for u in t.node_ids() {
+            if let Some(s) = doc_successor(&t, u) {
+                assert_eq!(doc_predecessor(&t, s), Some(u));
+            }
+            if let Some(p) = doc_predecessor(&t, u) {
+                assert_eq!(doc_successor(&t, p), Some(u));
+            }
+        }
+        assert_eq!(doc_predecessor(&t, t.root()), None);
+    }
+
+    #[test]
+    fn doc_index_round_trip() {
+        let t = sample();
+        let idx = doc_index(&t);
+        for u in t.node_ids() {
+            assert_eq!(node_at_doc_index(&t, idx[u.idx()]), Some(u));
+        }
+        assert_eq!(idx[t.root().idx()], 0);
+        assert_eq!(node_at_doc_index(&t, t.len()), None);
+    }
+}

@@ -1,0 +1,150 @@
+//! Workload characterization: structural statistics of trees, used by the
+//! experiment harness to describe generated inputs.
+
+use crate::tree::{NodeId, Tree};
+
+/// Structural statistics of one tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Total nodes `|Dom(t)|`.
+    pub nodes: usize,
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Maximum depth (root = 0).
+    pub max_depth: usize,
+    /// Maximum branching factor.
+    pub max_branching: usize,
+    /// Histogram of node counts per depth (`depths[d]` = nodes at depth `d`).
+    pub depth_histogram: Vec<usize>,
+    /// Histogram of children counts (`branching[k]` = nodes with `k` children).
+    pub branching_histogram: Vec<usize>,
+}
+
+impl TreeStats {
+    /// Compute statistics in one traversal.
+    pub fn of(tree: &Tree) -> TreeStats {
+        let mut depth_histogram: Vec<usize> = Vec::new();
+        let mut branching_histogram: Vec<usize> = Vec::new();
+        let mut leaves = 0usize;
+        let mut max_branching = 0usize;
+        // Depth per node via parent-first traversal (pre-order guarantees
+        // parents precede children).
+        let mut depth = vec![0usize; tree.len()];
+        for u in tree.nodes() {
+            let d = match tree.parent(u) {
+                Some(p) => depth[p.idx_pub()] + 1,
+                None => 0,
+            };
+            depth[u.idx_pub()] = d;
+            if depth_histogram.len() <= d {
+                depth_histogram.resize(d + 1, 0);
+            }
+            depth_histogram[d] += 1;
+            let k = tree.child_count(u);
+            if branching_histogram.len() <= k {
+                branching_histogram.resize(k + 1, 0);
+            }
+            branching_histogram[k] += 1;
+            max_branching = max_branching.max(k);
+            if k == 0 {
+                leaves += 1;
+            }
+        }
+        TreeStats {
+            nodes: tree.len(),
+            leaves,
+            max_depth: depth_histogram.len().saturating_sub(1),
+            max_branching,
+            depth_histogram,
+            branching_histogram,
+        }
+    }
+
+    /// Average depth of leaves.
+    pub fn mean_leaf_depth(&self, tree: &Tree) -> f64 {
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for u in tree.node_ids() {
+            if tree.is_leaf(u) {
+                total += tree.depth(u);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
+    }
+}
+
+/// Internal helper exposing `NodeId`'s index (kept off the public `NodeId`
+/// API to avoid committing to the representation).
+trait IdxPub {
+    fn idx_pub(&self) -> usize;
+}
+
+impl IdxPub for NodeId {
+    fn idx_pub(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{perfect_tree, star_tree};
+    use crate::parse::parse_tree;
+    use crate::vocab::Vocab;
+
+    #[test]
+    fn perfect_tree_stats() {
+        let mut v = Vocab::new();
+        let s = v.sym("s");
+        let t = perfect_tree(s, 2, 3);
+        let st = TreeStats::of(&t);
+        assert_eq!(st.nodes, 15);
+        assert_eq!(st.leaves, 8);
+        assert_eq!(st.max_depth, 3);
+        assert_eq!(st.max_branching, 2);
+        assert_eq!(st.depth_histogram, vec![1, 2, 4, 8]);
+        assert_eq!(st.branching_histogram, vec![8, 0, 7]);
+        assert!((st.mean_leaf_depth(&t) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_tree_stats() {
+        let mut v = Vocab::new();
+        let s = v.sym("s");
+        let t = star_tree(s, 5);
+        let st = TreeStats::of(&t);
+        assert_eq!(st.nodes, 6);
+        assert_eq!(st.leaves, 5);
+        assert_eq!(st.max_depth, 1);
+        assert_eq!(st.max_branching, 5);
+    }
+
+    #[test]
+    fn irregular_tree_stats() {
+        let mut v = Vocab::new();
+        let t = parse_tree("a(b(c,d,e),f)", &mut v).unwrap();
+        let st = TreeStats::of(&t);
+        assert_eq!(st.nodes, 6);
+        assert_eq!(st.leaves, 4);
+        assert_eq!(st.max_depth, 2);
+        assert_eq!(st.max_branching, 3);
+        assert_eq!(st.depth_histogram, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn single_node() {
+        let mut v = Vocab::new();
+        let s = v.sym("s");
+        let t = crate::tree::Tree::leaf(s);
+        let st = TreeStats::of(&t);
+        assert_eq!(st.nodes, 1);
+        assert_eq!(st.leaves, 1);
+        assert_eq!(st.max_depth, 0);
+        assert!((st.mean_leaf_depth(&t) - 0.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,293 @@
+//! Vocabulary management: element symbols `Σ`, attribute names `A`, and the
+//! infinite data domain `D`.
+//!
+//! The paper (Section 2.1) fixes a finite alphabet `Σ`, a finite attribute
+//! set `A`, and an infinite recursively-enumerable domain
+//! `D = {a₁, a₂, …}`. We intern all three so that everything downstream
+//! (trees, logic formulas, automata, Turing machines) manipulates dense
+//! `Copy` identifiers and only consults the [`Vocab`] to render
+//! human-readable output.
+//!
+//! `D` carries *equality only*: no order over `D` is ever exposed to
+//! automata or formulas. The `Ord` implementation on [`Value`] exists solely
+//! so that relations can be stored as sorted tuple sets; it reflects
+//! interning order, not any domain semantics.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned element symbol `σ ∈ Σ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymId(pub u16);
+
+/// An interned attribute name `a ∈ A`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u16);
+
+/// An interned data value `d ∈ D ∪ {⊥}`.
+///
+/// [`Value::BOT`] is the distinguished non-domain value `⊥` carried by every
+/// attribute of a delimiter node (Section 3: "every attribute of a delimiter
+/// contains ⊥ where ⊥ ∉ D").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Value(pub u32);
+
+impl Value {
+    /// The non-domain value `⊥`.
+    pub const BOT: Value = Value(0);
+
+    /// Whether this value is the delimiter filler `⊥` (i.e. not in `D`).
+    #[inline]
+    pub fn is_bot(self) -> bool {
+        self == Value::BOT
+    }
+}
+
+/// The concrete payload backing an interned [`Value`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ValueRepr {
+    /// The delimiter filler `⊥ ∉ D`.
+    Bot,
+    /// A string-shaped data value.
+    Str(String),
+    /// An integer-shaped data value. The paper assumes for convenience that
+    /// `D` contains all natural numbers (Section 4); we admit all of `i64`.
+    Int(i64),
+}
+
+impl fmt::Display for ValueRepr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueRepr::Bot => write!(f, "⊥"),
+            ValueRepr::Str(s) => write!(f, "{s}"),
+            ValueRepr::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// Shared vocabulary: the interners for `Σ`, `A`, and `D`.
+///
+/// A `Vocab` defines a *universe*: two trees (or a tree and a formula, or a
+/// tree and an automaton) can only be used together when their identifiers
+/// were issued by the same `Vocab`.
+#[derive(Debug, Clone, Default)]
+pub struct Vocab {
+    syms: Vec<String>,
+    sym_ids: HashMap<String, SymId>,
+    attrs: Vec<String>,
+    attr_ids: HashMap<String, AttrId>,
+    values: Vec<ValueRepr>,
+    value_ids: HashMap<ValueRepr, Value>,
+}
+
+impl Vocab {
+    /// Create an empty vocabulary. `⊥` is pre-interned as [`Value::BOT`].
+    pub fn new() -> Self {
+        let mut v = Vocab {
+            syms: Vec::new(),
+            sym_ids: HashMap::new(),
+            attrs: Vec::new(),
+            attr_ids: HashMap::new(),
+            values: Vec::new(),
+            value_ids: HashMap::new(),
+        };
+        let bot = v.intern_value(ValueRepr::Bot);
+        debug_assert_eq!(bot, Value::BOT);
+        v
+    }
+
+    /// Intern an element symbol, returning its id.
+    pub fn sym(&mut self, name: &str) -> SymId {
+        if let Some(&id) = self.sym_ids.get(name) {
+            return id;
+        }
+        let id = SymId(u16::try_from(self.syms.len()).expect("too many symbols"));
+        self.syms.push(name.to_owned());
+        self.sym_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up a symbol without interning.
+    pub fn sym_opt(&self, name: &str) -> Option<SymId> {
+        self.sym_ids.get(name).copied()
+    }
+
+    /// The name of an interned symbol.
+    pub fn sym_name(&self, id: SymId) -> &str {
+        &self.syms[id.0 as usize]
+    }
+
+    /// Number of interned element symbols.
+    pub fn sym_count(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// Iterate over all interned symbols.
+    pub fn syms(&self) -> impl Iterator<Item = SymId> + '_ {
+        (0..self.syms.len()).map(|i| SymId(i as u16))
+    }
+
+    /// Intern an attribute name, returning its id.
+    pub fn attr(&mut self, name: &str) -> AttrId {
+        if let Some(&id) = self.attr_ids.get(name) {
+            return id;
+        }
+        let id = AttrId(u16::try_from(self.attrs.len()).expect("too many attributes"));
+        self.attrs.push(name.to_owned());
+        self.attr_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up an attribute without interning.
+    pub fn attr_opt(&self, name: &str) -> Option<AttrId> {
+        self.attr_ids.get(name).copied()
+    }
+
+    /// The name of an interned attribute.
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        &self.attrs[id.0 as usize]
+    }
+
+    /// Number of interned attribute names.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Iterate over all interned attributes.
+    pub fn attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.attrs.len()).map(|i| AttrId(i as u16))
+    }
+
+    fn intern_value(&mut self, repr: ValueRepr) -> Value {
+        if let Some(&id) = self.value_ids.get(&repr) {
+            return id;
+        }
+        let id = Value(u32::try_from(self.values.len()).expect("too many values"));
+        self.values.push(repr.clone());
+        self.value_ids.insert(repr, id);
+        id
+    }
+
+    /// Intern a string-shaped data value.
+    pub fn val_str(&mut self, s: &str) -> Value {
+        self.intern_value(ValueRepr::Str(s.to_owned()))
+    }
+
+    /// Intern an integer-shaped data value.
+    pub fn val_int(&mut self, i: i64) -> Value {
+        self.intern_value(ValueRepr::Int(i))
+    }
+
+    /// Look up a string-shaped value without interning.
+    pub fn val_str_opt(&self, s: &str) -> Option<Value> {
+        self.value_ids.get(&ValueRepr::Str(s.to_owned())).copied()
+    }
+
+    /// Look up an integer-shaped value without interning.
+    pub fn val_int_opt(&self, i: i64) -> Option<Value> {
+        self.value_ids.get(&ValueRepr::Int(i)).copied()
+    }
+
+    /// The payload of an interned value.
+    pub fn value_repr(&self, v: Value) -> &ValueRepr {
+        &self.values[v.0 as usize]
+    }
+
+    /// Render a value for display.
+    pub fn value_display(&self, v: Value) -> String {
+        self.value_repr(v).to_string()
+    }
+
+    /// Number of interned values (including `⊥`).
+    pub fn value_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// A fresh value guaranteed distinct from all previously interned values.
+    ///
+    /// Used for example by [`crate::Tree::assign_unique_ids`]; `D` is
+    /// infinite, so fresh values always exist.
+    pub fn fresh_value(&mut self) -> Value {
+        let mut n = self.values.len() as i64;
+        loop {
+            let repr = ValueRepr::Str(format!("#fresh{n}"));
+            if !self.value_ids.contains_key(&repr) {
+                return self.intern_value(repr);
+            }
+            n += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bot_is_preinterned() {
+        let v = Vocab::new();
+        assert_eq!(v.value_repr(Value::BOT), &ValueRepr::Bot);
+        assert!(Value::BOT.is_bot());
+        assert_eq!(v.value_count(), 1);
+    }
+
+    #[test]
+    fn sym_interning_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.sym("a");
+        let b = v.sym("b");
+        assert_ne!(a, b);
+        assert_eq!(v.sym("a"), a);
+        assert_eq!(v.sym_name(a), "a");
+        assert_eq!(v.sym_opt("b"), Some(b));
+        assert_eq!(v.sym_opt("zzz"), None);
+        assert_eq!(v.sym_count(), 2);
+    }
+
+    #[test]
+    fn attr_interning_is_idempotent() {
+        let mut v = Vocab::new();
+        let id = v.attr("id");
+        assert_eq!(v.attr("id"), id);
+        assert_eq!(v.attr_name(id), "id");
+        assert_eq!(v.attr_count(), 1);
+    }
+
+    #[test]
+    fn value_interning_distinguishes_kinds() {
+        let mut v = Vocab::new();
+        let s = v.val_str("7");
+        let i = v.val_int(7);
+        assert_ne!(s, i);
+        assert_eq!(v.val_str("7"), s);
+        assert_eq!(v.val_int(7), i);
+        assert!(!s.is_bot());
+        assert_eq!(v.value_display(i), "7");
+        assert_eq!(v.value_display(Value::BOT), "⊥");
+    }
+
+    #[test]
+    fn fresh_values_are_distinct() {
+        let mut v = Vocab::new();
+        let a = v.fresh_value();
+        let b = v.fresh_value();
+        assert_ne!(a, b);
+        // A fresh value never collides with an already interned one, even if
+        // a user interned the same spelling first.
+        let spoiler = v.val_str("#fresh3");
+        let c = v.fresh_value();
+        assert_ne!(c, spoiler);
+    }
+
+    #[test]
+    fn syms_iterator_covers_all() {
+        let mut v = Vocab::new();
+        v.sym("x");
+        v.sym("y");
+        let all: Vec<_> = v.syms().collect();
+        assert_eq!(all.len(), 2);
+        v.attr("p");
+        v.attr("q");
+        assert_eq!(v.attrs().count(), 2);
+    }
+}

@@ -1,0 +1,275 @@
+//! A small XML-ish concrete syntax for attributed trees — the paper's
+//! documents *are* XML, so the library should read and write them.
+//!
+//! Supported subset: elements with attributes and child elements,
+//! self-closing tags, double-quoted attribute values, whitespace between
+//! tags. Deliberately *not* supported (the paper's abstraction excludes
+//! them; `[4]` shows mixed content reduces to attributed trees with dummy
+//! nodes): text content, comments, processing instructions, entities,
+//! namespaces.
+
+use crate::tree::{Label, NodeId, Tree};
+use crate::vocab::{AttrId, Vocab};
+
+/// An XML parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset.
+    pub at: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "xml error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+struct P<'s, 'v> {
+    src: &'s [u8],
+    pos: usize,
+    vocab: &'v mut Vocab,
+}
+
+impl P<'_, '_> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, XmlError> {
+        Err(XmlError {
+            at: self.pos,
+            msg: msg.into(),
+        })
+    }
+
+    fn ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), XmlError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", c as char))
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected name");
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii")
+            .to_owned())
+    }
+
+    /// Parse one element into `tree` under `parent` (or create the root).
+    fn element(
+        &mut self,
+        tree: &mut Option<Tree>,
+        parent: Option<NodeId>,
+    ) -> Result<(), XmlError> {
+        self.ws();
+        self.expect(b'<')?;
+        let tag = self.name()?;
+        let label = Label::Sym(self.vocab.sym(&tag));
+        let node = match (parent, tree.as_mut()) {
+            (Some(p), Some(t)) => t.add_child(p, label),
+            (None, None) => {
+                *tree = Some(Tree::new(label));
+                tree.as_ref().expect("just created").root()
+            }
+            _ => unreachable!("parent iff tree exists"),
+        };
+        // Attributes.
+        loop {
+            self.ws();
+            match self.peek() {
+                Some(b'/') | Some(b'>') => break,
+                _ => {
+                    let aname = self.name()?;
+                    let attr = self.vocab.attr(&aname);
+                    self.ws();
+                    self.expect(b'=')?;
+                    self.ws();
+                    self.expect(b'"')?;
+                    let vstart = self.pos;
+                    while self.peek().is_some_and(|c| c != b'"') {
+                        self.pos += 1;
+                    }
+                    let raw = std::str::from_utf8(&self.src[vstart..self.pos])
+                        .map_err(|_| XmlError {
+                            at: vstart,
+                            msg: "non-utf8 attribute value".into(),
+                        })?
+                        .to_owned();
+                    self.expect(b'"')?;
+                    let value = match raw.parse::<i64>() {
+                        Ok(i) => self.vocab.val_int(i),
+                        Err(_) => self.vocab.val_str(&raw),
+                    };
+                    tree.as_mut().expect("tree exists").set_attr(node, attr, value);
+                }
+            }
+        }
+        if self.peek() == Some(b'/') {
+            self.pos += 1;
+            self.expect(b'>')?;
+            return Ok(());
+        }
+        self.expect(b'>')?;
+        // Children until the closing tag.
+        loop {
+            self.ws();
+            if self.src[self.pos..].starts_with(b"</") {
+                self.pos += 2;
+                let closing = self.name()?;
+                if closing != tag {
+                    return self.err(format!("mismatched </{closing}>, expected </{tag}>"));
+                }
+                self.ws();
+                self.expect(b'>')?;
+                return Ok(());
+            }
+            if self.peek() != Some(b'<') {
+                return self.err("expected a child element or closing tag");
+            }
+            self.element(tree, Some(node))?;
+        }
+    }
+}
+
+/// Parse the XML subset into a tree.
+pub fn parse_xml(src: &str, vocab: &mut Vocab) -> Result<Tree, XmlError> {
+    let mut p = P {
+        src: src.as_bytes(),
+        pos: 0,
+        vocab,
+    };
+    let mut tree = None;
+    p.element(&mut tree, None)?;
+    p.ws();
+    if p.pos != p.src.len() {
+        return p.err("trailing input after the document element");
+    }
+    Ok(tree.expect("element() always creates the root"))
+}
+
+/// Serialize a tree as XML (pretty-printed, 2-space indent). Delimiter
+/// labels are rejected: serialize the *original* tree, not `delim(t)`.
+pub fn to_xml(tree: &Tree, vocab: &Vocab) -> String {
+    let mut out = String::new();
+    write_node(tree, tree.root(), vocab, 0, &mut out);
+    out
+}
+
+fn write_node(tree: &Tree, u: NodeId, vocab: &Vocab, indent: usize, out: &mut String) {
+    use std::fmt::Write;
+    let pad = "  ".repeat(indent);
+    let name = match tree.label(u) {
+        Label::Sym(s) => vocab.sym_name(s).to_owned(),
+        other => panic!("cannot serialize delimiter label {other:?}"),
+    };
+    let _ = write!(out, "{pad}<{name}");
+    for a in 0..tree.attr_columns() as u16 {
+        let a = AttrId(a);
+        let v = tree.attr(u, a);
+        if !v.is_bot() {
+            let _ = write!(out, " {}=\"{}\"", vocab.attr_name(a), vocab.value_display(v));
+        }
+    }
+    if tree.is_leaf(u) {
+        out.push_str("/>\n");
+        return;
+    }
+    out.push_str(">\n");
+    for c in tree.children(u) {
+        write_node(tree, c, vocab, indent + 1, out);
+    }
+    let _ = write!(out, "{pad}</{name}>\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let mut v = Vocab::new();
+        let t = parse_xml(
+            r#"<lib><book y="1999"><title/><author id="knuth"/></book><book y="2001"/></lib>"#,
+            &mut v,
+        )
+        .unwrap();
+        assert_eq!(t.len(), 5);
+        let y = v.attr_opt("y").unwrap();
+        let b1 = t.node_at_path(&[1]).unwrap();
+        assert_eq!(t.attr(b1, y), v.val_int_opt(1999).unwrap());
+    }
+
+    #[test]
+    fn whitespace_and_string_values() {
+        let mut v = Vocab::new();
+        let t = parse_xml(
+            "<a x=\"hello world\">\n  <b/>\n  <c/>\n</a>",
+            &mut v,
+        )
+        .unwrap();
+        assert_eq!(t.len(), 3);
+        let x = v.attr_opt("x").unwrap();
+        assert_eq!(t.attr(t.root(), x), v.val_str_opt("hello world").unwrap());
+    }
+
+    #[test]
+    fn round_trips_through_xml() {
+        let mut v = Vocab::new();
+        let t = crate::parse::parse_tree("a[k=1](b[v=x],c(d,e[v=7]))", &mut v).unwrap();
+        let xml = to_xml(&t, &v);
+        let back = parse_xml(&xml, &mut v).unwrap();
+        assert_eq!(
+            crate::parse::tree_to_string(&back, &v),
+            crate::parse::tree_to_string(&t, &v)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        let mut v = Vocab::new();
+        for src in [
+            "",
+            "<a>",
+            "<a></b>",
+            "<a",
+            "<a x=1/>",
+            "<a/><b/>",
+            "<a>text</a>",
+        ] {
+            assert!(parse_xml(src, &mut v).is_err(), "{src}");
+        }
+    }
+
+    #[test]
+    fn self_closing_and_full_forms_agree() {
+        let mut v = Vocab::new();
+        let t1 = parse_xml("<a><b/></a>", &mut v).unwrap();
+        let t2 = parse_xml("<a><b></b></a>", &mut v).unwrap();
+        assert_eq!(
+            crate::parse::tree_to_string(&t1, &v),
+            crate::parse::tree_to_string(&t2, &v)
+        );
+    }
+}

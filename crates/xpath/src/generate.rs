@@ -1,0 +1,95 @@
+//! Random XPath workload generation for property tests and the E2
+//! benchmark.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use twq_tree::{AttrId, SymId, Value};
+
+use crate::ast::{Pred, XPath};
+
+/// Configuration for [`random_xpath`].
+#[derive(Debug, Clone)]
+pub struct XPathGenConfig {
+    /// Element symbols for name tests.
+    pub symbols: Vec<SymId>,
+    /// Attributes for attribute filters (may be empty).
+    pub attrs: Vec<AttrId>,
+    /// Values for `@a = d` filters (may be empty).
+    pub values: Vec<Value>,
+    /// Maximum recursion depth.
+    pub max_depth: usize,
+}
+
+/// Generate a random expression of the paper's fragment.
+pub fn random_xpath(cfg: &XPathGenConfig, seed: u64) -> XPath {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen(cfg, &mut rng, cfg.max_depth)
+}
+
+fn gen(cfg: &XPathGenConfig, rng: &mut StdRng, depth: usize) -> XPath {
+    let leaf = |rng: &mut StdRng| {
+        if rng.gen_bool(0.3) || cfg.symbols.is_empty() {
+            XPath::Wild
+        } else {
+            XPath::Name(cfg.symbols[rng.gen_range(0..cfg.symbols.len())])
+        }
+    };
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.gen_range(0..10u8) {
+        0 | 1 => leaf(rng),
+        2 | 3 => XPath::Child(
+            Box::new(gen(cfg, rng, depth - 1)),
+            Box::new(gen(cfg, rng, depth - 1)),
+        ),
+        4 | 5 => XPath::Descendant(
+            Box::new(gen(cfg, rng, depth - 1)),
+            Box::new(gen(cfg, rng, depth - 1)),
+        ),
+        6 => XPath::FromRoot(Box::new(gen(cfg, rng, depth - 1))),
+        7 => XPath::FromDesc(Box::new(gen(cfg, rng, depth - 1))),
+        8 => {
+            let base = gen(cfg, rng, depth - 1);
+            let pred = if !cfg.attrs.is_empty() && rng.gen_bool(0.4) {
+                let a = cfg.attrs[rng.gen_range(0..cfg.attrs.len())];
+                if !cfg.values.is_empty() && rng.gen_bool(0.7) {
+                    Pred::AttrEqConst(a, cfg.values[rng.gen_range(0..cfg.values.len())])
+                } else {
+                    let b = cfg.attrs[rng.gen_range(0..cfg.attrs.len())];
+                    Pred::AttrEqAttr(a, b)
+                }
+            } else {
+                Pred::Path(gen(cfg, rng, depth - 1))
+            };
+            XPath::Filter(Box::new(base), Box::new(pred))
+        }
+        _ => XPath::Union(
+            Box::new(gen(cfg, rng, depth - 1)),
+            Box::new(gen(cfg, rng, depth - 1)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twq_tree::Vocab;
+
+    #[test]
+    fn generator_is_deterministic_and_bounded() {
+        let mut v = Vocab::new();
+        let cfg = XPathGenConfig {
+            symbols: vec![v.sym("a"), v.sym("b")],
+            attrs: vec![v.attr("k")],
+            values: vec![v.val_int(1)],
+            max_depth: 4,
+        };
+        for seed in 0..20 {
+            let p1 = random_xpath(&cfg, seed);
+            let p2 = random_xpath(&cfg, seed);
+            assert_eq!(p1, p2);
+            assert!(p1.size() <= 200, "size {} too large", p1.size());
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # twq-xpath — the paper's XPath fragment
+//!
+//! Section 2.3 of Neven (PODS 2002) abstracts the XPath pattern language of
+//! XSLT by binary `FO(∃*)` formulas. This crate provides the concrete side
+//! of that abstraction:
+//!
+//! * [`ast`] — union / root / child / descendant / filter / element test /
+//!   wildcard, plus attribute-comparison filters;
+//! * [`parse`] — a concrete syntax (`a/b[c//d] | //e[@k=3]`);
+//! * [`eval`] — the standard binary-relation reference semantics;
+//! * [`compile()`](compile::compile) — the translation to binary `FO(∃*)` formulas, verified
+//!   equivalent to the reference semantics by property tests;
+//! * [`generate`] — random expression workloads;
+//! * [`to_program`] — the XSLT loop closed: XPath queries compiled into
+//!   `tw^{r,l}` acceptors whose `atp` uses the compiled selector.
+
+pub mod ast;
+pub mod compile;
+pub mod eval;
+pub mod generate;
+pub mod parse;
+pub mod to_program;
+
+pub use ast::{Pred, XPath};
+pub use compile::compile;
+pub use eval::{eval_from, eval_pairs, pred_holds};
+pub use generate::{random_xpath, XPathGenConfig};
+pub use parse::{parse_xpath, XPathParseError};
+pub use to_program::{xpath_to_program, SelectionTest};

@@ -1,0 +1,177 @@
+//! XPath → tree-walking programs: the XSLT pipeline in one call.
+//!
+//! The paper's thesis is that XSLT ≈ tree-walking + registers + look-ahead
+//! with XPath as the pattern language. This module closes the loop: an
+//! XPath query becomes a `tw^{r,l}` program whose single `atp` uses the
+//! compiled `FO(∃*)` selector (Section 2.3) and whose guard inspects the
+//! returned register — the shape of an XSLT template match.
+
+use twq_automata::{Action, Dir, TwProgram, TwProgramBuilder};
+use twq_logic::store::sbuild::*;
+use twq_logic::{SFormula, Var};
+use twq_tree::{AttrId, Label, SymId, Value};
+
+use crate::ast::XPath;
+use crate::compile;
+
+/// What the program should check about the selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionTest {
+    /// Accept iff the query selects **at least one** node (from the
+    /// original root).
+    NonEmpty,
+    /// Accept iff some selected node carries `attr = value`.
+    SomeValue(AttrId, Value),
+    /// Accept iff **every** selected node carries `attr = value`
+    /// (vacuously true on empty selections).
+    AllValue(AttrId, Value),
+}
+
+/// Compile an XPath query into a `tw^{r,l}` acceptor: walk to the original
+/// root, `atp` with the compiled selector (each selected node returns its
+/// witness into `X₁`), and accept iff the requested [`SelectionTest`]
+/// holds on the collected register.
+///
+/// For [`SelectionTest::NonEmpty`] the witness is the node's unique-ID
+/// attribute `id_attr` (so empty vs. non-empty is observable even when
+/// attributes repeat); provide the attribute your trees use.
+pub fn xpath_to_program(
+    query: &XPath,
+    alphabet: &[SymId],
+    id_attr: AttrId,
+    test: SelectionTest,
+) -> TwProgram {
+    let phi = compile::compile(query);
+    let mut b = TwProgramBuilder::new();
+    let q0 = b.state("q0");
+    let q1 = b.state("q1");
+    let q2 = b.state("q2");
+    let chk = b.state("chk");
+    let q_sel = b.state("q_sel");
+    let q_f = b.state("qF");
+    b.initial(q0).final_state(q_f);
+    let x1 = b.unary_register();
+
+    // ▽ → ⊳ → original root.
+    b.rule_true(Label::DelimRoot, q0, Action::Move(q1, Dir::Down));
+    b.rule_true(Label::DelimOpen, q1, Action::Move(q2, Dir::Right));
+
+    // The witness each selected node returns.
+    let witness_attr = match test {
+        SelectionTest::NonEmpty => id_attr,
+        SelectionTest::SomeValue(a, _) | SelectionTest::AllValue(a, _) => a,
+    };
+    // The acceptance guard over the collected X₁.
+    let guard: SFormula = match test {
+        SelectionTest::NonEmpty => {
+            SFormula::Exists(Var(0), Box::new(rel(x1, [v(0)])))
+        }
+        SelectionTest::SomeValue(_, d) => rel(x1, [cst(d)]),
+        SelectionTest::AllValue(_, d) => SFormula::Forall(
+            Var(0),
+            Box::new(implies(rel(x1, [v(0)]), eq(v(0), cst(d)))),
+        ),
+    };
+    for &s in alphabet {
+        b.rule_true(Label::Sym(s), q2, Action::Atp(chk, phi.clone(), q_sel, x1));
+        b.rule_true(
+            Label::Sym(s),
+            q_sel,
+            Action::Update(q_f, eq(v(0), attr(witness_attr)), x1),
+        );
+        b.rule(Label::Sym(s), chk, guard.clone(), Action::Move(q_f, Dir::Stay));
+    }
+    b.build().expect("xpath-to-program emits well-formed programs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_from;
+    use crate::parse::parse_xpath;
+    use twq_automata::{run_on_tree, Limits};
+    use twq_tree::generate::{random_tree, TreeGenConfig};
+    use twq_tree::Vocab;
+
+    fn setup(n: usize) -> (Vocab, TreeGenConfig, AttrId, AttrId) {
+        let mut vocab = Vocab::new();
+        let cfg = TreeGenConfig::example32(&mut vocab, n, &[1, 2]);
+        let a = vocab.attr_opt("a").unwrap();
+        let id = vocab.attr("id");
+        (vocab, cfg, a, id)
+    }
+
+    #[test]
+    fn nonempty_test_matches_reference_semantics() {
+        let (mut vocab, cfg, _a, id) = setup(25);
+        for (qi, q) in ["sigma/delta", "//delta[sigma]", "delta//delta"]
+            .iter()
+            .enumerate()
+        {
+            let path = parse_xpath(q, &mut vocab).unwrap();
+            let prog =
+                xpath_to_program(&path, &cfg.symbols, id, SelectionTest::NonEmpty);
+            for seed in 0..8 {
+                let mut t = random_tree(&cfg, seed);
+                t.assign_unique_ids(id, &mut vocab);
+                let expect = !eval_from(&t, &path, t.root()).is_empty();
+                let got = run_on_tree(&prog, &t, Limits::default());
+                assert_eq!(got.accepted(), expect, "query #{qi} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn some_value_test() {
+        let (mut vocab, cfg, a, id) = setup(20);
+        let one = vocab.val_int_opt(1).unwrap();
+        let path = parse_xpath("//delta", &mut vocab).unwrap();
+        let prog = xpath_to_program(
+            &path,
+            &cfg.symbols,
+            id,
+            SelectionTest::SomeValue(a, one),
+        );
+        let (mut yes, mut no) = (0, 0);
+        for seed in 0..12 {
+            let t = random_tree(&cfg, seed);
+            let expect = eval_from(&t, &path, t.root())
+                .iter()
+                .any(|&u| t.attr(u, a) == one);
+            let got = run_on_tree(&prog, &t, Limits::default());
+            assert_eq!(got.accepted(), expect, "seed {seed}");
+            if expect {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+        }
+        assert!(yes > 0, "yes={yes} no={no}");
+    }
+
+    #[test]
+    fn all_value_test_is_vacuous_on_empty_selections() {
+        let (mut vocab, cfg, a, id) = setup(10);
+        let one = vocab.val_int_opt(1).unwrap();
+        // A query that never matches: a label that doesn't occur.
+        let path = parse_xpath("//ghost", &mut vocab).unwrap();
+        let prog =
+            xpath_to_program(&path, &cfg.symbols, id, SelectionTest::AllValue(a, one));
+        let t = random_tree(&cfg, 0);
+        let got = run_on_tree(&prog, &t, Limits::default());
+        assert!(got.accepted(), "∀ over ∅ is true");
+    }
+
+    #[test]
+    fn all_value_test_detects_violations() {
+        let (mut vocab, _cfg, a, id) = setup(5);
+        let one = vocab.val_int_opt(1).unwrap();
+        let path = parse_xpath("sigma/sigma", &mut vocab).unwrap();
+        let syms: Vec<_> = vocab.syms().collect();
+        let prog = xpath_to_program(&path, &syms, id, SelectionTest::AllValue(a, one));
+        let good = twq_tree::parse_tree("sigma[a=9](sigma[a=1],sigma[a=1])", &mut vocab).unwrap();
+        assert!(run_on_tree(&prog, &good, Limits::default()).accepted());
+        let bad = twq_tree::parse_tree("sigma[a=9](sigma[a=1],sigma[a=2])", &mut vocab).unwrap();
+        assert!(!run_on_tree(&prog, &bad, Limits::default()).accepted());
+    }
+}

@@ -1,0 +1,274 @@
+//! Alternating `xTM` evaluation — the `A…^X` classes of Section 6
+//! ("Alternating complexity classes, denoted by an A in front of their
+//! name, are defined w.r.t. alternating xTMs"), used by Theorem 7.1(2)/(4)
+//! via `ALOGSPACE = PTIME` and `APSPACE = EXPTIME`.
+//!
+//! Acceptance is the usual game semantics: an existential configuration
+//! accepts iff **some** applicable rule leads to an accepting
+//! configuration, a universal one iff **all** do (with no applicable rule,
+//! a universal configuration accepts vacuously and an existential one
+//! rejects). The evaluator memoizes configurations; a configuration
+//! re-entered along the current evaluation path is treated as rejecting,
+//! which computes the least fixpoint for machines whose runs carry a
+//! progress measure (every cycle-free machine, and in particular every
+//! machine in [`crate::machines`]).
+
+use std::collections::HashMap;
+
+use twq_tree::{DelimTree, Value};
+
+use crate::machine::{
+    HeadMove, Mode, TreeDir, XGuard, XRegOp, Xtm, XtmConfig, XtmLimits,
+};
+
+/// Result of an alternating run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AltReport {
+    /// Whether the initial configuration is accepting.
+    pub accepted: bool,
+    /// Distinct configurations evaluated.
+    pub configs: usize,
+    /// Largest tape footprint observed.
+    pub space: usize,
+    /// Whether a resource limit was hit (result is then "reject by fiat").
+    pub truncated: bool,
+}
+
+struct AltExec<'a> {
+    m: &'a Xtm,
+    tree: &'a twq_tree::Tree,
+    limits: XtmLimits,
+    memo: HashMap<XtmConfig, bool>,
+    in_progress: HashMap<XtmConfig, ()>,
+    space: usize,
+    truncated: bool,
+}
+
+impl AltExec<'_> {
+    fn successors(&self, cfg: &XtmConfig) -> Vec<XtmConfig> {
+        let label = self.tree.label(cfg.node);
+        let sym = cfg.tape.get(cfg.head).copied().unwrap_or(0);
+        let mut out = Vec::new();
+        for r in self.m.rules() {
+            if r.state != cfg.state || r.label != label || r.tape != sym {
+                continue;
+            }
+            if r.cell0.is_some_and(|b| b != (cfg.head == 0)) {
+                continue;
+            }
+            let guard_ok = match r.guard {
+                XGuard::True => true,
+                XGuard::RegEqAttr(i, a) => {
+                    cfg.regs[i as usize] == self.tree.attr(cfg.node, a)
+                }
+                XGuard::RegNeAttr(i, a) => {
+                    cfg.regs[i as usize] != self.tree.attr(cfg.node, a)
+                }
+                XGuard::RegEqReg(i, j) => cfg.regs[i as usize] == cfg.regs[j as usize],
+                XGuard::RegNeReg(i, j) => cfg.regs[i as usize] != cfg.regs[j as usize],
+            };
+            if !guard_ok {
+                continue;
+            }
+            // Apply.
+            let mut next = cfg.clone();
+            if let XRegOp::LoadAttr(i, a) = r.reg {
+                next.regs[i as usize] = self.tree.attr(cfg.node, a);
+            }
+            // Tape write.
+            if next.head >= next.tape.len() {
+                if r.write != 0 {
+                    next.tape.resize(next.head + 1, 0);
+                    next.tape[next.head] = r.write;
+                }
+            } else {
+                next.tape[next.head] = r.write;
+                while next.tape.last() == Some(&0) {
+                    next.tape.pop();
+                }
+            }
+            let head_ok = match r.head {
+                HeadMove::Left => match next.head.checked_sub(1) {
+                    Some(h) => {
+                        next.head = h;
+                        true
+                    }
+                    None => false,
+                },
+                HeadMove::Right => {
+                    next.head += 1;
+                    true
+                }
+                HeadMove::Stay => true,
+            };
+            if !head_ok {
+                continue;
+            }
+            let moved = match r.tree {
+                TreeDir::Stay => Some(cfg.node),
+                TreeDir::Left => self.tree.prev_sibling(cfg.node),
+                TreeDir::Right => self.tree.next_sibling(cfg.node),
+                TreeDir::Up => self.tree.parent(cfg.node),
+                TreeDir::Down => self.tree.first_child(cfg.node),
+            };
+            let Some(node) = moved else { continue };
+            next.node = node;
+            next.state = r.next;
+            out.push(next);
+        }
+        out
+    }
+
+    fn eval(&mut self, cfg: XtmConfig) -> bool {
+        if cfg.state == self.m.accept() {
+            return true;
+        }
+        if let Some(&b) = self.memo.get(&cfg) {
+            return b;
+        }
+        if self.in_progress.contains_key(&cfg) {
+            // Least-fixpoint: an unfounded recursion does not accept.
+            return false;
+        }
+        self.space = self.space.max(cfg.tape.len()).max(cfg.head + 1);
+        if self.space > self.limits.max_space
+            || self.memo.len() as u64 >= self.limits.max_steps
+        {
+            self.truncated = true;
+            return false;
+        }
+        self.in_progress.insert(cfg.clone(), ());
+        let succs = self.successors(&cfg);
+        let result = match self.m.mode(cfg.state) {
+            Mode::Exist => succs.into_iter().any(|s| self.eval(s)),
+            Mode::Univ => succs.into_iter().all(|s| self.eval(s)),
+        };
+        self.in_progress.remove(&cfg);
+        self.memo.insert(cfg, result);
+        result
+    }
+}
+
+/// Evaluate an alternating machine on a delimited tree.
+pub fn run_alternating(m: &Xtm, delim: &DelimTree, limits: XtmLimits) -> AltReport {
+    let tree = delim.tree();
+    let mut exec = AltExec {
+        m,
+        tree,
+        limits,
+        memo: HashMap::new(),
+        in_progress: HashMap::new(),
+        space: 0,
+        truncated: false,
+    };
+    let init = XtmConfig {
+        node: tree.root(),
+        state: m.initial(),
+        head: 0,
+        tape: Vec::new(),
+        regs: vec![Value::BOT; m.reg_count() as usize],
+    };
+    let accepted = exec.eval(init);
+    AltReport {
+        accepted,
+        configs: exec.memo.len(),
+        space: exec.space.max(1),
+        truncated: exec.truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{XtmBuilder, BLANK};
+    use twq_tree::{parse_tree, Label, Vocab};
+
+    #[test]
+    fn deterministic_machine_agrees_with_direct_runner() {
+        // A machine without branching behaves identically under both
+        // semantics.
+        let mut b = XtmBuilder::new();
+        let s0 = b.state("s0");
+        let acc = b.state("acc");
+        b.initial(s0).accept(acc);
+        b.simple(
+            s0,
+            Label::DelimRoot,
+            BLANK,
+            acc,
+            1,
+            HeadMove::Stay,
+            TreeDir::Stay,
+        );
+        let m = b.build();
+        let mut v = Vocab::new();
+        let t = parse_tree("a(b)", &mut v).unwrap();
+        let dt = DelimTree::build(&t);
+        let alt = run_alternating(&m, &dt, XtmLimits::default());
+        let det = crate::machine::run_xtm(&m, &dt, XtmLimits::default());
+        assert_eq!(alt.accepted, det.accepted());
+    }
+
+    #[test]
+    fn existential_branching_picks_a_witness() {
+        // From ▽: either move Down (and get stuck) or accept in place —
+        // existential semantics accepts.
+        let mut b = XtmBuilder::new();
+        let s0 = b.state("s0");
+        let dead = b.state("dead");
+        let acc = b.state("acc");
+        b.initial(s0).accept(acc);
+        b.simple(s0, Label::DelimRoot, BLANK, dead, BLANK, HeadMove::Stay, TreeDir::Down);
+        b.simple(s0, Label::DelimRoot, BLANK, acc, BLANK, HeadMove::Stay, TreeDir::Stay);
+        let m = b.build();
+        let mut v = Vocab::new();
+        let t = parse_tree("a", &mut v).unwrap();
+        let r = run_alternating(&m, &DelimTree::build(&t), XtmLimits::default());
+        assert!(r.accepted);
+    }
+
+    #[test]
+    fn universal_branching_requires_all() {
+        // Same two branches from a universal state: reject.
+        let mut b = XtmBuilder::new();
+        let s0 = b.state_mode("s0", Mode::Univ);
+        let dead = b.state("dead");
+        let acc = b.state("acc");
+        b.initial(s0).accept(acc);
+        b.simple(s0, Label::DelimRoot, BLANK, dead, BLANK, HeadMove::Stay, TreeDir::Down);
+        b.simple(s0, Label::DelimRoot, BLANK, acc, BLANK, HeadMove::Stay, TreeDir::Stay);
+        let m = b.build();
+        let mut v = Vocab::new();
+        let t = parse_tree("a", &mut v).unwrap();
+        let r = run_alternating(&m, &DelimTree::build(&t), XtmLimits::default());
+        assert!(!r.accepted);
+    }
+
+    #[test]
+    fn universal_with_no_successors_accepts_vacuously() {
+        let mut b = XtmBuilder::new();
+        let s0 = b.state_mode("s0", Mode::Univ);
+        let acc = b.state("acc");
+        b.initial(s0).accept(acc);
+        let m = b.build();
+        let mut v = Vocab::new();
+        let t = parse_tree("a", &mut v).unwrap();
+        let r = run_alternating(&m, &DelimTree::build(&t), XtmLimits::default());
+        assert!(r.accepted);
+    }
+
+    #[test]
+    fn unfounded_cycle_rejects() {
+        // s0 →(stay in place)→ s0: no progress, existential → reject.
+        let mut b = XtmBuilder::new();
+        let s0 = b.state("s0");
+        let acc = b.state("acc");
+        b.initial(s0).accept(acc);
+        b.simple(s0, Label::DelimRoot, BLANK, s0, BLANK, HeadMove::Stay, TreeDir::Stay);
+        let m = b.build();
+        let mut v = Vocab::new();
+        let t = parse_tree("a", &mut v).unwrap();
+        let r = run_alternating(&m, &DelimTree::build(&t), XtmLimits::default());
+        assert!(!r.accepted);
+    }
+}

@@ -1,0 +1,256 @@
+//! Canonical string encodings of attributed trees — the bridge of
+//! Theorem 6.2 ("every tree language … recognizable by an ordinary TM
+//! working on the encoding of trees … and vice versa").
+//!
+//! The encoding is the parenthesized term in document order. `D`-values
+//! are replaced by their **first-occurrence index** in document order,
+//! echoing the paper's device in Theorem 7.1(2) ("we can assign a unique
+//! number to each D-value by considering the first occurrence in the
+//! in-order of the tree"). Two trees equal up to a value renaming thus
+//! share an encoding — exactly the genericity an ordinary TM sees.
+
+use std::collections::HashMap;
+
+use twq_tree::{AttrId, Label, NodeId, Tree, Value};
+
+/// A token of the encoding alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Token {
+    /// `(` — opens a node.
+    Open,
+    /// `)` — closes a node.
+    Close,
+    /// An element symbol (by interned id).
+    Sym(u16),
+    /// An attribute value, as (attribute id, first-occurrence index).
+    /// `⊥` encodes as index 0; proper values start at 1.
+    Val(u16, u32),
+}
+
+/// Encode a tree over the given attribute set as a token string.
+pub fn encode(tree: &Tree, attrs: &[AttrId]) -> Vec<Token> {
+    let mut numbering: HashMap<Value, u32> = HashMap::new();
+    numbering.insert(Value::BOT, 0);
+    let mut out = Vec::new();
+    enc_node(tree, tree.root(), attrs, &mut numbering, &mut out);
+    out
+}
+
+fn enc_node(
+    tree: &Tree,
+    u: NodeId,
+    attrs: &[AttrId],
+    numbering: &mut HashMap<Value, u32>,
+    out: &mut Vec<Token>,
+) {
+    out.push(Token::Open);
+    match tree.label(u) {
+        Label::Sym(s) => out.push(Token::Sym(s.0)),
+        // Delimited trees are never encoded; encode() is for inputs.
+        other => panic!("cannot encode delimiter label {other:?}"),
+    }
+    for &a in attrs {
+        let v = tree.attr(u, a);
+        let next = numbering.len() as u32;
+        let idx = *numbering.entry(v).or_insert(next);
+        out.push(Token::Val(a.0, idx));
+    }
+    for c in tree.children(u) {
+        enc_node(tree, c, attrs, numbering, out);
+    }
+    out.push(Token::Close);
+}
+
+/// Flatten a token string into bytes for a single-tape TM: `(` = b'(',
+/// `)` = b')', symbols as `S` + decimal digits + `;`, values as
+/// `@` + attr digits + `=` + index digits + `;`.
+pub fn to_bytes(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(tokens.len() * 4);
+    for t in tokens {
+        match t {
+            Token::Open => out.push(b'('),
+            Token::Close => out.push(b')'),
+            Token::Sym(s) => {
+                out.push(b'S');
+                out.extend(s.to_string().bytes());
+                out.push(b';');
+            }
+            Token::Val(a, i) => {
+                out.push(b'@');
+                out.extend(a.to_string().bytes());
+                out.push(b'=');
+                out.extend(i.to_string().bytes());
+                out.push(b';');
+            }
+        }
+    }
+    out
+}
+
+/// Decode a token string back into a tree (inverse of [`encode`] up to
+/// value renaming: value index `k` becomes `fresh(k)`, which must be
+/// injective; index 0 stays `⊥`). Returns `None` on malformed input.
+pub fn decode(tokens: &[Token], fresh: &mut impl FnMut(u32) -> Value) -> Option<Tree> {
+    let mut pos = 0usize;
+    // Root header.
+    let (label, attrs) = header(tokens, &mut pos)?;
+    let mut tree = Tree::new(label);
+    let root = tree.root();
+    apply_attrs(&mut tree, root, &attrs, fresh);
+    while tokens.get(pos) == Some(&Token::Open) {
+        decode_child(tokens, &mut pos, &mut tree, root, fresh)?;
+    }
+    if tokens.get(pos) != Some(&Token::Close) {
+        return None;
+    }
+    pos += 1;
+    (pos == tokens.len()).then_some(tree)
+}
+
+/// Parse `( Sym Val*` and return the label and attribute tokens.
+fn header(tokens: &[Token], pos: &mut usize) -> Option<(Label, Vec<(u16, u32)>)> {
+    if tokens.get(*pos) != Some(&Token::Open) {
+        return None;
+    }
+    *pos += 1;
+    let Some(&Token::Sym(s)) = tokens.get(*pos) else {
+        return None;
+    };
+    *pos += 1;
+    let mut attrs = Vec::new();
+    while let Some(&Token::Val(a, i)) = tokens.get(*pos) {
+        *pos += 1;
+        attrs.push((a, i));
+    }
+    Some((Label::Sym(twq_tree::SymId(s)), attrs))
+}
+
+fn apply_attrs(
+    tree: &mut Tree,
+    node: NodeId,
+    attrs: &[(u16, u32)],
+    fresh: &mut impl FnMut(u32) -> Value,
+) {
+    for &(a, i) in attrs {
+        if i != 0 {
+            tree.set_attr(node, AttrId(a), fresh(i));
+        }
+    }
+}
+
+fn decode_child(
+    tokens: &[Token],
+    pos: &mut usize,
+    tree: &mut Tree,
+    parent: NodeId,
+    fresh: &mut impl FnMut(u32) -> Value,
+) -> Option<()> {
+    let (label, attrs) = header(tokens, pos)?;
+    let node = tree.add_child(parent, label);
+    apply_attrs(tree, node, &attrs, fresh);
+    while tokens.get(*pos) == Some(&Token::Open) {
+        decode_child(tokens, pos, tree, node, fresh)?;
+    }
+    if tokens.get(*pos) != Some(&Token::Close) {
+        return None;
+    }
+    *pos += 1;
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twq_tree::{parse_tree, Vocab};
+
+    #[test]
+    fn encoding_is_document_order() {
+        let mut v = Vocab::new();
+        let t = parse_tree("a(b,c(d))", &mut v).unwrap();
+        let toks = encode(&t, &[]);
+        use Token::*;
+        let syms: Vec<Token> = toks
+            .iter()
+            .filter(|t| matches!(t, Sym(_)))
+            .copied()
+            .collect();
+        assert_eq!(syms.len(), 4);
+        // Balanced parens.
+        let opens = toks.iter().filter(|t| matches!(t, Open)).count();
+        let closes = toks.iter().filter(|t| matches!(t, Close)).count();
+        assert_eq!(opens, 4);
+        assert_eq!(closes, 4);
+    }
+
+    #[test]
+    fn value_numbering_by_first_occurrence() {
+        let mut v = Vocab::new();
+        let a = v.attr("a");
+        let t = parse_tree("s[a=x](s[a=y],s[a=x])", &mut v).unwrap();
+        let toks = encode(&t, &[a]);
+        let vals: Vec<u32> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Val(_, i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        // x → 1 (first), y → 2, x again → 1.
+        assert_eq!(vals, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn renaming_invariance() {
+        let mut v = Vocab::new();
+        let a = v.attr("a");
+        let t1 = parse_tree("s[a=x](s[a=y])", &mut v).unwrap();
+        let t2 = parse_tree("s[a=p](s[a=q])", &mut v).unwrap();
+        let t3 = parse_tree("s[a=p](s[a=p])", &mut v).unwrap();
+        assert_eq!(encode(&t1, &[a]), encode(&t2, &[a]));
+        assert_ne!(encode(&t1, &[a]), encode(&t3, &[a]));
+    }
+
+    #[test]
+    fn decode_round_trips_structure() {
+        let mut v = Vocab::new();
+        let a = v.attr("a");
+        let t = parse_tree("s[a=x](s[a=y],s(s[a=x]))", &mut v).unwrap();
+        let toks = encode(&t, &[a]);
+        let mut pool: HashMap<u32, Value> = HashMap::new();
+        let mut vv = v.clone();
+        let decoded = decode(&toks, &mut |i| {
+            *pool.entry(i).or_insert_with(|| vv.fresh_value())
+        })
+        .expect("decodes");
+        assert_eq!(decoded.len(), t.len());
+        // Same shape and labels.
+        for u in t.node_ids() {
+            let p = t.path(u);
+            let du = decoded.node_at_path(&p).expect("same shape");
+            assert_eq!(decoded.label(du), t.label(u));
+        }
+        // Re-encoding is identical (canonicality).
+        assert_eq!(encode(&decoded, &[a]), toks);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        use Token::*;
+        let mut nop = |_i: u32| Value::BOT;
+        assert!(decode(&[Open, Sym(0)], &mut nop).is_none());
+        assert!(decode(&[Open, Close], &mut nop).is_none());
+        assert!(decode(&[Open, Sym(0), Close, Close], &mut nop).is_none());
+        assert!(decode(&[], &mut nop).is_none());
+    }
+
+    #[test]
+    fn bytes_are_printable_and_injective_enough() {
+        let mut v = Vocab::new();
+        let t1 = parse_tree("a(b)", &mut v).unwrap();
+        let t2 = parse_tree("a(b,b)", &mut v).unwrap();
+        let b1 = to_bytes(&encode(&t1, &[]));
+        let b2 = to_bytes(&encode(&t2, &[]));
+        assert_ne!(b1, b2);
+        assert!(b1.iter().all(|b| b.is_ascii_graphic()));
+    }
+}

@@ -1,0 +1,491 @@
+//! A library of concrete `xTM`s with plain-Rust oracles.
+//!
+//! The headline machine, [`leaf_count_even`], is a **binary-tape,
+//! register-free, logspace** machine: it traverses the delimited tree in
+//! document order and maintains the number of `△`-markers seen (= original
+//! leaves) as a binary counter on the tape, then accepts iff the counter
+//! is even. It is exactly the kind of machine the Theorem 7.1(1) proof
+//! compiles to a pebble walker, and the input to `twq-sim`'s compiler.
+
+use twq_tree::{AttrId, Label, SymId, Tree};
+
+use crate::machine::{
+    HeadMove, Mode, TreeDir, XGuard, XRegOp, Xtm, XtmBuilder, XtmRule, BLANK,
+};
+
+/// The two binary tape symbols (blank doubles as bit 0).
+const ZERO: u8 = BLANK;
+const ONE: u8 = 1;
+
+/// Emit the document-order traversal rules over the delimited tree for the
+/// two states `fwd` (descend) and `next` (subtree done), copying the tape
+/// symbol and leaving the head alone. `△` is *not* handled — callers
+/// attach their own leaf behavior.
+fn traversal(
+    b: &mut XtmBuilder,
+    alphabet: &[SymId],
+    fwd: crate::machine::XState,
+    next: crate::machine::XState,
+) {
+    for t in [ZERO, ONE] {
+        b.simple(fwd, Label::DelimRoot, t, fwd, t, HeadMove::Stay, TreeDir::Down);
+        b.simple(fwd, Label::DelimOpen, t, fwd, t, HeadMove::Stay, TreeDir::Right);
+        b.simple(fwd, Label::DelimClose, t, next, t, HeadMove::Stay, TreeDir::Up);
+        for &s in alphabet {
+            b.simple(fwd, Label::Sym(s), t, fwd, t, HeadMove::Stay, TreeDir::Down);
+            b.simple(next, Label::Sym(s), t, fwd, t, HeadMove::Stay, TreeDir::Right);
+        }
+    }
+}
+
+/// Accept iff the number of leaves is even, counting in **binary on the
+/// tape** (LSB at cell 0). Register-free, binary tape, `O(log n)` space.
+pub fn leaf_count_even(alphabet: &[SymId]) -> Xtm {
+    let mut b = XtmBuilder::new();
+    let fwd = b.state("fwd");
+    let next = b.state("next");
+    let inc = b.state("inc");
+    let ret = b.state("ret");
+    let acc = b.state("acc");
+    b.initial(fwd).accept(acc);
+    traversal(&mut b, alphabet, fwd, next);
+
+    // At △ (head is at cell 0 by invariant): increment the counter.
+    // Reading 0: write 1, done — continue the traversal upward.
+    b.simple(fwd, Label::DelimLeaf, ZERO, next, ONE, HeadMove::Stay, TreeDir::Up);
+    // Reading 1: carry — write 0, move right, keep carrying.
+    b.simple(fwd, Label::DelimLeaf, ONE, inc, ZERO, HeadMove::Right, TreeDir::Stay);
+    b.simple(inc, Label::DelimLeaf, ONE, inc, ZERO, HeadMove::Right, TreeDir::Stay);
+    // Carry lands on 0: write 1, return to cell 0.
+    b.simple(inc, Label::DelimLeaf, ZERO, ret, ONE, HeadMove::Stay, TreeDir::Stay);
+    // Return: move left until the left end.
+    for t in [ZERO, ONE] {
+        b.rule(XtmRule {
+            state: ret,
+            label: Label::DelimLeaf,
+            tape: t,
+            cell0: Some(false),
+            guard: XGuard::True,
+            next: ret,
+            write: t,
+            head: HeadMove::Left,
+            tree: TreeDir::Stay,
+        reg: XRegOp::None,
+        });
+        b.rule(XtmRule {
+            state: ret,
+            label: Label::DelimLeaf,
+            tape: t,
+            cell0: Some(true),
+            guard: XGuard::True,
+            next,
+            write: t,
+            head: HeadMove::Stay,
+            tree: TreeDir::Up,
+            reg: XRegOp::None,
+        });
+    }
+    // Done: back at ▽ in `next`; accept iff bit 0 (parity) is 0.
+    b.simple(next, Label::DelimRoot, ZERO, acc, ZERO, HeadMove::Stay, TreeDir::Stay);
+    b.build()
+}
+
+/// Oracle for [`leaf_count_even`].
+pub fn oracle_leaf_count_even(tree: &Tree) -> bool {
+    tree.node_ids().filter(|&u| tree.is_leaf(u)).count() % 2 == 0
+}
+
+/// Accept iff the depth of the **leftmost leaf** is even (root depth 0):
+/// descend the leftmost spine, incrementing the binary counter per level,
+/// then accept on parity 0. A second, structurally different logspace
+/// binary-tape machine for the pebble-compiler experiments.
+pub fn leftmost_depth_even(alphabet: &[SymId]) -> Xtm {
+    let mut b = XtmBuilder::new();
+    let down = b.state("down");
+    let inc = b.state("inc");
+    let ret = b.state("ret");
+    let acc = b.state("acc");
+    b.initial(down).accept(acc);
+    for t in [ZERO, ONE] {
+        // ▽ → first child (⊳) → right (original root, depth 0).
+        b.simple(down, Label::DelimRoot, t, down, t, HeadMove::Stay, TreeDir::Down);
+        b.simple(down, Label::DelimOpen, t, down, t, HeadMove::Stay, TreeDir::Right);
+    }
+    for &s in alphabet {
+        // At an element node: descend (to ⊳ or △) and increment on the way
+        // down; the counter counts *edges below the root image*, so we
+        // increment when we *arrive* at a deeper element node, i.e. on
+        // stepping right from its ⊳ … easier: increment at each element
+        // node except the first. We mark "have seen root" by counting the
+        // root too and checking parity of (depth+1)… instead, keep it
+        // simple: increment at every element node and test parity 1
+        // (depth d has d+1 element nodes on the spine).
+        // Reading 0: write 1, descend.
+        b.simple(down, Label::Sym(s), ZERO, down, ONE, HeadMove::Stay, TreeDir::Down);
+        // Reading 1: carry.
+        b.simple(down, Label::Sym(s), ONE, inc, ZERO, HeadMove::Right, TreeDir::Stay);
+        b.simple(inc, Label::Sym(s), ONE, inc, ZERO, HeadMove::Right, TreeDir::Stay);
+        b.simple(inc, Label::Sym(s), ZERO, ret, ONE, HeadMove::Stay, TreeDir::Stay);
+        for t in [ZERO, ONE] {
+            b.rule(XtmRule {
+                state: ret,
+                label: Label::Sym(s),
+                tape: t,
+                cell0: Some(false),
+                guard: XGuard::True,
+                next: ret,
+                write: t,
+                head: HeadMove::Left,
+                tree: TreeDir::Stay,
+                reg: XRegOp::None,
+            });
+            b.rule(XtmRule {
+                state: ret,
+                label: Label::Sym(s),
+                tape: t,
+                cell0: Some(true),
+                guard: XGuard::True,
+                next: down,
+                write: t,
+                head: HeadMove::Stay,
+                tree: TreeDir::Down,
+                reg: XRegOp::None,
+            });
+        }
+    }
+    // Reached △: the leftmost leaf is the parent; spine length = depth+1,
+    // so depth even ⇔ counter odd ⇔ bit 0 = 1.
+    b.simple(down, Label::DelimLeaf, ONE, acc, ONE, HeadMove::Stay, TreeDir::Stay);
+    b.build()
+}
+
+/// Oracle for [`leftmost_depth_even`].
+pub fn oracle_leftmost_depth_even(tree: &Tree) -> bool {
+    let mut u = tree.root();
+    let mut depth = 0usize;
+    while let Some(c) = tree.first_child(u) {
+        u = c;
+        depth += 1;
+    }
+    depth.is_multiple_of(2)
+}
+
+/// Accept iff the **total number of nodes** is even: the same binary
+/// counter as [`leaf_count_even`], incremented at each element node's
+/// first visit instead of at `△`. A third logspace machine for the
+/// compiler experiments, structurally between the other two (counting at
+/// internal positions, not just extremes).
+pub fn node_count_even(alphabet: &[SymId]) -> Xtm {
+    let mut b = XtmBuilder::new();
+    let fwd = b.state("fwd");
+    let cnt = b.state("cnt");
+    let inc = b.state("inc");
+    let ret = b.state("ret");
+    let next = b.state("next");
+    let acc = b.state("acc");
+    b.initial(fwd).accept(acc);
+    for t in [ZERO, ONE] {
+        b.simple(fwd, Label::DelimRoot, t, fwd, t, HeadMove::Stay, TreeDir::Down);
+        b.simple(fwd, Label::DelimOpen, t, fwd, t, HeadMove::Stay, TreeDir::Right);
+        b.simple(fwd, Label::DelimClose, t, next, t, HeadMove::Stay, TreeDir::Up);
+        b.simple(fwd, Label::DelimLeaf, t, next, t, HeadMove::Stay, TreeDir::Up);
+        for &s in alphabet {
+            // First visit: count, then descend via `cnt`-completion.
+            b.simple(next, Label::Sym(s), t, fwd, t, HeadMove::Stay, TreeDir::Right);
+        }
+    }
+    for &s in alphabet {
+        // Increment with head at cell 0 (invariant), then descend.
+        b.simple(fwd, Label::Sym(s), ZERO, cnt, ONE, HeadMove::Stay, TreeDir::Stay);
+        b.simple(fwd, Label::Sym(s), ONE, inc, ZERO, HeadMove::Right, TreeDir::Stay);
+        b.simple(inc, Label::Sym(s), ONE, inc, ZERO, HeadMove::Right, TreeDir::Stay);
+        b.simple(inc, Label::Sym(s), ZERO, ret, ONE, HeadMove::Stay, TreeDir::Stay);
+        for t in [ZERO, ONE] {
+            b.rule(XtmRule {
+                state: ret,
+                label: Label::Sym(s),
+                tape: t,
+                cell0: Some(false),
+                guard: XGuard::True,
+                next: ret,
+                write: t,
+                head: HeadMove::Left,
+                tree: TreeDir::Stay,
+                reg: XRegOp::None,
+            });
+            b.rule(XtmRule {
+                state: ret,
+                label: Label::Sym(s),
+                tape: t,
+                cell0: Some(true),
+                guard: XGuard::True,
+                next: cnt,
+                write: t,
+                head: HeadMove::Stay,
+                tree: TreeDir::Stay,
+                reg: XRegOp::None,
+            });
+            b.simple(cnt, Label::Sym(s), t, fwd, t, HeadMove::Stay, TreeDir::Down);
+        }
+    }
+    // Back at ▽ with all nodes counted: accept iff bit 0 = 0.
+    b.simple(next, Label::DelimRoot, ZERO, acc, ZERO, HeadMove::Stay, TreeDir::Stay);
+    b.build()
+}
+
+/// Oracle for [`node_count_even`].
+pub fn oracle_node_count_even(tree: &Tree) -> bool {
+    tree.len().is_multiple_of(2)
+}
+
+/// A register machine: accept iff **some leaf carries the same
+/// `a`-attribute as the root**. Loads the root value into register 0 at
+/// the root image, then traverses in document order, accepting at the
+/// first matching leaf; finite control plus one register, no tape.
+pub fn root_value_at_some_leaf(alphabet: &[SymId], a: AttrId) -> Xtm {
+    let mut b = XtmBuilder::new();
+    let s0 = b.state("s0");
+    let s1 = b.state("s1");
+    let load = b.state("load");
+    let fwd = b.state("fwd");
+    let next = b.state("next");
+    let chk = b.state("chk");
+    let acc = b.state("acc");
+    b.initial(s0).accept(acc).registers(1);
+    b.simple(s0, Label::DelimRoot, BLANK, s1, BLANK, HeadMove::Stay, TreeDir::Down);
+    b.simple(s1, Label::DelimOpen, BLANK, load, BLANK, HeadMove::Stay, TreeDir::Right);
+    for &s in alphabet {
+        // At the original root: load its value, start the traversal.
+        b.rule(XtmRule {
+            state: load,
+            label: Label::Sym(s),
+            tape: BLANK,
+            cell0: None,
+            guard: XGuard::True,
+            next: fwd,
+            write: BLANK,
+            head: HeadMove::Stay,
+            tree: TreeDir::Down,
+            reg: XRegOp::LoadAttr(0, a),
+        });
+        b.simple(fwd, Label::Sym(s), BLANK, fwd, BLANK, HeadMove::Stay, TreeDir::Down);
+        b.simple(next, Label::Sym(s), BLANK, fwd, BLANK, HeadMove::Stay, TreeDir::Right);
+        b.rule(XtmRule {
+            state: chk,
+            label: Label::Sym(s),
+            tape: BLANK,
+            cell0: None,
+            guard: XGuard::RegEqAttr(0, a),
+            next: acc,
+            write: BLANK,
+            head: HeadMove::Stay,
+            tree: TreeDir::Stay,
+            reg: XRegOp::None,
+        });
+        b.rule(XtmRule {
+            state: chk,
+            label: Label::Sym(s),
+            tape: BLANK,
+            cell0: None,
+            guard: XGuard::RegNeAttr(0, a),
+            next,
+            write: BLANK,
+            head: HeadMove::Stay,
+            tree: TreeDir::Stay,
+            reg: XRegOp::None,
+        });
+    }
+    b.simple(fwd, Label::DelimOpen, BLANK, fwd, BLANK, HeadMove::Stay, TreeDir::Right);
+    b.simple(fwd, Label::DelimClose, BLANK, next, BLANK, HeadMove::Stay, TreeDir::Up);
+    b.simple(fwd, Label::DelimLeaf, BLANK, chk, BLANK, HeadMove::Stay, TreeDir::Up);
+    b.build()
+}
+
+/// Oracle for [`root_value_at_some_leaf`].
+pub fn oracle_root_value_at_some_leaf(tree: &Tree, a: AttrId) -> bool {
+    let root_val = tree.attr(tree.root(), a);
+    tree.node_ids()
+        .any(|u| tree.is_leaf(u) && tree.attr(u, a) == root_val)
+}
+
+/// An **alternating** machine: accept iff *every* leaf is at even depth.
+/// Universal states branch over the children of each node; no tape is
+/// needed, so this exercises pure alternation (Section 6's `A…^X`
+/// classes).
+pub fn alt_all_leaves_even_depth(alphabet: &[SymId]) -> Xtm {
+    let mut b = XtmBuilder::new();
+    let init = b.state("init");
+    let init2 = b.state("init2");
+    // chk_p: the current element node is at depth parity p.
+    let chk = [b.state("chk0"), b.state("chk1")];
+    // scan_p: standing on a child-list entry whose members have parity p;
+    // universal: both "enter this child" and "keep scanning" must accept.
+    let scan = [
+        b.state_mode("scan0", Mode::Univ),
+        b.state_mode("scan1", Mode::Univ),
+    ];
+    let acc = b.state("acc");
+    b.initial(init).accept(acc);
+    b.simple(init, Label::DelimRoot, BLANK, init2, BLANK, HeadMove::Stay, TreeDir::Down);
+    // ▽'s child list holds the root (depth 0 = parity 0).
+    b.simple(init2, Label::DelimOpen, BLANK, scan[0], BLANK, HeadMove::Stay, TreeDir::Right);
+    for p in 0..2usize {
+        for &s in alphabet {
+            // Universal split at an element child.
+            b.simple(scan[p], Label::Sym(s), BLANK, chk[p], BLANK, HeadMove::Stay, TreeDir::Stay);
+            b.simple(scan[p], Label::Sym(s), BLANK, scan[p], BLANK, HeadMove::Stay, TreeDir::Right);
+            // Check a node at parity p: descend into its child list.
+            b.simple(chk[p], Label::Sym(s), BLANK, chk[p], BLANK, HeadMove::Stay, TreeDir::Down);
+        }
+        // End of a child list: this universal branch is satisfied.
+        b.simple(scan[p], Label::DelimClose, BLANK, acc, BLANK, HeadMove::Stay, TreeDir::Stay);
+        // chk_p descended to ⊳: children live at parity 1-p.
+        b.simple(chk[p], Label::DelimOpen, BLANK, scan[1 - p], BLANK, HeadMove::Stay, TreeDir::Right);
+    }
+    // chk_p descended to △: the node is a leaf at parity p — accept iff
+    // p = 0 (even); stuck (reject this branch) otherwise.
+    b.simple(chk[0], Label::DelimLeaf, BLANK, acc, BLANK, HeadMove::Stay, TreeDir::Stay);
+    b.build()
+}
+
+/// Oracle for [`alt_all_leaves_even_depth`].
+pub fn oracle_all_leaves_even_depth(tree: &Tree) -> bool {
+    tree.node_ids()
+        .filter(|&u| tree.is_leaf(u))
+        .all(|u| tree.depth(u).is_multiple_of(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alternating::run_alternating;
+    use crate::machine::{run_xtm_on_tree, XtmLimits};
+    use twq_tree::generate::{perfect_tree, random_tree, TreeGenConfig};
+    use twq_tree::Vocab;
+
+    fn cfgs(nodes: usize) -> (Vocab, TreeGenConfig) {
+        let mut v = Vocab::new();
+        let cfg = TreeGenConfig::example32(&mut v, nodes, &[1, 2, 3]);
+        (v, cfg)
+    }
+
+    #[test]
+    fn leaf_count_even_matches_oracle() {
+        let (_, cfg) = cfgs(30);
+        let m = leaf_count_even(&cfg.symbols);
+        assert!(m.is_register_free());
+        assert!(m.is_binary_tape());
+        for seed in 0..25 {
+            let t = random_tree(&cfg, seed);
+            let r = run_xtm_on_tree(&m, &t, XtmLimits::default());
+            assert!(!matches!(r.halt, crate::machine::XtmHalt::Cycle), "seed {seed}");
+            assert_eq!(r.accepted(), oracle_leaf_count_even(&t), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn leaf_count_even_uses_log_space() {
+        let (_, cfg) = cfgs(200);
+        let m = leaf_count_even(&cfg.symbols);
+        let t = random_tree(&cfg, 0);
+        let r = run_xtm_on_tree(&m, &t, XtmLimits::default());
+        let leaves = t.node_ids().filter(|&u| t.is_leaf(u)).count();
+        // Counter uses ⌈log₂(leaves+1)⌉ bits (+1 transient carry cell).
+        let bound = (leaves + 1).next_power_of_two().trailing_zeros() as usize + 2;
+        assert!(r.space <= bound, "space {} > {}", r.space, bound);
+    }
+
+    #[test]
+    fn node_count_even_matches_oracle() {
+        let (_, cfg) = cfgs(24);
+        let m = node_count_even(&cfg.symbols);
+        assert!(m.is_register_free());
+        assert!(m.is_binary_tape());
+        let (mut yes, mut no) = (0, 0);
+        for seed in 0..24 {
+            // Vary size to mix parities.
+            let cfg_n = twq_tree::generate::TreeGenConfig {
+                nodes: 10 + (seed as usize % 7),
+                ..cfg.clone()
+            };
+            let t = random_tree(&cfg_n, seed);
+            let r = run_xtm_on_tree(&m, &t, XtmLimits::default());
+            let expect = oracle_node_count_even(&t);
+            assert_eq!(r.accepted(), expect, "seed {seed}");
+            if expect {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+        }
+        assert!(yes > 0 && no > 0);
+    }
+
+    #[test]
+    fn leftmost_depth_even_matches_oracle() {
+        let (_, cfg) = cfgs(25);
+        let m = leftmost_depth_even(&cfg.symbols);
+        assert!(m.is_register_free());
+        let (mut even_seen, mut odd_seen) = (false, false);
+        for seed in 0..30 {
+            let t = random_tree(&cfg, seed);
+            let r = run_xtm_on_tree(&m, &t, XtmLimits::default());
+            let expect = oracle_leftmost_depth_even(&t);
+            assert_eq!(r.accepted(), expect, "seed {seed}");
+            even_seen |= expect;
+            odd_seen |= !expect;
+        }
+        assert!(even_seen && odd_seen);
+    }
+
+    #[test]
+    fn root_value_machine_matches_oracle() {
+        let (v, cfg) = cfgs(20);
+        let a = v.attr_opt("a").unwrap();
+        let m = root_value_at_some_leaf(&cfg.symbols, a);
+        let (mut yes, mut no) = (0, 0);
+        for seed in 0..30 {
+            let t = random_tree(&cfg, seed);
+            let r = run_xtm_on_tree(&m, &t, XtmLimits::default());
+            let expect = oracle_root_value_at_some_leaf(&t, a);
+            assert_eq!(r.accepted(), expect, "seed {seed}");
+            if expect {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+        }
+        assert!(yes > 0 && no > 0, "yes={yes} no={no}");
+    }
+
+    #[test]
+    fn alternating_machine_on_perfect_trees() {
+        let mut v = Vocab::new();
+        let s = v.sym("sigma");
+        let m = alt_all_leaves_even_depth(&[s]);
+        // Perfect binary trees: depth 2 → accept, depth 3 → reject.
+        let t2 = perfect_tree(s, 2, 2);
+        assert!(run_alternating(&m, &twq_tree::DelimTree::build(&t2), XtmLimits::default()).accepted);
+        let t3 = perfect_tree(s, 2, 3);
+        assert!(!run_alternating(&m, &twq_tree::DelimTree::build(&t3), XtmLimits::default()).accepted);
+    }
+
+    #[test]
+    fn alternating_machine_matches_oracle_on_random_trees() {
+        let (_, cfg) = cfgs(15);
+        let m = alt_all_leaves_even_depth(&cfg.symbols);
+        let (mut yes, mut no) = (0, 0);
+        for seed in 0..30 {
+            let t = random_tree(&cfg, seed);
+            let r = run_alternating(&m, &twq_tree::DelimTree::build(&t), XtmLimits::default());
+            let expect = oracle_all_leaves_even_depth(&t);
+            assert_eq!(r.accepted, expect, "seed {seed}");
+            if expect {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+        }
+        assert!(yes > 0 && no > 0, "yes={yes} no={no}");
+    }
+}

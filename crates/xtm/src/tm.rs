@@ -1,0 +1,412 @@
+//! Ordinary single-tape Turing machines over byte alphabets — the other
+//! side of Theorem 6.2. Machines here consume the byte flattening of the
+//! canonical tree encoding ([`crate::encode`](mod@crate::encode)), so that paired xTM/TM
+//! recognizers can be tested for agreement (experiment E11).
+
+use std::collections::{HashMap, HashSet};
+
+/// A TM state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TmState(pub u16);
+
+/// A head move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TmMove {
+    /// Left.
+    L,
+    /// Right.
+    R,
+    /// Stay.
+    S,
+}
+
+/// The blank symbol.
+pub const TM_BLANK: u8 = 0;
+
+/// A deterministic single-tape TM.
+#[derive(Debug, Clone)]
+pub struct Tm {
+    initial: TmState,
+    accept: TmState,
+    /// `(state, read) → (next, write, move)`.
+    delta: HashMap<(TmState, u8), (TmState, u8, TmMove)>,
+}
+
+/// Builder for [`Tm`].
+#[derive(Debug, Default)]
+pub struct TmBuilder {
+    names: Vec<String>,
+    by_name: HashMap<String, TmState>,
+    initial: Option<TmState>,
+    accept: Option<TmState>,
+    delta: HashMap<(TmState, u8), (TmState, u8, TmMove)>,
+}
+
+impl TmBuilder {
+    /// Start a new machine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a state.
+    pub fn state(&mut self, name: &str) -> TmState {
+        if let Some(&s) = self.by_name.get(name) {
+            return s;
+        }
+        let s = TmState(u16::try_from(self.names.len()).expect("too many states"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Declare the initial state.
+    pub fn initial(&mut self, s: TmState) -> &mut Self {
+        self.initial = Some(s);
+        self
+    }
+
+    /// Declare the accept state.
+    pub fn accept(&mut self, s: TmState) -> &mut Self {
+        self.accept = Some(s);
+        self
+    }
+
+    /// Add a transition.
+    pub fn t(&mut self, from: TmState, read: u8, to: TmState, write: u8, mv: TmMove) -> &mut Self {
+        let prev = self.delta.insert((from, read), (to, write, mv));
+        assert!(prev.is_none(), "duplicate transition on ({from:?}, {read})");
+        self
+    }
+
+    /// Freeze.
+    pub fn build(self) -> Tm {
+        Tm {
+            initial: self.initial.expect("initial state required"),
+            accept: self.accept.expect("accept state required"),
+            delta: self.delta,
+        }
+    }
+}
+
+/// How a TM run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TmHalt {
+    /// Accept state reached.
+    Accept,
+    /// No transition.
+    Stuck,
+    /// Configuration repeated.
+    Cycle,
+    /// Step budget exceeded.
+    StepLimit,
+}
+
+/// TM run statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TmReport {
+    /// Outcome.
+    pub halt: TmHalt,
+    /// Steps taken.
+    pub steps: u64,
+    /// Cells used beyond the input (work space).
+    pub space: usize,
+}
+
+impl TmReport {
+    /// Whether the machine accepted.
+    pub fn accepted(&self) -> bool {
+        self.halt == TmHalt::Accept
+    }
+}
+
+/// Run the machine on the given input (written left-to-right from cell 0;
+/// the head starts at cell 0). The tape is one-way infinite; moving left
+/// of cell 0 is `Stuck`.
+pub fn run_tm(m: &Tm, input: &[u8], max_steps: u64) -> TmReport {
+    let mut tape: Vec<u8> = input.to_vec();
+    let mut head = 0usize;
+    let mut state = m.initial;
+    let mut steps = 0u64;
+    let mut space = input.len();
+    let mut seen: HashSet<(TmState, usize, Vec<u8>)> = HashSet::new();
+    loop {
+        if state == m.accept {
+            return TmReport {
+                halt: TmHalt::Accept,
+                steps,
+                space,
+            };
+        }
+        let read = tape.get(head).copied().unwrap_or(TM_BLANK);
+        let Some(&(next, write, mv)) = m.delta.get(&(state, read)) else {
+            return TmReport {
+                halt: TmHalt::Stuck,
+                steps,
+                space,
+            };
+        };
+        if steps >= max_steps {
+            return TmReport {
+                halt: TmHalt::StepLimit,
+                steps,
+                space,
+            };
+        }
+        if !seen.insert((state, head, tape.clone())) {
+            return TmReport {
+                halt: TmHalt::Cycle,
+                steps,
+                space,
+            };
+        }
+        steps += 1;
+        if head >= tape.len() {
+            tape.resize(head + 1, TM_BLANK);
+        }
+        tape[head] = write;
+        match mv {
+            TmMove::L => match head.checked_sub(1) {
+                Some(h) => head = h,
+                None => {
+                    return TmReport {
+                        halt: TmHalt::Stuck,
+                        steps,
+                        space,
+                    }
+                }
+            },
+            TmMove::R => head += 1,
+            TmMove::S => {}
+        }
+        state = next;
+        space = space.max(head + 1).max(tape.len());
+    }
+}
+
+/// An ordinary TM recognizing "the encoded tree has an **even number of
+/// leaves**": scan left-to-right; a leaf is a `;` (end of the last header
+/// token of a node) immediately followed by `)` — i.e. a node with no
+/// children. The parity lives in the state. Pairs with
+/// [`crate::machines::leaf_count_even`] for experiment E11.
+pub fn tm_leaf_count_even() -> Tm {
+    let mut b = TmBuilder::new();
+    // Parity p ∈ {0,1}; "just saw end-of-header" flag h ∈ {0,1}.
+    let p0h0 = b.state("p0h0");
+    let p0h1 = b.state("p0h1");
+    let p1h0 = b.state("p1h0");
+    let p1h1 = b.state("p1h1");
+    let acc = b.state("acc");
+    b.initial(p0h0).accept(acc);
+    // Transition table, written explicitly: on ';' set h=1; on ')' with
+    // h=1 flip parity and clear h; on '(' or any header byte clear/keep as
+    // appropriate; on blank (end of input) accept iff parity 0.
+    let all: Vec<u8> = {
+        let mut v = vec![b'(', b')', b';', b'S', b'@', b'=', TM_BLANK];
+        v.extend(b'0'..=b'9');
+        v
+    };
+    for &(ph0, ph1, flipped) in &[(p0h0, p0h1, p1h0), (p1h0, p1h1, p0h0)] {
+        for &c in &all {
+            match c {
+                b';' => {
+                    b.t(ph0, c, ph1, c, TmMove::R);
+                    b.t(ph1, c, ph1, c, TmMove::R);
+                }
+                b')' => {
+                    // h=0: an inner node's close — no parity change.
+                    b.t(ph0, c, ph0, c, TmMove::R);
+                    // h=1: the node had no children — it is a leaf.
+                    b.t(ph1, c, flipped, c, TmMove::R);
+                }
+                TM_BLANK => {
+                    // End of input: accept iff even parity (only p0 rules).
+                    if ph0 == p0h0 {
+                        b.t(ph0, c, acc, c, TmMove::S);
+                        b.t(ph1, c, acc, c, TmMove::S);
+                    }
+                }
+                _ => {
+                    // '(' and header bytes: reading '(' clears h (a child
+                    // follows); header bytes keep h=0 until ';'.
+                    b.t(ph0, c, ph0, c, TmMove::R);
+                    b.t(ph1, c, if c == b'(' { ph0 } else { ph1 }, c, TmMove::R);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// An ordinary TM recognizing "the encoded tree has an **even number of
+/// nodes**": count the parity of `(` while scanning. Pairs with
+/// [`crate::machines::node_count_even`].
+pub fn tm_node_count_even() -> Tm {
+    let mut b = TmBuilder::new();
+    let p0 = b.state("p0");
+    let p1 = b.state("p1");
+    let acc = b.state("acc");
+    b.initial(p0).accept(acc);
+    let all: Vec<u8> = {
+        let mut v = vec![b'(', b')', b';', b'S', b'@', b'=', TM_BLANK];
+        v.extend(b'0'..=b'9');
+        v
+    };
+    for &c in &all {
+        match c {
+            b'(' => {
+                b.t(p0, c, p1, c, TmMove::R);
+                b.t(p1, c, p0, c, TmMove::R);
+            }
+            TM_BLANK => {
+                b.t(p0, c, acc, c, TmMove::S);
+            }
+            _ => {
+                b.t(p0, c, p0, c, TmMove::R);
+                b.t(p1, c, p1, c, TmMove::R);
+            }
+        }
+    }
+    b.build()
+}
+
+/// An ordinary TM recognizing "the **leftmost leaf** of the encoded tree
+/// is at even depth": the leftmost leaf's depth is (number of `(` before
+/// the first `)`) − 1, so track `(`-count parity until the first `)`.
+/// Pairs with [`crate::machines::leftmost_depth_even`].
+pub fn tm_leftmost_depth_even() -> Tm {
+    let mut b = TmBuilder::new();
+    // Parity of the number of '(' seen so far.
+    let p0 = b.state("p0");
+    let p1 = b.state("p1");
+    let acc = b.state("acc");
+    b.initial(p0).accept(acc);
+    let all: Vec<u8> = {
+        let mut v = vec![b'(', b')', b';', b'S', b'@', b'=', TM_BLANK];
+        v.extend(b'0'..=b'9');
+        v
+    };
+    for &c in &all {
+        match c {
+            b'(' => {
+                b.t(p0, c, p1, c, TmMove::R);
+                b.t(p1, c, p0, c, TmMove::R);
+            }
+            b')' => {
+                // depth = count - 1 even ⇔ count odd ⇔ parity p1.
+                b.t(p1, c, acc, c, TmMove::S);
+                // p0 at the first ')': depth odd → reject (no rule).
+            }
+            _ => {
+                b.t(p0, c, p0, c, TmMove::R);
+                b.t(p1, c, p1, c, TmMove::R);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{encode, to_bytes};
+    use crate::machines::oracle_leaf_count_even;
+    use twq_tree::generate::{random_tree, TreeGenConfig};
+    use twq_tree::{parse_tree, Vocab};
+
+    #[test]
+    fn trivial_acceptor() {
+        let mut b = TmBuilder::new();
+        let s0 = b.state("s0");
+        let acc = b.state("acc");
+        b.initial(s0).accept(acc);
+        b.t(s0, b'x', acc, b'x', TmMove::S);
+        let m = b.build();
+        assert!(run_tm(&m, b"x", 100).accepted());
+        assert_eq!(run_tm(&m, b"y", 100).halt, TmHalt::Stuck);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut b = TmBuilder::new();
+        let s0 = b.state("s0");
+        let acc = b.state("acc");
+        b.initial(s0).accept(acc);
+        b.t(s0, b'x', s0, b'x', TmMove::S);
+        let m = b.build();
+        assert_eq!(run_tm(&m, b"x", 100).halt, TmHalt::Cycle);
+    }
+
+    #[test]
+    fn left_edge_is_stuck() {
+        let mut b = TmBuilder::new();
+        let s0 = b.state("s0");
+        let acc = b.state("acc");
+        b.initial(s0).accept(acc);
+        b.t(s0, b'x', s0, b'x', TmMove::L);
+        let m = b.build();
+        assert_eq!(run_tm(&m, b"x", 100).halt, TmHalt::Stuck);
+    }
+
+    #[test]
+    fn leaf_parity_tm_small_cases() {
+        let m = tm_leaf_count_even();
+        let mut v = Vocab::new();
+        for (src, expect) in [
+            ("a", false),          // 1 leaf
+            ("a(b)", false),       // 1 leaf
+            ("a(b,c)", true),      // 2 leaves
+            ("a(b(c),d)", true),   // 2 leaves
+            ("a(b,c,d)", false),   // 3 leaves
+        ] {
+            let t = parse_tree(src, &mut v).unwrap();
+            let input = to_bytes(&encode(&t, &[]));
+            let r = run_tm(&m, &input, 1_000_000);
+            assert_eq!(r.accepted(), expect, "{src}");
+        }
+    }
+
+    #[test]
+    fn node_parity_tm_matches_oracle() {
+        let m = tm_node_count_even();
+        let mut v = Vocab::new();
+        let cfg = TreeGenConfig::example32(&mut v, 31, &[1]);
+        for seed in 0..20 {
+            let n = 20 + (seed as usize % 5);
+            let cfg_n = twq_tree::generate::TreeGenConfig { nodes: n, ..cfg.clone() };
+            let t = random_tree(&cfg_n, seed);
+            let input = to_bytes(&encode(&t, &[]));
+            let r = run_tm(&m, &input, 10_000_000);
+            assert_eq!(r.accepted(), t.len().is_multiple_of(2), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn leftmost_depth_tm_matches_oracle() {
+        let m = tm_leftmost_depth_even();
+        let mut v = Vocab::new();
+        let cfg = TreeGenConfig::example32(&mut v, 25, &[1]);
+        for seed in 0..20 {
+            let t = random_tree(&cfg, seed);
+            let input = to_bytes(&encode(&t, &[]));
+            let r = run_tm(&m, &input, 10_000_000);
+            assert_eq!(
+                r.accepted(),
+                crate::machines::oracle_leftmost_depth_even(&t),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_parity_tm_matches_xtm_oracle_on_random_trees() {
+        let m = tm_leaf_count_even();
+        let mut v = Vocab::new();
+        let cfg = TreeGenConfig::example32(&mut v, 40, &[1]);
+        for seed in 0..25 {
+            let t = random_tree(&cfg, seed);
+            let input = to_bytes(&encode(&t, &[]));
+            let r = run_tm(&m, &input, 10_000_000);
+            assert_eq!(r.accepted(), oracle_leaf_count_even(&t), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: build attributed trees, run the paper's Example 3.2
+//! tree-walking automaton, and inspect the execution.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use twq::automata::{examples, run_on_tree, Limits};
+use twq::tree::{parse_tree, tree_to_string, Vocab};
+
+fn main() {
+    let mut vocab = Vocab::new();
+
+    // The automaton of Example 3.2: over Σ = {σ, δ} and A = {a}, accept
+    // iff every δ-labeled node's leaf-descendants all carry the same
+    // a-attribute.
+    let ex = examples::example_32(&mut vocab);
+    println!("{}", ex.program.display(&vocab));
+
+    let inputs = [
+        // δ's leaves both carry 1: accept.
+        "sigma[a=0](delta[a=0](sigma[a=1],sigma[a=1]),sigma[a=2])",
+        // δ's leaves carry 1 and 2: reject.
+        "sigma[a=0](delta[a=0](sigma[a=1],sigma[a=2]))",
+        // δ is itself a leaf (no leaf-descendants): accept.
+        "sigma[a=1](delta[a=2])",
+        // No δ at all: accept.
+        "sigma[a=1](sigma[a=2],sigma[a=3])",
+    ];
+
+    for src in inputs {
+        let t = parse_tree(src, &mut vocab).expect("valid term syntax");
+        let report = run_on_tree(&ex.program, &t, Limits::default());
+        let verdict = if report.accepted() { "ACCEPT" } else { "reject" };
+        println!(
+            "{verdict}  {:<55}  steps={:<4} atp={} subs={}",
+            tree_to_string(&t, &vocab),
+            report.steps,
+            report.atp_calls,
+            report.subcomputations,
+        );
+        assert_eq!(
+            report.accepted(),
+            examples::oracle_example_32(&t, ex.delta, ex.attr),
+            "engine must agree with the reference oracle"
+        );
+    }
+}

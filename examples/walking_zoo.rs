@@ -1,0 +1,77 @@
+//! The walking zoo: the paper's relatives of tree-walking automata, side
+//! by side on one input —
+//!
+//! * **caterpillar expressions** (Brüggemann-Klein & Wood, the intro's
+//!   first tree-walking instance): regular expressions over moves/tests;
+//! * **two-way string automata** (Section 3's opening analogy), embedded
+//!   literally into `TW` walkers on monadic trees;
+//! * a traced **`tw^{r,l}`** run making the walking visible.
+//!
+//! ```sh
+//! cargo run --example walking_zoo
+//! ```
+
+use twq::automata::caterpillar::{cat, parse_caterpillar, select};
+use twq::automata::engine::display_trace;
+use twq::automata::twodfa::{even_as_and_bs, word_tree, DHalt};
+use twq::automata::{examples, run_on_tree, run_traced, Limits};
+use twq::tree::{parse_tree, DelimTree, Vocab};
+
+fn main() {
+    let mut vocab = Vocab::new();
+
+    // ----- caterpillars --------------------------------------------------
+    println!("== caterpillar expressions ==");
+    let t = parse_tree("a(b(c,d),e(f(g)))", &mut vocab).unwrap();
+    for (name, expr) in [
+        ("descendants  (down right*)+", cat::descendants()),
+        ("leftmost leaf  down* isLeaf", cat::leftmost_leaf()),
+        (
+            "last child of the root  down right* isLast",
+            parse_caterpillar("down right* isLast", &mut vocab).unwrap(),
+        ),
+    ] {
+        let sel = select(&t, &expr, t.root());
+        println!("  {name:<42} → {} node(s) from the root", sel.len());
+    }
+
+    // ----- two-way string automata --------------------------------------
+    println!("\n== 2DFA ⊆ TW on monadic trees ==");
+    let a = vocab.sym("a");
+    let b = vocab.sym("b");
+    let m = even_as_and_bs(a, b);
+    let walker = m.to_walker(&[a, b]).unwrap();
+    for word in [vec![a, a, b, b], vec![a, b, b], vec![b, b], vec![a]] {
+        let direct = m.run(&word) == DHalt::Accept;
+        let t = word_tree(&word);
+        let walked = run_on_tree(&walker, &t, Limits::default()).accepted();
+        assert_eq!(direct, walked, "the embedding is exact");
+        let rendered: Vec<&str> = word
+            .iter()
+            .map(|&s| vocab.sym_name(s))
+            .collect();
+        println!(
+            "  {:<12} 2DFA: {:<7} TW walker: {}",
+            rendered.join(""),
+            if direct { "accept" } else { "reject" },
+            if walked { "accept" } else { "reject" },
+        );
+    }
+
+    // ----- a traced tw^{r,l} run -----------------------------------------
+    println!("\n== Example 3.2, traced (first 14 configurations) ==");
+    let ex = examples::example_32(&mut vocab);
+    let t = parse_tree(
+        "sigma[a=9](delta[a=9](sigma[a=1],sigma[a=1]))",
+        &mut vocab,
+    )
+    .unwrap();
+    let dt = DelimTree::build(&t);
+    let (report, trace) = run_traced(&ex.program, &dt, Limits::default(), 14);
+    print!("{}", display_trace(&trace, &ex.program, &dt, &vocab));
+    println!(
+        "…{} steps total, verdict: {}",
+        report.steps,
+        if report.accepted() { "accept" } else { "reject" }
+    );
+}

@@ -1,0 +1,58 @@
+//! XPath over an attributed document, and the Section 2.3 compilation to
+//! binary FO(∃*) formulas — the paper's abstraction of XSLT's pattern
+//! language.
+//!
+//! ```sh
+//! cargo run --example xpath_queries
+//! ```
+
+use std::collections::BTreeSet;
+
+use twq::tree::{parse_tree, Vocab};
+use twq::xpath::{compile, eval_from, parse_xpath};
+
+fn main() {
+    let mut vocab = Vocab::new();
+    // A small "library" document: books with years and authors.
+    let doc = parse_tree(
+        concat!(
+            "lib(",
+            "book[y=1999](title,author[id=knuth],author[id=dijkstra]),",
+            "book[y=2001](title,author[id=knuth]),",
+            "journal[y=2001](article(author[id=lamport]))",
+            ")"
+        ),
+        &mut vocab,
+    )
+    .expect("valid document");
+
+    let queries = [
+        "lib/book/author",
+        "lib/book[@y=2001]/author",
+        "//author[@id=knuth]",
+        "lib/book[author]/title | //article/author",
+        "/lib/*[author | article]",
+    ];
+
+    for q in queries {
+        let path = parse_xpath(q, &mut vocab).expect("valid XPath");
+        let selected = eval_from(&doc, &path, doc.root());
+
+        // Compile to the paper's FO(∃*) abstraction and cross-check.
+        let phi = compile(&path);
+        let logical: BTreeSet<_> = phi.select(&doc, doc.root()).into_iter().collect();
+        assert_eq!(selected, logical, "XPath ≡ compiled FO(∃*) [Section 2.3]");
+
+        println!("XPath  : {q}");
+        println!("FO(∃*) : {}", phi.display(&vocab));
+        let paths: Vec<String> = selected
+            .iter()
+            .map(|&u| {
+                let p = doc.path(u);
+                let segs: Vec<String> = p.iter().map(u32::to_string).collect();
+                format!("/{}", segs.join("/"))
+            })
+            .collect();
+        println!("selects: {} node(s) at {:?}\n", selected.len(), paths);
+    }
+}

@@ -1,0 +1,550 @@
+//! Regenerate every experiment table in `EXPERIMENTS.md`.
+//!
+//! The paper (Neven, PODS 2002) is pure theory — no tables or figures —
+//! so the "evaluation" this binary reproduces is the set of theorems,
+//! lemmas, and the worked example, each exercised on concrete workloads
+//! with the *shape* of the result (agreement, polynomial vs. exponential
+//! scaling, message bounds) printed as a table.
+//!
+//! ```sh
+//! cargo run --release --bin experiments
+//! ```
+
+use twq::automata::{examples, run, run_graph, Limits, TwClass};
+use twq::logic::eval_sentence;
+use twq::logic::types::{count_classes, TypeConfig};
+use twq::protocol::{
+    at_most_k_values_program, counting_table, encode, encode_shuffled, in_lm, lm_sentence,
+    random_hyperset, run_protocol, split_string_tree, HyperGenConfig, Markers,
+};
+use twq::sim::{compile_logspace, compile_pspace, delta_count_mod3, eliminate_store};
+use twq::tree::generate::{monadic_tree, random_tree, TreeGenConfig};
+use twq::tree::{DelimTree, Label, Value, Vocab};
+use twq::xpath::{compile, eval_from, parse_xpath};
+use twq::xtm::machine::{run_xtm, XtmLimits};
+use twq::xtm::tm::tm_leaf_count_even;
+use twq::xtm::{encode as xenc, machines, run_alternating, run_tm, to_bytes};
+
+fn header(id: &str, claim: &str) {
+    println!("\n== {id} — {claim} ==");
+}
+
+fn main() {
+    e1_example32();
+    e2_xpath();
+    e3_logspace_pebbles();
+    e4_twl_ptime();
+    e5_twr_pspace();
+    e6_twrl_exptime();
+    e7_lm_fo();
+    e8_protocol();
+    e9_counting();
+    e10_types();
+    e11_xtm_vs_tm();
+    e12_prop72();
+    e13_alternation();
+    println!("\nall experiments completed.");
+}
+
+fn e1_example32() {
+    header("E1", "Example 3.2: the worked tw^{r,l} automaton vs its oracle");
+    let mut vocab = Vocab::new();
+    let ex = examples::example_32(&mut vocab);
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>12} {:>9}",
+        "n", "accepts", "steps", "subcomps", "configs(gr)", "agree"
+    );
+    for n in [20usize, 60, 180, 540] {
+        // Half the trials use a single-value pool (always accepted) so the
+        // table shows both verdicts at every size.
+        let mixed = TreeGenConfig::example32(&mut vocab, n, &[1, 2]);
+        let uniform = TreeGenConfig::example32(&mut vocab, n, &[7]);
+        let (mut acc, mut steps, mut subs, mut configs, mut agree) = (0u64, 0u64, 0u64, 0u64, true);
+        let trials = 10;
+        for seed in 0..trials {
+            let cfg = if seed % 2 == 0 { &mixed } else { &uniform };
+            let t = random_tree(cfg, seed);
+            let dt = DelimTree::build(&t);
+            let r = run(&ex.program, &dt, Limits::default());
+            let g = run_graph(&ex.program, &dt, Limits::default());
+            let oracle = examples::oracle_example_32(&t, ex.delta, ex.attr);
+            agree &= r.accepted() == oracle && g.accepted() == oracle;
+            acc += u64::from(r.accepted());
+            steps += r.steps;
+            subs += r.subcomputations;
+            configs += g.distinct_configs as u64;
+        }
+        println!(
+            "{:>6} {:>7}/{} {:>10} {:>10} {:>12} {:>9}",
+            n,
+            acc,
+            trials,
+            steps / trials,
+            subs / trials,
+            configs / trials,
+            agree
+        );
+    }
+}
+
+fn e2_xpath() {
+    header("E2", "Section 2.3: XPath ≡ compiled FO(∃*) selector");
+    let mut vocab = Vocab::new();
+    let queries = ["sigma/delta", "//delta[sigma]", "sigma//sigma[@a=1] | delta"];
+    println!("{:>6} {:>34} {:>9} {:>7}", "n", "query", "selected", "agree");
+    for n in [30usize, 90, 270] {
+        let cfg = TreeGenConfig::example32(&mut vocab, n, &[1, 2]);
+        let t = random_tree(&cfg, 3);
+        for q in queries {
+            let path = parse_xpath(q, &mut vocab).unwrap();
+            let phi = compile(&path);
+            let direct = eval_from(&t, &path, t.root());
+            let logical: std::collections::BTreeSet<_> =
+                phi.select(&t, t.root()).into_iter().collect();
+            println!(
+                "{:>6} {:>34} {:>9} {:>7}",
+                n,
+                q,
+                direct.len(),
+                direct == logical
+            );
+        }
+    }
+}
+
+fn e3_logspace_pebbles() {
+    header(
+        "E3",
+        "Theorem 7.1(1): logspace xTM ≡ compiled TW pebble walker (unique IDs)",
+    );
+    let mut vocab = Vocab::new();
+    let base = TreeGenConfig::example32(&mut vocab, 1, &[1]);
+    let id = vocab.attr("id");
+    for (name, machine) in [
+        ("leaf_count_even", machines::leaf_count_even(&base.symbols)),
+        (
+            "leftmost_depth_even",
+            machines::leftmost_depth_even(&base.symbols),
+        ),
+    ] {
+        let prog = compile_logspace(&machine, &base.symbols, id, &mut vocab).unwrap();
+        println!(
+            "{name}: compiled to class {} ({} states, {} pebble registers)",
+            prog.program.classify(),
+            prog.program.state_count(),
+            prog.program.reg_count()
+        );
+        println!(
+            "  {:>4} {:>10} {:>7} {:>12} {:>7}",
+            "n", "xTM-steps", "cells", "TW-steps", "agree"
+        );
+        for n in [4usize, 6, 8] {
+            // Chains give leftmost_depth_even a growing spine; random
+            // trees exercise leaf_count_even. Use chains for both — the
+            // leaf count of a chain is 1 (odd), and the spine is n-1.
+            let t = if name == "leftmost_depth_even" {
+                let one = vocab.val_int(1);
+                monadic_tree(base.symbols[0], vocab.attr_opt("a").unwrap(), &vec![one; n])
+            } else {
+                let cfg = TreeGenConfig {
+                    nodes: n,
+                    ..base.clone()
+                };
+                random_tree(&cfg, 2)
+            };
+            let mut dt = DelimTree::build(&t);
+            dt.assign_unique_ids(id, &mut vocab);
+            let xr = run_xtm(&machine, &dt, XtmLimits::default());
+            let pr = run(&prog.program, &dt, Limits::long_walk());
+            println!(
+                "  {:>4} {:>10} {:>7} {:>12} {:>7}",
+                n,
+                xr.steps,
+                xr.space,
+                pr.steps,
+                xr.accepted() == pr.accepted()
+            );
+        }
+    }
+}
+
+fn e4_twl_ptime() {
+    header(
+        "E4",
+        "Theorem 7.1(2): tw^l configuration count grows polynomially (PTIME)",
+    );
+    let mut vocab = Vocab::new();
+    let cfg0 = TreeGenConfig::example32(&mut vocab, 1, &[1]);
+    let a = vocab.attr_opt("a").unwrap();
+    let prog = examples::parent_child_match_program(&cfg0.symbols, a);
+    assert_eq!(prog.classify(), TwClass::TwL);
+    println!(
+        "{:>6} {:>12} {:>14} {:>18}",
+        "n", "configs", "configs/node", "bound |Q|·N·(n+1)"
+    );
+    for n in [20usize, 60, 180, 540] {
+        // Every node gets a distinct value: no parent-child match exists,
+        // so the program performs its full polynomial sweep (worst case).
+        let cfg = TreeGenConfig {
+            nodes: n,
+            attributes: vec![],
+            ..cfg0.clone()
+        };
+        let mut t = random_tree(&cfg, 9);
+        let ids: Vec<_> = t.node_ids().collect();
+        for (i, u) in ids.into_iter().enumerate() {
+            let val = vocab.val_int(1000 + i as i64);
+            t.set_attr(u, a, val);
+        }
+        let dt = DelimTree::build(&t);
+        let g = run_graph(&prog, &dt, Limits::default());
+        assert!(!g.accepted(), "distinct values admit no match");
+        let dn = dt.tree().len();
+        let bound = prog.state_count() * dn * (n + 1);
+        println!(
+            "{:>6} {:>12} {:>14.2} {:>18}",
+            n,
+            g.distinct_configs,
+            g.distinct_configs as f64 / dn as f64,
+            bound
+        );
+        assert!(g.distinct_configs <= bound);
+    }
+}
+
+fn e5_twr_pspace() {
+    header(
+        "E5",
+        "Theorem 7.1(3): compiled tw^r keeps a linear store (PSPACE shape)",
+    );
+    let mut vocab = Vocab::new();
+    let base = TreeGenConfig::example32(&mut vocab, 1, &[1]);
+    let id = vocab.attr("id");
+    let machine = machines::leaf_count_even(&base.symbols);
+    let prog = compile_pspace(&machine, &base.symbols, id, &mut vocab).unwrap();
+    println!(
+        "{:>6} {:>8} {:>10} {:>12} {:>7}",
+        "n", "N(delim)", "steps", "max tuples", "agree"
+    );
+    for n in [8usize, 16, 32, 64] {
+        let cfg = TreeGenConfig {
+            nodes: n,
+            ..base.clone()
+        };
+        let t = random_tree(&cfg, 5);
+        let mut dt = DelimTree::build(&t);
+        dt.assign_unique_ids(id, &mut vocab);
+        let xr = run_xtm(&machine, &dt, XtmLimits::default());
+        let sr = run(&prog.program, &dt, Limits::long_walk());
+        println!(
+            "{:>6} {:>8} {:>10} {:>12} {:>7}",
+            n,
+            dt.tree().len(),
+            sr.steps,
+            sr.max_store_tuples,
+            xr.accepted() == sr.accepted()
+        );
+    }
+}
+
+fn e6_twrl_exptime() {
+    header(
+        "E6",
+        "Theorem 7.1(4): tw^{r,l} registers range over subsets (EXPTIME bound)",
+    );
+    let mut vocab = Vocab::new();
+    let cfg0 = TreeGenConfig::example32(&mut vocab, 1, &[1]);
+    let a = vocab.attr_opt("a").unwrap();
+    println!(
+        "{:>4} {:>10} {:>14} {:>22} {:>22}",
+        "k", "accepts", "store tuples", "tw^l-style bound", "tw^{r,l} bound 2^v"
+    );
+    for k in [2usize, 4, 6, 8] {
+        let values: Vec<Value> = (1..=k as i64).map(|i| vocab.val_int(i)).collect();
+        let prog = examples::distinct_values_at_least(&cfg0.symbols, a, k);
+        let cfg = TreeGenConfig {
+            nodes: 30,
+            attributes: vec![(a, values)],
+            ..cfg0.clone()
+        };
+        let t = random_tree(&cfg, 11);
+        let dt = DelimTree::build(&t);
+        let r = run(&prog, &dt, Limits::default());
+        let n = dt.tree().len();
+        println!(
+            "{:>4} {:>10} {:>14} {:>22} {:>22}",
+            k,
+            r.accepted(),
+            r.max_store_tuples,
+            prog.state_count() * n * (k + 1),
+            format!("{}·2^{}", prog.state_count() * n, k),
+        );
+    }
+}
+
+fn e7_lm_fo() {
+    header("E7", "Lemma 4.2: L^m is FO-definable (sentence ≡ decoder)");
+    let mut vocab = Vocab::new();
+    let markers = Markers::new(2, &mut vocab);
+    let data: Vec<Value> = (100..104).map(|i| vocab.val_int(i)).collect();
+    let sym = vocab.sym("s");
+    let attr = vocab.attr("a");
+    println!(
+        "{:>3} {:>14} {:>8} {:>8} {:>7}",
+        "m", "formula size", "in-L^m", "out-L^m", "agree"
+    );
+    for m in [1usize, 2] {
+        let phi = lm_sentence(m, attr, &markers);
+        let cfg = HyperGenConfig {
+            level: m,
+            data: data.clone(),
+            max_members: 2,
+        };
+        let (mut inn, mut out, mut agree) = (0, 0, true);
+        for seed in 0..10u64 {
+            let h1 = random_hyperset(&cfg, seed);
+            let h2 = random_hyperset(&cfg, seed + 500);
+            for (f, g) in [
+                (encode(&h1, &markers), encode_shuffled(&h1, &markers, seed)),
+                (encode(&h1, &markers), encode(&h2, &markers)),
+            ] {
+                let mut w = f.clone();
+                w.push(markers.hash());
+                w.extend(g.iter().copied());
+                let expect = in_lm(m, &w, &markers);
+                let t = split_string_tree(&f, &g, &markers, sym, attr);
+                let got = eval_sentence(&t, &phi);
+                agree &= got == expect;
+                if expect {
+                    inn += 1;
+                } else {
+                    out += 1;
+                }
+            }
+        }
+        println!(
+            "{:>3} {:>14} {:>8} {:>8} {:>7}",
+            m,
+            phi.size(),
+            inn,
+            out,
+            agree
+        );
+    }
+}
+
+fn e8_protocol() {
+    header(
+        "E8",
+        "Lemma 4.5: protocol ≡ direct run; alphabet does not grow with input",
+    );
+    let mut vocab = Vocab::new();
+    let markers = Markers::new(2, &mut vocab);
+    let data: Vec<Value> = (100..103).map(|i| vocab.val_int(i)).collect();
+    let sym = vocab.sym("s");
+    let attr = vocab.attr("a");
+    let atp_prog = at_most_k_values_program(sym, attr, 4);
+    let walker = examples::traversal_program(&[sym]);
+    println!(
+        "{:>18} {:>6} {:>8} {:>10} {:>10} {:>11} {:>7}",
+        "program", "|f|=|g|", "verdict", "messages", "distinct", "crossings", "agree"
+    );
+    for (name, prog) in [("atp(at-most-4)", &atp_prog), ("walking traversal", &walker)] {
+        for len in [2usize, 4, 8, 16, 32] {
+            let f: Vec<Value> = (0..len).map(|i| data[i % data.len()]).collect();
+            let g: Vec<Value> = (0..len).map(|i| data[(i + 1) % data.len()]).collect();
+            let p = run_protocol(prog, &f, &g, &markers, sym, attr, Limits::default());
+            let t = split_string_tree(&f, &g, &markers, sym, attr);
+            let d = twq::automata::run_on_tree(prog, &t, Limits::default());
+            println!(
+                "{:>18} {:>6} {:>8} {:>10} {:>10} {:>11} {:>7}",
+                name,
+                len,
+                if p.accepted() { "accept" } else { "reject" },
+                p.messages,
+                p.distinct_messages,
+                p.crossings,
+                p.accepted() == d.accepted()
+            );
+        }
+    }
+}
+
+fn e9_counting() {
+    header(
+        "E9",
+        "Lemma 4.6 / Theorem 4.1: hypersets out-tower any dialogue bound",
+    );
+    println!(
+        "{:>3} {:>5} {:>28} {:>30} {:>12}",
+        "m", "|D|", "exp_m(|D|) hypersets", "(|Δ|+1)^(2|Δ|) dialogues", "pigeonhole"
+    );
+    for row in counting_table(&[1, 2, 3, 4, 5, 6, 7], &[2, 3], 0) {
+        println!(
+            "{:>3} {:>5} {:>28} {:>30} {:>12}",
+            row.m,
+            row.d,
+            row.hypersets,
+            row.dialogues,
+            match row.pigeonhole {
+                Some(true) => "YES",
+                Some(false) => "not yet",
+                None => "(towering)",
+            }
+        );
+    }
+}
+
+fn e10_types() {
+    header(
+        "E10",
+        "Lemma 4.3(2): realized ≡_k classes stay bounded as strings grow",
+    );
+    let mut vocab = Vocab::new();
+    let s = vocab.sym("s");
+    let a = vocab.attr("a");
+    let pool: Vec<Value> = [1i64, 2].iter().map(|&i| vocab.val_int(i)).collect();
+    let cfg = TypeConfig {
+        k: 1,
+        labels: vec![Label::Sym(s)],
+        attrs: vec![a],
+        dvalues: pool.clone(),
+    };
+    println!(
+        "{:>8} {:>10} {:>16}",
+        "max len", "# strings", "# ≡_1 classes"
+    );
+    for max_len in [2usize, 3, 4, 5] {
+        let mut trees = Vec::new();
+        for len in 1..=max_len {
+            for mask in 0..(1u32 << len) {
+                let vals: Vec<Value> = (0..len)
+                    .map(|i| pool[usize::from(mask >> i & 1 == 1)])
+                    .collect();
+                trees.push(monadic_tree(s, a, &vals));
+            }
+        }
+        let classes = count_classes(trees.iter(), &cfg);
+        println!("{:>8} {:>10} {:>16}", max_len, trees.len(), classes);
+    }
+    // Lemma 4.3(1) companion: types compose over concatenation (the
+    // checker panics on any violation).
+    let checked = twq::logic::types::check_composition_on_strings(s, a, &pool, 4, &cfg);
+    println!("Lemma 4.3(1) composition: {checked} class pairs verified, no violations");
+}
+
+fn e11_xtm_vs_tm() {
+    header("E11", "Theorem 6.2: xTM on trees ≡ ordinary TM on encodings");
+    let mut vocab = Vocab::new();
+    let base = TreeGenConfig::example32(&mut vocab, 1, &[1]);
+    let pairs: Vec<(&str, twq::xtm::Xtm, twq::xtm::Tm)> = vec![
+        (
+            "leaf_count_even",
+            machines::leaf_count_even(&base.symbols),
+            tm_leaf_count_even(),
+        ),
+        (
+            "node_count_even",
+            machines::node_count_even(&base.symbols),
+            twq::xtm::tm::tm_node_count_even(),
+        ),
+        (
+            "leftmost_depth_even",
+            machines::leftmost_depth_even(&base.symbols),
+            twq::xtm::tm::tm_leftmost_depth_even(),
+        ),
+    ];
+    println!(
+        "{:>20} {:>6} {:>11} {:>11} {:>12} {:>7}",
+        "language", "n", "xTM steps", "TM steps", "|encoding|", "agree"
+    );
+    for (name, xtm, tm) in &pairs {
+        for n in [30usize, 90, 270] {
+            let cfg = TreeGenConfig {
+                nodes: n,
+                ..base.clone()
+            };
+            let t = random_tree(&cfg, 13);
+            let dt = DelimTree::build(&t);
+            let input = to_bytes(&xenc(&t, &[]));
+            let xr = run_xtm(xtm, &dt, XtmLimits::default());
+            let tr = run_tm(tm, &input, 100_000_000);
+            println!(
+                "{:>20} {:>6} {:>11} {:>11} {:>12} {:>7}",
+                name,
+                n,
+                xr.steps,
+                tr.steps,
+                input.len(),
+                xr.accepted() == tr.accepted()
+            );
+        }
+    }
+}
+
+fn e12_prop72() {
+    header("E12", "Proposition 7.2 (A=∅): store folds into states, language preserved");
+    let mut vocab = Vocab::new();
+    let base = TreeGenConfig::example32(&mut vocab, 1, &[]);
+    let sigma = Label::Sym(base.symbols[0]);
+    let delta = Label::Sym(base.symbols[1]);
+    let src = delta_count_mod3(sigma, delta, &mut vocab);
+    let folded = eliminate_store(&src, 10_000).unwrap();
+    println!(
+        "source: {} states, {} registers ({}); folded: {} states, {} registers ({})",
+        src.state_count(),
+        src.reg_count(),
+        src.classify(),
+        folded.state_count(),
+        folded.reg_count(),
+        folded.classify()
+    );
+    println!("{:>6} {:>9} {:>9} {:>7}", "n", "src", "folded", "agree");
+    for n in [30usize, 90, 270] {
+        let cfg = TreeGenConfig {
+            nodes: n,
+            ..base.clone()
+        };
+        let t = random_tree(&cfg, 17);
+        let dt = DelimTree::build(&t);
+        let a = run(&src, &dt, Limits::default());
+        let b = run(&folded, &dt, Limits::default());
+        println!(
+            "{:>6} {:>9} {:>9} {:>7}",
+            n,
+            if a.accepted() { "accept" } else { "reject" },
+            if b.accepted() { "accept" } else { "reject" },
+            a.accepted() == b.accepted()
+        );
+    }
+}
+
+fn e13_alternation() {
+    header(
+        "E13",
+        "Alternation (ALOGSPACE=PTIME bridge): alternating xTM configs grow linearly",
+    );
+    let mut vocab = Vocab::new();
+    let base = TreeGenConfig::example32(&mut vocab, 1, &[]);
+    let m = machines::alt_all_leaves_even_depth(&base.symbols);
+    println!(
+        "{:>6} {:>9} {:>10} {:>14}",
+        "n", "verdict", "configs", "configs/node"
+    );
+    for n in [20usize, 60, 180, 540] {
+        let cfg = TreeGenConfig {
+            nodes: n,
+            ..base.clone()
+        };
+        let t = random_tree(&cfg, 19);
+        let dt = DelimTree::build(&t);
+        let r = run_alternating(&m, &dt, XtmLimits::default());
+        println!(
+            "{:>6} {:>9} {:>10} {:>14.2}",
+            n,
+            if r.accepted { "accept" } else { "reject" },
+            r.configs,
+            r.configs as f64 / dt.tree().len() as f64
+        );
+    }
+}

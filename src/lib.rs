@@ -1,0 +1,54 @@
+//! # twq — tree-walking queries over tree-structured data
+//!
+//! A comprehensive Rust implementation of
+//!
+//! > Frank Neven. *On the Power of Walking for Querying Tree-Structured
+//! > Data.* PODS 2002.
+//!
+//! XSLT, stripped down, is a tree-walking tree-transducer with registers
+//! and look-ahead. This workspace implements that abstraction —
+//! tree-walking automata `tw^{r,l}` with relational storage and `atp`
+//! look-ahead over attributed unranked trees — together with every
+//! substrate the paper's results rest on, and turns each theorem into
+//! executable, measured machinery:
+//!
+//! * [`tree`] — attributed Σ-trees, delimited trees, generators;
+//! * [`logic`] — FO over trees, the `FO(∃*)` fragment, relational-store
+//!   FO, `≡_k` types (Lemma 4.3);
+//! * [`xpath`] — the paper's XPath fragment and its compilation to
+//!   `FO(∃*)` (Section 2.3);
+//! * [`automata`] — the paper's contribution: `tw`, `tw^l`, `tw^r`,
+//!   `tw^{r,l}` programs, engines, the structured walker IR, and
+//!   Example 3.2 (Sections 3, 5);
+//! * [`xtm`] — XML Turing machines, alternation, tree encodings,
+//!   ordinary TMs (Section 6);
+//! * [`sim`] — the Theorem 7.1 compilers (LOGSPACE pebbles, PSPACE
+//!   relational tape) and the Proposition 7.2 store elimination;
+//! * [`protocol`] — hypersets, `L^m`, Lemma 4.2's FO sentences, the
+//!   Lemma 4.5 communication protocol, the Lemma 4.6 counting argument
+//!   (Section 4).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use twq::tree::{parse_tree, Vocab};
+//! use twq::automata::{examples, run_on_tree, Limits};
+//!
+//! let mut vocab = Vocab::new();
+//! // Example 3.2: every δ-node's leaf-descendants share one a-value.
+//! let ex = examples::example_32(&mut vocab);
+//! let t = parse_tree(
+//!     "sigma[a=0](delta[a=0](sigma[a=1],sigma[a=1]),sigma[a=2])",
+//!     &mut vocab,
+//! ).unwrap();
+//! let report = run_on_tree(&ex.program, &t, Limits::default());
+//! assert!(report.accepted());
+//! ```
+
+pub use twq_automata as automata;
+pub use twq_logic as logic;
+pub use twq_protocol as protocol;
+pub use twq_sim as sim;
+pub use twq_tree as tree;
+pub use twq_xpath as xpath;
+pub use twq_xtm as xtm;

@@ -1,0 +1,188 @@
+//! Edge-case and failure-injection tests: resource limits, degenerate
+//! inputs, and error paths that the per-module suites don't reach.
+
+use twq::automata::twir::{Cond, Instr, Source, WalkerBuilder};
+use twq::automata::{
+    examples, run_on_tree, Action, Dir, Halt, Limits, TwProgramBuilder,
+};
+use twq::logic::exists::selectors;
+use twq::logic::store::sbuild::*;
+use twq::tree::{parse_tree, Label, Vocab};
+
+/// `atp` self-recursion exhausts the nesting budget and reports it.
+#[test]
+fn atp_depth_limit_reported() {
+    let mut vocab = Vocab::new();
+    let t = parse_tree("a", &mut vocab).unwrap();
+    let mut b = TwProgramBuilder::new();
+    let q0 = b.state("q0");
+    let qf = b.state("qF");
+    b.initial(q0).final_state(qf);
+    let r = b.unary_register();
+    // ▽ starts a subcomputation at itself in q0: infinite nesting.
+    b.rule_true(
+        Label::DelimRoot,
+        q0,
+        Action::Atp(qf, selectors::self_node(), q0, r),
+    );
+    let p = b.build().unwrap();
+    let report = run_on_tree(
+        &p,
+        &t,
+        Limits {
+            max_steps: 10_000,
+            max_atp_depth: 8,
+            cycle_check_interval: 1,
+        },
+    );
+    assert_eq!(report.halt, Halt::AtpDepthLimit);
+}
+
+/// Overlapping store guards that are satisfied simultaneously are a
+/// runtime determinism violation, exactly per Definition 3.1's proviso.
+#[test]
+fn overlapping_guards_fault_at_runtime() {
+    let mut vocab = Vocab::new();
+    let one = vocab.val_int(1);
+    let t = parse_tree("a", &mut vocab).unwrap();
+    let mut b = TwProgramBuilder::new();
+    let q0 = b.state("q0");
+    let qf = b.state("qF");
+    b.initial(q0).final_state(qf);
+    let r = b.register(1, twq::logic::Relation::singleton(one));
+    // Both guards hold for X₁ = {1}.
+    b.rule(Label::DelimRoot, q0, rel(r, [cst(one)]), Action::Move(qf, Dir::Stay));
+    b.rule(
+        Label::DelimRoot,
+        q0,
+        SFormulaExists(r),
+        Action::Move(qf, Dir::Down),
+    );
+    let p = b.build().unwrap();
+    let report = run_on_tree(&p, &t, Limits::default());
+    assert_eq!(report.halt, Halt::Nondeterministic);
+}
+
+#[allow(non_snake_case)]
+fn SFormulaExists(r: twq::logic::RegId) -> twq::logic::SFormula {
+    twq::logic::SFormula::Exists(twq::logic::Var(0), Box::new(rel(r, [v(0)])))
+}
+
+/// Sparse cycle sampling still catches cycles, just later.
+#[test]
+fn sparse_cycle_sampling_catches_cycles() {
+    let mut vocab = Vocab::new();
+    let t = parse_tree("a", &mut vocab).unwrap();
+    let mut b = TwProgramBuilder::new();
+    let q0 = b.state("q0");
+    let qf = b.state("qF");
+    b.initial(q0).final_state(qf);
+    b.rule_true(Label::DelimRoot, q0, Action::Move(q0, Dir::Down));
+    b.rule_true(Label::DelimOpen, q0, Action::Move(q0, Dir::Up));
+    let p = b.build().unwrap();
+    let report = run_on_tree(
+        &p,
+        &t,
+        Limits {
+            max_steps: 1_000_000,
+            max_atp_depth: 4,
+            cycle_check_interval: 64,
+        },
+    );
+    assert_eq!(report.halt, Halt::Cycle);
+    // With detection off, the step budget is the only stop.
+    let report_off = run_on_tree(
+        &p,
+        &t,
+        Limits {
+            max_steps: 5_000,
+            max_atp_depth: 4,
+            cycle_check_interval: 0,
+        },
+    );
+    assert_eq!(report_off.halt, Halt::StepLimit);
+}
+
+/// Mixed label/store conditions in the walker IR partial-evaluate
+/// correctly through `All` and `Any`.
+#[test]
+fn twir_mixed_conditions() {
+    let mut vocab = Vocab::new();
+    let t = parse_tree("s[a=1](s[a=2])", &mut vocab).unwrap();
+    let syms = vec![vocab.sym_opt("s").unwrap()];
+    let a = vocab.attr_opt("a").unwrap();
+    let one = vocab.val_int_opt(1).unwrap();
+    let mut w = WalkerBuilder::new(&syms);
+    let r = w.register(None);
+    let s_label = Label::Sym(syms[0]);
+    let body = vec![
+        Instr::Move(Dir::Down),  // ⊳
+        Instr::Move(Dir::Right), // root
+        Instr::Set(r, Source::Attr(a)),
+        // All[label is s, register = 1] → accept; Any[...] fallback → fail.
+        Instr::If(
+            Cond::All(vec![
+                Cond::LabelIs(s_label),
+                Cond::RegEq(r, Source::Const(one)),
+            ]),
+            vec![Instr::Accept],
+            vec![Instr::If(
+                Cond::Any(vec![
+                    Cond::LabelIs(Label::DelimLeaf),
+                    Cond::RegEmpty(r),
+                ]),
+                vec![Instr::Fail],
+                vec![Instr::Fail],
+            )],
+        ),
+    ];
+    let p = w.compile(&body).unwrap();
+    assert!(run_on_tree(&p, &t, Limits::default()).accepted());
+}
+
+/// Example 3.2 on a single-node tree (the degenerate boundary).
+#[test]
+fn example_32_single_node() {
+    let mut vocab = Vocab::new();
+    let ex = examples::example_32(&mut vocab);
+    // A lone σ: no δ at all → accept. A lone δ: no leaf-descendants → accept.
+    for src in ["sigma[a=1]", "delta[a=1]"] {
+        let t = parse_tree(src, &mut vocab).unwrap();
+        let report = run_on_tree(&ex.program, &t, Limits::default());
+        assert!(report.accepted(), "{src}: {:?}", report.halt);
+    }
+}
+
+/// Deep chains neither overflow the engine nor the delimiter machinery.
+#[test]
+fn deep_chain_traversal() {
+    let mut vocab = Vocab::new();
+    let s = vocab.sym("sigma");
+    let a = vocab.attr("a");
+    let one = vocab.val_int(1);
+    let t = twq::tree::generate::monadic_tree(s, a, &vec![one; 400]);
+    let p = examples::traversal_program(&[s]);
+    let report = run_on_tree(&p, &t, Limits::default());
+    assert!(report.accepted());
+    assert!(report.steps as usize >= 2 * t.len());
+}
+
+/// The graph evaluator respects its step budget.
+#[test]
+fn graph_evaluator_step_limit() {
+    let mut vocab = Vocab::new();
+    let ex = examples::example_32(&mut vocab);
+    let cfg = twq::tree::generate::TreeGenConfig::example32(&mut vocab, 60, &[1]);
+    let t = twq::tree::generate::random_tree(&cfg, 0);
+    let dt = twq::tree::DelimTree::build(&t);
+    let report = twq::automata::run_graph(
+        &ex.program,
+        &dt,
+        Limits {
+            max_steps: 5,
+            max_atp_depth: 8,
+            cycle_check_interval: 1,
+        },
+    );
+    assert!(report.halt.is_limit(), "{:?}", report.halt);
+}

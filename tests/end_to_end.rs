@@ -1,0 +1,159 @@
+//! Cross-crate integration: XPath-compiled selectors driving `atp`
+//! look-ahead inside tree-walking programs — the XSLT pipeline the paper
+//! abstracts (patterns select, templates walk).
+
+use twq::automata::{Action, Dir, Limits, TwProgramBuilder};
+use twq::logic::store::sbuild::*;
+use twq::logic::{SFormula, Var};
+use twq::tree::generate::{random_tree, TreeGenConfig};
+use twq::tree::{DelimTree, Label, Vocab};
+use twq::xpath::{compile, parse_xpath};
+
+/// Build a `tw^{r,l}` program whose look-ahead selector is a *compiled
+/// XPath expression*: accept iff some node selected by `query` (from the
+/// root of the original tree) carries attribute `a = target`.
+fn xpath_driven_program(
+    query: &str,
+    vocab: &mut Vocab,
+    target: twq::tree::Value,
+) -> twq::automata::TwProgram {
+    let a = vocab.attr("a");
+    let path = parse_xpath(query, vocab).expect("valid query");
+    let phi = compile(&path);
+    let syms: Vec<_> = vocab.syms().collect();
+    let mut b = TwProgramBuilder::new();
+    let q0 = b.state("q0");
+    let q1 = b.state("q1");
+    let q2 = b.state("q2");
+    let chk = b.state("chk");
+    let q_sel = b.state("q_sel");
+    let q_f = b.state("qF");
+    b.initial(q0).final_state(q_f);
+    let x1 = b.unary_register();
+    // Walk ▽ → ⊳ → original root, then atp with the compiled selector;
+    // each selected node contributes its a-value, and acceptance is gated
+    // on `target` being among them.
+    b.rule_true(Label::DelimRoot, q0, Action::Move(q1, Dir::Down));
+    b.rule_true(Label::DelimOpen, q1, Action::Move(q2, Dir::Right));
+    for &s in &syms {
+        b.rule_true(Label::Sym(s), q2, Action::Atp(chk, phi.clone(), q_sel, x1));
+        b.rule_true(Label::Sym(s), q_sel, Action::Update(q_f, eq(v(0), attr(a)), x1));
+        b.rule(
+            Label::Sym(s),
+            chk,
+            rel(x1, [cst(target)]),
+            Action::Move(q_f, Dir::Stay),
+        );
+    }
+    b.build().expect("well-formed")
+}
+
+#[test]
+fn xpath_selector_feeds_atp() {
+    let mut vocab = Vocab::new();
+    let t = twq::tree::parse_tree(
+        "sigma[a=0](delta[a=1](sigma[a=2]),sigma[a=3](delta[a=4]))",
+        &mut vocab,
+    )
+    .unwrap();
+    let two = vocab.val_int(2);
+    let five = vocab.val_int(5);
+
+    // //delta//sigma: σ-descendants of δ-descendants — the node with a=2.
+    let hit = xpath_driven_program("//delta//sigma", &mut vocab, two);
+    let report = twq::automata::run_on_tree(&hit, &t, Limits::default());
+    assert!(report.accepted(), "{:?}", report.halt);
+
+    // Same query, value 5 never occurs → the guard never fires → reject.
+    let miss = xpath_driven_program("//delta//sigma", &mut vocab, five);
+    let report = twq::automata::run_on_tree(&miss, &t, Limits::default());
+    assert!(!report.accepted());
+}
+
+/// Selection via the compiled formula must match selection computed by the
+/// XPath reference evaluator even when run through the `atp` machinery on
+/// *delimited* trees' originals.
+#[test]
+fn compiled_selector_agrees_with_reference_on_random_docs() {
+    let mut vocab = Vocab::new();
+    let cfg = TreeGenConfig::example32(&mut vocab, 30, &[1, 2, 3]);
+    for (qi, query) in ["sigma/delta", "//delta[sigma]", "sigma//sigma[@a=1] | delta"]
+        .iter()
+        .enumerate()
+    {
+        let path = parse_xpath(query, &mut vocab).unwrap();
+        let phi = compile(&path);
+        for seed in 0..5 {
+            let t = random_tree(&cfg, seed);
+            for u in t.node_ids() {
+                let direct = twq::xpath::eval_from(&t, &path, u);
+                let logical: std::collections::BTreeSet<_> =
+                    phi.select(&t, u).into_iter().collect();
+                assert_eq!(direct, logical, "query #{qi} seed {seed} node {u}");
+            }
+        }
+    }
+}
+
+/// The engine and graph evaluator agree for a program whose guard is a
+/// nontrivial FO sentence over the store.
+#[test]
+fn engine_and_graph_agree_with_store_guards() {
+    let mut vocab = Vocab::new();
+    let ex = twq::automata::examples::example_32(&mut vocab);
+    let mixed = TreeGenConfig::example32(&mut vocab, 25, &[1, 2]);
+    for seed in 0..10 {
+        let t = random_tree(&mixed, seed);
+        let dt = DelimTree::build(&t);
+        let a = twq::automata::run(&ex.program, &dt, Limits::default());
+        let b = twq::automata::run_graph(&ex.program, &dt, Limits::default());
+        assert_eq!(a.accepted(), b.accepted(), "seed {seed}");
+    }
+}
+
+/// Guards can express "the register holds exactly the set of values
+/// {1, 2}" — cross-checking store-FO evaluation against the engine.
+#[test]
+fn exact_set_guard() {
+    let mut vocab = Vocab::new();
+    let t = twq::tree::parse_tree("s[a=9](s[a=1],s[a=2])", &mut vocab).unwrap();
+    let one = vocab.val_int(1);
+    let two = vocab.val_int(2);
+    let s_sym = Label::Sym(vocab.sym_opt("s").unwrap());
+    let a = vocab.attr_opt("a").unwrap();
+
+    let mut b = TwProgramBuilder::new();
+    let q0 = b.state("q0");
+    let q1 = b.state("q1");
+    let q_leaf = b.state("q_leaf");
+    let q_f = b.state("qF");
+    b.initial(q0).final_state(q_f);
+    let x1 = b.unary_register();
+    b.rule_true(
+        Label::DelimRoot,
+        q0,
+        Action::Atp(
+            q1,
+            twq::logic::exists::selectors::delim_leaf_descendants(),
+            q_leaf,
+            x1,
+        ),
+    );
+    b.rule_true(s_sym, q_leaf, Action::Update(q_f, eq(v(0), attr(a)), x1));
+    // X1 = {1, 2} exactly: both present, nothing else.
+    let exact = and([
+        rel(x1, [cst(one)]),
+        rel(x1, [cst(two)]),
+        SFormula::Forall(
+            Var(0),
+            Box::new(implies(
+                rel(x1, [v(0)]),
+                or([eq(v(0), cst(one)), eq(v(0), cst(two))]),
+            )),
+        ),
+    ]);
+    b.rule(Label::DelimRoot, q1, exact, Action::Move(q_f, Dir::Stay));
+    let p = b.build().unwrap();
+    let report = twq::automata::run_on_tree(&p, &t, Limits::default());
+    assert!(report.accepted(), "{:?}", report.halt);
+}

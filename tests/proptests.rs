@@ -1,0 +1,216 @@
+//! Property-based tests over the whole workspace: structural invariants,
+//! round trips, and evaluator cross-validation on randomized inputs.
+
+use proptest::prelude::*;
+
+use twq::logic::eval::select as naive_select;
+use twq::protocol::{decode as hs_decode, encode, encode_shuffled, random_hyperset, HyperGenConfig, Markers};
+use twq::tree::generate::{random_tree, TreeGenConfig};
+use twq::tree::order::{doc_index, doc_predecessor, doc_successor, node_at_doc_index};
+use twq::tree::{parse_tree, tree_to_string, DelimTree, Vocab};
+use twq::xpath::{compile, eval_from, random_xpath, XPathGenConfig};
+
+fn arb_tree_params() -> impl Strategy<Value = (u64, usize, usize)> {
+    (0u64..1_000, 1usize..40, 1usize..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// delim(t) followed by strip is the identity on shape, labels, and
+    /// attribute values.
+    #[test]
+    fn delim_strip_round_trip((seed, nodes, width) in arb_tree_params()) {
+        let mut vocab = Vocab::new();
+        let mut cfg = TreeGenConfig::example32(&mut vocab, nodes, &[1, 2, 3]);
+        cfg.max_children = width;
+        let t = random_tree(&cfg, seed);
+        let dt = DelimTree::build(&t);
+        dt.tree().check_consistency().unwrap();
+        let back = dt.strip();
+        prop_assert_eq!(tree_to_string(&back, &vocab), tree_to_string(&t, &vocab));
+    }
+
+    /// The term syntax round-trips: display ∘ parse ∘ display = display.
+    #[test]
+    fn term_syntax_round_trip((seed, nodes, width) in arb_tree_params()) {
+        let mut vocab = Vocab::new();
+        let mut cfg = TreeGenConfig::example32(&mut vocab, nodes, &[1, 2]);
+        cfg.max_children = width;
+        let t = random_tree(&cfg, seed);
+        let shown = tree_to_string(&t, &vocab);
+        let parsed = parse_tree(&shown, &mut vocab).unwrap();
+        prop_assert_eq!(tree_to_string(&parsed, &vocab), shown);
+    }
+
+    /// Document order: successor and predecessor invert each other, and
+    /// the index round-trips.
+    #[test]
+    fn doc_order_invariants((seed, nodes, width) in arb_tree_params()) {
+        let mut vocab = Vocab::new();
+        let mut cfg = TreeGenConfig::example32(&mut vocab, nodes, &[]);
+        cfg.max_children = width;
+        let t = random_tree(&cfg, seed);
+        let idx = doc_index(&t);
+        for u in t.node_ids() {
+            prop_assert_eq!(node_at_doc_index(&t, idx[u.0 as usize]), Some(u));
+            if let Some(s) = doc_successor(&t, u) {
+                prop_assert_eq!(doc_predecessor(&t, s), Some(u));
+                prop_assert_eq!(idx[s.0 as usize], idx[u.0 as usize] + 1);
+            }
+        }
+    }
+
+    /// XPath: the compiled FO(∃*) formula selects exactly what the
+    /// reference evaluator selects, from every context node.
+    #[test]
+    fn xpath_compilation_is_sound_and_complete(
+        tree_seed in 0u64..500,
+        path_seed in 0u64..500,
+        nodes in 2usize..25,
+    ) {
+        let mut vocab = Vocab::new();
+        let cfg = TreeGenConfig::example32(&mut vocab, nodes, &[1, 2]);
+        let t = random_tree(&cfg, tree_seed);
+        let a = vocab.attr_opt("a").unwrap();
+        let one = vocab.val_int_opt(1).unwrap();
+        let xcfg = XPathGenConfig {
+            symbols: cfg.symbols.clone(),
+            attrs: vec![a],
+            values: vec![one],
+            max_depth: 4,
+        };
+        let path = random_xpath(&xcfg, path_seed);
+        let phi = compile(&path);
+        for u in t.node_ids() {
+            let direct = eval_from(&t, &path, u);
+            let logical: std::collections::BTreeSet<_> =
+                phi.select(&t, u).into_iter().collect();
+            prop_assert_eq!(&direct, &logical, "node {}", u);
+        }
+    }
+
+    /// The DNF-pruning FO(∃*) evaluator agrees with the naive one. The
+    /// naive evaluator is `O(n^k)` in the quantifier count, so formulas
+    /// with many existentials are skipped — pruning-vs-naive at scale is
+    /// the `ablation_select` bench's job.
+    #[test]
+    fn exists_evaluators_agree(
+        tree_seed in 0u64..300,
+        path_seed in 0u64..300,
+        nodes in 2usize..8,
+    ) {
+        let mut vocab = Vocab::new();
+        let cfg = TreeGenConfig::example32(&mut vocab, nodes, &[1]);
+        let t = random_tree(&cfg, tree_seed);
+        let xcfg = XPathGenConfig {
+            symbols: cfg.symbols.clone(),
+            attrs: vec![],
+            values: vec![],
+            max_depth: 2,
+        };
+        let phi = compile(&random_xpath(&xcfg, path_seed));
+        prop_assume!(phi.quantified().len() <= 5);
+        let formula = phi.to_formula();
+        for u in t.node_ids() {
+            let fast = phi.select(&t, u);
+            let naive = naive_select(&t, &formula, phi.x(), u, phi.y());
+            prop_assert_eq!(&fast, &naive, "node {}", u);
+        }
+    }
+
+    /// Hyperset encodings decode back to the hyperset they denote, even
+    /// when shuffled and with duplicates.
+    #[test]
+    fn hyperset_codec_round_trip(
+        seed in 0u64..1_000,
+        shuffle in 0u64..50,
+        level in 1usize..4,
+    ) {
+        let mut vocab = Vocab::new();
+        let markers = Markers::new(3, &mut vocab);
+        let data: Vec<_> = (100..104).map(|i| vocab.val_int(i)).collect();
+        let cfg = HyperGenConfig { level, data, max_members: 3 };
+        let h = random_hyperset(&cfg, seed);
+        // The canonical and shuffled encodings denote the same hyperset.
+        // (The declared level may exceed the realized one for degenerate
+        // empty nestings; decode at the realized level.)
+        let lv = h.level();
+        let canon = encode(&h, &markers);
+        let decoded = hs_decode(lv, &canon, &markers);
+        prop_assert_eq!(decoded.as_ref(), Some(&h));
+        let shuffled = encode_shuffled(&h, &markers, shuffle);
+        prop_assert_eq!(hs_decode(lv, &shuffled, &markers), Some(h));
+    }
+
+    /// The descendants caterpillar equals the FO `≺` relation.
+    #[test]
+    fn caterpillar_descendants_equals_desc((seed, nodes, width) in arb_tree_params()) {
+        use twq::automata::caterpillar::{cat, select};
+        let mut vocab = Vocab::new();
+        let mut cfg = TreeGenConfig::example32(&mut vocab, nodes.min(20), &[]);
+        cfg.max_children = width;
+        let t = random_tree(&cfg, seed);
+        let e = cat::descendants();
+        for u in t.node_ids() {
+            let selected = select(&t, &e, u);
+            let expected: Vec<_> = t
+                .node_ids()
+                .filter(|&v| t.is_strict_ancestor(u, v))
+                .collect();
+            prop_assert_eq!(&selected, &expected, "from {}", u);
+        }
+    }
+
+    /// The 2DFA → TW embedding is exact on random words.
+    #[test]
+    fn twodfa_embedding_is_exact(seed in 0u64..500, len in 1usize..14) {
+        use rand::{Rng, SeedableRng};
+        use twq::automata::twodfa::{even_as_and_bs, word_tree, DHalt};
+        let mut vocab = Vocab::new();
+        let a = vocab.sym("a");
+        let b = vocab.sym("b");
+        let m = even_as_and_bs(a, b);
+        let walker = m.to_walker(&[a, b]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let word: Vec<_> = (0..len)
+            .map(|_| if rng.gen_bool(0.5) { a } else { b })
+            .collect();
+        let direct = m.run(&word) == DHalt::Accept;
+        let t = word_tree(&word);
+        let walked =
+            twq::automata::run_on_tree(&walker, &t, twq::automata::Limits::default());
+        prop_assert_eq!(walked.accepted(), direct);
+    }
+
+    /// Tree statistics are internally consistent.
+    #[test]
+    fn stats_invariants((seed, nodes, width) in arb_tree_params()) {
+        use twq::tree::stats::TreeStats;
+        let mut vocab = Vocab::new();
+        let mut cfg = TreeGenConfig::example32(&mut vocab, nodes, &[]);
+        cfg.max_children = width;
+        let t = random_tree(&cfg, seed);
+        let st = TreeStats::of(&t);
+        prop_assert_eq!(st.nodes, t.len());
+        prop_assert_eq!(st.depth_histogram.iter().sum::<usize>(), t.len());
+        prop_assert_eq!(st.branching_histogram.iter().sum::<usize>(), t.len());
+        prop_assert_eq!(st.branching_histogram.first().copied().unwrap_or(0), st.leaves);
+        prop_assert!(st.max_branching <= width);
+    }
+
+    /// Example 3.2's automaton equals its oracle on arbitrary workloads.
+    #[test]
+    fn example_32_is_its_oracle((seed, nodes, width) in arb_tree_params()) {
+        let mut vocab = Vocab::new();
+        let ex = twq::automata::examples::example_32(&mut vocab);
+        let mut cfg = TreeGenConfig::example32(&mut vocab, nodes.min(25), &[1, 2]);
+        cfg.max_children = width;
+        let t = random_tree(&cfg, seed);
+        let got = twq::automata::run_on_tree(&ex.program, &t, twq::automata::Limits::default());
+        prop_assert_eq!(
+            got.accepted(),
+            twq::automata::examples::oracle_example_32(&t, ex.delta, ex.attr)
+        );
+    }
+}

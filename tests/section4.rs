@@ -1,0 +1,134 @@
+//! Integration test for the Section 4 pipeline: hypersets → encodings →
+//! `L^m` membership (decoder and Lemma 4.2's FO sentence) → the Lemma 4.5
+//! protocol → the Lemma 4.6 pigeonhole.
+
+use twq::automata::{run_on_tree, Limits};
+use twq::logic::eval_sentence;
+use twq::protocol::{
+    at_most_k_values_program, encode, encode_shuffled, find_dialogue_collision, in_lm,
+    lm_sentence, oracle_at_most_k_values, random_hyperset, run_protocol, split_string_tree,
+    HyperGenConfig, Markers,
+};
+use twq::tree::{Value, Vocab};
+
+struct Setup {
+    vocab: Vocab,
+    markers: Markers,
+    data: Vec<Value>,
+    sym: twq::tree::SymId,
+    attr: twq::tree::AttrId,
+}
+
+fn setup() -> Setup {
+    let mut vocab = Vocab::new();
+    let markers = Markers::new(2, &mut vocab);
+    let data: Vec<Value> = (100..105).map(|i| vocab.val_int(i)).collect();
+    let sym = vocab.sym("s");
+    let attr = vocab.attr("a");
+    Setup {
+        vocab,
+        markers,
+        data,
+        sym,
+        attr,
+    }
+}
+
+#[test]
+fn decoder_sentence_and_protocol_form_one_pipeline() {
+    let mut s = setup();
+    let phi = lm_sentence(2, s.attr, &s.markers);
+    let prog = at_most_k_values_program(s.sym, s.attr, 4);
+    let cfg = HyperGenConfig {
+        level: 2,
+        data: s.data.clone(),
+        max_members: 2,
+    };
+    for seed in 0..6 {
+        let h = random_hyperset(&cfg, seed);
+        let f = encode(&h, &s.markers);
+        let g = encode_shuffled(&h, &s.markers, seed + 99);
+
+        // Equal hypersets: in L² by decoder and by the FO sentence.
+        let mut w = f.clone();
+        w.push(s.markers.hash());
+        w.extend(g.iter().copied());
+        assert!(in_lm(2, &w, &s.markers), "seed {seed}");
+        let tree = split_string_tree(&f, &g, &s.markers, s.sym, s.attr);
+        assert!(eval_sentence(&tree, &phi), "seed {seed}");
+
+        // Protocol vs direct execution of a tw^{r,l} program on f#g.
+        let report = run_protocol(&prog, &f, &g, &s.markers, s.sym, s.attr, Limits::default());
+        let direct = run_on_tree(&prog, &tree, Limits::default());
+        assert_eq!(report.accepted(), direct.accepted(), "seed {seed}");
+        assert_eq!(
+            report.accepted(),
+            oracle_at_most_k_values(&f, &g, s.markers.hash(), 4),
+        );
+    }
+    let _ = &mut s.vocab;
+}
+
+#[test]
+fn pigeonhole_collisions_force_equal_verdicts() {
+    // Lemma 4.6's argument, concretely: if two different inputs yield the
+    // same dialogue, the protocol cannot distinguish them — collect
+    // dialogues for f#f over many f and exhibit a collision for a weak
+    // program (one whose store ignores most of the input).
+    let s = setup();
+    // at-most-1-distinct-value over strings that always contain ≥ 2
+    // distinct values (markers + data) rejects everything the same way:
+    // maximal collision pressure.
+    let prog = at_most_k_values_program(s.sym, s.attr, 1);
+    let cfg = HyperGenConfig {
+        level: 1,
+        data: s.data.clone(),
+        max_members: 2,
+    };
+    let mut runs = Vec::new();
+    for seed in 0..10 {
+        let h = random_hyperset(&cfg, seed);
+        let f = encode(&h, &s.markers);
+        let report = run_protocol(&prog, &f, &f, &s.markers, s.sym, s.attr, Limits::default());
+        runs.push((seed, report.dialogue));
+    }
+    let collision = find_dialogue_collision(runs.clone());
+    let Some((s1, s2)) = collision else {
+        panic!("a weak program must produce dialogue collisions");
+    };
+    // The colliding seeds give different hypersets…
+    let h1 = random_hyperset(&cfg, s1);
+    let h2 = random_hyperset(&cfg, s2);
+    // …but if they differ, the crossed input f₁#f₂ gets the same verdict
+    // as the diagonal ones — the protocol's blindness.
+    if h1 != h2 {
+        let f1 = encode(&h1, &s.markers);
+        let f2 = encode(&h2, &s.markers);
+        let diag = run_protocol(&prog, &f1, &f1, &s.markers, s.sym, s.attr, Limits::default());
+        let cross = run_protocol(&prog, &f1, &f2, &s.markers, s.sym, s.attr, Limits::default());
+        assert_eq!(diag.accepted(), cross.accepted());
+    }
+}
+
+#[test]
+fn distinct_messages_stay_small_while_inputs_grow() {
+    // The Lemma 4.5 shape: the dialogue alphabet used by a fixed program
+    // does not grow with the input (it depends on |D| and the program, not
+    // the string length).
+    let mut s = setup();
+    let prog = at_most_k_values_program(s.sym, s.attr, 3);
+    let mut maxima = Vec::new();
+    for len in [2usize, 4, 8, 16] {
+        // Strings over a FIXED 2-value alphabet growing in length.
+        let f: Vec<Value> = (0..len).map(|i| s.data[i % 2]).collect();
+        let g: Vec<Value> = (0..len).map(|i| s.data[(i + 1) % 2]).collect();
+        let report = run_protocol(&prog, &f, &g, &s.markers, s.sym, s.attr, Limits::default());
+        maxima.push(report.distinct_messages);
+    }
+    let first = maxima[0];
+    assert!(
+        maxima.iter().all(|&m| m <= first + 2),
+        "distinct messages should not grow with string length: {maxima:?}"
+    );
+    let _ = &mut s.vocab;
+}

@@ -1,0 +1,117 @@
+//! Integration test for the Theorem 7.1 ladder: one logspace xTM run
+//! (1) directly, (2) as a compiled `TW` pebble walker, (3) as a compiled
+//! `tw^r` store program — all must accept the same trees; and the
+//! resource meters must land in the theorem's regimes (no tape cells for
+//! the walker, linear store for `tw^r`, logarithmic tape for the xTM).
+
+use twq::automata::{run, run_graph, Limits, TwClass};
+use twq::sim::{compile_logspace, compile_pspace};
+use twq::tree::generate::{random_tree, TreeGenConfig};
+use twq::tree::{DelimTree, Vocab};
+use twq::xtm::machine::{run_xtm, XtmLimits};
+use twq::xtm::machines;
+
+#[test]
+fn the_full_ladder_agrees() {
+    let mut vocab = Vocab::new();
+    let cfg = TreeGenConfig::example32(&mut vocab, 7, &[1]);
+    let id = vocab.attr("id");
+    let machine = machines::leaf_count_even(&cfg.symbols);
+    let pebbles = compile_logspace(&machine, &cfg.symbols, id, &mut vocab).unwrap();
+    let store = compile_pspace(&machine, &cfg.symbols, id, &mut vocab).unwrap();
+    assert_eq!(pebbles.program.classify(), TwClass::Tw);
+    assert_eq!(store.program.classify(), TwClass::TwR);
+
+    let (mut acc, mut rej) = (0, 0);
+    for seed in 0..6 {
+        let t = random_tree(&cfg, seed);
+        let mut dt = DelimTree::build(&t);
+        dt.assign_unique_ids(id, &mut vocab);
+
+        let xr = run_xtm(&machine, &dt, XtmLimits::default());
+        let pr = run(&pebbles.program, &dt, Limits::long_walk());
+        let sr = run(&store.program, &dt, Limits::long_walk());
+
+        assert!(!pr.halt.is_limit() && !sr.halt.is_limit());
+        assert_eq!(xr.accepted(), pr.accepted(), "seed {seed} (Thm 7.1(1))");
+        assert_eq!(xr.accepted(), sr.accepted(), "seed {seed} (Thm 7.1(3))");
+        assert_eq!(xr.accepted(), machines::oracle_leaf_count_even(&t));
+
+        // Resource regimes: xTM space logarithmic, pebble walker stores
+        // only single IDs (max one tuple per register), tw^r store linear.
+        let n = dt.tree().len();
+        assert!(xr.space <= (n.ilog2() as usize) + 3, "xTM space {}", xr.space);
+        assert!(pr.max_store_tuples <= pebbles.program.reg_count());
+        assert!(sr.max_store_tuples <= 2 * n + 16);
+
+        if xr.accepted() {
+            acc += 1;
+        } else {
+            rej += 1;
+        }
+    }
+    assert!(acc > 0 && rej > 0, "workload must be mixed: {acc}/{rej}");
+}
+
+#[test]
+fn graph_evaluator_handles_compiled_walkers() {
+    // The memoized evaluator (Theorem 7.1(2)'s upper-bound machinery)
+    // agrees with the direct engine on a compiled pebble walker — a
+    // deterministic chain without look-ahead, so distinct configurations
+    // equal steps+1 at most.
+    let mut vocab = Vocab::new();
+    let cfg = TreeGenConfig::example32(&mut vocab, 5, &[1]);
+    let id = vocab.attr("id");
+    let machine = machines::leftmost_depth_even(&cfg.symbols);
+    let pebbles = compile_logspace(&machine, &cfg.symbols, id, &mut vocab).unwrap();
+    let t = random_tree(&cfg, 2);
+    let mut dt = DelimTree::build(&t);
+    dt.assign_unique_ids(id, &mut vocab);
+    let direct = run(&pebbles.program, &dt, Limits::long_walk());
+    let graph = run_graph(&pebbles.program, &dt, Limits::long_walk());
+    assert_eq!(direct.accepted(), graph.accepted());
+    assert!(graph.distinct_configs as u64 <= graph.steps + 1);
+}
+
+#[test]
+fn alternation_is_the_bridge_to_ptime() {
+    // Theorem 7.1(2) rests on ALOGSPACE = PTIME: the alternating machine
+    // model must agree with a deterministic evaluation of the same
+    // property (here: all leaves at even depth).
+    let mut vocab = Vocab::new();
+    let cfg = TreeGenConfig::example32(&mut vocab, 12, &[1]);
+    let m = machines::alt_all_leaves_even_depth(&cfg.symbols);
+    for seed in 0..12 {
+        let t = random_tree(&cfg, seed);
+        let dt = DelimTree::build(&t);
+        let alt = twq::xtm::run_alternating(&m, &dt, XtmLimits::default());
+        assert!(!alt.truncated);
+        assert_eq!(
+            alt.accepted,
+            machines::oracle_all_leaves_even_depth(&t),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn proposition_72_round_trip() {
+    // A = ∅: fold the store into states, run both on shared inputs.
+    let mut vocab = Vocab::new();
+    let cfg = TreeGenConfig::example32(&mut vocab, 18, &[]);
+    let sigma = twq::tree::Label::Sym(cfg.symbols[0]);
+    let delta = twq::tree::Label::Sym(cfg.symbols[1]);
+    let src = twq::sim::delta_count_mod3(sigma, delta, &mut vocab);
+    let folded = twq::sim::eliminate_store(&src, 10_000).unwrap();
+    assert_eq!(folded.reg_count(), 0);
+    for seed in 0..15 {
+        let t = random_tree(&cfg, seed);
+        let a = twq::automata::run_on_tree(&src, &t, Limits::default());
+        let b = twq::automata::run_on_tree(&folded, &t, Limits::default());
+        assert_eq!(a.accepted(), b.accepted(), "seed {seed}");
+        assert_eq!(
+            a.accepted(),
+            twq::sim::noattr::oracle_delta_count_mod3(&t, delta)
+        );
+    }
+}
