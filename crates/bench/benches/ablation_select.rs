@@ -14,9 +14,7 @@ fn bench(c: &mut Criterion) {
     // A union query: modest per-branch variable counts, but the naive
     // evaluator must still enumerate the union of both branches' variables
     // (n^8-ish) while the DNF split stays per-branch (n^4-ish).
-    let phi = compile(
-        &parse_xpath("sigma/delta | delta/sigma", &mut b.vocab).unwrap(),
-    );
+    let phi = compile(&parse_xpath("sigma/delta | delta/sigma", &mut b.vocab).unwrap());
     let formula = phi.to_formula();
     let mut group = c.benchmark_group("ablation_select");
     group.sample_size(10);

@@ -1,0 +1,50 @@
+//! Observability overhead — the same long compiled-pebble walk run three
+//! ways: through the public uninstrumented entry point (`run`, which
+//! monomorphizes over `NullCollector`), through `run_with` with an
+//! explicit `NullCollector` (must be indistinguishable from `run`), and
+//! through `run_with` with a `MetricsCollector`. The first two quantify
+//! the zero-cost claim; the third prices full metrics collection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twq_automata::{run, run_with, Limits};
+use twq_bench::Bench;
+use twq_obs::{MetricsCollector, NullCollector};
+use twq_sim::compile_logspace;
+use twq_xtm::machines;
+
+fn bench(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let machine = machines::leaf_count_even(&b.symbols);
+    let symbols = b.symbols.clone();
+    let id = b.id;
+    let prog = compile_logspace(&machine, &symbols, id, &mut b.vocab).unwrap();
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.sample_size(10);
+    for n in [6usize, 8] {
+        let t = b.tree(n, &[1], 5);
+        let dt = b.delim_with_ids(&t);
+        // Sanity: instrumentation must not change the verdict or the count.
+        let base = run(&prog.program, &dt, Limits::long_walk());
+        let mut mc = MetricsCollector::new();
+        let measured = run_with(&prog.program, &dt, Limits::long_walk(), &mut mc);
+        assert_eq!(base.accepted(), measured.accepted());
+        assert_eq!(base.steps, mc.metrics.steps);
+        group.bench_with_input(BenchmarkId::new("uninstrumented", n), &dt, |bch, dt| {
+            bch.iter(|| run(&prog.program, dt, Limits::long_walk()))
+        });
+        group.bench_with_input(BenchmarkId::new("null_collector", n), &dt, |bch, dt| {
+            bch.iter(|| run_with(&prog.program, dt, Limits::long_walk(), &mut NullCollector))
+        });
+        group.bench_with_input(BenchmarkId::new("metrics_collector", n), &dt, |bch, dt| {
+            bch.iter(|| {
+                let mut mc = MetricsCollector::new();
+                run_with(&prog.program, dt, Limits::long_walk(), &mut mc);
+                mc.metrics.steps
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

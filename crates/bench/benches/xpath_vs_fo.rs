@@ -7,7 +7,11 @@ use twq_xpath::{compile, eval_from, parse_xpath};
 
 fn bench(c: &mut Criterion) {
     let mut b = Bench::new();
-    let queries = ["sigma/delta", "//delta[sigma]", "sigma//sigma[@a=1] | delta"];
+    let queries = [
+        "sigma/delta",
+        "//delta[sigma]",
+        "sigma//sigma[@a=1] | delta",
+    ];
     let mut group = c.benchmark_group("e2_xpath_vs_fo");
     group.sample_size(10);
     for n in [30usize, 90, 270] {
@@ -20,11 +24,9 @@ fn bench(c: &mut Criterion) {
                 &t,
                 |bch, t| bch.iter(|| eval_from(t, &path, t.root())),
             );
-            group.bench_with_input(
-                BenchmarkId::new(format!("fo_q{qi}"), n),
-                &t,
-                |bch, t| bch.iter(|| phi.select(t, t.root())),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("fo_q{qi}"), n), &t, |bch, t| {
+                bch.iter(|| phi.select(t, t.root()))
+            });
         }
     }
     group.finish();

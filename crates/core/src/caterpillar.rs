@@ -84,9 +84,7 @@ impl CatExpr {
     pub fn size(&self) -> usize {
         match self {
             CatExpr::Atom(_) | CatExpr::Epsilon => 1,
-            CatExpr::Seq(es) | CatExpr::Alt(es) => {
-                1 + es.iter().map(CatExpr::size).sum::<usize>()
-            }
+            CatExpr::Seq(es) | CatExpr::Alt(es) => 1 + es.iter().map(CatExpr::size).sum::<usize>(),
             CatExpr::Star(e) | CatExpr::Plus(e) | CatExpr::Opt(e) => 1 + e.size(),
         }
     }
@@ -325,7 +323,11 @@ pub struct CatParseError {
 
 impl fmt::Display for CatParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "caterpillar parse error at byte {}: {}", self.at, self.msg)
+        write!(
+            f,
+            "caterpillar parse error at byte {}: {}",
+            self.at, self.msg
+        )
     }
 }
 

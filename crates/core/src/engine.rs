@@ -21,6 +21,7 @@ use std::collections::HashSet;
 
 use twq_logic::store::AttrEnv;
 use twq_logic::{eval_query, RegId, Relation, Store};
+use twq_obs::{Collector, FoEval, HaltKind, NullCollector};
 use twq_tree::{DelimTree, NodeId, Tree};
 
 use crate::program::{Action, Dir, State, TwProgram};
@@ -104,6 +105,19 @@ impl Halt {
     pub fn is_limit(self) -> bool {
         matches!(self, Halt::StepLimit | Halt::AtpDepthLimit)
     }
+
+    /// The evaluator-agnostic [`HaltKind`] reported to collectors.
+    pub fn kind(self) -> HaltKind {
+        match self {
+            Halt::Accept => HaltKind::Accept,
+            Halt::Stuck => HaltKind::Stuck,
+            Halt::Cycle => HaltKind::Cycle,
+            Halt::Nondeterministic => HaltKind::Nondeterministic,
+            Halt::SubRejected => HaltKind::SubRejected,
+            Halt::StepLimit => HaltKind::StepLimit,
+            Halt::AtpDepthLimit => HaltKind::AtpDepthLimit,
+        }
+    }
 }
 
 /// Execution statistics and outcome.
@@ -141,7 +155,14 @@ pub fn move_dir(tree: &Tree, u: NodeId, d: Dir) -> Option<NodeId> {
     }
 }
 
-pub(crate) struct Exec<'a> {
+/// Trace recording attached to an [`Exec`]: a caller-owned buffer plus the
+/// entry cap that bounds pathological runs.
+struct TraceBuf<'a> {
+    buf: &'a mut Vec<TraceStep>,
+    cap: usize,
+}
+
+pub(crate) struct Exec<'a, C: Collector> {
     pub prog: &'a TwProgram,
     pub tree: &'a Tree,
     pub limits: Limits,
@@ -150,6 +171,8 @@ pub(crate) struct Exec<'a> {
     pub subcomputations: u64,
     pub max_store_tuples: usize,
     pub max_chain_configs: usize,
+    collector: &'a mut C,
+    trace: Option<TraceBuf<'a>>,
 }
 
 /// What happened to one computation chain.
@@ -160,8 +183,22 @@ pub(crate) enum ChainEnd {
     Reject(Halt),
 }
 
-impl<'a> Exec<'a> {
-    pub(crate) fn new(prog: &'a TwProgram, tree: &'a Tree, limits: Limits) -> Self {
+impl ChainEnd {
+    fn halt(&self) -> Halt {
+        match self {
+            ChainEnd::Accept(_) => Halt::Accept,
+            ChainEnd::Reject(h) => *h,
+        }
+    }
+}
+
+impl<'a, C: Collector> Exec<'a, C> {
+    pub(crate) fn new(
+        prog: &'a TwProgram,
+        tree: &'a Tree,
+        limits: Limits,
+        collector: &'a mut C,
+    ) -> Self {
         Exec {
             prog,
             tree,
@@ -171,12 +208,14 @@ impl<'a> Exec<'a> {
             subcomputations: 0,
             max_store_tuples: 0,
             max_chain_configs: 0,
+            collector,
+            trace: None,
         }
     }
 
     /// Select the unique applicable rule for `cfg`, or report why none /
     /// several apply. `None` = accept (final state).
-    fn pick_rule(&self, cfg: &Config) -> Result<Option<usize>, Halt> {
+    fn pick_rule(&mut self, cfg: &Config) -> Result<Option<usize>, Halt> {
         if cfg.state == self.prog.final_state() {
             return Ok(None);
         }
@@ -185,6 +224,7 @@ impl<'a> Exec<'a> {
         let mut chosen = None;
         for &idx in self.prog.rules_for(label, cfg.state) {
             let rule = &self.prog.rules()[idx];
+            self.collector.fo_eval(FoEval::Guard);
             if twq_logic::eval_guard(&cfg.store, &env, &rule.guard) {
                 if chosen.is_some() {
                     return Err(Halt::Nondeterministic);
@@ -198,15 +238,48 @@ impl<'a> Exec<'a> {
         }
     }
 
+    /// Charge one transition: enforce the step budget, count the step, and
+    /// notify the collector. The single place step accounting happens.
+    fn tick(&mut self, cfg: &Config, depth: u32) -> Result<(), Halt> {
+        if self.steps >= self.limits.max_steps {
+            return Err(Halt::StepLimit);
+        }
+        self.steps += 1;
+        self.collector
+            .step(cfg.node.0 as u64, cfg.state.0 as u32, depth);
+        Ok(())
+    }
+
     /// Run one computation chain to completion.
-    pub(crate) fn run_chain(&mut self, mut cfg: Config, depth: u32) -> ChainEnd {
+    pub(crate) fn run_chain(&mut self, cfg: Config, depth: u32) -> ChainEnd {
+        self.collector
+            .chain_enter(cfg.node.0 as u64, cfg.state.0 as u32, depth);
+        let end = self.chain_loop(cfg, depth);
+        self.collector.chain_exit(end.halt().kind(), depth);
+        end
+    }
+
+    fn chain_loop(&mut self, mut cfg: Config, depth: u32) -> ChainEnd {
         let mut seen: HashSet<Config> = HashSet::new();
         let interval = self.limits.cycle_check_interval as u64;
         let mut local_step = 0u64;
         loop {
-            self.max_store_tuples = self.max_store_tuples.max(cfg.store.total_tuples());
-            if interval > 0 && local_step.is_multiple_of(interval) && !seen.insert(cfg.clone()) {
-                return ChainEnd::Reject(Halt::Cycle);
+            if let Some(tr) = &mut self.trace {
+                if tr.buf.len() < tr.cap {
+                    tr.buf.push(TraceStep {
+                        depth,
+                        config: cfg.clone(),
+                    });
+                }
+            }
+            let tuples = cfg.store.total_tuples();
+            self.max_store_tuples = self.max_store_tuples.max(tuples);
+            self.collector.store_size(tuples);
+            if interval > 0 && local_step.is_multiple_of(interval) {
+                if !seen.insert(cfg.clone()) {
+                    return ChainEnd::Reject(Halt::Cycle);
+                }
+                self.collector.cycle_bookkeeping(seen.len());
             }
             local_step += 1;
             self.max_chain_configs = self.max_chain_configs.max(seen.len());
@@ -215,10 +288,9 @@ impl<'a> Exec<'a> {
                 Ok(Some(i)) => i,
                 Err(h) => return ChainEnd::Reject(h),
             };
-            if self.steps >= self.limits.max_steps {
-                return ChainEnd::Reject(Halt::StepLimit);
+            if let Err(h) = self.tick(&cfg, depth) {
+                return ChainEnd::Reject(h);
             }
-            self.steps += 1;
             let rule = &self.prog.rules()[rule_idx];
             match &rule.action {
                 Action::Move(q, d) => {
@@ -233,6 +305,7 @@ impl<'a> Exec<'a> {
                     }
                 }
                 Action::Update(q, psi, i) => {
+                    self.collector.fo_eval(FoEval::Update);
                     let env = AttrEnv::of(self.tree, cfg.node);
                     let rel = eval_query(&cfg.store, &env, psi);
                     cfg.store.set(*i, rel);
@@ -243,7 +316,9 @@ impl<'a> Exec<'a> {
                         return ChainEnd::Reject(Halt::AtpDepthLimit);
                     }
                     self.atp_calls += 1;
-                    let selected = phi.select(self.tree, cfg.node);
+                    let selected = phi.select_with(self.tree, cfg.node, self.collector);
+                    self.collector
+                        .atp_enter(cfg.node.0 as u64, selected.len(), depth);
                     let mut acc = Relation::empty(cfg.store.arity(RegId(0)));
                     for v in selected {
                         self.subcomputations += 1;
@@ -258,10 +333,12 @@ impl<'a> Exec<'a> {
                                 // "When one subcomputation rejects, the
                                 // whole computation rejects."
                                 let h = if h.is_limit() { h } else { Halt::SubRejected };
+                                self.collector.atp_exit(depth);
                                 return ChainEnd::Reject(h);
                             }
                         }
                     }
+                    self.collector.atp_exit(depth);
                     cfg.store.set(*i, acc);
                     cfg.state = *q;
                 }
@@ -284,23 +361,43 @@ impl<'a> Exec<'a> {
 /// Run a program on a delimited tree from the initial configuration
 /// `γ₀ = [root, q₀, τ₀]`.
 pub fn run(prog: &TwProgram, delim: &DelimTree, limits: Limits) -> RunReport {
+    run_with(prog, delim, limits, &mut NullCollector)
+}
+
+/// [`run`] with instrumentation: the collector sees every step (with node,
+/// state, and `atp` depth), chain and `atp` spans, guard/update
+/// evaluations, store sizes, and cycle-check bookkeeping.
+pub fn run_with<C: Collector>(
+    prog: &TwProgram,
+    delim: &DelimTree,
+    limits: Limits,
+    collector: &mut C,
+) -> RunReport {
     let tree = delim.tree();
-    let mut exec = Exec::new(prog, tree, limits);
+    let mut exec = Exec::new(prog, tree, limits, collector);
     let init = Config {
         node: tree.root(),
         state: prog.initial(),
         store: prog.initial_store(),
     };
-    let halt = match exec.run_chain(init, 0) {
-        ChainEnd::Accept(_) => Halt::Accept,
-        ChainEnd::Reject(h) => h,
-    };
+    let halt = exec.run_chain(init, 0).halt();
+    exec.collector.halt(halt.kind());
     exec.report(halt)
 }
 
 /// Convenience: delimit `tree` and run.
 pub fn run_on_tree(prog: &TwProgram, tree: &Tree, limits: Limits) -> RunReport {
     run(prog, &DelimTree::build(tree), limits)
+}
+
+/// [`run_on_tree`] with instrumentation.
+pub fn run_on_tree_with<C: Collector>(
+    prog: &TwProgram,
+    tree: &Tree,
+    limits: Limits,
+    collector: &mut C,
+) -> RunReport {
+    run_with(prog, &DelimTree::build(tree), limits, collector)
 }
 
 /// One step of a recorded trace.
@@ -321,112 +418,35 @@ pub fn run_traced(
     limits: Limits,
     max_trace: usize,
 ) -> (RunReport, Vec<TraceStep>) {
-    // A minimal re-implementation over the chain runner would lose the
-    // subcomputation structure; instead we wrap `Exec` with a recording
-    // hook via a secondary pass: re-run stepping while logging. The direct
-    // engine is deterministic, so a dedicated recording executor is
-    // equivalent. For simplicity the recorder duplicates the chain logic
-    // for Move/Update and delegates to `run` for the final report.
-    let report = run(prog, delim, limits);
-    let tree = delim.tree();
-    let mut trace = Vec::new();
-    let mut exec = Exec::new(prog, tree, limits);
-    record_chain(
-        &mut exec,
-        Config {
-            node: tree.root(),
-            state: prog.initial(),
-            store: prog.initial_store(),
-        },
-        0,
-        &mut trace,
-        max_trace,
-    );
-    (report, trace)
+    run_traced_with(prog, delim, limits, max_trace, &mut NullCollector)
 }
 
-fn record_chain(
-    exec: &mut Exec<'_>,
-    cfg: Config,
-    depth: u32,
-    trace: &mut Vec<TraceStep>,
+/// [`run_traced`] with instrumentation. One single pass drives the chain
+/// runner with its trace hook armed, so the report and the trace come from
+/// the same execution.
+pub fn run_traced_with<C: Collector>(
+    prog: &TwProgram,
+    delim: &DelimTree,
+    limits: Limits,
     max_trace: usize,
-) -> ChainEnd {
-    // Record while running — mirrors `run_chain` with a logging hook.
-    let mut cfg = cfg;
-    let mut seen: HashSet<Config> = HashSet::new();
-    loop {
-        if trace.len() < max_trace {
-            trace.push(TraceStep {
-                depth,
-                config: cfg.clone(),
-            });
-        }
-        if !seen.insert(cfg.clone()) {
-            return ChainEnd::Reject(Halt::Cycle);
-        }
-        if cfg.state == exec.prog.final_state() {
-            return ChainEnd::Accept(cfg.store);
-        }
-        let env = AttrEnv::of(exec.tree, cfg.node);
-        let label = exec.tree.label(cfg.node);
-        let mut chosen = None;
-        for &idx in exec.prog.rules_for(label, cfg.state) {
-            let rule = &exec.prog.rules()[idx];
-            if twq_logic::eval_guard(&cfg.store, &env, &rule.guard) {
-                if chosen.is_some() {
-                    return ChainEnd::Reject(Halt::Nondeterministic);
-                }
-                chosen = Some(idx);
-            }
-        }
-        let Some(rule_idx) = chosen else {
-            return ChainEnd::Reject(Halt::Stuck);
-        };
-        if exec.steps >= exec.limits.max_steps {
-            return ChainEnd::Reject(Halt::StepLimit);
-        }
-        exec.steps += 1;
-        let rule = &exec.prog.rules()[rule_idx];
-        match &rule.action {
-            Action::Move(q, d) => match move_dir(exec.tree, cfg.node, *d) {
-                Some(v) => {
-                    cfg.node = v;
-                    cfg.state = *q;
-                }
-                None => return ChainEnd::Reject(Halt::Stuck),
-            },
-            Action::Update(q, psi, i) => {
-                let env = AttrEnv::of(exec.tree, cfg.node);
-                let rel = eval_query(&cfg.store, &env, psi);
-                cfg.store.set(*i, rel);
-                cfg.state = *q;
-            }
-            Action::Atp(q, phi, p, i) => {
-                if depth >= exec.limits.max_atp_depth {
-                    return ChainEnd::Reject(Halt::AtpDepthLimit);
-                }
-                let selected = phi.select(exec.tree, cfg.node);
-                let mut acc = Relation::empty(cfg.store.arity(RegId(0)));
-                for v in selected {
-                    let sub = Config {
-                        node: v,
-                        state: *p,
-                        store: cfg.store.clone(),
-                    };
-                    match record_chain(exec, sub, depth + 1, trace, max_trace) {
-                        ChainEnd::Accept(st) => acc.union_with(st.get(RegId(0))),
-                        ChainEnd::Reject(h) => {
-                            let h = if h.is_limit() { h } else { Halt::SubRejected };
-                            return ChainEnd::Reject(h);
-                        }
-                    }
-                }
-                cfg.store.set(*i, acc);
-                cfg.state = *q;
-            }
-        }
-    }
+    collector: &mut C,
+) -> (RunReport, Vec<TraceStep>) {
+    let tree = delim.tree();
+    let mut trace = Vec::new();
+    let mut exec = Exec::new(prog, tree, limits, collector);
+    exec.trace = Some(TraceBuf {
+        buf: &mut trace,
+        cap: max_trace,
+    });
+    let init = Config {
+        node: tree.root(),
+        state: prog.initial(),
+        store: prog.initial_store(),
+    };
+    let halt = exec.run_chain(init, 0).halt();
+    exec.collector.halt(halt.kind());
+    let report = exec.report(halt);
+    (report, trace)
 }
 
 /// Render a trace for human reading.
@@ -696,11 +716,7 @@ mod tests {
     fn traced_run_matches_plain_run() {
         let mut vocab = Vocab::new();
         let ex = crate::examples::example_32(&mut vocab);
-        let t = parse_tree(
-            "sigma[a=9](delta[a=9](sigma[a=1],sigma[a=1]))",
-            &mut vocab,
-        )
-        .unwrap();
+        let t = parse_tree("sigma[a=9](delta[a=9](sigma[a=1],sigma[a=1]))", &mut vocab).unwrap();
         let dt = twq_tree::DelimTree::build(&t);
         let (report, trace) = run_traced(&ex.program, &dt, Limits::default(), 10_000);
         assert!(report.accepted());

@@ -153,8 +153,7 @@ impl<'a> GraphExec<'a> {
                         match self.eval(sub, depth + 1) {
                             Memo::Accept(rel) => acc.union_with(&rel),
                             Memo::Reject(h) => {
-                                failed =
-                                    Some(if h.is_limit() { h } else { Halt::SubRejected });
+                                failed = Some(if h.is_limit() { h } else { Halt::SubRejected });
                                 break;
                             }
                         }

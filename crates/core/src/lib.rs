@@ -32,6 +32,9 @@ pub mod program;
 pub mod twir;
 pub mod twodfa;
 
-pub use engine::{run, run_on_tree, run_traced, Config, Halt, Limits, RunReport, TraceStep};
+pub use engine::{
+    run, run_on_tree, run_on_tree_with, run_traced, run_traced_with, run_with, Config, Halt,
+    Limits, RunReport, TraceStep,
+};
 pub use graph::{run_graph, run_graph_on_tree, GraphReport};
 pub use program::{Action, Dir, ProgramError, Rule, State, TwClass, TwProgram, TwProgramBuilder};

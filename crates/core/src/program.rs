@@ -25,7 +25,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use twq_logic::{ExistsFormula, RegId, Relation, SFormula, STerm, SAtom, Var};
+use twq_logic::{ExistsFormula, RegId, Relation, SAtom, SFormula, STerm, Var};
 use twq_tree::{Label, Vocab};
 
 /// An automaton state `q ∈ Q`.
@@ -260,16 +260,13 @@ impl TwProgram {
     /// belongs to.
     pub fn classify(&self) -> TwClass {
         let unary_single = self.reg_arities.iter().all(|&a| a == 1)
-            && self
-                .rules
-                .iter()
-                .all(|r| match &r.action {
-                    Action::Update(_, psi, _) => is_single_value_update(psi),
-                    // Definition 5.1: tw^l look-ahead must select a single
-                    // node, so the register stays a singleton.
-                    Action::Atp(_, phi, _, _) => phi.is_syntactically_single(),
-                    Action::Move(_, _) => true,
-                })
+            && self.rules.iter().all(|r| match &r.action {
+                Action::Update(_, psi, _) => is_single_value_update(psi),
+                // Definition 5.1: tw^l look-ahead must select a single
+                // node, so the register stays a singleton.
+                Action::Atp(_, phi, _, _) => phi.is_syntactically_single(),
+                Action::Move(_, _) => true,
+            })
             && self.init_regs.iter().all(|r| r.len() <= 1);
         match (unary_single, self.uses_lookahead()) {
             (true, false) => TwClass::Tw,
@@ -367,9 +364,7 @@ impl TwProgram {
 pub fn is_single_value_update(psi: &SFormula) -> bool {
     match psi {
         SFormula::Atom(SAtom::Eq(STerm::Var(Var(0)), t))
-        | SFormula::Atom(SAtom::Eq(t, STerm::Var(Var(0)))) => {
-            !matches!(t, STerm::Var(_))
-        }
+        | SFormula::Atom(SAtom::Eq(t, STerm::Var(Var(0)))) => !matches!(t, STerm::Var(_)),
         SFormula::Atom(SAtom::Rel(_, ts)) => {
             matches!(ts.as_slice(), [STerm::Var(Var(0))])
         }
@@ -438,7 +433,13 @@ impl TwProgramBuilder {
     }
 
     /// Add a rule.
-    pub fn rule(&mut self, label: Label, state: State, guard: SFormula, action: Action) -> &mut Self {
+    pub fn rule(
+        &mut self,
+        label: Label,
+        state: State,
+        guard: SFormula,
+        action: Action,
+    ) -> &mut Self {
         self.rules.push(Rule {
             label,
             state,
@@ -530,7 +531,10 @@ impl TwProgramBuilder {
         check_state(final_state, "final")?;
         for (i, (r, &a)) in self.init_regs.iter().zip(&self.reg_arities).enumerate() {
             if r.arity() != a {
-                return Err(ProgramError::InitArityMismatch(format!("register X{}", i + 1)));
+                return Err(ProgramError::InitArityMismatch(format!(
+                    "register X{}",
+                    i + 1
+                )));
             }
         }
         let mut index: HashMap<(Label, State), Vec<usize>> = HashMap::new();
@@ -710,10 +714,7 @@ mod tests {
             SFormula::Exists(Var(0), Box::new(rel(RegId(5), [v(0)]))),
             Action::Move(qf, Dir::Stay),
         );
-        assert!(matches!(
-            b.build(),
-            Err(ProgramError::UnknownRegister(_))
-        ));
+        assert!(matches!(b.build(), Err(ProgramError::UnknownRegister(_))));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use twq_logic::store::sbuild;
 use twq_logic::{RegId, Relation, SFormula, Var};
+use twq_obs::{Collector, NullCollector, PhaseTimer};
 use twq_tree::{AttrId, Label, Value};
 
 use crate::program::{Action, Dir, ProgramError, State, TwProgram, TwProgramBuilder};
@@ -143,6 +144,18 @@ impl WalkerBuilder {
     /// of the delimited tree; falling off the end of the body is a reject
     /// (end with [`Instr::Accept`] to accept).
     pub fn compile(&self, body: &[Instr]) -> Result<TwProgram, ProgramError> {
+        self.compile_with(body, &mut NullCollector)
+    }
+
+    /// [`WalkerBuilder::compile`] with instrumentation: reports the
+    /// `twir.compile` phase timing and the `twir.states` / `twir.rules`
+    /// counters of the produced program.
+    pub fn compile_with<C: Collector>(
+        &self,
+        body: &[Instr],
+        collector: &mut C,
+    ) -> Result<TwProgram, ProgramError> {
+        let timer = C::ENABLED.then(|| PhaseTimer::start("twir.compile"));
         let mut c = Compiler {
             b: TwProgramBuilder::new(),
             labels: &self.labels,
@@ -157,7 +170,15 @@ impl WalkerBuilder {
         let dead = c.b.state("halt");
         let entry = c.compile_seq(body, dead, q_f);
         c.b.initial(entry);
-        c.b.build()
+        let prog = c.b.build();
+        if let Some(timer) = timer {
+            timer.stop(collector);
+        }
+        if let Ok(p) = &prog {
+            collector.counter("twir.states", p.state_count() as u64);
+            collector.counter("twir.rules", p.rules().len() as u64);
+        }
+        prog
     }
 }
 
@@ -243,12 +264,8 @@ impl Compiler<'_> {
                         Residual::Guard(g) => {
                             self.b
                                 .rule(l, q, g.clone(), Action::Move(then_entry, Dir::Stay));
-                            self.b.rule(
-                                l,
-                                q,
-                                sbuild::not(g),
-                                Action::Move(else_entry, Dir::Stay),
-                            );
+                            self.b
+                                .rule(l, q, sbuild::not(g), Action::Move(else_entry, Dir::Stay));
                         }
                     }
                 }

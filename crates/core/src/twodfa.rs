@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use twq_obs::{Collector, HaltKind, NullCollector};
 use twq_tree::{Label, SymId, Tree};
 
 use crate::program::{Action, Dir, ProgramError, TwProgram, TwProgramBuilder};
@@ -129,6 +130,15 @@ impl TwoDfa {
 
     /// Run on a word (without endmarkers; they are added internally).
     pub fn run(&self, word: &[SymId]) -> DHalt {
+        self.run_with(word, &mut NullCollector)
+    }
+
+    /// [`TwoDfa::run`] with instrumentation: one chain span for the whole
+    /// run, one step per transition (the tape position plays the node),
+    /// and cycle-table bookkeeping. `OffTape` reports as
+    /// [`HaltKind::Stuck`] — walking off the tape is the string analogue
+    /// of walking off the tree.
+    pub fn run_with<C: Collector>(&self, word: &[SymId], c: &mut C) -> DHalt {
         // Positions: 0 = ⊢, 1..=n = symbols, n+1 = ⊣.
         let n = word.len();
         let cell = |pos: usize| -> Cell {
@@ -143,39 +153,52 @@ impl TwoDfa {
         let mut state = self.initial;
         let mut pos = 0usize;
         let mut seen = vec![false; (n + 2) * self.state_count()];
-        loop {
+        let mut tracked = 0usize;
+        c.chain_enter(pos as u64, state.0 as u32, 0);
+        let halt = loop {
             if state == self.accept {
-                return DHalt::Accept;
+                break DHalt::Accept;
             }
             let key = pos * self.state_count() + state.0 as usize;
             if seen[key] {
-                return DHalt::Cycle;
+                break DHalt::Cycle;
             }
             seen[key] = true;
+            tracked += 1;
+            c.cycle_bookkeeping(tracked);
             let Some(&(next, mv)) = self.delta.get(&(state, cell(pos))) else {
-                return DHalt::Stuck;
+                break DHalt::Stuck;
             };
+            c.step(pos as u64, state.0 as u32, 0);
             // Acceptance is by *entering* the accept state; the final move
             // is irrelevant (and may point off the tape).
             if next == self.accept {
-                return DHalt::Accept;
+                break DHalt::Accept;
             }
             state = next;
             match mv {
                 DMove::L => {
                     if pos == 0 {
-                        return DHalt::OffTape;
+                        break DHalt::OffTape;
                     }
                     pos -= 1;
                 }
                 DMove::R => {
                     if pos == n + 1 {
-                        return DHalt::OffTape;
+                        break DHalt::OffTape;
                     }
                     pos += 1;
                 }
             }
-        }
+        };
+        let kind = match halt {
+            DHalt::Accept => HaltKind::Accept,
+            DHalt::Stuck | DHalt::OffTape => HaltKind::Stuck,
+            DHalt::Cycle => HaltKind::Cycle,
+        };
+        c.chain_exit(kind, 0);
+        c.halt(kind);
+        halt
     }
 
     /// Compile into a `TW` walker over the monadic-tree embedding: state
@@ -228,7 +251,11 @@ impl TwoDfa {
                     // ⊲ for the empty word — treat ⊲ as ⊣ by a dedicated
                     // rule below). Left: off tape → no rule (stuck).
                     if mv == DMove::R {
-                        b.rule_true(Label::DelimRoot, from_main, Action::Move(hop[to.0 as usize], Dir::Down));
+                        b.rule_true(
+                            Label::DelimRoot,
+                            from_main,
+                            Action::Move(hop[to.0 as usize], Dir::Down),
+                        );
                     }
                 }
                 Cell::RightEnd => {
@@ -236,12 +263,20 @@ impl TwoDfa {
                     // the last symbol (or ▽). Right: off tape.
                     if mv == DMove::L {
                         b.rule_true(Label::DelimLeaf, from_main, Action::Move(to_state, Dir::Up));
-                        b.rule_true(Label::DelimClose, from_main, Action::Move(to_state, Dir::Up));
+                        b.rule_true(
+                            Label::DelimClose,
+                            from_main,
+                            Action::Move(to_state, Dir::Up),
+                        );
                     }
                 }
                 Cell::Sym(s) => match mv {
                     DMove::R => {
-                        b.rule_true(Label::Sym(s), from_main, Action::Move(hop[to.0 as usize], Dir::Down));
+                        b.rule_true(
+                            Label::Sym(s),
+                            from_main,
+                            Action::Move(hop[to.0 as usize], Dir::Down),
+                        );
                     }
                     DMove::L => {
                         b.rule_true(Label::Sym(s), from_main, Action::Move(to_state, Dir::Up));

@@ -6,6 +6,7 @@
 //! thanks to the arena links, except `≺` and sibling `<` which walk
 //! parent/sibling chains.
 
+use twq_obs::{Collector, FoEval, NullCollector};
 use twq_tree::{NodeId, Tree};
 
 use crate::fo::{Formula, TreeAtom, Var};
@@ -90,19 +91,34 @@ pub fn eval_atom(tree: &Tree, atom: &TreeAtom, asg: &Assignment) -> bool {
 /// Evaluate a formula under an assignment binding (at least) its free
 /// variables.
 pub fn eval(tree: &Tree, formula: &Formula, asg: &mut Assignment) -> bool {
+    eval_with(tree, formula, asg, &mut NullCollector)
+}
+
+/// [`eval`] with instrumentation: reports one [`FoEval::Atom`] per atom
+/// evaluation, so a metrics collector sees the model checker's true cost
+/// (which quantifier nesting multiplies).
+pub fn eval_with<C: Collector>(
+    tree: &Tree,
+    formula: &Formula,
+    asg: &mut Assignment,
+    c: &mut C,
+) -> bool {
     match formula {
         Formula::True => true,
         Formula::False => false,
-        Formula::Atom(a) => eval_atom(tree, a, asg),
-        Formula::Not(f) => !eval(tree, f, asg),
-        Formula::And(fs) => fs.iter().all(|f| eval(tree, f, asg)),
-        Formula::Or(fs) => fs.iter().any(|f| eval(tree, f, asg)),
+        Formula::Atom(a) => {
+            c.fo_eval(FoEval::Atom);
+            eval_atom(tree, a, asg)
+        }
+        Formula::Not(f) => !eval_with(tree, f, asg, c),
+        Formula::And(fs) => fs.iter().all(|f| eval_with(tree, f, asg, c)),
+        Formula::Or(fs) => fs.iter().any(|f| eval_with(tree, f, asg, c)),
         Formula::Exists(v, f) => {
             let saved = asg.get(*v);
             let mut found = false;
             for u in tree.node_ids() {
                 asg.set(*v, u);
-                if eval(tree, f, asg) {
+                if eval_with(tree, f, asg, c) {
                     found = true;
                     break;
                 }
@@ -115,7 +131,7 @@ pub fn eval(tree: &Tree, formula: &Formula, asg: &mut Assignment) -> bool {
             let mut all = true;
             for u in tree.node_ids() {
                 asg.set(*v, u);
-                if !eval(tree, f, asg) {
+                if !eval_with(tree, f, asg, c) {
                     all = false;
                     break;
                 }
@@ -133,21 +149,33 @@ pub fn eval(tree: &Tree, formula: &Formula, asg: &mut Assignment) -> bool {
 /// extended to a witness, and one that already satisfies it needs no
 /// extension at all.
 pub fn eval_partial(tree: &Tree, formula: &Formula, asg: &Assignment) -> Option<bool> {
+    eval_partial_with(tree, formula, asg, &mut NullCollector)
+}
+
+/// [`eval_partial`] with instrumentation (one [`FoEval::Atom`] per
+/// decided atom).
+pub fn eval_partial_with<C: Collector>(
+    tree: &Tree,
+    formula: &Formula,
+    asg: &Assignment,
+    c: &mut C,
+) -> Option<bool> {
     match formula {
         Formula::True => Some(true),
         Formula::False => Some(false),
         Formula::Atom(a) => {
             if a.vars().iter().all(|&v| asg.get(v).is_some()) {
+                c.fo_eval(FoEval::Atom);
                 Some(eval_atom(tree, a, asg))
             } else {
                 None
             }
         }
-        Formula::Not(f) => eval_partial(tree, f, asg).map(|b| !b),
+        Formula::Not(f) => eval_partial_with(tree, f, asg, c).map(|b| !b),
         Formula::And(fs) => {
             let mut all_true = true;
             for f in fs {
-                match eval_partial(tree, f, asg) {
+                match eval_partial_with(tree, f, asg, c) {
                     Some(false) => return Some(false),
                     Some(true) => {}
                     None => all_true = false,
@@ -162,7 +190,7 @@ pub fn eval_partial(tree: &Tree, formula: &Formula, asg: &Assignment) -> Option<
         Formula::Or(fs) => {
             let mut all_false = true;
             for f in fs {
-                match eval_partial(tree, f, asg) {
+                match eval_partial_with(tree, f, asg, c) {
                     Some(true) => return Some(true),
                     Some(false) => {}
                     None => all_false = false,
@@ -183,13 +211,22 @@ pub fn eval_partial(tree: &Tree, formula: &Formula, asg: &Assignment) -> Option<
 /// existential variables, with three-valued pruning after each binding.
 /// Exponential only in the worst case; on conjunctive matrices (the XPath
 /// compilation output) the pruning makes it effectively output-sensitive.
-pub fn sat_exists(
+pub fn sat_exists(tree: &Tree, matrix: &Formula, vars: &[Var], asg: &mut Assignment) -> bool {
+    sat_exists_with(tree, matrix, vars, asg, &mut NullCollector)
+}
+
+/// [`sat_exists`] with instrumentation (atoms counted via the pruning
+/// passes).
+pub fn sat_exists_with<C: Collector>(
     tree: &Tree,
     matrix: &Formula,
     vars: &[Var],
     asg: &mut Assignment,
+    c: &mut C,
 ) -> bool {
-    if let Some(b) = eval_partial(tree, matrix, asg) { return b }
+    if let Some(b) = eval_partial_with(tree, matrix, asg, c) {
+        return b;
+    }
     let Some((&v, rest)) = vars.split_first() else {
         // All variables bound but the value is undetermined — only possible
         // if the matrix contains quantifiers, which callers exclude.
@@ -197,7 +234,7 @@ pub fn sat_exists(
     };
     for u in tree.node_ids() {
         asg.set(v, u);
-        if sat_exists(tree, matrix, rest, asg) {
+        if sat_exists_with(tree, matrix, rest, asg, c) {
             asg.unset(v);
             return true;
         }
@@ -218,13 +255,20 @@ fn restore(asg: &mut Assignment, v: Var, saved: Option<NodeId>) {
 /// # Panics
 /// Panics if the formula has free variables.
 pub fn eval_sentence(tree: &Tree, formula: &Formula) -> bool {
+    eval_sentence_with(tree, formula, &mut NullCollector)
+}
+
+/// [`eval_sentence`] with instrumentation (one [`FoEval::Sentence`] per
+/// call, plus the atoms the recursion touches).
+pub fn eval_sentence_with<C: Collector>(tree: &Tree, formula: &Formula, c: &mut C) -> bool {
     assert!(
         formula.free_vars().is_empty(),
         "eval_sentence requires a sentence; free vars: {:?}",
         formula.free_vars()
     );
+    c.fo_eval(FoEval::Sentence);
     let mut asg = Assignment::with_capacity(formula.max_var());
-    eval(tree, formula, &mut asg)
+    eval_with(tree, formula, &mut asg, c)
 }
 
 /// All nodes `v` such that `t ⊨ φ(u, v)` for a binary formula `φ(x, y)` —
@@ -232,14 +276,29 @@ pub fn eval_sentence(tree: &Tree, formula: &Formula) -> bool {
 ///
 /// Results are in arena order.
 pub fn select(tree: &Tree, formula: &Formula, x: Var, u: NodeId, y: Var) -> Vec<NodeId> {
-    let mut asg = Assignment::with_capacity(formula.max_var().map_or(Some(x.max(y)), |m| {
-        Some(m.max(x).max(y))
-    }));
+    select_with(tree, formula, x, u, y, &mut NullCollector)
+}
+
+/// [`select`] with instrumentation (one [`FoEval::Select`] per call).
+pub fn select_with<C: Collector>(
+    tree: &Tree,
+    formula: &Formula,
+    x: Var,
+    u: NodeId,
+    y: Var,
+    c: &mut C,
+) -> Vec<NodeId> {
+    c.fo_eval(FoEval::Select);
+    let mut asg = Assignment::with_capacity(
+        formula
+            .max_var()
+            .map_or(Some(x.max(y)), |m| Some(m.max(x).max(y))),
+    );
     asg.set(x, u);
     let mut out = Vec::new();
     for v in tree.node_ids() {
         asg.set(y, v);
-        if eval(tree, formula, &mut asg) {
+        if eval_with(tree, formula, &mut asg, c) {
             out.push(v);
         }
     }

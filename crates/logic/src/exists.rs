@@ -7,6 +7,7 @@
 //! These are exactly the formulas allowed inside `atp(φ(x,y), q)` rules of
 //! tree-walking automata (Definition 3.1, form 3).
 
+use twq_obs::{Collector, FoEval, NullCollector};
 use twq_tree::{NodeId, Tree};
 
 use crate::eval;
@@ -54,12 +55,7 @@ impl std::error::Error for ExistsError {}
 
 impl ExistsFormula {
     /// Build and validate `φ(x, y) = ∃ quantified… matrix`.
-    pub fn new(
-        x: Var,
-        y: Var,
-        quantified: Vec<Var>,
-        matrix: Formula,
-    ) -> Result<Self, ExistsError> {
+    pub fn new(x: Var, y: Var, quantified: Vec<Var>, matrix: Formula) -> Result<Self, ExistsError> {
         if !matrix.is_quantifier_free() {
             return Err(ExistsError::MatrixNotQuantifierFree);
         }
@@ -121,6 +117,14 @@ impl ExistsFormula {
     /// variables, so conjunctive matrices (e.g. compiled XPath) are cheap
     /// even with many quantifiers.
     pub fn select(&self, tree: &Tree, u: NodeId) -> Vec<NodeId> {
+        self.select_with(tree, u, &mut NullCollector)
+    }
+
+    /// [`ExistsFormula::select`] with instrumentation: one
+    /// [`FoEval::Select`] per call, plus the atom evaluations the
+    /// backtracking search performs.
+    pub fn select_with<C: Collector>(&self, tree: &Tree, u: NodeId, c: &mut C) -> Vec<NodeId> {
+        c.fo_eval(FoEval::Select);
         let max = self
             .quantified
             .iter()
@@ -155,7 +159,7 @@ impl ExistsFormula {
                     asg.set(self.y, v);
                     if branches
                         .iter()
-                        .any(|(conj, vars)| eval::sat_exists(tree, conj, vars, &mut asg))
+                        .any(|(conj, vars)| eval::sat_exists_with(tree, conj, vars, &mut asg, c))
                     {
                         out.push(v);
                     }
@@ -165,7 +169,7 @@ impl ExistsFormula {
                 // DNF too large: generic backtracking over all variables.
                 for v in tree.node_ids() {
                     asg.set(self.y, v);
-                    if eval::sat_exists(tree, &self.matrix, &self.quantified, &mut asg) {
+                    if eval::sat_exists_with(tree, &self.matrix, &self.quantified, &mut asg, c) {
                         out.push(v);
                     }
                 }

@@ -180,7 +180,9 @@ impl Formula {
             Formula::Atom(a) => a.vars().into_iter().max(),
             Formula::Not(f) => f.max_var(),
             Formula::And(fs) | Formula::Or(fs) => fs.iter().filter_map(Formula::max_var).max(),
-            Formula::Exists(v, f) | Formula::Forall(v, f) => Some(f.max_var().map_or(*v, |m| m.max(*v))),
+            Formula::Exists(v, f) | Formula::Forall(v, f) => {
+                Some(f.max_var().map_or(*v, |m| m.max(*v)))
+            }
         }
     }
 
@@ -228,8 +230,10 @@ impl Formula {
                 if fs.is_empty() {
                     "true".to_owned()
                 } else {
-                    let parts: Vec<String> =
-                        fs.iter().map(|f| format!("({})", f.display(vocab))).collect();
+                    let parts: Vec<String> = fs
+                        .iter()
+                        .map(|f| format!("({})", f.display(vocab)))
+                        .collect();
                     parts.join(" ∧ ")
                 }
             }
@@ -237,8 +241,10 @@ impl Formula {
                 if fs.is_empty() {
                     "false".to_owned()
                 } else {
-                    let parts: Vec<String> =
-                        fs.iter().map(|f| format!("({})", f.display(vocab))).collect();
+                    let parts: Vec<String> = fs
+                        .iter()
+                        .map(|f| format!("({})", f.display(vocab)))
+                        .collect();
                     parts.join(" ∨ ")
                 }
             }
@@ -412,7 +418,11 @@ mod tests {
         let d = vocab.val_int(3);
         let f = exists(
             var(1),
-            and([edge(var(0), var(1)), lab(Label::Sym(a), var(1)), val_const(at, var(1), d)]),
+            and([
+                edge(var(0), var(1)),
+                lab(Label::Sym(a), var(1)),
+                val_const(at, var(1), d),
+            ]),
         );
         let s = f.display(&vocab);
         assert!(s.contains("∃x1"), "{s}");

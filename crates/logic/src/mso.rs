@@ -121,18 +121,15 @@ impl SetAsg {
     }
 }
 
-fn eval_inner(
-    tree: &Tree,
-    f: &MsoFormula,
-    asg: &mut Assignment,
-    sets: &mut SetAsg,
-) -> bool {
+fn eval_inner(tree: &Tree, f: &MsoFormula, asg: &mut Assignment, sets: &mut SetAsg) -> bool {
     match f {
         MsoFormula::True => true,
         MsoFormula::False => false,
         MsoFormula::Atom(a) => eval_atom(tree, a, asg),
         MsoFormula::In(x, set) => {
-            let u = asg.get(*x).unwrap_or_else(|| panic!("unbound variable {x}"));
+            let u = asg
+                .get(*x)
+                .unwrap_or_else(|| panic!("unbound variable {x}"));
             sets.get(*set) >> u.0 & 1 == 1
         }
         MsoFormula::Not(g) => !eval_inner(tree, g, asg, sets),

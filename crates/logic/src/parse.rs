@@ -410,11 +410,7 @@ mod tests {
     fn value_atoms() {
         let mut v = Vocab::new();
         let t = parse_tree("a[k=1](b[k=2],c[k=1])", &mut v).unwrap();
-        let p = parse_fo(
-            "E x. E y. !(x = y) & val(k, x) = val(k, y)",
-            &mut v,
-        )
-        .unwrap();
+        let p = parse_fo("E x. E y. !(x = y) & val(k, x) = val(k, y)", &mut v).unwrap();
         assert!(eval_sentence(&t, &p.formula));
         let q = parse_fo("E x. val(k, x) = 2", &mut v).unwrap();
         assert!(eval_sentence(&t, &q.formula));
@@ -460,11 +456,7 @@ mod tests {
         // §2.2: ∀x (val_a(x) = d ∨ val_a(x) = val_b(x)).
         let mut v = Vocab::new();
         let t = parse_tree("s[a=d,b=q](s[a=7,b=7])", &mut v).unwrap();
-        let p = parse_fo(
-            "A x. val(a, x) = d | val(a, x) = val(b, x)",
-            &mut v,
-        )
-        .unwrap();
+        let p = parse_fo("A x. val(a, x) = d | val(a, x) = val(b, x)", &mut v).unwrap();
         assert!(eval_sentence(&t, &p.formula));
         let t2 = parse_tree("s[a=z,b=q]", &mut v).unwrap();
         assert!(!eval_sentence(&t2, &p.formula));
@@ -473,7 +465,16 @@ mod tests {
     #[test]
     fn errors_are_positioned() {
         let mut v = Vocab::new();
-        for src in ["", "E x", "E x.", "lab(a x)", "x =", "val(a, x)", "(true", "x y"] {
+        for src in [
+            "",
+            "E x",
+            "E x.",
+            "lab(a x)",
+            "x =",
+            "val(a, x)",
+            "(true",
+            "x y",
+        ] {
             let e = parse_fo(src, &mut v);
             assert!(e.is_err(), "{src}");
         }

@@ -719,10 +719,7 @@ mod tests {
         let d = vals(&mut vocab, &[5, 6]);
         let mut st = Store::with_arities(&[1, 2]);
         st.set(RegId(0), Relation::singleton(d[0]));
-        st.set(
-            RegId(1),
-            Relation::from_tuples(2, [vec![d[0], d[1]]]),
-        );
+        st.set(RegId(1), Relation::from_tuples(2, [vec![d[0], d[1]]]));
         assert_eq!(st.active_domain(), {
             let mut v = vec![d[0], d[1]];
             v.sort_unstable();
@@ -754,10 +751,7 @@ mod tests {
         assert!(eval_guard(&st, &env, &xi)); // empty: vacuously true
         st.set(RegId(0), Relation::singleton(d[0]));
         assert!(eval_guard(&st, &env, &xi));
-        st.set(
-            RegId(0),
-            Relation::from_tuples(1, [vec![d[0]], vec![d[1]]]),
-        );
+        st.set(RegId(0), Relation::from_tuples(1, [vec![d[0]], vec![d[1]]]));
         assert!(!eval_guard(&st, &env, &xi));
     }
 
@@ -804,10 +798,7 @@ mod tests {
         let f = exists(Var(0), not(eq(v(0), cst(d[0]))));
         assert!(!eval_guard(&st, &env, &f));
         // Adding d₂ to the store makes it true.
-        st.set(
-            RegId(0),
-            Relation::from_tuples(1, [vec![d[0]], vec![d[1]]]),
-        );
+        st.set(RegId(0), Relation::from_tuples(1, [vec![d[0]], vec![d[1]]]));
         assert!(eval_guard(&st, &env, &f));
     }
 
@@ -849,7 +840,10 @@ mod tests {
         let d = vocab.val_int(3);
         let f = forall(
             Var(0),
-            implies(rel(RegId(0), [v(0)]), or([eq(v(0), cst(d)), eq(v(0), attr(a))])),
+            implies(
+                rel(RegId(0), [v(0)]),
+                or([eq(v(0), cst(d)), eq(v(0), attr(a))]),
+            ),
         );
         let shown = f.display(&vocab);
         assert!(shown.contains("∀x0"), "{shown}");

@@ -123,13 +123,7 @@ fn enumerate(
 }
 
 /// Whether two structures (with constants) are `≡_k`-equivalent.
-pub fn equivalent(
-    t1: &Tree,
-    c1: &[NodeId],
-    t2: &Tree,
-    c2: &[NodeId],
-    cfg: &TypeConfig,
-) -> bool {
+pub fn equivalent(t1: &Tree, c1: &[NodeId], t2: &Tree, c2: &[NodeId], cfg: &TypeConfig) -> bool {
     assert_eq!(c1.len(), c2.len(), "constant lists must align");
     ktype(t1, c1, cfg) == ktype(t2, c2, cfg)
 }
@@ -184,10 +178,7 @@ pub fn check_composition_on_strings(
     // Group by type.
     let mut by_type: std::collections::BTreeMap<KType, Vec<usize>> =
         std::collections::BTreeMap::new();
-    let trees: Vec<twq_tree::Tree> = strings
-        .iter()
-        .map(|s| monadic_tree(sym, attr, s))
-        .collect();
+    let trees: Vec<twq_tree::Tree> = strings.iter().map(|s| monadic_tree(sym, attr, s)).collect();
     for (i, t) in trees.iter().enumerate() {
         by_type.entry(ktype(t, &[], cfg)).or_default().push(i);
     }

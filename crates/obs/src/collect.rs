@@ -1,0 +1,303 @@
+//! The [`Collector`] trait — the single instrumentation seam every
+//! evaluator threads through its hot loop — and its two implementations.
+//!
+//! Evaluators are generic over `C: Collector` and monomorphize twice: the
+//! [`NullCollector`] instantiation compiles every hook to an empty inline
+//! body (`ENABLED = false` additionally gates the few call sites that
+//! would have to *compute* an argument), so the uninstrumented path is
+//! bit-for-bit the original loop. [`MetricsCollector`] pays for exactly
+//! what it records.
+
+use std::time::Instant;
+
+use crate::event::{Event, FoEval, HaltKind};
+use crate::metrics::RunMetrics;
+use crate::sink::EventSink;
+
+/// Instrumentation hooks. Every method has an empty default body; an
+/// evaluator calls the hooks unconditionally (they cost nothing when
+/// disabled) and checks [`Collector::ENABLED`] only where *preparing* a
+/// hook's arguments would itself do work.
+#[allow(unused_variables)]
+pub trait Collector {
+    /// Whether this collector observes anything. `false` lets evaluators
+    /// skip argument preparation entirely.
+    const ENABLED: bool = true;
+
+    /// A computation chain started at `node` in `state` (`depth` 0 = the
+    /// main computation).
+    fn chain_enter(&mut self, node: u64, state: u32, depth: u32) {}
+
+    /// A computation chain ended.
+    fn chain_exit(&mut self, halt: HaltKind, depth: u32) {}
+
+    /// One transition, taken at `node` in `state`.
+    fn step(&mut self, node: u64, state: u32, depth: u32) {}
+
+    /// An `atp` look-ahead began with `fanout` selected nodes.
+    fn atp_enter(&mut self, node: u64, fanout: usize, depth: u32) {}
+
+    /// The `atp` look-ahead ended.
+    fn atp_exit(&mut self, depth: u32) {}
+
+    /// The register store currently holds `tuples` tuples.
+    fn store_size(&mut self, tuples: usize) {}
+
+    /// A configuration was inserted into a cycle-check set now holding
+    /// `tracked` entries.
+    fn cycle_bookkeeping(&mut self, tracked: usize) {}
+
+    /// A first-order evaluation primitive ran.
+    fn fo_eval(&mut self, kind: FoEval) {}
+
+    /// The work tape currently spans `cells` cells (`xTM` runs).
+    fn tape_cells(&mut self, cells: usize) {}
+
+    /// A protocol message of class `kind` was sent.
+    fn message(&mut self, kind: &'static str) {}
+
+    /// Bump a named counter by `delta`.
+    fn counter(&mut self, name: &'static str, delta: u64) {}
+
+    /// A named phase finished after `nanos` nanoseconds of wall clock.
+    fn phase(&mut self, name: &'static str, nanos: u64) {}
+
+    /// The whole run ended.
+    fn halt(&mut self, halt: HaltKind) {}
+}
+
+/// The zero-cost default: observes nothing, optimizes to nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullCollector;
+
+impl Collector for NullCollector {
+    const ENABLED: bool = false;
+}
+
+/// Records [`RunMetrics`] and optionally forwards every event to a sink.
+#[derive(Default)]
+pub struct MetricsCollector<'s> {
+    /// The metrics accumulated so far.
+    pub metrics: RunMetrics,
+    sink: Option<&'s mut dyn EventSink>,
+}
+
+impl std::fmt::Debug for MetricsCollector<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsCollector")
+            .field("metrics", &self.metrics)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl<'s> MetricsCollector<'s> {
+    /// Metrics only, no event forwarding.
+    pub fn new() -> MetricsCollector<'static> {
+        MetricsCollector {
+            metrics: RunMetrics::new(),
+            sink: None,
+        }
+    }
+
+    /// Metrics plus event forwarding into `sink`.
+    pub fn with_sink(sink: &'s mut dyn EventSink) -> MetricsCollector<'s> {
+        MetricsCollector {
+            metrics: RunMetrics::new(),
+            sink: Some(sink),
+        }
+    }
+
+    /// Consume the collector, returning the metrics.
+    pub fn into_metrics(self) -> RunMetrics {
+        self.metrics
+    }
+
+    fn emit(&mut self, ev: Event) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.emit(&ev);
+        }
+    }
+}
+
+impl Collector for MetricsCollector<'_> {
+    fn chain_enter(&mut self, node: u64, state: u32, depth: u32) {
+        self.metrics.chains += 1;
+        if depth > 0 {
+            self.metrics.subcomputations += 1;
+        }
+        self.metrics.max_atp_depth = self.metrics.max_atp_depth.max(depth);
+        self.emit(Event::ChainEnter { depth, node, state });
+    }
+
+    fn chain_exit(&mut self, halt: HaltKind, depth: u32) {
+        self.emit(Event::ChainExit { depth, halt });
+    }
+
+    fn step(&mut self, node: u64, state: u32, depth: u32) {
+        self.metrics.steps += 1;
+        let q = state as usize;
+        if q >= self.metrics.steps_per_state.len() {
+            self.metrics.steps_per_state.resize(q + 1, 0);
+        }
+        self.metrics.steps_per_state[q] += 1;
+        self.emit(Event::Step { depth, node, state });
+    }
+
+    fn atp_enter(&mut self, node: u64, fanout: usize, depth: u32) {
+        self.metrics.atp_calls += 1;
+        self.metrics.max_atp_fanout = self.metrics.max_atp_fanout.max(fanout);
+        self.emit(Event::AtpEnter {
+            depth,
+            node,
+            fanout: u32::try_from(fanout).unwrap_or(u32::MAX),
+        });
+    }
+
+    fn atp_exit(&mut self, depth: u32) {
+        self.emit(Event::AtpExit { depth });
+    }
+
+    fn store_size(&mut self, tuples: usize) {
+        self.metrics.max_store_tuples = self.metrics.max_store_tuples.max(tuples);
+    }
+
+    fn cycle_bookkeeping(&mut self, tracked: usize) {
+        self.metrics.cycle_inserts += 1;
+        self.metrics.max_tracked_configs = self.metrics.max_tracked_configs.max(tracked);
+    }
+
+    fn fo_eval(&mut self, kind: FoEval) {
+        self.metrics.fo_evals[kind as usize] += 1;
+    }
+
+    fn tape_cells(&mut self, cells: usize) {
+        self.metrics.max_tape_cells = self.metrics.max_tape_cells.max(cells);
+    }
+
+    fn message(&mut self, kind: &'static str) {
+        self.metrics.messages += 1;
+        self.emit(Event::Message { kind });
+    }
+
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        *self.metrics.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn phase(&mut self, name: &'static str, nanos: u64) {
+        self.metrics.phases.push((name, nanos));
+        self.emit(Event::Phase { name, nanos });
+    }
+
+    fn halt(&mut self, halt: HaltKind) {
+        self.metrics.halt = Some(halt);
+    }
+}
+
+/// Times a phase and reports it to a collector on [`PhaseTimer::stop`].
+#[derive(Debug)]
+pub struct PhaseTimer {
+    name: &'static str,
+    start: Instant,
+}
+
+impl PhaseTimer {
+    /// Start the clock.
+    pub fn start(name: &'static str) -> Self {
+        PhaseTimer {
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Stop the clock and record the phase.
+    pub fn stop<C: Collector>(self, c: &mut C) {
+        c.phase(
+            self.name,
+            self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RingBufferSink;
+
+    /// Drive both collectors through the same synthetic run shape.
+    fn drive<C: Collector>(c: &mut C) {
+        c.chain_enter(0, 0, 0);
+        c.step(0, 0, 0);
+        c.fo_eval(FoEval::Guard);
+        c.atp_enter(0, 2, 0);
+        for _ in 0..2 {
+            c.chain_enter(5, 1, 1);
+            c.step(5, 1, 1);
+            c.store_size(4);
+            c.cycle_bookkeeping(1);
+            c.chain_exit(HaltKind::Accept, 1);
+        }
+        c.atp_exit(0);
+        c.step(0, 2, 0);
+        c.counter("demo", 3);
+        c.message("config");
+        c.chain_exit(HaltKind::Accept, 0);
+        c.halt(HaltKind::Accept);
+    }
+
+    #[test]
+    fn metrics_collector_tallies() {
+        let mut c = MetricsCollector::new();
+        drive(&mut c);
+        let m = c.into_metrics();
+        assert_eq!(m.steps, 4);
+        assert_eq!(m.steps_per_state, vec![1, 2, 1]);
+        assert_eq!(m.chains, 3);
+        assert_eq!(m.subcomputations, 2);
+        assert_eq!(m.atp_calls, 1);
+        assert_eq!(m.max_atp_depth, 1);
+        assert_eq!(m.max_atp_fanout, 2);
+        assert_eq!(m.max_store_tuples, 4);
+        assert_eq!(m.cycle_inserts, 2);
+        assert_eq!(m.fo(FoEval::Guard), 1);
+        assert_eq!(m.counter("demo"), 3);
+        assert_eq!(m.messages, 1);
+        assert_eq!(m.halt, Some(HaltKind::Accept));
+        assert_eq!(m.top_states(1), vec![(1, 2)]);
+    }
+
+    // The zero-cost contract, checked at compile time.
+    const _: () = assert!(!NullCollector::ENABLED);
+    const _: () = assert!(MetricsCollector::<'static>::ENABLED);
+
+    #[test]
+    fn null_collector_is_inert() {
+        let mut c = NullCollector;
+        drive(&mut c); // must compile and do nothing
+    }
+
+    #[test]
+    fn events_flow_into_the_sink() {
+        let mut ring = RingBufferSink::new(64);
+        let mut c = MetricsCollector::with_sink(&mut ring);
+        drive(&mut c);
+        let steps = c.metrics.steps;
+        drop(c);
+        assert!(!ring.is_empty());
+        assert_eq!(
+            ring.events()
+                .filter(|e| matches!(e, Event::Step { .. }))
+                .count() as u64,
+            steps
+        );
+    }
+
+    #[test]
+    fn phase_timer_records() {
+        let mut c = MetricsCollector::new();
+        let t = PhaseTimer::start("unit");
+        t.stop(&mut c);
+        assert_eq!(c.metrics.phases.len(), 1);
+        assert_eq!(c.metrics.phases[0].0, "unit");
+    }
+}

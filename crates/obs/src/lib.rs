@@ -1,0 +1,42 @@
+//! `twq-obs`: unified observability for every `twq` evaluator.
+//!
+//! The paper's results are statements about *resources* — steps, store
+//! cardinalities, look-ahead depth, message counts. This crate gives every
+//! evaluator one instrumentation seam to measure them:
+//!
+//! * [`Collector`] — the hook trait threaded through the hot loops.
+//!   [`NullCollector`] (`ENABLED = false`) monomorphizes to the
+//!   uninstrumented loop at zero cost; [`MetricsCollector`] records
+//!   [`RunMetrics`] and optionally forwards span-style [`Event`]s to a
+//!   sink.
+//! * [`RunMetrics`] — steps per state, `atp` depth and fan-out,
+//!   register-store and cycle-check high-water marks, FO-evaluation call
+//!   counts, tape cells, protocol messages, phase timings.
+//! * Sinks — [`HumanSink`] (readable trace), [`JsonlSink`] (one JSON
+//!   object per event), [`RingBufferSink`] (the last `N` events, for
+//!   post-mortems of `Stuck`/`Nondeterministic` halts).
+//! * [`report`] — the experiment reporting layer: the same stream of
+//!   tables rendered as aligned text or as JSON Lines.
+//! * [`json`] — a small self-contained JSON value/writer/parser (the
+//!   build environment is offline, so no `serde_json`).
+//!
+//! The crate deliberately depends on nothing, not even the other `twq`
+//! crates: evaluators describe themselves in primitive terms (state ids,
+//! node indices, halt kinds), so `twq-obs` sits below every other crate
+//! in the dependency order.
+
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod sink;
+
+pub use collect::{Collector, MetricsCollector, NullCollector, PhaseTimer};
+pub use event::{Event, FoEval, HaltKind};
+pub use json::Json;
+pub use metrics::RunMetrics;
+pub use report::{col, Cell, Col, HumanReporter, JsonlReporter, Reporter};
+pub use sink::{EventSink, HumanSink, JsonlSink, RingBufferSink};

@@ -1,0 +1,198 @@
+//! Aggregate run metrics collected by
+//! [`MetricsCollector`](crate::collect::MetricsCollector).
+
+use std::collections::BTreeMap;
+
+use crate::event::{FoEval, HaltKind};
+use crate::json::Json;
+
+/// Everything a fully-instrumented run measures. All counters are zero by
+/// default; an evaluator only moves the ones it exercises.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Total transitions, across the main computation and all
+    /// subcomputations.
+    pub steps: u64,
+    /// Transitions per state, indexed by state id (grown on demand).
+    pub steps_per_state: Vec<u64>,
+    /// Computation chains started (1 + subcomputations for `tw` runs).
+    pub chains: u64,
+    /// Chains started at `atp` depth ≥ 1.
+    pub subcomputations: u64,
+    /// `atp` look-aheads issued.
+    pub atp_calls: u64,
+    /// Deepest `atp` nesting observed (0 = none).
+    pub max_atp_depth: u32,
+    /// Widest `atp` fan-out (most subcomputations from one call).
+    pub max_atp_fanout: usize,
+    /// Register-store cardinality high-water mark (total tuples).
+    pub max_store_tuples: usize,
+    /// Cycle-check bookkeeping: configurations inserted into `seen` sets.
+    pub cycle_inserts: u64,
+    /// Cycle-check bookkeeping: largest `seen` set held at once.
+    pub max_tracked_configs: usize,
+    /// First-order evaluation calls, indexed by [`FoEval`] discriminant.
+    pub fo_evals: [u64; FoEval::COUNT],
+    /// Tape-cell high-water mark (`xTM` runs).
+    pub max_tape_cells: usize,
+    /// Protocol messages sent.
+    pub messages: u64,
+    /// Named free-form counters (compiler statistics, protocol traffic
+    /// classes, …).
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Wall-clock phase timings, in completion order: `(name, nanos)`.
+    pub phases: Vec<(&'static str, u64)>,
+    /// How the measured run ended, once known.
+    pub halt: Option<HaltKind>,
+}
+
+impl RunMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Step count attributed to one state.
+    pub fn steps_in_state(&self, state: u32) -> u64 {
+        self.steps_per_state
+            .get(state as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Calls to one FO primitive.
+    pub fn fo(&self, kind: FoEval) -> u64 {
+        self.fo_evals[kind as usize]
+    }
+
+    /// A named counter's value (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The `k` states with the most steps, descending (ties broken by
+    /// state id so the profile is deterministic).
+    pub fn top_states(&self, k: usize) -> Vec<(u32, u64)> {
+        let mut ranked: Vec<(u32, u64)> = self
+            .steps_per_state
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(q, &n)| (q as u32, n))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Total nanoseconds recorded for a named phase.
+    pub fn phase_nanos(&self, name: &str) -> u64 {
+        self.phases
+            .iter()
+            .filter(|(n, _)| *n == name)
+            .map(|(_, ns)| ns)
+            .sum()
+    }
+
+    /// The metrics as one JSON object.
+    pub fn to_json(&self) -> Json {
+        let per_state: Vec<Json> = self
+            .steps_per_state
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(q, &n)| Json::obj([("state", (q as u32).into()), ("steps", n.into())]))
+            .collect();
+        let fo: Vec<(String, Json)> = FoEval::ALL
+            .iter()
+            .filter(|&&k| self.fo(k) > 0)
+            .map(|&k| (k.name().to_owned(), self.fo(k).into()))
+            .collect();
+        let counters: Vec<(String, Json)> = self
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k.to_owned(), v.into()))
+            .collect();
+        let phases: Vec<Json> = self
+            .phases
+            .iter()
+            .map(|&(n, ns)| Json::obj([("name", Json::str(n)), ("nanos", ns.into())]))
+            .collect();
+        Json::obj([
+            ("steps", self.steps.into()),
+            ("steps_per_state", Json::Arr(per_state)),
+            ("chains", self.chains.into()),
+            ("subcomputations", self.subcomputations.into()),
+            ("atp_calls", self.atp_calls.into()),
+            ("max_atp_depth", self.max_atp_depth.into()),
+            ("max_atp_fanout", self.max_atp_fanout.into()),
+            ("max_store_tuples", self.max_store_tuples.into()),
+            ("cycle_inserts", self.cycle_inserts.into()),
+            ("max_tracked_configs", self.max_tracked_configs.into()),
+            ("fo_evals", Json::Obj(fo)),
+            ("max_tape_cells", self.max_tape_cells.into()),
+            ("messages", self.messages.into()),
+            ("counters", Json::Obj(counters)),
+            ("phases", Json::Arr(phases)),
+            (
+                "halt",
+                match self.halt {
+                    Some(h) => Json::str(h.name()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_states_ranks_and_truncates() {
+        let m = RunMetrics {
+            steps_per_state: vec![5, 0, 9, 9, 1],
+            ..RunMetrics::default()
+        };
+        assert_eq!(m.top_states(3), vec![(2, 9), (3, 9), (0, 5)]);
+        assert_eq!(m.top_states(10).len(), 4);
+        assert_eq!(m.steps_in_state(1), 0);
+        assert_eq!(m.steps_in_state(99), 0);
+    }
+
+    #[test]
+    fn json_skips_zero_entries() {
+        let mut m = RunMetrics::new();
+        m.steps = 3;
+        m.steps_per_state = vec![0, 3];
+        m.fo_evals[FoEval::Guard as usize] = 2;
+        m.halt = Some(HaltKind::Accept);
+        let j = m.to_json();
+        assert_eq!(j.get("steps").and_then(Json::as_i64), Some(3));
+        assert_eq!(
+            j.get("steps_per_state")
+                .and_then(Json::as_arr)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            j.get("fo_evals")
+                .and_then(|f| f.get("guard"))
+                .and_then(Json::as_i64),
+            Some(2)
+        );
+        assert_eq!(j.get("halt").and_then(Json::as_str), Some("accept"));
+    }
+
+    #[test]
+    fn phase_nanos_sums_repeats() {
+        let mut m = RunMetrics::new();
+        m.phases.push(("compile", 10));
+        m.phases.push(("run", 5));
+        m.phases.push(("compile", 7));
+        assert_eq!(m.phase_nanos("compile"), 17);
+        assert_eq!(m.phase_nanos("absent"), 0);
+    }
+}

@@ -134,7 +134,7 @@ mod tests {
         assert_eq!(exp_tower(2, 3), Some(256));
         assert_eq!(exp_tower(3, 2), Some(65536));
         assert_eq!(exp_tower(4, 2), None); // 2^65536
-        // exp_2(10) = 2^1024: overflow.
+                                           // exp_2(10) = 2^1024: overflow.
         assert_eq!(exp_tower(2, 10), None);
         assert!(tower_display(2, 10).contains("exp_2(10)"));
     }
@@ -162,10 +162,7 @@ mod tests {
         // With the toy parameters, higher m eventually out-towers any
         // fixed-height dialogue bound: exp_3(2) = 65536 > 3^4 = 81.
         let rows = counting_table(&[1, 2, 3], &[2], 0);
-        let wins: Vec<&CountRow> = rows
-            .iter()
-            .filter(|r| r.pigeonhole == Some(true))
-            .collect();
+        let wins: Vec<&CountRow> = rows.iter().filter(|r| r.pigeonhole == Some(true)).collect();
         assert!(!wins.is_empty(), "{rows:?}");
         // And the supply is monotone in m where finite.
         let h2 = hyperset_count(2, 3).unwrap();

@@ -52,7 +52,13 @@ pub fn in_lm(m: usize, s: &[Value], markers: &Markers) -> bool {
 }
 
 /// Build the full split string `f#g` as a monadic tree.
-pub fn split_string_tree(f: &[Value], g: &[Value], markers: &Markers, sym: SymId, attr: AttrId) -> Tree {
+pub fn split_string_tree(
+    f: &[Value],
+    g: &[Value],
+    markers: &Markers,
+    sym: SymId,
+    attr: AttrId,
+) -> Tree {
     let mut s: Vec<Value> = f.to_vec();
     s.push(markers.hash());
     s.extend_from_slice(g);
@@ -138,10 +144,7 @@ impl LmBuilder<'_> {
                     u,
                     fb::implies(
                         fb::and([u_in, b.is_data(u)]),
-                        fb::exists(
-                            v,
-                            fb::and([v_in, fb::val_eq(b.attr, u, b.attr, v)]),
-                        ),
+                        fb::exists(v, fb::and([v_in, fb::val_eq(b.attr, u, b.attr, v)])),
                     ),
                 )
             };
@@ -222,9 +225,7 @@ pub fn lm_sentence(m: usize, attr: AttrId, markers: &Markers) -> Formula {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::hyperset::{
-        encode, encode_shuffled, random_hyperset, HyperGenConfig, HyperSet,
-    };
+    use crate::hyperset::{encode, encode_shuffled, random_hyperset, HyperGenConfig, HyperSet};
     use twq_logic::eval_sentence;
     use twq_tree::Vocab;
 

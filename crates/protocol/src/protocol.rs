@@ -26,6 +26,7 @@ use twq_automata::engine::move_dir;
 use twq_automata::{Action, Halt, Limits, State, TwProgram};
 use twq_logic::store::AttrEnv;
 use twq_logic::{eval_query, RegId, Relation, Store};
+use twq_obs::{Collector, FoEval, NullCollector};
 use twq_tree::{AttrId, DelimTree, NodeId, SymId, Value};
 
 use crate::hyperset::Markers;
@@ -61,6 +62,22 @@ pub enum Msg {
     Reject,
 }
 
+impl Msg {
+    /// The message class, as reported to collectors (one
+    /// [`Collector::message`] event per send).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::NType(_) => "ntype",
+            Msg::Config(_, _) => "config",
+            Msg::ConfigNeedAnswer(_, _) => "config_need_answer",
+            Msg::AtpRequest(_, _, _) => "atp_request",
+            Msg::Reply(_) => "reply",
+            Msg::Accept => "accept",
+            Msg::Reject => "reject",
+        }
+    }
+}
+
 /// Outcome and traffic statistics of a protocol run.
 #[derive(Debug, Clone)]
 pub struct ProtocolReport {
@@ -90,7 +107,7 @@ impl ProtocolReport {
     }
 }
 
-struct ProtoExec<'a> {
+struct ProtoExec<'a, C: Collector> {
     prog: &'a TwProgram,
     tree: &'a twq_tree::Tree,
     owner: Vec<Party>,
@@ -99,6 +116,7 @@ struct ProtoExec<'a> {
     crossings: u64,
     atp_requests: u64,
     dialogue: Vec<Msg>,
+    collector: &'a mut C,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -113,17 +131,31 @@ enum PEnd {
     Reject(Halt),
 }
 
-impl ProtoExec<'_> {
+impl<C: Collector> ProtoExec<'_, C> {
     fn send(&mut self, m: Msg) {
+        self.collector.message(m.kind());
         self.dialogue.push(m);
     }
 
-    fn run_chain(&mut self, mut cfg: PConfig, depth: u32) -> PEnd {
+    fn run_chain(&mut self, cfg: PConfig, depth: u32) -> PEnd {
+        self.collector
+            .chain_enter(cfg.node.0 as u64, cfg.state.0 as u32, depth);
+        let end = self.chain_loop(cfg, depth);
+        let kind = match &end {
+            PEnd::Accept(_) => Halt::Accept.kind(),
+            PEnd::Reject(h) => h.kind(),
+        };
+        self.collector.chain_exit(kind, depth);
+        end
+    }
+
+    fn chain_loop(&mut self, mut cfg: PConfig, depth: u32) -> PEnd {
         let mut seen: HashSet<PConfig> = HashSet::new();
         loop {
             if !seen.insert(cfg.clone()) {
                 return PEnd::Reject(Halt::Cycle);
             }
+            self.collector.cycle_bookkeeping(seen.len());
             if cfg.state == self.prog.final_state() {
                 return PEnd::Accept(cfg.store);
             }
@@ -132,6 +164,7 @@ impl ProtoExec<'_> {
             let mut chosen = None;
             for &idx in self.prog.rules_for(label, cfg.state) {
                 let rule = &self.prog.rules()[idx];
+                self.collector.fo_eval(FoEval::Guard);
                 if twq_logic::eval_guard(&cfg.store, &env, &rule.guard) {
                     if chosen.is_some() {
                         return PEnd::Reject(Halt::Nondeterministic);
@@ -146,6 +179,8 @@ impl ProtoExec<'_> {
                 return PEnd::Reject(Halt::StepLimit);
             }
             self.steps += 1;
+            self.collector
+                .step(cfg.node.0 as u64, cfg.state.0 as u32, depth);
             let rule = &self.prog.rules()[rule_idx];
             match &rule.action {
                 Action::Move(q, d) => match move_dir(self.tree, cfg.node, *d) {
@@ -168,6 +203,7 @@ impl ProtoExec<'_> {
                     None => return PEnd::Reject(Halt::Stuck),
                 },
                 Action::Update(q, psi, i) => {
+                    self.collector.fo_eval(FoEval::Update);
                     let rel = eval_query(&cfg.store, &env, psi);
                     cfg.store.set(*i, rel);
                     cfg.state = *q;
@@ -177,7 +213,9 @@ impl ProtoExec<'_> {
                         return PEnd::Reject(Halt::AtpDepthLimit);
                     }
                     let here = self.owner[cfg.node.0 as usize];
-                    let selected = phi.select(self.tree, cfg.node);
+                    let selected = phi.select_with(self.tree, cfg.node, self.collector);
+                    self.collector
+                        .atp_enter(cfg.node.0 as u64, selected.len(), depth);
                     let far: Vec<NodeId> = selected
                         .iter()
                         .copied()
@@ -207,10 +245,12 @@ impl ProtoExec<'_> {
                             }
                             PEnd::Reject(h) => {
                                 let h = if h.is_limit() { h } else { Halt::SubRejected };
+                                self.collector.atp_exit(depth);
                                 return PEnd::Reject(h);
                             }
                         }
                     }
+                    self.collector.atp_exit(depth);
                     if !far.is_empty() {
                         self.send(Msg::Reply(far_acc));
                     }
@@ -232,6 +272,27 @@ pub fn run_protocol(
     sym: SymId,
     attr: AttrId,
     limits: Limits,
+) -> ProtocolReport {
+    run_protocol_with(prog, f, g, markers, sym, attr, limits, &mut NullCollector)
+}
+
+/// [`run_protocol`] with instrumentation: every sent message raises a
+/// [`Collector::message`] event tagged with its class (`ntype`, `config`,
+/// `config_need_answer`, `atp_request`, `reply`, `accept`, `reject`), and
+/// the simulated computation reports steps, chain/`atp` spans, and
+/// guard/update evaluations like the direct engine. Boundary crossings
+/// and deduplicated traffic land in the `protocol.crossings` /
+/// `protocol.dedup_messages` counters.
+#[allow(clippy::too_many_arguments)]
+pub fn run_protocol_with<C: Collector>(
+    prog: &TwProgram,
+    f: &[Value],
+    g: &[Value],
+    markers: &Markers,
+    sym: SymId,
+    attr: AttrId,
+    limits: Limits,
+    collector: &mut C,
 ) -> ProtocolReport {
     let tree = split_string_tree(f, g, markers, sym, attr);
     let delim = DelimTree::build(&tree);
@@ -275,6 +336,7 @@ pub fn run_protocol(
         crossings: 0,
         atp_requests: 0,
         dialogue: Vec::new(),
+        collector,
     };
     // Initialization: both parties announce their N-types.
     exec.send(Msg::NType(Party::I));
@@ -299,11 +361,13 @@ pub fn run_protocol(
     // pairs, so a message value crosses the wire at most once per
     // direction; here (single execution order) at most once.
     let mut seen: HashSet<&Msg> = HashSet::new();
-    let dedup_messages = exec
-        .dialogue
-        .iter()
-        .filter(|m| seen.insert(*m))
-        .count() as u64;
+    let dedup_messages = exec.dialogue.iter().filter(|m| seen.insert(*m)).count() as u64;
+    exec.collector.counter("protocol.crossings", exec.crossings);
+    exec.collector
+        .counter("protocol.atp_requests", exec.atp_requests);
+    exec.collector
+        .counter("protocol.dedup_messages", dedup_messages);
+    exec.collector.halt(halt.kind());
     ProtocolReport {
         halt,
         messages: exec.dialogue.len() as u64,
@@ -332,7 +396,12 @@ pub fn at_most_k_values_program(sym: SymId, a: AttrId, k: usize) -> TwProgram {
     b.rule_true(
         twq_tree::Label::DelimRoot,
         q0,
-        Action::Atp(q1, selectors::descendants_labeled(twq_tree::Label::Sym(sym)), q_node, x1),
+        Action::Atp(
+            q1,
+            selectors::descendants_labeled(twq_tree::Label::Sym(sym)),
+            q_node,
+            x1,
+        ),
     );
     b.rule_true(
         twq_tree::Label::Sym(sym),
@@ -409,15 +478,7 @@ mod tests {
         for (fi, gi) in [(0..2, 2..4), (0..3, 0..3), (0..1, 3..6)] {
             let f: Vec<Value> = s.data[fi.clone()].to_vec();
             let g: Vec<Value> = s.data[gi.clone()].to_vec();
-            let report = run_protocol(
-                &prog,
-                &f,
-                &g,
-                &s.markers,
-                s.sym,
-                s.attr,
-                Limits::default(),
-            );
+            let report = run_protocol(&prog, &f, &g, &s.markers, s.sym, s.attr, Limits::default());
             let tree = split_string_tree(&f, &g, &s.markers, s.sym, s.attr);
             let direct = run_on_tree(&prog, &tree, Limits::default());
             assert_eq!(report.accepted(), direct.accepted(), "{fi:?} {gi:?}");
@@ -434,15 +495,7 @@ mod tests {
         let prog = at_most_k_values_program(s.sym, s.attr, 10);
         let f = vec![s.data[0], s.data[1]];
         let g = vec![s.data[2]];
-        let report = run_protocol(
-            &prog,
-            &f,
-            &g,
-            &s.markers,
-            s.sym,
-            s.attr,
-            Limits::default(),
-        );
+        let report = run_protocol(&prog, &f, &g, &s.markers, s.sym, s.attr, Limits::default());
         assert!(report.accepted());
         assert_eq!(report.atp_requests, 1);
         assert!(report
@@ -463,15 +516,7 @@ mod tests {
         let prog = twq_automata::examples::traversal_program(&[s.sym]);
         let f = vec![s.data[0], s.data[1]];
         let g = vec![s.data[2], s.data[3]];
-        let report = run_protocol(
-            &prog,
-            &f,
-            &g,
-            &s.markers,
-            s.sym,
-            s.attr,
-            Limits::default(),
-        );
+        let report = run_protocol(&prog, &f, &g, &s.markers, s.sym, s.attr, Limits::default());
         assert!(report.accepted());
         assert!(report.crossings >= 2, "crossings = {}", report.crossings);
         assert!(report
@@ -486,19 +531,11 @@ mod tests {
         let prog = at_most_k_values_program(s.sym, s.attr, 2);
         let f = vec![s.data[0]];
         let g = vec![s.data[1]];
-        let report = run_protocol(
-            &prog,
-            &f,
-            &g,
-            &s.markers,
-            s.sym,
-            s.attr,
-            Limits::default(),
-        );
+        let report = run_protocol(&prog, &f, &g, &s.markers, s.sym, s.attr, Limits::default());
         assert!(report.distinct_messages as u64 <= report.messages);
         assert!(report.distinct_messages >= 3); // 2 N-types + verdict
-        // Deduplicated traffic equals the distinct count (one execution
-        // order) and respects the Lemma 4.5 round bound 2·|Δ|.
+                                                // Deduplicated traffic equals the distinct count (one execution
+                                                // order) and respects the Lemma 4.5 round bound 2·|Δ|.
         assert_eq!(report.dedup_messages as usize, report.distinct_messages);
         assert!(report.dedup_messages <= 2 * report.distinct_messages as u64);
     }

@@ -67,14 +67,20 @@ fn move_selector(d: TreeDir) -> ExistsFormula {
         TreeDir::Stay => selectors::self_node(),
         TreeDir::Up => selectors::parent(),
         TreeDir::Down => selectors::first_child(),
-        TreeDir::Right => {
-            ExistsFormula::new(fb::var(0), fb::var(1), vec![], fb::succ(fb::var(0), fb::var(1)))
-                .expect("valid selector")
-        }
-        TreeDir::Left => {
-            ExistsFormula::new(fb::var(0), fb::var(1), vec![], fb::succ(fb::var(1), fb::var(0)))
-                .expect("valid selector")
-        }
+        TreeDir::Right => ExistsFormula::new(
+            fb::var(0),
+            fb::var(1),
+            vec![],
+            fb::succ(fb::var(0), fb::var(1)),
+        )
+        .expect("valid selector"),
+        TreeDir::Left => ExistsFormula::new(
+            fb::var(0),
+            fb::var(1),
+            vec![],
+            fb::succ(fb::var(1), fb::var(0)),
+        )
+        .expect("valid selector"),
     }
 }
 
@@ -99,10 +105,7 @@ pub fn compile_alternating(
         return Err(AltCompileError::Base(CompileError::NotRegisterFree));
     }
     if machine.rules().iter().any(|r| {
-        r.tape != 0
-            || r.write != 0
-            || r.head != twq_xtm::HeadMove::Stay
-            || r.cell0.is_some()
+        r.tape != 0 || r.write != 0 || r.head != twq_xtm::HeadMove::Stay || r.cell0.is_some()
     }) {
         return Err(AltCompileError::UsesTape);
     }
@@ -184,7 +187,12 @@ pub fn compile_alternating(
                 b.rule_true(
                     l,
                     prev,
-                    Action::Atp(probe_done, move_selector(r.tree), next_eval, branch_regs[bi]),
+                    Action::Atp(
+                        probe_done,
+                        move_selector(r.tree),
+                        next_eval,
+                        branch_regs[bi],
+                    ),
                 );
                 prev = probe_done;
             }
@@ -197,7 +205,12 @@ pub fn compile_alternating(
                 // Existential: accept iff some branch returned {yes}.
                 Mode::Exist => or((0..k).map(|bi| rel(branch_regs[bi], [cst(yes)]))),
             };
-            b.rule(l, prev, fold.clone(), Action::Update(q_f, set_verdict(yes), x1));
+            b.rule(
+                l,
+                prev,
+                fold.clone(),
+                Action::Update(q_f, set_verdict(yes), x1),
+            );
             b.rule(l, prev, not(fold), Action::Update(q_f, set_verdict(no), x1));
         }
     }
@@ -302,7 +315,11 @@ mod tests {
             let dt = DelimTree::build(&t);
             let direct = run_alternating(&m, &dt, XtmLimits::default());
             let compiled = run(&alt.program, &dt, alt_limits());
-            assert!(!compiled.halt.is_limit(), "case {seed}: {:?}", compiled.halt);
+            assert!(
+                !compiled.halt.is_limit(),
+                "case {seed}: {:?}",
+                compiled.halt
+            );
             assert_eq!(compiled.accepted(), direct.accepted, "case {seed}");
             assert_eq!(
                 compiled.accepted(),

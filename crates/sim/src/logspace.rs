@@ -394,10 +394,7 @@ pub fn compile_logspace(
         .compile(&body)
         .expect("pebble compilation emits well-formed TW programs");
     debug_assert_eq!(program.classify(), twq_automata::TwClass::Tw);
-    Ok(PebbleProgram {
-        program,
-        id_attr,
-    })
+    Ok(PebbleProgram { program, id_attr })
 }
 
 #[cfg(test)]
@@ -409,11 +406,7 @@ mod tests {
     use twq_xtm::machine::{run_xtm, XtmLimits};
     use twq_xtm::machines;
 
-    fn run_compiled(
-        prog: &PebbleProgram,
-        tree: &twq_tree::Tree,
-        vocab: &mut Vocab,
-    ) -> (bool, u64) {
+    fn run_compiled(prog: &PebbleProgram, tree: &twq_tree::Tree, vocab: &mut Vocab) -> (bool, u64) {
         let mut dt = DelimTree::build(tree);
         dt.assign_unique_ids(prog.id_attr, vocab);
         let report = run(&prog.program, &dt, Limits::long_walk());

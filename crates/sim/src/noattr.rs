@@ -39,7 +39,10 @@ impl std::fmt::Display for ElimError {
         match self {
             ElimError::UsesLookahead => write!(f, "store elimination requires a tw^r program"),
             ElimError::UsesAttributes => {
-                write!(f, "store elimination requires A = ∅ (no attribute constants)")
+                write!(
+                    f,
+                    "store elimination requires A = ∅ (no attribute constants)"
+                )
             }
             ElimError::TooManyProductStates(n) => {
                 write!(f, "reachable product exploded past {n} states")
@@ -117,20 +120,19 @@ pub fn eliminate_store(prog: &TwProgram, max_states: usize) -> Result<TwProgram,
             if !eval_guard(store, &env, &rule.guard) {
                 continue;
             }
-            let (next_key, action): ProductEdge =
-                match &rule.action {
-                    Action::Move(p, d) => {
-                        let d = *d;
-                        ((*p, store.clone()), Box::new(move |s| Action::Move(s, d)))
-                    }
-                    Action::Update(p, psi, i) => {
-                        let mut st = store.clone();
-                        let r = eval_query(store, &env, psi);
-                        st.set(*i, r);
-                        ((*p, st), Box::new(|s| Action::Move(s, Dir::Stay)))
-                    }
-                    Action::Atp(_, _, _, _) => unreachable!("checked above"),
-                };
+            let (next_key, action): ProductEdge = match &rule.action {
+                Action::Move(p, d) => {
+                    let d = *d;
+                    ((*p, store.clone()), Box::new(move |s| Action::Move(s, d)))
+                }
+                Action::Update(p, psi, i) => {
+                    let mut st = store.clone();
+                    let r = eval_query(store, &env, psi);
+                    st.set(*i, r);
+                    ((*p, st), Box::new(|s| Action::Move(s, Dir::Stay)))
+                }
+                Action::Atp(_, _, _, _) => unreachable!("checked above"),
+            };
             let target = product_state(&mut b, &next_key, &mut counter);
             b.rule_true(rule.label, here, action(target));
             work.push(next_key);
@@ -148,11 +150,7 @@ pub fn eliminate_store(prog: &TwProgram, max_states: usize) -> Result<TwProgram,
 /// accepts iff the number of `δ`-labeled nodes is divisible by 3, counted
 /// by cycling a register through three constant values during a
 /// document-order traversal.
-pub fn delta_count_mod3(
-    sigma: Label,
-    delta: Label,
-    vocab: &mut twq_tree::Vocab,
-) -> TwProgram {
+pub fn delta_count_mod3(sigma: Label, delta: Label, vocab: &mut twq_tree::Vocab) -> TwProgram {
     use twq_logic::store::sbuild::*;
     let c: Vec<twq_tree::Value> = (0..3).map(|i| vocab.val_str(&format!("#mod{i}"))).collect();
     let mut b = TwProgramBuilder::new();

@@ -240,8 +240,7 @@ pub fn compile_pspace(
         Instr::Set(ctx.cur, Source::Reg(ctx.xstate)),
         Instr::Set(ctx.matched, Source::Const(ctx.no)),
     ];
-    let mut labels: Vec<twq_tree::Label> =
-        machine.rules().iter().map(|r| r.label).collect();
+    let mut labels: Vec<twq_tree::Label> = machine.rules().iter().map(|r| r.label).collect();
     labels.sort_unstable();
     labels.dedup();
     let mut dispatch: Vec<Instr> = Vec::new();
@@ -331,7 +330,11 @@ mod tests {
         for seed in 0..8 {
             let t = random_tree(&cfg, seed);
             let (accepted, _) = agree_on(&m, &prog, &t, &mut vocab);
-            assert_eq!(accepted, machines::oracle_leaf_count_even(&t), "seed {seed}");
+            assert_eq!(
+                accepted,
+                machines::oracle_leaf_count_even(&t),
+                "seed {seed}"
+            );
             if accepted {
                 yes += 1;
             } else {

@@ -209,14 +209,7 @@ mod tests {
         // ▽ with children ⊳ a ⊲.
         assert_eq!(d.label(d.root()), Label::DelimRoot);
         let top: Vec<Label> = d.children(d.root()).map(|u| d.label(u)).collect();
-        assert_eq!(
-            top,
-            vec![
-                Label::DelimOpen,
-                t_label(&t),
-                Label::DelimClose,
-            ]
-        );
+        assert_eq!(top, vec![Label::DelimOpen, t_label(&t), Label::DelimClose,]);
         // a with children ⊳ b c d ⊲.
         let a_img = dt.image(t.root());
         let kids: Vec<Label> = d.children(a_img).map(|u| d.label(u)).collect();

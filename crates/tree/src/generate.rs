@@ -139,7 +139,9 @@ pub fn star_tree(sym: SymId, n: usize) -> Tree {
 pub fn random_string(pool: &[Value], len: usize, seed: u64) -> Vec<Value> {
     assert!(!pool.is_empty());
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+    (0..len)
+        .map(|_| pool[rng.gen_range(0..pool.len())])
+        .collect()
 }
 
 #[cfg(test)]

@@ -99,7 +99,11 @@ impl<'s, 'v> Parser<'s, 'v> {
         Ok(self.vocab.val_str(tok))
     }
 
-    fn term(&mut self, tree: &mut Option<Tree>, parent: Option<NodeId>) -> Result<NodeId, ParseError> {
+    fn term(
+        &mut self,
+        tree: &mut Option<Tree>,
+        parent: Option<NodeId>,
+    ) -> Result<NodeId, ParseError> {
         self.skip_ws();
         let name = self.ident()?;
         let label = Label::Sym(self.vocab.sym(name));
@@ -123,7 +127,9 @@ impl<'s, 'v> Parser<'s, 'v> {
                 }
                 self.skip_ws();
                 let val = self.value()?;
-                tree.as_mut().expect("tree exists").set_attr(node, attr, val);
+                tree.as_mut()
+                    .expect("tree exists")
+                    .set_attr(node, attr, val);
                 self.skip_ws();
                 if self.eat(b']') {
                     break;

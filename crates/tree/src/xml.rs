@@ -78,11 +78,7 @@ impl P<'_, '_> {
     }
 
     /// Parse one element into `tree` under `parent` (or create the root).
-    fn element(
-        &mut self,
-        tree: &mut Option<Tree>,
-        parent: Option<NodeId>,
-    ) -> Result<(), XmlError> {
+    fn element(&mut self, tree: &mut Option<Tree>, parent: Option<NodeId>) -> Result<(), XmlError> {
         self.ws();
         self.expect(b'<')?;
         let tag = self.name()?;
@@ -122,7 +118,9 @@ impl P<'_, '_> {
                         Ok(i) => self.vocab.val_int(i),
                         Err(_) => self.vocab.val_str(&raw),
                     };
-                    tree.as_mut().expect("tree exists").set_attr(node, attr, value);
+                    tree.as_mut()
+                        .expect("tree exists")
+                        .set_attr(node, attr, value);
                 }
             }
         }
@@ -189,7 +187,12 @@ fn write_node(tree: &Tree, u: NodeId, vocab: &Vocab, indent: usize, out: &mut St
         let a = AttrId(a);
         let v = tree.attr(u, a);
         if !v.is_bot() {
-            let _ = write!(out, " {}=\"{}\"", vocab.attr_name(a), vocab.value_display(v));
+            let _ = write!(
+                out,
+                " {}=\"{}\"",
+                vocab.attr_name(a),
+                vocab.value_display(v)
+            );
         }
     }
     if tree.is_leaf(u) {
@@ -200,7 +203,7 @@ fn write_node(tree: &Tree, u: NodeId, vocab: &Vocab, indent: usize, out: &mut St
     for c in tree.children(u) {
         write_node(tree, c, vocab, indent + 1, out);
     }
-    let _ = write!(out, "{pad}</{name}>\n");
+    let _ = writeln!(out, "{pad}</{name}>");
 }
 
 #[cfg(test)]
@@ -224,11 +227,7 @@ mod tests {
     #[test]
     fn whitespace_and_string_values() {
         let mut v = Vocab::new();
-        let t = parse_xml(
-            "<a x=\"hello world\">\n  <b/>\n  <c/>\n</a>",
-            &mut v,
-        )
-        .unwrap();
+        let t = parse_xml("<a x=\"hello world\">\n  <b/>\n  <c/>\n</a>", &mut v).unwrap();
         assert_eq!(t.len(), 3);
         let x = v.attr_opt("x").unwrap();
         assert_eq!(t.attr(t.root(), x), v.val_str_opt("hello world").unwrap());

@@ -90,11 +90,9 @@ impl Pred {
     pub fn display(&self, vocab: &Vocab) -> String {
         match self {
             Pred::Path(p) => p.display(vocab),
-            Pred::AttrEqConst(a, d) => format!(
-                "@{}={}",
-                vocab.attr_name(*a),
-                vocab.value_display(*d)
-            ),
+            Pred::AttrEqConst(a, d) => {
+                format!("@{}={}", vocab.attr_name(*a), vocab.value_display(*d))
+            }
             Pred::AttrEqAttr(a, b) => {
                 format!("@{}=@{}", vocab.attr_name(*a), vocab.attr_name(*b))
             }
@@ -108,10 +106,7 @@ impl Pred {
 /// per branch.
 pub fn relativize(p: XPath) -> XPath {
     match p {
-        XPath::Union(a, b) => XPath::Union(
-            Box::new(relativize(*a)),
-            Box::new(relativize(*b)),
-        ),
+        XPath::Union(a, b) => XPath::Union(Box::new(relativize(*a)), Box::new(relativize(*b))),
         XPath::FromRoot(_) | XPath::FromDesc(_) | XPath::FromChild(_) => p,
         other => XPath::FromChild(Box::new(other)),
     }

@@ -35,20 +35,12 @@ impl Ctx {
             XPath::Child(p1, p2) => {
                 let z = self.fresh();
                 let w = self.fresh();
-                fb::and([
-                    self.trans(p1, x, z),
-                    fb::edge(z, w),
-                    self.trans(p2, w, y),
-                ])
+                fb::and([self.trans(p1, x, z), fb::edge(z, w), self.trans(p2, w, y)])
             }
             XPath::Descendant(p1, p2) => {
                 let z = self.fresh();
                 let w = self.fresh();
-                fb::and([
-                    self.trans(p1, x, z),
-                    fb::desc(z, w),
-                    self.trans(p2, w, y),
-                ])
+                fb::and([self.trans(p1, x, z), fb::desc(z, w), self.trans(p2, w, y)])
             }
             XPath::FromRoot(p) => {
                 let r = self.fresh();

@@ -3,12 +3,27 @@
 
 use std::collections::BTreeSet;
 
+use twq_obs::{Collector, FoEval, NullCollector};
 use twq_tree::{Label, NodeId, Tree};
 
 use crate::ast::{Pred, XPath};
 
 /// All nodes selected by `path` from context node `x`.
 pub fn eval_from(tree: &Tree, path: &XPath, x: NodeId) -> BTreeSet<NodeId> {
+    eval_from_with(tree, path, x, &mut NullCollector)
+}
+
+/// [`eval_from`] with instrumentation: one [`FoEval::Path`] per
+/// subexpression evaluation (including recursive steps) and one
+/// [`FoEval::Pred`] per filter-predicate test, exposing the relational
+/// evaluator's cost profile.
+pub fn eval_from_with<C: Collector>(
+    tree: &Tree,
+    path: &XPath,
+    x: NodeId,
+    c: &mut C,
+) -> BTreeSet<NodeId> {
+    c.fo_eval(FoEval::Path);
     match path {
         XPath::Name(s) => {
             if tree.label(x) == Label::Sym(*s) {
@@ -20,48 +35,48 @@ pub fn eval_from(tree: &Tree, path: &XPath, x: NodeId) -> BTreeSet<NodeId> {
         XPath::Wild => BTreeSet::from([x]),
         XPath::Child(p1, p2) => {
             let mut out = BTreeSet::new();
-            for y in eval_from(tree, p1, x) {
-                for c in tree.children(y) {
-                    out.extend(eval_from(tree, p2, c));
+            for y in eval_from_with(tree, p1, x, c) {
+                for ch in tree.children(y) {
+                    out.extend(eval_from_with(tree, p2, ch, c));
                 }
             }
             out
         }
         XPath::Descendant(p1, p2) => {
             let mut out = BTreeSet::new();
-            for y in eval_from(tree, p1, x) {
+            for y in eval_from_with(tree, p1, x, c) {
                 for d in tree.node_ids() {
                     if tree.is_strict_ancestor(y, d) {
-                        out.extend(eval_from(tree, p2, d));
+                        out.extend(eval_from_with(tree, p2, d, c));
                     }
                 }
             }
             out
         }
-        XPath::FromRoot(p) => eval_from(tree, p, tree.root()),
+        XPath::FromRoot(p) => eval_from_with(tree, p, tree.root(), c),
         XPath::FromDesc(p) => {
             let mut out = BTreeSet::new();
             for d in tree.node_ids() {
                 if tree.is_strict_ancestor(x, d) {
-                    out.extend(eval_from(tree, p, d));
+                    out.extend(eval_from_with(tree, p, d, c));
                 }
             }
             out
         }
         XPath::FromChild(p) => {
             let mut out = BTreeSet::new();
-            for c in tree.children(x) {
-                out.extend(eval_from(tree, p, c));
+            for ch in tree.children(x) {
+                out.extend(eval_from_with(tree, p, ch, c));
             }
             out
         }
-        XPath::Filter(p, q) => eval_from(tree, p, x)
+        XPath::Filter(p, q) => eval_from_with(tree, p, x, c)
             .into_iter()
-            .filter(|&y| pred_holds(tree, q, y))
+            .filter(|&y| pred_holds_with(tree, q, y, c))
             .collect(),
         XPath::Union(p1, p2) => {
-            let mut out = eval_from(tree, p1, x);
-            out.extend(eval_from(tree, p2, x));
+            let mut out = eval_from_with(tree, p1, x, c);
+            out.extend(eval_from_with(tree, p2, x, c));
             out
         }
     }
@@ -69,8 +84,14 @@ pub fn eval_from(tree: &Tree, path: &XPath, x: NodeId) -> BTreeSet<NodeId> {
 
 /// Whether a filter predicate holds at node `y`.
 pub fn pred_holds(tree: &Tree, pred: &Pred, y: NodeId) -> bool {
+    pred_holds_with(tree, pred, y, &mut NullCollector)
+}
+
+/// [`pred_holds`] with instrumentation (one [`FoEval::Pred`] per test).
+pub fn pred_holds_with<C: Collector>(tree: &Tree, pred: &Pred, y: NodeId, c: &mut C) -> bool {
+    c.fo_eval(FoEval::Pred);
     match pred {
-        Pred::Path(p) => !eval_from(tree, p, y).is_empty(),
+        Pred::Path(p) => !eval_from_with(tree, p, y, c).is_empty(),
         Pred::AttrEqConst(a, d) => tree.attr(y, *a) == *d,
         Pred::AttrEqAttr(a, b) => tree.attr(y, *a) == tree.attr(y, *b),
     }
@@ -78,9 +99,18 @@ pub fn pred_holds(tree: &Tree, pred: &Pred, y: NodeId) -> bool {
 
 /// All (context, selected) pairs — the full binary relation.
 pub fn eval_pairs(tree: &Tree, path: &XPath) -> BTreeSet<(NodeId, NodeId)> {
+    eval_pairs_with(tree, path, &mut NullCollector)
+}
+
+/// [`eval_pairs`] with instrumentation.
+pub fn eval_pairs_with<C: Collector>(
+    tree: &Tree,
+    path: &XPath,
+    c: &mut C,
+) -> BTreeSet<(NodeId, NodeId)> {
     let mut out = BTreeSet::new();
     for x in tree.node_ids() {
-        for y in eval_from(tree, path, x) {
+        for y in eval_from_with(tree, path, x, c) {
             out.insert((x, y));
         }
     }

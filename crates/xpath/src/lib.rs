@@ -23,7 +23,9 @@ pub mod to_program;
 
 pub use ast::{Pred, XPath};
 pub use compile::compile;
-pub use eval::{eval_from, eval_pairs, pred_holds};
+pub use eval::{
+    eval_from, eval_from_with, eval_pairs, eval_pairs_with, pred_holds, pred_holds_with,
+};
 pub use generate::{random_xpath, XPathGenConfig};
 pub use parse::{parse_xpath, XPathParseError};
 pub use to_program::{xpath_to_program, SelectionTest};

@@ -63,14 +63,11 @@ pub fn xpath_to_program(
     };
     // The acceptance guard over the collected X₁.
     let guard: SFormula = match test {
-        SelectionTest::NonEmpty => {
-            SFormula::Exists(Var(0), Box::new(rel(x1, [v(0)])))
-        }
+        SelectionTest::NonEmpty => SFormula::Exists(Var(0), Box::new(rel(x1, [v(0)]))),
         SelectionTest::SomeValue(_, d) => rel(x1, [cst(d)]),
-        SelectionTest::AllValue(_, d) => SFormula::Forall(
-            Var(0),
-            Box::new(implies(rel(x1, [v(0)]), eq(v(0), cst(d)))),
-        ),
+        SelectionTest::AllValue(_, d) => {
+            SFormula::Forall(Var(0), Box::new(implies(rel(x1, [v(0)]), eq(v(0), cst(d)))))
+        }
     };
     for &s in alphabet {
         b.rule_true(Label::Sym(s), q2, Action::Atp(chk, phi.clone(), q_sel, x1));
@@ -79,9 +76,15 @@ pub fn xpath_to_program(
             q_sel,
             Action::Update(q_f, eq(v(0), attr(witness_attr)), x1),
         );
-        b.rule(Label::Sym(s), chk, guard.clone(), Action::Move(q_f, Dir::Stay));
+        b.rule(
+            Label::Sym(s),
+            chk,
+            guard.clone(),
+            Action::Move(q_f, Dir::Stay),
+        );
     }
-    b.build().expect("xpath-to-program emits well-formed programs")
+    b.build()
+        .expect("xpath-to-program emits well-formed programs")
 }
 
 #[cfg(test)]
@@ -109,8 +112,7 @@ mod tests {
             .enumerate()
         {
             let path = parse_xpath(q, &mut vocab).unwrap();
-            let prog =
-                xpath_to_program(&path, &cfg.symbols, id, SelectionTest::NonEmpty);
+            let prog = xpath_to_program(&path, &cfg.symbols, id, SelectionTest::NonEmpty);
             for seed in 0..8 {
                 let mut t = random_tree(&cfg, seed);
                 t.assign_unique_ids(id, &mut vocab);
@@ -126,12 +128,7 @@ mod tests {
         let (mut vocab, cfg, a, id) = setup(20);
         let one = vocab.val_int_opt(1).unwrap();
         let path = parse_xpath("//delta", &mut vocab).unwrap();
-        let prog = xpath_to_program(
-            &path,
-            &cfg.symbols,
-            id,
-            SelectionTest::SomeValue(a, one),
-        );
+        let prog = xpath_to_program(&path, &cfg.symbols, id, SelectionTest::SomeValue(a, one));
         let (mut yes, mut no) = (0, 0);
         for seed in 0..12 {
             let t = random_tree(&cfg, seed);
@@ -155,8 +152,7 @@ mod tests {
         let one = vocab.val_int_opt(1).unwrap();
         // A query that never matches: a label that doesn't occur.
         let path = parse_xpath("//ghost", &mut vocab).unwrap();
-        let prog =
-            xpath_to_program(&path, &cfg.symbols, id, SelectionTest::AllValue(a, one));
+        let prog = xpath_to_program(&path, &cfg.symbols, id, SelectionTest::AllValue(a, one));
         let t = random_tree(&cfg, 0);
         let got = run_on_tree(&prog, &t, Limits::default());
         assert!(got.accepted(), "∀ over ∅ is true");

@@ -17,9 +17,7 @@ use std::collections::HashMap;
 
 use twq_tree::{DelimTree, Value};
 
-use crate::machine::{
-    HeadMove, Mode, TreeDir, XGuard, XRegOp, Xtm, XtmConfig, XtmLimits,
-};
+use crate::machine::{HeadMove, Mode, TreeDir, XGuard, XRegOp, Xtm, XtmConfig, XtmLimits};
 
 /// Result of an alternating run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,12 +56,8 @@ impl AltExec<'_> {
             }
             let guard_ok = match r.guard {
                 XGuard::True => true,
-                XGuard::RegEqAttr(i, a) => {
-                    cfg.regs[i as usize] == self.tree.attr(cfg.node, a)
-                }
-                XGuard::RegNeAttr(i, a) => {
-                    cfg.regs[i as usize] != self.tree.attr(cfg.node, a)
-                }
+                XGuard::RegEqAttr(i, a) => cfg.regs[i as usize] == self.tree.attr(cfg.node, a),
+                XGuard::RegNeAttr(i, a) => cfg.regs[i as usize] != self.tree.attr(cfg.node, a),
                 XGuard::RegEqReg(i, j) => cfg.regs[i as usize] == cfg.regs[j as usize],
                 XGuard::RegNeReg(i, j) => cfg.regs[i as usize] != cfg.regs[j as usize],
             };
@@ -131,9 +125,7 @@ impl AltExec<'_> {
             return false;
         }
         self.space = self.space.max(cfg.tape.len()).max(cfg.head + 1);
-        if self.space > self.limits.max_space
-            || self.memo.len() as u64 >= self.limits.max_steps
-        {
+        if self.space > self.limits.max_space || self.memo.len() as u64 >= self.limits.max_steps {
             self.truncated = true;
             return false;
         }
@@ -218,8 +210,24 @@ mod tests {
         let dead = b.state("dead");
         let acc = b.state("acc");
         b.initial(s0).accept(acc);
-        b.simple(s0, Label::DelimRoot, BLANK, dead, BLANK, HeadMove::Stay, TreeDir::Down);
-        b.simple(s0, Label::DelimRoot, BLANK, acc, BLANK, HeadMove::Stay, TreeDir::Stay);
+        b.simple(
+            s0,
+            Label::DelimRoot,
+            BLANK,
+            dead,
+            BLANK,
+            HeadMove::Stay,
+            TreeDir::Down,
+        );
+        b.simple(
+            s0,
+            Label::DelimRoot,
+            BLANK,
+            acc,
+            BLANK,
+            HeadMove::Stay,
+            TreeDir::Stay,
+        );
         let m = b.build();
         let mut v = Vocab::new();
         let t = parse_tree("a", &mut v).unwrap();
@@ -235,8 +243,24 @@ mod tests {
         let dead = b.state("dead");
         let acc = b.state("acc");
         b.initial(s0).accept(acc);
-        b.simple(s0, Label::DelimRoot, BLANK, dead, BLANK, HeadMove::Stay, TreeDir::Down);
-        b.simple(s0, Label::DelimRoot, BLANK, acc, BLANK, HeadMove::Stay, TreeDir::Stay);
+        b.simple(
+            s0,
+            Label::DelimRoot,
+            BLANK,
+            dead,
+            BLANK,
+            HeadMove::Stay,
+            TreeDir::Down,
+        );
+        b.simple(
+            s0,
+            Label::DelimRoot,
+            BLANK,
+            acc,
+            BLANK,
+            HeadMove::Stay,
+            TreeDir::Stay,
+        );
         let m = b.build();
         let mut v = Vocab::new();
         let t = parse_tree("a", &mut v).unwrap();
@@ -264,7 +288,15 @@ mod tests {
         let s0 = b.state("s0");
         let acc = b.state("acc");
         b.initial(s0).accept(acc);
-        b.simple(s0, Label::DelimRoot, BLANK, s0, BLANK, HeadMove::Stay, TreeDir::Stay);
+        b.simple(
+            s0,
+            Label::DelimRoot,
+            BLANK,
+            s0,
+            BLANK,
+            HeadMove::Stay,
+            TreeDir::Stay,
+        );
         let m = b.build();
         let mut v = Vocab::new();
         let t = parse_tree("a", &mut v).unwrap();

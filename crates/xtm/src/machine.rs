@@ -17,6 +17,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
+use twq_obs::{Collector, HaltKind, NullCollector};
 use twq_tree::{AttrId, DelimTree, Label, NodeId, Tree, Value};
 
 /// A machine state.
@@ -366,6 +367,20 @@ pub enum XtmHalt {
     SpaceLimit,
 }
 
+impl XtmHalt {
+    /// The evaluator-agnostic [`HaltKind`] reported to collectors.
+    pub fn kind(self) -> HaltKind {
+        match self {
+            XtmHalt::Accept => HaltKind::Accept,
+            XtmHalt::Stuck => HaltKind::Stuck,
+            XtmHalt::Cycle => HaltKind::Cycle,
+            XtmHalt::Nondeterministic => HaltKind::Nondeterministic,
+            XtmHalt::StepLimit => HaltKind::StepLimit,
+            XtmHalt::SpaceLimit => HaltKind::SpaceLimit,
+        }
+    }
+}
+
 /// Run statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct XtmReport {
@@ -425,6 +440,18 @@ fn apply(m: &Xtm, tree: &Tree, cfg: &XtmConfig, rule: &XtmRule) -> Option<XtmCon
 
 /// Run a deterministic machine on a delimited tree.
 pub fn run_xtm(m: &Xtm, delim: &DelimTree, limits: XtmLimits) -> XtmReport {
+    run_xtm_with(m, delim, limits, &mut NullCollector)
+}
+
+/// [`run_xtm`] with instrumentation: one chain span for the run, one step
+/// per transition, tape-cell high-water marks, guard evaluations, and
+/// cycle-table bookkeeping.
+pub fn run_xtm_with<C: Collector>(
+    m: &Xtm,
+    delim: &DelimTree,
+    limits: XtmLimits,
+    c: &mut C,
+) -> XtmReport {
     let tree = delim.tree();
     let mut cfg = XtmConfig {
         node: tree.root(),
@@ -436,78 +463,71 @@ pub fn run_xtm(m: &Xtm, delim: &DelimTree, limits: XtmLimits) -> XtmReport {
     let mut steps = 0u64;
     let mut space = 0usize;
     let mut seen: HashSet<XtmConfig> = HashSet::new();
-    loop {
+    c.chain_enter(cfg.node.0 as u64, cfg.state.0 as u32, 0);
+    let halt = loop {
         space = space.max(cfg.tape.len()).max(cfg.head + 1);
+        c.tape_cells(space);
         if space > limits.max_space {
-            return XtmReport {
-                halt: XtmHalt::SpaceLimit,
-                steps,
-                space,
-            };
+            break XtmHalt::SpaceLimit;
         }
         if cfg.state == m.accept() {
-            return XtmReport {
-                halt: XtmHalt::Accept,
-                steps,
-                space,
-            };
+            break XtmHalt::Accept;
         }
         if !seen.insert(cfg.clone()) {
-            return XtmReport {
-                halt: XtmHalt::Cycle,
-                steps,
-                space,
-            };
+            break XtmHalt::Cycle;
         }
+        c.cycle_bookkeeping(seen.len());
         let label = tree.label(cfg.node);
         let sym = cfg.read();
         let mut chosen = None;
+        let mut nondet = false;
         for &i in m.rules_for(cfg.state, label, sym) {
             let r = &m.rules()[i];
+            c.fo_eval(twq_obs::FoEval::Guard);
             if r.cell0.is_none_or(|b| b == (cfg.head == 0))
                 && guard_holds(r.guard, tree, cfg.node, &cfg.regs)
             {
                 if chosen.is_some() {
-                    return XtmReport {
-                        halt: XtmHalt::Nondeterministic,
-                        steps,
-                        space,
-                    };
+                    nondet = true;
+                    break;
                 }
                 chosen = Some(i);
             }
         }
+        if nondet {
+            break XtmHalt::Nondeterministic;
+        }
         let Some(i) = chosen else {
-            return XtmReport {
-                halt: XtmHalt::Stuck,
-                steps,
-                space,
-            };
+            break XtmHalt::Stuck;
         };
         if steps >= limits.max_steps {
-            return XtmReport {
-                halt: XtmHalt::StepLimit,
-                steps,
-                space,
-            };
+            break XtmHalt::StepLimit;
         }
         steps += 1;
+        c.step(cfg.node.0 as u64, cfg.state.0 as u32, 0);
         match apply(m, tree, &cfg, &m.rules()[i]) {
             Some(next) => cfg = next,
-            None => {
-                return XtmReport {
-                    halt: XtmHalt::Stuck,
-                    steps,
-                    space,
-                }
-            }
+            None => break XtmHalt::Stuck,
         }
-    }
+    };
+    c.chain_exit(halt.kind(), 0);
+    c.halt(halt.kind());
+    XtmReport { halt, steps, space }
 }
 
 /// Convenience: delimit and run.
 pub fn run_xtm_on_tree(m: &Xtm, tree: &Tree, limits: XtmLimits) -> XtmReport {
     run_xtm(m, &DelimTree::build(tree), limits)
+}
+
+/// [`run_xtm_on_tree`] with instrumentation.
+pub fn run_xtm_on_tree_with<C: Collector>(
+    m: &Xtm,
+    tree: &Tree,
+    limits: XtmLimits,
+    c: &mut C,
+) -> XtmReport {
+    run_xtm_with(m, &DelimTree::build(tree), limits, c)
 }
 
 #[cfg(test)]
@@ -588,9 +608,33 @@ mod tests {
         let s2 = b.state("s2");
         let acc = b.state("acc");
         b.initial(s0).accept(acc);
-        b.simple(s0, Label::DelimRoot, BLANK, s1, 1, HeadMove::Right, TreeDir::Stay);
-        b.simple(s1, Label::DelimRoot, BLANK, s2, 1, HeadMove::Right, TreeDir::Stay);
-        b.simple(s2, Label::DelimRoot, BLANK, acc, 1, HeadMove::Stay, TreeDir::Stay);
+        b.simple(
+            s0,
+            Label::DelimRoot,
+            BLANK,
+            s1,
+            1,
+            HeadMove::Right,
+            TreeDir::Stay,
+        );
+        b.simple(
+            s1,
+            Label::DelimRoot,
+            BLANK,
+            s2,
+            1,
+            HeadMove::Right,
+            TreeDir::Stay,
+        );
+        b.simple(
+            s2,
+            Label::DelimRoot,
+            BLANK,
+            acc,
+            1,
+            HeadMove::Stay,
+            TreeDir::Stay,
+        );
         let m = b.build();
         assert!(m.is_binary_tape());
         assert!(m.is_register_free());
@@ -608,7 +652,15 @@ mod tests {
         let s0 = b.state("s0");
         let acc = b.state("acc");
         b.initial(s0).accept(acc);
-        b.simple(s0, Label::DelimRoot, BLANK, s0, 1, HeadMove::Right, TreeDir::Stay);
+        b.simple(
+            s0,
+            Label::DelimRoot,
+            BLANK,
+            s0,
+            1,
+            HeadMove::Right,
+            TreeDir::Stay,
+        );
         let m = b.build();
         let mut v = Vocab::new();
         let t = parse_tree("a", &mut v).unwrap();
@@ -639,8 +691,24 @@ mod tests {
         let acc = b.state("acc");
         b.initial(s0).accept(acc).registers(1);
         // ▽ → ⊳ → root image.
-        b.simple(s0, Label::DelimRoot, BLANK, s1, BLANK, HeadMove::Stay, TreeDir::Down);
-        b.simple(s1, Label::DelimOpen, BLANK, s2, BLANK, HeadMove::Stay, TreeDir::Right);
+        b.simple(
+            s0,
+            Label::DelimRoot,
+            BLANK,
+            s1,
+            BLANK,
+            HeadMove::Stay,
+            TreeDir::Down,
+        );
+        b.simple(
+            s1,
+            Label::DelimOpen,
+            BLANK,
+            s2,
+            BLANK,
+            HeadMove::Stay,
+            TreeDir::Right,
+        );
         // Load a, descend to ⊳ of children, step right to first child.
         b.rule(XtmRule {
             state: s2,
@@ -654,7 +722,15 @@ mod tests {
             tree: TreeDir::Down,
             reg: XRegOp::LoadAttr(0, a),
         });
-        b.simple(s3, Label::DelimOpen, BLANK, s4, BLANK, HeadMove::Stay, TreeDir::Right);
+        b.simple(
+            s3,
+            Label::DelimOpen,
+            BLANK,
+            s4,
+            BLANK,
+            HeadMove::Stay,
+            TreeDir::Right,
+        );
         // Compare.
         b.rule(XtmRule {
             state: s4,

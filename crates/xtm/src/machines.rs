@@ -9,9 +9,7 @@
 
 use twq_tree::{AttrId, Label, SymId, Tree};
 
-use crate::machine::{
-    HeadMove, Mode, TreeDir, XGuard, XRegOp, Xtm, XtmBuilder, XtmRule, BLANK,
-};
+use crate::machine::{HeadMove, Mode, TreeDir, XGuard, XRegOp, Xtm, XtmBuilder, XtmRule, BLANK};
 
 /// The two binary tape symbols (blank doubles as bit 0).
 const ZERO: u8 = BLANK;
@@ -28,12 +26,44 @@ fn traversal(
     next: crate::machine::XState,
 ) {
     for t in [ZERO, ONE] {
-        b.simple(fwd, Label::DelimRoot, t, fwd, t, HeadMove::Stay, TreeDir::Down);
-        b.simple(fwd, Label::DelimOpen, t, fwd, t, HeadMove::Stay, TreeDir::Right);
-        b.simple(fwd, Label::DelimClose, t, next, t, HeadMove::Stay, TreeDir::Up);
+        b.simple(
+            fwd,
+            Label::DelimRoot,
+            t,
+            fwd,
+            t,
+            HeadMove::Stay,
+            TreeDir::Down,
+        );
+        b.simple(
+            fwd,
+            Label::DelimOpen,
+            t,
+            fwd,
+            t,
+            HeadMove::Stay,
+            TreeDir::Right,
+        );
+        b.simple(
+            fwd,
+            Label::DelimClose,
+            t,
+            next,
+            t,
+            HeadMove::Stay,
+            TreeDir::Up,
+        );
         for &s in alphabet {
             b.simple(fwd, Label::Sym(s), t, fwd, t, HeadMove::Stay, TreeDir::Down);
-            b.simple(next, Label::Sym(s), t, fwd, t, HeadMove::Stay, TreeDir::Right);
+            b.simple(
+                next,
+                Label::Sym(s),
+                t,
+                fwd,
+                t,
+                HeadMove::Stay,
+                TreeDir::Right,
+            );
         }
     }
 }
@@ -52,12 +82,44 @@ pub fn leaf_count_even(alphabet: &[SymId]) -> Xtm {
 
     // At △ (head is at cell 0 by invariant): increment the counter.
     // Reading 0: write 1, done — continue the traversal upward.
-    b.simple(fwd, Label::DelimLeaf, ZERO, next, ONE, HeadMove::Stay, TreeDir::Up);
+    b.simple(
+        fwd,
+        Label::DelimLeaf,
+        ZERO,
+        next,
+        ONE,
+        HeadMove::Stay,
+        TreeDir::Up,
+    );
     // Reading 1: carry — write 0, move right, keep carrying.
-    b.simple(fwd, Label::DelimLeaf, ONE, inc, ZERO, HeadMove::Right, TreeDir::Stay);
-    b.simple(inc, Label::DelimLeaf, ONE, inc, ZERO, HeadMove::Right, TreeDir::Stay);
+    b.simple(
+        fwd,
+        Label::DelimLeaf,
+        ONE,
+        inc,
+        ZERO,
+        HeadMove::Right,
+        TreeDir::Stay,
+    );
+    b.simple(
+        inc,
+        Label::DelimLeaf,
+        ONE,
+        inc,
+        ZERO,
+        HeadMove::Right,
+        TreeDir::Stay,
+    );
     // Carry lands on 0: write 1, return to cell 0.
-    b.simple(inc, Label::DelimLeaf, ZERO, ret, ONE, HeadMove::Stay, TreeDir::Stay);
+    b.simple(
+        inc,
+        Label::DelimLeaf,
+        ZERO,
+        ret,
+        ONE,
+        HeadMove::Stay,
+        TreeDir::Stay,
+    );
     // Return: move left until the left end.
     for t in [ZERO, ONE] {
         b.rule(XtmRule {
@@ -70,7 +132,7 @@ pub fn leaf_count_even(alphabet: &[SymId]) -> Xtm {
             write: t,
             head: HeadMove::Left,
             tree: TreeDir::Stay,
-        reg: XRegOp::None,
+            reg: XRegOp::None,
         });
         b.rule(XtmRule {
             state: ret,
@@ -86,7 +148,15 @@ pub fn leaf_count_even(alphabet: &[SymId]) -> Xtm {
         });
     }
     // Done: back at ▽ in `next`; accept iff bit 0 (parity) is 0.
-    b.simple(next, Label::DelimRoot, ZERO, acc, ZERO, HeadMove::Stay, TreeDir::Stay);
+    b.simple(
+        next,
+        Label::DelimRoot,
+        ZERO,
+        acc,
+        ZERO,
+        HeadMove::Stay,
+        TreeDir::Stay,
+    );
     b.build()
 }
 
@@ -108,8 +178,24 @@ pub fn leftmost_depth_even(alphabet: &[SymId]) -> Xtm {
     b.initial(down).accept(acc);
     for t in [ZERO, ONE] {
         // ▽ → first child (⊳) → right (original root, depth 0).
-        b.simple(down, Label::DelimRoot, t, down, t, HeadMove::Stay, TreeDir::Down);
-        b.simple(down, Label::DelimOpen, t, down, t, HeadMove::Stay, TreeDir::Right);
+        b.simple(
+            down,
+            Label::DelimRoot,
+            t,
+            down,
+            t,
+            HeadMove::Stay,
+            TreeDir::Down,
+        );
+        b.simple(
+            down,
+            Label::DelimOpen,
+            t,
+            down,
+            t,
+            HeadMove::Stay,
+            TreeDir::Right,
+        );
     }
     for &s in alphabet {
         // At an element node: descend (to ⊳ or △) and increment on the way
@@ -121,11 +207,43 @@ pub fn leftmost_depth_even(alphabet: &[SymId]) -> Xtm {
         // simple: increment at every element node and test parity 1
         // (depth d has d+1 element nodes on the spine).
         // Reading 0: write 1, descend.
-        b.simple(down, Label::Sym(s), ZERO, down, ONE, HeadMove::Stay, TreeDir::Down);
+        b.simple(
+            down,
+            Label::Sym(s),
+            ZERO,
+            down,
+            ONE,
+            HeadMove::Stay,
+            TreeDir::Down,
+        );
         // Reading 1: carry.
-        b.simple(down, Label::Sym(s), ONE, inc, ZERO, HeadMove::Right, TreeDir::Stay);
-        b.simple(inc, Label::Sym(s), ONE, inc, ZERO, HeadMove::Right, TreeDir::Stay);
-        b.simple(inc, Label::Sym(s), ZERO, ret, ONE, HeadMove::Stay, TreeDir::Stay);
+        b.simple(
+            down,
+            Label::Sym(s),
+            ONE,
+            inc,
+            ZERO,
+            HeadMove::Right,
+            TreeDir::Stay,
+        );
+        b.simple(
+            inc,
+            Label::Sym(s),
+            ONE,
+            inc,
+            ZERO,
+            HeadMove::Right,
+            TreeDir::Stay,
+        );
+        b.simple(
+            inc,
+            Label::Sym(s),
+            ZERO,
+            ret,
+            ONE,
+            HeadMove::Stay,
+            TreeDir::Stay,
+        );
         for t in [ZERO, ONE] {
             b.rule(XtmRule {
                 state: ret,
@@ -155,7 +273,15 @@ pub fn leftmost_depth_even(alphabet: &[SymId]) -> Xtm {
     }
     // Reached △: the leftmost leaf is the parent; spine length = depth+1,
     // so depth even ⇔ counter odd ⇔ bit 0 = 1.
-    b.simple(down, Label::DelimLeaf, ONE, acc, ONE, HeadMove::Stay, TreeDir::Stay);
+    b.simple(
+        down,
+        Label::DelimLeaf,
+        ONE,
+        acc,
+        ONE,
+        HeadMove::Stay,
+        TreeDir::Stay,
+    );
     b.build()
 }
 
@@ -185,21 +311,93 @@ pub fn node_count_even(alphabet: &[SymId]) -> Xtm {
     let acc = b.state("acc");
     b.initial(fwd).accept(acc);
     for t in [ZERO, ONE] {
-        b.simple(fwd, Label::DelimRoot, t, fwd, t, HeadMove::Stay, TreeDir::Down);
-        b.simple(fwd, Label::DelimOpen, t, fwd, t, HeadMove::Stay, TreeDir::Right);
-        b.simple(fwd, Label::DelimClose, t, next, t, HeadMove::Stay, TreeDir::Up);
-        b.simple(fwd, Label::DelimLeaf, t, next, t, HeadMove::Stay, TreeDir::Up);
+        b.simple(
+            fwd,
+            Label::DelimRoot,
+            t,
+            fwd,
+            t,
+            HeadMove::Stay,
+            TreeDir::Down,
+        );
+        b.simple(
+            fwd,
+            Label::DelimOpen,
+            t,
+            fwd,
+            t,
+            HeadMove::Stay,
+            TreeDir::Right,
+        );
+        b.simple(
+            fwd,
+            Label::DelimClose,
+            t,
+            next,
+            t,
+            HeadMove::Stay,
+            TreeDir::Up,
+        );
+        b.simple(
+            fwd,
+            Label::DelimLeaf,
+            t,
+            next,
+            t,
+            HeadMove::Stay,
+            TreeDir::Up,
+        );
         for &s in alphabet {
             // First visit: count, then descend via `cnt`-completion.
-            b.simple(next, Label::Sym(s), t, fwd, t, HeadMove::Stay, TreeDir::Right);
+            b.simple(
+                next,
+                Label::Sym(s),
+                t,
+                fwd,
+                t,
+                HeadMove::Stay,
+                TreeDir::Right,
+            );
         }
     }
     for &s in alphabet {
         // Increment with head at cell 0 (invariant), then descend.
-        b.simple(fwd, Label::Sym(s), ZERO, cnt, ONE, HeadMove::Stay, TreeDir::Stay);
-        b.simple(fwd, Label::Sym(s), ONE, inc, ZERO, HeadMove::Right, TreeDir::Stay);
-        b.simple(inc, Label::Sym(s), ONE, inc, ZERO, HeadMove::Right, TreeDir::Stay);
-        b.simple(inc, Label::Sym(s), ZERO, ret, ONE, HeadMove::Stay, TreeDir::Stay);
+        b.simple(
+            fwd,
+            Label::Sym(s),
+            ZERO,
+            cnt,
+            ONE,
+            HeadMove::Stay,
+            TreeDir::Stay,
+        );
+        b.simple(
+            fwd,
+            Label::Sym(s),
+            ONE,
+            inc,
+            ZERO,
+            HeadMove::Right,
+            TreeDir::Stay,
+        );
+        b.simple(
+            inc,
+            Label::Sym(s),
+            ONE,
+            inc,
+            ZERO,
+            HeadMove::Right,
+            TreeDir::Stay,
+        );
+        b.simple(
+            inc,
+            Label::Sym(s),
+            ZERO,
+            ret,
+            ONE,
+            HeadMove::Stay,
+            TreeDir::Stay,
+        );
         for t in [ZERO, ONE] {
             b.rule(XtmRule {
                 state: ret,
@@ -229,7 +427,15 @@ pub fn node_count_even(alphabet: &[SymId]) -> Xtm {
         }
     }
     // Back at ▽ with all nodes counted: accept iff bit 0 = 0.
-    b.simple(next, Label::DelimRoot, ZERO, acc, ZERO, HeadMove::Stay, TreeDir::Stay);
+    b.simple(
+        next,
+        Label::DelimRoot,
+        ZERO,
+        acc,
+        ZERO,
+        HeadMove::Stay,
+        TreeDir::Stay,
+    );
     b.build()
 }
 
@@ -252,8 +458,24 @@ pub fn root_value_at_some_leaf(alphabet: &[SymId], a: AttrId) -> Xtm {
     let chk = b.state("chk");
     let acc = b.state("acc");
     b.initial(s0).accept(acc).registers(1);
-    b.simple(s0, Label::DelimRoot, BLANK, s1, BLANK, HeadMove::Stay, TreeDir::Down);
-    b.simple(s1, Label::DelimOpen, BLANK, load, BLANK, HeadMove::Stay, TreeDir::Right);
+    b.simple(
+        s0,
+        Label::DelimRoot,
+        BLANK,
+        s1,
+        BLANK,
+        HeadMove::Stay,
+        TreeDir::Down,
+    );
+    b.simple(
+        s1,
+        Label::DelimOpen,
+        BLANK,
+        load,
+        BLANK,
+        HeadMove::Stay,
+        TreeDir::Right,
+    );
     for &s in alphabet {
         // At the original root: load its value, start the traversal.
         b.rule(XtmRule {
@@ -268,8 +490,24 @@ pub fn root_value_at_some_leaf(alphabet: &[SymId], a: AttrId) -> Xtm {
             tree: TreeDir::Down,
             reg: XRegOp::LoadAttr(0, a),
         });
-        b.simple(fwd, Label::Sym(s), BLANK, fwd, BLANK, HeadMove::Stay, TreeDir::Down);
-        b.simple(next, Label::Sym(s), BLANK, fwd, BLANK, HeadMove::Stay, TreeDir::Right);
+        b.simple(
+            fwd,
+            Label::Sym(s),
+            BLANK,
+            fwd,
+            BLANK,
+            HeadMove::Stay,
+            TreeDir::Down,
+        );
+        b.simple(
+            next,
+            Label::Sym(s),
+            BLANK,
+            fwd,
+            BLANK,
+            HeadMove::Stay,
+            TreeDir::Right,
+        );
         b.rule(XtmRule {
             state: chk,
             label: Label::Sym(s),
@@ -295,9 +533,33 @@ pub fn root_value_at_some_leaf(alphabet: &[SymId], a: AttrId) -> Xtm {
             reg: XRegOp::None,
         });
     }
-    b.simple(fwd, Label::DelimOpen, BLANK, fwd, BLANK, HeadMove::Stay, TreeDir::Right);
-    b.simple(fwd, Label::DelimClose, BLANK, next, BLANK, HeadMove::Stay, TreeDir::Up);
-    b.simple(fwd, Label::DelimLeaf, BLANK, chk, BLANK, HeadMove::Stay, TreeDir::Up);
+    b.simple(
+        fwd,
+        Label::DelimOpen,
+        BLANK,
+        fwd,
+        BLANK,
+        HeadMove::Stay,
+        TreeDir::Right,
+    );
+    b.simple(
+        fwd,
+        Label::DelimClose,
+        BLANK,
+        next,
+        BLANK,
+        HeadMove::Stay,
+        TreeDir::Up,
+    );
+    b.simple(
+        fwd,
+        Label::DelimLeaf,
+        BLANK,
+        chk,
+        BLANK,
+        HeadMove::Stay,
+        TreeDir::Up,
+    );
     b.build()
 }
 
@@ -326,25 +588,89 @@ pub fn alt_all_leaves_even_depth(alphabet: &[SymId]) -> Xtm {
     ];
     let acc = b.state("acc");
     b.initial(init).accept(acc);
-    b.simple(init, Label::DelimRoot, BLANK, init2, BLANK, HeadMove::Stay, TreeDir::Down);
+    b.simple(
+        init,
+        Label::DelimRoot,
+        BLANK,
+        init2,
+        BLANK,
+        HeadMove::Stay,
+        TreeDir::Down,
+    );
     // ▽'s child list holds the root (depth 0 = parity 0).
-    b.simple(init2, Label::DelimOpen, BLANK, scan[0], BLANK, HeadMove::Stay, TreeDir::Right);
+    b.simple(
+        init2,
+        Label::DelimOpen,
+        BLANK,
+        scan[0],
+        BLANK,
+        HeadMove::Stay,
+        TreeDir::Right,
+    );
     for p in 0..2usize {
         for &s in alphabet {
             // Universal split at an element child.
-            b.simple(scan[p], Label::Sym(s), BLANK, chk[p], BLANK, HeadMove::Stay, TreeDir::Stay);
-            b.simple(scan[p], Label::Sym(s), BLANK, scan[p], BLANK, HeadMove::Stay, TreeDir::Right);
+            b.simple(
+                scan[p],
+                Label::Sym(s),
+                BLANK,
+                chk[p],
+                BLANK,
+                HeadMove::Stay,
+                TreeDir::Stay,
+            );
+            b.simple(
+                scan[p],
+                Label::Sym(s),
+                BLANK,
+                scan[p],
+                BLANK,
+                HeadMove::Stay,
+                TreeDir::Right,
+            );
             // Check a node at parity p: descend into its child list.
-            b.simple(chk[p], Label::Sym(s), BLANK, chk[p], BLANK, HeadMove::Stay, TreeDir::Down);
+            b.simple(
+                chk[p],
+                Label::Sym(s),
+                BLANK,
+                chk[p],
+                BLANK,
+                HeadMove::Stay,
+                TreeDir::Down,
+            );
         }
         // End of a child list: this universal branch is satisfied.
-        b.simple(scan[p], Label::DelimClose, BLANK, acc, BLANK, HeadMove::Stay, TreeDir::Stay);
+        b.simple(
+            scan[p],
+            Label::DelimClose,
+            BLANK,
+            acc,
+            BLANK,
+            HeadMove::Stay,
+            TreeDir::Stay,
+        );
         // chk_p descended to ⊳: children live at parity 1-p.
-        b.simple(chk[p], Label::DelimOpen, BLANK, scan[1 - p], BLANK, HeadMove::Stay, TreeDir::Right);
+        b.simple(
+            chk[p],
+            Label::DelimOpen,
+            BLANK,
+            scan[1 - p],
+            BLANK,
+            HeadMove::Stay,
+            TreeDir::Right,
+        );
     }
     // chk_p descended to △: the node is a leaf at parity p — accept iff
     // p = 0 (even); stuck (reject this branch) otherwise.
-    b.simple(chk[0], Label::DelimLeaf, BLANK, acc, BLANK, HeadMove::Stay, TreeDir::Stay);
+    b.simple(
+        chk[0],
+        Label::DelimLeaf,
+        BLANK,
+        acc,
+        BLANK,
+        HeadMove::Stay,
+        TreeDir::Stay,
+    );
     b.build()
 }
 
@@ -378,7 +704,10 @@ mod tests {
         for seed in 0..25 {
             let t = random_tree(&cfg, seed);
             let r = run_xtm_on_tree(&m, &t, XtmLimits::default());
-            assert!(!matches!(r.halt, crate::machine::XtmHalt::Cycle), "seed {seed}");
+            assert!(
+                !matches!(r.halt, crate::machine::XtmHalt::Cycle),
+                "seed {seed}"
+            );
             assert_eq!(r.accepted(), oracle_leaf_count_even(&t), "seed {seed}");
         }
     }
@@ -440,12 +769,19 @@ mod tests {
 
     #[test]
     fn root_value_machine_matches_oracle() {
-        let (v, cfg) = cfgs(20);
+        // Two value pools: the narrow one makes the root value likely to
+        // recur at a leaf, the wide one makes it likely to be unique —
+        // together the seeds exercise both outcomes.
+        let mut v = Vocab::new();
+        let narrow = TreeGenConfig::example32(&mut v, 20, &[1, 2, 3]);
+        let wide_vals: Vec<i64> = (1..=64).collect();
+        let wide = TreeGenConfig::example32(&mut v, 20, &wide_vals);
         let a = v.attr_opt("a").unwrap();
-        let m = root_value_at_some_leaf(&cfg.symbols, a);
+        let m = root_value_at_some_leaf(&narrow.symbols, a);
         let (mut yes, mut no) = (0, 0);
         for seed in 0..30 {
-            let t = random_tree(&cfg, seed);
+            let cfg = if seed % 2 == 0 { &narrow } else { &wide };
+            let t = random_tree(cfg, seed);
             let r = run_xtm_on_tree(&m, &t, XtmLimits::default());
             let expect = oracle_root_value_at_some_leaf(&t, a);
             assert_eq!(r.accepted(), expect, "seed {seed}");
@@ -465,9 +801,13 @@ mod tests {
         let m = alt_all_leaves_even_depth(&[s]);
         // Perfect binary trees: depth 2 → accept, depth 3 → reject.
         let t2 = perfect_tree(s, 2, 2);
-        assert!(run_alternating(&m, &twq_tree::DelimTree::build(&t2), XtmLimits::default()).accepted);
+        assert!(
+            run_alternating(&m, &twq_tree::DelimTree::build(&t2), XtmLimits::default()).accepted
+        );
         let t3 = perfect_tree(s, 2, 3);
-        assert!(!run_alternating(&m, &twq_tree::DelimTree::build(&t3), XtmLimits::default()).accepted);
+        assert!(
+            !run_alternating(&m, &twq_tree::DelimTree::build(&t3), XtmLimits::default()).accepted
+        );
     }
 
     #[test]

@@ -352,11 +352,11 @@ mod tests {
         let m = tm_leaf_count_even();
         let mut v = Vocab::new();
         for (src, expect) in [
-            ("a", false),          // 1 leaf
-            ("a(b)", false),       // 1 leaf
-            ("a(b,c)", true),      // 2 leaves
-            ("a(b(c),d)", true),   // 2 leaves
-            ("a(b,c,d)", false),   // 3 leaves
+            ("a", false),        // 1 leaf
+            ("a(b)", false),     // 1 leaf
+            ("a(b,c)", true),    // 2 leaves
+            ("a(b(c),d)", true), // 2 leaves
+            ("a(b,c,d)", false), // 3 leaves
         ] {
             let t = parse_tree(src, &mut v).unwrap();
             let input = to_bytes(&encode(&t, &[]));
@@ -372,7 +372,10 @@ mod tests {
         let cfg = TreeGenConfig::example32(&mut v, 31, &[1]);
         for seed in 0..20 {
             let n = 20 + (seed as usize % 5);
-            let cfg_n = twq_tree::generate::TreeGenConfig { nodes: n, ..cfg.clone() };
+            let cfg_n = twq_tree::generate::TreeGenConfig {
+                nodes: n,
+                ..cfg.clone()
+            };
             let t = random_tree(&cfg_n, seed);
             let input = to_bytes(&encode(&t, &[]));
             let r = run_tm(&m, &input, 10_000_000);

@@ -31,7 +31,11 @@ fn main() {
     for src in inputs {
         let t = parse_tree(src, &mut vocab).expect("valid term syntax");
         let report = run_on_tree(&ex.program, &t, Limits::default());
-        let verdict = if report.accepted() { "ACCEPT" } else { "reject" };
+        let verdict = if report.accepted() {
+            "ACCEPT"
+        } else {
+            "reject"
+        };
         println!(
             "{verdict}  {:<55}  steps={:<4} atp={} subs={}",
             tree_to_string(&t, &vocab),

@@ -34,7 +34,11 @@ fn main() {
         let h1 = random_hyperset(&cfg, seed);
         let h2 = random_hyperset(&cfg, seed + 50);
         for (tag, f, g) in [
-            ("same ", encode(&h1, &markers), encode_shuffled(&h1, &markers, seed)),
+            (
+                "same ",
+                encode(&h1, &markers),
+                encode_shuffled(&h1, &markers, seed),
+            ),
             ("indep", encode(&h1, &markers), encode(&h2, &markers)),
         ] {
             let mut w = f.clone();
@@ -63,7 +67,11 @@ fn main() {
             "  |f|={} |g|={} → {}  messages={} distinct={} crossings={} atp-requests={}",
             f.len(),
             g.len(),
-            if report.accepted() { "accept" } else { "reject" },
+            if report.accepted() {
+                "accept"
+            } else {
+                "reject"
+            },
             report.messages,
             report.distinct_messages,
             report.crossings,

@@ -46,10 +46,7 @@ fn main() {
         let t = word_tree(&word);
         let walked = run_on_tree(&walker, &t, Limits::default()).accepted();
         assert_eq!(direct, walked, "the embedding is exact");
-        let rendered: Vec<&str> = word
-            .iter()
-            .map(|&s| vocab.sym_name(s))
-            .collect();
+        let rendered: Vec<&str> = word.iter().map(|&s| vocab.sym_name(s)).collect();
         println!(
             "  {:<12} 2DFA: {:<7} TW walker: {}",
             rendered.join(""),
@@ -61,17 +58,17 @@ fn main() {
     // ----- a traced tw^{r,l} run -----------------------------------------
     println!("\n== Example 3.2, traced (first 14 configurations) ==");
     let ex = examples::example_32(&mut vocab);
-    let t = parse_tree(
-        "sigma[a=9](delta[a=9](sigma[a=1],sigma[a=1]))",
-        &mut vocab,
-    )
-    .unwrap();
+    let t = parse_tree("sigma[a=9](delta[a=9](sigma[a=1],sigma[a=1]))", &mut vocab).unwrap();
     let dt = DelimTree::build(&t);
     let (report, trace) = run_traced(&ex.program, &dt, Limits::default(), 14);
     print!("{}", display_trace(&trace, &ex.program, &dt, &vocab));
     println!(
         "…{} steps total, verdict: {}",
         report.steps,
-        if report.accepted() { "accept" } else { "reject" }
+        if report.accepted() {
+            "accept"
+        } else {
+            "reject"
+        }
     );
 }

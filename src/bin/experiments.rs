@@ -6,13 +6,24 @@
 //! with the *shape* of the result (agreement, polynomial vs. exponential
 //! scaling, message bounds) printed as a table.
 //!
+//! Every table flows through the `twq-obs` reporting layer, so the same
+//! stream renders two ways:
+//!
 //! ```sh
-//! cargo run --release --bin experiments
+//! cargo run --release --bin experiments              # aligned text tables
+//! cargo run --release --bin experiments -- --json    # one JSON record per row
+//! cargo run --release --bin experiments -- --profile # + hot-state profiles
 //! ```
+//!
+//! `--profile` re-runs one representative workload per complexity-class
+//! experiment (E1, E3–E6) under a [`MetricsCollector`] and reports the
+//! top-k states by interpreter steps — per-state evidence for the
+//! theorem's resource claim.
 
-use twq::automata::{examples, run, run_graph, Limits, TwClass};
+use twq::automata::{examples, run, run_graph, run_with, Limits, State, TwClass, TwProgram};
 use twq::logic::eval_sentence;
 use twq::logic::types::{count_classes, TypeConfig};
+use twq::obs::{col, Cell, HumanReporter, JsonlReporter, MetricsCollector, Reporter, RunMetrics};
 use twq::protocol::{
     at_most_k_values_program, counting_table, encode, encode_shuffled, in_lm, lm_sentence,
     random_hyperset, run_protocol, split_string_tree, HyperGenConfig, Markers,
@@ -25,34 +36,92 @@ use twq::xtm::machine::{run_xtm, XtmLimits};
 use twq::xtm::tm::tm_leaf_count_even;
 use twq::xtm::{encode as xenc, machines, run_alternating, run_tm, to_bytes};
 
-fn header(id: &str, claim: &str) {
-    println!("\n== {id} — {claim} ==");
-}
-
 fn main() {
-    e1_example32();
-    e2_xpath();
-    e3_logspace_pebbles();
-    e4_twl_ptime();
-    e5_twr_pspace();
-    e6_twrl_exptime();
-    e7_lm_fo();
-    e8_protocol();
-    e9_counting();
-    e10_types();
-    e11_xtm_vs_tm();
-    e12_prop72();
-    e13_alternation();
-    println!("\nall experiments completed.");
+    let (mut json, mut profile) = (false, false);
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--profile" => profile = true,
+            other => {
+                eprintln!("unknown argument `{other}` (expected --json and/or --profile)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut rep: Box<dyn Reporter> = if json {
+        Box::new(JsonlReporter::stdout())
+    } else {
+        Box::new(HumanReporter::stdout())
+    };
+    let rep = rep.as_mut();
+    e1_example32(rep, profile);
+    e2_xpath(rep);
+    e3_logspace_pebbles(rep, profile);
+    e4_twl_ptime(rep, profile);
+    e5_twr_pspace(rep, profile);
+    e6_twrl_exptime(rep, profile);
+    e7_lm_fo(rep);
+    e8_protocol(rep);
+    e9_counting(rep);
+    e10_types(rep);
+    e11_xtm_vs_tm(rep);
+    e12_prop72(rep);
+    e13_alternation(rep);
+    if !json {
+        println!("\nall experiments completed.");
+    }
 }
 
-fn e1_example32() {
-    header("E1", "Example 3.2: the worked tw^{r,l} automaton vs its oracle");
+/// The `--profile` view: top-k states by interpreter steps, with the
+/// share of the run's total each is responsible for.
+fn hot_states(rep: &mut dyn Reporter, prog: &TwProgram, m: &RunMetrics, label: &'static str) {
+    rep.table(
+        Some(label),
+        2,
+        &[col("state", 20), col("steps", 10), col("share", 7)],
+    );
+    let total = m.steps.max(1);
+    for (q, steps) in m.top_states(5) {
+        rep.row(&[
+            Cell::str(prog.state_name(State(q as u16))),
+            steps.into(),
+            Cell::float(steps as f64 / total as f64, 3),
+        ]);
+    }
+}
+
+/// The `--profile` one-line summary of a measured run.
+fn profile_note(rep: &mut dyn Reporter, what: &str, m: &RunMetrics) {
+    rep.note(&format!(
+        "profile ({what}): halt {}, steps {}, max atp depth {}, max atp fan-out {}, \
+         max store tuples {}, max tracked configs {}",
+        m.halt.map_or("?", |h| h.name()),
+        m.steps,
+        m.max_atp_depth,
+        m.max_atp_fanout,
+        m.max_store_tuples,
+        m.max_tracked_configs,
+    ));
+}
+
+fn e1_example32(rep: &mut dyn Reporter, profile: bool) {
+    rep.experiment(
+        "E1",
+        "Example 3.2: the worked tw^{r,l} automaton vs its oracle",
+    );
     let mut vocab = Vocab::new();
     let ex = examples::example_32(&mut vocab);
-    println!(
-        "{:>6} {:>8} {:>10} {:>10} {:>12} {:>9}",
-        "n", "accepts", "steps", "subcomps", "configs(gr)", "agree"
+    rep.table(
+        None,
+        0,
+        &[
+            col("n", 6),
+            col("accepts", 8),
+            col("steps", 10),
+            col("subcomps", 10),
+            col("configs(gr)", 12),
+            col("agree", 9),
+        ],
     );
     for n in [20usize, 60, 180, 540] {
         // Half the trials use a single-value pool (always accepted) so the
@@ -74,24 +143,44 @@ fn e1_example32() {
             subs += r.subcomputations;
             configs += g.distinct_configs as u64;
         }
-        println!(
-            "{:>6} {:>7}/{} {:>10} {:>10} {:>12} {:>9}",
-            n,
-            acc,
-            trials,
-            steps / trials,
-            subs / trials,
-            configs / trials,
-            agree
-        );
+        rep.row(&[
+            n.into(),
+            Cell::str(format!("{acc}/{trials}")),
+            (steps / trials).into(),
+            (subs / trials).into(),
+            (configs / trials).into(),
+            agree.into(),
+        ]);
+    }
+    if profile {
+        let cfg = TreeGenConfig::example32(&mut vocab, 540, &[1, 2]);
+        let dt = DelimTree::build(&random_tree(&cfg, 0));
+        let mut mc = MetricsCollector::new();
+        run_with(&ex.program, &dt, Limits::default(), &mut mc);
+        let m = mc.into_metrics();
+        profile_note(rep, "n=540, seed 0", &m);
+        hot_states(rep, &ex.program, &m, "hot-states");
     }
 }
 
-fn e2_xpath() {
-    header("E2", "Section 2.3: XPath ≡ compiled FO(∃*) selector");
+fn e2_xpath(rep: &mut dyn Reporter) {
+    rep.experiment("E2", "Section 2.3: XPath ≡ compiled FO(∃*) selector");
     let mut vocab = Vocab::new();
-    let queries = ["sigma/delta", "//delta[sigma]", "sigma//sigma[@a=1] | delta"];
-    println!("{:>6} {:>34} {:>9} {:>7}", "n", "query", "selected", "agree");
+    let queries = [
+        "sigma/delta",
+        "//delta[sigma]",
+        "sigma//sigma[@a=1] | delta",
+    ];
+    rep.table(
+        None,
+        0,
+        &[
+            col("n", 6),
+            col("query", 34),
+            col("selected", 9),
+            col("agree", 7),
+        ],
+    );
     for n in [30usize, 90, 270] {
         let cfg = TreeGenConfig::example32(&mut vocab, n, &[1, 2]);
         let t = random_tree(&cfg, 3);
@@ -101,19 +190,18 @@ fn e2_xpath() {
             let direct = eval_from(&t, &path, t.root());
             let logical: std::collections::BTreeSet<_> =
                 phi.select(&t, t.root()).into_iter().collect();
-            println!(
-                "{:>6} {:>34} {:>9} {:>7}",
-                n,
-                q,
-                direct.len(),
-                direct == logical
-            );
+            rep.row(&[
+                n.into(),
+                q.into(),
+                direct.len().into(),
+                (direct == logical).into(),
+            ]);
         }
     }
 }
 
-fn e3_logspace_pebbles() {
-    header(
+fn e3_logspace_pebbles(rep: &mut dyn Reporter, profile: bool) {
+    rep.experiment(
         "E3",
         "Theorem 7.1(1): logspace xTM ≡ compiled TW pebble walker (unique IDs)",
     );
@@ -128,16 +216,24 @@ fn e3_logspace_pebbles() {
         ),
     ] {
         let prog = compile_logspace(&machine, &base.symbols, id, &mut vocab).unwrap();
-        println!(
+        rep.note(&format!(
             "{name}: compiled to class {} ({} states, {} pebble registers)",
             prog.program.classify(),
             prog.program.state_count(),
             prog.program.reg_count()
+        ));
+        rep.table(
+            Some(name),
+            2,
+            &[
+                col("n", 4),
+                col("xTM-steps", 10),
+                col("cells", 7),
+                col("TW-steps", 12),
+                col("agree", 7),
+            ],
         );
-        println!(
-            "  {:>4} {:>10} {:>7} {:>12} {:>7}",
-            "n", "xTM-steps", "cells", "TW-steps", "agree"
-        );
+        let mut prof: Option<RunMetrics> = None;
         for n in [4usize, 6, 8] {
             // Chains give leftmost_depth_even a growing spine; random
             // trees exercise leaf_count_even. Use chains for both — the
@@ -155,21 +251,31 @@ fn e3_logspace_pebbles() {
             let mut dt = DelimTree::build(&t);
             dt.assign_unique_ids(id, &mut vocab);
             let xr = run_xtm(&machine, &dt, XtmLimits::default());
-            let pr = run(&prog.program, &dt, Limits::long_walk());
-            println!(
-                "  {:>4} {:>10} {:>7} {:>12} {:>7}",
-                n,
-                xr.steps,
-                xr.space,
-                pr.steps,
-                xr.accepted() == pr.accepted()
-            );
+            let pr = if profile && n == 8 {
+                let mut mc = MetricsCollector::new();
+                let r = run_with(&prog.program, &dt, Limits::long_walk(), &mut mc);
+                prof = Some(mc.into_metrics());
+                r
+            } else {
+                run(&prog.program, &dt, Limits::long_walk())
+            };
+            rep.row(&[
+                n.into(),
+                xr.steps.into(),
+                xr.space.into(),
+                pr.steps.into(),
+                (xr.accepted() == pr.accepted()).into(),
+            ]);
+        }
+        if let Some(m) = prof {
+            profile_note(rep, "n=8", &m);
+            hot_states(rep, &prog.program, &m, "hot-states");
         }
     }
 }
 
-fn e4_twl_ptime() {
-    header(
+fn e4_twl_ptime(rep: &mut dyn Reporter, profile: bool) {
+    rep.experiment(
         "E4",
         "Theorem 7.1(2): tw^l configuration count grows polynomially (PTIME)",
     );
@@ -178,10 +284,17 @@ fn e4_twl_ptime() {
     let a = vocab.attr_opt("a").unwrap();
     let prog = examples::parent_child_match_program(&cfg0.symbols, a);
     assert_eq!(prog.classify(), TwClass::TwL);
-    println!(
-        "{:>6} {:>12} {:>14} {:>18}",
-        "n", "configs", "configs/node", "bound |Q|·N·(n+1)"
+    rep.table(
+        None,
+        0,
+        &[
+            col("n", 6),
+            col("configs", 12),
+            col("configs/node", 14),
+            col("bound |Q|·N·(n+1)", 18),
+        ],
     );
+    let mut prof: Option<RunMetrics> = None;
     for n in [20usize, 60, 180, 540] {
         // Every node gets a distinct value: no parent-child match exists,
         // so the program performs its full polynomial sweep (worst case).
@@ -201,19 +314,27 @@ fn e4_twl_ptime() {
         assert!(!g.accepted(), "distinct values admit no match");
         let dn = dt.tree().len();
         let bound = prog.state_count() * dn * (n + 1);
-        println!(
-            "{:>6} {:>12} {:>14.2} {:>18}",
-            n,
-            g.distinct_configs,
-            g.distinct_configs as f64 / dn as f64,
-            bound
-        );
+        rep.row(&[
+            n.into(),
+            g.distinct_configs.into(),
+            Cell::float(g.distinct_configs as f64 / dn as f64, 2),
+            bound.into(),
+        ]);
         assert!(g.distinct_configs <= bound);
+        if profile && n == 20 {
+            let mut mc = MetricsCollector::new();
+            run_with(&prog, &dt, Limits::default(), &mut mc);
+            prof = Some(mc.into_metrics());
+        }
+    }
+    if let Some(m) = prof {
+        profile_note(rep, "direct engine, n=20", &m);
+        hot_states(rep, &prog, &m, "hot-states");
     }
 }
 
-fn e5_twr_pspace() {
-    header(
+fn e5_twr_pspace(rep: &mut dyn Reporter, profile: bool) {
+    rep.experiment(
         "E5",
         "Theorem 7.1(3): compiled tw^r keeps a linear store (PSPACE shape)",
     );
@@ -222,10 +343,18 @@ fn e5_twr_pspace() {
     let id = vocab.attr("id");
     let machine = machines::leaf_count_even(&base.symbols);
     let prog = compile_pspace(&machine, &base.symbols, id, &mut vocab).unwrap();
-    println!(
-        "{:>6} {:>8} {:>10} {:>12} {:>7}",
-        "n", "N(delim)", "steps", "max tuples", "agree"
+    rep.table(
+        None,
+        0,
+        &[
+            col("n", 6),
+            col("N(delim)", 8),
+            col("steps", 10),
+            col("max tuples", 12),
+            col("agree", 7),
+        ],
     );
+    let mut prof: Option<RunMetrics> = None;
     for n in [8usize, 16, 32, 64] {
         let cfg = TreeGenConfig {
             nodes: n,
@@ -235,30 +364,48 @@ fn e5_twr_pspace() {
         let mut dt = DelimTree::build(&t);
         dt.assign_unique_ids(id, &mut vocab);
         let xr = run_xtm(&machine, &dt, XtmLimits::default());
-        let sr = run(&prog.program, &dt, Limits::long_walk());
-        println!(
-            "{:>6} {:>8} {:>10} {:>12} {:>7}",
-            n,
-            dt.tree().len(),
-            sr.steps,
-            sr.max_store_tuples,
-            xr.accepted() == sr.accepted()
-        );
+        let sr = if profile && n == 64 {
+            let mut mc = MetricsCollector::new();
+            let r = run_with(&prog.program, &dt, Limits::long_walk(), &mut mc);
+            prof = Some(mc.into_metrics());
+            r
+        } else {
+            run(&prog.program, &dt, Limits::long_walk())
+        };
+        rep.row(&[
+            n.into(),
+            dt.tree().len().into(),
+            sr.steps.into(),
+            sr.max_store_tuples.into(),
+            (xr.accepted() == sr.accepted()).into(),
+        ]);
+    }
+    if let Some(m) = prof {
+        profile_note(rep, "n=64", &m);
+        hot_states(rep, &prog.program, &m, "hot-states");
     }
 }
 
-fn e6_twrl_exptime() {
-    header(
+fn e6_twrl_exptime(rep: &mut dyn Reporter, profile: bool) {
+    rep.experiment(
         "E6",
         "Theorem 7.1(4): tw^{r,l} registers range over subsets (EXPTIME bound)",
     );
     let mut vocab = Vocab::new();
     let cfg0 = TreeGenConfig::example32(&mut vocab, 1, &[1]);
     let a = vocab.attr_opt("a").unwrap();
-    println!(
-        "{:>4} {:>10} {:>14} {:>22} {:>22}",
-        "k", "accepts", "store tuples", "tw^l-style bound", "tw^{r,l} bound 2^v"
+    rep.table(
+        None,
+        0,
+        &[
+            col("k", 4),
+            col("accepts", 10),
+            col("store tuples", 14),
+            col("tw^l-style bound", 22),
+            col("tw^{r,l} bound 2^v", 22),
+        ],
     );
+    let mut prof: Option<(TwProgram, RunMetrics)> = None;
     for k in [2usize, 4, 6, 8] {
         let values: Vec<Value> = (1..=k as i64).map(|i| vocab.val_int(i)).collect();
         let prog = examples::distinct_values_at_least(&cfg0.symbols, a, k);
@@ -269,29 +416,46 @@ fn e6_twrl_exptime() {
         };
         let t = random_tree(&cfg, 11);
         let dt = DelimTree::build(&t);
-        let r = run(&prog, &dt, Limits::default());
+        let r = if profile && k == 8 {
+            let mut mc = MetricsCollector::new();
+            let r = run_with(&prog, &dt, Limits::default(), &mut mc);
+            prof = Some((prog.clone(), mc.into_metrics()));
+            r
+        } else {
+            run(&prog, &dt, Limits::default())
+        };
         let n = dt.tree().len();
-        println!(
-            "{:>4} {:>10} {:>14} {:>22} {:>22}",
-            k,
-            r.accepted(),
-            r.max_store_tuples,
-            prog.state_count() * n * (k + 1),
-            format!("{}·2^{}", prog.state_count() * n, k),
-        );
+        rep.row(&[
+            k.into(),
+            r.accepted().into(),
+            r.max_store_tuples.into(),
+            (prog.state_count() * n * (k + 1)).into(),
+            Cell::str(format!("{}·2^{}", prog.state_count() * n, k)),
+        ]);
+    }
+    if let Some((prog, m)) = prof {
+        profile_note(rep, "k=8", &m);
+        hot_states(rep, &prog, &m, "hot-states");
     }
 }
 
-fn e7_lm_fo() {
-    header("E7", "Lemma 4.2: L^m is FO-definable (sentence ≡ decoder)");
+fn e7_lm_fo(rep: &mut dyn Reporter) {
+    rep.experiment("E7", "Lemma 4.2: L^m is FO-definable (sentence ≡ decoder)");
     let mut vocab = Vocab::new();
     let markers = Markers::new(2, &mut vocab);
     let data: Vec<Value> = (100..104).map(|i| vocab.val_int(i)).collect();
     let sym = vocab.sym("s");
     let attr = vocab.attr("a");
-    println!(
-        "{:>3} {:>14} {:>8} {:>8} {:>7}",
-        "m", "formula size", "in-L^m", "out-L^m", "agree"
+    rep.table(
+        None,
+        0,
+        &[
+            col("m", 3),
+            col("formula size", 14),
+            col("in-L^m", 8),
+            col("out-L^m", 8),
+            col("agree", 7),
+        ],
     );
     for m in [1usize, 2] {
         let phi = lm_sentence(m, attr, &markers);
@@ -322,19 +486,18 @@ fn e7_lm_fo() {
                 }
             }
         }
-        println!(
-            "{:>3} {:>14} {:>8} {:>8} {:>7}",
-            m,
-            phi.size(),
-            inn,
-            out,
-            agree
-        );
+        rep.row(&[
+            m.into(),
+            phi.size().into(),
+            Cell::int(inn),
+            Cell::int(out),
+            agree.into(),
+        ]);
     }
 }
 
-fn e8_protocol() {
-    header(
+fn e8_protocol(rep: &mut dyn Reporter) {
+    rep.experiment(
         "E8",
         "Lemma 4.5: protocol ≡ direct run; alphabet does not grow with input",
     );
@@ -345,58 +508,76 @@ fn e8_protocol() {
     let attr = vocab.attr("a");
     let atp_prog = at_most_k_values_program(sym, attr, 4);
     let walker = examples::traversal_program(&[sym]);
-    println!(
-        "{:>18} {:>6} {:>8} {:>10} {:>10} {:>11} {:>7}",
-        "program", "|f|=|g|", "verdict", "messages", "distinct", "crossings", "agree"
+    rep.table(
+        None,
+        0,
+        &[
+            col("program", 18),
+            col("|f|=|g|", 6),
+            col("verdict", 8),
+            col("messages", 10),
+            col("distinct", 10),
+            col("crossings", 11),
+            col("agree", 7),
+        ],
     );
-    for (name, prog) in [("atp(at-most-4)", &atp_prog), ("walking traversal", &walker)] {
+    for (name, prog) in [
+        ("atp(at-most-4)", &atp_prog),
+        ("walking traversal", &walker),
+    ] {
         for len in [2usize, 4, 8, 16, 32] {
             let f: Vec<Value> = (0..len).map(|i| data[i % data.len()]).collect();
             let g: Vec<Value> = (0..len).map(|i| data[(i + 1) % data.len()]).collect();
             let p = run_protocol(prog, &f, &g, &markers, sym, attr, Limits::default());
             let t = split_string_tree(&f, &g, &markers, sym, attr);
             let d = twq::automata::run_on_tree(prog, &t, Limits::default());
-            println!(
-                "{:>18} {:>6} {:>8} {:>10} {:>10} {:>11} {:>7}",
-                name,
-                len,
-                if p.accepted() { "accept" } else { "reject" },
-                p.messages,
-                p.distinct_messages,
-                p.crossings,
-                p.accepted() == d.accepted()
-            );
+            rep.row(&[
+                name.into(),
+                len.into(),
+                if p.accepted() { "accept" } else { "reject" }.into(),
+                p.messages.into(),
+                p.distinct_messages.into(),
+                p.crossings.into(),
+                (p.accepted() == d.accepted()).into(),
+            ]);
         }
     }
 }
 
-fn e9_counting() {
-    header(
+fn e9_counting(rep: &mut dyn Reporter) {
+    rep.experiment(
         "E9",
         "Lemma 4.6 / Theorem 4.1: hypersets out-tower any dialogue bound",
     );
-    println!(
-        "{:>3} {:>5} {:>28} {:>30} {:>12}",
-        "m", "|D|", "exp_m(|D|) hypersets", "(|Δ|+1)^(2|Δ|) dialogues", "pigeonhole"
+    rep.table(
+        None,
+        0,
+        &[
+            col("m", 3),
+            col("|D|", 5),
+            col("exp_m(|D|) hypersets", 28),
+            col("(|Δ|+1)^(2|Δ|) dialogues", 30),
+            col("pigeonhole", 12),
+        ],
     );
     for row in counting_table(&[1, 2, 3, 4, 5, 6, 7], &[2, 3], 0) {
-        println!(
-            "{:>3} {:>5} {:>28} {:>30} {:>12}",
-            row.m,
-            row.d,
-            row.hypersets,
-            row.dialogues,
+        rep.row(&[
+            u64::from(row.m).into(),
+            Cell::int(i64::try_from(row.d).unwrap_or(i64::MAX)),
+            row.hypersets.into(),
+            row.dialogues.into(),
             match row.pigeonhole {
                 Some(true) => "YES",
                 Some(false) => "not yet",
                 None => "(towering)",
             }
-        );
+            .into(),
+        ]);
     }
 }
 
-fn e10_types() {
-    header(
+fn e10_types(rep: &mut dyn Reporter) {
+    rep.experiment(
         "E10",
         "Lemma 4.3(2): realized ≡_k classes stay bounded as strings grow",
     );
@@ -410,9 +591,14 @@ fn e10_types() {
         attrs: vec![a],
         dvalues: pool.clone(),
     };
-    println!(
-        "{:>8} {:>10} {:>16}",
-        "max len", "# strings", "# ≡_1 classes"
+    rep.table(
+        None,
+        0,
+        &[
+            col("max len", 8),
+            col("# strings", 10),
+            col("# ≡_1 classes", 16),
+        ],
     );
     for max_len in [2usize, 3, 4, 5] {
         let mut trees = Vec::new();
@@ -425,16 +611,21 @@ fn e10_types() {
             }
         }
         let classes = count_classes(trees.iter(), &cfg);
-        println!("{:>8} {:>10} {:>16}", max_len, trees.len(), classes);
+        rep.row(&[max_len.into(), trees.len().into(), classes.into()]);
     }
     // Lemma 4.3(1) companion: types compose over concatenation (the
     // checker panics on any violation).
     let checked = twq::logic::types::check_composition_on_strings(s, a, &pool, 4, &cfg);
-    println!("Lemma 4.3(1) composition: {checked} class pairs verified, no violations");
+    rep.note(&format!(
+        "Lemma 4.3(1) composition: {checked} class pairs verified, no violations"
+    ));
 }
 
-fn e11_xtm_vs_tm() {
-    header("E11", "Theorem 6.2: xTM on trees ≡ ordinary TM on encodings");
+fn e11_xtm_vs_tm(rep: &mut dyn Reporter) {
+    rep.experiment(
+        "E11",
+        "Theorem 6.2: xTM on trees ≡ ordinary TM on encodings",
+    );
     let mut vocab = Vocab::new();
     let base = TreeGenConfig::example32(&mut vocab, 1, &[1]);
     let pairs: Vec<(&str, twq::xtm::Xtm, twq::xtm::Tm)> = vec![
@@ -454,9 +645,17 @@ fn e11_xtm_vs_tm() {
             twq::xtm::tm::tm_leftmost_depth_even(),
         ),
     ];
-    println!(
-        "{:>20} {:>6} {:>11} {:>11} {:>12} {:>7}",
-        "language", "n", "xTM steps", "TM steps", "|encoding|", "agree"
+    rep.table(
+        None,
+        0,
+        &[
+            col("language", 20),
+            col("n", 6),
+            col("xTM steps", 11),
+            col("TM steps", 11),
+            col("|encoding|", 12),
+            col("agree", 7),
+        ],
     );
     for (name, xtm, tm) in &pairs {
         for n in [30usize, 90, 270] {
@@ -469,28 +668,30 @@ fn e11_xtm_vs_tm() {
             let input = to_bytes(&xenc(&t, &[]));
             let xr = run_xtm(xtm, &dt, XtmLimits::default());
             let tr = run_tm(tm, &input, 100_000_000);
-            println!(
-                "{:>20} {:>6} {:>11} {:>11} {:>12} {:>7}",
-                name,
-                n,
-                xr.steps,
-                tr.steps,
-                input.len(),
-                xr.accepted() == tr.accepted()
-            );
+            rep.row(&[
+                (*name).into(),
+                n.into(),
+                xr.steps.into(),
+                tr.steps.into(),
+                input.len().into(),
+                (xr.accepted() == tr.accepted()).into(),
+            ]);
         }
     }
 }
 
-fn e12_prop72() {
-    header("E12", "Proposition 7.2 (A=∅): store folds into states, language preserved");
+fn e12_prop72(rep: &mut dyn Reporter) {
+    rep.experiment(
+        "E12",
+        "Proposition 7.2 (A=∅): store folds into states, language preserved",
+    );
     let mut vocab = Vocab::new();
     let base = TreeGenConfig::example32(&mut vocab, 1, &[]);
     let sigma = Label::Sym(base.symbols[0]);
     let delta = Label::Sym(base.symbols[1]);
     let src = delta_count_mod3(sigma, delta, &mut vocab);
     let folded = eliminate_store(&src, 10_000).unwrap();
-    println!(
+    rep.note(&format!(
         "source: {} states, {} registers ({}); folded: {} states, {} registers ({})",
         src.state_count(),
         src.reg_count(),
@@ -498,8 +699,17 @@ fn e12_prop72() {
         folded.state_count(),
         folded.reg_count(),
         folded.classify()
+    ));
+    rep.table(
+        None,
+        0,
+        &[
+            col("n", 6),
+            col("src", 9),
+            col("folded", 9),
+            col("agree", 7),
+        ],
     );
-    println!("{:>6} {:>9} {:>9} {:>7}", "n", "src", "folded", "agree");
     for n in [30usize, 90, 270] {
         let cfg = TreeGenConfig {
             nodes: n,
@@ -509,27 +719,32 @@ fn e12_prop72() {
         let dt = DelimTree::build(&t);
         let a = run(&src, &dt, Limits::default());
         let b = run(&folded, &dt, Limits::default());
-        println!(
-            "{:>6} {:>9} {:>9} {:>7}",
-            n,
-            if a.accepted() { "accept" } else { "reject" },
-            if b.accepted() { "accept" } else { "reject" },
-            a.accepted() == b.accepted()
-        );
+        rep.row(&[
+            n.into(),
+            if a.accepted() { "accept" } else { "reject" }.into(),
+            if b.accepted() { "accept" } else { "reject" }.into(),
+            (a.accepted() == b.accepted()).into(),
+        ]);
     }
 }
 
-fn e13_alternation() {
-    header(
+fn e13_alternation(rep: &mut dyn Reporter) {
+    rep.experiment(
         "E13",
         "Alternation (ALOGSPACE=PTIME bridge): alternating xTM configs grow linearly",
     );
     let mut vocab = Vocab::new();
     let base = TreeGenConfig::example32(&mut vocab, 1, &[]);
     let m = machines::alt_all_leaves_even_depth(&base.symbols);
-    println!(
-        "{:>6} {:>9} {:>10} {:>14}",
-        "n", "verdict", "configs", "configs/node"
+    rep.table(
+        None,
+        0,
+        &[
+            col("n", 6),
+            col("verdict", 9),
+            col("configs", 10),
+            col("configs/node", 14),
+        ],
     );
     for n in [20usize, 60, 180, 540] {
         let cfg = TreeGenConfig {
@@ -539,12 +754,11 @@ fn e13_alternation() {
         let t = random_tree(&cfg, 19);
         let dt = DelimTree::build(&t);
         let r = run_alternating(&m, &dt, XtmLimits::default());
-        println!(
-            "{:>6} {:>9} {:>10} {:>14.2}",
-            n,
-            if r.accepted { "accept" } else { "reject" },
-            r.configs,
-            r.configs as f64 / dt.tree().len() as f64
-        );
+        rep.row(&[
+            n.into(),
+            if r.accepted { "accept" } else { "reject" }.into(),
+            r.configs.into(),
+            Cell::float(r.configs as f64 / dt.tree().len() as f64, 2),
+        ]);
     }
 }

@@ -26,7 +26,9 @@
 //!   relational tape) and the Proposition 7.2 store elimination;
 //! * [`protocol`] — hypersets, `L^m`, Lemma 4.2's FO sentences, the
 //!   Lemma 4.5 communication protocol, the Lemma 4.6 counting argument
-//!   (Section 4).
+//!   (Section 4);
+//! * [`obs`] — observability: zero-cost collectors, run metrics,
+//!   span-style event tracing, and the experiment reporting layer.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@
 
 pub use twq_automata as automata;
 pub use twq_logic as logic;
+pub use twq_obs as obs;
 pub use twq_protocol as protocol;
 pub use twq_sim as sim;
 pub use twq_tree as tree;

@@ -2,9 +2,7 @@
 //! inputs, and error paths that the per-module suites don't reach.
 
 use twq::automata::twir::{Cond, Instr, Source, WalkerBuilder};
-use twq::automata::{
-    examples, run_on_tree, Action, Dir, Halt, Limits, TwProgramBuilder,
-};
+use twq::automata::{examples, run_on_tree, Action, Dir, Halt, Limits, TwProgramBuilder};
 use twq::logic::exists::selectors;
 use twq::logic::store::sbuild::*;
 use twq::tree::{parse_tree, Label, Vocab};
@@ -51,7 +49,12 @@ fn overlapping_guards_fault_at_runtime() {
     b.initial(q0).final_state(qf);
     let r = b.register(1, twq::logic::Relation::singleton(one));
     // Both guards hold for X₁ = {1}.
-    b.rule(Label::DelimRoot, q0, rel(r, [cst(one)]), Action::Move(qf, Dir::Stay));
+    b.rule(
+        Label::DelimRoot,
+        q0,
+        rel(r, [cst(one)]),
+        Action::Move(qf, Dir::Stay),
+    );
     b.rule(
         Label::DelimRoot,
         q0,
@@ -127,10 +130,7 @@ fn twir_mixed_conditions() {
             ]),
             vec![Instr::Accept],
             vec![Instr::If(
-                Cond::Any(vec![
-                    Cond::LabelIs(Label::DelimLeaf),
-                    Cond::RegEmpty(r),
-                ]),
+                Cond::Any(vec![Cond::LabelIs(Label::DelimLeaf), Cond::RegEmpty(r)]),
                 vec![Instr::Fail],
                 vec![Instr::Fail],
             )],

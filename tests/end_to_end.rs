@@ -37,7 +37,11 @@ fn xpath_driven_program(
     b.rule_true(Label::DelimOpen, q1, Action::Move(q2, Dir::Right));
     for &s in &syms {
         b.rule_true(Label::Sym(s), q2, Action::Atp(chk, phi.clone(), q_sel, x1));
-        b.rule_true(Label::Sym(s), q_sel, Action::Update(q_f, eq(v(0), attr(a)), x1));
+        b.rule_true(
+            Label::Sym(s),
+            q_sel,
+            Action::Update(q_f, eq(v(0), attr(a)), x1),
+        );
         b.rule(
             Label::Sym(s),
             chk,
@@ -77,9 +81,13 @@ fn xpath_selector_feeds_atp() {
 fn compiled_selector_agrees_with_reference_on_random_docs() {
     let mut vocab = Vocab::new();
     let cfg = TreeGenConfig::example32(&mut vocab, 30, &[1, 2, 3]);
-    for (qi, query) in ["sigma/delta", "//delta[sigma]", "sigma//sigma[@a=1] | delta"]
-        .iter()
-        .enumerate()
+    for (qi, query) in [
+        "sigma/delta",
+        "//delta[sigma]",
+        "sigma//sigma[@a=1] | delta",
+    ]
+    .iter()
+    .enumerate()
     {
         let path = parse_xpath(query, &mut vocab).unwrap();
         let phi = compile(&path);

@@ -4,7 +4,9 @@
 use proptest::prelude::*;
 
 use twq::logic::eval::select as naive_select;
-use twq::protocol::{decode as hs_decode, encode, encode_shuffled, random_hyperset, HyperGenConfig, Markers};
+use twq::protocol::{
+    decode as hs_decode, encode, encode_shuffled, random_hyperset, HyperGenConfig, Markers,
+};
 use twq::tree::generate::{random_tree, TreeGenConfig};
 use twq::tree::order::{doc_index, doc_predecessor, doc_successor, node_at_doc_index};
 use twq::tree::{parse_tree, tree_to_string, DelimTree, Vocab};

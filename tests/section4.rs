@@ -5,9 +5,9 @@
 use twq::automata::{run_on_tree, Limits};
 use twq::logic::eval_sentence;
 use twq::protocol::{
-    at_most_k_values_program, encode, encode_shuffled, find_dialogue_collision, in_lm,
-    lm_sentence, oracle_at_most_k_values, random_hyperset, run_protocol, split_string_tree,
-    HyperGenConfig, Markers,
+    at_most_k_values_program, encode, encode_shuffled, find_dialogue_collision, in_lm, lm_sentence,
+    oracle_at_most_k_values, random_hyperset, run_protocol, split_string_tree, HyperGenConfig,
+    Markers,
 };
 use twq::tree::{Value, Vocab};
 
@@ -104,8 +104,24 @@ fn pigeonhole_collisions_force_equal_verdicts() {
     if h1 != h2 {
         let f1 = encode(&h1, &s.markers);
         let f2 = encode(&h2, &s.markers);
-        let diag = run_protocol(&prog, &f1, &f1, &s.markers, s.sym, s.attr, Limits::default());
-        let cross = run_protocol(&prog, &f1, &f2, &s.markers, s.sym, s.attr, Limits::default());
+        let diag = run_protocol(
+            &prog,
+            &f1,
+            &f1,
+            &s.markers,
+            s.sym,
+            s.attr,
+            Limits::default(),
+        );
+        let cross = run_protocol(
+            &prog,
+            &f1,
+            &f2,
+            &s.markers,
+            s.sym,
+            s.attr,
+            Limits::default(),
+        );
         assert_eq!(diag.accepted(), cross.accepted());
     }
 }

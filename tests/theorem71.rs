@@ -40,7 +40,11 @@ fn the_full_ladder_agrees() {
         // Resource regimes: xTM space logarithmic, pebble walker stores
         // only single IDs (max one tuple per register), tw^r store linear.
         let n = dt.tree().len();
-        assert!(xr.space <= (n.ilog2() as usize) + 3, "xTM space {}", xr.space);
+        assert!(
+            xr.space <= (n.ilog2() as usize) + 3,
+            "xTM space {}",
+            xr.space
+        );
         assert!(pr.max_store_tuples <= pebbles.program.reg_count());
         assert!(sr.max_store_tuples <= 2 * n + 16);
 
