@@ -22,13 +22,13 @@ fn bench(c: &mut Criterion) {
         let t = b.tree(n, &[1], 21);
         // Sanity: both evaluators agree.
         let fast = phi.select(&t, t.root());
-        let naive = naive_select(&t, &formula, phi.x(), t.root(), phi.y());
+        let naive = naive_select(&t, &formula, phi.x(), t.root(), phi.y()).unwrap();
         assert_eq!(fast, naive);
         group.bench_with_input(BenchmarkId::new("dnf_pruning", n), &t, |bch, t| {
             bch.iter(|| phi.select(t, t.root()))
         });
         group.bench_with_input(BenchmarkId::new("naive", n), &t, |bch, t| {
-            bch.iter(|| naive_select(t, &formula, phi.x(), t.root(), phi.y()))
+            bch.iter(|| naive_select(t, &formula, phi.x(), t.root(), phi.y()).unwrap())
         });
     }
     group.finish();

@@ -31,12 +31,12 @@ fn bench(c: &mut Criterion) {
         w.push(markers.hash());
         w.extend(g.iter().copied());
         let t = split_string_tree(&f, &g, &markers, sym, attr);
-        assert_eq!(in_lm(m, &w, &markers), eval_sentence(&t, &phi));
+        assert_eq!(in_lm(m, &w, &markers), eval_sentence(&t, &phi).unwrap());
         group.bench_with_input(BenchmarkId::new("decoder", m), &w, |bch, w| {
             bch.iter(|| in_lm(m, w, &markers))
         });
         group.bench_with_input(BenchmarkId::new("fo_sentence", m), &t, |bch, t| {
-            bch.iter(|| eval_sentence(t, &phi))
+            bch.iter(|| eval_sentence(t, &phi).unwrap())
         });
     }
     group.finish();

@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
     for n in [30usize, 90, 270] {
         let t = b.tree(n, &[1], 13);
         let dt = twq_tree::DelimTree::build(&t);
-        let input = to_bytes(&encode(&t, &[]));
+        let input = to_bytes(&encode(&t, &[]).unwrap());
         let xr = run_xtm(&xtm, &dt, XtmLimits::default());
         let tr = run_tm(&tm, &input, 100_000_000);
         assert_eq!(xr.accepted(), tr.accepted(), "Theorem 6.2");

@@ -19,6 +19,9 @@
 
 use std::collections::HashSet;
 
+use twq_guard::{
+    DepthKind, FaultKind, FaultSite, GaugeKind, Guard, GuardError, NullGuard, TripReason, TwqError,
+};
 use twq_logic::store::AttrEnv;
 use twq_logic::{eval_query, RegId, Relation, Store};
 use twq_obs::{Collector, FoEval, HaltKind, NullCollector};
@@ -48,8 +51,11 @@ pub struct Limits {
     /// Cycle-detection sampling interval: `1` records every configuration
     /// (exact, the default), `k > 1` records every `k`-th — a cycle of
     /// length `L` is still caught within `O(L·k)` steps, at `1/k` of the
-    /// bookkeeping cost. `0` disables detection (rely on `max_steps`).
-    /// Long-running compiled pebble walkers use a sparse interval.
+    /// bookkeeping cost. `0` disables cycle detection entirely: no
+    /// configurations are recorded, a looping run is stopped only by
+    /// `max_steps` (or a guard budget), and it reports [`Halt::StepLimit`]
+    /// — never [`Halt::Cycle`]. Long-running compiled pebble walkers use a
+    /// sparse interval.
     pub cycle_check_interval: u32,
 }
 
@@ -162,7 +168,7 @@ struct TraceBuf<'a> {
     cap: usize,
 }
 
-pub(crate) struct Exec<'a, C: Collector> {
+pub(crate) struct Exec<'a, C: Collector, G: Guard> {
     pub prog: &'a TwProgram,
     pub tree: &'a Tree,
     pub limits: Limits,
@@ -172,6 +178,10 @@ pub(crate) struct Exec<'a, C: Collector> {
     pub max_store_tuples: usize,
     pub max_chain_configs: usize,
     collector: &'a mut C,
+    guard: &'a mut G,
+    /// First guard trip, if any — surfaced as `Err(TwqError::Guard)` by the
+    /// guarded entry points; internally it unwinds as a limit-style [`Halt`].
+    trip: Option<GuardError>,
     trace: Option<TraceBuf<'a>>,
 }
 
@@ -192,12 +202,13 @@ impl ChainEnd {
     }
 }
 
-impl<'a, C: Collector> Exec<'a, C> {
+impl<'a, C: Collector, G: Guard> Exec<'a, C, G> {
     pub(crate) fn new(
         prog: &'a TwProgram,
         tree: &'a Tree,
         limits: Limits,
         collector: &'a mut C,
+        guard: &'a mut G,
     ) -> Self {
         Exec {
             prog,
@@ -209,8 +220,23 @@ impl<'a, C: Collector> Exec<'a, C> {
             max_store_tuples: 0,
             max_chain_configs: 0,
             collector,
+            guard,
+            trip: None,
             trace: None,
         }
+    }
+
+    /// Record a guard trip and translate it into the limit-style [`Halt`]
+    /// that unwinds the chain (mirroring `Halt::is_limit()`).
+    fn record_trip(&mut self, e: GuardError) -> Halt {
+        let halt = match e.reason {
+            TripReason::Depth { .. } => Halt::AtpDepthLimit,
+            _ => Halt::StepLimit,
+        };
+        if self.trip.is_none() {
+            self.trip = Some(e);
+        }
+        halt
     }
 
     /// Select the unique applicable rule for `cfg`, or report why none /
@@ -238,8 +264,9 @@ impl<'a, C: Collector> Exec<'a, C> {
         }
     }
 
-    /// Charge one transition: enforce the step budget, count the step, and
-    /// notify the collector. The single place step accounting happens.
+    /// Charge one transition: enforce the step budget and the guard's fuel
+    /// budget, count the step, and notify the collector. The single place
+    /// step accounting happens.
     fn tick(&mut self, cfg: &Config, depth: u32) -> Result<(), Halt> {
         if self.steps >= self.limits.max_steps {
             return Err(Halt::StepLimit);
@@ -247,6 +274,11 @@ impl<'a, C: Collector> Exec<'a, C> {
         self.steps += 1;
         self.collector
             .step(cfg.node.0 as u64, cfg.state.0 as u32, depth);
+        if G::ENABLED {
+            if let Err(e) = self.guard.tick() {
+                return Err(self.record_trip(e));
+            }
+        }
         Ok(())
     }
 
@@ -275,11 +307,21 @@ impl<'a, C: Collector> Exec<'a, C> {
             let tuples = cfg.store.total_tuples();
             self.max_store_tuples = self.max_store_tuples.max(tuples);
             self.collector.store_size(tuples);
+            if G::ENABLED {
+                if let Err(e) = self.guard.gauge(GaugeKind::StoreTuples, tuples) {
+                    return ChainEnd::Reject(self.record_trip(e));
+                }
+            }
             if interval > 0 && local_step.is_multiple_of(interval) {
                 if !seen.insert(cfg.clone()) {
                     return ChainEnd::Reject(Halt::Cycle);
                 }
                 self.collector.cycle_bookkeeping(seen.len());
+                if G::ENABLED {
+                    if let Err(e) = self.guard.gauge(GaugeKind::Configs, seen.len()) {
+                        return ChainEnd::Reject(self.record_trip(e));
+                    }
+                }
             }
             local_step += 1;
             self.max_chain_configs = self.max_chain_configs.max(seen.len());
@@ -290,6 +332,13 @@ impl<'a, C: Collector> Exec<'a, C> {
             };
             if let Err(h) = self.tick(&cfg, depth) {
                 return ChainEnd::Reject(h);
+            }
+            if G::ENABLED
+                && self.guard.fault_at(FaultSite::Transition) == Some(FaultKind::DropTransition)
+            {
+                // Injected fault: the selected rule is lost, as if no rule
+                // had applied — the chain ends stuck instead of progressing.
+                return ChainEnd::Reject(Halt::Stuck);
             }
             let rule = &self.prog.rules()[rule_idx];
             match &rule.action {
@@ -308,12 +357,24 @@ impl<'a, C: Collector> Exec<'a, C> {
                     self.collector.fo_eval(FoEval::Update);
                     let env = AttrEnv::of(self.tree, cfg.node);
                     let rel = eval_query(&cfg.store, &env, psi);
+                    if G::ENABLED
+                        && self.guard.fault_at(FaultSite::Store) == Some(FaultKind::CorruptStore)
+                    {
+                        // Injected fault: the write lands on a store reset
+                        // to its initial contents, wiping accumulated state.
+                        cfg.store = self.prog.initial_store();
+                    }
                     cfg.store.set(*i, rel);
                     cfg.state = *q;
                 }
                 Action::Atp(q, phi, p, i) => {
                     if depth >= self.limits.max_atp_depth {
                         return ChainEnd::Reject(Halt::AtpDepthLimit);
+                    }
+                    if G::ENABLED {
+                        if let Err(e) = self.guard.enter(DepthKind::Atp) {
+                            return ChainEnd::Reject(self.record_trip(e));
+                        }
                     }
                     self.atp_calls += 1;
                     let selected = phi.select_with(self.tree, cfg.node, self.collector);
@@ -334,14 +395,42 @@ impl<'a, C: Collector> Exec<'a, C> {
                                 // whole computation rejects."
                                 let h = if h.is_limit() { h } else { Halt::SubRejected };
                                 self.collector.atp_exit(depth);
+                                if G::ENABLED {
+                                    self.guard.exit(DepthKind::Atp);
+                                }
                                 return ChainEnd::Reject(h);
                             }
                         }
                     }
                     self.collector.atp_exit(depth);
+                    if G::ENABLED {
+                        self.guard.exit(DepthKind::Atp);
+                    }
                     cfg.store.set(*i, acc);
                     cfg.state = *q;
                 }
+            }
+        }
+    }
+
+    /// Run from the initial configuration `γ₀ = [root, q₀, τ₀]`, report the
+    /// halt to the collector, and surface any guard trip as a [`TwqError`]
+    /// enriched with the engine's own progress counters.
+    pub(crate) fn drive(&mut self) -> Result<RunReport, TwqError> {
+        let init = Config {
+            node: self.tree.root(),
+            state: self.prog.initial(),
+            store: self.prog.initial_store(),
+        };
+        let halt = self.run_chain(init, 0).halt();
+        self.collector.halt(halt.kind());
+        let report = self.report(halt);
+        match self.trip.take() {
+            None => Ok(report),
+            Some(mut e) => {
+                e.partial.fuel_spent = e.partial.fuel_spent.max(report.steps);
+                e.partial.max_gauge = e.partial.max_gauge.max(report.max_store_tuples);
+                Err(TwqError::Guard(e))
             }
         }
     }
@@ -373,16 +462,41 @@ pub fn run_with<C: Collector>(
     limits: Limits,
     collector: &mut C,
 ) -> RunReport {
-    let tree = delim.tree();
-    let mut exec = Exec::new(prog, tree, limits, collector);
-    let init = Config {
-        node: tree.root(),
-        state: prog.initial(),
-        store: prog.initial_store(),
-    };
-    let halt = exec.run_chain(init, 0).halt();
-    exec.collector.halt(halt.kind());
-    exec.report(halt)
+    let mut guard = NullGuard;
+    let mut exec = Exec::new(prog, delim.tree(), limits, collector, &mut guard);
+    exec.drive().expect("NullGuard never trips")
+}
+
+/// [`run`] under a resource [`Guard`]: the guard's fuel budget is charged
+/// once per transition, `atp` nesting is tracked as [`DepthKind::Atp`],
+/// store sizes and cycle-table sizes feed [`GaugeKind::StoreTuples`] /
+/// [`GaugeKind::Configs`], and fault plans may drop transitions or corrupt
+/// the store.
+///
+/// On a trip the run stops where it was and returns
+/// `Err(TwqError::Guard(_))` whose [`twq_guard::Partial`] records the steps
+/// taken and the store high-water mark — the `Result` analogue of a
+/// [`RunReport`] with `halt.is_limit()`.
+pub fn run_guarded<G: Guard>(
+    prog: &TwProgram,
+    delim: &DelimTree,
+    limits: Limits,
+    guard: &mut G,
+) -> Result<RunReport, TwqError> {
+    run_guarded_with(prog, delim, limits, guard, &mut NullCollector)
+}
+
+/// [`run_guarded`] with instrumentation: governance and observability
+/// compose — the collector sees every step up to the trip.
+pub fn run_guarded_with<C: Collector, G: Guard>(
+    prog: &TwProgram,
+    delim: &DelimTree,
+    limits: Limits,
+    guard: &mut G,
+    collector: &mut C,
+) -> Result<RunReport, TwqError> {
+    let mut exec = Exec::new(prog, delim.tree(), limits, collector, guard);
+    exec.drive()
 }
 
 /// Convenience: delimit `tree` and run.
@@ -398,6 +512,16 @@ pub fn run_on_tree_with<C: Collector>(
     collector: &mut C,
 ) -> RunReport {
     run_with(prog, &DelimTree::build(tree), limits, collector)
+}
+
+/// Convenience: delimit `tree` and run under a guard.
+pub fn run_on_tree_guarded<G: Guard>(
+    prog: &TwProgram,
+    tree: &Tree,
+    limits: Limits,
+    guard: &mut G,
+) -> Result<RunReport, TwqError> {
+    run_guarded(prog, &DelimTree::build(tree), limits, guard)
 }
 
 /// One step of a recorded trace.
@@ -431,21 +555,14 @@ pub fn run_traced_with<C: Collector>(
     max_trace: usize,
     collector: &mut C,
 ) -> (RunReport, Vec<TraceStep>) {
-    let tree = delim.tree();
     let mut trace = Vec::new();
-    let mut exec = Exec::new(prog, tree, limits, collector);
+    let mut guard = NullGuard;
+    let mut exec = Exec::new(prog, delim.tree(), limits, collector, &mut guard);
     exec.trace = Some(TraceBuf {
         buf: &mut trace,
         cap: max_trace,
     });
-    let init = Config {
-        node: tree.root(),
-        state: prog.initial(),
-        store: prog.initial_store(),
-    };
-    let halt = exec.run_chain(init, 0).halt();
-    exec.collector.halt(halt.kind());
-    let report = exec.report(halt);
+    let report = exec.drive().expect("NullGuard never trips");
     (report, trace)
 }
 
@@ -710,6 +827,88 @@ mod tests {
         );
         // With max_steps=1 we halt on the limit before closing the cycle.
         assert_eq!(report.halt, Halt::StepLimit);
+    }
+
+    #[test]
+    fn cycle_check_interval_zero_disables_detection() {
+        // Same looping program as `two_way_cycle_detected`, but with
+        // cycle_check_interval = 0 the repeat is never noticed: the run is
+        // stopped only by max_steps and reports StepLimit, never Cycle.
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        b.rule_true(Label::DelimRoot, q0, Action::Move(q0, Dir::Down));
+        b.rule_true(Label::DelimOpen, q0, Action::Move(q0, Dir::Up));
+        let p = b.build().unwrap();
+        let mut v = Vocab::new();
+        let t = parse_tree("a", &mut v).unwrap();
+        let limits = Limits {
+            max_steps: 1000,
+            max_atp_depth: 4,
+            cycle_check_interval: 0,
+        };
+        let report = run_on_tree(&p, &t, limits);
+        assert_eq!(report.halt, Halt::StepLimit);
+        assert_eq!(report.steps, 1000);
+        assert_eq!(
+            report.max_chain_configs, 0,
+            "nothing recorded when disabled"
+        );
+        // Sanity: with the default interval the same program is a Cycle.
+        let report = run_on_tree(
+            &p,
+            &t,
+            Limits {
+                cycle_check_interval: 1,
+                ..limits
+            },
+        );
+        assert_eq!(report.halt, Halt::Cycle);
+    }
+
+    #[test]
+    fn guard_budget_trips_with_partial_report() {
+        use twq_guard::{ResourceGuard, TripReason};
+        // The looping program again, under a guard budget smaller than the
+        // engine's own step limit.
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        b.rule_true(Label::DelimRoot, q0, Action::Move(q0, Dir::Down));
+        b.rule_true(Label::DelimOpen, q0, Action::Move(q0, Dir::Up));
+        let p = b.build().unwrap();
+        let mut v = Vocab::new();
+        let t = parse_tree("a", &mut v).unwrap();
+        let limits = Limits {
+            max_steps: 1_000_000,
+            max_atp_depth: 4,
+            cycle_check_interval: 0,
+        };
+        let mut g = ResourceGuard::unlimited().with_budget(10);
+        let err = run_on_tree_guarded(&p, &t, limits, &mut g).unwrap_err();
+        let trip = err.guard().expect("budget trip");
+        assert_eq!(trip.reason, TripReason::Budget { limit: 10 });
+        assert!(trip.partial.fuel_spent >= 10);
+        assert!(err.is_limit());
+    }
+
+    #[test]
+    fn guard_null_matches_unguarded_run() {
+        let mut vocab = Vocab::new();
+        let ex = crate::examples::example_32(&mut vocab);
+        let t = parse_tree("sigma[a=9](delta[a=9](sigma[a=1],sigma[a=1]))", &mut vocab).unwrap();
+        let dt = DelimTree::build(&t);
+        let plain = run(&ex.program, &dt, Limits::default());
+        let mut ng = NullGuard;
+        let guarded = run_guarded(&ex.program, &dt, Limits::default(), &mut ng).unwrap();
+        assert_eq!(plain, guarded);
+        // A generously-budgeted ResourceGuard agrees too.
+        let mut rg = twq_guard::ResourceGuard::unlimited().with_budget(1_000_000);
+        let guarded = run_guarded(&ex.program, &dt, Limits::default(), &mut rg).unwrap();
+        assert_eq!(plain, guarded);
+        assert_eq!(rg.fuel_spent(), plain.steps);
     }
 
     #[test]

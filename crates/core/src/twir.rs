@@ -17,6 +17,7 @@
 //! delimited tree and use the canonical document order of
 //! `twq_tree::order`; delimiters make every boundary test a label test.
 
+use twq_guard::{DepthKind, Guard, GuardError, NullGuard, TwqError};
 use twq_logic::store::sbuild;
 use twq_logic::{RegId, Relation, SFormula, Var};
 use twq_obs::{Collector, NullCollector, PhaseTimer};
@@ -155,11 +156,14 @@ impl WalkerBuilder {
         body: &[Instr],
         collector: &mut C,
     ) -> Result<TwProgram, ProgramError> {
+        let mut guard = NullGuard;
         let timer = C::ENABLED.then(|| PhaseTimer::start("twir.compile"));
         let mut c = Compiler {
             b: TwProgramBuilder::new(),
             labels: &self.labels,
             counter: 0,
+            guard: &mut guard,
+            trip: None,
         };
         for init in &self.regs {
             c.b.register(init.arity(), init.clone());
@@ -180,15 +184,50 @@ impl WalkerBuilder {
         }
         prog
     }
+
+    /// [`WalkerBuilder::compile`] under a resource [`Guard`]: one fuel unit
+    /// per compiled instruction, body nesting tracked as
+    /// [`DepthKind::Compile`]. Compiled walkers can be enormous (the
+    /// Theorem 7.1 pebble constructions emit thousands of states), so
+    /// compilation itself is a governed phase.
+    pub fn compile_guarded<G: Guard>(
+        &self,
+        body: &[Instr],
+        guard: &mut G,
+    ) -> Result<TwProgram, TwqError> {
+        let mut c = Compiler {
+            b: TwProgramBuilder::new(),
+            labels: &self.labels,
+            counter: 0,
+            guard,
+            trip: None,
+        };
+        for init in &self.regs {
+            c.b.register(init.arity(), init.clone());
+        }
+        let q_f = c.b.state("qF");
+        c.b.final_state(q_f);
+        let dead = c.b.state("halt");
+        let entry = c.compile_seq(body, dead, q_f);
+        c.b.initial(entry);
+        if let Some(e) = c.trip {
+            return Err(TwqError::Guard(e));
+        }
+        c.b.build()
+            .map_err(|e| TwqError::invalid("twir::compile", e.to_string()))
+    }
 }
 
-struct Compiler<'l> {
+struct Compiler<'l, 'g, G: Guard> {
     b: TwProgramBuilder,
     labels: &'l [Label],
     counter: u32,
+    guard: &'g mut G,
+    /// First guard trip; once set, compilation short-circuits.
+    trip: Option<GuardError>,
 }
 
-impl Compiler<'_> {
+impl<G: Guard> Compiler<'_, '_, G> {
     fn fresh(&mut self, tag: &str) -> State {
         self.counter += 1;
         let name = format!("{tag}{}", self.counter);
@@ -196,10 +235,34 @@ impl Compiler<'_> {
     }
 
     /// Compile a sequence with the given continuation; returns its entry.
+    /// Under a real guard, nesting is charged as [`DepthKind::Compile`] and
+    /// a trip short-circuits the remaining instructions (the partial
+    /// program is discarded by the caller).
     fn compile_seq(&mut self, body: &[Instr], cont: State, q_f: State) -> State {
+        if G::ENABLED {
+            if self.trip.is_some() {
+                return cont;
+            }
+            if let Err(e) = self.guard.enter(DepthKind::Compile) {
+                self.trip.get_or_insert(e);
+                return cont;
+            }
+        }
         let mut next = cont;
         for instr in body.iter().rev() {
+            if G::ENABLED {
+                if self.trip.is_some() {
+                    break;
+                }
+                if let Err(e) = self.guard.tick() {
+                    self.trip.get_or_insert(e);
+                    break;
+                }
+            }
             next = self.compile_instr(instr, next, q_f);
+        }
+        if G::ENABLED {
+            self.guard.exit(DepthKind::Compile);
         }
         next
     }

@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use twq_guard::{GaugeKind, Guard, NullGuard, TwqError};
 use twq_obs::{Collector, HaltKind, NullCollector};
 use twq_tree::{Label, SymId, Tree};
 
@@ -139,6 +140,24 @@ impl TwoDfa {
     /// [`HaltKind::Stuck`] — walking off the tape is the string analogue
     /// of walking off the tree.
     pub fn run_with<C: Collector>(&self, word: &[SymId], c: &mut C) -> DHalt {
+        let mut guard = NullGuard;
+        self.run_inner(word, c, &mut guard)
+            .expect("NullGuard never trips")
+    }
+
+    /// [`TwoDfa::run`] under a resource [`Guard`]: one fuel unit per
+    /// transition, the visited-configuration table reported as
+    /// [`GaugeKind::Configs`].
+    pub fn run_guarded<G: Guard>(&self, word: &[SymId], guard: &mut G) -> Result<DHalt, TwqError> {
+        self.run_inner(word, &mut NullCollector, guard)
+    }
+
+    fn run_inner<C: Collector, G: Guard>(
+        &self,
+        word: &[SymId],
+        c: &mut C,
+        g: &mut G,
+    ) -> Result<DHalt, TwqError> {
         // Positions: 0 = ⊢, 1..=n = symbols, n+1 = ⊣.
         let n = word.len();
         let cell = |pos: usize| -> Cell {
@@ -166,6 +185,16 @@ impl TwoDfa {
             seen[key] = true;
             tracked += 1;
             c.cycle_bookkeeping(tracked);
+            if G::ENABLED {
+                if let Err(e) = g.tick() {
+                    c.chain_exit(HaltKind::StepLimit, 0);
+                    return Err(TwqError::Guard(e));
+                }
+                if let Err(e) = g.gauge(GaugeKind::Configs, tracked) {
+                    c.chain_exit(HaltKind::StepLimit, 0);
+                    return Err(TwqError::Guard(e));
+                }
+            }
             let Some(&(next, mv)) = self.delta.get(&(state, cell(pos))) else {
                 break DHalt::Stuck;
             };
@@ -198,7 +227,7 @@ impl TwoDfa {
         };
         c.chain_exit(kind, 0);
         c.halt(kind);
-        halt
+        Ok(halt)
     }
 
     /// Compile into a `TW` walker over the monadic-tree embedding: state

@@ -1,0 +1,254 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seeded source of injected failures: probabilistic
+//! fuel exhaustion, forced deadline expiry, dropped transitions, and store
+//! corruption.  It exists so chaos tests can subject every evaluator to
+//! hostile conditions *reproducibly* — the same seed, queried at the same
+//! sites in the same order, yields the same faults.
+//!
+//! The plan uses an inline splitmix64 generator so this crate keeps its
+//! no-dependency policy (the vendored `rand` shim is not needed here).
+
+use std::fmt;
+
+/// The kinds of fault a [`FaultPlan`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The guard reports the fuel budget as exhausted even though fuel
+    /// remains.
+    FuelExhaustion,
+    /// The guard reports the deadline as expired even though time remains.
+    DeadlineExpiry,
+    /// The evaluator discards the transition it just selected, as if no
+    /// rule applied (the run ends stuck instead of progressing).
+    DropTransition,
+    /// The evaluator resets its mutable state (register store, tape) to the
+    /// initial contents mid-run.
+    CorruptStore,
+}
+
+impl FaultKind {
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::FuelExhaustion => "fuel-exhaustion",
+            FaultKind::DeadlineExpiry => "deadline-expiry",
+            FaultKind::DropTransition => "drop-transition",
+            FaultKind::CorruptStore => "corrupt-store",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where in an evaluator a fault roll happens.
+///
+/// Sites keep the plan deterministic *per decision point*: ticks roll for
+/// limit-style faults, transition application rolls for drops, store writes
+/// roll for corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// One evaluator step (rolls [`FaultKind::FuelExhaustion`] /
+    /// [`FaultKind::DeadlineExpiry`]).
+    Tick,
+    /// Application of a selected transition (rolls
+    /// [`FaultKind::DropTransition`]).
+    Transition,
+    /// A write to the mutable store/tape (rolls
+    /// [`FaultKind::CorruptStore`]).
+    Store,
+}
+
+/// A seeded, deterministic plan of injected faults.
+///
+/// Rates are expressed per million rolls, so `rate = 1_000` means roughly
+/// one fault per thousand visits to that site.  A rate of `0` disables that
+/// fault kind entirely; [`FaultPlan::quiet`] disables all of them (useful to
+/// confirm a seed-independent baseline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    state: u64,
+    seed: u64,
+    fuel_per_million: u32,
+    deadline_per_million: u32,
+    drop_per_million: u32,
+    corrupt_per_million: u32,
+}
+
+const MILLION: u64 = 1_000_000;
+
+impl FaultPlan {
+    /// A plan with the default chaos mix: roughly one injected fault per
+    /// few hundred site visits, spread over all four kinds.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            state: splitmix_seed(seed),
+            seed,
+            fuel_per_million: 800,
+            deadline_per_million: 400,
+            drop_per_million: 1_500,
+            corrupt_per_million: 800,
+        }
+    }
+
+    /// A plan that never injects anything (all rates zero).
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            state: splitmix_seed(seed),
+            seed,
+            fuel_per_million: 0,
+            deadline_per_million: 0,
+            drop_per_million: 0,
+            corrupt_per_million: 0,
+        }
+    }
+
+    /// The seed this plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Override the fuel-exhaustion rate (per million ticks).
+    pub fn fuel_rate(mut self, per_million: u32) -> Self {
+        self.fuel_per_million = per_million;
+        self
+    }
+
+    /// Override the deadline-expiry rate (per million ticks).
+    pub fn deadline_rate(mut self, per_million: u32) -> Self {
+        self.deadline_per_million = per_million;
+        self
+    }
+
+    /// Override the transition-drop rate (per million transitions).
+    pub fn drop_rate(mut self, per_million: u32) -> Self {
+        self.drop_per_million = per_million;
+        self
+    }
+
+    /// Override the store-corruption rate (per million store writes).
+    pub fn corrupt_rate(mut self, per_million: u32) -> Self {
+        self.corrupt_per_million = per_million;
+        self
+    }
+
+    /// Roll for a fault at `site`.  Advances the generator exactly once per
+    /// call, so the fault sequence is a pure function of the seed and the
+    /// sequence of sites visited.
+    pub fn roll(&mut self, site: FaultSite) -> Option<FaultKind> {
+        let r = self.next_u64() % MILLION;
+        match site {
+            FaultSite::Tick => {
+                if r < u64::from(self.fuel_per_million) {
+                    Some(FaultKind::FuelExhaustion)
+                } else if r < u64::from(self.fuel_per_million)
+                    + u64::from(self.deadline_per_million)
+                {
+                    Some(FaultKind::DeadlineExpiry)
+                } else {
+                    None
+                }
+            }
+            FaultSite::Transition => {
+                (r < u64::from(self.drop_per_million)).then_some(FaultKind::DropTransition)
+            }
+            FaultSite::Store => {
+                (r < u64::from(self.corrupt_per_million)).then_some(FaultKind::CorruptStore)
+            }
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64 (Steele, Lea & Flood): tiny, full-period, and good
+        // enough for fault scheduling.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn splitmix_seed(seed: u64) -> u64 {
+    // Decorrelate small consecutive seeds before the first roll.
+    seed ^ 0x6A09_E667_F3BC_C909
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let sites = [FaultSite::Tick, FaultSite::Transition, FaultSite::Store];
+        let mut a = FaultPlan::seeded(42);
+        let mut b = FaultPlan::seeded(42);
+        for i in 0..10_000 {
+            let s = sites[i % 3];
+            assert_eq!(a.roll(s), b.roll(s), "diverged at roll {i}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultPlan::seeded(1);
+        let mut b = FaultPlan::seeded(2);
+        let same = (0..1000).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn quiet_plan_never_fires() {
+        let mut p = FaultPlan::quiet(7);
+        for _ in 0..10_000 {
+            assert_eq!(p.roll(FaultSite::Tick), None);
+            assert_eq!(p.roll(FaultSite::Transition), None);
+            assert_eq!(p.roll(FaultSite::Store), None);
+        }
+    }
+
+    #[test]
+    fn seeded_plan_fires_each_kind_eventually() {
+        let mut p = FaultPlan::seeded(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200_000 {
+            if let Some(k) = p.roll(FaultSite::Tick) {
+                seen.insert(k);
+            }
+            if let Some(k) = p.roll(FaultSite::Transition) {
+                seen.insert(k);
+            }
+            if let Some(k) = p.roll(FaultSite::Store) {
+                seen.insert(k);
+            }
+        }
+        assert!(seen.contains(&FaultKind::FuelExhaustion));
+        assert!(seen.contains(&FaultKind::DeadlineExpiry));
+        assert!(seen.contains(&FaultKind::DropTransition));
+        assert!(seen.contains(&FaultKind::CorruptStore));
+    }
+
+    #[test]
+    fn sites_only_yield_their_kinds() {
+        let mut p = FaultPlan::seeded(11)
+            .fuel_rate(500_000)
+            .deadline_rate(500_000);
+        for _ in 0..1000 {
+            match p.roll(FaultSite::Tick) {
+                Some(FaultKind::FuelExhaustion) | Some(FaultKind::DeadlineExpiry) | None => {}
+                other => panic!("tick site rolled {other:?}"),
+            }
+        }
+        let mut p = FaultPlan::seeded(11).drop_rate(MILLION as u32);
+        assert_eq!(
+            p.roll(FaultSite::Transition),
+            Some(FaultKind::DropTransition)
+        );
+        let mut p = FaultPlan::seeded(11).corrupt_rate(MILLION as u32);
+        assert_eq!(p.roll(FaultSite::Store), Some(FaultKind::CorruptStore));
+    }
+}

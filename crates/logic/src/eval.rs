@@ -5,7 +5,15 @@
 //! giving `O(|t|^q)` for `q` nested quantifiers. Structural atoms are O(1)
 //! thanks to the arena links, except `≺` and sibling `<` which walk
 //! parent/sibling chains.
+//!
+//! That `O(|t|^q)` is exactly why every entry point here returns
+//! `Result<_, TwqError>` and has a `*_guarded` variant: a hostile sentence
+//! with a handful of nested quantifiers is a denial-of-service on any
+//! non-trivial tree. Guarded evaluation charges one fuel unit per quantifier
+//! binding and per atom, and tracks quantifier nesting as
+//! [`DepthKind::Quantifier`].
 
+use twq_guard::{DepthKind, Guard, NullGuard, TwqError};
 use twq_obs::{Collector, FoEval, NullCollector};
 use twq_tree::{NodeId, Tree};
 
@@ -50,47 +58,52 @@ impl Assignment {
 
 /// Evaluate an atom under a total-enough assignment.
 ///
-/// # Panics
-/// Panics if a variable mentioned by the atom is unbound — callers must bind
-/// all free variables first.
-pub fn eval_atom(tree: &Tree, atom: &TreeAtom, asg: &Assignment) -> bool {
+/// # Errors
+/// Returns [`TwqError::Invalid`] if a variable mentioned by the atom is
+/// unbound — callers must bind all free variables first.
+pub fn eval_atom(tree: &Tree, atom: &TreeAtom, asg: &Assignment) -> Result<bool, TwqError> {
     let node = |v: Var| {
         asg.get(v)
-            .unwrap_or_else(|| panic!("unbound variable {v} in atom"))
+            .ok_or_else(|| TwqError::invalid("logic::eval_atom", format!("unbound variable {v}")))
     };
-    match *atom {
-        TreeAtom::Edge(x, y) => tree.parent(node(y)) == Some(node(x)),
+    Ok(match *atom {
+        TreeAtom::Edge(x, y) => tree.parent(node(y)?) == Some(node(x)?),
         TreeAtom::SibLess(x, y) => {
-            let (u, v) = (node(x), node(y));
+            let (u, v) = (node(x)?, node(y)?);
             if u == v || tree.parent(u) != tree.parent(v) {
-                return false;
+                return Ok(false);
             }
             // Walk right from u until v or the end.
             let mut cur = tree.next_sibling(u);
+            let mut hit = false;
             while let Some(s) = cur {
                 if s == v {
-                    return true;
+                    hit = true;
+                    break;
                 }
                 cur = tree.next_sibling(s);
             }
-            false
+            hit
         }
-        TreeAtom::Desc(x, y) => tree.is_strict_ancestor(node(x), node(y)),
-        TreeAtom::Lab(l, x) => tree.label(node(x)) == l,
-        TreeAtom::Eq(x, y) => node(x) == node(y),
-        TreeAtom::ValEq(a, x, b, y) => tree.attr(node(x), a) == tree.attr(node(y), b),
-        TreeAtom::ValConst(a, x, d) => tree.attr(node(x), a) == d,
-        TreeAtom::Root(x) => tree.is_root(node(x)),
-        TreeAtom::Leaf(x) => tree.is_leaf(node(x)),
-        TreeAtom::First(x) => tree.is_first(node(x)),
-        TreeAtom::Last(x) => tree.is_last(node(x)),
-        TreeAtom::Succ(x, y) => tree.next_sibling(node(x)) == Some(node(y)),
-    }
+        TreeAtom::Desc(x, y) => tree.is_strict_ancestor(node(x)?, node(y)?),
+        TreeAtom::Lab(l, x) => tree.label(node(x)?) == l,
+        TreeAtom::Eq(x, y) => node(x)? == node(y)?,
+        TreeAtom::ValEq(a, x, b, y) => tree.attr(node(x)?, a) == tree.attr(node(y)?, b),
+        TreeAtom::ValConst(a, x, d) => tree.attr(node(x)?, a) == d,
+        TreeAtom::Root(x) => tree.is_root(node(x)?),
+        TreeAtom::Leaf(x) => tree.is_leaf(node(x)?),
+        TreeAtom::First(x) => tree.is_first(node(x)?),
+        TreeAtom::Last(x) => tree.is_last(node(x)?),
+        TreeAtom::Succ(x, y) => tree.next_sibling(node(x)?) == Some(node(y)?),
+    })
 }
 
 /// Evaluate a formula under an assignment binding (at least) its free
 /// variables.
-pub fn eval(tree: &Tree, formula: &Formula, asg: &mut Assignment) -> bool {
+///
+/// # Errors
+/// [`TwqError::Invalid`] on an unbound variable.
+pub fn eval(tree: &Tree, formula: &Formula, asg: &mut Assignment) -> Result<bool, TwqError> {
     eval_with(tree, formula, asg, &mut NullCollector)
 }
 
@@ -102,42 +115,118 @@ pub fn eval_with<C: Collector>(
     formula: &Formula,
     asg: &mut Assignment,
     c: &mut C,
-) -> bool {
+) -> Result<bool, TwqError> {
+    eval_inner(tree, formula, asg, c, &mut NullGuard)
+}
+
+/// [`eval`] under a resource [`Guard`]: one fuel unit per atom and per
+/// quantifier binding, nesting tracked as [`DepthKind::Quantifier`].
+pub fn eval_guarded<G: Guard>(
+    tree: &Tree,
+    formula: &Formula,
+    asg: &mut Assignment,
+    guard: &mut G,
+) -> Result<bool, TwqError> {
+    eval_inner(tree, formula, asg, &mut NullCollector, guard)
+}
+
+fn eval_inner<C: Collector, G: Guard>(
+    tree: &Tree,
+    formula: &Formula,
+    asg: &mut Assignment,
+    c: &mut C,
+    g: &mut G,
+) -> Result<bool, TwqError> {
     match formula {
-        Formula::True => true,
-        Formula::False => false,
+        Formula::True => Ok(true),
+        Formula::False => Ok(false),
         Formula::Atom(a) => {
             c.fo_eval(FoEval::Atom);
+            if G::ENABLED {
+                g.tick()?;
+            }
             eval_atom(tree, a, asg)
         }
-        Formula::Not(f) => !eval_with(tree, f, asg, c),
-        Formula::And(fs) => fs.iter().all(|f| eval_with(tree, f, asg, c)),
-        Formula::Or(fs) => fs.iter().any(|f| eval_with(tree, f, asg, c)),
+        Formula::Not(f) => Ok(!eval_inner(tree, f, asg, c, g)?),
+        Formula::And(fs) => {
+            for f in fs {
+                if !eval_inner(tree, f, asg, c, g)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Or(fs) => {
+            for f in fs {
+                if eval_inner(tree, f, asg, c, g)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
         Formula::Exists(v, f) => {
+            if G::ENABLED {
+                g.enter(DepthKind::Quantifier)?;
+            }
             let saved = asg.get(*v);
-            let mut found = false;
+            let mut out = Ok(false);
             for u in tree.node_ids() {
+                if G::ENABLED {
+                    if let Err(e) = g.tick() {
+                        out = Err(e.into());
+                        break;
+                    }
+                }
                 asg.set(*v, u);
-                if eval_with(tree, f, asg, c) {
-                    found = true;
-                    break;
+                match eval_inner(tree, f, asg, c, g) {
+                    Ok(true) => {
+                        out = Ok(true);
+                        break;
+                    }
+                    Ok(false) => {}
+                    Err(e) => {
+                        out = Err(e);
+                        break;
+                    }
                 }
             }
             restore(asg, *v, saved);
-            found
+            if G::ENABLED {
+                g.exit(DepthKind::Quantifier);
+            }
+            out
         }
         Formula::Forall(v, f) => {
+            if G::ENABLED {
+                g.enter(DepthKind::Quantifier)?;
+            }
             let saved = asg.get(*v);
-            let mut all = true;
+            let mut out = Ok(true);
             for u in tree.node_ids() {
+                if G::ENABLED {
+                    if let Err(e) = g.tick() {
+                        out = Err(e.into());
+                        break;
+                    }
+                }
                 asg.set(*v, u);
-                if !eval_with(tree, f, asg, c) {
-                    all = false;
-                    break;
+                match eval_inner(tree, f, asg, c, g) {
+                    Ok(false) => {
+                        out = Ok(false);
+                        break;
+                    }
+                    Ok(true) => {}
+                    Err(e) => {
+                        out = Err(e);
+                        break;
+                    }
                 }
             }
             restore(asg, *v, saved);
-            all
+            if G::ENABLED {
+                g.exit(DepthKind::Quantifier);
+            }
+            out
         }
     }
 }
@@ -148,7 +237,11 @@ pub fn eval_with<C: Collector>(
 /// a partial assignment that already falsifies the matrix cannot be
 /// extended to a witness, and one that already satisfies it needs no
 /// extension at all.
-pub fn eval_partial(tree: &Tree, formula: &Formula, asg: &Assignment) -> Option<bool> {
+pub fn eval_partial(
+    tree: &Tree,
+    formula: &Formula,
+    asg: &Assignment,
+) -> Result<Option<bool>, TwqError> {
     eval_partial_with(tree, formula, asg, &mut NullCollector)
 }
 
@@ -159,59 +252,90 @@ pub fn eval_partial_with<C: Collector>(
     formula: &Formula,
     asg: &Assignment,
     c: &mut C,
-) -> Option<bool> {
-    match formula {
+) -> Result<Option<bool>, TwqError> {
+    eval_partial_inner(tree, formula, asg, c, &mut NullGuard)
+}
+
+fn eval_partial_inner<C: Collector, G: Guard>(
+    tree: &Tree,
+    formula: &Formula,
+    asg: &Assignment,
+    c: &mut C,
+    g: &mut G,
+) -> Result<Option<bool>, TwqError> {
+    Ok(match formula {
         Formula::True => Some(true),
         Formula::False => Some(false),
         Formula::Atom(a) => {
             if a.vars().iter().all(|&v| asg.get(v).is_some()) {
                 c.fo_eval(FoEval::Atom);
-                Some(eval_atom(tree, a, asg))
+                if G::ENABLED {
+                    g.tick()?;
+                }
+                Some(eval_atom(tree, a, asg)?)
             } else {
                 None
             }
         }
-        Formula::Not(f) => eval_partial_with(tree, f, asg, c).map(|b| !b),
+        Formula::Not(f) => eval_partial_inner(tree, f, asg, c, g)?.map(|b| !b),
         Formula::And(fs) => {
             let mut all_true = true;
+            let mut out = None;
             for f in fs {
-                match eval_partial_with(tree, f, asg, c) {
-                    Some(false) => return Some(false),
+                match eval_partial_inner(tree, f, asg, c, g)? {
+                    Some(false) => {
+                        out = Some(Some(false));
+                        break;
+                    }
                     Some(true) => {}
                     None => all_true = false,
                 }
             }
-            if all_true {
-                Some(true)
-            } else {
-                None
+            match out {
+                Some(decided) => decided,
+                None if all_true => Some(true),
+                None => None,
             }
         }
         Formula::Or(fs) => {
             let mut all_false = true;
+            let mut out = None;
             for f in fs {
-                match eval_partial_with(tree, f, asg, c) {
-                    Some(true) => return Some(true),
+                match eval_partial_inner(tree, f, asg, c, g)? {
+                    Some(true) => {
+                        out = Some(Some(true));
+                        break;
+                    }
                     Some(false) => {}
                     None => all_false = false,
                 }
             }
-            if all_false {
-                Some(false)
-            } else {
-                None
+            match out {
+                Some(decided) => decided,
+                None if all_false => Some(false),
+                None => None,
             }
         }
         // Quantifiers are opaque to partial evaluation.
         Formula::Exists(_, _) | Formula::Forall(_, _) => None,
-    }
+    })
 }
 
 /// Backtracking satisfiability of a quantifier-free matrix over the given
 /// existential variables, with three-valued pruning after each binding.
 /// Exponential only in the worst case; on conjunctive matrices (the XPath
 /// compilation output) the pruning makes it effectively output-sensitive.
-pub fn sat_exists(tree: &Tree, matrix: &Formula, vars: &[Var], asg: &mut Assignment) -> bool {
+///
+/// # Errors
+/// [`TwqError::Invalid`] when the matrix still contains quantifiers (so its
+/// value is undetermined with every variable bound) or mentions an unbound
+/// variable.
+pub fn sat_exists(
+    tree: &Tree,
+    matrix: &Formula,
+    vars: &[Var],
+    asg: &mut Assignment,
+) -> Result<bool, TwqError> {
     sat_exists_with(tree, matrix, vars, asg, &mut NullCollector)
 }
 
@@ -223,24 +347,58 @@ pub fn sat_exists_with<C: Collector>(
     vars: &[Var],
     asg: &mut Assignment,
     c: &mut C,
-) -> bool {
-    if let Some(b) = eval_partial_with(tree, matrix, asg, c) {
-        return b;
+) -> Result<bool, TwqError> {
+    sat_exists_inner(tree, matrix, vars, asg, c, &mut NullGuard)
+}
+
+pub(crate) fn sat_exists_inner<C: Collector, G: Guard>(
+    tree: &Tree,
+    matrix: &Formula,
+    vars: &[Var],
+    asg: &mut Assignment,
+    c: &mut C,
+    g: &mut G,
+) -> Result<bool, TwqError> {
+    if let Some(b) = eval_partial_inner(tree, matrix, asg, c, g)? {
+        return Ok(b);
     }
     let Some((&v, rest)) = vars.split_first() else {
         // All variables bound but the value is undetermined — only possible
         // if the matrix contains quantifiers, which callers exclude.
-        unreachable!("quantifier-free matrix must be determined when fully bound")
+        return Err(TwqError::invalid(
+            "logic::sat_exists",
+            "matrix undetermined with all variables bound (quantifier inside matrix?)",
+        ));
     };
+    if G::ENABLED {
+        g.enter(DepthKind::Quantifier)?;
+    }
+    let mut out = Ok(false);
     for u in tree.node_ids() {
+        if G::ENABLED {
+            if let Err(e) = g.tick() {
+                out = Err(e.into());
+                break;
+            }
+        }
         asg.set(v, u);
-        if sat_exists_with(tree, matrix, rest, asg, c) {
-            asg.unset(v);
-            return true;
+        match sat_exists_inner(tree, matrix, rest, asg, c, g) {
+            Ok(true) => {
+                out = Ok(true);
+                break;
+            }
+            Ok(false) => {}
+            Err(e) => {
+                out = Err(e);
+                break;
+            }
         }
     }
     asg.unset(v);
-    false
+    if G::ENABLED {
+        g.exit(DepthKind::Quantifier);
+    }
+    out
 }
 
 fn restore(asg: &mut Assignment, v: Var, saved: Option<NodeId>) {
@@ -252,30 +410,67 @@ fn restore(asg: &mut Assignment, v: Var, saved: Option<NodeId>) {
 
 /// Evaluate a sentence (formula with no free variables).
 ///
-/// # Panics
-/// Panics if the formula has free variables.
-pub fn eval_sentence(tree: &Tree, formula: &Formula) -> bool {
+/// # Errors
+/// [`TwqError::Invalid`] if the formula has free variables.
+pub fn eval_sentence(tree: &Tree, formula: &Formula) -> Result<bool, TwqError> {
     eval_sentence_with(tree, formula, &mut NullCollector)
 }
 
 /// [`eval_sentence`] with instrumentation (one [`FoEval::Sentence`] per
 /// call, plus the atoms the recursion touches).
-pub fn eval_sentence_with<C: Collector>(tree: &Tree, formula: &Formula, c: &mut C) -> bool {
-    assert!(
-        formula.free_vars().is_empty(),
-        "eval_sentence requires a sentence; free vars: {:?}",
-        formula.free_vars()
-    );
+pub fn eval_sentence_with<C: Collector>(
+    tree: &Tree,
+    formula: &Formula,
+    c: &mut C,
+) -> Result<bool, TwqError> {
+    eval_sentence_inner(tree, formula, c, &mut NullGuard)
+}
+
+/// [`eval_sentence`] under a resource [`Guard`]: one fuel unit per atom and
+/// per quantifier binding, quantifier nesting tracked as
+/// [`DepthKind::Quantifier`]. This is the entry point that makes the
+/// `O(|t|^q)` evaluator safe to expose to untrusted sentences.
+pub fn eval_sentence_guarded<G: Guard>(
+    tree: &Tree,
+    formula: &Formula,
+    guard: &mut G,
+) -> Result<bool, TwqError> {
+    eval_sentence_inner(tree, formula, &mut NullCollector, guard)
+}
+
+fn eval_sentence_inner<C: Collector, G: Guard>(
+    tree: &Tree,
+    formula: &Formula,
+    c: &mut C,
+    g: &mut G,
+) -> Result<bool, TwqError> {
+    let free = formula.free_vars();
+    if !free.is_empty() {
+        return Err(TwqError::invalid(
+            "logic::eval_sentence",
+            format!("requires a sentence; free vars: {free:?}"),
+        ));
+    }
     c.fo_eval(FoEval::Sentence);
     let mut asg = Assignment::with_capacity(formula.max_var());
-    eval_with(tree, formula, &mut asg, c)
+    eval_inner(tree, formula, &mut asg, c, g)
 }
 
 /// All nodes `v` such that `t ⊨ φ(u, v)` for a binary formula `φ(x, y)` —
 /// the node-selection primitive behind `atp(φ(x,y), q)` (Section 3).
 ///
 /// Results are in arena order.
-pub fn select(tree: &Tree, formula: &Formula, x: Var, u: NodeId, y: Var) -> Vec<NodeId> {
+///
+/// # Errors
+/// [`TwqError::Invalid`] if the formula mentions variables other than `x`,
+/// `y`, and its own quantified variables.
+pub fn select(
+    tree: &Tree,
+    formula: &Formula,
+    x: Var,
+    u: NodeId,
+    y: Var,
+) -> Result<Vec<NodeId>, TwqError> {
     select_with(tree, formula, x, u, y, &mut NullCollector)
 }
 
@@ -287,7 +482,31 @@ pub fn select_with<C: Collector>(
     u: NodeId,
     y: Var,
     c: &mut C,
-) -> Vec<NodeId> {
+) -> Result<Vec<NodeId>, TwqError> {
+    select_inner(tree, formula, x, u, y, c, &mut NullGuard)
+}
+
+/// [`select`] under a resource [`Guard`].
+pub fn select_guarded<G: Guard>(
+    tree: &Tree,
+    formula: &Formula,
+    x: Var,
+    u: NodeId,
+    y: Var,
+    guard: &mut G,
+) -> Result<Vec<NodeId>, TwqError> {
+    select_inner(tree, formula, x, u, y, &mut NullCollector, guard)
+}
+
+fn select_inner<C: Collector, G: Guard>(
+    tree: &Tree,
+    formula: &Formula,
+    x: Var,
+    u: NodeId,
+    y: Var,
+    c: &mut C,
+    g: &mut G,
+) -> Result<Vec<NodeId>, TwqError> {
     c.fo_eval(FoEval::Select);
     let mut asg = Assignment::with_capacity(
         formula
@@ -297,23 +516,34 @@ pub fn select_with<C: Collector>(
     asg.set(x, u);
     let mut out = Vec::new();
     for v in tree.node_ids() {
+        if G::ENABLED {
+            g.tick()?;
+        }
         asg.set(y, v);
-        if eval_with(tree, formula, &mut asg, c) {
+        if eval_inner(tree, formula, &mut asg, c, g)? {
             out.push(v);
         }
     }
-    out
+    Ok(out)
 }
 
 /// All pairs `(u, v)` with `t ⊨ φ(u, v)`.
-pub fn select_pairs(tree: &Tree, formula: &Formula, x: Var, y: Var) -> Vec<(NodeId, NodeId)> {
+///
+/// # Errors
+/// As for [`select`].
+pub fn select_pairs(
+    tree: &Tree,
+    formula: &Formula,
+    x: Var,
+    y: Var,
+) -> Result<Vec<(NodeId, NodeId)>, TwqError> {
     let mut out = Vec::new();
     for u in tree.node_ids() {
-        for v in select(tree, formula, x, u, y) {
+        for v in select(tree, formula, x, u, y)? {
             out.push((u, v));
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -335,10 +565,10 @@ mod tests {
         let two = v.val_int(2);
         // ∀x (leaf(x) → val_k(x) = 2) — false: e is a leaf with k=1.
         let f = forall(var(0), implies(leaf(var(0)), val_const(k, var(0), two)));
-        assert!(!eval_sentence(&t, &f));
+        assert!(!eval_sentence(&t, &f).unwrap());
         // ∃x (leaf(x) ∧ val_k(x) = 2) — true: b and d.
         let g = exists(var(0), and([leaf(var(0)), val_const(k, var(0), two)]));
-        assert!(eval_sentence(&t, &g));
+        assert!(eval_sentence(&t, &g).unwrap());
     }
 
     #[test]
@@ -350,13 +580,13 @@ mod tests {
         let mut asg = Assignment::with_capacity(Some(var(1)));
         asg.set(var(0), r);
         asg.set(var(1), c);
-        assert!(eval_atom(&t, &TreeAtom::Edge(var(0), var(1)), &asg));
+        assert!(eval_atom(&t, &TreeAtom::Edge(var(0), var(1)), &asg).unwrap());
         asg.set(var(1), d);
-        assert!(!eval_atom(&t, &TreeAtom::Edge(var(0), var(1)), &asg));
-        assert!(eval_atom(&t, &TreeAtom::Desc(var(0), var(1)), &asg));
+        assert!(!eval_atom(&t, &TreeAtom::Edge(var(0), var(1)), &asg).unwrap());
+        assert!(eval_atom(&t, &TreeAtom::Desc(var(0), var(1)), &asg).unwrap());
         // Desc is irreflexive.
         asg.set(var(1), r);
-        assert!(!eval_atom(&t, &TreeAtom::Desc(var(0), var(1)), &asg));
+        assert!(!eval_atom(&t, &TreeAtom::Desc(var(0), var(1)), &asg).unwrap());
     }
 
     #[test]
@@ -368,20 +598,20 @@ mod tests {
         let mut asg = Assignment::default();
         asg.set(var(0), b);
         asg.set(var(1), c);
-        assert!(eval_atom(&t, &TreeAtom::SibLess(var(0), var(1)), &asg));
+        assert!(eval_atom(&t, &TreeAtom::SibLess(var(0), var(1)), &asg).unwrap());
         // Not symmetric, not reflexive, only among siblings.
         asg.set(var(0), c);
         asg.set(var(1), b);
-        assert!(!eval_atom(&t, &TreeAtom::SibLess(var(0), var(1)), &asg));
+        assert!(!eval_atom(&t, &TreeAtom::SibLess(var(0), var(1)), &asg).unwrap());
         asg.set(var(1), c);
-        assert!(!eval_atom(&t, &TreeAtom::SibLess(var(0), var(1)), &asg));
+        assert!(!eval_atom(&t, &TreeAtom::SibLess(var(0), var(1)), &asg).unwrap());
         asg.set(var(0), b);
         asg.set(var(1), d);
-        assert!(!eval_atom(&t, &TreeAtom::SibLess(var(0), var(1)), &asg));
+        assert!(!eval_atom(&t, &TreeAtom::SibLess(var(0), var(1)), &asg).unwrap());
         // succ agrees with immediate siblings.
         asg.set(var(0), b);
         asg.set(var(1), c);
-        assert!(eval_atom(&t, &TreeAtom::Succ(var(0), var(1)), &asg));
+        assert!(eval_atom(&t, &TreeAtom::Succ(var(0), var(1)), &asg).unwrap());
     }
 
     #[test]
@@ -392,16 +622,16 @@ mod tests {
         let c = t.node_at_path(&[2]).unwrap();
         let mut asg = Assignment::default();
         asg.set(var(0), r);
-        assert!(eval_atom(&t, &TreeAtom::Root(var(0)), &asg));
-        assert!(!eval_atom(&t, &TreeAtom::Leaf(var(0)), &asg));
-        assert!(eval_atom(&t, &TreeAtom::First(var(0)), &asg));
-        assert!(eval_atom(&t, &TreeAtom::Last(var(0)), &asg));
+        assert!(eval_atom(&t, &TreeAtom::Root(var(0)), &asg).unwrap());
+        assert!(!eval_atom(&t, &TreeAtom::Leaf(var(0)), &asg).unwrap());
+        assert!(eval_atom(&t, &TreeAtom::First(var(0)), &asg).unwrap());
+        assert!(eval_atom(&t, &TreeAtom::Last(var(0)), &asg).unwrap());
         asg.set(var(0), b);
-        assert!(eval_atom(&t, &TreeAtom::First(var(0)), &asg));
-        assert!(!eval_atom(&t, &TreeAtom::Last(var(0)), &asg));
+        assert!(eval_atom(&t, &TreeAtom::First(var(0)), &asg).unwrap());
+        assert!(!eval_atom(&t, &TreeAtom::Last(var(0)), &asg).unwrap());
         asg.set(var(0), c);
-        assert!(!eval_atom(&t, &TreeAtom::First(var(0)), &asg));
-        assert!(eval_atom(&t, &TreeAtom::Last(var(0)), &asg));
+        assert!(!eval_atom(&t, &TreeAtom::First(var(0)), &asg).unwrap());
+        assert!(eval_atom(&t, &TreeAtom::Last(var(0)), &asg).unwrap());
     }
 
     #[test]
@@ -412,11 +642,11 @@ mod tests {
         // In delim(t): ∃x O_▽(x), ∃x O_△(x), ∃x O_a(x).
         for l in [Label::DelimRoot, Label::DelimLeaf, Label::Sym(a)] {
             let f = exists(var(0), lab(l, var(0)));
-            assert!(eval_sentence(dt.tree(), &f), "{:?}", l);
+            assert!(eval_sentence(dt.tree(), &f).unwrap(), "{:?}", l);
         }
         // The original tree has no delimiters.
         let f = exists(var(0), lab(Label::DelimRoot, var(0)));
-        assert!(!eval_sentence(&t, &f));
+        assert!(!eval_sentence(&t, &f).unwrap());
     }
 
     #[test]
@@ -424,10 +654,10 @@ mod tests {
         let (_, t) = sample();
         // φ(x, y) = x ≺ y ∧ leaf(y), from the paper's atp discussion.
         let f = and([desc(var(0), var(1)), leaf(var(1))]);
-        let sel = select(&t, &f, var(0), t.root(), var(1));
+        let sel = select(&t, &f, var(0), t.root(), var(1)).unwrap();
         assert_eq!(sel.len(), 3); // b, d, e
         let c = t.node_at_path(&[2]).unwrap();
-        let sel_c = select(&t, &f, var(0), c, var(1));
+        let sel_c = select(&t, &f, var(0), c, var(1)).unwrap();
         assert_eq!(sel_c.len(), 2); // d, e
     }
 
@@ -436,7 +666,10 @@ mod tests {
         let (_, t) = sample();
         let f = edge(var(0), var(1));
         // Every non-root node contributes exactly one edge pair.
-        assert_eq!(select_pairs(&t, &f, var(0), var(1)).len(), t.len() - 1);
+        assert_eq!(
+            select_pairs(&t, &f, var(0), var(1)).unwrap().len(),
+            t.len() - 1
+        );
     }
 
     #[test]
@@ -448,21 +681,63 @@ mod tests {
             [var(0), var(1)],
             and([not(eq(var(0), var(1))), val_eq(k, var(0), k, var(1))]),
         );
-        assert!(eval_sentence(&t, &f));
+        assert!(eval_sentence(&t, &f).unwrap());
     }
 
     #[test]
-    #[should_panic(expected = "unbound variable")]
-    fn unbound_variable_panics() {
+    fn unbound_variable_is_invalid_not_panic() {
         let (_, t) = sample();
         let asg = Assignment::default();
-        eval_atom(&t, &TreeAtom::Leaf(var(3)), &asg);
+        let err = eval_atom(&t, &TreeAtom::Leaf(var(3)), &asg).unwrap_err();
+        assert!(err.to_string().contains("unbound variable"), "{err}");
+        assert!(!err.is_limit());
     }
 
     #[test]
-    #[should_panic(expected = "requires a sentence")]
     fn eval_sentence_rejects_free_vars() {
         let (_, t) = sample();
-        eval_sentence(&t, &leaf(var(0)));
+        let err = eval_sentence(&t, &leaf(var(0))).unwrap_err();
+        assert!(err.to_string().contains("requires a sentence"), "{err}");
+    }
+
+    #[test]
+    fn guarded_eval_trips_on_quantifier_depth() {
+        use twq_guard::{ResourceGuard, TripReason};
+        let (_, t) = sample();
+        // ∃x ∃y (x = y): nesting depth 2.
+        let f = exists(var(0), exists(var(1), eq(var(0), var(1))));
+        let mut ok = ResourceGuard::unlimited().with_depth_limit(DepthKind::Quantifier, 2);
+        assert!(eval_sentence_guarded(&t, &f, &mut ok).unwrap());
+        let mut tight = ResourceGuard::unlimited().with_depth_limit(DepthKind::Quantifier, 1);
+        let err = eval_sentence_guarded(&t, &f, &mut tight).unwrap_err();
+        let trip = err.guard().expect("depth trip");
+        assert_eq!(
+            trip.reason,
+            TripReason::Depth {
+                kind: DepthKind::Quantifier,
+                limit: 1
+            }
+        );
+    }
+
+    #[test]
+    fn guarded_eval_budget_counts_bindings() {
+        use twq_guard::ResourceGuard;
+        let (_, t) = sample();
+        // ∀x ∀y (x = x): |t|² bindings plus |t|² atoms plus |t| outer ticks.
+        let f = forall(var(0), forall(var(1), eq(var(0), var(0))));
+        let mut g = ResourceGuard::unlimited();
+        assert!(eval_sentence_guarded(&t, &f, &mut g).unwrap());
+        let spent = g.fuel_spent();
+        let n = t.len() as u64;
+        assert!(spent >= n * n, "spent {spent} on {n} nodes");
+        // A budget one unit short of the true cost trips.
+        let mut tight = ResourceGuard::unlimited().with_budget(spent - 1);
+        assert!(eval_sentence_guarded(&t, &f, &mut tight)
+            .unwrap_err()
+            .is_limit());
+        // The exact cost passes.
+        let mut exact = ResourceGuard::unlimited().with_budget(spent);
+        assert!(eval_sentence_guarded(&t, &f, &mut exact).unwrap());
     }
 }

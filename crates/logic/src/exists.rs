@@ -157,10 +157,10 @@ impl ExistsFormula {
                     .collect();
                 for v in tree.node_ids() {
                     asg.set(self.y, v);
-                    if branches
-                        .iter()
-                        .any(|(conj, vars)| eval::sat_exists_with(tree, conj, vars, &mut asg, c))
-                    {
+                    if branches.iter().any(|(conj, vars)| {
+                        eval::sat_exists_with(tree, conj, vars, &mut asg, c)
+                            .expect("ExistsFormula invariant: quantifier-free matrix, bound vars")
+                    }) {
                         out.push(v);
                     }
                 }
@@ -169,7 +169,9 @@ impl ExistsFormula {
                 // DNF too large: generic backtracking over all variables.
                 for v in tree.node_ids() {
                     asg.set(self.y, v);
-                    if eval::sat_exists_with(tree, &self.matrix, &self.quantified, &mut asg, c) {
+                    if eval::sat_exists_with(tree, &self.matrix, &self.quantified, &mut asg, c)
+                        .expect("ExistsFormula invariant: quantifier-free matrix, bound vars")
+                    {
                         out.push(v);
                     }
                 }

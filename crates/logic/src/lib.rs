@@ -26,7 +26,9 @@ pub mod parse;
 pub mod store;
 pub mod types;
 
-pub use eval::{eval_sentence, select, select_pairs, Assignment};
+pub use eval::{
+    eval_sentence, eval_sentence_guarded, select, select_guarded, select_pairs, Assignment,
+};
 pub use exists::{ExistsError, ExistsFormula};
 pub use fo::{Formula, TreeAtom, Var};
 pub use mso::{eval_mso, eval_mso_capped, MsoFormula, SetVar};

@@ -125,7 +125,7 @@ fn eval_inner(tree: &Tree, f: &MsoFormula, asg: &mut Assignment, sets: &mut SetA
     match f {
         MsoFormula::True => true,
         MsoFormula::False => false,
-        MsoFormula::Atom(a) => eval_atom(tree, a, asg),
+        MsoFormula::Atom(a) => eval_atom(tree, a, asg).unwrap_or_else(|e| panic!("{e}")),
         MsoFormula::In(x, set) => {
             let u = asg
                 .get(*x)
@@ -369,7 +369,7 @@ mod tests {
         let lifted = fo(&p.formula);
         assert_eq!(
             eval_mso(&t, &lifted).unwrap(),
-            crate::eval::eval_sentence(&t, &p.formula)
+            crate::eval::eval_sentence(&t, &p.formula).unwrap()
         );
     }
 

@@ -400,10 +400,10 @@ mod tests {
         let t = parse_tree("a(b,c(d,e))", &mut v).unwrap();
         // "some leaf is a last child" — true (e, and also b? b is not last).
         let p = parse_fo("E x. leaf(x) & last(x)", &mut v).unwrap();
-        assert!(eval_sentence(&t, &p.formula));
+        assert!(eval_sentence(&t, &p.formula).unwrap());
         // "every node is a leaf" — false.
         let q = parse_fo("A x. leaf(x)", &mut v).unwrap();
-        assert!(!eval_sentence(&t, &q.formula));
+        assert!(!eval_sentence(&t, &q.formula).unwrap());
     }
 
     #[test]
@@ -411,11 +411,11 @@ mod tests {
         let mut v = Vocab::new();
         let t = parse_tree("a[k=1](b[k=2],c[k=1])", &mut v).unwrap();
         let p = parse_fo("E x. E y. !(x = y) & val(k, x) = val(k, y)", &mut v).unwrap();
-        assert!(eval_sentence(&t, &p.formula));
+        assert!(eval_sentence(&t, &p.formula).unwrap());
         let q = parse_fo("E x. val(k, x) = 2", &mut v).unwrap();
-        assert!(eval_sentence(&t, &q.formula));
+        assert!(eval_sentence(&t, &q.formula).unwrap());
         let r = parse_fo("E x. val(k, x) = 9", &mut v).unwrap();
-        assert!(!eval_sentence(&t, &r.formula));
+        assert!(!eval_sentence(&t, &r.formula).unwrap());
     }
 
     #[test]
@@ -432,7 +432,7 @@ mod tests {
             ("E x. first(x) & lab(c, x)", false),
         ] {
             let p = parse_fo(src, &mut v).unwrap();
-            assert_eq!(eval_sentence(&t, &p.formula), expect, "{src}");
+            assert_eq!(eval_sentence(&t, &p.formula).unwrap(), expect, "{src}");
         }
     }
 
@@ -442,13 +442,13 @@ mod tests {
         let t = parse_tree("a(b)", &mut v).unwrap();
         // & binds tighter than |: false & false | true = true.
         let p = parse_fo("false & false | true", &mut v).unwrap();
-        assert!(eval_sentence(&t, &p.formula));
+        assert!(eval_sentence(&t, &p.formula).unwrap());
         // Parentheses override: false & (false | true) = false.
         let q = parse_fo("false & (false | true)", &mut v).unwrap();
-        assert!(!eval_sentence(&t, &q.formula));
+        assert!(!eval_sentence(&t, &q.formula).unwrap());
         // Implication with false antecedent.
         let r = parse_fo("false -> false", &mut v).unwrap();
-        assert!(eval_sentence(&t, &r.formula));
+        assert!(eval_sentence(&t, &r.formula).unwrap());
     }
 
     #[test]
@@ -457,9 +457,9 @@ mod tests {
         let mut v = Vocab::new();
         let t = parse_tree("s[a=d,b=q](s[a=7,b=7])", &mut v).unwrap();
         let p = parse_fo("A x. val(a, x) = d | val(a, x) = val(b, x)", &mut v).unwrap();
-        assert!(eval_sentence(&t, &p.formula));
+        assert!(eval_sentence(&t, &p.formula).unwrap());
         let t2 = parse_tree("s[a=z,b=q]", &mut v).unwrap();
-        assert!(!eval_sentence(&t2, &p.formula));
+        assert!(!eval_sentence(&t2, &p.formula).unwrap());
     }
 
     #[test]

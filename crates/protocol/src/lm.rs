@@ -310,7 +310,7 @@ mod tests {
                 w.push(s.markers.hash());
                 w.extend(g.clone());
                 let expect = in_lm(m, &w, &s.markers);
-                let got = eval_sentence(&t, &phi);
+                let got = eval_sentence(&t, &phi).unwrap();
                 assert_eq!(got, expect, "m={m} seed={seed}");
                 if expect {
                     pos += 1;
@@ -350,6 +350,6 @@ mod tests {
         let e = HyperSet::Sets(Default::default());
         let f = encode(&e, &s.markers);
         let t = split_string_tree(&f, &f, &s.markers, s.sym, s.attr);
-        assert!(eval_sentence(&t, &phi));
+        assert!(eval_sentence(&t, &phi).unwrap());
     }
 }

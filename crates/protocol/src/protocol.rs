@@ -24,6 +24,9 @@ use std::collections::HashSet;
 
 use twq_automata::engine::move_dir;
 use twq_automata::{Action, Halt, Limits, State, TwProgram};
+use twq_guard::{
+    DepthKind, FaultKind, FaultSite, GaugeKind, Guard, GuardError, NullGuard, TwqError,
+};
 use twq_logic::store::AttrEnv;
 use twq_logic::{eval_query, RegId, Relation, Store};
 use twq_obs::{Collector, FoEval, NullCollector};
@@ -107,7 +110,7 @@ impl ProtocolReport {
     }
 }
 
-struct ProtoExec<'a, C: Collector> {
+struct ProtoExec<'a, C: Collector, G: Guard> {
     prog: &'a TwProgram,
     tree: &'a twq_tree::Tree,
     owner: Vec<Party>,
@@ -117,6 +120,7 @@ struct ProtoExec<'a, C: Collector> {
     atp_requests: u64,
     dialogue: Vec<Msg>,
     collector: &'a mut C,
+    guard: &'a mut G,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -131,33 +135,39 @@ enum PEnd {
     Reject(Halt),
 }
 
-impl<C: Collector> ProtoExec<'_, C> {
+impl<C: Collector, G: Guard> ProtoExec<'_, C, G> {
     fn send(&mut self, m: Msg) {
         self.collector.message(m.kind());
         self.dialogue.push(m);
     }
 
-    fn run_chain(&mut self, cfg: PConfig, depth: u32) -> PEnd {
+    fn run_chain(&mut self, cfg: PConfig, depth: u32) -> Result<PEnd, GuardError> {
         self.collector
             .chain_enter(cfg.node.0 as u64, cfg.state.0 as u32, depth);
         let end = self.chain_loop(cfg, depth);
         let kind = match &end {
-            PEnd::Accept(_) => Halt::Accept.kind(),
-            PEnd::Reject(h) => h.kind(),
+            Ok(PEnd::Accept(_)) => Halt::Accept.kind(),
+            Ok(PEnd::Reject(h)) => h.kind(),
+            Err(_) => Halt::StepLimit.kind(),
         };
         self.collector.chain_exit(kind, depth);
         end
     }
 
-    fn chain_loop(&mut self, mut cfg: PConfig, depth: u32) -> PEnd {
+    fn chain_loop(&mut self, mut cfg: PConfig, depth: u32) -> Result<PEnd, GuardError> {
         let mut seen: HashSet<PConfig> = HashSet::new();
         loop {
             if !seen.insert(cfg.clone()) {
-                return PEnd::Reject(Halt::Cycle);
+                return Ok(PEnd::Reject(Halt::Cycle));
             }
             self.collector.cycle_bookkeeping(seen.len());
+            if G::ENABLED {
+                self.guard.gauge(GaugeKind::Configs, seen.len())?;
+                self.guard
+                    .gauge(GaugeKind::StoreTuples, cfg.store.total_tuples())?;
+            }
             if cfg.state == self.prog.final_state() {
-                return PEnd::Accept(cfg.store);
+                return Ok(PEnd::Accept(cfg.store));
             }
             let env = AttrEnv::of(self.tree, cfg.node);
             let label = self.tree.label(cfg.node);
@@ -167,20 +177,33 @@ impl<C: Collector> ProtoExec<'_, C> {
                 self.collector.fo_eval(FoEval::Guard);
                 if twq_logic::eval_guard(&cfg.store, &env, &rule.guard) {
                     if chosen.is_some() {
-                        return PEnd::Reject(Halt::Nondeterministic);
+                        return Ok(PEnd::Reject(Halt::Nondeterministic));
                     }
                     chosen = Some(idx);
                 }
             }
             let Some(rule_idx) = chosen else {
-                return PEnd::Reject(Halt::Stuck);
+                return Ok(PEnd::Reject(Halt::Stuck));
             };
             if self.steps >= self.limits.max_steps {
-                return PEnd::Reject(Halt::StepLimit);
+                return Ok(PEnd::Reject(Halt::StepLimit));
             }
             self.steps += 1;
             self.collector
                 .step(cfg.node.0 as u64, cfg.state.0 as u32, depth);
+            if G::ENABLED {
+                self.guard.tick()?;
+                if let Some(FaultKind::DropTransition) = self.guard.fault_at(FaultSite::Transition)
+                {
+                    // The injected fault erases the chosen rule: the party
+                    // is stuck, which the protocol reports as an ordinary
+                    // rejection.
+                    return Ok(PEnd::Reject(Halt::Stuck));
+                }
+                if let Some(FaultKind::CorruptStore) = self.guard.fault_at(FaultSite::Store) {
+                    cfg.store = self.prog.initial_store();
+                }
+            }
             let rule = &self.prog.rules()[rule_idx];
             match &rule.action {
                 Action::Move(q, d) => match move_dir(self.tree, cfg.node, *d) {
@@ -200,7 +223,7 @@ impl<C: Collector> ProtoExec<'_, C> {
                         cfg.node = v;
                         cfg.state = *q;
                     }
-                    None => return PEnd::Reject(Halt::Stuck),
+                    None => return Ok(PEnd::Reject(Halt::Stuck)),
                 },
                 Action::Update(q, psi, i) => {
                     self.collector.fo_eval(FoEval::Update);
@@ -210,12 +233,18 @@ impl<C: Collector> ProtoExec<'_, C> {
                 }
                 Action::Atp(q, phi, p, i) => {
                     if depth >= self.limits.max_atp_depth {
-                        return PEnd::Reject(Halt::AtpDepthLimit);
+                        return Ok(PEnd::Reject(Halt::AtpDepthLimit));
                     }
                     let here = self.owner[cfg.node.0 as usize];
                     let selected = phi.select_with(self.tree, cfg.node, self.collector);
                     self.collector
                         .atp_enter(cfg.node.0 as u64, selected.len(), depth);
+                    if G::ENABLED {
+                        if let Err(e) = self.guard.enter(DepthKind::Atp) {
+                            self.collector.atp_exit(depth);
+                            return Err(e);
+                        }
+                    }
                     let far: Vec<NodeId> = selected
                         .iter()
                         .copied()
@@ -228,6 +257,7 @@ impl<C: Collector> ProtoExec<'_, C> {
                     }
                     let mut acc = Relation::empty(cfg.store.arity(RegId(0)));
                     let mut far_acc = Relation::empty(cfg.store.arity(RegId(0)));
+                    let mut sub_end = None;
                     for v in selected {
                         let sub = PConfig {
                             node: v,
@@ -236,19 +266,30 @@ impl<C: Collector> ProtoExec<'_, C> {
                         };
                         let is_far = self.owner[v.0 as usize] != here;
                         match self.run_chain(sub, depth + 1) {
-                            PEnd::Accept(st) => {
+                            Ok(PEnd::Accept(st)) => {
                                 let r = st.get(RegId(0)).clone();
                                 if is_far {
                                     far_acc.union_with(&r);
                                 }
                                 acc.union_with(&r);
                             }
-                            PEnd::Reject(h) => {
+                            Ok(PEnd::Reject(h)) => {
                                 let h = if h.is_limit() { h } else { Halt::SubRejected };
-                                self.collector.atp_exit(depth);
-                                return PEnd::Reject(h);
+                                sub_end = Some(Ok(PEnd::Reject(h)));
+                                break;
+                            }
+                            Err(e) => {
+                                sub_end = Some(Err(e));
+                                break;
                             }
                         }
+                    }
+                    if G::ENABLED {
+                        self.guard.exit(DepthKind::Atp);
+                    }
+                    if let Some(end) = sub_end {
+                        self.collector.atp_exit(depth);
+                        return end;
                     }
                     self.collector.atp_exit(depth);
                     if !far.is_empty() {
@@ -294,6 +335,64 @@ pub fn run_protocol_with<C: Collector>(
     limits: Limits,
     collector: &mut C,
 ) -> ProtocolReport {
+    run_protocol_inner(
+        prog,
+        f,
+        g,
+        markers,
+        sym,
+        attr,
+        limits,
+        collector,
+        &mut NullGuard,
+    )
+    .expect("NullGuard never trips")
+}
+
+/// [`run_protocol`] under a resource [`Guard`]: one fuel unit per simulated
+/// computation step, `atp` nesting tracked as [`DepthKind::Atp`], the cycle
+/// table and register store gauged as [`GaugeKind::Configs`] /
+/// [`GaugeKind::StoreTuples`]. Injected faults ([`FaultSite::Transition`],
+/// [`FaultSite::Store`]) degrade the simulated computation — a dropped
+/// transition strands the owning party (ordinary rejection), a corrupted
+/// store resets its registers — without ever corrupting the dialogue
+/// accounting.
+#[allow(clippy::too_many_arguments)]
+pub fn run_protocol_guarded<G: Guard>(
+    prog: &TwProgram,
+    f: &[Value],
+    g: &[Value],
+    markers: &Markers,
+    sym: SymId,
+    attr: AttrId,
+    limits: Limits,
+    guard: &mut G,
+) -> Result<ProtocolReport, TwqError> {
+    run_protocol_inner(
+        prog,
+        f,
+        g,
+        markers,
+        sym,
+        attr,
+        limits,
+        &mut NullCollector,
+        guard,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_protocol_inner<C: Collector, G: Guard>(
+    prog: &TwProgram,
+    f: &[Value],
+    g: &[Value],
+    markers: &Markers,
+    sym: SymId,
+    attr: AttrId,
+    limits: Limits,
+    collector: &mut C,
+    guard: &mut G,
+) -> Result<ProtocolReport, TwqError> {
     let tree = split_string_tree(f, g, markers, sym, attr);
     let delim = DelimTree::build(&tree);
     let dtree = delim.tree();
@@ -337,6 +436,7 @@ pub fn run_protocol_with<C: Collector>(
         atp_requests: 0,
         dialogue: Vec::new(),
         collector,
+        guard,
     };
     // Initialization: both parties announce their N-types.
     exec.send(Msg::NType(Party::I));
@@ -347,13 +447,18 @@ pub fn run_protocol_with<C: Collector>(
         store: prog.initial_store(),
     };
     let halt = match exec.run_chain(init, 0) {
-        PEnd::Accept(_) => {
+        Ok(PEnd::Accept(_)) => {
             exec.send(Msg::Accept);
             Halt::Accept
         }
-        PEnd::Reject(h) => {
+        Ok(PEnd::Reject(h)) => {
             exec.send(Msg::Reject);
             h
+        }
+        Err(mut e) => {
+            exec.collector.halt(Halt::StepLimit.kind());
+            e.partial.fuel_spent = e.partial.fuel_spent.max(exec.steps);
+            return Err(TwqError::Guard(e));
         }
     };
     let distinct: HashSet<&Msg> = exec.dialogue.iter().collect();
@@ -368,7 +473,7 @@ pub fn run_protocol_with<C: Collector>(
     exec.collector
         .counter("protocol.dedup_messages", dedup_messages);
     exec.collector.halt(halt.kind());
-    ProtocolReport {
+    Ok(ProtocolReport {
         halt,
         messages: exec.dialogue.len() as u64,
         dedup_messages,
@@ -376,7 +481,7 @@ pub fn run_protocol_with<C: Collector>(
         crossings: exec.crossings,
         atp_requests: exec.atp_requests,
         dialogue: exec.dialogue,
-    }
+    })
 }
 
 /// A `tw^{r,l}` program over value strings for the protocol experiments:

@@ -18,7 +18,9 @@ pub mod logspace;
 pub mod noattr;
 pub mod pspace;
 
-pub use alternation::{compile_alternating, AltCompileError, AltProgram};
-pub use logspace::{compile_logspace, CompileError, PebbleProgram};
-pub use noattr::{delta_count_mod3, eliminate_store, ElimError};
-pub use pspace::{compile_pspace, StoreProgram};
+pub use alternation::{
+    compile_alternating, compile_alternating_guarded, AltCompileError, AltProgram,
+};
+pub use logspace::{compile_logspace, compile_logspace_guarded, CompileError, PebbleProgram};
+pub use noattr::{delta_count_mod3, eliminate_store, eliminate_store_guarded, ElimError};
+pub use pspace::{compile_pspace, compile_pspace_guarded, StoreProgram};

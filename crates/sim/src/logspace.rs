@@ -28,6 +28,7 @@
 
 use twq_automata::twir::{macros, when, Cond, Instr, Source, WalkerBuilder};
 use twq_automata::{Dir, TwProgram};
+use twq_guard::{GaugeKind, Guard, TwqError};
 use twq_logic::RegId;
 use twq_tree::{AttrId, SymId, Value, Vocab};
 use twq_xtm::{HeadMove, TreeDir, XState, Xtm};
@@ -395,6 +396,30 @@ pub fn compile_logspace(
         .expect("pebble compilation emits well-formed TW programs");
     debug_assert_eq!(program.classify(), twq_automata::TwClass::Tw);
     Ok(PebbleProgram { program, id_attr })
+}
+
+/// [`compile_logspace`] under a resource [`Guard`]: compilation cost is
+/// linear in the rule count, so one fuel unit is charged per source rule
+/// and the walker's state budget is gauged as
+/// [`GaugeKind::ProductStates`]. Fragment refusals surface as
+/// [`TwqError::Unsupported`].
+pub fn compile_logspace_guarded<G: Guard>(
+    machine: &Xtm,
+    alphabet: &[SymId],
+    id_attr: AttrId,
+    vocab: &mut Vocab,
+    guard: &mut G,
+) -> Result<PebbleProgram, TwqError> {
+    if G::ENABLED {
+        for _ in machine.rules() {
+            guard.tick().map_err(TwqError::Guard)?;
+        }
+        guard
+            .gauge(GaugeKind::ProductStates, machine.state_count())
+            .map_err(TwqError::Guard)?;
+    }
+    compile_logspace(machine, alphabet, id_attr, vocab)
+        .map_err(|e| TwqError::unsupported("sim::compile_logspace", e.to_string()))
 }
 
 #[cfg(test)]

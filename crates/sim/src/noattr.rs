@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 
 use twq_automata::{Action, Dir, State, TwProgram, TwProgramBuilder};
+use twq_guard::{GaugeKind, Guard, GuardError, NullGuard, TwqError};
 use twq_logic::store::AttrEnv;
 use twq_logic::{eval_guard, eval_query, Store};
 use twq_tree::Label;
@@ -57,19 +58,54 @@ impl std::error::Error for ElimError {}
 /// action constructor applied once the target's walker state is known.
 type ProductEdge = ((State, Store), Box<dyn Fn(State) -> Action>);
 
+/// An exploration outcome: either the construction's own refusal or a
+/// guard trip, kept apart so each public entry point reports its native
+/// error type.
+enum ElimStop {
+    Elim(ElimError),
+    Guard(GuardError),
+}
+
 /// Fold the relational store of an attribute-free `tw^r` program into its
 /// states, producing an equivalent pure finite-state `TW` walker.
 pub fn eliminate_store(prog: &TwProgram, max_states: usize) -> Result<TwProgram, ElimError> {
+    eliminate_store_inner(prog, max_states, &mut NullGuard).map_err(|e| match e {
+        ElimStop::Elim(e) => e,
+        ElimStop::Guard(_) => unreachable!("NullGuard never trips"),
+    })
+}
+
+/// [`eliminate_store`] under a resource [`Guard`]: one fuel unit per
+/// explored `(state, store)` pair, the growing product gauged as
+/// [`GaugeKind::ProductStates`] — the governed alternative to the bare
+/// `max_states` cap. Construction refusals surface as
+/// [`TwqError::Unsupported`], guard trips as [`TwqError::Guard`].
+pub fn eliminate_store_guarded<G: Guard>(
+    prog: &TwProgram,
+    max_states: usize,
+    guard: &mut G,
+) -> Result<TwProgram, TwqError> {
+    eliminate_store_inner(prog, max_states, guard).map_err(|e| match e {
+        ElimStop::Elim(e) => TwqError::unsupported("sim::eliminate_store", e.to_string()),
+        ElimStop::Guard(e) => TwqError::Guard(e),
+    })
+}
+
+fn eliminate_store_inner<G: Guard>(
+    prog: &TwProgram,
+    max_states: usize,
+    guard: &mut G,
+) -> Result<TwProgram, ElimStop> {
     // Preconditions.
     for rule in prog.rules() {
         if !rule.guard.attrs().is_empty() {
-            return Err(ElimError::UsesAttributes);
+            return Err(ElimStop::Elim(ElimError::UsesAttributes));
         }
         match &rule.action {
-            Action::Atp(_, _, _, _) => return Err(ElimError::UsesLookahead),
+            Action::Atp(_, _, _, _) => return Err(ElimStop::Elim(ElimError::UsesLookahead)),
             Action::Update(_, psi, _) => {
                 if !psi.attrs().is_empty() {
-                    return Err(ElimError::UsesAttributes);
+                    return Err(ElimStop::Elim(ElimError::UsesAttributes));
                 }
             }
             Action::Move(_, _) => {}
@@ -107,9 +143,15 @@ pub fn eliminate_store(prog: &TwProgram, max_states: usize) -> Result<TwProgram,
         if key.0 == prog.final_state() || emitted.contains_key(&key) {
             continue;
         }
+        if G::ENABLED {
+            guard.tick().map_err(ElimStop::Guard)?;
+            guard
+                .gauge(GaugeKind::ProductStates, counter)
+                .map_err(ElimStop::Guard)?;
+        }
         emitted.insert(key.clone(), ());
         if counter > max_states {
-            return Err(ElimError::TooManyProductStates(max_states));
+            return Err(ElimStop::Elim(ElimError::TooManyProductStates(max_states)));
         }
         let (q, store) = &key;
         let here = product_state(&mut b, &key, &mut counter);

@@ -9,18 +9,20 @@
 //! position, exactly as in the paper's worked example
 //! (`a/b[↓c][d] ⇝ ∃y₂∃y₃ (x ≺ y ∧ y ≺ y₂ ∧ E(y, y₃) ∧ …)`).
 
+use twq_guard::{DepthKind, Guard, GuardError, NullGuard, TwqError};
 use twq_logic::fo::build as fb;
 use twq_logic::{ExistsFormula, Formula, Var};
 use twq_tree::Label;
 
 use crate::ast::{Pred, XPath};
 
-struct Ctx {
+struct Ctx<'g, G: Guard> {
     next: u16,
     quantified: Vec<Var>,
+    guard: &'g mut G,
 }
 
-impl Ctx {
+impl<G: Guard> Ctx<'_, G> {
     fn fresh(&mut self) -> Var {
         let v = Var(self.next);
         self.next += 1;
@@ -28,38 +30,50 @@ impl Ctx {
         v
     }
 
-    fn trans(&mut self, p: &XPath, x: Var, y: Var) -> Formula {
-        match p {
+    fn trans(&mut self, p: &XPath, x: Var, y: Var) -> Result<Formula, GuardError> {
+        if G::ENABLED {
+            self.guard.tick()?;
+            self.guard.enter(DepthKind::Compile)?;
+        }
+        let out = self.trans_cases(p, x, y);
+        if G::ENABLED {
+            self.guard.exit(DepthKind::Compile);
+        }
+        out
+    }
+
+    fn trans_cases(&mut self, p: &XPath, x: Var, y: Var) -> Result<Formula, GuardError> {
+        Ok(match p {
             XPath::Name(s) => fb::and([fb::eq(x, y), fb::lab(Label::Sym(*s), y)]),
             XPath::Wild => fb::eq(x, y),
             XPath::Child(p1, p2) => {
                 let z = self.fresh();
                 let w = self.fresh();
-                fb::and([self.trans(p1, x, z), fb::edge(z, w), self.trans(p2, w, y)])
+                fb::and([self.trans(p1, x, z)?, fb::edge(z, w), self.trans(p2, w, y)?])
             }
             XPath::Descendant(p1, p2) => {
                 let z = self.fresh();
                 let w = self.fresh();
-                fb::and([self.trans(p1, x, z), fb::desc(z, w), self.trans(p2, w, y)])
+                fb::and([self.trans(p1, x, z)?, fb::desc(z, w), self.trans(p2, w, y)?])
             }
             XPath::FromRoot(p) => {
                 let r = self.fresh();
-                fb::and([fb::root(r), self.trans(p, r, y)])
+                fb::and([fb::root(r), self.trans(p, r, y)?])
             }
             XPath::FromDesc(p) => {
                 let w = self.fresh();
-                fb::and([fb::desc(x, w), self.trans(p, w, y)])
+                fb::and([fb::desc(x, w), self.trans(p, w, y)?])
             }
             XPath::FromChild(p) => {
                 let c = self.fresh();
-                fb::and([fb::edge(x, c), self.trans(p, c, y)])
+                fb::and([fb::edge(x, c), self.trans(p, c, y)?])
             }
             XPath::Filter(p, q) => {
-                let base = self.trans(p, x, y);
+                let base = self.trans(p, x, y)?;
                 let pred = match &**q {
                     Pred::Path(inner) => {
                         let z = self.fresh();
-                        self.trans(inner, y, z)
+                        self.trans(inner, y, z)?
                     }
                     Pred::AttrEqConst(a, d) => fb::val_const(*a, y, *d),
                     Pred::AttrEqAttr(a, b) => fb::val_eq(*a, y, *b, y),
@@ -67,26 +81,34 @@ impl Ctx {
                 fb::and([base, pred])
             }
             XPath::Union(p1, p2) => {
-                let l = self.trans(p1, x, y);
-                let r = self.trans(p2, x, y);
+                let l = self.trans(p1, x, y)?;
+                let r = self.trans(p2, x, y)?;
                 fb::or([l, r])
             }
-        }
+        })
     }
 }
 
 /// Compile an XPath expression to an equivalent binary `FO(∃*)` formula
 /// `φ(x₀, x₁)` (context, selected).
 pub fn compile(path: &XPath) -> ExistsFormula {
+    compile_guarded(path, &mut NullGuard).expect("NullGuard never trips")
+}
+
+/// [`compile`] under a resource [`Guard`]: one fuel unit per AST node
+/// translated, expression nesting tracked as [`DepthKind::Compile`] — the
+/// backstop against adversarially deep expressions.
+pub fn compile_guarded<G: Guard>(path: &XPath, guard: &mut G) -> Result<ExistsFormula, TwqError> {
     let x = Var(0);
     let y = Var(1);
     let mut ctx = Ctx {
         next: 2,
         quantified: Vec::new(),
+        guard,
     };
-    let matrix = ctx.trans(path, x, y);
+    let matrix = ctx.trans(path, x, y).map_err(TwqError::Guard)?;
     ExistsFormula::new(x, y, ctx.quantified, matrix)
-        .expect("XPath compilation produces valid FO(∃*)")
+        .map_err(|e| TwqError::invalid("xpath::compile", e.to_string()))
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 
 use std::collections::BTreeSet;
 
+use twq_guard::{DepthKind, Guard, GuardError, NullGuard, TwqError};
 use twq_obs::{Collector, FoEval, NullCollector};
 use twq_tree::{Label, NodeId, Tree};
 
@@ -23,8 +24,48 @@ pub fn eval_from_with<C: Collector>(
     x: NodeId,
     c: &mut C,
 ) -> BTreeSet<NodeId> {
+    eval_from_inner(tree, path, x, c, &mut NullGuard).expect("NullGuard never trips")
+}
+
+/// [`eval_from`] under a resource [`Guard`]: one fuel unit per
+/// subexpression evaluation, expression recursion (including filter
+/// nesting) tracked as [`DepthKind::Query`].
+pub fn eval_from_guarded<G: Guard>(
+    tree: &Tree,
+    path: &XPath,
+    x: NodeId,
+    guard: &mut G,
+) -> Result<BTreeSet<NodeId>, TwqError> {
+    eval_from_inner(tree, path, x, &mut NullCollector, guard).map_err(TwqError::Guard)
+}
+
+fn eval_from_inner<C: Collector, G: Guard>(
+    tree: &Tree,
+    path: &XPath,
+    x: NodeId,
+    c: &mut C,
+    g: &mut G,
+) -> Result<BTreeSet<NodeId>, GuardError> {
     c.fo_eval(FoEval::Path);
-    match path {
+    if G::ENABLED {
+        g.tick()?;
+        g.enter(DepthKind::Query)?;
+    }
+    let out = eval_from_cases(tree, path, x, c, g);
+    if G::ENABLED {
+        g.exit(DepthKind::Query);
+    }
+    out
+}
+
+fn eval_from_cases<C: Collector, G: Guard>(
+    tree: &Tree,
+    path: &XPath,
+    x: NodeId,
+    c: &mut C,
+    g: &mut G,
+) -> Result<BTreeSet<NodeId>, GuardError> {
+    Ok(match path {
         XPath::Name(s) => {
             if tree.label(x) == Label::Sym(*s) {
                 BTreeSet::from([x])
@@ -35,30 +76,30 @@ pub fn eval_from_with<C: Collector>(
         XPath::Wild => BTreeSet::from([x]),
         XPath::Child(p1, p2) => {
             let mut out = BTreeSet::new();
-            for y in eval_from_with(tree, p1, x, c) {
+            for y in eval_from_inner(tree, p1, x, c, g)? {
                 for ch in tree.children(y) {
-                    out.extend(eval_from_with(tree, p2, ch, c));
+                    out.extend(eval_from_inner(tree, p2, ch, c, g)?);
                 }
             }
             out
         }
         XPath::Descendant(p1, p2) => {
             let mut out = BTreeSet::new();
-            for y in eval_from_with(tree, p1, x, c) {
+            for y in eval_from_inner(tree, p1, x, c, g)? {
                 for d in tree.node_ids() {
                     if tree.is_strict_ancestor(y, d) {
-                        out.extend(eval_from_with(tree, p2, d, c));
+                        out.extend(eval_from_inner(tree, p2, d, c, g)?);
                     }
                 }
             }
             out
         }
-        XPath::FromRoot(p) => eval_from_with(tree, p, tree.root(), c),
+        XPath::FromRoot(p) => eval_from_inner(tree, p, tree.root(), c, g)?,
         XPath::FromDesc(p) => {
             let mut out = BTreeSet::new();
             for d in tree.node_ids() {
                 if tree.is_strict_ancestor(x, d) {
-                    out.extend(eval_from_with(tree, p, d, c));
+                    out.extend(eval_from_inner(tree, p, d, c, g)?);
                 }
             }
             out
@@ -66,20 +107,25 @@ pub fn eval_from_with<C: Collector>(
         XPath::FromChild(p) => {
             let mut out = BTreeSet::new();
             for ch in tree.children(x) {
-                out.extend(eval_from_with(tree, p, ch, c));
+                out.extend(eval_from_inner(tree, p, ch, c, g)?);
             }
             out
         }
-        XPath::Filter(p, q) => eval_from_with(tree, p, x, c)
-            .into_iter()
-            .filter(|&y| pred_holds_with(tree, q, y, c))
-            .collect(),
-        XPath::Union(p1, p2) => {
-            let mut out = eval_from_with(tree, p1, x, c);
-            out.extend(eval_from_with(tree, p2, x, c));
+        XPath::Filter(p, q) => {
+            let mut out = BTreeSet::new();
+            for y in eval_from_inner(tree, p, x, c, g)? {
+                if pred_holds_inner(tree, q, y, c, g)? {
+                    out.insert(y);
+                }
+            }
             out
         }
-    }
+        XPath::Union(p1, p2) => {
+            let mut out = eval_from_inner(tree, p1, x, c, g)?;
+            out.extend(eval_from_inner(tree, p2, x, c, g)?);
+            out
+        }
+    })
 }
 
 /// Whether a filter predicate holds at node `y`.
@@ -89,12 +135,22 @@ pub fn pred_holds(tree: &Tree, pred: &Pred, y: NodeId) -> bool {
 
 /// [`pred_holds`] with instrumentation (one [`FoEval::Pred`] per test).
 pub fn pred_holds_with<C: Collector>(tree: &Tree, pred: &Pred, y: NodeId, c: &mut C) -> bool {
+    pred_holds_inner(tree, pred, y, c, &mut NullGuard).expect("NullGuard never trips")
+}
+
+fn pred_holds_inner<C: Collector, G: Guard>(
+    tree: &Tree,
+    pred: &Pred,
+    y: NodeId,
+    c: &mut C,
+    g: &mut G,
+) -> Result<bool, GuardError> {
     c.fo_eval(FoEval::Pred);
-    match pred {
-        Pred::Path(p) => !eval_from_with(tree, p, y, c).is_empty(),
+    Ok(match pred {
+        Pred::Path(p) => !eval_from_inner(tree, p, y, c, g)?.is_empty(),
         Pred::AttrEqConst(a, d) => tree.attr(y, *a) == *d,
         Pred::AttrEqAttr(a, b) => tree.attr(y, *a) == tree.attr(y, *b),
-    }
+    })
 }
 
 /// All (context, selected) pairs — the full binary relation.
@@ -115,6 +171,21 @@ pub fn eval_pairs_with<C: Collector>(
         }
     }
     out
+}
+
+/// [`eval_pairs`] under a resource [`Guard`].
+pub fn eval_pairs_guarded<G: Guard>(
+    tree: &Tree,
+    path: &XPath,
+    guard: &mut G,
+) -> Result<BTreeSet<(NodeId, NodeId)>, TwqError> {
+    let mut out = BTreeSet::new();
+    for x in tree.node_ids() {
+        for y in eval_from_guarded(tree, path, x, guard)? {
+            out.insert((x, y));
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

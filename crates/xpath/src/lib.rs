@@ -22,9 +22,10 @@ pub mod parse;
 pub mod to_program;
 
 pub use ast::{Pred, XPath};
-pub use compile::compile;
+pub use compile::{compile, compile_guarded};
 pub use eval::{
-    eval_from, eval_from_with, eval_pairs, eval_pairs_with, pred_holds, pred_holds_with,
+    eval_from, eval_from_guarded, eval_from_with, eval_pairs, eval_pairs_guarded, eval_pairs_with,
+    pred_holds, pred_holds_with,
 };
 pub use generate::{random_xpath, XPathGenConfig};
 pub use parse::{parse_xpath, XPathParseError};

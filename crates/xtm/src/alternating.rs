@@ -15,6 +15,7 @@
 
 use std::collections::HashMap;
 
+use twq_guard::{DepthKind, GaugeKind, Guard, GuardError, NullGuard, TwqError};
 use twq_tree::{DelimTree, Value};
 
 use crate::machine::{HeadMove, Mode, TreeDir, XGuard, XRegOp, Xtm, XtmConfig, XtmLimits};
@@ -32,7 +33,7 @@ pub struct AltReport {
     pub truncated: bool,
 }
 
-struct AltExec<'a> {
+struct AltExec<'a, G: Guard> {
     m: &'a Xtm,
     tree: &'a twq_tree::Tree,
     limits: XtmLimits,
@@ -40,9 +41,10 @@ struct AltExec<'a> {
     in_progress: HashMap<XtmConfig, ()>,
     space: usize,
     truncated: bool,
+    guard: &'a mut G,
 }
 
-impl AltExec<'_> {
+impl<G: Guard> AltExec<'_, G> {
     fn successors(&self, cfg: &XtmConfig) -> Vec<XtmConfig> {
         let label = self.tree.label(cfg.node);
         let sym = cfg.tape.get(cfg.head).copied().unwrap_or(0);
@@ -113,36 +115,88 @@ impl AltExec<'_> {
         out
     }
 
-    fn eval(&mut self, cfg: XtmConfig) -> bool {
+    fn eval(&mut self, cfg: XtmConfig) -> Result<bool, GuardError> {
         if cfg.state == self.m.accept() {
-            return true;
+            return Ok(true);
         }
         if let Some(&b) = self.memo.get(&cfg) {
-            return b;
+            return Ok(b);
         }
         if self.in_progress.contains_key(&cfg) {
             // Least-fixpoint: an unfounded recursion does not accept.
-            return false;
+            return Ok(false);
         }
         self.space = self.space.max(cfg.tape.len()).max(cfg.head + 1);
         if self.space > self.limits.max_space || self.memo.len() as u64 >= self.limits.max_steps {
             self.truncated = true;
-            return false;
+            return Ok(false);
+        }
+        if G::ENABLED {
+            self.guard.tick()?;
+            self.guard.gauge(GaugeKind::TapeCells, self.space)?;
+            self.guard.gauge(GaugeKind::Configs, self.memo.len())?;
         }
         self.in_progress.insert(cfg.clone(), ());
+        if G::ENABLED {
+            if let Err(e) = self.guard.enter(DepthKind::Alternation) {
+                self.in_progress.remove(&cfg);
+                return Err(e);
+            }
+        }
         let succs = self.successors(&cfg);
-        let result = match self.m.mode(cfg.state) {
-            Mode::Exist => succs.into_iter().any(|s| self.eval(s)),
-            Mode::Univ => succs.into_iter().all(|s| self.eval(s)),
-        };
+        let mut result = Ok(!matches!(self.m.mode(cfg.state), Mode::Exist));
+        for s in succs {
+            match (self.m.mode(cfg.state), self.eval(s)) {
+                (Mode::Exist, Ok(true)) => {
+                    result = Ok(true);
+                    break;
+                }
+                (Mode::Univ, Ok(false)) => {
+                    result = Ok(false);
+                    break;
+                }
+                (_, Ok(_)) => {}
+                (_, Err(e)) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        if G::ENABLED {
+            self.guard.exit(DepthKind::Alternation);
+        }
         self.in_progress.remove(&cfg);
-        self.memo.insert(cfg, result);
+        if let Ok(b) = result {
+            self.memo.insert(cfg, b);
+        }
         result
     }
 }
 
 /// Evaluate an alternating machine on a delimited tree.
 pub fn run_alternating(m: &Xtm, delim: &DelimTree, limits: XtmLimits) -> AltReport {
+    run_alternating_inner(m, delim, limits, &mut NullGuard).expect("NullGuard never trips")
+}
+
+/// [`run_alternating`] under a resource [`Guard`]: one fuel unit per
+/// configuration expanded, game-tree recursion tracked as
+/// [`DepthKind::Alternation`], the memo table as [`GaugeKind::Configs`],
+/// and tape footprint as [`GaugeKind::TapeCells`].
+pub fn run_alternating_guarded<G: Guard>(
+    m: &Xtm,
+    delim: &DelimTree,
+    limits: XtmLimits,
+    guard: &mut G,
+) -> Result<AltReport, TwqError> {
+    run_alternating_inner(m, delim, limits, guard)
+}
+
+fn run_alternating_inner<G: Guard>(
+    m: &Xtm,
+    delim: &DelimTree,
+    limits: XtmLimits,
+    guard: &mut G,
+) -> Result<AltReport, TwqError> {
     let tree = delim.tree();
     let mut exec = AltExec {
         m,
@@ -152,6 +206,7 @@ pub fn run_alternating(m: &Xtm, delim: &DelimTree, limits: XtmLimits) -> AltRepo
         in_progress: HashMap::new(),
         space: 0,
         truncated: false,
+        guard,
     };
     let init = XtmConfig {
         node: tree.root(),
@@ -160,12 +215,17 @@ pub fn run_alternating(m: &Xtm, delim: &DelimTree, limits: XtmLimits) -> AltRepo
         tape: Vec::new(),
         regs: vec![Value::BOT; m.reg_count() as usize],
     };
-    let accepted = exec.eval(init);
-    AltReport {
-        accepted,
-        configs: exec.memo.len(),
-        space: exec.space.max(1),
-        truncated: exec.truncated,
+    match exec.eval(init) {
+        Ok(accepted) => Ok(AltReport {
+            accepted,
+            configs: exec.memo.len(),
+            space: exec.space.max(1),
+            truncated: exec.truncated,
+        }),
+        Err(mut e) => {
+            e.partial.max_gauge = e.partial.max_gauge.max(exec.space);
+            Err(TwqError::Guard(e))
+        }
     }
 }
 
@@ -192,7 +252,7 @@ mod tests {
             HeadMove::Stay,
             TreeDir::Stay,
         );
-        let m = b.build();
+        let m = b.build().unwrap();
         let mut v = Vocab::new();
         let t = parse_tree("a(b)", &mut v).unwrap();
         let dt = DelimTree::build(&t);
@@ -228,7 +288,7 @@ mod tests {
             HeadMove::Stay,
             TreeDir::Stay,
         );
-        let m = b.build();
+        let m = b.build().unwrap();
         let mut v = Vocab::new();
         let t = parse_tree("a", &mut v).unwrap();
         let r = run_alternating(&m, &DelimTree::build(&t), XtmLimits::default());
@@ -261,7 +321,7 @@ mod tests {
             HeadMove::Stay,
             TreeDir::Stay,
         );
-        let m = b.build();
+        let m = b.build().unwrap();
         let mut v = Vocab::new();
         let t = parse_tree("a", &mut v).unwrap();
         let r = run_alternating(&m, &DelimTree::build(&t), XtmLimits::default());
@@ -274,7 +334,7 @@ mod tests {
         let s0 = b.state_mode("s0", Mode::Univ);
         let acc = b.state("acc");
         b.initial(s0).accept(acc);
-        let m = b.build();
+        let m = b.build().unwrap();
         let mut v = Vocab::new();
         let t = parse_tree("a", &mut v).unwrap();
         let r = run_alternating(&m, &DelimTree::build(&t), XtmLimits::default());
@@ -297,7 +357,7 @@ mod tests {
             HeadMove::Stay,
             TreeDir::Stay,
         );
-        let m = b.build();
+        let m = b.build().unwrap();
         let mut v = Vocab::new();
         let t = parse_tree("a", &mut v).unwrap();
         let r = run_alternating(&m, &DelimTree::build(&t), XtmLimits::default());

@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use twq_guard::TwqError;
 use twq_tree::{AttrId, Label, NodeId, Tree, Value};
 
 /// A token of the encoding alphabet.
@@ -28,12 +29,16 @@ pub enum Token {
 }
 
 /// Encode a tree over the given attribute set as a token string.
-pub fn encode(tree: &Tree, attrs: &[AttrId]) -> Vec<Token> {
+///
+/// # Errors
+/// [`TwqError::Invalid`] when the tree contains delimiter labels —
+/// delimited trees are never encoded; `encode` is for inputs.
+pub fn encode(tree: &Tree, attrs: &[AttrId]) -> Result<Vec<Token>, TwqError> {
     let mut numbering: HashMap<Value, u32> = HashMap::new();
     numbering.insert(Value::BOT, 0);
     let mut out = Vec::new();
-    enc_node(tree, tree.root(), attrs, &mut numbering, &mut out);
-    out
+    enc_node(tree, tree.root(), attrs, &mut numbering, &mut out)?;
+    Ok(out)
 }
 
 fn enc_node(
@@ -42,12 +47,16 @@ fn enc_node(
     attrs: &[AttrId],
     numbering: &mut HashMap<Value, u32>,
     out: &mut Vec<Token>,
-) {
+) -> Result<(), TwqError> {
     out.push(Token::Open);
     match tree.label(u) {
         Label::Sym(s) => out.push(Token::Sym(s.0)),
-        // Delimited trees are never encoded; encode() is for inputs.
-        other => panic!("cannot encode delimiter label {other:?}"),
+        other => {
+            return Err(TwqError::invalid(
+                "xtm::encode",
+                format!("cannot encode delimiter label {other:?}"),
+            ))
+        }
     }
     for &a in attrs {
         let v = tree.attr(u, a);
@@ -56,9 +65,10 @@ fn enc_node(
         out.push(Token::Val(a.0, idx));
     }
     for c in tree.children(u) {
-        enc_node(tree, c, attrs, numbering, out);
+        enc_node(tree, c, attrs, numbering, out)?;
     }
     out.push(Token::Close);
+    Ok(())
 }
 
 /// Flatten a token string into bytes for a single-tape TM: `(` = b'(',
@@ -167,7 +177,7 @@ mod tests {
     fn encoding_is_document_order() {
         let mut v = Vocab::new();
         let t = parse_tree("a(b,c(d))", &mut v).unwrap();
-        let toks = encode(&t, &[]);
+        let toks = encode(&t, &[]).unwrap();
         use Token::*;
         let syms: Vec<Token> = toks
             .iter()
@@ -187,7 +197,7 @@ mod tests {
         let mut v = Vocab::new();
         let a = v.attr("a");
         let t = parse_tree("s[a=x](s[a=y],s[a=x])", &mut v).unwrap();
-        let toks = encode(&t, &[a]);
+        let toks = encode(&t, &[a]).unwrap();
         let vals: Vec<u32> = toks
             .iter()
             .filter_map(|t| match t {
@@ -206,8 +216,8 @@ mod tests {
         let t1 = parse_tree("s[a=x](s[a=y])", &mut v).unwrap();
         let t2 = parse_tree("s[a=p](s[a=q])", &mut v).unwrap();
         let t3 = parse_tree("s[a=p](s[a=p])", &mut v).unwrap();
-        assert_eq!(encode(&t1, &[a]), encode(&t2, &[a]));
-        assert_ne!(encode(&t1, &[a]), encode(&t3, &[a]));
+        assert_eq!(encode(&t1, &[a]).unwrap(), encode(&t2, &[a]).unwrap());
+        assert_ne!(encode(&t1, &[a]).unwrap(), encode(&t3, &[a]).unwrap());
     }
 
     #[test]
@@ -215,7 +225,7 @@ mod tests {
         let mut v = Vocab::new();
         let a = v.attr("a");
         let t = parse_tree("s[a=x](s[a=y],s(s[a=x]))", &mut v).unwrap();
-        let toks = encode(&t, &[a]);
+        let toks = encode(&t, &[a]).unwrap();
         let mut pool: HashMap<u32, Value> = HashMap::new();
         let mut vv = v.clone();
         let decoded = decode(&toks, &mut |i| {
@@ -230,7 +240,7 @@ mod tests {
             assert_eq!(decoded.label(du), t.label(u));
         }
         // Re-encoding is identical (canonicality).
-        assert_eq!(encode(&decoded, &[a]), toks);
+        assert_eq!(encode(&decoded, &[a]).unwrap(), toks);
     }
 
     #[test]
@@ -248,8 +258,8 @@ mod tests {
         let mut v = Vocab::new();
         let t1 = parse_tree("a(b)", &mut v).unwrap();
         let t2 = parse_tree("a(b,b)", &mut v).unwrap();
-        let b1 = to_bytes(&encode(&t1, &[]));
-        let b2 = to_bytes(&encode(&t2, &[]));
+        let b1 = to_bytes(&encode(&t1, &[]).unwrap());
+        let b2 = to_bytes(&encode(&t2, &[]).unwrap());
         assert_ne!(b1, b2);
         assert!(b1.iter().all(|b| b.is_ascii_graphic()));
     }

@@ -17,6 +17,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
+use twq_guard::{FaultKind, FaultSite, GaugeKind, Guard, NullGuard, TwqError};
 use twq_obs::{Collector, HaltKind, NullCollector};
 use twq_tree::{AttrId, DelimTree, Label, NodeId, Tree, Value};
 
@@ -221,20 +222,31 @@ impl XtmBuilder {
     }
 
     /// Validate and freeze.
-    pub fn build(self) -> Xtm {
-        let initial = self.initial.expect("initial state required");
-        let accept = self.accept.expect("accept state required");
+    ///
+    /// # Errors
+    /// [`TwqError::Invalid`] when no initial/accept state was declared, a
+    /// rule references an unknown state, or a rule leaves the accept state.
+    pub fn build(self) -> Result<Xtm, TwqError> {
+        let invalid = |d: &str| TwqError::invalid("xtm::build", d.to_owned());
+        let initial = self
+            .initial
+            .ok_or_else(|| invalid("initial state required"))?;
+        let accept = self
+            .accept
+            .ok_or_else(|| invalid("accept state required"))?;
         let mut index: HashMap<(XState, Label, TapeSym), Vec<usize>> = HashMap::new();
         for (i, r) in self.rules.iter().enumerate() {
-            assert!(
-                (r.state.0 as usize) < self.state_names.len()
-                    && (r.next.0 as usize) < self.state_names.len(),
-                "rule references unknown state"
-            );
-            assert_ne!(r.state, accept, "no transitions from the accept state");
+            if (r.state.0 as usize) >= self.state_names.len()
+                || (r.next.0 as usize) >= self.state_names.len()
+            {
+                return Err(invalid("rule references unknown state"));
+            }
+            if r.state == accept {
+                return Err(invalid("no transitions from the accept state"));
+            }
             index.entry((r.state, r.label, r.tape)).or_default().push(i);
         }
-        Xtm {
+        Ok(Xtm {
             state_names: self.state_names,
             modes: self.modes,
             initial,
@@ -242,7 +254,7 @@ impl XtmBuilder {
             reg_count: self.reg_count,
             rules: self.rules,
             index,
-        }
+        })
     }
 }
 
@@ -452,6 +464,29 @@ pub fn run_xtm_with<C: Collector>(
     limits: XtmLimits,
     c: &mut C,
 ) -> XtmReport {
+    run_xtm_inner(m, delim, limits, c, &mut NullGuard).expect("NullGuard never trips")
+}
+
+/// [`run_xtm`] under a resource [`Guard`]: one fuel unit per transition,
+/// tape growth gauged as [`GaugeKind::TapeCells`], the cycle table as
+/// [`GaugeKind::Configs`]. Fault plans may drop the selected transition
+/// (the run gets stuck) or corrupt the tape (cleared to blanks).
+pub fn run_xtm_guarded<G: Guard>(
+    m: &Xtm,
+    delim: &DelimTree,
+    limits: XtmLimits,
+    guard: &mut G,
+) -> Result<XtmReport, TwqError> {
+    run_xtm_inner(m, delim, limits, &mut NullCollector, guard)
+}
+
+fn run_xtm_inner<C: Collector, G: Guard>(
+    m: &Xtm,
+    delim: &DelimTree,
+    limits: XtmLimits,
+    c: &mut C,
+    g: &mut G,
+) -> Result<XtmReport, TwqError> {
     let tree = delim.tree();
     let mut cfg = XtmConfig {
         node: tree.root(),
@@ -468,15 +503,25 @@ pub fn run_xtm_with<C: Collector>(
         space = space.max(cfg.tape.len()).max(cfg.head + 1);
         c.tape_cells(space);
         if space > limits.max_space {
-            break XtmHalt::SpaceLimit;
+            break Ok(XtmHalt::SpaceLimit);
+        }
+        if G::ENABLED {
+            if let Err(e) = g.gauge(GaugeKind::TapeCells, space) {
+                break Err(e);
+            }
         }
         if cfg.state == m.accept() {
-            break XtmHalt::Accept;
+            break Ok(XtmHalt::Accept);
         }
         if !seen.insert(cfg.clone()) {
-            break XtmHalt::Cycle;
+            break Ok(XtmHalt::Cycle);
         }
         c.cycle_bookkeeping(seen.len());
+        if G::ENABLED {
+            if let Err(e) = g.gauge(GaugeKind::Configs, seen.len()) {
+                break Err(e);
+            }
+        }
         let label = tree.label(cfg.node);
         let sym = cfg.read();
         let mut chosen = None;
@@ -495,24 +540,46 @@ pub fn run_xtm_with<C: Collector>(
             }
         }
         if nondet {
-            break XtmHalt::Nondeterministic;
+            break Ok(XtmHalt::Nondeterministic);
         }
         let Some(i) = chosen else {
-            break XtmHalt::Stuck;
+            break Ok(XtmHalt::Stuck);
         };
         if steps >= limits.max_steps {
-            break XtmHalt::StepLimit;
+            break Ok(XtmHalt::StepLimit);
         }
         steps += 1;
         c.step(cfg.node.0 as u64, cfg.state.0 as u32, 0);
+        if G::ENABLED {
+            if let Err(e) = g.tick() {
+                break Err(e);
+            }
+            if g.fault_at(FaultSite::Transition) == Some(FaultKind::DropTransition) {
+                break Ok(XtmHalt::Stuck);
+            }
+            if g.fault_at(FaultSite::Store) == Some(FaultKind::CorruptStore) {
+                cfg.tape.clear();
+            }
+        }
         match apply(m, tree, &cfg, &m.rules()[i]) {
             Some(next) => cfg = next,
-            None => break XtmHalt::Stuck,
+            None => break Ok(XtmHalt::Stuck),
         }
     };
-    c.chain_exit(halt.kind(), 0);
-    c.halt(halt.kind());
-    XtmReport { halt, steps, space }
+    match halt {
+        Ok(halt) => {
+            c.chain_exit(halt.kind(), 0);
+            c.halt(halt.kind());
+            Ok(XtmReport { halt, steps, space })
+        }
+        Err(mut e) => {
+            c.chain_exit(HaltKind::StepLimit, 0);
+            c.halt(HaltKind::StepLimit);
+            e.partial.fuel_spent = e.partial.fuel_spent.max(steps);
+            e.partial.max_gauge = e.partial.max_gauge.max(space);
+            Err(TwqError::Guard(e))
+        }
+    }
 }
 
 /// Convenience: delimit and run.
@@ -528,6 +595,16 @@ pub fn run_xtm_on_tree_with<C: Collector>(
     c: &mut C,
 ) -> XtmReport {
     run_xtm_with(m, &DelimTree::build(tree), limits, c)
+}
+
+/// Convenience: delimit and run under a resource [`Guard`].
+pub fn run_xtm_on_tree_guarded<G: Guard>(
+    m: &Xtm,
+    tree: &Tree,
+    limits: XtmLimits,
+    guard: &mut G,
+) -> Result<XtmReport, TwqError> {
+    run_xtm_guarded(m, &DelimTree::build(tree), limits, guard)
 }
 
 #[cfg(test)]
@@ -550,7 +627,7 @@ mod tests {
             HeadMove::Stay,
             TreeDir::Stay,
         );
-        b.build()
+        b.build().unwrap()
     }
 
     #[test]
@@ -569,7 +646,7 @@ mod tests {
         let s0 = b.state("s0");
         let acc = b.state("acc");
         b.initial(s0).accept(acc);
-        let m = b.build();
+        let m = b.build().unwrap();
         let mut v = Vocab::new();
         let t = parse_tree("a", &mut v).unwrap();
         let r = run_xtm_on_tree(&m, &t, XtmLimits::default());
@@ -592,7 +669,7 @@ mod tests {
             HeadMove::Stay,
             TreeDir::Stay,
         );
-        let m = b.build();
+        let m = b.build().unwrap();
         let mut v = Vocab::new();
         let t = parse_tree("a", &mut v).unwrap();
         let r = run_xtm_on_tree(&m, &t, XtmLimits::default());
@@ -635,7 +712,7 @@ mod tests {
             HeadMove::Stay,
             TreeDir::Stay,
         );
-        let m = b.build();
+        let m = b.build().unwrap();
         assert!(m.is_binary_tape());
         assert!(m.is_register_free());
         let mut v = Vocab::new();
@@ -661,7 +738,7 @@ mod tests {
             HeadMove::Right,
             TreeDir::Stay,
         );
-        let m = b.build();
+        let m = b.build().unwrap();
         let mut v = Vocab::new();
         let t = parse_tree("a", &mut v).unwrap();
         let r = run_xtm_on_tree(
@@ -744,7 +821,7 @@ mod tests {
             tree: TreeDir::Stay,
             reg: XRegOp::None,
         });
-        let m = b.build();
+        let m = b.build().unwrap();
         assert!(!m.is_register_free());
 
         let t1 = parse_tree("s[a=3](s[a=3])", &mut vocab).unwrap();

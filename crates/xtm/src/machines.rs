@@ -157,7 +157,7 @@ pub fn leaf_count_even(alphabet: &[SymId]) -> Xtm {
         HeadMove::Stay,
         TreeDir::Stay,
     );
-    b.build()
+    b.build().expect("library machine is well-formed")
 }
 
 /// Oracle for [`leaf_count_even`].
@@ -282,7 +282,7 @@ pub fn leftmost_depth_even(alphabet: &[SymId]) -> Xtm {
         HeadMove::Stay,
         TreeDir::Stay,
     );
-    b.build()
+    b.build().expect("library machine is well-formed")
 }
 
 /// Oracle for [`leftmost_depth_even`].
@@ -436,7 +436,7 @@ pub fn node_count_even(alphabet: &[SymId]) -> Xtm {
         HeadMove::Stay,
         TreeDir::Stay,
     );
-    b.build()
+    b.build().expect("library machine is well-formed")
 }
 
 /// Oracle for [`node_count_even`].
@@ -560,7 +560,7 @@ pub fn root_value_at_some_leaf(alphabet: &[SymId], a: AttrId) -> Xtm {
         HeadMove::Stay,
         TreeDir::Up,
     );
-    b.build()
+    b.build().expect("library machine is well-formed")
 }
 
 /// Oracle for [`root_value_at_some_leaf`].
@@ -671,7 +671,7 @@ pub fn alt_all_leaves_even_depth(alphabet: &[SymId]) -> Xtm {
         HeadMove::Stay,
         TreeDir::Stay,
     );
-    b.build()
+    b.build().expect("library machine is well-formed")
 }
 
 /// Oracle for [`alt_all_leaves_even_depth`].

@@ -5,6 +5,8 @@
 
 use std::collections::{HashMap, HashSet};
 
+use twq_guard::TwqError;
+
 /// A TM state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TmState(pub u16);
@@ -79,12 +81,20 @@ impl TmBuilder {
     }
 
     /// Freeze.
-    pub fn build(self) -> Tm {
-        Tm {
-            initial: self.initial.expect("initial state required"),
-            accept: self.accept.expect("accept state required"),
+    ///
+    /// # Errors
+    /// [`TwqError::Invalid`] when no initial or accept state was declared.
+    pub fn build(self) -> Result<Tm, TwqError> {
+        let invalid = |d: &str| TwqError::invalid("tm::build", d.to_owned());
+        Ok(Tm {
+            initial: self
+                .initial
+                .ok_or_else(|| invalid("initial state required"))?,
+            accept: self
+                .accept
+                .ok_or_else(|| invalid("accept state required"))?,
             delta: self.delta,
-        }
+        })
     }
 }
 
@@ -234,7 +244,7 @@ pub fn tm_leaf_count_even() -> Tm {
             }
         }
     }
-    b.build()
+    b.build().expect("library machine is well-formed")
 }
 
 /// An ordinary TM recognizing "the encoded tree has an **even number of
@@ -266,7 +276,7 @@ pub fn tm_node_count_even() -> Tm {
             }
         }
     }
-    b.build()
+    b.build().expect("library machine is well-formed")
 }
 
 /// An ordinary TM recognizing "the **leftmost leaf** of the encoded tree
@@ -302,7 +312,7 @@ pub fn tm_leftmost_depth_even() -> Tm {
             }
         }
     }
-    b.build()
+    b.build().expect("library machine is well-formed")
 }
 
 #[cfg(test)]
@@ -320,7 +330,7 @@ mod tests {
         let acc = b.state("acc");
         b.initial(s0).accept(acc);
         b.t(s0, b'x', acc, b'x', TmMove::S);
-        let m = b.build();
+        let m = b.build().unwrap();
         assert!(run_tm(&m, b"x", 100).accepted());
         assert_eq!(run_tm(&m, b"y", 100).halt, TmHalt::Stuck);
     }
@@ -332,7 +342,7 @@ mod tests {
         let acc = b.state("acc");
         b.initial(s0).accept(acc);
         b.t(s0, b'x', s0, b'x', TmMove::S);
-        let m = b.build();
+        let m = b.build().unwrap();
         assert_eq!(run_tm(&m, b"x", 100).halt, TmHalt::Cycle);
     }
 
@@ -343,7 +353,7 @@ mod tests {
         let acc = b.state("acc");
         b.initial(s0).accept(acc);
         b.t(s0, b'x', s0, b'x', TmMove::L);
-        let m = b.build();
+        let m = b.build().unwrap();
         assert_eq!(run_tm(&m, b"x", 100).halt, TmHalt::Stuck);
     }
 
@@ -359,7 +369,7 @@ mod tests {
             ("a(b,c,d)", false), // 3 leaves
         ] {
             let t = parse_tree(src, &mut v).unwrap();
-            let input = to_bytes(&encode(&t, &[]));
+            let input = to_bytes(&encode(&t, &[]).unwrap());
             let r = run_tm(&m, &input, 1_000_000);
             assert_eq!(r.accepted(), expect, "{src}");
         }
@@ -377,7 +387,7 @@ mod tests {
                 ..cfg.clone()
             };
             let t = random_tree(&cfg_n, seed);
-            let input = to_bytes(&encode(&t, &[]));
+            let input = to_bytes(&encode(&t, &[]).unwrap());
             let r = run_tm(&m, &input, 10_000_000);
             assert_eq!(r.accepted(), t.len().is_multiple_of(2), "seed {seed}");
         }
@@ -390,7 +400,7 @@ mod tests {
         let cfg = TreeGenConfig::example32(&mut v, 25, &[1]);
         for seed in 0..20 {
             let t = random_tree(&cfg, seed);
-            let input = to_bytes(&encode(&t, &[]));
+            let input = to_bytes(&encode(&t, &[]).unwrap());
             let r = run_tm(&m, &input, 10_000_000);
             assert_eq!(
                 r.accepted(),
@@ -407,7 +417,7 @@ mod tests {
         let cfg = TreeGenConfig::example32(&mut v, 40, &[1]);
         for seed in 0..25 {
             let t = random_tree(&cfg, seed);
-            let input = to_bytes(&encode(&t, &[]));
+            let input = to_bytes(&encode(&t, &[]).unwrap());
             let r = run_tm(&m, &input, 10_000_000);
             assert_eq!(r.accepted(), oracle_leaf_count_even(&t), "seed {seed}");
         }

@@ -46,7 +46,7 @@ fn main() {
             w.extend(g.iter().copied());
             let direct = in_lm(2, &w, &markers);
             let tree = split_string_tree(&f, &g, &markers, sym, attr);
-            let logical = eval_sentence(&tree, &phi);
+            let logical = eval_sentence(&tree, &phi).expect("L² sentence is closed");
             assert_eq!(direct, logical, "Lemma 4.2");
             println!(
                 "  {tag} pair, |f|={:<2} |g|={:<2} → in L²: {direct}",

@@ -19,31 +19,156 @@
 //! experiment (E1, E3–E6) under a [`MetricsCollector`] and reports the
 //! top-k states by interpreter steps — per-state evidence for the
 //! theorem's resource claim.
+//!
+//! Resource governance (`twq-guard`) is wired in through three flags:
+//!
+//! * `--budget N` — cap every evaluator invocation at `N` fuel units;
+//! * `--timeout MS` — give every invocation a wall-clock deadline;
+//! * `--faults SEED` — inject deterministic faults (dropped transitions,
+//!   corrupted stores, synthetic exhaustion) from a seeded plan.
+//!
+//! A governed run that trips a limit prints its row with an explicit
+//! `limit-tripped` marker instead of hanging or aborting the sweep.
 
-use twq::automata::{examples, run, run_graph, run_with, Limits, State, TwClass, TwProgram};
-use twq::logic::eval_sentence;
+use std::time::Duration;
+
+use twq::automata::{
+    examples, run, run_graph, run_guarded, run_with, Limits, State, TwClass, TwProgram,
+};
+use twq::guard::{FaultPlan, ResourceGuard, TripReason, TwqError};
 use twq::logic::types::{count_classes, TypeConfig};
+use twq::logic::{eval_sentence, eval_sentence_guarded};
 use twq::obs::{col, Cell, HumanReporter, JsonlReporter, MetricsCollector, Reporter, RunMetrics};
 use twq::protocol::{
     at_most_k_values_program, counting_table, encode, encode_shuffled, in_lm, lm_sentence,
-    random_hyperset, run_protocol, split_string_tree, HyperGenConfig, Markers,
+    random_hyperset, run_protocol, run_protocol_guarded, split_string_tree, HyperGenConfig,
+    Markers, ProtocolReport,
 };
-use twq::sim::{compile_logspace, compile_pspace, delta_count_mod3, eliminate_store};
+use twq::sim::{
+    compile_logspace, compile_logspace_guarded, compile_pspace, compile_pspace_guarded,
+    delta_count_mod3, eliminate_store, eliminate_store_guarded,
+};
 use twq::tree::generate::{monadic_tree, random_tree, TreeGenConfig};
 use twq::tree::{DelimTree, Label, Value, Vocab};
-use twq::xpath::{compile, eval_from, parse_xpath};
-use twq::xtm::machine::{run_xtm, XtmLimits};
+use twq::xpath::{compile, eval_from, eval_from_guarded, parse_xpath};
+use twq::xtm::machine::{run_xtm, run_xtm_guarded, XtmLimits, XtmReport};
 use twq::xtm::tm::tm_leaf_count_even;
-use twq::xtm::{encode as xenc, machines, run_alternating, run_tm, to_bytes};
+use twq::xtm::{
+    encode as xenc, machines, run_alternating, run_alternating_guarded, run_tm, to_bytes,
+};
+
+/// Resource-governance settings from `--budget`, `--timeout`, `--faults`.
+/// Each governed evaluator call gets a **fresh** guard built from these, so
+/// the budget and deadline are per invocation, not per sweep.
+#[derive(Debug, Clone, Copy, Default)]
+struct Gov {
+    budget: Option<u64>,
+    timeout_ms: Option<u64>,
+    faults: Option<u64>,
+}
+
+impl Gov {
+    fn active(&self) -> bool {
+        self.budget.is_some() || self.timeout_ms.is_some() || self.faults.is_some()
+    }
+
+    fn guard(&self) -> ResourceGuard {
+        let mut g = ResourceGuard::unlimited();
+        if let Some(fuel) = self.budget {
+            g = g.with_budget(fuel);
+        }
+        if let Some(ms) = self.timeout_ms {
+            g = g.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(seed) = self.faults {
+            g = g.with_faults(FaultPlan::seeded(seed));
+        }
+        g
+    }
+}
+
+/// The row marker for a governed run that hit a limit.
+fn trip_cell(e: &TwqError) -> Cell {
+    let reason = match e.guard().map(|g| &g.reason) {
+        Some(TripReason::Budget { .. }) => "budget",
+        Some(TripReason::Deadline { .. }) => "deadline",
+        Some(TripReason::Depth { .. }) => "depth",
+        Some(TripReason::Mem { .. }) => "mem",
+        Some(TripReason::Cancelled) => "cancelled",
+        None => "error",
+    };
+    Cell::str(format!("limit-tripped({reason})"))
+}
+
+/// Run the direct engine, governed when any `--budget`/`--timeout`/
+/// `--faults` flag is set.
+fn governed_run(
+    prog: &TwProgram,
+    dt: &DelimTree,
+    limits: Limits,
+    gov: Gov,
+) -> Result<twq::automata::RunReport, TwqError> {
+    if gov.active() {
+        run_guarded(prog, dt, limits, &mut gov.guard())
+    } else {
+        Ok(run(prog, dt, limits))
+    }
+}
+
+/// [`run_xtm`] under the session governance.
+fn governed_run_xtm(
+    m: &twq::xtm::Xtm,
+    dt: &DelimTree,
+    limits: XtmLimits,
+    gov: Gov,
+) -> Result<XtmReport, TwqError> {
+    if gov.active() {
+        run_xtm_guarded(m, dt, limits, &mut gov.guard())
+    } else {
+        Ok(run_xtm(m, dt, limits))
+    }
+}
+
+/// [`run_protocol`] under the session governance.
+#[allow(clippy::too_many_arguments)]
+fn governed_run_protocol(
+    prog: &TwProgram,
+    f: &[Value],
+    g: &[Value],
+    markers: &Markers,
+    sym: twq::tree::SymId,
+    attr: twq::tree::AttrId,
+    limits: Limits,
+    gov: Gov,
+) -> Result<ProtocolReport, TwqError> {
+    if gov.active() {
+        run_protocol_guarded(prog, f, g, markers, sym, attr, limits, &mut gov.guard())
+    } else {
+        Ok(run_protocol(prog, f, g, markers, sym, attr, limits))
+    }
+}
 
 fn main() {
     let (mut json, mut profile) = (false, false);
-    for arg in std::env::args().skip(1) {
+    let mut gov = Gov::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let usage = "expected --json, --profile, --budget N, --timeout MS, and/or --faults SEED";
+    let numeric = |flag: &str, v: Option<&String>| -> u64 {
+        v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} requires a numeric value ({usage})");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--profile" => profile = true,
+            "--budget" => gov.budget = Some(numeric("--budget", it.next())),
+            "--timeout" => gov.timeout_ms = Some(numeric("--timeout", it.next())),
+            "--faults" => gov.faults = Some(numeric("--faults", it.next())),
             other => {
-                eprintln!("unknown argument `{other}` (expected --json and/or --profile)");
+                eprintln!("unknown argument `{other}` ({usage})");
                 std::process::exit(2);
             }
         }
@@ -54,19 +179,25 @@ fn main() {
         Box::new(HumanReporter::stdout())
     };
     let rep = rep.as_mut();
-    e1_example32(rep, profile);
-    e2_xpath(rep);
-    e3_logspace_pebbles(rep, profile);
-    e4_twl_ptime(rep, profile);
-    e5_twr_pspace(rep, profile);
-    e6_twrl_exptime(rep, profile);
-    e7_lm_fo(rep);
-    e8_protocol(rep);
+    if gov.active() {
+        rep.note(&format!(
+            "governance: budget {:?}, timeout {:?} ms, fault seed {:?} (per invocation)",
+            gov.budget, gov.timeout_ms, gov.faults
+        ));
+    }
+    e1_example32(rep, profile, gov);
+    e2_xpath(rep, gov);
+    e3_logspace_pebbles(rep, profile, gov);
+    e4_twl_ptime(rep, profile, gov);
+    e5_twr_pspace(rep, profile, gov);
+    e6_twrl_exptime(rep, profile, gov);
+    e7_lm_fo(rep, gov);
+    e8_protocol(rep, gov);
     e9_counting(rep);
     e10_types(rep);
-    e11_xtm_vs_tm(rep);
-    e12_prop72(rep);
-    e13_alternation(rep);
+    e11_xtm_vs_tm(rep, gov);
+    e12_prop72(rep, gov);
+    e13_alternation(rep, gov);
     if !json {
         println!("\nall experiments completed.");
     }
@@ -104,7 +235,7 @@ fn profile_note(rep: &mut dyn Reporter, what: &str, m: &RunMetrics) {
     ));
 }
 
-fn e1_example32(rep: &mut dyn Reporter, profile: bool) {
+fn e1_example32(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
     rep.experiment(
         "E1",
         "Example 3.2: the worked tw^{r,l} automaton vs its oracle",
@@ -130,11 +261,19 @@ fn e1_example32(rep: &mut dyn Reporter, profile: bool) {
         let uniform = TreeGenConfig::example32(&mut vocab, n, &[7]);
         let (mut acc, mut steps, mut subs, mut configs, mut agree) = (0u64, 0u64, 0u64, 0u64, true);
         let trials = 10;
+        let mut done = 0u64;
+        let mut trip: Option<TwqError> = None;
         for seed in 0..trials {
             let cfg = if seed % 2 == 0 { &mixed } else { &uniform };
             let t = random_tree(cfg, seed);
             let dt = DelimTree::build(&t);
-            let r = run(&ex.program, &dt, Limits::default());
+            let r = match governed_run(&ex.program, &dt, Limits::default(), gov) {
+                Ok(r) => r,
+                Err(e) => {
+                    trip = Some(e);
+                    continue;
+                }
+            };
             let g = run_graph(&ex.program, &dt, Limits::default());
             let oracle = examples::oracle_example_32(&t, ex.delta, ex.attr);
             agree &= r.accepted() == oracle && g.accepted() == oracle;
@@ -142,14 +281,20 @@ fn e1_example32(rep: &mut dyn Reporter, profile: bool) {
             steps += r.steps;
             subs += r.subcomputations;
             configs += g.distinct_configs as u64;
+            done += 1;
         }
+        let agree_cell = match &trip {
+            Some(e) => trip_cell(e),
+            None => agree.into(),
+        };
+        let d = done.max(1);
         rep.row(&[
             n.into(),
-            Cell::str(format!("{acc}/{trials}")),
-            (steps / trials).into(),
-            (subs / trials).into(),
-            (configs / trials).into(),
-            agree.into(),
+            Cell::str(format!("{acc}/{done}")),
+            (steps / d).into(),
+            (subs / d).into(),
+            (configs / d).into(),
+            agree_cell,
         ]);
     }
     if profile {
@@ -163,7 +308,7 @@ fn e1_example32(rep: &mut dyn Reporter, profile: bool) {
     }
 }
 
-fn e2_xpath(rep: &mut dyn Reporter) {
+fn e2_xpath(rep: &mut dyn Reporter, gov: Gov) {
     rep.experiment("E2", "Section 2.3: XPath ≡ compiled FO(∃*) selector");
     let mut vocab = Vocab::new();
     let queries = [
@@ -186,8 +331,19 @@ fn e2_xpath(rep: &mut dyn Reporter) {
         let t = random_tree(&cfg, 3);
         for q in queries {
             let path = parse_xpath(q, &mut vocab).unwrap();
+            let direct = if gov.active() {
+                eval_from_guarded(&t, &path, t.root(), &mut gov.guard())
+            } else {
+                Ok(eval_from(&t, &path, t.root()))
+            };
+            let direct = match direct {
+                Ok(d) => d,
+                Err(e) => {
+                    rep.row(&[n.into(), q.into(), 0usize.into(), trip_cell(&e)]);
+                    continue;
+                }
+            };
             let phi = compile(&path);
-            let direct = eval_from(&t, &path, t.root());
             let logical: std::collections::BTreeSet<_> =
                 phi.select(&t, t.root()).into_iter().collect();
             rep.row(&[
@@ -200,7 +356,7 @@ fn e2_xpath(rep: &mut dyn Reporter) {
     }
 }
 
-fn e3_logspace_pebbles(rep: &mut dyn Reporter, profile: bool) {
+fn e3_logspace_pebbles(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
     rep.experiment(
         "E3",
         "Theorem 7.1(1): logspace xTM ≡ compiled TW pebble walker (unique IDs)",
@@ -215,7 +371,23 @@ fn e3_logspace_pebbles(rep: &mut dyn Reporter, profile: bool) {
             machines::leftmost_depth_even(&base.symbols),
         ),
     ] {
-        let prog = compile_logspace(&machine, &base.symbols, id, &mut vocab).unwrap();
+        let prog = if gov.active() {
+            match compile_logspace_guarded(
+                &machine,
+                &base.symbols,
+                id,
+                &mut vocab,
+                &mut gov.guard(),
+            ) {
+                Ok(p) => p,
+                Err(e) => {
+                    rep.note(&format!("{name}: compilation limit-tripped: {e}"));
+                    continue;
+                }
+            }
+        } else {
+            compile_logspace(&machine, &base.symbols, id, &mut vocab).unwrap()
+        };
         rep.note(&format!(
             "{name}: compiled to class {} ({} states, {} pebble registers)",
             prog.program.classify(),
@@ -250,14 +422,38 @@ fn e3_logspace_pebbles(rep: &mut dyn Reporter, profile: bool) {
             };
             let mut dt = DelimTree::build(&t);
             dt.assign_unique_ids(id, &mut vocab);
-            let xr = run_xtm(&machine, &dt, XtmLimits::default());
+            let xr = match governed_run_xtm(&machine, &dt, XtmLimits::default(), gov) {
+                Ok(r) => r,
+                Err(e) => {
+                    rep.row(&[
+                        n.into(),
+                        0u64.into(),
+                        0usize.into(),
+                        0u64.into(),
+                        trip_cell(&e),
+                    ]);
+                    continue;
+                }
+            };
             let pr = if profile && n == 8 {
                 let mut mc = MetricsCollector::new();
                 let r = run_with(&prog.program, &dt, Limits::long_walk(), &mut mc);
                 prof = Some(mc.into_metrics());
                 r
             } else {
-                run(&prog.program, &dt, Limits::long_walk())
+                match governed_run(&prog.program, &dt, Limits::long_walk(), gov) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        rep.row(&[
+                            n.into(),
+                            xr.steps.into(),
+                            xr.space.into(),
+                            0u64.into(),
+                            trip_cell(&e),
+                        ]);
+                        continue;
+                    }
+                }
             };
             rep.row(&[
                 n.into(),
@@ -274,7 +470,7 @@ fn e3_logspace_pebbles(rep: &mut dyn Reporter, profile: bool) {
     }
 }
 
-fn e4_twl_ptime(rep: &mut dyn Reporter, profile: bool) {
+fn e4_twl_ptime(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
     rep.experiment(
         "E4",
         "Theorem 7.1(2): tw^l configuration count grows polynomially (PTIME)",
@@ -310,6 +506,14 @@ fn e4_twl_ptime(rep: &mut dyn Reporter, profile: bool) {
             t.set_attr(u, a, val);
         }
         let dt = DelimTree::build(&t);
+        // The direct engine is the governed witness: if the workload fits
+        // the budget there, the breadth-first sweep is measured ungoverned.
+        if gov.active() {
+            if let Err(e) = governed_run(&prog, &dt, Limits::default(), gov) {
+                rep.row(&[n.into(), 0usize.into(), Cell::float(0.0, 2), trip_cell(&e)]);
+                continue;
+            }
+        }
         let g = run_graph(&prog, &dt, Limits::default());
         assert!(!g.accepted(), "distinct values admit no match");
         let dn = dt.tree().len();
@@ -333,7 +537,7 @@ fn e4_twl_ptime(rep: &mut dyn Reporter, profile: bool) {
     }
 }
 
-fn e5_twr_pspace(rep: &mut dyn Reporter, profile: bool) {
+fn e5_twr_pspace(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
     rep.experiment(
         "E5",
         "Theorem 7.1(3): compiled tw^r keeps a linear store (PSPACE shape)",
@@ -342,7 +546,17 @@ fn e5_twr_pspace(rep: &mut dyn Reporter, profile: bool) {
     let base = TreeGenConfig::example32(&mut vocab, 1, &[1]);
     let id = vocab.attr("id");
     let machine = machines::leaf_count_even(&base.symbols);
-    let prog = compile_pspace(&machine, &base.symbols, id, &mut vocab).unwrap();
+    let prog = if gov.active() {
+        match compile_pspace_guarded(&machine, &base.symbols, id, &mut vocab, &mut gov.guard()) {
+            Ok(p) => p,
+            Err(e) => {
+                rep.note(&format!("compilation limit-tripped: {e}"));
+                return;
+            }
+        }
+    } else {
+        compile_pspace(&machine, &base.symbols, id, &mut vocab).unwrap()
+    };
     rep.table(
         None,
         0,
@@ -363,14 +577,38 @@ fn e5_twr_pspace(rep: &mut dyn Reporter, profile: bool) {
         let t = random_tree(&cfg, 5);
         let mut dt = DelimTree::build(&t);
         dt.assign_unique_ids(id, &mut vocab);
-        let xr = run_xtm(&machine, &dt, XtmLimits::default());
+        let xr = match governed_run_xtm(&machine, &dt, XtmLimits::default(), gov) {
+            Ok(r) => r,
+            Err(e) => {
+                rep.row(&[
+                    n.into(),
+                    dt.tree().len().into(),
+                    0u64.into(),
+                    0usize.into(),
+                    trip_cell(&e),
+                ]);
+                continue;
+            }
+        };
         let sr = if profile && n == 64 {
             let mut mc = MetricsCollector::new();
             let r = run_with(&prog.program, &dt, Limits::long_walk(), &mut mc);
             prof = Some(mc.into_metrics());
             r
         } else {
-            run(&prog.program, &dt, Limits::long_walk())
+            match governed_run(&prog.program, &dt, Limits::long_walk(), gov) {
+                Ok(r) => r,
+                Err(e) => {
+                    rep.row(&[
+                        n.into(),
+                        dt.tree().len().into(),
+                        0u64.into(),
+                        0usize.into(),
+                        trip_cell(&e),
+                    ]);
+                    continue;
+                }
+            }
         };
         rep.row(&[
             n.into(),
@@ -386,7 +624,7 @@ fn e5_twr_pspace(rep: &mut dyn Reporter, profile: bool) {
     }
 }
 
-fn e6_twrl_exptime(rep: &mut dyn Reporter, profile: bool) {
+fn e6_twrl_exptime(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
     rep.experiment(
         "E6",
         "Theorem 7.1(4): tw^{r,l} registers range over subsets (EXPTIME bound)",
@@ -422,7 +660,20 @@ fn e6_twrl_exptime(rep: &mut dyn Reporter, profile: bool) {
             prof = Some((prog.clone(), mc.into_metrics()));
             r
         } else {
-            run(&prog, &dt, Limits::default())
+            match governed_run(&prog, &dt, Limits::default(), gov) {
+                Ok(r) => r,
+                Err(e) => {
+                    let n = dt.tree().len();
+                    rep.row(&[
+                        k.into(),
+                        trip_cell(&e),
+                        0usize.into(),
+                        (prog.state_count() * n * (k + 1)).into(),
+                        Cell::str(format!("{}·2^{}", prog.state_count() * n, k)),
+                    ]);
+                    continue;
+                }
+            }
         };
         let n = dt.tree().len();
         rep.row(&[
@@ -439,7 +690,7 @@ fn e6_twrl_exptime(rep: &mut dyn Reporter, profile: bool) {
     }
 }
 
-fn e7_lm_fo(rep: &mut dyn Reporter) {
+fn e7_lm_fo(rep: &mut dyn Reporter, gov: Gov) {
     rep.experiment("E7", "Lemma 4.2: L^m is FO-definable (sentence ≡ decoder)");
     let mut vocab = Vocab::new();
     let markers = Markers::new(2, &mut vocab);
@@ -465,6 +716,7 @@ fn e7_lm_fo(rep: &mut dyn Reporter) {
             max_members: 2,
         };
         let (mut inn, mut out, mut agree) = (0, 0, true);
+        let mut trip: Option<TwqError> = None;
         for seed in 0..10u64 {
             let h1 = random_hyperset(&cfg, seed);
             let h2 = random_hyperset(&cfg, seed + 500);
@@ -477,7 +729,17 @@ fn e7_lm_fo(rep: &mut dyn Reporter) {
                 w.extend(g.iter().copied());
                 let expect = in_lm(m, &w, &markers);
                 let t = split_string_tree(&f, &g, &markers, sym, attr);
-                let got = eval_sentence(&t, &phi);
+                let got = if gov.active() {
+                    match eval_sentence_guarded(&t, &phi, &mut gov.guard()) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            trip = Some(e);
+                            continue;
+                        }
+                    }
+                } else {
+                    eval_sentence(&t, &phi).expect("L_m sentence is closed")
+                };
                 agree &= got == expect;
                 if expect {
                     inn += 1;
@@ -486,17 +748,21 @@ fn e7_lm_fo(rep: &mut dyn Reporter) {
                 }
             }
         }
+        let agree_cell = match &trip {
+            Some(e) => trip_cell(e),
+            None => agree.into(),
+        };
         rep.row(&[
             m.into(),
             phi.size().into(),
             Cell::int(inn),
             Cell::int(out),
-            agree.into(),
+            agree_cell,
         ]);
     }
 }
 
-fn e8_protocol(rep: &mut dyn Reporter) {
+fn e8_protocol(rep: &mut dyn Reporter, gov: Gov) {
     rep.experiment(
         "E8",
         "Lemma 4.5: protocol ≡ direct run; alphabet does not grow with input",
@@ -528,7 +794,30 @@ fn e8_protocol(rep: &mut dyn Reporter) {
         for len in [2usize, 4, 8, 16, 32] {
             let f: Vec<Value> = (0..len).map(|i| data[i % data.len()]).collect();
             let g: Vec<Value> = (0..len).map(|i| data[(i + 1) % data.len()]).collect();
-            let p = run_protocol(prog, &f, &g, &markers, sym, attr, Limits::default());
+            let p = match governed_run_protocol(
+                prog,
+                &f,
+                &g,
+                &markers,
+                sym,
+                attr,
+                Limits::default(),
+                gov,
+            ) {
+                Ok(p) => p,
+                Err(e) => {
+                    rep.row(&[
+                        name.into(),
+                        len.into(),
+                        trip_cell(&e),
+                        0u64.into(),
+                        0usize.into(),
+                        0u64.into(),
+                        Cell::str("-"),
+                    ]);
+                    continue;
+                }
+            };
             let t = split_string_tree(&f, &g, &markers, sym, attr);
             let d = twq::automata::run_on_tree(prog, &t, Limits::default());
             rep.row(&[
@@ -621,7 +910,7 @@ fn e10_types(rep: &mut dyn Reporter) {
     ));
 }
 
-fn e11_xtm_vs_tm(rep: &mut dyn Reporter) {
+fn e11_xtm_vs_tm(rep: &mut dyn Reporter, gov: Gov) {
     rep.experiment(
         "E11",
         "Theorem 6.2: xTM on trees ≡ ordinary TM on encodings",
@@ -665,8 +954,21 @@ fn e11_xtm_vs_tm(rep: &mut dyn Reporter) {
             };
             let t = random_tree(&cfg, 13);
             let dt = DelimTree::build(&t);
-            let input = to_bytes(&xenc(&t, &[]));
-            let xr = run_xtm(xtm, &dt, XtmLimits::default());
+            let input = to_bytes(&xenc(&t, &[]).expect("generated trees have no delimiters"));
+            let xr = match governed_run_xtm(xtm, &dt, XtmLimits::default(), gov) {
+                Ok(r) => r,
+                Err(e) => {
+                    rep.row(&[
+                        (*name).into(),
+                        n.into(),
+                        0u64.into(),
+                        0u64.into(),
+                        input.len().into(),
+                        trip_cell(&e),
+                    ]);
+                    continue;
+                }
+            };
             let tr = run_tm(tm, &input, 100_000_000);
             rep.row(&[
                 (*name).into(),
@@ -680,7 +982,7 @@ fn e11_xtm_vs_tm(rep: &mut dyn Reporter) {
     }
 }
 
-fn e12_prop72(rep: &mut dyn Reporter) {
+fn e12_prop72(rep: &mut dyn Reporter, gov: Gov) {
     rep.experiment(
         "E12",
         "Proposition 7.2 (A=∅): store folds into states, language preserved",
@@ -690,7 +992,17 @@ fn e12_prop72(rep: &mut dyn Reporter) {
     let sigma = Label::Sym(base.symbols[0]);
     let delta = Label::Sym(base.symbols[1]);
     let src = delta_count_mod3(sigma, delta, &mut vocab);
-    let folded = eliminate_store(&src, 10_000).unwrap();
+    let folded = if gov.active() {
+        match eliminate_store_guarded(&src, 10_000, &mut gov.guard()) {
+            Ok(p) => p,
+            Err(e) => {
+                rep.note(&format!("store elimination limit-tripped: {e}"));
+                return;
+            }
+        }
+    } else {
+        eliminate_store(&src, 10_000).unwrap()
+    };
     rep.note(&format!(
         "source: {} states, {} registers ({}); folded: {} states, {} registers ({})",
         src.state_count(),
@@ -717,8 +1029,16 @@ fn e12_prop72(rep: &mut dyn Reporter) {
         };
         let t = random_tree(&cfg, 17);
         let dt = DelimTree::build(&t);
-        let a = run(&src, &dt, Limits::default());
-        let b = run(&folded, &dt, Limits::default());
+        let (a, b) = match (
+            governed_run(&src, &dt, Limits::default(), gov),
+            governed_run(&folded, &dt, Limits::default(), gov),
+        ) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => {
+                rep.row(&[n.into(), Cell::str("-"), Cell::str("-"), trip_cell(&e)]);
+                continue;
+            }
+        };
         rep.row(&[
             n.into(),
             if a.accepted() { "accept" } else { "reject" }.into(),
@@ -728,7 +1048,7 @@ fn e12_prop72(rep: &mut dyn Reporter) {
     }
 }
 
-fn e13_alternation(rep: &mut dyn Reporter) {
+fn e13_alternation(rep: &mut dyn Reporter, gov: Gov) {
     rep.experiment(
         "E13",
         "Alternation (ALOGSPACE=PTIME bridge): alternating xTM configs grow linearly",
@@ -753,7 +1073,17 @@ fn e13_alternation(rep: &mut dyn Reporter) {
         };
         let t = random_tree(&cfg, 19);
         let dt = DelimTree::build(&t);
-        let r = run_alternating(&m, &dt, XtmLimits::default());
+        let r = if gov.active() {
+            match run_alternating_guarded(&m, &dt, XtmLimits::default(), &mut gov.guard()) {
+                Ok(r) => r,
+                Err(e) => {
+                    rep.row(&[n.into(), trip_cell(&e), 0usize.into(), Cell::float(0.0, 2)]);
+                    continue;
+                }
+            }
+        } else {
+            run_alternating(&m, &dt, XtmLimits::default())
+        };
         rep.row(&[
             n.into(),
             if r.accepted { "accept" } else { "reject" }.into(),

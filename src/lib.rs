@@ -28,7 +28,10 @@
 //!   Lemma 4.5 communication protocol, the Lemma 4.6 counting argument
 //!   (Section 4);
 //! * [`obs`] — observability: zero-cost collectors, run metrics,
-//!   span-style event tracing, and the experiment reporting layer.
+//!   span-style event tracing, and the experiment reporting layer;
+//! * [`guard`] — resource governance: fuel budgets, deadlines, depth and
+//!   memory guards, the structured `TwqError` taxonomy, and deterministic
+//!   fault injection for chaos testing.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@
 //! ```
 
 pub use twq_automata as automata;
+pub use twq_guard as guard;
 pub use twq_logic as logic;
 pub use twq_obs as obs;
 pub use twq_protocol as protocol;

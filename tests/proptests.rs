@@ -116,7 +116,7 @@ proptest! {
         let formula = phi.to_formula();
         for u in t.node_ids() {
             let fast = phi.select(&t, u);
-            let naive = naive_select(&t, &formula, phi.x(), u, phi.y());
+            let naive = naive_select(&t, &formula, phi.x(), u, phi.y()).unwrap();
             prop_assert_eq!(&fast, &naive, "node {}", u);
         }
     }

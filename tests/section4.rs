@@ -55,7 +55,7 @@ fn decoder_sentence_and_protocol_form_one_pipeline() {
         w.extend(g.iter().copied());
         assert!(in_lm(2, &w, &s.markers), "seed {seed}");
         let tree = split_string_tree(&f, &g, &s.markers, s.sym, s.attr);
-        assert!(eval_sentence(&tree, &phi), "seed {seed}");
+        assert!(eval_sentence(&tree, &phi).unwrap(), "seed {seed}");
 
         // Protocol vs direct execution of a tw^{r,l} program on f#g.
         let report = run_protocol(&prog, &f, &g, &s.markers, s.sym, s.attr, Limits::default());
