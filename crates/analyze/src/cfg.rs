@@ -1,0 +1,170 @@
+//! Pass 1 — control-flow graph, reachability, and dead-code detection.
+//!
+//! The CFG has one node per state. Every rule `(σ, q, ξ) → α` contributes
+//! a *chain edge* `q → q'` (the chain continues in `q'`), and an `atp`
+//! rule additionally contributes a *spawn edge* `q → p` (subcomputations
+//! start in `p` at the selected nodes). Forward reachability from the
+//! initial state follows both edge kinds — a state is live if *some*
+//! chain (main or spawned) can be in it. Backward reachability from the
+//! final state follows chain edges only: a chain accepts by reaching
+//! `q_F` through its **own** moves, never through a spawned chain's.
+
+use twq_automata::{Action, State, TwProgram};
+
+use crate::diag::{Diagnostic, Loc, Severity};
+
+/// The state-level control-flow graph with both reachability closures.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// `reachable[q]`: some chain can be in state `q` (forward closure
+    /// from the initial state over chain + spawn edges).
+    pub reachable: Vec<bool>,
+    /// `coaccessible[q]`: a chain in state `q` can still reach the final
+    /// state (backward closure over chain edges).
+    pub coaccessible: Vec<bool>,
+}
+
+impl Cfg {
+    /// Build the CFG and both closures.
+    pub fn build(prog: &TwProgram) -> Cfg {
+        let n = prog.state_count();
+        // Forward: chain edges and spawn edges.
+        let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+        // Backward: chain edges only, reversed.
+        let mut back: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for rule in prog.rules() {
+            let from = rule.state.0 as usize;
+            let next = rule.action.next_state().0 as usize;
+            fwd[from].push(next);
+            back[next].push(from);
+            if let Action::Atp(_, _, p, _) = rule.action {
+                fwd[from].push(p.0 as usize);
+            }
+        }
+        Cfg {
+            reachable: closure(n, prog.initial().0 as usize, &fwd),
+            coaccessible: closure(n, prog.final_state().0 as usize, &back),
+        }
+    }
+
+    /// Whether state `q` is forward-reachable.
+    pub fn is_reachable(&self, q: State) -> bool {
+        self.reachable[q.0 as usize]
+    }
+
+    /// Whether state `q` can reach the final state.
+    pub fn is_coaccessible(&self, q: State) -> bool {
+        self.coaccessible[q.0 as usize]
+    }
+}
+
+/// Reflexive-transitive closure from `start` over `edges`.
+fn closure(n: usize, start: usize, edges: &[Vec<usize>]) -> Vec<bool> {
+    let mut seen = vec![false; n];
+    let mut stack = vec![start];
+    seen[start] = true;
+    while let Some(q) = stack.pop() {
+        for &r in &edges[q] {
+            if !seen[r] {
+                seen[r] = true;
+                stack.push(r);
+            }
+        }
+    }
+    seen
+}
+
+/// Dead-code diagnostics from the two closures.
+pub fn pass(prog: &TwProgram, cfg: &Cfg) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for q in 0..prog.state_count() {
+        let state = State(q as u16);
+        if !cfg.reachable[q] {
+            if state == prog.final_state() {
+                out.push(Diagnostic::new(
+                    Severity::Warning,
+                    "DS003",
+                    Loc::State(state),
+                    "the final state is unreachable; the program accepts nothing",
+                    "add a rule path from the initial state to the final state",
+                ));
+            } else {
+                out.push(Diagnostic::new(
+                    Severity::Warning,
+                    "DS001",
+                    Loc::State(state),
+                    "state is unreachable from the initial state",
+                    "prune() removes the state and its rules",
+                ));
+            }
+        } else if !cfg.coaccessible[q] && state != prog.final_state() {
+            out.push(Diagnostic::new(
+                Severity::Warning,
+                "DS002",
+                Loc::State(state),
+                "state cannot reach the final state; every chain entering it rejects",
+                "prune() drops its rules (the rejection is preserved as a stuck halt)",
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twq_automata::{Action, Dir, TwProgramBuilder};
+    use twq_tree::Label;
+
+    #[test]
+    fn reachability_follows_spawn_edges() {
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        let sub = b.state("sub");
+        let dead = b.state("dead");
+        b.initial(q0).final_state(qf);
+        let x1 = b.unary_register();
+        b.rule_true(
+            Label::DelimRoot,
+            q0,
+            Action::Atp(qf, twq_logic::exists::selectors::self_node(), sub, x1),
+        );
+        b.rule_true(Label::DelimLeaf, sub, Action::Move(qf, Dir::Stay));
+        b.rule_true(Label::DelimLeaf, dead, Action::Move(qf, Dir::Stay));
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        assert!(
+            cfg.is_reachable(sub),
+            "spawn edge reaches the atp sub-state"
+        );
+        assert!(!cfg.is_reachable(dead));
+        assert!(cfg.is_coaccessible(q0));
+        let ds: Vec<_> = pass(&p, &cfg).iter().map(|d| d.code).collect();
+        assert_eq!(ds, vec!["DS001"]);
+    }
+
+    #[test]
+    fn coaccessibility_ignores_spawn_edges() {
+        // A state reachable only as an atp target which cannot itself
+        // reach qF: reachable but not coaccessible.
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        let sub = b.state("sub");
+        b.initial(q0).final_state(qf);
+        let x1 = b.unary_register();
+        b.rule_true(
+            Label::DelimRoot,
+            q0,
+            Action::Atp(qf, twq_logic::exists::selectors::self_node(), sub, x1),
+        );
+        b.rule_true(Label::DelimLeaf, sub, Action::Move(sub, Dir::Up));
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        assert!(cfg.is_reachable(sub));
+        assert!(!cfg.is_coaccessible(sub));
+        let ds: Vec<_> = pass(&p, &cfg).iter().map(|d| d.code).collect();
+        assert_eq!(ds, vec!["DS002"]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Pass 5 — complexity-class inference.
+//!
+//! Definition 5.1 carves `tw^{r,l}` into four classes by two independent
+//! syntactic axes, and Theorem 7.1 attaches a complexity bound to each:
+//!
+//! | | no look-ahead | look-ahead |
+//! |---|---|---|
+//! | **unary single-value storage** | `TW` (LOGSPACE) | `tw^l` (PTIME) |
+//! | **relational storage** | `tw^r` (PSPACE) | `tw^{r,l}` (EXPTIME) |
+//!
+//! [`infer`] refines `TwProgram::classify()` into this explicit product
+//! lattice: each axis is established separately, with *evidence* — the
+//! first rule (or register) that forces the relational/look-ahead side —
+//! recorded so a diagnostic can point at it. [`certify`] is the routing
+//! gate: it accepts iff the inferred class is at or below a required
+//! class in the lattice order (`Tw ⊑ TwL ⊑ TwRL`, `Tw ⊑ TwR ⊑ TwRL`;
+//! `TwL` and `TwR` are incomparable), and rejects with
+//! [`TwqError::Invalid`] otherwise — the static replacement for watching
+//! an evaluator exhaust its budget at runtime.
+
+use std::fmt::Write as _;
+
+use twq_automata::program::is_single_value_update;
+use twq_automata::{Action, TwClass, TwProgram};
+use twq_guard::TwqError;
+use twq_logic::RegId;
+
+use crate::diag::{Diagnostic, Loc, Severity};
+
+/// The look-ahead axis of the lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LookAheadUse {
+    /// No `atp` rule at all.
+    None,
+    /// Every `atp` selector is syntactically single-node (`tw^l`'s
+    /// "look-ahead returns one value" restriction).
+    Single,
+    /// Some `atp` selector may select arbitrarily many nodes.
+    Relational,
+}
+
+/// The storage axis of the lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StorageUse {
+    /// All registers unary, all updates single-value, initial contents
+    /// at most singletons.
+    UnarySingle,
+    /// Anything larger.
+    Relational,
+}
+
+/// The inferred position in the Definition 5.1 lattice, with evidence.
+#[derive(Debug, Clone)]
+pub struct ClassInference {
+    /// Where the program sits on the look-ahead axis.
+    pub lookahead: LookAheadUse,
+    /// Where the program sits on the storage axis.
+    pub storage: StorageUse,
+    /// The resulting class.
+    pub class: TwClass,
+    /// One line per axis that is *not* at the bottom, naming the first
+    /// rule or register responsible.
+    pub evidence: Vec<String>,
+}
+
+impl ClassInference {
+    /// Whether this inference fits under `target` in the lattice order.
+    /// Matches `TwProgram::check_class`: `TwL` and `TwR` are
+    /// incomparable, everything fits under `TwRL`.
+    pub fn fits(&self, target: TwClass) -> bool {
+        match target {
+            TwClass::TwRL => true,
+            TwClass::TwR => matches!(self.class, TwClass::Tw | TwClass::TwR),
+            TwClass::TwL => matches!(self.class, TwClass::Tw | TwClass::TwL),
+            TwClass::Tw => self.class == TwClass::Tw,
+        }
+    }
+}
+
+/// Infer the program's class with per-axis evidence.
+pub fn infer(prog: &TwProgram) -> ClassInference {
+    let mut evidence = Vec::new();
+    let mut lookahead = LookAheadUse::None;
+    let mut storage = StorageUse::UnarySingle;
+
+    for (i, &a) in prog.reg_arities().iter().enumerate() {
+        if a != 1 && storage == StorageUse::UnarySingle {
+            storage = StorageUse::Relational;
+            evidence.push(format!("register {} has arity {a}", RegId(i as u8)));
+        }
+    }
+    let init = prog.initial_store();
+    for i in 0..prog.reg_count() {
+        let r = RegId(i as u8);
+        if init.get(r).len() > 1 && storage == StorageUse::UnarySingle {
+            storage = StorageUse::Relational;
+            evidence.push(format!(
+                "register {r} starts with {} tuples",
+                init.get(r).len()
+            ));
+        }
+    }
+    for (i, rule) in prog.rules().iter().enumerate() {
+        match &rule.action {
+            Action::Move(_, _) => {}
+            Action::Update(_, psi, target) => {
+                if !is_single_value_update(psi) && storage == StorageUse::UnarySingle {
+                    storage = StorageUse::Relational;
+                    evidence.push(format!(
+                        "rule #{i} updates {target} with a non-single-value formula"
+                    ));
+                }
+            }
+            Action::Atp(_, phi, _, _) => {
+                if phi.is_syntactically_single() {
+                    if lookahead == LookAheadUse::None {
+                        lookahead = LookAheadUse::Single;
+                        evidence.push(format!("rule #{i} uses single-node look-ahead"));
+                    }
+                } else if lookahead != LookAheadUse::Relational {
+                    lookahead = LookAheadUse::Relational;
+                    evidence.push(format!(
+                        "rule #{i} uses look-ahead whose selector may pick many nodes"
+                    ));
+                }
+            }
+        }
+    }
+
+    // A relational (multi-node) look-ahead fills a register with one
+    // value per selected node, so it also forces relational storage.
+    if lookahead == LookAheadUse::Relational && storage == StorageUse::UnarySingle {
+        storage = StorageUse::Relational;
+        evidence.push("multi-node look-ahead fills its register relationally".to_owned());
+    }
+
+    let class = match (storage, lookahead) {
+        (StorageUse::UnarySingle, LookAheadUse::None) => TwClass::Tw,
+        (StorageUse::UnarySingle, _) => TwClass::TwL,
+        (StorageUse::Relational, LookAheadUse::None) => TwClass::TwR,
+        (StorageUse::Relational, _) => TwClass::TwRL,
+    };
+    ClassInference {
+        lookahead,
+        storage,
+        class,
+        evidence,
+    }
+}
+
+/// Certify the program against a required class; [`TwqError::Invalid`]
+/// carries the inferred class and the evidence lines on failure.
+pub fn certify(prog: &TwProgram, target: TwClass) -> Result<ClassInference, TwqError> {
+    let inf = infer(prog);
+    if inf.fits(target) {
+        Ok(inf)
+    } else {
+        let mut detail = format!("program is {}, evaluator requires {target}", inf.class);
+        for e in &inf.evidence {
+            let _ = write!(detail, "; {e}");
+        }
+        Err(TwqError::invalid("class certification", detail))
+    }
+}
+
+/// The class-violation diagnostic for [`crate::analyze_for_class`].
+pub fn violation_diagnostic(prog: &TwProgram, target: TwClass) -> Option<Diagnostic> {
+    match certify(prog, target) {
+        Ok(_) => None,
+        Err(e) => Some(Diagnostic::new(
+            Severity::Error,
+            "CL001",
+            Loc::Program,
+            e.to_string(),
+            "weaken the required class or restrict the program per Definition 5.1",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twq_automata::{Dir, TwProgramBuilder};
+    use twq_logic::exists::selectors;
+    use twq_logic::store::sbuild::*;
+    use twq_tree::Label;
+
+    fn tw_base() -> (TwProgramBuilder, twq_automata::State, twq_automata::State) {
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        (b, q0, qf)
+    }
+
+    #[test]
+    fn pure_walking_is_tw() {
+        let (mut b, q0, qf) = tw_base();
+        b.rule_true(Label::DelimRoot, q0, Action::Move(qf, Dir::Stay));
+        let p = b.build().unwrap();
+        let inf = infer(&p);
+        assert_eq!(inf.class, TwClass::Tw);
+        assert!(inf.evidence.is_empty());
+        assert!(inf.fits(TwClass::Tw) && inf.fits(TwClass::TwL));
+        assert!(inf.fits(TwClass::TwR) && inf.fits(TwClass::TwRL));
+    }
+
+    #[test]
+    fn single_lookahead_is_twl_and_unfit_for_twr() {
+        let (mut b, q0, qf) = tw_base();
+        let sub = b.state("sub");
+        let x1 = b.unary_register();
+        b.rule_true(
+            Label::DelimRoot,
+            q0,
+            Action::Atp(qf, selectors::parent(), sub, x1),
+        );
+        b.rule_true(Label::DelimLeaf, sub, Action::Move(qf, Dir::Stay));
+        let p = b.build().unwrap();
+        let inf = infer(&p);
+        assert_eq!(inf.class, TwClass::TwL);
+        assert!(!inf.fits(TwClass::TwR), "TwL and TwR are incomparable");
+        assert!(certify(&p, TwClass::Tw).is_err());
+        assert!(certify(&p, TwClass::TwL).is_ok());
+    }
+
+    #[test]
+    fn multi_lookahead_forces_relational_storage() {
+        let (mut b, q0, qf) = tw_base();
+        let sub = b.state("sub");
+        let x1 = b.unary_register();
+        b.rule_true(
+            Label::DelimRoot,
+            q0,
+            Action::Atp(qf, selectors::descendants(), sub, x1),
+        );
+        b.rule_true(Label::DelimLeaf, sub, Action::Move(qf, Dir::Stay));
+        let p = b.build().unwrap();
+        let inf = infer(&p);
+        assert_eq!(inf.class, TwClass::TwRL);
+        assert_eq!(inf.storage, StorageUse::Relational);
+    }
+
+    #[test]
+    fn inference_agrees_with_classify_on_crafted_programs() {
+        let (mut b, q0, qf) = tw_base();
+        let x1 = b.unary_register();
+        let a = twq_tree::AttrId(0);
+        b.rule_true(
+            Label::DelimRoot,
+            q0,
+            Action::Update(qf, eq(v(0), attr(a)), x1),
+        );
+        let p = b.build().unwrap();
+        assert_eq!(infer(&p).class, p.classify());
+    }
+}

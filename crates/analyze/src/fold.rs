@@ -1,0 +1,173 @@
+//! Constant folding and cheap satisfiability facts for store formulas.
+//!
+//! The guard-overlap and dead-rule passes need to answer "can this guard
+//! ever hold?" and "can these two guards hold together?". Full FO
+//! satisfiability over stores is undecidable in general; this module
+//! implements the *sound, incomplete* fragment the passes rely on:
+//! constant folding (with the active-domain quantifier semantics of
+//! [`twq_logic::eval_guard`] respected — `∃x.true` is **not** folded to
+//! `true`, the domain may be empty) and complementary-literal detection.
+
+use twq_logic::{SAtom, SFormula, STerm};
+
+/// Constant-fold a formula. The result is logically equivalent under the
+/// active-domain semantics; in particular quantifiers only fold when the
+/// body is already decided in the direction that is domain-independent
+/// (`∃x.false ≡ false`, `∀x.true ≡ true`).
+pub fn fold(f: &SFormula) -> SFormula {
+    match f {
+        SFormula::True => SFormula::True,
+        SFormula::False => SFormula::False,
+        SFormula::Atom(a) => fold_atom(a),
+        SFormula::Not(g) => match fold(g) {
+            SFormula::True => SFormula::False,
+            SFormula::False => SFormula::True,
+            h => SFormula::Not(Box::new(h)),
+        },
+        SFormula::And(fs) => {
+            let mut out = Vec::new();
+            for g in fs {
+                match fold(g) {
+                    SFormula::True => {}
+                    SFormula::False => return SFormula::False,
+                    h => out.push(h),
+                }
+            }
+            match out.len() {
+                0 => SFormula::True,
+                1 => out.pop().unwrap(),
+                _ => SFormula::And(out),
+            }
+        }
+        SFormula::Or(fs) => {
+            let mut out = Vec::new();
+            for g in fs {
+                match fold(g) {
+                    SFormula::False => {}
+                    SFormula::True => return SFormula::True,
+                    h => out.push(h),
+                }
+            }
+            match out.len() {
+                0 => SFormula::False,
+                1 => out.pop().unwrap(),
+                _ => SFormula::Or(out),
+            }
+        }
+        SFormula::Exists(x, g) => match fold(g) {
+            // ∃ over a possibly-empty active domain: only `false` folds.
+            SFormula::False => SFormula::False,
+            h => SFormula::Exists(*x, Box::new(h)),
+        },
+        SFormula::Forall(x, g) => match fold(g) {
+            // ∀ over a possibly-empty active domain: only `true` folds.
+            SFormula::True => SFormula::True,
+            h => SFormula::Forall(*x, Box::new(h)),
+        },
+    }
+}
+
+/// Fold one atom: only identical-term and distinct-constant equalities
+/// are decidable without a store.
+fn fold_atom(a: &SAtom) -> SFormula {
+    match a {
+        SAtom::Eq(s, t) if s == t => SFormula::True,
+        SAtom::Eq(STerm::Const(c), STerm::Const(d)) if c != d => SFormula::False,
+        _ => SFormula::Atom(a.clone()),
+    }
+}
+
+/// The top-level conjuncts of a folded formula (the formula itself when
+/// it is not a conjunction).
+fn conjuncts(f: &SFormula) -> Vec<&SFormula> {
+    match f {
+        SFormula::And(fs) => fs.iter().collect(),
+        _ => vec![f],
+    }
+}
+
+/// Whether two conjunct lists contain a complementary pair `c` / `¬c`.
+fn complementary(xs: &[&SFormula], ys: &[&SFormula]) -> bool {
+    let neg_of =
+        |a: &SFormula, b: &SFormula| -> bool { matches!(b, SFormula::Not(inner) if **inner == *a) };
+    xs.iter()
+        .any(|a| ys.iter().any(|b| neg_of(a, b) || neg_of(b, a)))
+}
+
+/// Sound unsatisfiability check: `true` means the formula can never hold
+/// in any store. (`false` means "don't know".)
+pub fn is_unsat(f: &SFormula) -> bool {
+    let g = fold(f);
+    if g == SFormula::False {
+        return true;
+    }
+    let cs = conjuncts(&g);
+    complementary(&cs, &cs)
+}
+
+/// Sound mutual-exclusivity check for two guards: `true` means no store
+/// satisfies both. (`false` means "don't know"; the overlap pass then
+/// falls back to witness search.)
+pub fn definitely_exclusive(g1: &SFormula, g2: &SFormula) -> bool {
+    if is_unsat(g1) || is_unsat(g2) {
+        return true;
+    }
+    let f1 = fold(g1);
+    let f2 = fold(g2);
+    complementary(&conjuncts(&f1), &conjuncts(&f2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twq_logic::store::sbuild::*;
+    use twq_logic::{RegId, Var};
+    use twq_tree::Value;
+
+    #[test]
+    fn folds_boolean_structure() {
+        let f = and([SFormula::True, or([SFormula::False, eq(v(0), v(0))])]);
+        assert_eq!(fold(&f), SFormula::True);
+        let g = and([SFormula::True, SFormula::False]);
+        assert_eq!(fold(&g), SFormula::False);
+    }
+
+    #[test]
+    fn distinct_constants_fold_false() {
+        let f = eq(cst(Value(7)), cst(Value(8)));
+        assert_eq!(fold(&f), SFormula::False);
+        assert!(is_unsat(&f));
+    }
+
+    #[test]
+    fn quantifiers_respect_empty_domains() {
+        // ∃x.true must NOT fold to true: the active domain may be empty.
+        let f = exists(Var(0), SFormula::True);
+        assert!(matches!(fold(&f), SFormula::Exists(_, _)));
+        // ∀x.false must NOT fold to false, for the same reason.
+        let g = forall(Var(0), SFormula::False);
+        assert!(matches!(fold(&g), SFormula::Forall(_, _)));
+        // The domain-independent directions do fold.
+        assert_eq!(fold(&exists(Var(0), SFormula::False)), SFormula::False);
+        assert_eq!(fold(&forall(Var(0), SFormula::True)), SFormula::True);
+    }
+
+    #[test]
+    fn complementary_conjuncts_are_unsat() {
+        let x1 = RegId(0);
+        let p = rel(x1, [cst(Value(3))]);
+        let f = and([p.clone(), not(p.clone())]);
+        assert!(is_unsat(&f));
+        assert!(definitely_exclusive(&p, &not(p.clone())));
+    }
+
+    #[test]
+    fn exclusivity_is_conservative() {
+        let x1 = RegId(0);
+        let p = rel(x1, [cst(Value(3))]);
+        let q = rel(x1, [cst(Value(4))]);
+        // Jointly satisfiable guards must not be declared exclusive.
+        assert!(!definitely_exclusive(&p, &q));
+        assert!(!is_unsat(&p));
+    }
+}

@@ -1,0 +1,312 @@
+//! Pass 2 — guard overlap and unsatisfiable guards.
+//!
+//! The engine's determinism discipline halts a run with
+//! `Halt::Nondeterministic` the moment two rules for the same
+//! `(label, state)` both fire. This pass predicts that statically: for
+//! every pair of rules sharing a dispatch key it either *proves* the
+//! guards mutually exclusive (constant folding + complementary-literal
+//! detection, [`crate::fold`]), or *searches for a witness store* in
+//! which both hold. A found witness is reported as a nondeterminism
+//! hazard; an unresolved pair is reported at `Info` severity, because
+//! the witness enumeration is deliberately small and sound-but-incomplete.
+//!
+//! Unsatisfiable guards (`OV003`) are the rule-level version of the same
+//! question: a guard no store satisfies means the rule can never fire.
+
+use std::collections::BTreeSet;
+
+use twq_automata::TwProgram;
+use twq_logic::store::AttrEnv;
+use twq_logic::{eval_guard, RegId, Relation, SFormula, Store};
+use twq_tree::{AttrId, Value};
+
+use crate::cfg::Cfg;
+use crate::diag::{Diagnostic, Loc, Severity};
+use crate::fold::{definitely_exclusive, is_unsat};
+
+/// Witness-search caps: beyond these the pair is reported as unproven
+/// rather than searched (the enumeration is exponential in both).
+const MAX_WITNESS_REGS: usize = 3;
+const MAX_WITNESS_ATTRS: usize = 3;
+
+/// Overlap diagnostics for the whole program. Unreachable states are
+/// skipped — their rules are already reported dead by the CFG pass.
+pub fn pass(prog: &TwProgram, cfg: &Cfg) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    for (i, rule) in prog.rules().iter().enumerate() {
+        if !cfg.is_reachable(rule.state) {
+            continue;
+        }
+        if is_unsat(&rule.guard) {
+            out.push(Diagnostic::new(
+                Severity::Warning,
+                "OV003",
+                Loc::Rule(i),
+                "guard is unsatisfiable; the rule can never fire",
+                "delete the rule or fix the guard (prune() removes it)",
+            ));
+        }
+    }
+
+    // Pairs sharing a dispatch key, via the program's own rule index.
+    let keys: BTreeSet<_> = prog.rules().iter().map(|r| (r.label, r.state)).collect();
+    for (label, state) in keys {
+        if !cfg.is_reachable(state) {
+            continue;
+        }
+        let group = prog.rules_for(label, state);
+        for (a, &i) in group.iter().enumerate() {
+            for &j in &group[a + 1..] {
+                let g1 = &prog.rules()[i].guard;
+                let g2 = &prog.rules()[j].guard;
+                if definitely_exclusive(g1, g2) {
+                    continue;
+                }
+                match find_overlap_witness(prog, g1, g2) {
+                    Some(w) => out.push(Diagnostic::new(
+                        Severity::Warning,
+                        "OV001",
+                        Loc::RulePair(i, j),
+                        format!(
+                            "guards are not mutually exclusive ({w}); \
+                             if both fire the run halts Nondeterministic"
+                        ),
+                        "strengthen one guard with the negation of the other",
+                    )),
+                    None => out.push(Diagnostic::new(
+                        Severity::Info,
+                        "OV002",
+                        Loc::RulePair(i, j),
+                        "could not prove the guards mutually exclusive",
+                        "if the overlap is intended to be impossible, \
+                         restate the guards as g and ¬g",
+                    )),
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Search small stores and attribute environments for one satisfying both
+/// guards. Sound: a returned witness really does satisfy both (under the
+/// constructed store — whether a *run* can produce that store is a
+/// separate, undecidable question, hence `Warning` not `Error`).
+fn find_overlap_witness(prog: &TwProgram, g1: &SFormula, g2: &SFormula) -> Option<String> {
+    let mut regs: BTreeSet<RegId> = g1.registers().into_iter().collect();
+    regs.extend(g2.registers());
+    let regs: Vec<RegId> = regs
+        .into_iter()
+        .filter(|r| (r.0 as usize) < prog.reg_count())
+        .collect();
+    let mut attrs: BTreeSet<AttrId> = g1.attrs().into_iter().collect();
+    attrs.extend(g2.attrs());
+    let attrs: Vec<AttrId> = attrs.into_iter().collect();
+    if regs.len() > MAX_WITNESS_REGS || attrs.len() > MAX_WITNESS_ATTRS {
+        return None;
+    }
+
+    // Value pool: every constant either guard mentions, plus two fresh
+    // values no vocabulary interning will have handed out (tokens only
+    // compare by identity, so fabricated ones are safe).
+    let mut pool: BTreeSet<Value> = g1.constants().into_iter().collect();
+    pool.extend(g2.constants());
+    let fresh_base = pool.iter().map(|v| v.0).max().unwrap_or(0) + 1;
+    pool.insert(Value(fresh_base));
+    pool.insert(Value(fresh_base + 1));
+    let pool: Vec<Value> = pool.into_iter().collect();
+
+    // Candidate relations per register: ∅ and all ≤2-element subsets of a
+    // small tuple pool.
+    let arities = prog.reg_arities();
+    let reg_candidates: Vec<Vec<Relation>> = regs
+        .iter()
+        .map(|r| {
+            let a = arities[r.0 as usize];
+            let tuples = small_tuples(&pool, a);
+            let mut cands = vec![Relation::empty(a)];
+            for (i, t) in tuples.iter().enumerate() {
+                cands.push(Relation::from_tuples(a, [t.clone()]));
+                for u in &tuples[i + 1..] {
+                    cands.push(Relation::from_tuples(a, [t.clone(), u.clone()]));
+                }
+            }
+            cands
+        })
+        .collect();
+
+    // Attribute environments: each mentioned attribute takes each pool
+    // value in turn (one shared index per attribute).
+    let mut env_choices = vec![0usize; attrs.len()];
+    loop {
+        let env = AttrEnv::from_pairs(
+            &attrs
+                .iter()
+                .zip(&env_choices)
+                .map(|(&a, &c)| (a, pool[c]))
+                .collect::<Vec<_>>(),
+        );
+        let mut reg_choices = vec![0usize; regs.len()];
+        loop {
+            let mut store = Store::with_arities(arities);
+            for (slot, (&r, &c)) in regs.iter().zip(&reg_choices).enumerate() {
+                store.set(r, reg_candidates[slot][c].clone());
+            }
+            if eval_guard(&store, &env, g1) && eval_guard(&store, &env, g2) {
+                return Some(describe_witness(
+                    &regs,
+                    &reg_choices,
+                    &reg_candidates,
+                    &attrs,
+                ));
+            }
+            if !bump(&mut reg_choices, |i| reg_candidates[i].len()) {
+                break;
+            }
+        }
+        if !bump(&mut env_choices, |_| pool.len()) {
+            break;
+        }
+    }
+    None
+}
+
+/// All tuples over `pool^arity`, capped at a handful to bound the search.
+fn small_tuples(pool: &[Value], arity: usize) -> Vec<Vec<Value>> {
+    let mut out: Vec<Vec<Value>> = vec![Vec::new()];
+    for _ in 0..arity {
+        let mut next = Vec::new();
+        for t in &out {
+            for &v in pool {
+                let mut t2 = t.clone();
+                t2.push(v);
+                next.push(t2);
+            }
+        }
+        out = next;
+        if out.len() > 9 {
+            out.truncate(9);
+        }
+    }
+    if arity == 0 {
+        out.clear();
+    }
+    out
+}
+
+/// Odometer increment over mixed radices; `false` when it wraps.
+fn bump(digits: &mut [usize], radix: impl Fn(usize) -> usize) -> bool {
+    for (i, d) in digits.iter_mut().enumerate() {
+        *d += 1;
+        if *d < radix(i) {
+            return true;
+        }
+        *d = 0;
+    }
+    false
+}
+
+/// A short rendering of the witness store for the diagnostic message.
+fn describe_witness(
+    regs: &[RegId],
+    choices: &[usize],
+    candidates: &[Vec<Relation>],
+    attrs: &[AttrId],
+) -> String {
+    if regs.is_empty() && attrs.is_empty() {
+        return "both hold in every store".to_owned();
+    }
+    let parts: Vec<String> = regs
+        .iter()
+        .zip(choices)
+        .enumerate()
+        .map(|(slot, (r, &c))| format!("{} with {} tuple(s)", r, candidates[slot][c].len()))
+        .collect();
+    if parts.is_empty() {
+        "witness: some attribute assignment".to_owned()
+    } else {
+        format!("witness: {}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twq_automata::{Action, Dir, TwProgramBuilder};
+    use twq_logic::store::sbuild::*;
+    use twq_tree::Label;
+
+    fn codes(prog: &TwProgram) -> Vec<&'static str> {
+        let cfg = Cfg::build(prog);
+        pass(prog, &cfg).iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn true_true_pairs_are_flagged_with_witness() {
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        b.rule_true(Label::DelimRoot, q0, Action::Move(qf, Dir::Stay));
+        b.rule_true(Label::DelimRoot, q0, Action::Move(qf, Dir::Down));
+        let p = b.build().unwrap();
+        assert_eq!(codes(&p), vec!["OV001"]);
+    }
+
+    #[test]
+    fn g_and_not_g_are_proven_exclusive() {
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let x1 = b.unary_register();
+        let g = rel(x1, [cst(Value(5))]);
+        b.rule(Label::DelimRoot, q0, g.clone(), Action::Move(qf, Dir::Stay));
+        b.rule(Label::DelimRoot, q0, not(g), Action::Move(qf, Dir::Down));
+        let p = b.build().unwrap();
+        assert!(codes(&p).is_empty());
+    }
+
+    #[test]
+    fn satisfiable_distinct_guards_get_a_witness() {
+        // X₁(5) and X₁(6) can hold together when X₁ ⊇ {5,6}.
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let x1 = b.unary_register();
+        b.rule(
+            Label::DelimRoot,
+            q0,
+            rel(x1, [cst(Value(5))]),
+            Action::Move(qf, Dir::Stay),
+        );
+        b.rule(
+            Label::DelimRoot,
+            q0,
+            rel(x1, [cst(Value(6))]),
+            Action::Move(qf, Dir::Down),
+        );
+        let p = b.build().unwrap();
+        assert_eq!(codes(&p), vec!["OV001"]);
+    }
+
+    #[test]
+    fn unsatisfiable_guard_is_flagged() {
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let x1 = b.unary_register();
+        let g = rel(x1, [cst(Value(5))]);
+        b.rule(
+            Label::DelimRoot,
+            q0,
+            and([g.clone(), not(g)]),
+            Action::Move(qf, Dir::Stay),
+        );
+        let p = b.build().unwrap();
+        assert_eq!(codes(&p), vec!["OV003"]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Pass 4 — progress analysis: statically flagging possible divergence.
+//!
+//! The runtime already defends against divergence (cycle detection,
+//! `Limits::max_steps`, and PR 2's fuel budgets); this pass predicts it
+//! *before* a step is walked, by looking for control-flow cycles that
+//! lack a progress witness:
+//!
+//! * `PR001` — a reachable cycle whose rules are all `Move(·, Stay)`:
+//!   the configuration literally repeats, so entering the cycle loops
+//!   forever (the engine rejects it as `Halt::Cycle`, after wasting the
+//!   cycle-detection interval).
+//! * `PR002` — a reachable cycle that never moves the head but contains
+//!   a non-single-value update: the store can grow without the
+//!   configuration repeating, so cycle detection may never fire and only
+//!   the step budget terminates the run.
+//! * `PR003` — a reachable cycle that never moves the head, writing only
+//!   single-value updates: the configuration space at the pinned node is
+//!   finite, so the engine is guaranteed to catch any loop, but the only
+//!   exit is a store-dependent guard — worth knowing, nothing need
+//!   change.
+//!
+//! Cycles that move the head are ordinary traversal loops and are not
+//! reported: the tree bounds them the way Section 3's walking argument
+//! intends.
+
+use twq_automata::program::is_single_value_update;
+use twq_automata::{Action, Dir, State, TwProgram};
+
+use crate::cfg::Cfg;
+use crate::diag::{Diagnostic, Loc, Severity};
+
+/// Progress diagnostics for the whole program.
+pub fn pass(prog: &TwProgram, cfg: &Cfg) -> Vec<Diagnostic> {
+    let n = prog.state_count();
+    let sccs = strongly_connected(prog, n);
+    let mut out = Vec::new();
+    for scc in sccs {
+        // Rules whose source and chain-successor both live in this SCC.
+        let rules: Vec<usize> = prog
+            .rules()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                scc.contains(&(r.state.0 as usize))
+                    && scc.contains(&(r.action.next_state().0 as usize))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        // A cycle exists iff the SCC has >1 state, or a single state with
+        // a self-edge (which is exactly "some rule stays inside it").
+        if rules.is_empty() {
+            continue;
+        }
+        if !scc.iter().any(|&q| cfg.reachable[q]) {
+            continue; // dead code; the CFG pass already reports it
+        }
+
+        let moves_head = rules
+            .iter()
+            .any(|&i| matches!(prog.rules()[i].action, Action::Move(_, d) if d != Dir::Stay));
+        if moves_head {
+            continue;
+        }
+        let states: Vec<String> = scc
+            .iter()
+            .map(|&q| prog.state_name(State(q as u16)).to_owned())
+            .collect();
+        let loc = Loc::State(State(scc[0] as u16));
+        let writes: Vec<&usize> = rules
+            .iter()
+            .filter(|&&i| {
+                matches!(
+                    prog.rules()[i].action,
+                    Action::Update(_, _, _) | Action::Atp(_, _, _, _)
+                )
+            })
+            .collect();
+        if writes.is_empty() {
+            out.push(Diagnostic::new(
+                Severity::Warning,
+                "PR001",
+                loc,
+                format!(
+                    "stay-loop through {{{}}}: no rule moves the head or writes the store, \
+                     so entering the cycle repeats one configuration forever",
+                    states.join(", ")
+                ),
+                "break the cycle or make some rule move the head",
+            ));
+        } else {
+            let grows = writes.iter().any(|&&i| match &prog.rules()[i].action {
+                Action::Update(_, psi, _) => !is_single_value_update(psi),
+                Action::Atp(_, phi, _, _) => !phi.is_syntactically_single(),
+                Action::Move(_, _) => false,
+            });
+            if grows {
+                out.push(Diagnostic::new(
+                    Severity::Warning,
+                    "PR002",
+                    loc,
+                    format!(
+                        "cycle through {{{}}} never moves the head but grows the store; \
+                         cycle detection may never fire and only the step budget \
+                         terminates the run",
+                        states.join(", ")
+                    ),
+                    "move the head inside the cycle or bound the update",
+                ));
+            } else {
+                out.push(Diagnostic::new(
+                    Severity::Info,
+                    "PR003",
+                    loc,
+                    format!(
+                        "cycle through {{{}}} never moves the head; its only exit is a \
+                         store-dependent guard (single-value updates keep it bounded)",
+                        states.join(", ")
+                    ),
+                    "fine if the guard eventually flips; otherwise move the head",
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Tarjan's strongly connected components over the chain-edge graph,
+/// iterative to keep compiled-program state counts off the call stack.
+fn strongly_connected(prog: &TwProgram, n: usize) -> Vec<Vec<usize>> {
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for r in prog.rules() {
+        succ[r.state.0 as usize].push(r.action.next_state().0 as usize);
+    }
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out = Vec::new();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        // Explicit DFS frames: (node, next child position).
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        while !frames.is_empty() {
+            let (v, child) = {
+                let f = frames.last_mut().expect("loop guard");
+                if f.1 == 0 {
+                    let v = f.0;
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                let pair = (f.0, f.1);
+                f.1 += 1;
+                pair
+            };
+            if let Some(&w) = succ[v].get(child) {
+                if index[w] == usize::MAX {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twq_automata::{Action, Dir, TwProgramBuilder};
+    use twq_logic::store::sbuild::*;
+    use twq_tree::{Label, Value};
+
+    fn codes(prog: &TwProgram) -> Vec<&'static str> {
+        let cfg = Cfg::build(prog);
+        pass(prog, &cfg).iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn stay_loop_is_flagged() {
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let q1 = b.state("q1");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let x1 = b.unary_register();
+        b.rule_true(Label::DelimRoot, q0, Action::Move(q1, Dir::Stay));
+        b.rule_true(Label::DelimRoot, q1, Action::Move(q0, Dir::Stay));
+        // An exit on another label keeps the loop states coaccessible.
+        b.rule(
+            Label::DelimLeaf,
+            q0,
+            rel(x1, [cst(Value(1))]),
+            Action::Move(qf, Dir::Stay),
+        );
+        let p = b.build().unwrap();
+        assert!(codes(&p).contains(&"PR001"));
+    }
+
+    #[test]
+    fn head_pinned_store_growth_is_flagged() {
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let x1 = b.unary_register();
+        let a = twq_tree::AttrId(0);
+        // ψ = X₁(x₀) ∨ x₀ = val_a: accumulates, not single-value.
+        let grow = or([rel(x1, [v(0)]), eq(v(0), attr(a))]);
+        b.rule(
+            Label::DelimRoot,
+            q0,
+            not(rel(x1, [cst(Value(7))])),
+            Action::Update(q0, grow, x1),
+        );
+        b.rule(
+            Label::DelimRoot,
+            q0,
+            rel(x1, [cst(Value(7))]),
+            Action::Move(qf, Dir::Stay),
+        );
+        let p = b.build().unwrap();
+        assert!(codes(&p).contains(&"PR002"));
+    }
+
+    #[test]
+    fn moving_cycles_are_ordinary_traversals() {
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        b.rule_true(Label::DelimOpen, q0, Action::Move(q0, Dir::Down));
+        b.rule_true(Label::DelimLeaf, q0, Action::Move(qf, Dir::Stay));
+        let p = b.build().unwrap();
+        assert!(codes(&p).is_empty());
+    }
+
+    #[test]
+    fn single_value_stay_cycles_are_info_only() {
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let x1 = b.unary_register();
+        let a = twq_tree::AttrId(0);
+        b.rule(
+            Label::DelimRoot,
+            q0,
+            not(rel(x1, [cst(Value(7))])),
+            Action::Update(q0, eq(v(0), attr(a)), x1),
+        );
+        b.rule(
+            Label::DelimRoot,
+            q0,
+            rel(x1, [cst(Value(7))]),
+            Action::Move(qf, Dir::Stay),
+        );
+        let p = b.build().unwrap();
+        assert_eq!(codes(&p), vec!["PR003"]);
+    }
+}

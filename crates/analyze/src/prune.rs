@@ -1,0 +1,224 @@
+//! The semantics-preserving `prune()` rewrite.
+//!
+//! Three removals, each argued acceptance-preserving under the engine's
+//! exact halting discipline (including `Halt::Nondeterministic`):
+//!
+//! 1. **Rules from non-coaccessible states.** A chain in a state that
+//!    cannot reach `q_F` rejects no matter what (stuck, cycle,
+//!    nondeterministic, or limit — all non-accepting). Dropping *all* of
+//!    the state's rules turns that rejection into an immediate stuck
+//!    halt. Because the rules are dropped per-state, never per-rule, no
+//!    overlapping rule pair is ever split — so a run that would have
+//!    halted `Nondeterministic` cannot silently become accepting.
+//! 2. **Rules with unsatisfiable guards.** A guard no store satisfies
+//!    never fires and never participates in a nondeterministic double
+//!    fire; removing the rule changes no run.
+//! 3. **Unreachable states.** After (1) and (2), any state no chain can
+//!    enter (forward closure over chain *and* `atp`-spawn edges) is
+//!    deleted outright, rules and all.
+//!
+//! `atp` subtlety: a spawn target that cannot reach `q_F` keeps its
+//! *state* (the spawn edge reaches it) but loses its *rules* by (1); the
+//! spawned chain then rejects immediately instead of eventually, and the
+//! `atp` rule rejects the same way it always did — unless the selector
+//! picked no nodes, in which case no chain spawns and nothing changed.
+//!
+//! The proptest suite (`tests/analyze.rs`) exercises exactly this
+//! contract: pruned programs accept the same trees as their originals.
+
+use twq_automata::{Action, State, TwProgram, TwProgramBuilder};
+use twq_logic::RegId;
+
+use crate::fold::is_unsat;
+
+/// The result of pruning: the rewritten program plus what was removed.
+#[derive(Debug, Clone)]
+pub struct Pruned {
+    /// The pruned program (identical acceptance behavior).
+    pub program: TwProgram,
+    /// Indices (into the original rule list) of removed rules.
+    pub removed_rules: Vec<usize>,
+    /// Removed states (original ids).
+    pub removed_states: Vec<State>,
+}
+
+impl Pruned {
+    /// Whether pruning changed anything.
+    pub fn changed(&self) -> bool {
+        !self.removed_rules.is_empty() || !self.removed_states.is_empty()
+    }
+}
+
+/// Prune the program. See the module docs for the soundness argument.
+pub fn prune(prog: &TwProgram) -> Pruned {
+    let n = prog.state_count();
+
+    // Backward closure over chain edges: which states can reach q_F.
+    let mut back: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for r in prog.rules() {
+        back[r.action.next_state().0 as usize].push(r.state.0 as usize);
+    }
+    let mut coacc = vec![false; n];
+    let mut stack = vec![prog.final_state().0 as usize];
+    coacc[prog.final_state().0 as usize] = true;
+    while let Some(q) = stack.pop() {
+        for &p in &back[q] {
+            if !coacc[p] {
+                coacc[p] = true;
+                stack.push(p);
+            }
+        }
+    }
+
+    // Keep rules from coaccessible states whose guard can fire at all.
+    let keep0: Vec<bool> = prog
+        .rules()
+        .iter()
+        .map(|r| coacc[r.state.0 as usize] && !is_unsat(&r.guard))
+        .collect();
+
+    // Forward closure from q₀ over the *kept* rules (chain + spawn).
+    let mut by_state: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, r) in prog.rules().iter().enumerate() {
+        if keep0[i] {
+            by_state[r.state.0 as usize].push(i);
+        }
+    }
+    let mut reach = vec![false; n];
+    reach[prog.initial().0 as usize] = true;
+    let mut stack = vec![prog.initial().0 as usize];
+    while let Some(q) = stack.pop() {
+        for &i in &by_state[q] {
+            let r = &prog.rules()[i];
+            let mut targets = vec![r.action.next_state().0 as usize];
+            if let Action::Atp(_, _, p, _) = r.action {
+                targets.push(p.0 as usize);
+            }
+            for t in targets {
+                if !reach[t] {
+                    reach[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+    }
+
+    let keep_rule: Vec<bool> = prog
+        .rules()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| keep0[i] && reach[r.state.0 as usize])
+        .collect();
+    let keep_state: Vec<bool> = (0..n)
+        .map(|q| reach[q] || q == prog.final_state().0 as usize)
+        .collect();
+
+    // Rebuild through the builder so every invariant is revalidated.
+    let mut b = TwProgramBuilder::new();
+    let mut map: Vec<Option<State>> = vec![None; n];
+    for q in 0..n {
+        if keep_state[q] {
+            map[q] = Some(b.state(prog.state_name(State(q as u16))));
+        }
+    }
+    let mapped = |q: State| map[q.0 as usize].expect("kept rules only reference kept states");
+    b.initial(mapped(prog.initial()));
+    b.final_state(mapped(prog.final_state()));
+    let init = prog.initial_store();
+    for (i, &arity) in prog.reg_arities().iter().enumerate() {
+        b.register(arity, init.get(RegId(i as u8)).clone());
+    }
+    for (i, r) in prog.rules().iter().enumerate() {
+        if !keep_rule[i] {
+            continue;
+        }
+        let action = match &r.action {
+            Action::Move(q, d) => Action::Move(mapped(*q), *d),
+            Action::Update(q, psi, reg) => Action::Update(mapped(*q), psi.clone(), *reg),
+            Action::Atp(q, phi, p, reg) => Action::Atp(mapped(*q), phi.clone(), mapped(*p), *reg),
+        };
+        b.rule(r.label, mapped(r.state), r.guard.clone(), action);
+    }
+    let program = b
+        .build()
+        .expect("pruning preserves every builder invariant");
+
+    Pruned {
+        program,
+        removed_rules: keep_rule
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| !k)
+            .map(|(i, _)| i)
+            .collect(),
+        removed_states: keep_state
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| !k)
+            .map(|(q, _)| State(q as u16))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twq_automata::{run_on_tree, Dir, Limits, TwClass};
+    use twq_logic::store::sbuild::*;
+    use twq_tree::generate::{random_tree, TreeGenConfig};
+    use twq_tree::{Label, Value, Vocab};
+
+    #[test]
+    fn pruning_a_clean_program_changes_nothing() {
+        let mut vocab = Vocab::new();
+        let ex = twq_automata::examples::example_32(&mut vocab);
+        let p = prune(&ex.program);
+        assert!(!p.changed());
+        assert_eq!(p.program.state_count(), ex.program.state_count());
+        assert_eq!(p.program.rules().len(), ex.program.rules().len());
+    }
+
+    #[test]
+    fn dead_states_and_false_guards_are_removed() {
+        let mut vocab = Vocab::new();
+        let sigma = vocab.sym("sigma");
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        let dead = b.state("dead");
+        b.initial(q0).final_state(qf);
+        let x1 = b.unary_register();
+        b.rule_true(Label::DelimRoot, q0, Action::Move(qf, Dir::Stay));
+        // Never fires: complementary conjuncts.
+        let g = rel(x1, [cst(Value(3))]);
+        b.rule(
+            Label::Sym(sigma),
+            q0,
+            and([g.clone(), not(g)]),
+            Action::Move(qf, Dir::Down),
+        );
+        b.rule_true(Label::Sym(sigma), dead, Action::Move(dead, Dir::Up));
+        let orig = b.build().unwrap();
+        let p = prune(&orig);
+        assert_eq!(p.removed_rules.len(), 2);
+        assert_eq!(p.removed_states, vec![dead]);
+        assert_eq!(p.program.state_count(), 2);
+        assert_eq!(p.program.classify(), orig.classify());
+        assert_eq!(p.program.classify(), TwClass::Tw);
+    }
+
+    #[test]
+    fn pruned_program_accepts_the_same_trees() {
+        let mut vocab = Vocab::new();
+        let ex = twq_automata::examples::example_32(&mut vocab);
+        // Junk: unreachable state with rules.
+        let cfg = TreeGenConfig::example32(&mut vocab, 15, &[1, 2]);
+        let p = prune(&ex.program);
+        for seed in 0..20 {
+            let t = random_tree(&cfg, seed);
+            let orig = run_on_tree(&ex.program, &t, Limits::default());
+            let pruned = run_on_tree(&p.program, &t, Limits::default());
+            assert_eq!(orig.accepted(), pruned.accepted(), "seed {seed}");
+        }
+    }
+}

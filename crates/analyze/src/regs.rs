@@ -1,0 +1,209 @@
+//! Pass 3 — store analysis: register liveness and arity/use consistency.
+//!
+//! * **Written-never-read** (`RG001`): a register some rule updates (or
+//!   the initial store populates) that no guard, update formula, or `atp`
+//!   ever consults — the work maintaining it is wasted. `X₁` is exempt:
+//!   it is the program's output register (`atp` collects it from
+//!   subcomputations, and the graph evaluator returns it on acceptance).
+//! * **Read-never-written** (`RG002`): a register consulted by some
+//!   formula that no rule writes and whose initial content is empty;
+//!   every read sees `∅`, so the guards reading it are constants.
+//! * **Arity mismatch at use** (`RG003`): a relation atom `X_i(t̄)` whose
+//!   tuple length differs from the register's declared arity. The
+//!   evaluator's `contains` check makes such an atom **always false** at
+//!   runtime — a silent logic bug, reported as an error. (The builder
+//!   validates that registers *exist*, not how atoms apply them.)
+
+use twq_automata::{Action, TwProgram};
+use twq_logic::{RegId, SAtom, SFormula};
+
+use crate::diag::{Diagnostic, Loc, Severity};
+
+/// Apply `f` to every atom of `formula`, recursively.
+fn for_each_atom(formula: &SFormula, f: &mut impl FnMut(&SAtom)) {
+    match formula {
+        SFormula::True | SFormula::False => {}
+        SFormula::Atom(a) => f(a),
+        SFormula::Not(g) => for_each_atom(g, f),
+        SFormula::And(gs) | SFormula::Or(gs) => {
+            for g in gs {
+                for_each_atom(g, f);
+            }
+        }
+        SFormula::Exists(_, g) | SFormula::Forall(_, g) => for_each_atom(g, f),
+    }
+}
+
+/// Store diagnostics for the whole program.
+pub fn pass(prog: &TwProgram) -> Vec<Diagnostic> {
+    let nregs = prog.reg_count();
+    let mut written = vec![false; nregs];
+    let mut read = vec![false; nregs];
+    let init = prog.initial_store();
+    for (i, w) in written.iter_mut().enumerate() {
+        if !init.get(RegId(i as u8)).is_empty() {
+            *w = true;
+        }
+    }
+
+    let mut mismatches: Vec<(usize, RegId, usize, usize)> = Vec::new();
+    let scan = |rule_idx: usize,
+                formula: &SFormula,
+                read: &mut Vec<bool>,
+                mismatches: &mut Vec<(usize, RegId, usize, usize)>| {
+        for_each_atom(formula, &mut |a| {
+            if let SAtom::Rel(r, ts) = a {
+                let idx = r.0 as usize;
+                if idx < nregs {
+                    read[idx] = true;
+                    let declared = prog.reg_arities()[idx];
+                    if ts.len() != declared {
+                        mismatches.push((rule_idx, *r, ts.len(), declared));
+                    }
+                }
+            }
+        });
+    };
+
+    for (i, rule) in prog.rules().iter().enumerate() {
+        scan(i, &rule.guard, &mut read, &mut mismatches);
+        match &rule.action {
+            Action::Move(_, _) => {}
+            Action::Update(_, psi, target) => {
+                scan(i, psi, &mut read, &mut mismatches);
+                written[target.0 as usize] = true;
+            }
+            Action::Atp(_, _, _, target) => {
+                // atp collects the subcomputations' X₁ into `target`.
+                written[target.0 as usize] = true;
+                if nregs > 0 {
+                    read[0] = true;
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for i in 0..nregs {
+        let r = RegId(i as u8);
+        // X₁ is the output register; "never read" is its normal state.
+        if written[i] && !read[i] && i != 0 {
+            out.push(Diagnostic::new(
+                Severity::Warning,
+                "RG001",
+                Loc::Register(r),
+                "register is written but never read",
+                "drop the register and the updates maintaining it",
+            ));
+        }
+        if read[i] && !written[i] {
+            out.push(Diagnostic::new(
+                Severity::Info,
+                "RG002",
+                Loc::Register(r),
+                "register is read but never written and starts empty; every read sees ∅",
+                "initialize the register or delete the atoms reading it",
+            ));
+        }
+    }
+    for (rule_idx, r, used, declared) in mismatches {
+        out.push(Diagnostic::new(
+            Severity::Error,
+            "RG003",
+            Loc::Rule(rule_idx),
+            format!(
+                "relation atom applies {r} to {used} term(s) but its declared arity is \
+                 {declared}; the atom is always false at runtime"
+            ),
+            "match the atom's tuple length to the register arity",
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twq_automata::{Action, Dir, TwProgramBuilder};
+    use twq_logic::store::sbuild::*;
+    use twq_logic::Relation;
+    use twq_tree::Label;
+
+    fn codes(prog: &TwProgram) -> Vec<&'static str> {
+        pass(prog).iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn written_never_read_is_flagged_but_x1_is_exempt() {
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let _x1 = b.unary_register();
+        let x2 = b.unary_register();
+        let a = twq_tree::AttrId(0);
+        b.rule_true(
+            Label::DelimRoot,
+            q0,
+            Action::Update(qf, eq(v(0), attr(a)), x2),
+        );
+        let p = b.build().unwrap();
+        assert_eq!(codes(&p), vec!["RG001"]);
+    }
+
+    #[test]
+    fn read_never_written_is_flagged() {
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let x1 = b.unary_register();
+        b.rule(
+            Label::DelimRoot,
+            q0,
+            rel(x1, [cst(twq_tree::Value(3))]),
+            Action::Move(qf, Dir::Stay),
+        );
+        let p = b.build().unwrap();
+        assert_eq!(codes(&p), vec!["RG002"]);
+    }
+
+    #[test]
+    fn arity_mismatch_at_use_is_an_error() {
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let pair = b.register(2, Relation::empty(2));
+        // Binary register applied to one term: always false, builder
+        // accepts it, the analyzer must not.
+        b.rule(
+            Label::DelimRoot,
+            q0,
+            rel(pair, [cst(twq_tree::Value(3))]),
+            Action::Move(qf, Dir::Stay),
+        );
+        let p = b.build().unwrap();
+        let cs = codes(&p);
+        assert!(cs.contains(&"RG003"), "{cs:?}");
+    }
+
+    #[test]
+    fn initialized_registers_count_as_written() {
+        let mut b = TwProgramBuilder::new();
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let x1 = b.unary_register();
+        let x2 = b.register(1, Relation::singleton(twq_tree::Value(9)));
+        let _ = x1;
+        b.rule(
+            Label::DelimRoot,
+            q0,
+            rel(x2, [cst(twq_tree::Value(9))]),
+            Action::Move(qf, Dir::Stay),
+        );
+        let p = b.build().unwrap();
+        assert!(codes(&p).is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Complexity-class routing: the analyzer as evaluator front door.
+//!
+//! [`run_checked`] is the static counterpart of handing a program to the
+//! engine and hoping: it certifies the program against the class the
+//! caller is prepared to pay for (rejecting with [`TwqError::Invalid`]
+//! *before a single step is walked*), prunes dead control flow, and only
+//! then runs. [`run_routed`] goes one further and lets the inferred
+//! class pick the evaluator: `tw^l` programs go to the memoized
+//! configuration-graph evaluator (the Theorem 7.1(2) PTIME bound),
+//! everything else to the direct engine.
+
+use twq_automata::{run, run_graph, Limits, RunReport, TwClass, TwProgram};
+use twq_guard::TwqError;
+use twq_tree::DelimTree;
+
+use crate::classes::{certify, infer, ClassInference};
+use crate::prune::{prune, Pruned};
+
+/// Which evaluator the router picked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvaluatorChoice {
+    /// The direct stepping engine.
+    Direct,
+    /// The memoized configuration-graph evaluator.
+    Graph,
+}
+
+/// The routing decision for a program, without running anything.
+pub fn route(prog: &TwProgram) -> (ClassInference, EvaluatorChoice) {
+    let inf = infer(prog);
+    let choice = match inf.class {
+        // tw^l: polynomially many configurations — memoization pays.
+        TwClass::TwL => EvaluatorChoice::Graph,
+        // TW walks in LOGSPACE, tw^r/tw^{r,l} have no small config bound:
+        // the direct engine is the right default for all three.
+        _ => EvaluatorChoice::Direct,
+    };
+    (inf, choice)
+}
+
+/// Certify the program against `required`, prune it, and run the direct
+/// engine. This is the evaluator entry point that rejects a mis-classed
+/// program statically with [`TwqError::Invalid`] instead of discovering
+/// the blowup at runtime.
+pub fn run_checked(
+    prog: &TwProgram,
+    delim: &DelimTree,
+    limits: Limits,
+    required: TwClass,
+) -> Result<RunReport, TwqError> {
+    certify(prog, required)?;
+    let pruned = prune(prog);
+    Ok(run(&pruned.program, delim, limits))
+}
+
+/// The outcome of a routed run.
+#[derive(Debug, Clone)]
+pub struct Routed {
+    /// The inferred class that made the decision.
+    pub inference: ClassInference,
+    /// Which evaluator ran.
+    pub evaluator: EvaluatorChoice,
+    /// What pruning removed.
+    pub pruned: Pruned,
+    /// Whether the run accepted.
+    pub accepted: bool,
+    /// Steps taken (graph runs count first-time transitions).
+    pub steps: u64,
+}
+
+/// Infer, prune, route, run.
+pub fn run_routed(prog: &TwProgram, delim: &DelimTree, limits: Limits) -> Routed {
+    let (inference, evaluator) = route(prog);
+    let pruned = prune(prog);
+    let (accepted, steps) = match evaluator {
+        EvaluatorChoice::Direct => {
+            let r = run(&pruned.program, delim, limits);
+            (r.accepted(), r.steps)
+        }
+        EvaluatorChoice::Graph => {
+            let r = run_graph(&pruned.program, delim, limits);
+            (r.accepted(), r.steps)
+        }
+    };
+    Routed {
+        inference,
+        evaluator,
+        pruned,
+        accepted,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twq_tree::generate::{random_tree, TreeGenConfig};
+    use twq_tree::Vocab;
+
+    #[test]
+    fn misclassed_programs_are_rejected_statically() {
+        let mut vocab = Vocab::new();
+        // Example 3.2 is tw^{r,l}: multi-node look-ahead.
+        let ex = twq_automata::examples::example_32(&mut vocab);
+        let cfg = TreeGenConfig::example32(&mut vocab, 5, &[1]);
+        let t = random_tree(&cfg, 0);
+        let dt = DelimTree::build(&t);
+        let err = run_checked(&ex.program, &dt, Limits::default(), TwClass::Tw);
+        assert!(matches!(err, Err(TwqError::Invalid { .. })), "{err:?}");
+        let ok = run_checked(&ex.program, &dt, Limits::default(), TwClass::TwRL);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn routing_agrees_with_the_direct_engine() {
+        let mut vocab = Vocab::new();
+        let cfg = TreeGenConfig::example32(&mut vocab, 12, &[1, 2]);
+        let a = vocab.attr_opt("a").unwrap();
+        let prog = twq_automata::examples::parent_child_match_program(&cfg.symbols, a);
+        assert_eq!(prog.classify(), TwClass::TwL);
+        for seed in 0..10 {
+            let t = random_tree(&cfg, seed);
+            let dt = DelimTree::build(&t);
+            let direct = run(&prog, &dt, Limits::default());
+            let routed = run_routed(&prog, &dt, Limits::default());
+            assert_eq!(routed.accepted, direct.accepted(), "seed {seed}");
+            assert_eq!(routed.evaluator, EvaluatorChoice::Graph, "tw^l → graph");
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The lint zoo: seeded ill-formed programs, one per analysis pass.
+//!
+//! Each entry is a small, *buildable* program (the builder's invariants
+//! all hold — these are semantic smells, not syntax errors) that
+//! triggers one diagnostic family. `twq lint` prints them as a
+//! demonstration, and the test suite asserts every expected code
+//! actually fires, which pins the analyzer's recall.
+
+use twq_automata::{Action, Dir, TwClass, TwProgram, TwProgramBuilder};
+use twq_logic::exists::selectors;
+use twq_logic::store::sbuild::*;
+use twq_logic::Relation;
+use twq_tree::{AttrId, Label, Value, Vocab};
+
+/// One seeded ill-formed program.
+pub struct ZooEntry {
+    /// Short name, printed as the lint section header.
+    pub name: &'static str,
+    /// What the entry demonstrates.
+    pub description: &'static str,
+    /// The diagnostic code the analyzer must produce on it.
+    pub expect_code: &'static str,
+    /// The class to lint the program against (for the class-violation
+    /// entry; `TwRL` — always satisfied — elsewhere).
+    pub against: TwClass,
+    /// The program.
+    pub program: TwProgram,
+}
+
+fn base(vocab: &mut Vocab) -> (TwProgramBuilder, Label) {
+    let sigma = vocab.sym("sigma");
+    (TwProgramBuilder::new(), Label::Sym(sigma))
+}
+
+/// Every zoo entry. `vocab` receives the symbols the programs mention.
+pub fn lint_zoo(vocab: &mut Vocab) -> Vec<ZooEntry> {
+    let mut out = Vec::new();
+
+    // DS001 — a state no chain can ever enter.
+    {
+        let (mut b, sigma) = base(vocab);
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        let orphan = b.state("orphan");
+        b.initial(q0).final_state(qf);
+        b.rule_true(Label::DelimRoot, q0, Action::Move(qf, Dir::Stay));
+        b.rule_true(sigma, orphan, Action::Move(qf, Dir::Up));
+        out.push(ZooEntry {
+            name: "dead-state",
+            description: "a state unreachable from the initial state",
+            expect_code: "DS001",
+            against: TwClass::TwRL,
+            program: b.build().expect("zoo programs build"),
+        });
+    }
+
+    // DS002 — a reachable state that can never reach the final state.
+    {
+        let (mut b, sigma) = base(vocab);
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        let pit = b.state("pit");
+        b.initial(q0).final_state(qf);
+        b.rule_true(Label::DelimRoot, q0, Action::Move(qf, Dir::Stay));
+        b.rule_true(sigma, q0, Action::Move(pit, Dir::Down));
+        b.rule_true(sigma, pit, Action::Move(pit, Dir::Down));
+        out.push(ZooEntry {
+            name: "no-exit",
+            description: "a reachable state with no path back to acceptance",
+            expect_code: "DS002",
+            against: TwClass::TwRL,
+            program: b.build().expect("zoo programs build"),
+        });
+    }
+
+    // OV001 — two rules for one (label, state) that can fire together.
+    {
+        let (mut b, _) = base(vocab);
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        b.rule_true(Label::DelimRoot, q0, Action::Move(qf, Dir::Stay));
+        b.rule_true(Label::DelimRoot, q0, Action::Move(qf, Dir::Down));
+        out.push(ZooEntry {
+            name: "overlapping-guards",
+            description: "two always-true guards on one dispatch key: \
+                          the engine halts Nondeterministic",
+            expect_code: "OV001",
+            against: TwClass::TwRL,
+            program: b.build().expect("zoo programs build"),
+        });
+    }
+
+    // OV003 — a guard no store satisfies.
+    {
+        let (mut b, _) = base(vocab);
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let x1 = b.unary_register();
+        let g = rel(x1, [cst(Value(3))]);
+        b.rule(
+            Label::DelimRoot,
+            q0,
+            and([g.clone(), not(g)]),
+            Action::Move(qf, Dir::Stay),
+        );
+        b.rule_true(Label::DelimLeaf, q0, Action::Move(qf, Dir::Stay));
+        out.push(ZooEntry {
+            name: "unsatisfiable-guard",
+            description: "a guard of the form g ∧ ¬g: the rule can never fire",
+            expect_code: "OV003",
+            against: TwClass::TwRL,
+            program: b.build().expect("zoo programs build"),
+        });
+    }
+
+    // RG001 — a register maintained but never consulted.
+    {
+        let (mut b, _) = base(vocab);
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let _x1 = b.unary_register();
+        let scratch = b.unary_register();
+        let a = AttrId(0);
+        b.rule_true(
+            Label::DelimRoot,
+            q0,
+            Action::Update(qf, eq(v(0), attr(a)), scratch),
+        );
+        out.push(ZooEntry {
+            name: "dead-register",
+            description: "a register written on every step and read by nothing",
+            expect_code: "RG001",
+            against: TwClass::TwRL,
+            program: b.build().expect("zoo programs build"),
+        });
+    }
+
+    // RG003 — a relation atom applied at the wrong arity.
+    {
+        let (mut b, _) = base(vocab);
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let pair = b.register(2, Relation::empty(2));
+        b.rule(
+            Label::DelimRoot,
+            q0,
+            rel(pair, [cst(Value(3))]),
+            Action::Move(qf, Dir::Stay),
+        );
+        out.push(ZooEntry {
+            name: "arity-mismatch",
+            description: "a binary register tested with a unary atom — always false",
+            expect_code: "RG003",
+            against: TwClass::TwRL,
+            program: b.build().expect("zoo programs build"),
+        });
+    }
+
+    // PR001 — a stay-loop: guaranteed divergence when entered.
+    {
+        let (mut b, _) = base(vocab);
+        let q0 = b.state("q0");
+        let spin = b.state("spin");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let x1 = b.unary_register();
+        b.rule_true(Label::DelimRoot, q0, Action::Move(spin, Dir::Stay));
+        b.rule_true(Label::DelimRoot, spin, Action::Move(spin, Dir::Stay));
+        b.rule(
+            Label::DelimLeaf,
+            spin,
+            rel(x1, [cst(Value(1))]),
+            Action::Move(qf, Dir::Stay),
+        );
+        out.push(ZooEntry {
+            name: "stay-loop",
+            description: "a cycle that neither moves the head nor writes the store",
+            expect_code: "PR001",
+            against: TwClass::TwRL,
+            program: b.build().expect("zoo programs build"),
+        });
+    }
+
+    // PR002 — head pinned while the store grows.
+    {
+        let (mut b, _) = base(vocab);
+        let q0 = b.state("q0");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let x1 = b.unary_register();
+        let a = AttrId(0);
+        let grow = or([rel(x1, [v(0)]), eq(v(0), attr(a))]);
+        let full = rel(x1, [cst(Value(7))]);
+        b.rule(
+            Label::DelimRoot,
+            q0,
+            not(full.clone()),
+            Action::Update(q0, grow, x1),
+        );
+        b.rule(Label::DelimRoot, q0, full, Action::Move(qf, Dir::Stay));
+        out.push(ZooEntry {
+            name: "store-growth-loop",
+            description: "a head-pinned cycle accumulating into a register",
+            expect_code: "PR002",
+            against: TwClass::TwRL,
+            program: b.build().expect("zoo programs build"),
+        });
+    }
+
+    // CL001 — a tw^{r,l} program demanded to run as TW.
+    {
+        let (mut b, sigma) = base(vocab);
+        let q0 = b.state("q0");
+        let sub = b.state("sub");
+        let qf = b.state("qF");
+        b.initial(q0).final_state(qf);
+        let x1 = b.unary_register();
+        b.rule_true(
+            Label::DelimRoot,
+            q0,
+            Action::Atp(qf, selectors::descendants(), sub, x1),
+        );
+        b.rule_true(sigma, sub, Action::Move(qf, Dir::Stay));
+        out.push(ZooEntry {
+            name: "class-violation",
+            description: "multi-node look-ahead in a program required to be TW (LOGSPACE)",
+            expect_code: "CL001",
+            against: TwClass::Tw,
+            program: b.build().expect("zoo programs build"),
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_entry_builds_and_names_are_unique() {
+        let mut vocab = Vocab::new();
+        let zoo = lint_zoo(&mut vocab);
+        assert_eq!(zoo.len(), 9);
+        let mut names: Vec<_> = zoo.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+}

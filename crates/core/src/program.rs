@@ -25,7 +25,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use twq_logic::{ExistsFormula, RegId, Relation, SAtom, SFormula, STerm, Var};
+use twq_logic::{ExistsFormula, RegId, Relation, SAtom, SFormula, STerm};
 use twq_tree::{Label, Vocab};
 
 /// An automaton state `q ∈ Q`.
@@ -353,24 +353,38 @@ impl TwProgram {
 
 /// Syntactic single-value criterion for `tw^l`/`TW` updates
 /// (Definition 5.1: "every formula ψ … is quantifier-free and defines only
-/// one value"). We accept exactly:
+/// one value"). With `x` the formula's unique free variable — the builder
+/// fixes the free-variable *count* to the register arity but not the
+/// variable's *name*, and [`twq_logic::eval_query`] is name-independent —
+/// we accept exactly:
 ///
-/// * `x₀ = t` for a term `t` (attribute constant, data constant, or — for
+/// * `x = t` for a term `t` (attribute constant, data constant, or — for
 ///   register copies — nothing else), defining the singleton `{t}`;
-/// * `X_j(x₀)` with `X_j` unary, copying register `j` (≤ 1 value when the
+/// * `X_j(x)` with `X_j` unary, copying register `j` (≤ 1 value when the
 ///   program invariant holds);
-/// * `¬(x₀ = x₀)` — the canonical *clear* (registers "contain at most one
+/// * `¬(x = x)` — the canonical *clear* (registers "contain at most one
 ///   data value", Definition 5.1, so the empty register is in range).
+///
+/// Earlier revisions pattern-matched the literal variable `x₀`, which
+/// misclassified semantically identical updates written over `x₁`, `x₂`,
+/// … as relational (`tw^r`); the static analyzer's class inference
+/// (crate `twq-analyze`) disagreed, and this normalized form is the fix.
 pub fn is_single_value_update(psi: &SFormula) -> bool {
+    let fv = psi.free_vars();
+    let [x] = fv.as_slice() else {
+        return false;
+    };
+    let is_x = |t: &STerm| matches!(t, STerm::Var(v) if v == x);
     match psi {
-        SFormula::Atom(SAtom::Eq(STerm::Var(Var(0)), t))
-        | SFormula::Atom(SAtom::Eq(t, STerm::Var(Var(0)))) => !matches!(t, STerm::Var(_)),
-        SFormula::Atom(SAtom::Rel(_, ts)) => {
-            matches!(ts.as_slice(), [STerm::Var(Var(0))])
+        SFormula::Atom(SAtom::Eq(s, t)) if is_x(s) || is_x(t) => {
+            // `x = t` / `t = x` with `t` not a variable (x = x would
+            // define the whole active domain).
+            !(matches!(s, STerm::Var(_)) && matches!(t, STerm::Var(_)))
         }
+        SFormula::Atom(SAtom::Rel(_, ts)) => matches!(ts.as_slice(), [t] if is_x(t)),
         SFormula::Not(inner) => matches!(
             &**inner,
-            SFormula::Atom(SAtom::Eq(STerm::Var(Var(0)), STerm::Var(Var(0))))
+            SFormula::Atom(SAtom::Eq(STerm::Var(a), STerm::Var(b))) if a == b
         ),
         _ => false,
     }
@@ -711,7 +725,7 @@ mod tests {
         b.rule(
             sigma(),
             q0,
-            SFormula::Exists(Var(0), Box::new(rel(RegId(5), [v(0)]))),
+            SFormula::Exists(twq_logic::Var(0), Box::new(rel(RegId(5), [v(0)]))),
             Action::Move(qf, Dir::Stay),
         );
         assert!(matches!(b.build(), Err(ProgramError::UnknownRegister(_))));
@@ -731,6 +745,45 @@ mod tests {
         assert!(!is_single_value_update(&SFormula::True));
         // The canonical clear is a (≤1)-value update.
         assert!(is_single_value_update(&not(eq(v(0), v(0)))));
+    }
+
+    #[test]
+    fn single_value_update_is_variable_name_independent() {
+        // Regression: the builder only checks the free-variable *count*
+        // against the register arity, and `eval_query` binds by value,
+        // not by name — so ψ(x₂) means the same update as ψ(x₀). The
+        // classifier used to pattern-match the literal x₀ and demote
+        // these to relational.
+        let mut vocab = Vocab::new();
+        let a = vocab.attr("a");
+        let d = vocab.val_int(3);
+        assert!(is_single_value_update(&eq(v(1), attr(a))));
+        assert!(is_single_value_update(&eq(attr(a), v(2))));
+        assert!(is_single_value_update(&eq(v(5), cst(d))));
+        assert!(is_single_value_update(&rel(RegId(1), [v(2)])));
+        assert!(is_single_value_update(&not(eq(v(3), v(3)))));
+        // Genuinely relational shapes stay relational regardless of names.
+        assert!(!is_single_value_update(&eq(v(0), v(1))));
+        assert!(!is_single_value_update(&not(eq(v(1), cst(d)))));
+        assert!(!is_single_value_update(&rel(RegId(1), [v(0), v(1)])));
+    }
+
+    #[test]
+    fn classify_is_variable_name_independent() {
+        // Program-level regression for the same bug: an update written
+        // over x₁ must classify exactly like its x₀ spelling.
+        for var in [0u16, 1, 4] {
+            let (mut b, q0, qf) = trivial_builder();
+            let r = b.unary_register();
+            let mut vocab = Vocab::new();
+            let a = vocab.attr("a");
+            b.rule_true(
+                Label::DelimRoot,
+                q0,
+                Action::Update(qf, eq(v(var), attr(a)), r),
+            );
+            assert_eq!(b.build().unwrap().classify(), TwClass::Tw, "x{var}");
+        }
     }
 
     #[test]

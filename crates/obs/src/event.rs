@@ -48,8 +48,8 @@ impl HaltKind {
 }
 
 /// Which first-order evaluation primitive was invoked. Each evaluator
-/// reports the primitives it actually exercises; [`RunMetrics`]
-/// (crate::metrics::RunMetrics) tallies them per kind.
+/// reports the primitives it actually exercises;
+/// [`RunMetrics`](crate::metrics::RunMetrics) tallies them per kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FoEval {
     /// A rule-guard sentence over the store (`eval_guard`).

@@ -21,6 +21,9 @@ pub mod pspace;
 pub use alternation::{
     compile_alternating, compile_alternating_guarded, AltCompileError, AltProgram,
 };
-pub use logspace::{compile_logspace, compile_logspace_guarded, CompileError, PebbleProgram};
+pub use logspace::{
+    compile_logspace, compile_logspace_checked, compile_logspace_guarded, CompileError,
+    PebbleProgram,
+};
 pub use noattr::{delta_count_mod3, eliminate_store, eliminate_store_guarded, ElimError};
-pub use pspace::{compile_pspace, compile_pspace_guarded, StoreProgram};
+pub use pspace::{compile_pspace, compile_pspace_checked, compile_pspace_guarded, StoreProgram};

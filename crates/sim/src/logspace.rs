@@ -422,6 +422,25 @@ pub fn compile_logspace_guarded<G: Guard>(
         .map_err(|e| TwqError::unsupported("sim::compile_logspace", e.to_string()))
 }
 
+/// [`compile_logspace`] through the static analyzer: the compiled walker
+/// is certified against class `TW` — Theorem 7.1(1)'s LOGSPACE bound
+/// only holds for that class, so a compiler regression that produced a
+/// stronger program is rejected here with [`TwqError::Invalid`] instead
+/// of silently invalidating the bound — and then pruned of dead control
+/// flow before it is handed to any evaluator.
+pub fn compile_logspace_checked(
+    machine: &Xtm,
+    alphabet: &[SymId],
+    id_attr: AttrId,
+    vocab: &mut Vocab,
+) -> Result<PebbleProgram, TwqError> {
+    let mut compiled = compile_logspace(machine, alphabet, id_attr, vocab)
+        .map_err(|e| TwqError::unsupported("sim::compile_logspace", e.to_string()))?;
+    twq_analyze::certify(&compiled.program, twq_automata::TwClass::Tw)?;
+    compiled.program = twq_analyze::prune(&compiled.program).program;
+    Ok(compiled)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +473,25 @@ mod tests {
             compile_logspace(&with_regs, &syms, id, &mut vocab).unwrap_err(),
             CompileError::NotRegisterFree
         );
+    }
+
+    #[test]
+    fn checked_compile_certifies_and_prunes() {
+        let mut vocab = Vocab::new();
+        let cfg = TreeGenConfig::example32(&mut vocab, 6, &[1]);
+        let id = vocab.attr("id");
+        let m = machines::leaf_count_even(&cfg.symbols);
+        let checked = compile_logspace_checked(&m, &cfg.symbols, id, &mut vocab).unwrap();
+        assert_eq!(checked.program.classify(), twq_automata::TwClass::Tw);
+        // The pruned walker must still agree with the source machine.
+        for seed in 0..4 {
+            let t = random_tree(&cfg, seed);
+            let mut dt = DelimTree::build(&t);
+            dt.assign_unique_ids(id, &mut vocab);
+            let direct = run_xtm(&m, &dt, XtmLimits::default());
+            let (accepted, _) = run_compiled(&checked, &t, &mut vocab);
+            assert_eq!(accepted, direct.accepted(), "seed {seed}");
+        }
     }
 
     #[test]

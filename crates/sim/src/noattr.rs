@@ -212,11 +212,18 @@ pub fn delta_count_mod3(sigma: Label, delta: Label, vocab: &mut twq_tree::Vocab)
     // register rotation c_i → c_{i+1 mod 3}), then descend via `desc`.
     b.rule_true(sigma, fwd, Action::Move(fwd, Dir::Down));
     b.rule_true(delta, fwd, Action::Move(bump, Dir::Stay));
+    // The register is a singleton at runtime, so `X₁(c_i)` alone would
+    // dispatch deterministically — but that invariant is dynamic, and the
+    // static overlap pass (twq-analyze OV001) rightly cannot assume it.
+    // Strengthening each guard with the negations of its predecessors
+    // makes the three rules provably pairwise exclusive on every store.
     for i in 0..3usize {
+        let mut conj = vec![rel(r, [cst(c[i])])];
+        conj.extend((0..i).map(|j| not(rel(r, [cst(c[j])]))));
         b.rule(
             delta,
             bump,
-            rel(r, [cst(c[i])]),
+            and(conj),
             Action::Update(desc, eq(v(0), cst(c[(i + 1) % 3])), r),
         );
     }

@@ -318,6 +318,23 @@ pub fn compile_pspace_guarded<G: Guard>(
         .map_err(|e| TwqError::unsupported("sim::compile_pspace", e.to_string()))
 }
 
+/// [`compile_pspace`] through the static analyzer: the compiled walker
+/// is certified against class `tw^r` (Theorem 7.1(3)'s PSPACE bound is a
+/// property of that class — look-ahead would void it), rejected with
+/// [`TwqError::Invalid`] on violation, and pruned of dead control flow.
+pub fn compile_pspace_checked(
+    machine: &Xtm,
+    alphabet: &[SymId],
+    id_attr: AttrId,
+    vocab: &mut Vocab,
+) -> Result<StoreProgram, TwqError> {
+    let mut compiled = compile_pspace(machine, alphabet, id_attr, vocab)
+        .map_err(|e| TwqError::unsupported("sim::compile_pspace", e.to_string()))?;
+    twq_analyze::certify(&compiled.program, twq_automata::TwClass::TwR)?;
+    compiled.program = twq_analyze::prune(&compiled.program).program;
+    Ok(compiled)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +357,21 @@ mod tests {
         assert!(!report.halt.is_limit(), "{:?}", report.halt);
         assert_eq!(report.accepted(), direct.accepted());
         (report.accepted(), report.max_store_tuples)
+    }
+
+    #[test]
+    fn checked_compile_certifies_and_prunes() {
+        let mut vocab = Vocab::new();
+        let cfg = TreeGenConfig::example32(&mut vocab, 10, &[1]);
+        let id = vocab.attr("id");
+        let m = machines::leaf_count_even(&cfg.symbols);
+        let prog = compile_pspace_checked(&m, &cfg.symbols, id, &mut vocab).unwrap();
+        assert_eq!(prog.program.classify(), TwClass::TwR);
+        // The pruned walker must still agree with the source machine.
+        for seed in 0..4 {
+            let t = random_tree(&cfg, seed);
+            agree_on(&m, &prog, &t, &mut vocab);
+        }
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub use eval::{
 };
 pub use generate::{random_xpath, XPathGenConfig};
 pub use parse::{parse_xpath, XPathParseError};
-pub use to_program::{xpath_to_program, SelectionTest};
+pub use to_program::{xpath_to_program, xpath_to_program_checked, SelectionTest};

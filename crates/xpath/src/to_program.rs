@@ -87,6 +87,24 @@ pub fn xpath_to_program(
         .expect("xpath-to-program emits well-formed programs")
 }
 
+/// [`xpath_to_program`] through the static analyzer: certify the
+/// compiled acceptor against the class the caller's evaluator is
+/// prepared to pay for (rejecting with
+/// [`TwqError::Invalid`](twq_guard::TwqError) before anything runs) and
+/// prune dead control flow — e.g. the `q_sel`/`Update` leg when the
+/// selector's `atp` already decides the test.
+pub fn xpath_to_program_checked(
+    query: &XPath,
+    alphabet: &[SymId],
+    id_attr: AttrId,
+    test: SelectionTest,
+    required: twq_automata::TwClass,
+) -> Result<TwProgram, twq_guard::TwqError> {
+    let prog = xpath_to_program(query, alphabet, id_attr, test);
+    twq_analyze::certify(&prog, required)?;
+    Ok(twq_analyze::prune(&prog).program)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +120,39 @@ mod tests {
         let a = vocab.attr_opt("a").unwrap();
         let id = vocab.attr("id");
         (vocab, cfg, a, id)
+    }
+
+    #[test]
+    fn checked_compile_rejects_weak_classes_and_preserves_semantics() {
+        let (mut vocab, cfg, _a, id) = setup(20);
+        let path = parse_xpath("//delta[sigma]", &mut vocab).unwrap();
+        let plain = xpath_to_program(&path, &cfg.symbols, id, SelectionTest::NonEmpty);
+        let class = plain.classify();
+        // The acceptor uses look-ahead: plain TW cannot express it, and
+        // the checked pipeline must say so before anything runs.
+        let weak = xpath_to_program_checked(
+            &path,
+            &cfg.symbols,
+            id,
+            SelectionTest::NonEmpty,
+            twq_automata::TwClass::Tw,
+        );
+        assert!(
+            matches!(weak, Err(twq_guard::TwqError::Invalid { .. })),
+            "{weak:?}"
+        );
+        // At its own class the pipeline succeeds, and the pruned program
+        // accepts exactly the same trees.
+        let pruned =
+            xpath_to_program_checked(&path, &cfg.symbols, id, SelectionTest::NonEmpty, class)
+                .unwrap();
+        for seed in 0..6 {
+            let mut t = random_tree(&cfg, seed);
+            t.assign_unique_ids(id, &mut vocab);
+            let a = run_on_tree(&plain, &t, Limits::default()).accepted();
+            let b = run_on_tree(&pruned, &t, Limits::default()).accepted();
+            assert_eq!(a, b, "seed {seed}");
+        }
     }
 
     #[test]

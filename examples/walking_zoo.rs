@@ -71,4 +71,38 @@ fn main() {
             "reject"
         }
     );
+
+    // ----- the zoo under the static analyzer -----------------------------
+    println!("\n== twq-analyze over the zoo's programs ==");
+    for (name, prog) in [
+        ("2DFA embedding", &walker),
+        ("Example 3.2", &ex.program),
+        ("traversal", &examples::traversal_program(&[a, b])),
+    ] {
+        let analysis = twq::analyze::analyze(prog);
+        let inf = &analysis.inference;
+        println!("  {name}: class {}", inf.class);
+        if analysis.diagnostics.is_empty() {
+            println!("    clean — no findings");
+        }
+        for d in &analysis.diagnostics {
+            println!("    {}", d.render(prog));
+        }
+        assert!(
+            !analysis.has_errors(),
+            "the zoo's programs must lint without errors"
+        );
+    }
+    // The 2DFA product construction manufactures states for every
+    // (state, endmarker) pair whether or not the automaton can reach
+    // them; prune() removes the dead ones without changing the language.
+    let pruned = twq::analyze::prune(&walker);
+    let relint = twq::analyze::analyze(&pruned.program);
+    println!(
+        "  after prune(): {} rule(s) and {} state(s) removed, re-lint: {} finding(s)",
+        pruned.removed_rules.len(),
+        pruned.removed_states.len(),
+        relint.diagnostics.len()
+    );
+    assert!(relint.diagnostics.is_empty(), "pruned walker lints clean");
 }

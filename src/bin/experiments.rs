@@ -30,8 +30,10 @@
 //! A governed run that trips a limit prints its row with an explicit
 //! `limit-tripped` marker instead of hanging or aborting the sweep.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
+use twq::analyze::{analyze, prune, severity_counts};
 use twq::automata::{
     examples, run, run_graph, run_guarded, run_with, Limits, State, TwClass, TwProgram,
 };
@@ -87,8 +89,13 @@ impl Gov {
     }
 }
 
+/// Whether any row ended in `limit-tripped(...)`; `--strict` turns this
+/// into a nonzero exit so CI sweeps cannot silently under-measure.
+static TRIPPED: AtomicBool = AtomicBool::new(false);
+
 /// The row marker for a governed run that hit a limit.
 fn trip_cell(e: &TwqError) -> Cell {
+    TRIPPED.store(true, Ordering::Relaxed);
     let reason = match e.guard().map(|g| &g.reason) {
         Some(TripReason::Budget { .. }) => "budget",
         Some(TripReason::Deadline { .. }) => "deadline",
@@ -149,11 +156,12 @@ fn governed_run_protocol(
 }
 
 fn main() {
-    let (mut json, mut profile) = (false, false);
+    let (mut json, mut profile, mut strict, mut do_analyze) = (false, false, false, false);
     let mut gov = Gov::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
-    let usage = "expected --json, --profile, --budget N, --timeout MS, and/or --faults SEED";
+    let usage = "expected --json, --profile, --analyze, --strict, --budget N, --timeout MS, \
+                 and/or --faults SEED";
     let numeric = |flag: &str, v: Option<&String>| -> u64 {
         v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
             eprintln!("{flag} requires a numeric value ({usage})");
@@ -164,6 +172,8 @@ fn main() {
         match arg.as_str() {
             "--json" => json = true,
             "--profile" => profile = true,
+            "--strict" => strict = true,
+            "--analyze" => do_analyze = true,
             "--budget" => gov.budget = Some(numeric("--budget", it.next())),
             "--timeout" => gov.timeout_ms = Some(numeric("--timeout", it.next())),
             "--faults" => gov.faults = Some(numeric("--faults", it.next())),
@@ -185,6 +195,9 @@ fn main() {
             gov.budget, gov.timeout_ms, gov.faults
         ));
     }
+    if do_analyze {
+        e0_analyze(rep);
+    }
     e1_example32(rep, profile, gov);
     e2_xpath(rep, gov);
     e3_logspace_pebbles(rep, profile, gov);
@@ -198,8 +211,92 @@ fn main() {
     e11_xtm_vs_tm(rep, gov);
     e12_prop72(rep, gov);
     e13_alternation(rep, gov);
+    if strict && TRIPPED.load(Ordering::Relaxed) {
+        eprintln!("--strict: at least one row ended in limit-tripped");
+        std::process::exit(3);
+    }
     if !json {
         println!("\nall experiments completed.");
+    }
+}
+
+/// The `--analyze` view: every program the sweeps run, through the full
+/// static analyzer — inferred class, diagnostic counts, and what the
+/// semantics-preserving prune would remove. E1 and E4 actually run the
+/// pruned program (see their notes); this table is the evidence that the
+/// rest are already clean.
+fn e0_analyze(rep: &mut dyn Reporter) {
+    rep.experiment(
+        "E0",
+        "static analysis: class inference and prune over all programs",
+    );
+    let mut vocab = Vocab::new();
+    let base = TreeGenConfig::example32(&mut vocab, 1, &[1]);
+    let a = vocab.attr_opt("a").unwrap();
+    let id = vocab.attr("id");
+    let machine = machines::leaf_count_even(&base.symbols);
+    let roster: Vec<(&str, TwProgram)> = vec![
+        ("example_32 (E1)", examples::example_32(&mut vocab).program),
+        (
+            "parent_child_match (E4)",
+            examples::parent_child_match_program(&base.symbols, a),
+        ),
+        (
+            "distinct_values>=4 (E6)",
+            examples::distinct_values_at_least(&base.symbols, a, 4),
+        ),
+        (
+            "logspace pebbles (E3)",
+            compile_logspace(&machine, &base.symbols, id, &mut vocab)
+                .unwrap()
+                .program,
+        ),
+        (
+            "pspace store (E5)",
+            compile_pspace(&machine, &base.symbols, id, &mut vocab)
+                .unwrap()
+                .program,
+        ),
+        (
+            "delta_count_mod3 (E12)",
+            delta_count_mod3(
+                Label::Sym(base.symbols[0]),
+                Label::Sym(base.symbols[1]),
+                &mut vocab,
+            ),
+        ),
+        (
+            "at_most_4_values (E8)",
+            at_most_k_values_program(base.symbols[0], a, 4),
+        ),
+        ("traversal (E8)", examples::traversal_program(&base.symbols)),
+    ];
+    rep.table(
+        None,
+        0,
+        &[
+            col("program", 26),
+            col("class", 8),
+            col("errors", 7),
+            col("warns", 6),
+            col("infos", 6),
+            col("pruned rules", 13),
+            col("pruned states", 14),
+        ],
+    );
+    for (name, prog) in &roster {
+        let an = analyze(prog);
+        let (errors, warnings, infos) = severity_counts(&an.diagnostics);
+        let pr = prune(prog);
+        rep.row(&[
+            (*name).into(),
+            Cell::str(an.inference.class.to_string()),
+            errors.into(),
+            warnings.into(),
+            infos.into(),
+            pr.removed_rules.len().into(),
+            pr.removed_states.len().into(),
+        ]);
     }
 }
 
@@ -242,6 +339,16 @@ fn e1_example32(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
     );
     let mut vocab = Vocab::new();
     let ex = examples::example_32(&mut vocab);
+    // The sweep runs the statically pruned program — identical language
+    // by construction (twq-analyze), so the oracle agreement below also
+    // certifies the prune.
+    let pruned = prune(&ex.program);
+    let prog = pruned.program;
+    rep.note(&format!(
+        "pre-pruned: {} rule(s), {} state(s) removed",
+        pruned.removed_rules.len(),
+        pruned.removed_states.len()
+    ));
     rep.table(
         None,
         0,
@@ -267,14 +374,14 @@ fn e1_example32(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
             let cfg = if seed % 2 == 0 { &mixed } else { &uniform };
             let t = random_tree(cfg, seed);
             let dt = DelimTree::build(&t);
-            let r = match governed_run(&ex.program, &dt, Limits::default(), gov) {
+            let r = match governed_run(&prog, &dt, Limits::default(), gov) {
                 Ok(r) => r,
                 Err(e) => {
                     trip = Some(e);
                     continue;
                 }
             };
-            let g = run_graph(&ex.program, &dt, Limits::default());
+            let g = run_graph(&prog, &dt, Limits::default());
             let oracle = examples::oracle_example_32(&t, ex.delta, ex.attr);
             agree &= r.accepted() == oracle && g.accepted() == oracle;
             acc += u64::from(r.accepted());
@@ -301,10 +408,10 @@ fn e1_example32(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
         let cfg = TreeGenConfig::example32(&mut vocab, 540, &[1, 2]);
         let dt = DelimTree::build(&random_tree(&cfg, 0));
         let mut mc = MetricsCollector::new();
-        run_with(&ex.program, &dt, Limits::default(), &mut mc);
+        run_with(&prog, &dt, Limits::default(), &mut mc);
         let m = mc.into_metrics();
         profile_note(rep, "n=540, seed 0", &m);
-        hot_states(rep, &ex.program, &m, "hot-states");
+        hot_states(rep, &prog, &m, "hot-states");
     }
 }
 
@@ -480,6 +587,17 @@ fn e4_twl_ptime(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
     let a = vocab.attr_opt("a").unwrap();
     let prog = examples::parent_child_match_program(&cfg0.symbols, a);
     assert_eq!(prog.classify(), TwClass::TwL);
+    // Certify-then-prune: the PTIME bound below is only claimed for
+    // tw^l, so the sweep statically rejects any drift out of the class
+    // and runs the pruned (language-identical) program.
+    twq::analyze::certify(&prog, TwClass::TwL).expect("parent_child_match is tw^l");
+    let pruned = prune(&prog);
+    let prog = pruned.program;
+    rep.note(&format!(
+        "pre-pruned: {} rule(s), {} state(s) removed",
+        pruned.removed_rules.len(),
+        pruned.removed_states.len()
+    ));
     rep.table(
         None,
         0,

@@ -1,0 +1,219 @@
+//! `twq lint` — the static analyzer (`twq-analyze`) as a command.
+//!
+//! Runs every analysis pass — control-flow reachability, guard overlap,
+//! store liveness/arity, progress, class inference — over the bundled
+//! program roster (the worked examples, the protocol walker, the
+//! Theorem 7.1 compiler outputs, and XPath-compiled acceptors) and
+//! reports structured diagnostics.
+//!
+//! ```sh
+//! cargo run --release --bin lint            # aligned text tables
+//! cargo run --release --bin lint -- --json  # one JSON record per row
+//! cargo run --release --bin lint -- --zoo   # + the seeded ill-formed zoo
+//! ```
+//!
+//! Exit status: `0` when the roster is clean of error-severity findings,
+//! `1` otherwise (the `--zoo` section is deliberately broken and never
+//! affects the exit status).
+
+use twq::analyze::{analyze, analyze_for_class, lint_zoo, prune, severity_counts};
+use twq::automata::{examples, TwProgram};
+use twq::obs::{col, Cell, HumanReporter, JsonlReporter, Reporter};
+use twq::protocol::at_most_k_values_program;
+use twq::sim::{compile_logspace, compile_pspace, delta_count_mod3};
+use twq::tree::generate::TreeGenConfig;
+use twq::tree::{Label, Vocab};
+use twq::xpath::{parse_xpath, xpath_to_program, SelectionTest};
+use twq::xtm::machines;
+
+/// Every program the repository ships, paired with a stable name.
+fn roster(vocab: &mut Vocab) -> Vec<(String, TwProgram)> {
+    let base = TreeGenConfig::example32(vocab, 1, &[1]);
+    let a = vocab.attr_opt("a").unwrap();
+    let id = vocab.attr("id");
+    let machine = machines::leaf_count_even(&base.symbols);
+    let mut out: Vec<(String, TwProgram)> = vec![
+        ("example_32".into(), examples::example_32(vocab).program),
+        (
+            "traversal".into(),
+            examples::traversal_program(&base.symbols),
+        ),
+        (
+            "even_leaves".into(),
+            examples::even_leaves_program(&base.symbols),
+        ),
+        (
+            "all_leaves_equal".into(),
+            examples::all_leaves_equal_program(&base.symbols, a),
+        ),
+        (
+            "parent_child_match".into(),
+            examples::parent_child_match_program(&base.symbols, a),
+        ),
+        (
+            "distinct_values>=4".into(),
+            examples::distinct_values_at_least(&base.symbols, a, 4),
+        ),
+        (
+            "at_most_4_values".into(),
+            at_most_k_values_program(base.symbols[0], a, 4),
+        ),
+        (
+            "delta_count_mod3".into(),
+            delta_count_mod3(
+                Label::Sym(base.symbols[0]),
+                Label::Sym(base.symbols[1]),
+                vocab,
+            ),
+        ),
+        (
+            "logspace(leaf_count_even)".into(),
+            compile_logspace(&machine, &base.symbols, id, vocab)
+                .unwrap()
+                .program,
+        ),
+        (
+            "pspace(leaf_count_even)".into(),
+            compile_pspace(&machine, &base.symbols, id, vocab)
+                .unwrap()
+                .program,
+        ),
+    ];
+    for q in ["sigma/delta", "//delta[sigma]"] {
+        let path = parse_xpath(q, vocab).unwrap();
+        out.push((
+            format!("xpath({q})"),
+            xpath_to_program(&path, &base.symbols, id, SelectionTest::NonEmpty),
+        ));
+    }
+    out
+}
+
+fn main() {
+    let (mut json, mut zoo) = (false, false);
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--zoo" => zoo = true,
+            other => {
+                eprintln!("unknown argument `{other}` (expected --json and/or --zoo)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut rep: Box<dyn Reporter> = if json {
+        Box::new(JsonlReporter::stdout())
+    } else {
+        Box::new(HumanReporter::stdout())
+    };
+    let rep = rep.as_mut();
+
+    let mut vocab = Vocab::new();
+    rep.experiment("lint", "static analysis over the bundled program roster");
+    rep.table(
+        None,
+        0,
+        &[
+            col("program", 26),
+            col("class", 8),
+            col("severity", 8),
+            col("code", 6),
+            col("location", 24),
+            col("finding", 48),
+        ],
+    );
+    let mut errors = 0usize;
+    let mut pruned_notes: Vec<String> = Vec::new();
+    for (name, prog) in roster(&mut vocab) {
+        let an = analyze(&prog);
+        let class = Cell::str(an.inference.class.to_string());
+        if an.diagnostics.is_empty() {
+            rep.row(&[
+                Cell::str(name.clone()),
+                class.clone(),
+                Cell::str("clean"),
+                Cell::str("-"),
+                Cell::str("-"),
+                Cell::str("-"),
+            ]);
+        }
+        // Generated programs (the Theorem 7.1 compiler outputs) repeat
+        // one finding across hundreds of structurally identical states;
+        // cap the display per code and summarize the tail.
+        const PER_CODE_CAP: usize = 3;
+        let mut shown: std::collections::BTreeMap<&str, usize> = Default::default();
+        for d in &an.diagnostics {
+            let count = shown.entry(d.code).or_insert(0);
+            *count += 1;
+            if *count > PER_CODE_CAP {
+                continue;
+            }
+            rep.row(&[
+                Cell::str(name.clone()),
+                class.clone(),
+                Cell::str(d.severity.name()),
+                Cell::str(d.code),
+                Cell::str(d.loc.render(&prog)),
+                Cell::str(format!("{} ({})", d.message, d.hint)),
+            ]);
+        }
+        for (code, count) in shown {
+            if count > PER_CODE_CAP {
+                rep.row(&[
+                    Cell::str(name.clone()),
+                    class.clone(),
+                    Cell::str("..."),
+                    Cell::str(code),
+                    Cell::str("-"),
+                    Cell::str(format!("and {} more like this", count - PER_CODE_CAP)),
+                ]);
+            }
+        }
+        let (e, _, _) = severity_counts(&an.diagnostics);
+        errors += e;
+        let pr = prune(&prog);
+        if pr.changed() {
+            pruned_notes.push(format!(
+                "{name}: prune() removes {} rule(s), {} state(s)",
+                pr.removed_rules.len(),
+                pr.removed_states.len()
+            ));
+        }
+    }
+    for note in &pruned_notes {
+        rep.note(note);
+    }
+
+    if zoo {
+        rep.experiment(
+            "zoo",
+            "seeded ill-formed programs: each triggers the pass built to catch it",
+        );
+        rep.table(
+            None,
+            0,
+            &[
+                col("entry", 22),
+                col("expect", 7),
+                col("hit", 5),
+                col("codes found", 40),
+            ],
+        );
+        for entry in lint_zoo(&mut vocab) {
+            let an = analyze_for_class(&entry.program, Some(entry.against));
+            let mut codes: Vec<&str> = an.diagnostics.iter().map(|d| d.code).collect();
+            codes.dedup();
+            rep.row(&[
+                Cell::str(entry.name),
+                Cell::str(entry.expect_code),
+                codes.contains(&entry.expect_code).into(),
+                Cell::str(codes.join(" ")),
+            ]);
+        }
+    }
+
+    if errors > 0 {
+        eprintln!("lint: {errors} error-severity finding(s) on the roster");
+        std::process::exit(1);
+    }
+}

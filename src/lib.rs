@@ -31,7 +31,11 @@
 //!   span-style event tracing, and the experiment reporting layer;
 //! * [`guard`] — resource governance: fuel budgets, deadlines, depth and
 //!   memory guards, the structured `TwqError` taxonomy, and deterministic
-//!   fault injection for chaos testing.
+//!   fault injection for chaos testing;
+//! * [`analyze`] — static analysis: CFG reachability and dead-code
+//!   pruning, guard-overlap detection, register liveness, progress
+//!   analysis, and Definition 5.1 class inference with evaluator routing
+//!   (`twq lint`).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +54,7 @@
 //! assert!(report.accepted());
 //! ```
 
+pub use twq_analyze as analyze;
 pub use twq_automata as automata;
 pub use twq_guard as guard;
 pub use twq_logic as logic;
