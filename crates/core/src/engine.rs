@@ -17,14 +17,13 @@
 //! * a move off the tree (the paper assumes automata never do this) is
 //!   [`Halt::Stuck`], as is having no applicable rule in a non-final state.
 
-use std::collections::HashSet;
-
+use twq_exec::Pool;
 use twq_guard::{
     DepthKind, FaultKind, FaultSite, GaugeKind, Guard, GuardError, NullGuard, TripReason, TwqError,
 };
 use twq_logic::store::AttrEnv;
 use twq_logic::{eval_query, RegId, Relation, Store};
-use twq_obs::{Collector, FoEval, HaltKind, NullCollector};
+use twq_obs::{Collector, FoEval, HaltKind, MetricsCollector, NullCollector, RunMetrics};
 use twq_tree::{DelimTree, NodeId, Tree};
 
 use crate::program::{Action, Dir, State, TwProgram};
@@ -139,7 +138,8 @@ pub struct RunReport {
     pub subcomputations: u64,
     /// Largest store (total tuples) observed in any configuration.
     pub max_store_tuples: usize,
-    /// Largest set of distinct configurations tracked in one chain.
+    /// Most cycle-detection samples examined in one chain (one per
+    /// `cycle_check_interval` steps; 0 when detection is disabled).
     pub max_chain_configs: usize,
 }
 
@@ -292,8 +292,19 @@ impl<'a, C: Collector, G: Guard> Exec<'a, C, G> {
     }
 
     fn chain_loop(&mut self, mut cfg: Config, depth: u32) -> ChainEnd {
-        let mut seen: HashSet<Config> = HashSet::new();
+        // Brent's cycle detection over the sampled configuration sequence:
+        // one retained configuration (the "teleporting tortoise") and a
+        // comparison per sample, O(1) memory where a seen-set grows with the
+        // chain. The tortoise is re-anchored at every power of two, so a
+        // chain with preperiod μ and period λ is caught within
+        // O(μ + λ) samples. Chains that terminate are unaffected — the only
+        // behavioural difference from exact first-revisit detection is that
+        // a cycling chain may take a few more (bounded) steps to be called.
         let interval = self.limits.cycle_check_interval as u64;
+        let mut tortoise: Option<Config> = None;
+        let mut power: u64 = 1;
+        let mut lam: u64 = 0;
+        let mut tracked: usize = 0;
         let mut local_step = 0u64;
         loop {
             if let Some(tr) = &mut self.trace {
@@ -313,18 +324,28 @@ impl<'a, C: Collector, G: Guard> Exec<'a, C, G> {
                 }
             }
             if interval > 0 && local_step.is_multiple_of(interval) {
-                if !seen.insert(cfg.clone()) {
-                    return ChainEnd::Reject(Halt::Cycle);
+                tracked += 1;
+                match &tortoise {
+                    Some(t) if *t == cfg => return ChainEnd::Reject(Halt::Cycle),
+                    Some(_) => {
+                        lam += 1;
+                        if lam == power {
+                            tortoise = Some(cfg.clone());
+                            power *= 2;
+                            lam = 0;
+                        }
+                    }
+                    None => tortoise = Some(cfg.clone()),
                 }
-                self.collector.cycle_bookkeeping(seen.len());
+                self.collector.cycle_bookkeeping(tracked);
                 if G::ENABLED {
-                    if let Err(e) = self.guard.gauge(GaugeKind::Configs, seen.len()) {
+                    if let Err(e) = self.guard.gauge(GaugeKind::Configs, tracked) {
                         return ChainEnd::Reject(self.record_trip(e));
                     }
                 }
             }
             local_step += 1;
-            self.max_chain_configs = self.max_chain_configs.max(seen.len());
+            self.max_chain_configs = self.max_chain_configs.max(tracked);
             let rule_idx = match self.pick_rule(&cfg) {
                 Ok(None) => return ChainEnd::Accept(cfg.store),
                 Ok(Some(i)) => i,
@@ -522,6 +543,59 @@ pub fn run_on_tree_guarded<G: Guard>(
     guard: &mut G,
 ) -> Result<RunReport, TwqError> {
     run_guarded(prog, &DelimTree::build(tree), limits, guard)
+}
+
+/// Run `prog` on every tree in `trees`, fanned across `pool`. Reports come
+/// back in input order and are identical to a serial [`run_on_tree`] loop —
+/// with a 1-worker pool it *is* that loop.
+pub fn run_batch(prog: &TwProgram, trees: &[Tree], limits: Limits, pool: &Pool) -> Vec<RunReport> {
+    pool.scoped(trees.len(), |i| run_on_tree(prog, &trees[i], limits))
+}
+
+/// [`run_batch`] with per-run instrumentation: each tree gets its own
+/// metrics collector and the per-worker results are
+/// [merged](RunMetrics::merge) in input order, so the aggregate equals what
+/// one collector observing the serial loop would report (up to phase
+/// ordering).
+pub fn run_batch_with_metrics(
+    prog: &TwProgram,
+    trees: &[Tree],
+    limits: Limits,
+    pool: &Pool,
+) -> (Vec<RunReport>, RunMetrics) {
+    let runs = pool.scoped(trees.len(), |i| {
+        let mut c = MetricsCollector::new();
+        let report = run_on_tree_with(prog, &trees[i], limits, &mut c);
+        (report, c.into_metrics())
+    });
+    let mut merged = RunMetrics::new();
+    let mut reports = Vec::with_capacity(runs.len());
+    for (report, m) in runs {
+        merged.merge(&m);
+        reports.push(report);
+    }
+    (reports, merged)
+}
+
+/// [`run_batch`] under per-run resource guards: every tree runs under a
+/// fresh guard from `make_guard`, so each item's verdict — including any
+/// [`TwqError::Guard`] trip — is exactly what the serial loop produces with
+/// the same factory.
+pub fn run_batch_guarded<G, F>(
+    prog: &TwProgram,
+    trees: &[Tree],
+    limits: Limits,
+    pool: &Pool,
+    make_guard: F,
+) -> Vec<Result<RunReport, TwqError>>
+where
+    G: Guard,
+    F: Fn() -> G + Sync,
+{
+    pool.scoped(trees.len(), |i| {
+        let mut g = make_guard();
+        run_on_tree_guarded(prog, &trees[i], limits, &mut g)
+    })
 }
 
 /// One step of a recorded trace.
@@ -931,6 +1005,71 @@ mod tests {
         // The cap truncates.
         let (_, short) = run_traced(&ex.program, &dt, Limits::default(), 3);
         assert_eq!(short.len(), 3);
+    }
+
+    #[test]
+    fn run_batch_matches_serial_any_worker_count() {
+        let mut vocab = Vocab::new();
+        let ex = crate::examples::example_32(&mut vocab);
+        let trees: Vec<Tree> = [
+            "sigma[a=9](delta[a=9](sigma[a=1],sigma[a=1]))",
+            "sigma[a=1](delta[a=2](sigma[a=2]))",
+            "sigma[a=3]",
+            "sigma[a=9](delta[a=9](sigma[a=1]),delta[a=9](sigma[a=9]))",
+        ]
+        .iter()
+        .map(|s| parse_tree(s, &mut vocab).unwrap())
+        .collect();
+        let serial: Vec<RunReport> = trees
+            .iter()
+            .map(|t| run_on_tree(&ex.program, t, Limits::default()))
+            .collect();
+        for workers in [1, 2, 4] {
+            let pool = Pool::new(workers);
+            let batch = run_batch(&ex.program, &trees, Limits::default(), &pool);
+            assert_eq!(batch, serial, "workers={workers}");
+            let (reports, metrics) =
+                run_batch_with_metrics(&ex.program, &trees, Limits::default(), &pool);
+            assert_eq!(reports, serial, "workers={workers}");
+            assert_eq!(metrics.steps, serial.iter().map(|r| r.steps).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn run_batch_guarded_matches_serial_including_trips() {
+        use twq_guard::ResourceGuard;
+        let mut vocab = Vocab::new();
+        let ex = crate::examples::example_32(&mut vocab);
+        let trees: Vec<Tree> = [
+            "sigma[a=9](delta[a=9](sigma[a=1],sigma[a=1]))",
+            "sigma[a=3]",
+        ]
+        .iter()
+        .map(|s| parse_tree(s, &mut vocab).unwrap())
+        .collect();
+        // A budget that some runs exhaust and some do not.
+        let make = || ResourceGuard::unlimited().with_budget(5);
+        let serial: Vec<Result<RunReport, TwqError>> = trees
+            .iter()
+            .map(|t| {
+                let mut g = make();
+                run_on_tree_guarded(&ex.program, t, Limits::default(), &mut g)
+            })
+            .collect();
+        for workers in [1, 3] {
+            let pool = Pool::new(workers);
+            let batch = run_batch_guarded(&ex.program, &trees, Limits::default(), &pool, make);
+            assert_eq!(batch.len(), serial.len());
+            for (b, s) in batch.iter().zip(&serial) {
+                match (b, s) {
+                    (Ok(x), Ok(y)) => assert_eq!(x, y),
+                    (Err(x), Err(y)) => {
+                        assert_eq!(x.guard().unwrap().reason, y.guard().unwrap().reason)
+                    }
+                    _ => panic!("verdict shape diverged: {b:?} vs {s:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,10 +7,20 @@
 //! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
 //! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
 //! simple warm-up plus timed batch with mean/min reporting — adequate for
-//! the relative comparisons the benches make, with no statistics engine,
-//! plots, or baseline storage.
+//! the relative comparisons the benches make, with no statistics engine
+//! or plots.
+//!
+//! One piece of persistence real criterion lacks: every [`Criterion`]
+//! flushes a machine-readable `BENCH_twq.json` on drop, mapping each
+//! benchmark label to its median per-iteration nanoseconds. The file is
+//! merged read-modify-write, so the separate bench binaries cargo runs
+//! one after another accumulate into a single report. Set the
+//! `TWQ_BENCH_JSON` environment variable to relocate it, or to `0` to
+//! disable the file entirely.
 
+use std::collections::BTreeMap;
 use std::fmt::Display;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -20,14 +30,42 @@ pub struct Criterion {
     sample_size: usize,
     /// Target wall-clock budget per benchmark (warm-up included).
     measurement_time: Duration,
+    /// Label → median ns/iter, flushed to [`Criterion::out_path`] on drop.
+    results: BTreeMap<String, u128>,
+    out_path: Option<PathBuf>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
+        let out_path = match std::env::var("TWQ_BENCH_JSON") {
+            Err(_) => Some(PathBuf::from("BENCH_twq.json")),
+            Ok(s) if s.is_empty() || s == "0" => None,
+            Ok(s) => Some(PathBuf::from(s)),
+        };
         Criterion {
             sample_size: 10,
             measurement_time: Duration::from_millis(500),
+            results: BTreeMap::new(),
+            out_path,
         }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        let Some(path) = self.out_path.take() else {
+            return;
+        };
+        if self.results.is_empty() {
+            return;
+        }
+        // Read-modify-write: each bench binary (and each group within
+        // one) lands in the same accumulated report.
+        let mut all = std::fs::read_to_string(&path)
+            .map(|s| parse_flat_json(&s))
+            .unwrap_or_default();
+        all.append(&mut self.results);
+        let _ = std::fs::write(&path, render_flat_json(&all));
     }
 }
 
@@ -46,7 +84,8 @@ impl Criterion {
     /// Benchmark a closure outside any group.
     pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
         let label = id.into();
-        run_one(&label, self.sample_size, self.measurement_time, &mut f);
+        let median = run_one(&label, self.sample_size, self.measurement_time, &mut f);
+        self.results.insert(label, median);
     }
 }
 
@@ -79,9 +118,10 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.label);
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
-        run_one(&label, samples, self.criterion.measurement_time, &mut |b| {
+        let median = run_one(&label, samples, self.criterion.measurement_time, &mut |b| {
             f(b, input)
         });
+        self.criterion.results.insert(label, median);
         self
     }
 
@@ -93,7 +133,8 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
-        run_one(&label, samples, self.criterion.measurement_time, &mut f);
+        let median = run_one(&label, samples, self.criterion.measurement_time, &mut f);
+        self.criterion.results.insert(label, median);
         self
     }
 
@@ -167,7 +208,9 @@ impl Bencher {
     }
 }
 
-fn run_one(label: &str, samples: usize, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+/// Run one benchmark: warm-up, timed samples, report. Returns the median
+/// per-iteration time in nanoseconds (what `BENCH_twq.json` records).
+fn run_one(label: &str, samples: usize, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) -> u128 {
     // Warm-up single iteration; its duration calibrates the batch size so
     // one sample stays within the per-bench budget.
     let mut b = Bencher {
@@ -182,6 +225,7 @@ fn run_one(label: &str, samples: usize, budget: Duration, f: &mut dyn FnMut(&mut
     let mut best = Duration::MAX;
     let mut total = Duration::ZERO;
     let mut measured = 0u64;
+    let mut per_iter_ns: Vec<u128> = Vec::with_capacity(samples);
     let started = Instant::now();
     for _ in 0..samples.max(1) {
         let mut b = Bencher {
@@ -193,17 +237,91 @@ fn run_one(label: &str, samples: usize, budget: Duration, f: &mut dyn FnMut(&mut
         best = best.min(per_iter);
         total += b.elapsed;
         measured += iters;
+        per_iter_ns.push(per_iter.as_nanos());
         // Keep pathological benches bounded: stop once 2x over budget.
         if started.elapsed() > budget * 2 {
             break;
         }
     }
+    per_iter_ns.sort_unstable();
+    let median = per_iter_ns[per_iter_ns.len() / 2];
     let mean = total / (measured.max(1) as u32);
     println!(
         "{label:<48} mean {}  min {}  ({measured} iters)",
         fmt_dur(mean),
         fmt_dur(best)
     );
+    median
+}
+
+/// Render `label → ns` as a stable, pretty-printed flat JSON object.
+fn render_flat_json(map: &BTreeMap<String, u128>) -> String {
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in map.iter().enumerate() {
+        let sep = if i + 1 == map.len() { "" } else { "," };
+        out.push_str(&format!("  \"{}\": {v}{sep}\n", escape_json(k)));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Parse the flat `{"label": ns, ...}` objects [`render_flat_json`]
+/// writes. Tolerant of whitespace; anything unparseable yields an empty
+/// map (the report is then rebuilt from scratch).
+fn parse_flat_json(s: &str) -> BTreeMap<String, u128> {
+    let mut out = BTreeMap::new();
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '"' {
+            continue;
+        }
+        // Key: quoted string with \" and \\ escapes.
+        let mut key = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => {
+                    if let Some(e) = chars.next() {
+                        key.push(e);
+                    }
+                }
+                Some('"') => break,
+                Some(c) => key.push(c),
+                None => return out,
+            }
+        }
+        // Separator, then an unsigned integer value.
+        while let Some(&c) = chars.peek() {
+            if c == ':' || c.is_whitespace() {
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        let mut digits = String::new();
+        while let Some(&c) = chars.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        if let Ok(v) = digits.parse() {
+            out.insert(key, v);
+        }
+    }
+    out
 }
 
 fn fmt_dur(d: Duration) -> String {
@@ -244,12 +362,18 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
-    #[test]
-    fn group_and_bench_run() {
-        let mut c = Criterion {
+    fn test_criterion() -> Criterion {
+        Criterion {
             sample_size: 2,
             measurement_time: Duration::from_millis(10),
-        };
+            results: BTreeMap::new(),
+            out_path: None,
+        }
+    }
+
+    #[test]
+    fn group_and_bench_run() {
+        let mut c = test_criterion();
         let mut group = c.benchmark_group("shim");
         group.sample_size(2);
         let mut runs = 0u64;
@@ -268,5 +392,46 @@ mod tests {
     fn id_labels() {
         assert_eq!(BenchmarkId::new("f", 10).label, "f/10");
         assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+
+    #[test]
+    fn benches_record_median_results() {
+        let mut c = test_criterion();
+        c.bench_function("top", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("in", 7), &7u64, |b, &n| b.iter(|| n + 1));
+        group.bench_function("fun", |b| b.iter(|| 2 + 2));
+        group.finish();
+        let labels: Vec<&str> = c.results.keys().map(String::as_str).collect();
+        assert_eq!(labels, ["g/fun", "g/in/7", "top"]);
+    }
+
+    #[test]
+    fn flat_json_round_trips() {
+        let mut m = BTreeMap::new();
+        m.insert("plain/label".to_string(), 123u128);
+        m.insert("quo\"ted\\path".to_string(), 4_567_890u128);
+        let rendered = render_flat_json(&m);
+        assert_eq!(parse_flat_json(&rendered), m);
+        assert!(parse_flat_json("not json at all").is_empty());
+        assert!(parse_flat_json("").is_empty());
+    }
+
+    #[test]
+    fn drop_merges_into_existing_report() {
+        let dir = std::env::temp_dir().join(format!("twq_bench_json_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_twq.json");
+        std::fs::write(&path, "{\n  \"old/bench\": 42\n}\n").unwrap();
+        {
+            let mut c = test_criterion();
+            c.out_path = Some(path.clone());
+            c.results.insert("new/bench".into(), 7);
+        }
+        let merged = parse_flat_json(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(merged.get("old/bench"), Some(&42));
+        assert_eq!(merged.get("new/bench"), Some(&7));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

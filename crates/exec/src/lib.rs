@@ -1,0 +1,252 @@
+//! # twq-exec — scoped parallel execution
+//!
+//! A small work-stealing thread pool for the batch entry points of the
+//! `twq` workspace (`engine::run_batch`, `logic::select_batch`,
+//! `xpath::select_batch`, the experiment harness's `--jobs`). Vendored in
+//! the same spirit as `crates/rand`/`crates/proptest`/`crates/criterion`:
+//! no external dependencies, exactly the API subset the workspace needs.
+//!
+//! ## Model
+//!
+//! [`Pool::scoped`] runs `n` independent jobs `f(0), …, f(n-1)` across a
+//! fixed number of workers and returns the results **in index order**,
+//! whatever interleaving the scheduler chose. Jobs borrow from the caller's
+//! stack (the workers are `std::thread::scope` threads), so no `'static`
+//! bounds infect call sites.
+//!
+//! Scheduling is work-stealing over index ranges: the indices are split
+//! into one contiguous chunk per worker; each worker pops its own chunk
+//! from the front and, when exhausted, steals from the *back* of another
+//! worker's remaining range. Ranges are packed `(start, end)` pairs in one
+//! atomic word, so both pop and steal are single-CAS operations.
+//!
+//! ## Determinism
+//!
+//! Two properties make parallel runs reproducible:
+//!
+//! * results land in a slot per index, so the returned `Vec` is always
+//!   `[f(0), …, f(n-1)]` regardless of execution order;
+//! * with `workers == 1` (or `n <= 1`) jobs run inline on the caller's
+//!   thread, in index order, with no threads spawned at all — the serial
+//!   path is not merely equivalent but *identical* to a hand-written loop.
+//!
+//! Jobs must therefore not communicate through shared mutable state unless
+//! that state is order-insensitive (an atomic flag, a shared fuel counter).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-size scoped thread pool.
+///
+/// The pool is a *policy* object — it owns no threads. Every call to
+/// [`scoped`](Pool::scoped) spins up its workers inside a
+/// [`std::thread::scope`] and joins them before returning, which is what
+/// lets jobs borrow locals. For the coarse jobs the workspace runs
+/// (whole-tree evaluations, experiment rows), thread start-up is noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool with a fixed worker count (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Pool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The single-worker pool: [`scoped`](Pool::scoped) runs every job
+    /// inline on the caller's thread.
+    pub fn serial() -> Self {
+        Pool { workers: 1 }
+    }
+
+    /// A pool sized to [`Pool::default_parallelism`].
+    pub fn with_default_parallelism() -> Self {
+        Pool::new(Pool::default_parallelism())
+    }
+
+    /// The number of hardware threads, or 1 when it cannot be queried.
+    pub fn default_parallelism() -> usize {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+
+    /// The fixed worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `f(0), …, f(n-1)` across the workers; results in index order.
+    ///
+    /// The caller's thread is worker 0, so a `workers == 1` pool (or a
+    /// batch of at most one job) never spawns a thread. A panic in any job
+    /// propagates to the caller after the scope joins.
+    pub fn scoped<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.workers.min(n.max(1));
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+
+        // One contiguous index range per worker, packed (start, end) in a
+        // single word so pop-front and steal-back are one CAS each.
+        let chunk = n.div_ceil(workers);
+        let ranges: Vec<AtomicU64> = (0..workers)
+            .map(|w| {
+                let lo = (w * chunk).min(n) as u64;
+                let hi = ((w + 1) * chunk).min(n) as u64;
+                AtomicU64::new(lo << 32 | hi)
+            })
+            .collect();
+        let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+
+        let work = |me: usize| {
+            let mut local: Vec<(usize, T)> = Vec::new();
+            loop {
+                let i = match pop_front(&ranges[me]) {
+                    Some(i) => i,
+                    None => match steal(&ranges, me) {
+                        Some(i) => i,
+                        None => break,
+                    },
+                };
+                local.push((i, f(i)));
+            }
+            if !local.is_empty() {
+                results.lock().expect("pool results poisoned").extend(local);
+            }
+        };
+
+        std::thread::scope(|s| {
+            for me in 1..workers {
+                s.spawn(move || work(me));
+            }
+            work(0);
+        });
+
+        let mut pairs = results.into_inner().expect("pool results poisoned");
+        debug_assert_eq!(pairs.len(), n);
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+impl Default for Pool {
+    /// [`Pool::with_default_parallelism`].
+    fn default() -> Self {
+        Pool::with_default_parallelism()
+    }
+}
+
+/// Take the next index from the front of `range` (owner side).
+fn pop_front(range: &AtomicU64) -> Option<usize> {
+    let mut cur = range.load(Ordering::Acquire);
+    loop {
+        let (s, e) = (cur >> 32, cur & 0xffff_ffff);
+        if s >= e {
+            return None;
+        }
+        match range.compare_exchange_weak(
+            cur,
+            (s + 1) << 32 | e,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Some(s as usize),
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Steal one index from the back of some other worker's range.
+fn steal(ranges: &[AtomicU64], me: usize) -> Option<usize> {
+    // Start scanning after our own slot so thieves spread out instead of
+    // all hammering worker 0's range.
+    let k = ranges.len();
+    for off in 1..k {
+        let victim = &ranges[(me + off) % k];
+        let mut cur = victim.load(Ordering::Acquire);
+        loop {
+            let (s, e) = (cur >> 32, cur & 0xffff_ffff);
+            if s >= e {
+                break;
+            }
+            match victim.compare_exchange_weak(
+                cur,
+                s << 32 | (e - 1),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((e - 1) as usize),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_index_order() {
+        for workers in [1, 2, 3, 4, 7] {
+            let pool = Pool::new(workers);
+            let out = pool.scoped(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        Pool::new(4).scoped(counts.len(), |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "job {i}");
+        }
+    }
+
+    #[test]
+    fn unbalanced_workloads_complete_via_stealing() {
+        // One chunk holds all the slow jobs; the other workers must steal
+        // them or the test takes ~20× longer than the timeout culture here
+        // tolerates. Correctness (not timing) is what's asserted.
+        let pool = Pool::new(4);
+        let out = pool.scoped(64, |i| {
+            if i < 16 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_and_one_job_edge_cases() {
+        let pool = Pool::new(8);
+        assert_eq!(pool.scoped(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.scoped(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(Pool::new(0).workers(), 1);
+        assert_eq!(Pool::serial().workers(), 1);
+        assert!(Pool::default().workers() >= 1);
+    }
+
+    #[test]
+    fn jobs_borrow_caller_state() {
+        let data: Vec<u64> = (0..1000).collect();
+        let sums = Pool::new(3).scoped(10, |i| data[i * 100..(i + 1) * 100].iter().sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+}

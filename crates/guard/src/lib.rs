@@ -15,7 +15,10 @@
 //!   evaluation),
 //! * [`MemGauge`] — high-water caps keyed by [`GaugeKind`] (store tuples,
 //!   chain configurations, tape cells, product states, relation sizes),
-//! * [`CancelToken`] — cooperative cancellation from another thread.
+//! * [`CancelToken`] — cooperative cancellation from another thread,
+//! * [`SharedBudget`]/[`SharedGuard`] — the atomic variants whose clones
+//!   pool fuel, deadline, and cancellation across the workers of a
+//!   parallel batch (see `twq-exec`).
 //!
 //! All of these compose behind the [`Guard`] trait, which mirrors the
 //! `obs::Collector` design: [`NullGuard`] has `ENABLED = false` and
@@ -39,9 +42,11 @@
 mod error;
 pub mod faults;
 mod res;
+mod shared;
 
 pub use error::{DepthKind, GaugeKind, GuardError, Partial, TripReason, TwqError};
 pub use faults::{FaultKind, FaultPlan, FaultSite};
 pub use res::{
     Budget, CancelToken, Deadline, DepthGuard, Guard, MemGauge, NullGuard, ResourceGuard,
 };
+pub use shared::{SharedBudget, SharedGuard};

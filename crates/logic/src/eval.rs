@@ -15,7 +15,7 @@
 
 use twq_guard::{DepthKind, Guard, NullGuard, TwqError};
 use twq_obs::{Collector, FoEval, NullCollector};
-use twq_tree::{NodeId, Tree};
+use twq_tree::{NodeId, NodeSet, Tree};
 
 use crate::fo::{Formula, TreeAtom, Var};
 
@@ -459,7 +459,8 @@ fn eval_sentence_inner<C: Collector, G: Guard>(
 /// All nodes `v` such that `t ⊨ φ(u, v)` for a binary formula `φ(x, y)` —
 /// the node-selection primitive behind `atp(φ(x,y), q)` (Section 3).
 ///
-/// Results are in arena order.
+/// Results are a [`NodeSet`], whose iteration is in arena order — the same
+/// order the former `Vec` return carried.
 ///
 /// # Errors
 /// [`TwqError::Invalid`] if the formula mentions variables other than `x`,
@@ -470,7 +471,7 @@ pub fn select(
     x: Var,
     u: NodeId,
     y: Var,
-) -> Result<Vec<NodeId>, TwqError> {
+) -> Result<NodeSet, TwqError> {
     select_with(tree, formula, x, u, y, &mut NullCollector)
 }
 
@@ -482,7 +483,7 @@ pub fn select_with<C: Collector>(
     u: NodeId,
     y: Var,
     c: &mut C,
-) -> Result<Vec<NodeId>, TwqError> {
+) -> Result<NodeSet, TwqError> {
     select_inner(tree, formula, x, u, y, c, &mut NullGuard)
 }
 
@@ -494,7 +495,7 @@ pub fn select_guarded<G: Guard>(
     u: NodeId,
     y: Var,
     guard: &mut G,
-) -> Result<Vec<NodeId>, TwqError> {
+) -> Result<NodeSet, TwqError> {
     select_inner(tree, formula, x, u, y, &mut NullCollector, guard)
 }
 
@@ -506,7 +507,7 @@ fn select_inner<C: Collector, G: Guard>(
     y: Var,
     c: &mut C,
     g: &mut G,
-) -> Result<Vec<NodeId>, TwqError> {
+) -> Result<NodeSet, TwqError> {
     c.fo_eval(FoEval::Select);
     let mut asg = Assignment::with_capacity(
         formula
@@ -514,14 +515,14 @@ fn select_inner<C: Collector, G: Guard>(
             .map_or(Some(x.max(y)), |m| Some(m.max(x).max(y))),
     );
     asg.set(x, u);
-    let mut out = Vec::new();
+    let mut out = NodeSet::with_capacity(tree.len());
     for v in tree.node_ids() {
         if G::ENABLED {
             g.tick()?;
         }
         asg.set(y, v);
         if eval_inner(tree, formula, &mut asg, c, g)? {
-            out.push(v);
+            out.insert(v);
         }
     }
     Ok(out)

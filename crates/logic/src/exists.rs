@@ -8,7 +8,7 @@
 //! tree-walking automata (Definition 3.1, form 3).
 
 use twq_obs::{Collector, FoEval, NullCollector};
-use twq_tree::{NodeId, Tree};
+use twq_tree::{NodeId, NodeSet, Tree};
 
 use crate::eval;
 use crate::fo::{Formula, Var};
@@ -115,15 +115,16 @@ impl ExistsFormula {
     ///
     /// Uses backtracking with three-valued pruning over the existential
     /// variables, so conjunctive matrices (e.g. compiled XPath) are cheap
-    /// even with many quantifiers.
-    pub fn select(&self, tree: &Tree, u: NodeId) -> Vec<NodeId> {
+    /// even with many quantifiers. The returned [`NodeSet`] iterates in
+    /// arena order, as the former `Vec` return did.
+    pub fn select(&self, tree: &Tree, u: NodeId) -> NodeSet {
         self.select_with(tree, u, &mut NullCollector)
     }
 
     /// [`ExistsFormula::select`] with instrumentation: one
     /// [`FoEval::Select`] per call, plus the atom evaluations the
     /// backtracking search performs.
-    pub fn select_with<C: Collector>(&self, tree: &Tree, u: NodeId, c: &mut C) -> Vec<NodeId> {
+    pub fn select_with<C: Collector>(&self, tree: &Tree, u: NodeId, c: &mut C) -> NodeSet {
         c.fo_eval(FoEval::Select);
         let max = self
             .quantified
@@ -139,7 +140,7 @@ impl ExistsFormula {
         // forces every branch to iterate over the other branches' (fully
         // unconstrained) variables, an `n^k` blowup.
         let disjuncts = dnf(&self.matrix, 256);
-        let mut out = Vec::new();
+        let mut out = NodeSet::with_capacity(tree.len());
         match disjuncts {
             Some(ds) => {
                 let branches: Vec<(Formula, Vec<Var>)> = ds
@@ -161,7 +162,7 @@ impl ExistsFormula {
                         eval::sat_exists_with(tree, conj, vars, &mut asg, c)
                             .expect("ExistsFormula invariant: quantifier-free matrix, bound vars")
                     }) {
-                        out.push(v);
+                        out.insert(v);
                     }
                 }
             }
@@ -172,7 +173,7 @@ impl ExistsFormula {
                     if eval::sat_exists_with(tree, &self.matrix, &self.quantified, &mut asg, c)
                         .expect("ExistsFormula invariant: quantifier-free matrix, bound vars")
                     {
-                        out.push(v);
+                        out.insert(v);
                     }
                 }
             }
@@ -467,7 +468,7 @@ mod tests {
         // matches. The second b has child d but no c descendant — no match.
         let sel = phi.select(&t, t.root());
         assert_eq!(sel.len(), 1);
-        assert_eq!(sel[0], t.node_at_path(&[1]).unwrap());
+        assert_eq!(sel.first(), t.node_at_path(&[1]));
     }
 
     #[test]
@@ -476,13 +477,13 @@ mod tests {
         let r = t.root();
         let c = t.node_at_path(&[2]).unwrap();
         let d = t.node_at_path(&[2, 1]).unwrap();
-        assert_eq!(selectors::self_node().select(&t, c), vec![c]);
-        assert_eq!(selectors::parent().select(&t, c), vec![r]);
-        assert_eq!(selectors::parent().select(&t, r), vec![]);
-        assert_eq!(selectors::first_child().select(&t, c), vec![d]);
+        assert_eq!(selectors::self_node().select(&t, c).to_vec(), vec![c]);
+        assert_eq!(selectors::parent().select(&t, c).to_vec(), vec![r]);
+        assert_eq!(selectors::parent().select(&t, r).to_vec(), vec![]);
+        assert_eq!(selectors::first_child().select(&t, c).to_vec(), vec![d]);
         assert_eq!(selectors::children().select(&t, r).len(), 2);
         assert_eq!(selectors::descendants().select(&t, r).len(), 4);
-        assert_eq!(selectors::root_node().select(&t, d), vec![r]);
+        assert_eq!(selectors::root_node().select(&t, d).to_vec(), vec![r]);
         assert!(selectors::self_node().selects_unique(&t, c));
         assert!(!selectors::children().selects_unique(&t, r));
     }

@@ -13,6 +13,8 @@
 //!   by `atp` and as the abstraction of XPath);
 //! * [`store`] — finite relations over `D`, the relational store, and
 //!   active-domain FO evaluation for guards `ξ` and updates `ψ`;
+//! * [`memo`] — memoized FO evaluation (subformula caching) and the
+//!   parallel batch entry points (`select_batch`, `eval_sentence_par`);
 //! * [`parse`] — a concrete syntax for FO formulas;
 //! * [`mso`] — monadic second-order logic with a naive small-witness
 //!   evaluator (the Proposition 7.2 yardstick);
@@ -21,6 +23,7 @@
 pub mod eval;
 pub mod exists;
 pub mod fo;
+pub mod memo;
 pub mod mso;
 pub mod parse;
 pub mod store;
@@ -31,6 +34,10 @@ pub use eval::{
 };
 pub use exists::{ExistsError, ExistsFormula};
 pub use fo::{Formula, TreeAtom, Var};
+pub use memo::{
+    eval_sentence_memo, eval_sentence_memo_guarded, eval_sentence_par, select_batch,
+    select_batch_guarded, select_memo, select_memo_guarded, MemoCache, MemoFormula,
+};
 pub use mso::{eval_mso, eval_mso_capped, MsoFormula, SetVar};
 pub use parse::{parse_fo, FoParseError, ParsedFormula};
 pub use store::{eval_guard, eval_query, AttrEnv, RegId, Relation, SAtom, SFormula, STerm, Store};

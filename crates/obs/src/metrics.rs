@@ -85,6 +85,44 @@ impl RunMetrics {
         ranked
     }
 
+    /// Fold another run's metrics into this one — the per-worker merge the
+    /// parallel batch entry points use, so a fanned-out batch reports one
+    /// aggregate exactly as a serial loop over the same items would.
+    ///
+    /// Additive counters sum, high-water marks take the max, per-state and
+    /// named counters merge pointwise, and phases concatenate. `halt` keeps
+    /// the *other* run's verdict when it has one (last writer wins, matching
+    /// a serial collector observing runs in sequence).
+    pub fn merge(&mut self, other: &RunMetrics) {
+        self.steps += other.steps;
+        if other.steps_per_state.len() > self.steps_per_state.len() {
+            self.steps_per_state.resize(other.steps_per_state.len(), 0);
+        }
+        for (a, b) in self.steps_per_state.iter_mut().zip(&other.steps_per_state) {
+            *a += b;
+        }
+        self.chains += other.chains;
+        self.subcomputations += other.subcomputations;
+        self.atp_calls += other.atp_calls;
+        self.max_atp_depth = self.max_atp_depth.max(other.max_atp_depth);
+        self.max_atp_fanout = self.max_atp_fanout.max(other.max_atp_fanout);
+        self.max_store_tuples = self.max_store_tuples.max(other.max_store_tuples);
+        self.cycle_inserts += other.cycle_inserts;
+        self.max_tracked_configs = self.max_tracked_configs.max(other.max_tracked_configs);
+        for (a, b) in self.fo_evals.iter_mut().zip(&other.fo_evals) {
+            *a += b;
+        }
+        self.max_tape_cells = self.max_tape_cells.max(other.max_tape_cells);
+        self.messages += other.messages;
+        for (&name, &n) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += n;
+        }
+        self.phases.extend_from_slice(&other.phases);
+        if other.halt.is_some() {
+            self.halt = other.halt;
+        }
+    }
+
     /// Total nanoseconds recorded for a named phase.
     pub fn phase_nanos(&self, name: &str) -> u64 {
         self.phases
@@ -184,6 +222,46 @@ mod tests {
             Some(2)
         );
         assert_eq!(j.get("halt").and_then(Json::as_str), Some("accept"));
+    }
+
+    #[test]
+    fn merge_is_sum_max_and_concat() {
+        let mut a = RunMetrics {
+            steps: 10,
+            steps_per_state: vec![4, 6],
+            chains: 1,
+            max_atp_depth: 2,
+            max_store_tuples: 7,
+            halt: Some(HaltKind::Accept),
+            ..RunMetrics::default()
+        };
+        a.counters.insert("rows", 3);
+        a.phases.push(("run", 100));
+        let mut b = RunMetrics {
+            steps: 5,
+            steps_per_state: vec![1, 0, 4],
+            chains: 2,
+            max_atp_depth: 1,
+            max_store_tuples: 9,
+            halt: Some(HaltKind::Cycle),
+            ..RunMetrics::default()
+        };
+        b.counters.insert("rows", 2);
+        b.fo_evals[FoEval::Atom as usize] = 8;
+        b.phases.push(("run", 50));
+        a.merge(&b);
+        assert_eq!(a.steps, 15);
+        assert_eq!(a.steps_per_state, vec![5, 6, 4]);
+        assert_eq!(a.chains, 3);
+        assert_eq!(a.max_atp_depth, 2);
+        assert_eq!(a.max_store_tuples, 9);
+        assert_eq!(a.counter("rows"), 5);
+        assert_eq!(a.fo(FoEval::Atom), 8);
+        assert_eq!(a.phase_nanos("run"), 150);
+        assert_eq!(a.halt, Some(HaltKind::Cycle));
+        // Merging an empty run leaves the verdict alone.
+        a.merge(&RunMetrics::new());
+        assert_eq!(a.halt, Some(HaltKind::Cycle));
     }
 
     #[test]

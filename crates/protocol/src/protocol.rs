@@ -247,7 +247,6 @@ impl<C: Collector, G: Guard> ProtoExec<'_, C, G> {
                     }
                     let far: Vec<NodeId> = selected
                         .iter()
-                        .copied()
                         .filter(|v| self.owner[v.0 as usize] != here)
                         .collect();
                     if !far.is_empty() {

@@ -26,6 +26,7 @@
 
 pub mod delim;
 pub mod generate;
+pub mod nodeset;
 pub mod order;
 pub mod parse;
 pub mod stats;
@@ -34,6 +35,7 @@ pub mod vocab;
 pub mod xml;
 
 pub use delim::DelimTree;
+pub use nodeset::NodeSet;
 pub use parse::{parse_tree, tree_to_string, ParseError};
 pub use tree::{Label, NodeId, Tree};
 pub use vocab::{AttrId, SymId, Value, ValueRepr, Vocab};

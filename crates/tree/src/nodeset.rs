@@ -1,0 +1,312 @@
+//! Word-packed node sets.
+//!
+//! [`NodeId`]s are dense arena indices (`0..tree.len()`), so a set of
+//! nodes packs into one bit per node: 64 membership tests, unions or
+//! intersections per machine word. The evaluators use [`NodeSet`] where
+//! they previously kept `BTreeSet<NodeId>`/`Vec<NodeId>` — same observable
+//! contents (iteration is ascending, i.e. arena/document order), a word of
+//! memory per 64 nodes, and set algebra that touches whole words.
+
+use crate::tree::NodeId;
+
+const BITS: usize = u64::BITS as usize;
+
+/// A set of [`NodeId`]s stored one bit per node.
+///
+/// Iteration order is ascending node id — the arena order every evaluator
+/// already produced, so swapping a sorted `Vec` or `BTreeSet` for a
+/// `NodeSet` does not reorder results. The set grows automatically on
+/// [`insert`](NodeSet::insert); sizing it up front with
+/// [`with_capacity`](NodeSet::with_capacity) avoids reallocation in hot
+/// loops.
+#[derive(Debug, Clone, Default)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+/// Equality is over members only — trailing zero words from a larger
+/// [`with_capacity`](NodeSet::with_capacity) do not distinguish sets.
+impl PartialEq for NodeSet {
+    fn eq(&self, other: &NodeSet) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        short.iter().zip(long.iter()).all(|(a, b)| a == b)
+            && long[short.len()..].iter().all(|&w| w == 0)
+    }
+}
+
+impl Eq for NodeSet {}
+
+impl NodeSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        NodeSet::default()
+    }
+
+    /// An empty set pre-sized for node ids `0..n`.
+    pub fn with_capacity(n: usize) -> Self {
+        NodeSet {
+            words: vec![0; n.div_ceil(BITS)],
+            len: 0,
+        }
+    }
+
+    /// Number of nodes in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        let i = v.idx();
+        match self.words.get(i / BITS) {
+            Some(w) => w & (1u64 << (i % BITS)) != 0,
+            None => false,
+        }
+    }
+
+    /// Insert `v`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let i = v.idx();
+        let w = i / BITS;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << (i % BITS);
+        let fresh = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Remove `v`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        let i = v.idx();
+        let Some(w) = self.words.get_mut(i / BITS) else {
+            return false;
+        };
+        let mask = 1u64 << (i % BITS);
+        let had = *w & mask != 0;
+        *w &= !mask;
+        self.len -= had as usize;
+        had
+    }
+
+    /// `self ∪= other`, whole words at a time.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        self.recount();
+    }
+
+    /// `self ∩= other`, whole words at a time.
+    pub fn intersect_with(&mut self, other: &NodeSet) {
+        for (i, a) in self.words.iter_mut().enumerate() {
+            *a &= other.words.get(i).copied().unwrap_or(0);
+        }
+        self.recount();
+    }
+
+    /// Remove every node of `other` from `self`.
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+        self.recount();
+    }
+
+    fn recount(&mut self) {
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+
+    /// The members in ascending id order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            words: &self.words,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The smallest member, if any.
+    pub fn first(&self) -> Option<NodeId> {
+        self.iter().next()
+    }
+
+    /// The members as a sorted `Vec` (for display and test assertions).
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+
+    /// Drop all members, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+}
+
+/// Ascending-id iterator over a [`NodeSet`], one trailing-zeros scan per
+/// member.
+pub struct Iter<'a> {
+    words: &'a [u64],
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        while self.bits == 0 {
+            self.word += 1;
+            self.bits = *self.words.get(self.word)?;
+        }
+        let b = self.bits.trailing_zeros();
+        self.bits &= self.bits - 1;
+        Some(NodeId((self.word * BITS) as u32 + b))
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeSet {
+    type Item = NodeId;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl IntoIterator for NodeSet {
+    type Item = NodeId;
+    type IntoIter = std::vec::IntoIter<NodeId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut s = NodeSet::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl Extend<NodeId> for NodeSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl<const N: usize> From<[NodeId; N]> for NodeSet {
+    fn from(items: [NodeId; N]) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u32]) -> Vec<NodeId> {
+        xs.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn insert_contains_len() {
+        let mut s = NodeSet::with_capacity(10);
+        assert!(s.is_empty());
+        assert!(s.insert(NodeId(3)));
+        assert!(!s.insert(NodeId(3)));
+        assert!(s.insert(NodeId(64))); // forces growth past capacity
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(NodeId(3)));
+        assert!(!s.contains(NodeId(4)));
+        assert!(s.contains(NodeId(64)));
+        assert!(!s.contains(NodeId(1000)));
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let s: NodeSet = ids(&[130, 0, 63, 64, 7]).into_iter().collect();
+        assert_eq!(s.to_vec(), ids(&[0, 7, 63, 64, 130]));
+        assert_eq!(s.first(), Some(NodeId(0)));
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a: NodeSet = ids(&[1, 2, 3, 100]).into_iter().collect();
+        let b: NodeSet = ids(&[2, 3, 4]).into_iter().collect();
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), ids(&[1, 2, 3, 4, 100]));
+        a.intersect_with(&b);
+        assert_eq!(a.to_vec(), ids(&[2, 3]));
+        let mut d = u.clone();
+        d.difference_with(&b);
+        assert_eq!(d.to_vec(), ids(&[1, 100]));
+    }
+
+    #[test]
+    fn unequal_word_lengths_compare_and_combine() {
+        // Shorter-words set vs longer: union must grow, intersect must not
+        // read out of bounds.
+        let small: NodeSet = ids(&[1]).into_iter().collect();
+        let mut big: NodeSet = ids(&[1, 500]).into_iter().collect();
+        big.intersect_with(&small);
+        assert_eq!(big.to_vec(), ids(&[1]));
+        let mut grown = small.clone();
+        grown.union_with(&ids(&[500]).into_iter().collect());
+        assert_eq!(grown.to_vec(), ids(&[1, 500]));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut s: NodeSet = ids(&[5, 6]).into_iter().collect();
+        assert!(s.remove(NodeId(5)));
+        assert!(!s.remove(NodeId(5)));
+        assert!(!s.remove(NodeId(99)));
+        assert_eq!(s.to_vec(), ids(&[6]));
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(NodeId(6)));
+    }
+
+    #[test]
+    fn equality_ignores_trailing_zero_words() {
+        // Two sets with the same members must compare equal even when one
+        // allocated more words — keep capacity out of Eq by construction.
+        let a: NodeSet = ids(&[3]).into_iter().collect();
+        let mut b = NodeSet::with_capacity(1000);
+        b.insert(NodeId(3));
+        assert_eq!(a, b);
+        b.insert(NodeId(900));
+        assert_ne!(a, b);
+    }
+}

@@ -3,14 +3,17 @@
 
 use std::collections::BTreeSet;
 
+use twq_exec::Pool;
 use twq_guard::{DepthKind, Guard, GuardError, NullGuard, TwqError};
 use twq_obs::{Collector, FoEval, NullCollector};
-use twq_tree::{Label, NodeId, Tree};
+use twq_tree::{Label, NodeId, NodeSet, Tree};
 
 use crate::ast::{Pred, XPath};
 
-/// All nodes selected by `path` from context node `x`.
-pub fn eval_from(tree: &Tree, path: &XPath, x: NodeId) -> BTreeSet<NodeId> {
+/// All nodes selected by `path` from context node `x`, as a [`NodeSet`]
+/// (iteration in arena order — the same order the former `BTreeSet`
+/// return carried).
+pub fn eval_from(tree: &Tree, path: &XPath, x: NodeId) -> NodeSet {
     eval_from_with(tree, path, x, &mut NullCollector)
 }
 
@@ -18,12 +21,7 @@ pub fn eval_from(tree: &Tree, path: &XPath, x: NodeId) -> BTreeSet<NodeId> {
 /// subexpression evaluation (including recursive steps) and one
 /// [`FoEval::Pred`] per filter-predicate test, exposing the relational
 /// evaluator's cost profile.
-pub fn eval_from_with<C: Collector>(
-    tree: &Tree,
-    path: &XPath,
-    x: NodeId,
-    c: &mut C,
-) -> BTreeSet<NodeId> {
+pub fn eval_from_with<C: Collector>(tree: &Tree, path: &XPath, x: NodeId, c: &mut C) -> NodeSet {
     eval_from_inner(tree, path, x, c, &mut NullGuard).expect("NullGuard never trips")
 }
 
@@ -35,7 +33,7 @@ pub fn eval_from_guarded<G: Guard>(
     path: &XPath,
     x: NodeId,
     guard: &mut G,
-) -> Result<BTreeSet<NodeId>, TwqError> {
+) -> Result<NodeSet, TwqError> {
     eval_from_inner(tree, path, x, &mut NullCollector, guard).map_err(TwqError::Guard)
 }
 
@@ -45,7 +43,7 @@ fn eval_from_inner<C: Collector, G: Guard>(
     x: NodeId,
     c: &mut C,
     g: &mut G,
-) -> Result<BTreeSet<NodeId>, GuardError> {
+) -> Result<NodeSet, GuardError> {
     c.fo_eval(FoEval::Path);
     if G::ENABLED {
         g.tick()?;
@@ -64,31 +62,31 @@ fn eval_from_cases<C: Collector, G: Guard>(
     x: NodeId,
     c: &mut C,
     g: &mut G,
-) -> Result<BTreeSet<NodeId>, GuardError> {
+) -> Result<NodeSet, GuardError> {
     Ok(match path {
         XPath::Name(s) => {
             if tree.label(x) == Label::Sym(*s) {
-                BTreeSet::from([x])
+                NodeSet::from([x])
             } else {
-                BTreeSet::new()
+                NodeSet::new()
             }
         }
-        XPath::Wild => BTreeSet::from([x]),
+        XPath::Wild => NodeSet::from([x]),
         XPath::Child(p1, p2) => {
-            let mut out = BTreeSet::new();
-            for y in eval_from_inner(tree, p1, x, c, g)? {
+            let mut out = NodeSet::with_capacity(tree.len());
+            for y in &eval_from_inner(tree, p1, x, c, g)? {
                 for ch in tree.children(y) {
-                    out.extend(eval_from_inner(tree, p2, ch, c, g)?);
+                    out.union_with(&eval_from_inner(tree, p2, ch, c, g)?);
                 }
             }
             out
         }
         XPath::Descendant(p1, p2) => {
-            let mut out = BTreeSet::new();
-            for y in eval_from_inner(tree, p1, x, c, g)? {
+            let mut out = NodeSet::with_capacity(tree.len());
+            for y in &eval_from_inner(tree, p1, x, c, g)? {
                 for d in tree.node_ids() {
                     if tree.is_strict_ancestor(y, d) {
-                        out.extend(eval_from_inner(tree, p2, d, c, g)?);
+                        out.union_with(&eval_from_inner(tree, p2, d, c, g)?);
                     }
                 }
             }
@@ -96,24 +94,24 @@ fn eval_from_cases<C: Collector, G: Guard>(
         }
         XPath::FromRoot(p) => eval_from_inner(tree, p, tree.root(), c, g)?,
         XPath::FromDesc(p) => {
-            let mut out = BTreeSet::new();
+            let mut out = NodeSet::with_capacity(tree.len());
             for d in tree.node_ids() {
                 if tree.is_strict_ancestor(x, d) {
-                    out.extend(eval_from_inner(tree, p, d, c, g)?);
+                    out.union_with(&eval_from_inner(tree, p, d, c, g)?);
                 }
             }
             out
         }
         XPath::FromChild(p) => {
-            let mut out = BTreeSet::new();
+            let mut out = NodeSet::with_capacity(tree.len());
             for ch in tree.children(x) {
-                out.extend(eval_from_inner(tree, p, ch, c, g)?);
+                out.union_with(&eval_from_inner(tree, p, ch, c, g)?);
             }
             out
         }
         XPath::Filter(p, q) => {
-            let mut out = BTreeSet::new();
-            for y in eval_from_inner(tree, p, x, c, g)? {
+            let mut out = NodeSet::with_capacity(tree.len());
+            for y in &eval_from_inner(tree, p, x, c, g)? {
                 if pred_holds_inner(tree, q, y, c, g)? {
                     out.insert(y);
                 }
@@ -122,7 +120,7 @@ fn eval_from_cases<C: Collector, G: Guard>(
         }
         XPath::Union(p1, p2) => {
             let mut out = eval_from_inner(tree, p1, x, c, g)?;
-            out.extend(eval_from_inner(tree, p2, x, c, g)?);
+            out.union_with(&eval_from_inner(tree, p2, x, c, g)?);
             out
         }
     })
@@ -186,6 +184,13 @@ pub fn eval_pairs_guarded<G: Guard>(
         }
     }
     Ok(out)
+}
+
+/// Batch [`eval_from`]: one selection per context node in `contexts`,
+/// fanned across `pool`, results in `contexts` order. Equivalent to mapping
+/// [`eval_from`] serially — and with a 1-worker pool it *is* that loop.
+pub fn select_batch(tree: &Tree, path: &XPath, contexts: &[NodeId], pool: &Pool) -> Vec<NodeSet> {
+    pool.scoped(contexts.len(), |i| eval_from(tree, path, contexts[i]))
 }
 
 #[cfg(test)]
@@ -262,7 +267,21 @@ mod tests {
         let (mut v, t) = doc();
         let p = parse_xpath("*", &mut v).unwrap();
         for u in t.node_ids() {
-            assert_eq!(eval_from(&t, &p, u), BTreeSet::from([u]));
+            assert_eq!(eval_from(&t, &p, u), NodeSet::from([u]));
+        }
+    }
+
+    #[test]
+    fn select_batch_matches_serial_any_worker_count() {
+        let (mut v, t) = doc();
+        let p = parse_xpath("//author | lib/book[@y=1999]", &mut v).unwrap();
+        let contexts: Vec<NodeId> = t.node_ids().collect();
+        for workers in [1, 3] {
+            let batch = select_batch(&t, &p, &contexts, &Pool::new(workers));
+            assert_eq!(batch.len(), contexts.len());
+            for (i, &x) in contexts.iter().enumerate() {
+                assert_eq!(batch[i], eval_from(&t, &p, x), "workers={workers} x={x:?}");
+            }
         }
     }
 

@@ -185,7 +185,7 @@ mod tests {
             let t = random_tree(&cfg, seed);
             let expect = eval_from(&t, &path, t.root())
                 .iter()
-                .any(|&u| t.attr(u, a) == one);
+                .any(|u| t.attr(u, a) == one);
             let got = run_on_tree(&prog, &t, Limits::default());
             assert_eq!(got.accepted(), expect, "seed {seed}");
             if expect {

@@ -6,8 +6,6 @@
 //! cargo run --example xpath_queries
 //! ```
 
-use std::collections::BTreeSet;
-
 use twq::tree::{parse_tree, Vocab};
 use twq::xpath::{compile, eval_from, parse_xpath};
 
@@ -40,14 +38,14 @@ fn main() {
 
         // Compile to the paper's FO(∃*) abstraction and cross-check.
         let phi = compile(&path);
-        let logical: BTreeSet<_> = phi.select(&doc, doc.root()).into_iter().collect();
+        let logical = phi.select(&doc, doc.root());
         assert_eq!(selected, logical, "XPath ≡ compiled FO(∃*) [Section 2.3]");
 
         println!("XPath  : {q}");
         println!("FO(∃*) : {}", phi.display(&vocab));
         let paths: Vec<String> = selected
             .iter()
-            .map(|&u| {
+            .map(|u| {
                 let p = doc.path(u);
                 let segs: Vec<String> = p.iter().map(u32::to_string).collect();
                 format!("/{}", segs.join("/"))

@@ -35,8 +35,9 @@ use std::time::Duration;
 
 use twq::analyze::{analyze, prune, severity_counts};
 use twq::automata::{
-    examples, run, run_graph, run_guarded, run_with, Limits, State, TwClass, TwProgram,
+    examples, run, run_graph, run_guarded, run_with, Limits, RunReport, State, TwClass, TwProgram,
 };
+use twq::exec::Pool;
 use twq::guard::{FaultPlan, ResourceGuard, TripReason, TwqError};
 use twq::logic::types::{count_classes, TypeConfig};
 use twq::logic::{eval_sentence, eval_sentence_guarded};
@@ -158,10 +159,11 @@ fn governed_run_protocol(
 fn main() {
     let (mut json, mut profile, mut strict, mut do_analyze) = (false, false, false, false);
     let mut gov = Gov::default();
+    let mut jobs: Option<usize> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
-    let usage = "expected --json, --profile, --analyze, --strict, --budget N, --timeout MS, \
-                 and/or --faults SEED";
+    let usage = "expected --json, --profile, --analyze, --strict, --jobs N, --budget N, \
+                 --timeout MS, and/or --faults SEED";
     let numeric = |flag: &str, v: Option<&String>| -> u64 {
         v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
             eprintln!("{flag} requires a numeric value ({usage})");
@@ -174,6 +176,7 @@ fn main() {
             "--profile" => profile = true,
             "--strict" => strict = true,
             "--analyze" => do_analyze = true,
+            "--jobs" => jobs = Some(numeric("--jobs", it.next()) as usize),
             "--budget" => gov.budget = Some(numeric("--budget", it.next())),
             "--timeout" => gov.timeout_ms = Some(numeric("--timeout", it.next())),
             "--faults" => gov.faults = Some(numeric("--faults", it.next())),
@@ -183,6 +186,14 @@ fn main() {
             }
         }
     }
+    // Rows within E1–E6 are computed across this pool (default: all cores)
+    // and printed serially in input order, so the output is independent of
+    // the worker count; `--jobs 1` computes inline exactly as the serial
+    // harness did.
+    let pool = match jobs {
+        Some(n) => Pool::new(n),
+        None => Pool::with_default_parallelism(),
+    };
     let mut rep: Box<dyn Reporter> = if json {
         Box::new(JsonlReporter::stdout())
     } else {
@@ -198,12 +209,12 @@ fn main() {
     if do_analyze {
         e0_analyze(rep);
     }
-    e1_example32(rep, profile, gov);
-    e2_xpath(rep, gov);
-    e3_logspace_pebbles(rep, profile, gov);
-    e4_twl_ptime(rep, profile, gov);
-    e5_twr_pspace(rep, profile, gov);
-    e6_twrl_exptime(rep, profile, gov);
+    e1_example32(rep, profile, gov, &pool);
+    e2_xpath(rep, gov, &pool);
+    e3_logspace_pebbles(rep, profile, gov, &pool);
+    e4_twl_ptime(rep, profile, gov, &pool);
+    e5_twr_pspace(rep, profile, gov, &pool);
+    e6_twrl_exptime(rep, profile, gov, &pool);
     e7_lm_fo(rep, gov);
     e8_protocol(rep, gov);
     e9_counting(rep);
@@ -332,7 +343,7 @@ fn profile_note(rep: &mut dyn Reporter, what: &str, m: &RunMetrics) {
     ));
 }
 
-fn e1_example32(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
+fn e1_example32(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
     rep.experiment(
         "E1",
         "Example 3.2: the worked tw^{r,l} automaton vs its oracle",
@@ -361,17 +372,37 @@ fn e1_example32(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
             col("agree", 9),
         ],
     );
-    for n in [20usize, 60, 180, 540] {
-        // Half the trials use a single-value pool (always accepted) so the
-        // table shows both verdicts at every size.
-        let mixed = TreeGenConfig::example32(&mut vocab, n, &[1, 2]);
-        let uniform = TreeGenConfig::example32(&mut vocab, n, &[7]);
+    let sizes = [20usize, 60, 180, 540];
+    // Prepare (serial): generator configs need the vocabulary. Half the
+    // trials use a single-value pool (always accepted) so the table shows
+    // both verdicts at every size.
+    let cfgs: Vec<(TreeGenConfig, TreeGenConfig)> = sizes
+        .iter()
+        .map(|&n| {
+            (
+                TreeGenConfig::example32(&mut vocab, n, &[1, 2]),
+                TreeGenConfig::example32(&mut vocab, n, &[7]),
+            )
+        })
+        .collect();
+    struct E1Row {
+        acc: u64,
+        steps: u64,
+        subs: u64,
+        configs: u64,
+        agree: bool,
+        done: u64,
+        trip: Option<TwqError>,
+    }
+    // Execute (parallel): one row per size, printed in order below.
+    let rows = pool.scoped(sizes.len(), |i| {
+        let (mixed, uniform) = &cfgs[i];
         let (mut acc, mut steps, mut subs, mut configs, mut agree) = (0u64, 0u64, 0u64, 0u64, true);
         let trials = 10;
         let mut done = 0u64;
         let mut trip: Option<TwqError> = None;
         for seed in 0..trials {
-            let cfg = if seed % 2 == 0 { &mixed } else { &uniform };
+            let cfg = if seed % 2 == 0 { mixed } else { uniform };
             let t = random_tree(cfg, seed);
             let dt = DelimTree::build(&t);
             let r = match governed_run(&prog, &dt, Limits::default(), gov) {
@@ -390,17 +421,28 @@ fn e1_example32(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
             configs += g.distinct_configs as u64;
             done += 1;
         }
-        let agree_cell = match &trip {
+        E1Row {
+            acc,
+            steps,
+            subs,
+            configs,
+            agree,
+            done,
+            trip,
+        }
+    });
+    for (i, row) in rows.into_iter().enumerate() {
+        let agree_cell = match &row.trip {
             Some(e) => trip_cell(e),
-            None => agree.into(),
+            None => row.agree.into(),
         };
-        let d = done.max(1);
+        let d = row.done.max(1);
         rep.row(&[
-            n.into(),
-            Cell::str(format!("{acc}/{done}")),
-            (steps / d).into(),
-            (subs / d).into(),
-            (configs / d).into(),
+            sizes[i].into(),
+            Cell::str(format!("{}/{}", row.acc, row.done)),
+            (row.steps / d).into(),
+            (row.subs / d).into(),
+            (row.configs / d).into(),
             agree_cell,
         ]);
     }
@@ -415,7 +457,7 @@ fn e1_example32(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
     }
 }
 
-fn e2_xpath(rep: &mut dyn Reporter, gov: Gov) {
+fn e2_xpath(rep: &mut dyn Reporter, gov: Gov, pool: &Pool) {
     rep.experiment("E2", "Section 2.3: XPath ≡ compiled FO(∃*) selector");
     let mut vocab = Vocab::new();
     let queries = [
@@ -433,37 +475,43 @@ fn e2_xpath(rep: &mut dyn Reporter, gov: Gov) {
             col("agree", 7),
         ],
     );
+    // Prepare (serial): trees and parsed queries need the vocabulary.
+    let mut trees = Vec::new();
+    let mut inputs = Vec::new();
     for n in [30usize, 90, 270] {
         let cfg = TreeGenConfig::example32(&mut vocab, n, &[1, 2]);
-        let t = random_tree(&cfg, 3);
+        trees.push(random_tree(&cfg, 3));
         for q in queries {
             let path = parse_xpath(q, &mut vocab).unwrap();
-            let direct = if gov.active() {
-                eval_from_guarded(&t, &path, t.root(), &mut gov.guard())
-            } else {
-                Ok(eval_from(&t, &path, t.root()))
-            };
-            let direct = match direct {
-                Ok(d) => d,
-                Err(e) => {
-                    rep.row(&[n.into(), q.into(), 0usize.into(), trip_cell(&e)]);
-                    continue;
-                }
-            };
-            let phi = compile(&path);
-            let logical: std::collections::BTreeSet<_> =
-                phi.select(&t, t.root()).into_iter().collect();
-            rep.row(&[
-                n.into(),
-                q.into(),
-                direct.len().into(),
-                (direct == logical).into(),
-            ]);
+            inputs.push((n, q, trees.len() - 1, path));
+        }
+    }
+    // Execute (parallel): direct evaluation vs the compiled selector.
+    let rows = pool.scoped(inputs.len(), |i| {
+        let (_, _, ti, path) = &inputs[i];
+        let t = &trees[*ti];
+        let direct = if gov.active() {
+            eval_from_guarded(t, path, t.root(), &mut gov.guard())
+        } else {
+            Ok(eval_from(t, path, t.root()))
+        };
+        direct.map(|d| {
+            let agree = d == compile(path).select(t, t.root());
+            (d.len(), agree)
+        })
+    });
+    for (i, row) in rows.into_iter().enumerate() {
+        let (n, q, _, _) = &inputs[i];
+        match row {
+            Ok((selected, agree)) => {
+                rep.row(&[(*n).into(), (*q).into(), selected.into(), agree.into()])
+            }
+            Err(e) => rep.row(&[(*n).into(), (*q).into(), 0usize.into(), trip_cell(&e)]),
         }
     }
 }
 
-fn e3_logspace_pebbles(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
+fn e3_logspace_pebbles(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
     rep.experiment(
         "E3",
         "Theorem 7.1(1): logspace xTM ≡ compiled TW pebble walker (unique IDs)",
@@ -512,63 +560,83 @@ fn e3_logspace_pebbles(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
                 col("agree", 7),
             ],
         );
-        let mut prof: Option<RunMetrics> = None;
-        for n in [4usize, 6, 8] {
-            // Chains give leftmost_depth_even a growing spine; random
-            // trees exercise leaf_count_even. Use chains for both — the
-            // leaf count of a chain is 1 (odd), and the spine is n-1.
-            let t = if name == "leftmost_depth_even" {
-                let one = vocab.val_int(1);
-                monadic_tree(base.symbols[0], vocab.attr_opt("a").unwrap(), &vec![one; n])
-            } else {
-                let cfg = TreeGenConfig {
-                    nodes: n,
-                    ..base.clone()
+        let sizes = [4usize, 6, 8];
+        // Prepare (serial): trees and unique ids need the vocabulary.
+        // Chains give leftmost_depth_even a growing spine; random trees
+        // exercise leaf_count_even. The leaf count of a chain is 1 (odd),
+        // and the spine is n-1.
+        let dts: Vec<DelimTree> = sizes
+            .iter()
+            .map(|&n| {
+                let t = if name == "leftmost_depth_even" {
+                    let one = vocab.val_int(1);
+                    monadic_tree(base.symbols[0], vocab.attr_opt("a").unwrap(), &vec![one; n])
+                } else {
+                    let cfg = TreeGenConfig {
+                        nodes: n,
+                        ..base.clone()
+                    };
+                    random_tree(&cfg, 2)
                 };
-                random_tree(&cfg, 2)
-            };
-            let mut dt = DelimTree::build(&t);
-            dt.assign_unique_ids(id, &mut vocab);
-            let xr = match governed_run_xtm(&machine, &dt, XtmLimits::default(), gov) {
+                let mut dt = DelimTree::build(&t);
+                dt.assign_unique_ids(id, &mut vocab);
+                dt
+            })
+            .collect();
+        enum E3Row {
+            XtmTrip(TwqError),
+            ProgTrip(XtmReport, TwqError),
+            Done(XtmReport, RunReport, Option<Box<RunMetrics>>),
+        }
+        // Execute (parallel): the xTM and the compiled walker per size.
+        let rows = pool.scoped(sizes.len(), |i| {
+            let dt = &dts[i];
+            let xr = match governed_run_xtm(&machine, dt, XtmLimits::default(), gov) {
                 Ok(r) => r,
-                Err(e) => {
+                Err(e) => return E3Row::XtmTrip(e),
+            };
+            if profile && sizes[i] == 8 {
+                let mut mc = MetricsCollector::new();
+                let r = run_with(&prog.program, dt, Limits::long_walk(), &mut mc);
+                E3Row::Done(xr, r, Some(Box::new(mc.into_metrics())))
+            } else {
+                match governed_run(&prog.program, dt, Limits::long_walk(), gov) {
+                    Ok(r) => E3Row::Done(xr, r, None),
+                    Err(e) => E3Row::ProgTrip(xr, e),
+                }
+            }
+        });
+        let mut prof: Option<RunMetrics> = None;
+        for (i, row) in rows.into_iter().enumerate() {
+            let n = sizes[i];
+            match row {
+                E3Row::XtmTrip(e) => rep.row(&[
+                    n.into(),
+                    0u64.into(),
+                    0usize.into(),
+                    0u64.into(),
+                    trip_cell(&e),
+                ]),
+                E3Row::ProgTrip(xr, e) => rep.row(&[
+                    n.into(),
+                    xr.steps.into(),
+                    xr.space.into(),
+                    0u64.into(),
+                    trip_cell(&e),
+                ]),
+                E3Row::Done(xr, pr, m) => {
+                    if let Some(m) = m {
+                        prof = Some(*m);
+                    }
                     rep.row(&[
                         n.into(),
-                        0u64.into(),
-                        0usize.into(),
-                        0u64.into(),
-                        trip_cell(&e),
+                        xr.steps.into(),
+                        xr.space.into(),
+                        pr.steps.into(),
+                        (xr.accepted() == pr.accepted()).into(),
                     ]);
-                    continue;
                 }
-            };
-            let pr = if profile && n == 8 {
-                let mut mc = MetricsCollector::new();
-                let r = run_with(&prog.program, &dt, Limits::long_walk(), &mut mc);
-                prof = Some(mc.into_metrics());
-                r
-            } else {
-                match governed_run(&prog.program, &dt, Limits::long_walk(), gov) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        rep.row(&[
-                            n.into(),
-                            xr.steps.into(),
-                            xr.space.into(),
-                            0u64.into(),
-                            trip_cell(&e),
-                        ]);
-                        continue;
-                    }
-                }
-            };
-            rep.row(&[
-                n.into(),
-                xr.steps.into(),
-                xr.space.into(),
-                pr.steps.into(),
-                (xr.accepted() == pr.accepted()).into(),
-            ]);
+            }
         }
         if let Some(m) = prof {
             profile_note(rep, "n=8", &m);
@@ -577,7 +645,7 @@ fn e3_logspace_pebbles(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
     }
 }
 
-fn e4_twl_ptime(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
+fn e4_twl_ptime(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
     rep.experiment(
         "E4",
         "Theorem 7.1(2): tw^l configuration count grows polynomially (PTIME)",
@@ -608,45 +676,72 @@ fn e4_twl_ptime(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
             col("bound |Q|·N·(n+1)", 18),
         ],
     );
-    let mut prof: Option<RunMetrics> = None;
-    for n in [20usize, 60, 180, 540] {
-        // Every node gets a distinct value: no parent-child match exists,
-        // so the program performs its full polynomial sweep (worst case).
-        let cfg = TreeGenConfig {
-            nodes: n,
-            attributes: vec![],
-            ..cfg0.clone()
-        };
-        let mut t = random_tree(&cfg, 9);
-        let ids: Vec<_> = t.node_ids().collect();
-        for (i, u) in ids.into_iter().enumerate() {
-            let val = vocab.val_int(1000 + i as i64);
-            t.set_attr(u, a, val);
-        }
-        let dt = DelimTree::build(&t);
+    let sizes = [20usize, 60, 180, 540];
+    // Prepare (serial): every node gets a distinct value, so no
+    // parent-child match exists and the program performs its full
+    // polynomial sweep (worst case). Attribute values need the vocabulary.
+    let dts: Vec<DelimTree> = sizes
+        .iter()
+        .map(|&n| {
+            let cfg = TreeGenConfig {
+                nodes: n,
+                attributes: vec![],
+                ..cfg0.clone()
+            };
+            let mut t = random_tree(&cfg, 9);
+            let ids: Vec<_> = t.node_ids().collect();
+            for (i, u) in ids.into_iter().enumerate() {
+                let val = vocab.val_int(1000 + i as i64);
+                t.set_attr(u, a, val);
+            }
+            DelimTree::build(&t)
+        })
+        .collect();
+    enum E4Row {
+        Trip(TwqError),
+        Done(usize, usize, Option<RunMetrics>),
+    }
+    // Execute (parallel): the breadth-first configuration sweep per size.
+    let rows = pool.scoped(sizes.len(), |i| {
+        let dt = &dts[i];
         // The direct engine is the governed witness: if the workload fits
         // the budget there, the breadth-first sweep is measured ungoverned.
         if gov.active() {
-            if let Err(e) = governed_run(&prog, &dt, Limits::default(), gov) {
-                rep.row(&[n.into(), 0usize.into(), Cell::float(0.0, 2), trip_cell(&e)]);
-                continue;
+            if let Err(e) = governed_run(&prog, dt, Limits::default(), gov) {
+                return E4Row::Trip(e);
             }
         }
-        let g = run_graph(&prog, &dt, Limits::default());
+        let g = run_graph(&prog, dt, Limits::default());
         assert!(!g.accepted(), "distinct values admit no match");
-        let dn = dt.tree().len();
-        let bound = prog.state_count() * dn * (n + 1);
-        rep.row(&[
-            n.into(),
-            g.distinct_configs.into(),
-            Cell::float(g.distinct_configs as f64 / dn as f64, 2),
-            bound.into(),
-        ]);
-        assert!(g.distinct_configs <= bound);
-        if profile && n == 20 {
+        let m = if profile && sizes[i] == 20 {
             let mut mc = MetricsCollector::new();
-            run_with(&prog, &dt, Limits::default(), &mut mc);
-            prof = Some(mc.into_metrics());
+            run_with(&prog, dt, Limits::default(), &mut mc);
+            Some(mc.into_metrics())
+        } else {
+            None
+        };
+        E4Row::Done(g.distinct_configs, dt.tree().len(), m)
+    });
+    let mut prof: Option<RunMetrics> = None;
+    for (i, row) in rows.into_iter().enumerate() {
+        let n = sizes[i];
+        match row {
+            E4Row::Trip(e) => {
+                rep.row(&[n.into(), 0usize.into(), Cell::float(0.0, 2), trip_cell(&e)]);
+            }
+            E4Row::Done(distinct_configs, dn, m) => {
+                if let Some(m) = m {
+                    prof = Some(m);
+                }
+                let bound = prog.state_count() * dn * (n + 1);
+                rep.row(&[
+                    n.into(),
+                    distinct_configs.into(),
+                    Cell::float(distinct_configs as f64 / dn as f64, 2),
+                    bound.into(),
+                ]);
+                assert!(distinct_configs <= bound);
+            }
         }
     }
     if let Some(m) = prof {
@@ -655,7 +750,7 @@ fn e4_twl_ptime(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
     }
 }
 
-fn e5_twr_pspace(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
+fn e5_twr_pspace(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
     rep.experiment(
         "E5",
         "Theorem 7.1(3): compiled tw^r keeps a linear store (PSPACE shape)",
@@ -686,55 +781,68 @@ fn e5_twr_pspace(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
             col("agree", 7),
         ],
     );
-    let mut prof: Option<RunMetrics> = None;
-    for n in [8usize, 16, 32, 64] {
-        let cfg = TreeGenConfig {
-            nodes: n,
-            ..base.clone()
-        };
-        let t = random_tree(&cfg, 5);
-        let mut dt = DelimTree::build(&t);
-        dt.assign_unique_ids(id, &mut vocab);
-        let xr = match governed_run_xtm(&machine, &dt, XtmLimits::default(), gov) {
+    let sizes = [8usize, 16, 32, 64];
+    // Prepare (serial): unique ids mutate the vocabulary.
+    let dts: Vec<DelimTree> = sizes
+        .iter()
+        .map(|&n| {
+            let cfg = TreeGenConfig {
+                nodes: n,
+                ..base.clone()
+            };
+            let t = random_tree(&cfg, 5);
+            let mut dt = DelimTree::build(&t);
+            dt.assign_unique_ids(id, &mut vocab);
+            dt
+        })
+        .collect();
+    enum E5Row {
+        Trip(TwqError),
+        Done(XtmReport, RunReport, Option<Box<RunMetrics>>),
+    }
+    // Execute (parallel): the xTM and the compiled tw^r walker per size.
+    let rows = pool.scoped(sizes.len(), |i| {
+        let dt = &dts[i];
+        let xr = match governed_run_xtm(&machine, dt, XtmLimits::default(), gov) {
             Ok(r) => r,
-            Err(e) => {
+            Err(e) => return E5Row::Trip(e),
+        };
+        if profile && sizes[i] == 64 {
+            let mut mc = MetricsCollector::new();
+            let r = run_with(&prog.program, dt, Limits::long_walk(), &mut mc);
+            E5Row::Done(xr, r, Some(Box::new(mc.into_metrics())))
+        } else {
+            match governed_run(&prog.program, dt, Limits::long_walk(), gov) {
+                Ok(r) => E5Row::Done(xr, r, None),
+                Err(e) => E5Row::Trip(e),
+            }
+        }
+    });
+    let mut prof: Option<RunMetrics> = None;
+    for (i, row) in rows.into_iter().enumerate() {
+        let n = sizes[i];
+        let dn = dts[i].tree().len();
+        match row {
+            E5Row::Trip(e) => rep.row(&[
+                n.into(),
+                dn.into(),
+                0u64.into(),
+                0usize.into(),
+                trip_cell(&e),
+            ]),
+            E5Row::Done(xr, sr, m) => {
+                if let Some(m) = m {
+                    prof = Some(*m);
+                }
                 rep.row(&[
                     n.into(),
-                    dt.tree().len().into(),
-                    0u64.into(),
-                    0usize.into(),
-                    trip_cell(&e),
+                    dn.into(),
+                    sr.steps.into(),
+                    sr.max_store_tuples.into(),
+                    (xr.accepted() == sr.accepted()).into(),
                 ]);
-                continue;
             }
-        };
-        let sr = if profile && n == 64 {
-            let mut mc = MetricsCollector::new();
-            let r = run_with(&prog.program, &dt, Limits::long_walk(), &mut mc);
-            prof = Some(mc.into_metrics());
-            r
-        } else {
-            match governed_run(&prog.program, &dt, Limits::long_walk(), gov) {
-                Ok(r) => r,
-                Err(e) => {
-                    rep.row(&[
-                        n.into(),
-                        dt.tree().len().into(),
-                        0u64.into(),
-                        0usize.into(),
-                        trip_cell(&e),
-                    ]);
-                    continue;
-                }
-            }
-        };
-        rep.row(&[
-            n.into(),
-            dt.tree().len().into(),
-            sr.steps.into(),
-            sr.max_store_tuples.into(),
-            (xr.accepted() == sr.accepted()).into(),
-        ]);
+        }
     }
     if let Some(m) = prof {
         profile_note(rep, "n=64", &m);
@@ -742,7 +850,7 @@ fn e5_twr_pspace(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
     }
 }
 
-fn e6_twrl_exptime(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
+fn e6_twrl_exptime(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
     rep.experiment(
         "E6",
         "Theorem 7.1(4): tw^{r,l} registers range over subsets (EXPTIME bound)",
@@ -761,46 +869,66 @@ fn e6_twrl_exptime(rep: &mut dyn Reporter, profile: bool, gov: Gov) {
             col("tw^{r,l} bound 2^v", 22),
         ],
     );
-    let mut prof: Option<(TwProgram, RunMetrics)> = None;
-    for k in [2usize, 4, 6, 8] {
-        let values: Vec<Value> = (1..=k as i64).map(|i| vocab.val_int(i)).collect();
-        let prog = examples::distinct_values_at_least(&cfg0.symbols, a, k);
-        let cfg = TreeGenConfig {
-            nodes: 30,
-            attributes: vec![(a, values)],
-            ..cfg0.clone()
-        };
-        let t = random_tree(&cfg, 11);
-        let dt = DelimTree::build(&t);
-        let r = if profile && k == 8 {
+    let ks = [2usize, 4, 6, 8];
+    // Prepare (serial): attribute value pools mutate the vocabulary.
+    let items: Vec<(TwProgram, DelimTree)> = ks
+        .iter()
+        .map(|&k| {
+            let values: Vec<Value> = (1..=k as i64).map(|i| vocab.val_int(i)).collect();
+            let prog = examples::distinct_values_at_least(&cfg0.symbols, a, k);
+            let cfg = TreeGenConfig {
+                nodes: 30,
+                attributes: vec![(a, values)],
+                ..cfg0.clone()
+            };
+            let t = random_tree(&cfg, 11);
+            (prog, DelimTree::build(&t))
+        })
+        .collect();
+    enum E6Row {
+        Trip(TwqError),
+        Done(RunReport, Option<Box<RunMetrics>>),
+    }
+    // Execute (parallel): the register walker per k.
+    let rows = pool.scoped(ks.len(), |i| {
+        let (prog, dt) = &items[i];
+        if profile && ks[i] == 8 {
             let mut mc = MetricsCollector::new();
-            let r = run_with(&prog, &dt, Limits::default(), &mut mc);
-            prof = Some((prog.clone(), mc.into_metrics()));
-            r
+            let r = run_with(prog, dt, Limits::default(), &mut mc);
+            E6Row::Done(r, Some(Box::new(mc.into_metrics())))
         } else {
-            match governed_run(&prog, &dt, Limits::default(), gov) {
-                Ok(r) => r,
-                Err(e) => {
-                    let n = dt.tree().len();
-                    rep.row(&[
-                        k.into(),
-                        trip_cell(&e),
-                        0usize.into(),
-                        (prog.state_count() * n * (k + 1)).into(),
-                        Cell::str(format!("{}·2^{}", prog.state_count() * n, k)),
-                    ]);
-                    continue;
-                }
+            match governed_run(prog, dt, Limits::default(), gov) {
+                Ok(r) => E6Row::Done(r, None),
+                Err(e) => E6Row::Trip(e),
             }
-        };
+        }
+    });
+    let mut prof: Option<(TwProgram, RunMetrics)> = None;
+    for (i, row) in rows.into_iter().enumerate() {
+        let k = ks[i];
+        let (prog, dt) = &items[i];
         let n = dt.tree().len();
-        rep.row(&[
-            k.into(),
-            r.accepted().into(),
-            r.max_store_tuples.into(),
-            (prog.state_count() * n * (k + 1)).into(),
-            Cell::str(format!("{}·2^{}", prog.state_count() * n, k)),
-        ]);
+        match row {
+            E6Row::Trip(e) => rep.row(&[
+                k.into(),
+                trip_cell(&e),
+                0usize.into(),
+                (prog.state_count() * n * (k + 1)).into(),
+                Cell::str(format!("{}·2^{}", prog.state_count() * n, k)),
+            ]),
+            E6Row::Done(r, m) => {
+                if let Some(m) = m {
+                    prof = Some((prog.clone(), *m));
+                }
+                rep.row(&[
+                    k.into(),
+                    r.accepted().into(),
+                    r.max_store_tuples.into(),
+                    (prog.state_count() * n * (k + 1)).into(),
+                    Cell::str(format!("{}·2^{}", prog.state_count() * n, k)),
+                ]);
+            }
+        }
     }
     if let Some((prog, m)) = prof {
         profile_note(rep, "k=8", &m);

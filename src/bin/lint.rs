@@ -10,7 +10,11 @@
 //! cargo run --release --bin lint            # aligned text tables
 //! cargo run --release --bin lint -- --json  # one JSON record per row
 //! cargo run --release --bin lint -- --zoo   # + the seeded ill-formed zoo
+//! cargo run --release --bin lint -- --jobs 4  # analyze the roster in parallel
 //! ```
+//!
+//! Analysis runs fan out across a worker pool (`--jobs N`, default = all
+//! cores); results print in roster order regardless of worker count.
 //!
 //! Exit status: `0` when the roster is clean of error-severity findings,
 //! `1` otherwise (the `--zoo` section is deliberately broken and never
@@ -18,6 +22,7 @@
 
 use twq::analyze::{analyze, analyze_for_class, lint_zoo, prune, severity_counts};
 use twq::automata::{examples, TwProgram};
+use twq::exec::Pool;
 use twq::obs::{col, Cell, HumanReporter, JsonlReporter, Reporter};
 use twq::protocol::at_most_k_values_program;
 use twq::sim::{compile_logspace, compile_pspace, delta_count_mod3};
@@ -91,16 +96,29 @@ fn roster(vocab: &mut Vocab) -> Vec<(String, TwProgram)> {
 
 fn main() {
     let (mut json, mut zoo) = (false, false);
-    for arg in std::env::args().skip(1) {
+    let mut jobs: Option<usize> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--zoo" => zoo = true,
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => jobs = Some(n),
+                None => {
+                    eprintln!("--jobs expects a numeric argument");
+                    std::process::exit(2);
+                }
+            },
             other => {
-                eprintln!("unknown argument `{other}` (expected --json and/or --zoo)");
+                eprintln!("unknown argument `{other}` (expected --json, --zoo, and/or --jobs N)");
                 std::process::exit(2);
             }
         }
     }
+    let pool = match jobs {
+        Some(n) => Pool::new(n),
+        None => Pool::with_default_parallelism(),
+    };
     let mut rep: Box<dyn Reporter> = if json {
         Box::new(JsonlReporter::stdout())
     } else {
@@ -124,8 +142,16 @@ fn main() {
     );
     let mut errors = 0usize;
     let mut pruned_notes: Vec<String> = Vec::new();
-    for (name, prog) in roster(&mut vocab) {
-        let an = analyze(&prog);
+    // Prepare (serial): roster construction mutates the vocabulary.
+    let programs = roster(&mut vocab);
+    // Execute (parallel): every analysis pass and the pruner are pure in
+    // the program, so they fan out across the pool.
+    let analyzed = pool.scoped(programs.len(), |i| {
+        let prog = &programs[i].1;
+        (analyze(prog), prune(prog))
+    });
+    // Print (serial, roster order).
+    for ((name, prog), (an, pr)) in programs.iter().zip(analyzed) {
         let class = Cell::str(an.inference.class.to_string());
         if an.diagnostics.is_empty() {
             rep.row(&[
@@ -153,7 +179,7 @@ fn main() {
                 class.clone(),
                 Cell::str(d.severity.name()),
                 Cell::str(d.code),
-                Cell::str(d.loc.render(&prog)),
+                Cell::str(d.loc.render(prog)),
                 Cell::str(format!("{} ({})", d.message, d.hint)),
             ]);
         }
@@ -171,7 +197,6 @@ fn main() {
         }
         let (e, _, _) = severity_counts(&an.diagnostics);
         errors += e;
-        let pr = prune(&prog);
         if pr.changed() {
             pruned_notes.push(format!(
                 "{name}: prune() removes {} rule(s), {} state(s)",
@@ -199,8 +224,13 @@ fn main() {
                 col("codes found", 40),
             ],
         );
-        for entry in lint_zoo(&mut vocab) {
-            let an = analyze_for_class(&entry.program, Some(entry.against));
+        // Prepare (serial): zoo construction mutates the vocabulary.
+        let entries = lint_zoo(&mut vocab);
+        // Execute (parallel), then print in zoo order.
+        let zoo_analyzed = pool.scoped(entries.len(), |i| {
+            analyze_for_class(&entries[i].program, Some(entries[i].against))
+        });
+        for (entry, an) in entries.iter().zip(zoo_analyzed) {
             let mut codes: Vec<&str> = an.diagnostics.iter().map(|d| d.code).collect();
             codes.dedup();
             rep.row(&[

@@ -27,6 +27,9 @@
 //! * [`protocol`] — hypersets, `L^m`, Lemma 4.2's FO sentences, the
 //!   Lemma 4.5 communication protocol, the Lemma 4.6 counting argument
 //!   (Section 4);
+//! * [`exec`] — the execution layer: a scoped work-stealing thread pool
+//!   behind the `run_batch`/`select_batch` entry points and the experiment
+//!   harness's `--jobs`;
 //! * [`obs`] — observability: zero-cost collectors, run metrics,
 //!   span-style event tracing, and the experiment reporting layer;
 //! * [`guard`] — resource governance: fuel budgets, deadlines, depth and
@@ -56,6 +59,7 @@
 
 pub use twq_analyze as analyze;
 pub use twq_automata as automata;
+pub use twq_exec as exec;
 pub use twq_guard as guard;
 pub use twq_logic as logic;
 pub use twq_obs as obs;

@@ -86,8 +86,7 @@ proptest! {
         let phi = compile(&path);
         for u in t.node_ids() {
             let direct = eval_from(&t, &path, u);
-            let logical: std::collections::BTreeSet<_> =
-                phi.select(&t, u).into_iter().collect();
+            let logical = phi.select(&t, u);
             prop_assert_eq!(&direct, &logical, "node {}", u);
         }
     }
