@@ -1,16 +1,34 @@
-//! Observability overhead — the same long compiled-pebble walk run three
+//! Observability overhead — the same long compiled-pebble walk run four
 //! ways: through the public uninstrumented entry point (`run`, which
 //! monomorphizes over `NullCollector`), through `run_with` with an
-//! explicit `NullCollector` (must be indistinguishable from `run`), and
-//! through `run_with` with a `MetricsCollector`. The first two quantify
-//! the zero-cost claim; the third prices full metrics collection.
+//! explicit `NullCollector` (must be indistinguishable from `run`),
+//! through `run_with` with a `MetricsCollector`, and through a
+//! `MetricsCollector` with a `Registry` attached (the `twq-prof` sink).
+//! The first two quantify the zero-cost claim — enforced here with a
+//! generous runtime assertion, not just eyeballed — and the last two
+//! price full metrics collection with and without registry export.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use twq_automata::{run, run_with, Limits};
 use twq_bench::Bench;
-use twq_obs::{MetricsCollector, NullCollector};
+use twq_obs::{MetricsCollector, NullCollector, Registry};
 use twq_sim::compile_logspace;
 use twq_xtm::machines;
+
+/// Median wall-clock of `samples` runs of `f`, in nanoseconds.
+fn median_ns(samples: usize, mut f: impl FnMut()) -> u128 {
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
 
 fn bench(c: &mut Criterion) {
     let mut b = Bench::new();
@@ -42,8 +60,42 @@ fn bench(c: &mut Criterion) {
                 mc.metrics.steps
             })
         });
+        group.bench_with_input(BenchmarkId::new("with_registry", n), &dt, |bch, dt| {
+            let mut reg = Registry::new();
+            bch.iter(|| {
+                let mut mc = MetricsCollector::with_registry(&mut reg);
+                run_with(&prog.program, dt, Limits::long_walk(), &mut mc);
+                mc.into_metrics().steps
+            })
+        });
     }
     group.finish();
+
+    // The zero-cost assertion: with `NullCollector` the instrumented entry
+    // point must cost the same as the uninstrumented one. The 2x bound is
+    // deliberately generous — it tolerates shared-CI noise while still
+    // catching the failure mode that matters (a registry/sink check
+    // accidentally leaking onto the `C::ENABLED = false` path, which
+    // shows up as an integer multiple, not a few percent).
+    let t = b.tree(8, &[1], 5);
+    let dt = b.delim_with_ids(&t);
+    let uninstrumented = median_ns(7, || {
+        run(&prog.program, &dt, Limits::long_walk());
+    })
+    .max(1);
+    let null = median_ns(7, || {
+        run_with(&prog.program, &dt, Limits::long_walk(), &mut NullCollector);
+    });
+    println!(
+        "null-collector overhead: {null} ns vs {uninstrumented} ns uninstrumented \
+         ({:.2}x)",
+        null as f64 / uninstrumented as f64
+    );
+    assert!(
+        null <= uninstrumented.saturating_mul(2),
+        "NullCollector run ({null} ns) costs more than 2x the uninstrumented \
+         run ({uninstrumented} ns): the zero-cost seam has regressed"
+    );
 }
 
 criterion_group!(benches, bench);

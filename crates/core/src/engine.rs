@@ -17,9 +17,10 @@
 //! * a move off the tree (the paper assumes automata never do this) is
 //!   [`Halt::Stuck`], as is having no applicable rule in a non-final state.
 
-use twq_exec::Pool;
+use twq_exec::{BatchProfile, Pool};
 use twq_guard::{
-    DepthKind, FaultKind, FaultSite, GaugeKind, Guard, GuardError, NullGuard, TripReason, TwqError,
+    DepthKind, FaultKind, FaultSite, GaugeKind, Guard, GuardError, GuardStats, NullGuard,
+    ResourceGuard, TripReason, TwqError,
 };
 use twq_logic::store::AttrEnv;
 use twq_logic::{eval_query, RegId, Relation, Store};
@@ -596,6 +597,68 @@ where
         let mut g = make_guard();
         run_on_tree_guarded(prog, &trees[i], limits, &mut g)
     })
+}
+
+/// [`run_batch_with_metrics`] plus a [`BatchProfile`]: per-item wall-clock
+/// latencies (input order) and the pool's per-worker telemetry. Reports
+/// and merged metrics are identical to the unprofiled entry points; only
+/// the timing and scheduling bookkeeping is extra.
+pub fn run_batch_profiled(
+    prog: &TwProgram,
+    trees: &[Tree],
+    limits: Limits,
+    pool: &Pool,
+) -> (Vec<RunReport>, RunMetrics, BatchProfile) {
+    let (runs, stats) = pool.scoped_with_stats(trees.len(), |i| {
+        let mut c = MetricsCollector::new();
+        let t0 = std::time::Instant::now();
+        let report = run_on_tree_with(prog, &trees[i], limits, &mut c);
+        let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        (report, c.into_metrics(), ns)
+    });
+    let mut merged = RunMetrics::new();
+    let mut reports = Vec::with_capacity(runs.len());
+    let mut latencies_ns = Vec::with_capacity(runs.len());
+    for (report, m, ns) in runs {
+        merged.merge(&m);
+        reports.push(report);
+        latencies_ns.push(ns);
+    }
+    (
+        reports,
+        merged,
+        BatchProfile {
+            latencies_ns,
+            stats,
+        },
+    )
+}
+
+/// [`run_batch_guarded`] specialized to [`ResourceGuard`]s, additionally
+/// returning the items' [`GuardStats`] merged in input order — fuel
+/// charged and trips by reason across the whole batch.
+pub fn run_batch_governed<F>(
+    prog: &TwProgram,
+    trees: &[Tree],
+    limits: Limits,
+    pool: &Pool,
+    make_guard: F,
+) -> (Vec<Result<RunReport, TwqError>>, GuardStats)
+where
+    F: Fn() -> ResourceGuard + Sync,
+{
+    let runs = pool.scoped(trees.len(), |i| {
+        let mut g = make_guard();
+        let verdict = run_on_tree_guarded(prog, &trees[i], limits, &mut g);
+        (verdict, g.stats())
+    });
+    let mut merged = GuardStats::default();
+    let mut verdicts = Vec::with_capacity(runs.len());
+    for (verdict, s) in runs {
+        merged.merge(&s);
+        verdicts.push(verdict);
+    }
+    (verdicts, merged)
 }
 
 /// One step of a recorded trace.

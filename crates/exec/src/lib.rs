@@ -135,10 +135,192 @@ impl Pool {
     }
 }
 
+impl Pool {
+    /// [`Pool::scoped`] plus per-worker telemetry: how many jobs each
+    /// worker executed, how often it stole (and failed to steal), how many
+    /// full idle scans it made before exiting, and its initial chunk size.
+    ///
+    /// The results are identical to `scoped` — same jobs, same index
+    /// order; only the bookkeeping differs. On the serial path (one
+    /// worker or `n <= 1`) the telemetry is trivially `tasks == n`,
+    /// `chunk == n`, everything else zero.
+    pub fn scoped_with_stats<T, F>(&self, n: usize, f: F) -> (Vec<T>, PoolStats)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.workers.min(n.max(1));
+        if workers <= 1 {
+            let out: Vec<T> = (0..n).map(f).collect();
+            let stats = PoolStats {
+                workers: vec![WorkerStats {
+                    tasks: n as u64,
+                    chunk: n as u64,
+                    ..WorkerStats::default()
+                }],
+            };
+            return (out, stats);
+        }
+
+        let chunk = n.div_ceil(workers);
+        let ranges: Vec<AtomicU64> = (0..workers)
+            .map(|w| {
+                let lo = (w * chunk).min(n) as u64;
+                let hi = ((w + 1) * chunk).min(n) as u64;
+                AtomicU64::new(lo << 32 | hi)
+            })
+            .collect();
+        let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+        let stats: Vec<Mutex<WorkerStats>> = (0..workers)
+            .map(|w| {
+                let lo = (w * chunk).min(n) as u64;
+                let hi = ((w + 1) * chunk).min(n) as u64;
+                Mutex::new(WorkerStats {
+                    chunk: hi - lo,
+                    ..WorkerStats::default()
+                })
+            })
+            .collect();
+
+        let work = |me: usize| {
+            let mut local: Vec<(usize, T)> = Vec::new();
+            let mut ws = WorkerStats::default();
+            loop {
+                let i = match pop_front(&ranges[me]) {
+                    Some(i) => i,
+                    None => {
+                        let (found, failures) = steal_counted(&ranges, me);
+                        ws.steal_failures += failures;
+                        match found {
+                            Some(i) => {
+                                ws.steals += 1;
+                                i
+                            }
+                            None => {
+                                ws.idle_spins += 1;
+                                break;
+                            }
+                        }
+                    }
+                };
+                ws.tasks += 1;
+                local.push((i, f(i)));
+            }
+            if !local.is_empty() {
+                results.lock().expect("pool results poisoned").extend(local);
+            }
+            let mut slot = stats[me].lock().expect("pool stats poisoned");
+            slot.tasks = ws.tasks;
+            slot.steals = ws.steals;
+            slot.steal_failures = ws.steal_failures;
+            slot.idle_spins = ws.idle_spins;
+        };
+
+        std::thread::scope(|s| {
+            for me in 1..workers {
+                s.spawn(move || work(me));
+            }
+            work(0);
+        });
+
+        let mut pairs = results.into_inner().expect("pool results poisoned");
+        debug_assert_eq!(pairs.len(), n);
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let out = pairs.into_iter().map(|(_, v)| v).collect();
+        let stats = PoolStats {
+            workers: stats
+                .into_iter()
+                .map(|m| m.into_inner().expect("pool stats poisoned"))
+                .collect(),
+        };
+        (out, stats)
+    }
+}
+
 impl Default for Pool {
     /// [`Pool::with_default_parallelism`].
     fn default() -> Self {
         Pool::with_default_parallelism()
+    }
+}
+
+/// Telemetry for one worker of one [`Pool::scoped_with_stats`] batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs this worker executed.
+    pub tasks: u64,
+    /// Successful steals from another worker's range.
+    pub steals: u64,
+    /// Victim probes that found an empty range.
+    pub steal_failures: u64,
+    /// Full scans of every victim that found no work (the worker exits
+    /// after one, so this counts exit-path scans).
+    pub idle_spins: u64,
+    /// Size of the contiguous index chunk initially assigned.
+    pub chunk: u64,
+}
+
+impl WorkerStats {
+    /// Fold another worker's telemetry into this one (all fields sum).
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.tasks += other.tasks;
+        self.steals += other.steals;
+        self.steal_failures += other.steal_failures;
+        self.idle_spins += other.idle_spins;
+        self.chunk += other.chunk;
+    }
+}
+
+/// Per-worker telemetry for a whole batch, in worker-index order.
+///
+/// Like `RunMetrics`, stats merge deterministically: folding the batches
+/// of a sweep in input order always produces the same aggregate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// One entry per worker, index 0 being the caller's thread.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    /// Everything summed across workers.
+    pub fn totals(&self) -> WorkerStats {
+        let mut t = WorkerStats::default();
+        for w in &self.workers {
+            t.merge(w);
+        }
+        t
+    }
+
+    /// Fold another batch's telemetry into this one, worker-wise
+    /// (extending if `other` ran with more workers).
+    pub fn merge(&mut self, other: &PoolStats) {
+        if self.workers.len() < other.workers.len() {
+            self.workers
+                .resize(other.workers.len(), WorkerStats::default());
+        }
+        for (mine, theirs) in self.workers.iter_mut().zip(&other.workers) {
+            mine.merge(theirs);
+        }
+    }
+}
+
+/// Per-item wall-clock latencies plus pool telemetry for one profiled
+/// batch — what `run_batch_profiled` and friends hand back to the
+/// harness, which folds the latencies into an `obs` histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchProfile {
+    /// Wall-clock nanoseconds per job, in index order.
+    pub latencies_ns: Vec<u64>,
+    /// The batch's per-worker telemetry.
+    pub stats: PoolStats,
+}
+
+impl BatchProfile {
+    /// Fold another batch's profile into this one: latencies concatenate
+    /// (input order), telemetry merges worker-wise.
+    pub fn merge(&mut self, other: &BatchProfile) {
+        self.latencies_ns.extend_from_slice(&other.latencies_ns);
+        self.stats.merge(&other.stats);
     }
 }
 
@@ -187,6 +369,34 @@ fn steal(ranges: &[AtomicU64], me: usize) -> Option<usize> {
         }
     }
     None
+}
+
+/// [`steal`], but also reporting how many victims were probed and found
+/// empty before either succeeding or giving up.
+fn steal_counted(ranges: &[AtomicU64], me: usize) -> (Option<usize>, u64) {
+    let k = ranges.len();
+    let mut failures = 0u64;
+    for off in 1..k {
+        let victim = &ranges[(me + off) % k];
+        let mut cur = victim.load(Ordering::Acquire);
+        loop {
+            let (s, e) = (cur >> 32, cur & 0xffff_ffff);
+            if s >= e {
+                failures += 1;
+                break;
+            }
+            match victim.compare_exchange_weak(
+                cur,
+                s << 32 | (e - 1),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return (Some((e - 1) as usize), failures),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+    (None, failures)
 }
 
 #[cfg(test)]
@@ -241,6 +451,62 @@ mod tests {
         assert_eq!(Pool::new(0).workers(), 1);
         assert_eq!(Pool::serial().workers(), 1);
         assert!(Pool::default().workers() >= 1);
+    }
+
+    #[test]
+    fn stats_account_for_every_job() {
+        for workers in [1usize, 2, 4, 7] {
+            let pool = Pool::new(workers);
+            let (out, stats) = pool.scoped_with_stats(100, |i| i * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+            let expected_workers = workers.min(100);
+            assert_eq!(stats.workers.len(), expected_workers);
+            let t = stats.totals();
+            assert_eq!(t.tasks, 100, "{workers} workers");
+            assert_eq!(t.chunk, 100, "chunks partition the batch");
+            if workers == 1 {
+                assert_eq!(t.steals, 0);
+                assert_eq!(t.idle_spins, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_totals_agree() {
+        let (_, serial) = Pool::serial().scoped_with_stats(64, |i| i);
+        let (_, parallel) = Pool::new(4).scoped_with_stats(64, |i| i);
+        assert_eq!(serial.totals().tasks, parallel.totals().tasks);
+        assert_eq!(serial.totals().chunk, parallel.totals().chunk);
+    }
+
+    #[test]
+    fn pool_stats_merge_worker_wise() {
+        let (_, mut a) = Pool::new(2).scoped_with_stats(10, |i| i);
+        let (_, b) = Pool::new(4).scoped_with_stats(20, |i| i);
+        let total_before = a.totals().tasks + b.totals().tasks;
+        a.merge(&b);
+        assert_eq!(a.workers.len(), 4);
+        assert_eq!(a.totals().tasks, total_before);
+    }
+
+    #[test]
+    fn batch_profiles_concatenate() {
+        let mut p = BatchProfile {
+            latencies_ns: vec![5, 6],
+            stats: PoolStats::default(),
+        };
+        let q = BatchProfile {
+            latencies_ns: vec![7],
+            stats: PoolStats {
+                workers: vec![WorkerStats {
+                    tasks: 1,
+                    ..WorkerStats::default()
+                }],
+            },
+        };
+        p.merge(&q);
+        assert_eq!(p.latencies_ns, vec![5, 6, 7]);
+        assert_eq!(p.stats.totals().tasks, 1);
     }
 
     #[test]

@@ -47,6 +47,7 @@ mod shared;
 pub use error::{DepthKind, GaugeKind, GuardError, Partial, TripReason, TwqError};
 pub use faults::{FaultKind, FaultPlan, FaultSite};
 pub use res::{
-    Budget, CancelToken, Deadline, DepthGuard, Guard, MemGauge, NullGuard, ResourceGuard,
+    Budget, CancelToken, Deadline, DepthGuard, Guard, GuardStats, MemGauge, NullGuard,
+    ResourceGuard,
 };
 pub use shared::{SharedBudget, SharedGuard};

@@ -327,6 +327,62 @@ const _: () = assert!(!NullGuard::ENABLED);
 /// deadline by at most 64 steps of work.
 const DEADLINE_STRIDE: u64 = 64;
 
+/// Trip-and-fault telemetry for one [`ResourceGuard`] (or several,
+/// merged). Counts what the guard *did* — fuel charged, trips by reason,
+/// faults injected — so a batch harness can report governance activity
+/// without parsing errors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Fuel units charged (ticks plus bulk charges).
+    pub ticks: u64,
+    /// Trips on the fuel budget.
+    pub budget_trips: u64,
+    /// Trips on the wall-clock deadline.
+    pub deadline_trips: u64,
+    /// Trips on a recursion-depth limit.
+    pub depth_trips: u64,
+    /// Trips on a memory-gauge cap.
+    pub mem_trips: u64,
+    /// Trips via cooperative cancellation.
+    pub cancel_trips: u64,
+    /// Faults injected by the configured [`FaultPlan`] (including the
+    /// fuel/deadline ones that also count as trips above).
+    pub faults_injected: u64,
+}
+
+impl GuardStats {
+    /// Fold another guard's telemetry into this one (all fields sum), so
+    /// per-item guards of a batch merge deterministically in input order.
+    pub fn merge(&mut self, other: &GuardStats) {
+        self.ticks += other.ticks;
+        self.budget_trips += other.budget_trips;
+        self.deadline_trips += other.deadline_trips;
+        self.depth_trips += other.depth_trips;
+        self.mem_trips += other.mem_trips;
+        self.cancel_trips += other.cancel_trips;
+        self.faults_injected += other.faults_injected;
+    }
+
+    /// Trips of any reason.
+    pub fn total_trips(&self) -> u64 {
+        self.budget_trips
+            + self.deadline_trips
+            + self.depth_trips
+            + self.mem_trips
+            + self.cancel_trips
+    }
+
+    fn count_trip(&mut self, reason: &TripReason) {
+        match reason {
+            TripReason::Budget { .. } => self.budget_trips += 1,
+            TripReason::Deadline { .. } => self.deadline_trips += 1,
+            TripReason::Depth { .. } => self.depth_trips += 1,
+            TripReason::Mem { .. } => self.mem_trips += 1,
+            TripReason::Cancelled => self.cancel_trips += 1,
+        }
+    }
+}
+
 /// The real guard: composes a [`Budget`], an optional [`Deadline`], a
 /// [`DepthGuard`], a [`MemGauge`], an optional [`CancelToken`], and an
 /// optional [`FaultPlan`].
@@ -351,6 +407,7 @@ pub struct ResourceGuard {
     mem: MemGauge,
     cancel: Option<CancelToken>,
     faults: Option<FaultPlan>,
+    stats: GuardStats,
 }
 
 impl ResourceGuard {
@@ -364,6 +421,7 @@ impl ResourceGuard {
             mem: MemGauge::unlimited(),
             cancel: None,
             faults: None,
+            stats: GuardStats::default(),
         }
     }
 
@@ -419,7 +477,13 @@ impl ResourceGuard {
         self.mem.high_water(kind)
     }
 
-    fn trip(&self, reason: TripReason) -> GuardError {
+    /// Trip and fuel telemetry accumulated so far.
+    pub fn stats(&self) -> GuardStats {
+        self.stats
+    }
+
+    fn trip(&mut self, reason: TripReason) -> GuardError {
+        self.stats.count_trip(&reason);
         GuardError::new(reason).with_partial(self.partial())
     }
 }
@@ -430,6 +494,7 @@ impl Guard for ResourceGuard {
     }
 
     fn charge(&mut self, n: u64) -> Result<(), GuardError> {
+        self.stats.ticks += n;
         if let Some(tok) = &self.cancel {
             if tok.is_cancelled() {
                 return Err(self.trip(TripReason::Cancelled));
@@ -438,32 +503,33 @@ impl Guard for ResourceGuard {
         if let Err(r) = self.budget.charge(n) {
             return Err(self.trip(r));
         }
-        if let Some(d) = &self.deadline {
+        if let Some(d) = self.deadline {
             if self.budget.spent().is_multiple_of(DEADLINE_STRIDE) {
                 if let Err(r) = d.check() {
                     return Err(self.trip(r));
                 }
             }
         }
-        if let Some(plan) = &mut self.faults {
-            match plan.roll(FaultSite::Tick) {
-                Some(FaultKind::FuelExhaustion) => {
-                    let limit = self.budget.spent();
-                    return Err(self
-                        .trip(TripReason::Budget { limit })
-                        .injected_by(FaultKind::FuelExhaustion));
-                }
-                Some(FaultKind::DeadlineExpiry) => {
-                    let limit_ms = self
-                        .deadline
-                        .map(|d| d.limit().as_millis() as u64)
-                        .unwrap_or(0);
-                    return Err(self
-                        .trip(TripReason::Deadline { limit_ms })
-                        .injected_by(FaultKind::DeadlineExpiry));
-                }
-                _ => {}
+        let rolled = self.faults.as_mut().and_then(|p| p.roll(FaultSite::Tick));
+        match rolled {
+            Some(FaultKind::FuelExhaustion) => {
+                self.stats.faults_injected += 1;
+                let limit = self.budget.spent();
+                return Err(self
+                    .trip(TripReason::Budget { limit })
+                    .injected_by(FaultKind::FuelExhaustion));
             }
+            Some(FaultKind::DeadlineExpiry) => {
+                self.stats.faults_injected += 1;
+                let limit_ms = self
+                    .deadline
+                    .map(|d| d.limit().as_millis() as u64)
+                    .unwrap_or(0);
+                return Err(self
+                    .trip(TripReason::Deadline { limit_ms })
+                    .injected_by(FaultKind::DeadlineExpiry));
+            }
+            _ => {}
         }
         Ok(())
     }
@@ -481,7 +547,11 @@ impl Guard for ResourceGuard {
     }
 
     fn fault_at(&mut self, site: FaultSite) -> Option<FaultKind> {
-        self.faults.as_mut().and_then(|p| p.roll(site))
+        let rolled = self.faults.as_mut().and_then(|p| p.roll(site));
+        if rolled.is_some() {
+            self.stats.faults_injected += 1;
+        }
+        rolled
     }
 
     fn partial(&self) -> Partial {
@@ -587,6 +657,42 @@ mod tests {
         let e = g.tick().unwrap_err();
         assert_eq!(e.injected, Some(FaultKind::FuelExhaustion));
         assert!(matches!(e.reason, TripReason::Budget { .. }));
+    }
+
+    #[test]
+    fn guard_stats_count_fuel_and_trips() {
+        let mut g = ResourceGuard::unlimited()
+            .with_budget(3)
+            .with_depth_limit(DepthKind::Quantifier, 1)
+            .with_mem_limit(GaugeKind::TapeCells, 4);
+        for _ in 0..3 {
+            assert!(g.tick().is_ok());
+        }
+        assert!(g.tick().is_err());
+        assert!(g.enter(DepthKind::Quantifier).is_ok());
+        assert!(g.enter(DepthKind::Quantifier).is_err());
+        assert!(g.gauge(GaugeKind::TapeCells, 5).is_err());
+        let s = g.stats();
+        assert_eq!(s.ticks, 4);
+        assert_eq!(s.budget_trips, 1);
+        assert_eq!(s.depth_trips, 1);
+        assert_eq!(s.mem_trips, 1);
+        assert_eq!(s.total_trips(), 3);
+        assert_eq!(s.faults_injected, 0);
+        let mut merged = GuardStats::default();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.ticks, 8);
+        assert_eq!(merged.total_trips(), 6);
+    }
+
+    #[test]
+    fn guard_stats_count_injected_faults() {
+        let mut g =
+            ResourceGuard::unlimited().with_faults(FaultPlan::seeded(0).fuel_rate(1_000_000));
+        assert!(g.tick().is_err());
+        assert_eq!(g.stats().faults_injected, 1);
+        assert_eq!(g.stats().budget_trips, 1);
     }
 
     #[test]

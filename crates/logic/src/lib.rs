@@ -36,7 +36,8 @@ pub use exists::{ExistsError, ExistsFormula};
 pub use fo::{Formula, TreeAtom, Var};
 pub use memo::{
     eval_sentence_memo, eval_sentence_memo_guarded, eval_sentence_par, select_batch,
-    select_batch_guarded, select_memo, select_memo_guarded, MemoCache, MemoFormula,
+    select_batch_guarded, select_batch_profiled, select_memo, select_memo_guarded, MemoCache,
+    MemoFormula,
 };
 pub use mso::{eval_mso, eval_mso_capped, MsoFormula, SetVar};
 pub use parse::{parse_fo, FoParseError, ParsedFormula};

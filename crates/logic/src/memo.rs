@@ -26,7 +26,7 @@
 
 use std::collections::HashMap;
 
-use twq_exec::Pool;
+use twq_exec::{BatchProfile, Pool};
 use twq_guard::{Guard, NullGuard, TwqError};
 use twq_obs::{Collector, FoEval, NullCollector};
 use twq_tree::{NodeId, NodeSet, Tree};
@@ -421,6 +421,46 @@ pub fn select_batch(
     pool.scoped(us.len(), |i| select_memo(tree, formula, x, us[i], y))
         .into_iter()
         .collect()
+}
+
+/// [`select_batch`] plus a [`BatchProfile`]: per-context wall-clock
+/// latencies in `us` order and the pool's per-worker telemetry. The
+/// selections themselves are identical to [`select_batch`].
+///
+/// # Errors
+/// As for [`select_batch`].
+pub fn select_batch_profiled(
+    tree: &Tree,
+    formula: &Formula,
+    x: Var,
+    us: &[NodeId],
+    y: Var,
+    pool: &Pool,
+) -> (Result<Vec<NodeSet>, TwqError>, BatchProfile) {
+    let (runs, stats) = pool.scoped_with_stats(us.len(), |i| {
+        let t0 = std::time::Instant::now();
+        let sel = select_memo(tree, formula, x, us[i], y);
+        let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        (sel, ns)
+    });
+    let mut latencies_ns = Vec::with_capacity(runs.len());
+    let mut out = Ok(Vec::with_capacity(runs.len()));
+    for (sel, ns) in runs {
+        latencies_ns.push(ns);
+        if let Ok(sets) = &mut out {
+            match sel {
+                Ok(s) => sets.push(s),
+                Err(e) => out = Err(e),
+            }
+        }
+    }
+    (
+        out,
+        BatchProfile {
+            latencies_ns,
+            stats,
+        },
+    )
 }
 
 /// Batch guarded [`select`](crate::eval::select): each context runs under

@@ -12,6 +12,7 @@ use std::time::Instant;
 
 use crate::event::{Event, FoEval, HaltKind};
 use crate::metrics::RunMetrics;
+use crate::registry::Registry;
 use crate::sink::EventSink;
 
 /// Instrumentation hooks. Every method has an empty default body; an
@@ -74,12 +75,14 @@ impl Collector for NullCollector {
     const ENABLED: bool = false;
 }
 
-/// Records [`RunMetrics`] and optionally forwards every event to a sink.
+/// Records [`RunMetrics`] and optionally forwards every event to a sink
+/// and named counters/phases into a session [`Registry`].
 #[derive(Default)]
 pub struct MetricsCollector<'s> {
     /// The metrics accumulated so far.
     pub metrics: RunMetrics,
     sink: Option<&'s mut dyn EventSink>,
+    registry: Option<&'s mut Registry>,
 }
 
 impl std::fmt::Debug for MetricsCollector<'_> {
@@ -87,6 +90,7 @@ impl std::fmt::Debug for MetricsCollector<'_> {
         f.debug_struct("MetricsCollector")
             .field("metrics", &self.metrics)
             .field("sink", &self.sink.is_some())
+            .field("registry", &self.registry.is_some())
             .finish()
     }
 }
@@ -97,6 +101,7 @@ impl<'s> MetricsCollector<'s> {
         MetricsCollector {
             metrics: RunMetrics::new(),
             sink: None,
+            registry: None,
         }
     }
 
@@ -105,7 +110,26 @@ impl<'s> MetricsCollector<'s> {
         MetricsCollector {
             metrics: RunMetrics::new(),
             sink: Some(sink),
+            registry: None,
         }
+    }
+
+    /// Metrics plus session-level aggregation into `registry`: named
+    /// counters land under `run/<name>`, phase durations under
+    /// `phase/<name>` (as nanosecond histograms). Combine with a sink via
+    /// [`MetricsCollector::and_registry`].
+    pub fn with_registry(registry: &'s mut Registry) -> MetricsCollector<'s> {
+        MetricsCollector {
+            metrics: RunMetrics::new(),
+            sink: None,
+            registry: Some(registry),
+        }
+    }
+
+    /// Attach a registry to an existing collector (builder-style).
+    pub fn and_registry(mut self, registry: &'s mut Registry) -> MetricsCollector<'s> {
+        self.registry = Some(registry);
+        self
     }
 
     /// Consume the collector, returning the metrics.
@@ -169,6 +193,7 @@ impl Collector for MetricsCollector<'_> {
 
     fn fo_eval(&mut self, kind: FoEval) {
         self.metrics.fo_evals[kind as usize] += 1;
+        self.emit(Event::Fo { kind });
     }
 
     fn tape_cells(&mut self, cells: usize) {
@@ -182,10 +207,16 @@ impl Collector for MetricsCollector<'_> {
 
     fn counter(&mut self, name: &'static str, delta: u64) {
         *self.metrics.counters.entry(name).or_insert(0) += delta;
+        if let Some(reg) = self.registry.as_deref_mut() {
+            reg.counter_add(&format!("run/{name}"), delta);
+        }
     }
 
     fn phase(&mut self, name: &'static str, nanos: u64) {
         self.metrics.phases.push((name, nanos));
+        if let Some(reg) = self.registry.as_deref_mut() {
+            reg.hist_record(&format!("phase/{name}"), nanos);
+        }
         self.emit(Event::Phase { name, nanos });
     }
 
@@ -289,6 +320,33 @@ mod tests {
                 .filter(|e| matches!(e, Event::Step { .. }))
                 .count() as u64,
             steps
+        );
+    }
+
+    #[test]
+    fn registry_receives_counters_and_phases() {
+        let mut reg = Registry::new();
+        let mut c = MetricsCollector::with_registry(&mut reg);
+        drive(&mut c);
+        c.phase("run", 1234);
+        drop(c);
+        assert_eq!(reg.counter("run/demo"), 3);
+        let h = reg.hist("phase/run").expect("phase recorded");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), Some(1234));
+    }
+
+    #[test]
+    fn fo_events_reach_the_sink() {
+        let mut ring = RingBufferSink::new(64);
+        let mut c = MetricsCollector::with_sink(&mut ring);
+        drive(&mut c);
+        drop(c);
+        assert_eq!(
+            ring.events()
+                .filter(|e| matches!(e, Event::Fo { .. }))
+                .count(),
+            1
         );
     }
 

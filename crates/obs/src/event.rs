@@ -50,7 +50,7 @@ impl HaltKind {
 /// Which first-order evaluation primitive was invoked. Each evaluator
 /// reports the primitives it actually exercises;
 /// [`RunMetrics`](crate::metrics::RunMetrics) tallies them per kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FoEval {
     /// A rule-guard sentence over the store (`eval_guard`).
     Guard,
@@ -141,6 +141,11 @@ pub enum Event {
         /// `atp` nesting depth of the caller.
         depth: u32,
     },
+    /// A first-order evaluation primitive ran.
+    Fo {
+        /// Which primitive.
+        kind: FoEval,
+    },
     /// A protocol message was sent.
     Message {
         /// Message kind (the `Δ` alphabet class).
@@ -189,6 +194,10 @@ impl Event {
             Event::AtpExit { depth } => {
                 Json::obj([("ev", Json::str("atp_exit")), ("depth", depth.into())])
             }
+            Event::Fo { kind } => Json::obj([
+                ("ev", Json::str("fo_eval")),
+                ("kind", Json::str(kind.name())),
+            ]),
             Event::Message { kind } => {
                 Json::obj([("ev", Json::str("message")), ("kind", Json::str(kind))])
             }
@@ -223,6 +232,7 @@ impl Event {
                 "  ".repeat(depth as usize)
             ),
             Event::AtpExit { depth } => format!("{}< atp", "  ".repeat(depth as usize)),
+            Event::Fo { kind } => format!("# fo {}", kind.name()),
             Event::Message { kind } => format!("# msg {kind}"),
             Event::Phase { name, nanos } => format!("# phase {name}: {nanos} ns"),
         }

@@ -15,6 +15,12 @@
 //! * Sinks — [`HumanSink`] (readable trace), [`JsonlSink`] (one JSON
 //!   object per event), [`RingBufferSink`] (the last `N` events, for
 //!   post-mortems of `Stuck`/`Nondeterministic` halts).
+//! * `twq-prof` — the profiling layer on top of the seam:
+//!   [`Histogram`]/[`DenseHistogram`] (log2-bucketed latencies, exact
+//!   value counts), [`Registry`] (named counters/gauges/histograms with
+//!   delta [`Snapshot`]s and JSONL export), and [`FlameProfiler`] (a
+//!   span-stack self-time profiler over the event stream emitting
+//!   flamegraph-collapsed stacks).
 //! * [`report`] — the experiment reporting layer: the same stream of
 //!   tables rendered as aligned text or as JSON Lines.
 //! * [`json`] — a small self-contained JSON value/writer/parser (the
@@ -29,14 +35,20 @@
 
 pub mod collect;
 pub mod event;
+pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod profile;
+pub mod registry;
 pub mod report;
 pub mod sink;
 
 pub use collect::{Collector, MetricsCollector, NullCollector, PhaseTimer};
 pub use event::{Event, FoEval, HaltKind};
+pub use hist::{DenseHistogram, Histogram};
 pub use json::Json;
 pub use metrics::RunMetrics;
+pub use profile::{FlameProfiler, Frame};
+pub use registry::{Registry, Snapshot};
 pub use report::{col, Cell, Col, HumanReporter, JsonlReporter, Reporter};
-pub use sink::{EventSink, HumanSink, JsonlSink, RingBufferSink};
+pub use sink::{EventSink, HumanSink, JsonlSink, RingBufferSink, TeeSink};

@@ -1,0 +1,282 @@
+//! A span-stack self-time profiler over the trace [`Event`] stream.
+//!
+//! [`FlameProfiler`] is an [`EventSink`]: attach it to a
+//! [`MetricsCollector`](crate::collect::MetricsCollector) and it folds the
+//! run's events into *self-weight per span stack* — the exact shape
+//! flamegraph tools consume. The stack vocabulary is the walking model's
+//! own: a frame per computation chain (named by its entry state), a frame
+//! per `atp` look-ahead, and leaf frames for first-order evaluation
+//! primitives. Weights are deterministic sample counts (one per engine
+//! step or FO primitive), not wall-clock, so profiles of deterministic
+//! runs are byte-identical across machines and worker counts.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, FoEval};
+use crate::sink::EventSink;
+
+/// One frame of the span stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Frame {
+    /// A computation chain, named by the state it started in.
+    Chain(u32),
+    /// An `atp` look-ahead span.
+    Atp,
+    /// A first-order evaluation primitive (leaf frames only).
+    Fo(FoEval),
+}
+
+impl Frame {
+    /// Render one frame with `namer` resolving state ids to names.
+    fn render(&self, namer: &dyn Fn(u32) -> String) -> String {
+        match *self {
+            Frame::Chain(q) => namer(q),
+            Frame::Atp => "atp".to_owned(),
+            Frame::Fo(kind) => format!("fo_{}", kind.name()),
+        }
+    }
+}
+
+/// The default state renderer: `state<id>`.
+fn default_namer(q: u32) -> String {
+    format!("state{q}")
+}
+
+/// Folds a trace into collapsed-stack self weights.
+///
+/// Feed it events (it is an [`EventSink`]), then render with
+/// [`FlameProfiler::collapsed`] (flamegraph-collapsed lines, sorted) or
+/// rank with [`FlameProfiler::top_self`].
+#[derive(Debug, Clone, Default)]
+pub struct FlameProfiler {
+    stack: Vec<Frame>,
+    weights: BTreeMap<Vec<Frame>, u64>,
+    /// Wall-clock phase totals (`name → nanos`), kept apart from the
+    /// sample-weighted stacks because the units differ.
+    phases: BTreeMap<&'static str, u64>,
+    total: u64,
+}
+
+impl FlameProfiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total samples attributed so far.
+    pub fn total_weight(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether any samples were attributed.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Wall-clock phase totals observed in the stream, in name order.
+    pub fn phase_nanos(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.phases.iter().map(|(&k, &v)| (k, v))
+    }
+
+    fn bump(&mut self, stack: Vec<Frame>, w: u64) {
+        *self.weights.entry(stack).or_insert(0) += w;
+        self.total += w;
+    }
+
+    /// Flamegraph-collapsed lines (`frame;frame;frame weight`), sorted by
+    /// stack for deterministic output, with `namer` resolving state ids.
+    /// Prepend `prefix` (plus `;`) to every line when non-empty — used to
+    /// tag stacks with their experiment id when several runs share a file.
+    pub fn collapsed_with(&self, prefix: &str, namer: impl Fn(u32) -> String) -> String {
+        let mut out = String::new();
+        for (stack, &w) in &self.weights {
+            if !prefix.is_empty() {
+                out.push_str(prefix);
+                out.push(';');
+            }
+            if stack.is_empty() {
+                out.push_str("(root)");
+            } else {
+                for (i, f) in stack.iter().enumerate() {
+                    if i > 0 {
+                        out.push(';');
+                    }
+                    out.push_str(&f.render(&namer));
+                }
+            }
+            out.push(' ');
+            out.push_str(&w.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// [`FlameProfiler::collapsed_with`] with the default `state<id>`
+    /// names and no prefix.
+    pub fn collapsed(&self) -> String {
+        self.collapsed_with("", default_namer)
+    }
+
+    /// The `k` stacks with the most self weight, descending (ties broken
+    /// by stack order), rendered with `namer`.
+    pub fn top_self(&self, k: usize, namer: impl Fn(u32) -> String) -> Vec<(String, u64)> {
+        let mut ranked: Vec<(&Vec<Frame>, u64)> =
+            self.weights.iter().map(|(s, &w)| (s, w)).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        ranked.truncate(k);
+        ranked
+            .into_iter()
+            .map(|(stack, w)| {
+                let name = if stack.is_empty() {
+                    "(root)".to_owned()
+                } else {
+                    stack
+                        .iter()
+                        .map(|f| f.render(&namer))
+                        .collect::<Vec<_>>()
+                        .join(";")
+                };
+                (name, w)
+            })
+            .collect()
+    }
+}
+
+impl EventSink for FlameProfiler {
+    fn emit(&mut self, ev: &Event) {
+        match *ev {
+            Event::ChainEnter { state, .. } => self.stack.push(Frame::Chain(state)),
+            Event::ChainExit { .. } => {
+                // Pop through any dangling atp frames to the chain's own.
+                while let Some(f) = self.stack.pop() {
+                    if matches!(f, Frame::Chain(_)) {
+                        break;
+                    }
+                }
+            }
+            Event::AtpEnter { .. } => self.stack.push(Frame::Atp),
+            Event::AtpExit { .. } => {
+                if self.stack.last() == Some(&Frame::Atp) {
+                    self.stack.pop();
+                }
+            }
+            Event::Step { .. } => self.bump(self.stack.clone(), 1),
+            Event::Fo { kind } => {
+                let mut stack = self.stack.clone();
+                stack.push(Frame::Fo(kind));
+                self.bump(stack, 1);
+            }
+            Event::Phase { name, nanos } => *self.phases.entry(name).or_insert(0) += nanos,
+            Event::Message { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::HaltKind;
+
+    /// A synthetic run: 2 steps in the main chain, an atp spawning one
+    /// subchain with 1 step and an FO guard check, then 1 more main step.
+    fn drive(p: &mut FlameProfiler) {
+        let evs = [
+            Event::ChainEnter {
+                depth: 0,
+                node: 0,
+                state: 0,
+            },
+            Event::Step {
+                depth: 0,
+                node: 0,
+                state: 0,
+            },
+            Event::Step {
+                depth: 0,
+                node: 1,
+                state: 0,
+            },
+            Event::AtpEnter {
+                depth: 0,
+                node: 1,
+                fanout: 1,
+            },
+            Event::ChainEnter {
+                depth: 1,
+                node: 2,
+                state: 3,
+            },
+            Event::Step {
+                depth: 1,
+                node: 2,
+                state: 3,
+            },
+            Event::Fo {
+                kind: FoEval::Guard,
+            },
+            Event::ChainExit {
+                depth: 1,
+                halt: HaltKind::Accept,
+            },
+            Event::AtpExit { depth: 0 },
+            Event::Step {
+                depth: 0,
+                node: 1,
+                state: 1,
+            },
+            Event::Phase {
+                name: "run",
+                nanos: 42,
+            },
+            Event::ChainExit {
+                depth: 0,
+                halt: HaltKind::Accept,
+            },
+        ];
+        for ev in evs {
+            p.emit(&ev);
+        }
+    }
+
+    #[test]
+    fn collapsed_stacks_attribute_self_time() {
+        let mut p = FlameProfiler::new();
+        drive(&mut p);
+        assert_eq!(p.total_weight(), 5);
+        let out = p.collapsed();
+        assert_eq!(
+            out,
+            "state0 3\nstate0;atp;state3 1\nstate0;atp;state3;fo_guard 1\n"
+        );
+        assert_eq!(p.phase_nanos().collect::<Vec<_>>(), vec![("run", 42)]);
+    }
+
+    #[test]
+    fn prefix_and_namer() {
+        let mut p = FlameProfiler::new();
+        drive(&mut p);
+        let out = p.collapsed_with("E1", |q| format!("q{q}"));
+        assert!(out.starts_with("E1;q0 3\n"), "{out}");
+        assert!(out.contains("E1;q0;atp;q3;fo_guard 1"), "{out}");
+    }
+
+    #[test]
+    fn top_self_ranks() {
+        let mut p = FlameProfiler::new();
+        drive(&mut p);
+        let top = p.top_self(2, default_namer);
+        assert_eq!(top[0], ("state0".to_owned(), 3));
+        assert_eq!(top[1].1, 1);
+        assert_eq!(p.top_self(10, default_namer).len(), 3);
+    }
+
+    #[test]
+    fn stack_is_balanced_after_a_run() {
+        let mut p = FlameProfiler::new();
+        drive(&mut p);
+        assert!(p.stack.is_empty(), "chain/atp spans must balance");
+        // A second run folds into the same profile.
+        drive(&mut p);
+        assert_eq!(p.total_weight(), 10);
+    }
+}

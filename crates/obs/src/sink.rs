@@ -141,6 +141,35 @@ impl EventSink for RingBufferSink {
     }
 }
 
+/// Fans every event out to two sinks, in order — e.g. a
+/// [`FlameProfiler`](crate::profile::FlameProfiler) plus a
+/// [`RingBufferSink`] flight recorder on the same run.
+#[derive(Debug)]
+pub struct TeeSink<'a> {
+    a: &'a mut dyn EventSink,
+    b: &'a mut dyn EventSink,
+}
+
+impl<'a> TeeSink<'a> {
+    /// A tee delivering to `a` first, then `b`.
+    pub fn new(a: &'a mut dyn EventSink, b: &'a mut dyn EventSink) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl std::fmt::Debug for dyn EventSink + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("dyn EventSink")
+    }
+}
+
+impl EventSink for TeeSink<'_> {
+    fn emit(&mut self, ev: &Event) {
+        self.a.emit(ev);
+        self.b.emit(ev);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +224,18 @@ mod tests {
             let parsed = Json::parse(line).expect("sink output parses");
             assert_eq!(parsed, ev.to_json(), "round-trip mismatch for {line}");
         }
+    }
+
+    #[test]
+    fn tee_sink_fans_out() {
+        let mut human = HumanSink::new();
+        let mut ring = RingBufferSink::new(2);
+        let mut tee = TeeSink::new(&mut human, &mut ring);
+        for ev in sample_events() {
+            tee.emit(&ev);
+        }
+        assert_eq!(human.as_str().lines().count(), 4);
+        assert_eq!(ring.len(), 2);
     }
 
     #[test]

@@ -1,10 +1,16 @@
 //! Workload characterization: structural statistics of trees, used by the
 //! experiment harness to describe generated inputs.
+//!
+//! The per-depth and per-branching distributions are
+//! [`DenseHistogram`]s from `twq-obs` — the one shared exact-bucketing
+//! implementation in the workspace (this module used to hand-roll the
+//! same resize-and-increment logic).
 
 use crate::tree::{NodeId, Tree};
+use twq_obs::DenseHistogram;
 
 /// Structural statistics of one tree.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeStats {
     /// Total nodes `|Dom(t)|`.
     pub nodes: usize,
@@ -14,17 +20,19 @@ pub struct TreeStats {
     pub max_depth: usize,
     /// Maximum branching factor.
     pub max_branching: usize,
-    /// Histogram of node counts per depth (`depths[d]` = nodes at depth `d`).
-    pub depth_histogram: Vec<usize>,
-    /// Histogram of children counts (`branching[k]` = nodes with `k` children).
-    pub branching_histogram: Vec<usize>,
+    /// Distribution of node counts per depth (`count_of(d)` = nodes at
+    /// depth `d`).
+    pub depth_histogram: DenseHistogram,
+    /// Distribution of children counts (`count_of(k)` = nodes with `k`
+    /// children).
+    pub branching_histogram: DenseHistogram,
 }
 
 impl TreeStats {
     /// Compute statistics in one traversal.
     pub fn of(tree: &Tree) -> TreeStats {
-        let mut depth_histogram: Vec<usize> = Vec::new();
-        let mut branching_histogram: Vec<usize> = Vec::new();
+        let mut depth_histogram = DenseHistogram::new();
+        let mut branching_histogram = DenseHistogram::new();
         let mut leaves = 0usize;
         let mut max_branching = 0usize;
         // Depth per node via parent-first traversal (pre-order guarantees
@@ -36,15 +44,9 @@ impl TreeStats {
                 None => 0,
             };
             depth[u.idx_pub()] = d;
-            if depth_histogram.len() <= d {
-                depth_histogram.resize(d + 1, 0);
-            }
-            depth_histogram[d] += 1;
+            depth_histogram.record(d);
             let k = tree.child_count(u);
-            if branching_histogram.len() <= k {
-                branching_histogram.resize(k + 1, 0);
-            }
-            branching_histogram[k] += 1;
+            branching_histogram.record(k);
             max_branching = max_branching.max(k);
             if k == 0 {
                 leaves += 1;
@@ -53,7 +55,7 @@ impl TreeStats {
         TreeStats {
             nodes: tree.len(),
             leaves,
-            max_depth: depth_histogram.len().saturating_sub(1),
+            max_depth: depth_histogram.max_value().unwrap_or(0),
             max_branching,
             depth_histogram,
             branching_histogram,
@@ -107,8 +109,9 @@ mod tests {
         assert_eq!(st.leaves, 8);
         assert_eq!(st.max_depth, 3);
         assert_eq!(st.max_branching, 2);
-        assert_eq!(st.depth_histogram, vec![1, 2, 4, 8]);
-        assert_eq!(st.branching_histogram, vec![8, 0, 7]);
+        assert_eq!(st.depth_histogram.counts(), &[1, 2, 4, 8]);
+        assert_eq!(st.branching_histogram.counts(), &[8, 0, 7]);
+        assert_eq!(st.depth_histogram.total() as usize, st.nodes);
         assert!((st.mean_leaf_depth(&t) - 3.0).abs() < 1e-9);
     }
 
@@ -133,7 +136,7 @@ mod tests {
         assert_eq!(st.leaves, 4);
         assert_eq!(st.max_depth, 2);
         assert_eq!(st.max_branching, 3);
-        assert_eq!(st.depth_histogram, vec![1, 2, 3]);
+        assert_eq!(st.depth_histogram.counts(), &[1, 2, 3]);
     }
 
     #[test]

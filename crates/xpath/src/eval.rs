@@ -3,7 +3,7 @@
 
 use std::collections::BTreeSet;
 
-use twq_exec::Pool;
+use twq_exec::{BatchProfile, Pool};
 use twq_guard::{DepthKind, Guard, GuardError, NullGuard, TwqError};
 use twq_obs::{Collector, FoEval, NullCollector};
 use twq_tree::{Label, NodeId, NodeSet, Tree};
@@ -191,6 +191,36 @@ pub fn eval_pairs_guarded<G: Guard>(
 /// [`eval_from`] serially — and with a 1-worker pool it *is* that loop.
 pub fn select_batch(tree: &Tree, path: &XPath, contexts: &[NodeId], pool: &Pool) -> Vec<NodeSet> {
     pool.scoped(contexts.len(), |i| eval_from(tree, path, contexts[i]))
+}
+
+/// [`select_batch`] plus a [`BatchProfile`]: per-context wall-clock
+/// latencies in `contexts` order and the pool's per-worker telemetry. The
+/// selections themselves are identical to [`select_batch`].
+pub fn select_batch_profiled(
+    tree: &Tree,
+    path: &XPath,
+    contexts: &[NodeId],
+    pool: &Pool,
+) -> (Vec<NodeSet>, BatchProfile) {
+    let (runs, stats) = pool.scoped_with_stats(contexts.len(), |i| {
+        let t0 = std::time::Instant::now();
+        let sel = eval_from(tree, path, contexts[i]);
+        let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        (sel, ns)
+    });
+    let mut latencies_ns = Vec::with_capacity(runs.len());
+    let mut sels = Vec::with_capacity(runs.len());
+    for (sel, ns) in runs {
+        sels.push(sel);
+        latencies_ns.push(ns);
+    }
+    (
+        sels,
+        BatchProfile {
+            latencies_ns,
+            stats,
+        },
+    )
 }
 
 #[cfg(test)]

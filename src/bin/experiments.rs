@@ -18,7 +18,13 @@
 //! `--profile` re-runs one representative workload per complexity-class
 //! experiment (E1, E3–E6) under a [`MetricsCollector`] and reports the
 //! top-k states by interpreter steps — per-state evidence for the
-//! theorem's resource claim.
+//! theorem's resource claim. It also times every row of the parallel
+//! sweeps (p50/p90/p99 latency histograms), prints the pool's per-worker
+//! telemetry, surfaces a ring-buffer post-mortem when a profiled run
+//! halts `Stuck`/`Nondeterministic`, and closes with a `PROF` summary of
+//! the session's metric registry. `--flame <path>` (implies `--profile`)
+//! additionally writes the profiled runs' self-time stacks in
+//! flamegraph-collapsed form (`E1;q0;atp;q_sel 1234`).
 //!
 //! Resource governance (`twq-guard`) is wired in through three flags:
 //!
@@ -30,18 +36,21 @@
 //! A governed run that trips a limit prints its row with an explicit
 //! `limit-tripped` marker instead of hanging or aborting the sweep.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use twq::analyze::{analyze, prune, severity_counts};
 use twq::automata::{
     examples, run, run_graph, run_guarded, run_with, Limits, RunReport, State, TwClass, TwProgram,
 };
-use twq::exec::Pool;
+use twq::exec::{Pool, PoolStats};
 use twq::guard::{FaultPlan, ResourceGuard, TripReason, TwqError};
 use twq::logic::types::{count_classes, TypeConfig};
 use twq::logic::{eval_sentence, eval_sentence_guarded};
-use twq::obs::{col, Cell, HumanReporter, JsonlReporter, MetricsCollector, Reporter, RunMetrics};
+use twq::obs::{
+    col, Cell, FlameProfiler, HaltKind, Histogram, HumanReporter, JsonlReporter, MetricsCollector,
+    Registry, Reporter, RingBufferSink, RunMetrics, TeeSink,
+};
 use twq::protocol::{
     at_most_k_values_program, counting_table, encode, encode_shuffled, in_lm, lm_sentence,
     random_hyperset, run_protocol, run_protocol_guarded, split_string_tree, HyperGenConfig,
@@ -94,18 +103,238 @@ impl Gov {
 /// into a nonzero exit so CI sweeps cannot silently under-measure.
 static TRIPPED: AtomicBool = AtomicBool::new(false);
 
+/// Guard trips by reason, counted across the whole session (rows run on
+/// pool workers, hence atomics) and reported by the `--profile` summary
+/// as `guard/trips/<reason>` counters.
+static TRIP_COUNTS: [(&str, AtomicU64); 6] = [
+    ("budget", AtomicU64::new(0)),
+    ("deadline", AtomicU64::new(0)),
+    ("depth", AtomicU64::new(0)),
+    ("mem", AtomicU64::new(0)),
+    ("cancelled", AtomicU64::new(0)),
+    ("error", AtomicU64::new(0)),
+];
+
 /// The row marker for a governed run that hit a limit.
 fn trip_cell(e: &TwqError) -> Cell {
     TRIPPED.store(true, Ordering::Relaxed);
-    let reason = match e.guard().map(|g| &g.reason) {
-        Some(TripReason::Budget { .. }) => "budget",
-        Some(TripReason::Deadline { .. }) => "deadline",
-        Some(TripReason::Depth { .. }) => "depth",
-        Some(TripReason::Mem { .. }) => "mem",
-        Some(TripReason::Cancelled) => "cancelled",
-        None => "error",
+    let idx = match e.guard().map(|g| &g.reason) {
+        Some(TripReason::Budget { .. }) => 0,
+        Some(TripReason::Deadline { .. }) => 1,
+        Some(TripReason::Depth { .. }) => 2,
+        Some(TripReason::Mem { .. }) => 3,
+        Some(TripReason::Cancelled) => 4,
+        None => 5,
     };
+    let (reason, count) = &TRIP_COUNTS[idx];
+    count.fetch_add(1, Ordering::Relaxed);
     Cell::str(format!("limit-tripped({reason})"))
+}
+
+/// Session-wide profiling state behind `--profile` / `--flame`.
+struct Prof {
+    /// Whether `--profile` (or `--flame`, which implies it) is on.
+    active: bool,
+    /// Where `--flame` writes the collapsed stacks, if anywhere.
+    flame_path: Option<String>,
+    /// Flamegraph-collapsed lines accumulated across the profiled runs,
+    /// each prefixed with its experiment id.
+    flame: String,
+    /// The session metric registry: sweep latency histograms, pool
+    /// telemetry totals, per-run step counters, guard trips. Dumped as
+    /// the closing `PROF` section.
+    registry: Registry,
+}
+
+/// [`Pool::scoped`] plus, when profiling, per-row wall-clock latencies
+/// and the pool's per-worker telemetry. The inactive arm is the exact
+/// `Pool::scoped` call the harness always made, so non-profile output is
+/// unchanged byte for byte.
+fn scoped_rows<T: Send>(
+    pool: &Pool,
+    active: bool,
+    n: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> (Vec<T>, Option<(Histogram, PoolStats)>) {
+    if !active {
+        return (pool.scoped(n, f), None);
+    }
+    let (timed, stats) = pool.scoped_with_stats(n, |i| {
+        let t0 = Instant::now();
+        let v = f(i);
+        (v, t0.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    });
+    let mut h = Histogram::new();
+    let mut rows = Vec::with_capacity(timed.len());
+    for (v, ns) in timed {
+        h.record(ns);
+        rows.push(v);
+    }
+    (rows, Some((h, stats)))
+}
+
+/// Print a profiled sweep's latency summary and per-worker telemetry,
+/// and fold both into the session registry (`latency/<id>` histogram,
+/// `pool/*` counters).
+fn pool_telemetry(rep: &mut dyn Reporter, prof: &mut Prof, id: &str, t: &(Histogram, PoolStats)) {
+    let (h, stats) = t;
+    rep.note(&format!("latency ({id}): {}", h.summary("ns")));
+    rep.table(
+        Some("pool"),
+        2,
+        &[
+            col("worker", 7),
+            col("tasks", 6),
+            col("steals", 7),
+            col("steal-fails", 12),
+            col("idle", 6),
+            col("chunk", 6),
+        ],
+    );
+    for (w, ws) in stats.workers.iter().enumerate() {
+        rep.row(&[
+            w.into(),
+            ws.tasks.into(),
+            ws.steals.into(),
+            ws.steal_failures.into(),
+            ws.idle_spins.into(),
+            ws.chunk.into(),
+        ]);
+    }
+    prof.registry.hist_merge(&format!("latency/{id}"), h);
+    let tot = stats.totals();
+    prof.registry.counter_add("pool/tasks", tot.tasks);
+    prof.registry.counter_add("pool/steals", tot.steals);
+    prof.registry
+        .counter_add("pool/steal_failures", tot.steal_failures);
+    prof.registry.counter_add("pool/idle_spins", tot.idle_spins);
+}
+
+/// Everything `--profile` captures from one representative run: the
+/// aggregate metrics, the self-time flame profile, and a short
+/// flight-recorder tail for post-mortems.
+struct Capture {
+    metrics: RunMetrics,
+    flame: FlameProfiler,
+    ring: RingBufferSink,
+}
+
+impl Capture {
+    /// Run `f` under a collector whose event stream is teed into a flame
+    /// profiler and a ring buffer, then package everything observed.
+    fn collect<R>(f: impl FnOnce(&mut MetricsCollector) -> R) -> (R, Capture) {
+        let mut flame = FlameProfiler::new();
+        let mut ring = RingBufferSink::new(16);
+        let (out, metrics) = {
+            let mut tee = TeeSink::new(&mut flame, &mut ring);
+            let mut mc = MetricsCollector::with_sink(&mut tee);
+            let out = f(&mut mc);
+            (out, mc.into_metrics())
+        };
+        (
+            out,
+            Capture {
+                metrics,
+                flame,
+                ring,
+            },
+        )
+    }
+}
+
+/// Emit one profiled run: the one-line summary, hot states, top self-time
+/// stacks, a ring-buffer post-mortem when the run halted abnormally, plus
+/// the registry and `--flame` feeds.
+fn emit_capture(
+    rep: &mut dyn Reporter,
+    prof: &mut Prof,
+    id: &str,
+    what: &str,
+    prog: &TwProgram,
+    cap: &Capture,
+) {
+    profile_note(rep, what, &cap.metrics);
+    hot_states(rep, prog, &cap.metrics, "hot-states");
+    let namer = |q: u32| prog.state_name(State(q as u16)).to_owned();
+    if !cap.flame.is_empty() {
+        rep.table(
+            Some("self-time"),
+            2,
+            &[col("stack", 44), col("samples", 9), col("share", 7)],
+        );
+        let total = cap.flame.total_weight().max(1);
+        for (stack, w) in cap.flame.top_self(5, namer) {
+            rep.row(&[
+                Cell::str(stack),
+                w.into(),
+                Cell::float(w as f64 / total as f64, 3),
+            ]);
+        }
+    }
+    if matches!(
+        cap.metrics.halt,
+        Some(HaltKind::Stuck | HaltKind::Nondeterministic)
+    ) {
+        rep.note(&format!(
+            "post-mortem ({what}): halted {}, last {} event(s) follow",
+            cap.metrics.halt.map_or("?", |h| h.name()),
+            cap.ring.len()
+        ));
+        for line in cap.ring.post_mortem().lines() {
+            rep.note(&format!("  {line}"));
+        }
+    }
+    if prof.flame_path.is_some() {
+        prof.flame.push_str(&cap.flame.collapsed_with(id, namer));
+    }
+    prof.registry
+        .counter_add(&format!("run/{id}/steps"), cap.metrics.steps);
+    prof.registry
+        .counter_add(&format!("run/{id}/samples"), cap.flame.total_weight());
+}
+
+/// The closing `PROF` section: everything the session registry
+/// accumulated — pool telemetry totals, per-run step counters, guard
+/// trips, and the latency histograms with their quantiles.
+fn prof_summary(rep: &mut dyn Reporter, prof: &mut Prof) {
+    for (name, count) in &TRIP_COUNTS {
+        let n = count.load(Ordering::Relaxed);
+        if n > 0 {
+            prof.registry.counter_add(&format!("guard/trips/{name}"), n);
+        }
+    }
+    rep.experiment("PROF", "session metric registry (twq-prof)");
+    let snap = prof.registry.snapshot();
+    if !snap.counters.is_empty() {
+        rep.table(Some("counters"), 0, &[col("name", 32), col("value", 12)]);
+        for (name, v) in &snap.counters {
+            rep.row(&[Cell::str(name.clone()), (*v).into()]);
+        }
+    }
+    if !snap.hists.is_empty() {
+        rep.table(
+            Some("histograms"),
+            0,
+            &[
+                col("name", 24),
+                col("n", 6),
+                col("p50", 10),
+                col("p90", 10),
+                col("p99", 10),
+                col("max", 10),
+            ],
+        );
+        for (name, h) in &snap.hists {
+            rep.row(&[
+                Cell::str(name.clone()),
+                h.count().into(),
+                h.p50().unwrap_or(0).into(),
+                h.p90().unwrap_or(0).into(),
+                h.p99().unwrap_or(0).into(),
+                h.max().unwrap_or(0).into(),
+            ]);
+        }
+    }
 }
 
 /// Run the direct engine, governed when any `--budget`/`--timeout`/
@@ -160,10 +389,11 @@ fn main() {
     let (mut json, mut profile, mut strict, mut do_analyze) = (false, false, false, false);
     let mut gov = Gov::default();
     let mut jobs: Option<usize> = None;
+    let mut flame_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
-    let usage = "expected --json, --profile, --analyze, --strict, --jobs N, --budget N, \
-                 --timeout MS, and/or --faults SEED";
+    let usage = "expected --json, --profile, --flame PATH, --analyze, --strict, --jobs N, \
+                 --budget N, --timeout MS, and/or --faults SEED";
     let numeric = |flag: &str, v: Option<&String>| -> u64 {
         v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
             eprintln!("{flag} requires a numeric value ({usage})");
@@ -174,6 +404,12 @@ fn main() {
         match arg.as_str() {
             "--json" => json = true,
             "--profile" => profile = true,
+            "--flame" => {
+                flame_path = Some(it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--flame requires a path ({usage})");
+                    std::process::exit(2);
+                }));
+            }
             "--strict" => strict = true,
             "--analyze" => do_analyze = true,
             "--jobs" => jobs = Some(numeric("--jobs", it.next()) as usize),
@@ -186,6 +422,14 @@ fn main() {
             }
         }
     }
+    // `--flame` needs the profiled runs it dumps stacks for.
+    profile |= flame_path.is_some();
+    let mut prof = Prof {
+        active: profile,
+        flame_path,
+        flame: String::new(),
+        registry: Registry::new(),
+    };
     // Rows within E1–E6 are computed across this pool (default: all cores)
     // and printed serially in input order, so the output is independent of
     // the worker count; `--jobs 1` computes inline exactly as the serial
@@ -209,12 +453,12 @@ fn main() {
     if do_analyze {
         e0_analyze(rep);
     }
-    e1_example32(rep, profile, gov, &pool);
-    e2_xpath(rep, gov, &pool);
-    e3_logspace_pebbles(rep, profile, gov, &pool);
-    e4_twl_ptime(rep, profile, gov, &pool);
-    e5_twr_pspace(rep, profile, gov, &pool);
-    e6_twrl_exptime(rep, profile, gov, &pool);
+    e1_example32(rep, &mut prof, gov, &pool);
+    e2_xpath(rep, &mut prof, gov, &pool);
+    e3_logspace_pebbles(rep, &mut prof, gov, &pool);
+    e4_twl_ptime(rep, &mut prof, gov, &pool);
+    e5_twr_pspace(rep, &mut prof, gov, &pool);
+    e6_twrl_exptime(rep, &mut prof, gov, &pool);
     e7_lm_fo(rep, gov);
     e8_protocol(rep, gov);
     e9_counting(rep);
@@ -222,6 +466,19 @@ fn main() {
     e11_xtm_vs_tm(rep, gov);
     e12_prop72(rep, gov);
     e13_alternation(rep, gov);
+    if prof.active {
+        prof_summary(rep, &mut prof);
+    }
+    if let Some(path) = &prof.flame_path {
+        if let Err(e) = std::fs::write(path, &prof.flame) {
+            eprintln!("--flame: cannot write {path}: {e}");
+            std::process::exit(4);
+        }
+        rep.note(&format!(
+            "flame: wrote {} stack line(s) to {path}",
+            prof.flame.lines().count()
+        ));
+    }
     if strict && TRIPPED.load(Ordering::Relaxed) {
         eprintln!("--strict: at least one row ended in limit-tripped");
         std::process::exit(3);
@@ -343,7 +600,7 @@ fn profile_note(rep: &mut dyn Reporter, what: &str, m: &RunMetrics) {
     ));
 }
 
-fn e1_example32(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
+fn e1_example32(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: &Pool) {
     rep.experiment(
         "E1",
         "Example 3.2: the worked tw^{r,l} automaton vs its oracle",
@@ -395,7 +652,7 @@ fn e1_example32(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
         trip: Option<TwqError>,
     }
     // Execute (parallel): one row per size, printed in order below.
-    let rows = pool.scoped(sizes.len(), |i| {
+    let (rows, telemetry) = scoped_rows(pool, prof.active, sizes.len(), |i| {
         let (mixed, uniform) = &cfgs[i];
         let (mut acc, mut steps, mut subs, mut configs, mut agree) = (0u64, 0u64, 0u64, 0u64, true);
         let trials = 10;
@@ -446,18 +703,18 @@ fn e1_example32(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
             agree_cell,
         ]);
     }
-    if profile {
+    if let Some(t) = &telemetry {
+        pool_telemetry(rep, prof, "E1", t);
+    }
+    if prof.active {
         let cfg = TreeGenConfig::example32(&mut vocab, 540, &[1, 2]);
         let dt = DelimTree::build(&random_tree(&cfg, 0));
-        let mut mc = MetricsCollector::new();
-        run_with(&prog, &dt, Limits::default(), &mut mc);
-        let m = mc.into_metrics();
-        profile_note(rep, "n=540, seed 0", &m);
-        hot_states(rep, &prog, &m, "hot-states");
+        let (_, cap) = Capture::collect(|mc| run_with(&prog, &dt, Limits::default(), mc));
+        emit_capture(rep, prof, "E1", "n=540, seed 0", &prog, &cap);
     }
 }
 
-fn e2_xpath(rep: &mut dyn Reporter, gov: Gov, pool: &Pool) {
+fn e2_xpath(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: &Pool) {
     rep.experiment("E2", "Section 2.3: XPath ≡ compiled FO(∃*) selector");
     let mut vocab = Vocab::new();
     let queries = [
@@ -487,7 +744,7 @@ fn e2_xpath(rep: &mut dyn Reporter, gov: Gov, pool: &Pool) {
         }
     }
     // Execute (parallel): direct evaluation vs the compiled selector.
-    let rows = pool.scoped(inputs.len(), |i| {
+    let (rows, telemetry) = scoped_rows(pool, prof.active, inputs.len(), |i| {
         let (_, _, ti, path) = &inputs[i];
         let t = &trees[*ti];
         let direct = if gov.active() {
@@ -509,9 +766,13 @@ fn e2_xpath(rep: &mut dyn Reporter, gov: Gov, pool: &Pool) {
             Err(e) => rep.row(&[(*n).into(), (*q).into(), 0usize.into(), trip_cell(&e)]),
         }
     }
+    if let Some(t) = &telemetry {
+        pool_telemetry(rep, prof, "E2", t);
+    }
 }
 
-fn e3_logspace_pebbles(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
+fn e3_logspace_pebbles(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: &Pool) {
+    let profile = prof.active;
     rep.experiment(
         "E3",
         "Theorem 7.1(1): logspace xTM ≡ compiled TW pebble walker (unique IDs)",
@@ -586,19 +847,19 @@ fn e3_logspace_pebbles(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &P
         enum E3Row {
             XtmTrip(TwqError),
             ProgTrip(XtmReport, TwqError),
-            Done(XtmReport, RunReport, Option<Box<RunMetrics>>),
+            Done(XtmReport, RunReport, Option<Box<Capture>>),
         }
         // Execute (parallel): the xTM and the compiled walker per size.
-        let rows = pool.scoped(sizes.len(), |i| {
+        let (rows, telemetry) = scoped_rows(pool, profile, sizes.len(), |i| {
             let dt = &dts[i];
             let xr = match governed_run_xtm(&machine, dt, XtmLimits::default(), gov) {
                 Ok(r) => r,
                 Err(e) => return E3Row::XtmTrip(e),
             };
             if profile && sizes[i] == 8 {
-                let mut mc = MetricsCollector::new();
-                let r = run_with(&prog.program, dt, Limits::long_walk(), &mut mc);
-                E3Row::Done(xr, r, Some(Box::new(mc.into_metrics())))
+                let (r, cap) =
+                    Capture::collect(|mc| run_with(&prog.program, dt, Limits::long_walk(), mc));
+                E3Row::Done(xr, r, Some(Box::new(cap)))
             } else {
                 match governed_run(&prog.program, dt, Limits::long_walk(), gov) {
                     Ok(r) => E3Row::Done(xr, r, None),
@@ -606,7 +867,7 @@ fn e3_logspace_pebbles(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &P
                 }
             }
         });
-        let mut prof: Option<RunMetrics> = None;
+        let mut captured: Option<Box<Capture>> = None;
         for (i, row) in rows.into_iter().enumerate() {
             let n = sizes[i];
             match row {
@@ -624,9 +885,9 @@ fn e3_logspace_pebbles(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &P
                     0u64.into(),
                     trip_cell(&e),
                 ]),
-                E3Row::Done(xr, pr, m) => {
-                    if let Some(m) = m {
-                        prof = Some(*m);
+                E3Row::Done(xr, pr, cap) => {
+                    if let Some(cap) = cap {
+                        captured = Some(cap);
                     }
                     rep.row(&[
                         n.into(),
@@ -638,14 +899,17 @@ fn e3_logspace_pebbles(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &P
                 }
             }
         }
-        if let Some(m) = prof {
-            profile_note(rep, "n=8", &m);
-            hot_states(rep, &prog.program, &m, "hot-states");
+        if let Some(t) = &telemetry {
+            pool_telemetry(rep, prof, "E3", t);
+        }
+        if let Some(cap) = captured {
+            emit_capture(rep, prof, "E3", "n=8", &prog.program, &cap);
         }
     }
 }
 
-fn e4_twl_ptime(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
+fn e4_twl_ptime(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: &Pool) {
+    let profile = prof.active;
     rep.experiment(
         "E4",
         "Theorem 7.1(2): tw^l configuration count grows polynomially (PTIME)",
@@ -699,10 +963,10 @@ fn e4_twl_ptime(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
         .collect();
     enum E4Row {
         Trip(TwqError),
-        Done(usize, usize, Option<RunMetrics>),
+        Done(usize, usize, Option<Box<Capture>>),
     }
     // Execute (parallel): the breadth-first configuration sweep per size.
-    let rows = pool.scoped(sizes.len(), |i| {
+    let (rows, telemetry) = scoped_rows(pool, profile, sizes.len(), |i| {
         let dt = &dts[i];
         // The direct engine is the governed witness: if the workload fits
         // the budget there, the breadth-first sweep is measured ungoverned.
@@ -713,25 +977,26 @@ fn e4_twl_ptime(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
         }
         let g = run_graph(&prog, dt, Limits::default());
         assert!(!g.accepted(), "distinct values admit no match");
-        let m = if profile && sizes[i] == 20 {
-            let mut mc = MetricsCollector::new();
-            run_with(&prog, dt, Limits::default(), &mut mc);
-            Some(mc.into_metrics())
+        let cap = if profile && sizes[i] == 20 {
+            let (_, cap) = Capture::collect(|mc| {
+                run_with(&prog, dt, Limits::default(), mc);
+            });
+            Some(Box::new(cap))
         } else {
             None
         };
-        E4Row::Done(g.distinct_configs, dt.tree().len(), m)
+        E4Row::Done(g.distinct_configs, dt.tree().len(), cap)
     });
-    let mut prof: Option<RunMetrics> = None;
+    let mut captured: Option<Box<Capture>> = None;
     for (i, row) in rows.into_iter().enumerate() {
         let n = sizes[i];
         match row {
             E4Row::Trip(e) => {
                 rep.row(&[n.into(), 0usize.into(), Cell::float(0.0, 2), trip_cell(&e)]);
             }
-            E4Row::Done(distinct_configs, dn, m) => {
-                if let Some(m) = m {
-                    prof = Some(m);
+            E4Row::Done(distinct_configs, dn, cap) => {
+                if let Some(cap) = cap {
+                    captured = Some(cap);
                 }
                 let bound = prog.state_count() * dn * (n + 1);
                 rep.row(&[
@@ -744,13 +1009,16 @@ fn e4_twl_ptime(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
             }
         }
     }
-    if let Some(m) = prof {
-        profile_note(rep, "direct engine, n=20", &m);
-        hot_states(rep, &prog, &m, "hot-states");
+    if let Some(t) = &telemetry {
+        pool_telemetry(rep, prof, "E4", t);
+    }
+    if let Some(cap) = captured {
+        emit_capture(rep, prof, "E4", "direct engine, n=20", &prog, &cap);
     }
 }
 
-fn e5_twr_pspace(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
+fn e5_twr_pspace(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: &Pool) {
+    let profile = prof.active;
     rep.experiment(
         "E5",
         "Theorem 7.1(3): compiled tw^r keeps a linear store (PSPACE shape)",
@@ -798,19 +1066,19 @@ fn e5_twr_pspace(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
         .collect();
     enum E5Row {
         Trip(TwqError),
-        Done(XtmReport, RunReport, Option<Box<RunMetrics>>),
+        Done(XtmReport, RunReport, Option<Box<Capture>>),
     }
     // Execute (parallel): the xTM and the compiled tw^r walker per size.
-    let rows = pool.scoped(sizes.len(), |i| {
+    let (rows, telemetry) = scoped_rows(pool, profile, sizes.len(), |i| {
         let dt = &dts[i];
         let xr = match governed_run_xtm(&machine, dt, XtmLimits::default(), gov) {
             Ok(r) => r,
             Err(e) => return E5Row::Trip(e),
         };
         if profile && sizes[i] == 64 {
-            let mut mc = MetricsCollector::new();
-            let r = run_with(&prog.program, dt, Limits::long_walk(), &mut mc);
-            E5Row::Done(xr, r, Some(Box::new(mc.into_metrics())))
+            let (r, cap) =
+                Capture::collect(|mc| run_with(&prog.program, dt, Limits::long_walk(), mc));
+            E5Row::Done(xr, r, Some(Box::new(cap)))
         } else {
             match governed_run(&prog.program, dt, Limits::long_walk(), gov) {
                 Ok(r) => E5Row::Done(xr, r, None),
@@ -818,7 +1086,7 @@ fn e5_twr_pspace(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
             }
         }
     });
-    let mut prof: Option<RunMetrics> = None;
+    let mut captured: Option<Box<Capture>> = None;
     for (i, row) in rows.into_iter().enumerate() {
         let n = sizes[i];
         let dn = dts[i].tree().len();
@@ -830,9 +1098,9 @@ fn e5_twr_pspace(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
                 0usize.into(),
                 trip_cell(&e),
             ]),
-            E5Row::Done(xr, sr, m) => {
-                if let Some(m) = m {
-                    prof = Some(*m);
+            E5Row::Done(xr, sr, cap) => {
+                if let Some(cap) = cap {
+                    captured = Some(cap);
                 }
                 rep.row(&[
                     n.into(),
@@ -844,13 +1112,16 @@ fn e5_twr_pspace(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
             }
         }
     }
-    if let Some(m) = prof {
-        profile_note(rep, "n=64", &m);
-        hot_states(rep, &prog.program, &m, "hot-states");
+    if let Some(t) = &telemetry {
+        pool_telemetry(rep, prof, "E5", t);
+    }
+    if let Some(cap) = captured {
+        emit_capture(rep, prof, "E5", "n=64", &prog.program, &cap);
     }
 }
 
-fn e6_twrl_exptime(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool) {
+fn e6_twrl_exptime(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: &Pool) {
+    let profile = prof.active;
     rep.experiment(
         "E6",
         "Theorem 7.1(4): tw^{r,l} registers range over subsets (EXPTIME bound)",
@@ -887,15 +1158,14 @@ fn e6_twrl_exptime(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool)
         .collect();
     enum E6Row {
         Trip(TwqError),
-        Done(RunReport, Option<Box<RunMetrics>>),
+        Done(RunReport, Option<Box<Capture>>),
     }
     // Execute (parallel): the register walker per k.
-    let rows = pool.scoped(ks.len(), |i| {
+    let (rows, telemetry) = scoped_rows(pool, profile, ks.len(), |i| {
         let (prog, dt) = &items[i];
         if profile && ks[i] == 8 {
-            let mut mc = MetricsCollector::new();
-            let r = run_with(prog, dt, Limits::default(), &mut mc);
-            E6Row::Done(r, Some(Box::new(mc.into_metrics())))
+            let (r, cap) = Capture::collect(|mc| run_with(prog, dt, Limits::default(), mc));
+            E6Row::Done(r, Some(Box::new(cap)))
         } else {
             match governed_run(prog, dt, Limits::default(), gov) {
                 Ok(r) => E6Row::Done(r, None),
@@ -903,7 +1173,7 @@ fn e6_twrl_exptime(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool)
             }
         }
     });
-    let mut prof: Option<(TwProgram, RunMetrics)> = None;
+    let mut captured: Option<(TwProgram, Box<Capture>)> = None;
     for (i, row) in rows.into_iter().enumerate() {
         let k = ks[i];
         let (prog, dt) = &items[i];
@@ -916,9 +1186,9 @@ fn e6_twrl_exptime(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool)
                 (prog.state_count() * n * (k + 1)).into(),
                 Cell::str(format!("{}·2^{}", prog.state_count() * n, k)),
             ]),
-            E6Row::Done(r, m) => {
-                if let Some(m) = m {
-                    prof = Some((prog.clone(), *m));
+            E6Row::Done(r, cap) => {
+                if let Some(cap) = cap {
+                    captured = Some((prog.clone(), cap));
                 }
                 rep.row(&[
                     k.into(),
@@ -930,9 +1200,11 @@ fn e6_twrl_exptime(rep: &mut dyn Reporter, profile: bool, gov: Gov, pool: &Pool)
             }
         }
     }
-    if let Some((prog, m)) = prof {
-        profile_note(rep, "k=8", &m);
-        hot_states(rep, &prog, &m, "hot-states");
+    if let Some(t) = &telemetry {
+        pool_telemetry(rep, prof, "E6", t);
+    }
+    if let Some((pr, cap)) = captured {
+        emit_capture(rep, prof, "E6", "k=8", &pr, &cap);
     }
 }
 

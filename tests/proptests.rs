@@ -194,9 +194,9 @@ proptest! {
         let t = random_tree(&cfg, seed);
         let st = TreeStats::of(&t);
         prop_assert_eq!(st.nodes, t.len());
-        prop_assert_eq!(st.depth_histogram.iter().sum::<usize>(), t.len());
-        prop_assert_eq!(st.branching_histogram.iter().sum::<usize>(), t.len());
-        prop_assert_eq!(st.branching_histogram.first().copied().unwrap_or(0), st.leaves);
+        prop_assert_eq!(st.depth_histogram.total() as usize, t.len());
+        prop_assert_eq!(st.branching_histogram.total() as usize, t.len());
+        prop_assert_eq!(st.branching_histogram.count_of(0) as usize, st.leaves);
         prop_assert!(st.max_branching <= width);
     }
 
