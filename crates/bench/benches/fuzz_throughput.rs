@@ -1,0 +1,46 @@
+//! Fuzzing throughput — the cost of one seeded differential-oracle case
+//! and of a small end-to-end campaign. The per-case group prices the full
+//! oracle (generate program + hostile tree + budgets, then run every
+//! evaluator pair); the campaign group adds the fan-out and reporting
+//! layers the `fuzz` binary uses. Tracked by `bench-diff` so an oracle or
+//! generator slowdown shows up as a cases/sec regression, not as a silent
+//! shrink of nightly coverage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use twq_exec::Pool;
+use twq_fuzz::{run_campaign, run_case, FuzzConfig, Universe};
+
+fn bench(c: &mut Criterion) {
+    let uni = Universe::standard();
+    let cfg = FuzzConfig {
+        seed: 1,
+        minimize: false,
+        ..FuzzConfig::default()
+    };
+    let pool = Pool::new(2);
+    // Sanity: the benched slice of the case stream must be clean, or the
+    // timings would include minimization work.
+    for i in 0..32 {
+        let out = run_case(&cfg, &uni, i, &pool);
+        assert!(out.discrepancy.is_none(), "case {i}: {:?}", out.discrepancy);
+    }
+
+    let mut group = c.benchmark_group("fuzz_throughput");
+    group.sample_size(10);
+    // One case through the full differential oracle (index 0 is a
+    // program-shaped case under seed 1).
+    group.bench_function("case/one", |b| b.iter(|| run_case(&cfg, &uni, 0, &pool)));
+    // A campaign slice: generation + oracle + fan-out + aggregation.
+    let cases = 32u64;
+    let camp = FuzzConfig {
+        cases,
+        ..cfg.clone()
+    };
+    group.bench_with_input(BenchmarkId::new("campaign", cases), &camp, |b, camp| {
+        b.iter(|| run_campaign(camp, &uni, &pool))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -46,6 +46,7 @@ impl Bench {
                 self.attr,
                 values.iter().map(|&v| self.vocab.val_int(v)).collect(),
             )],
+            collision_pool: None,
         };
         random_tree(&cfg, seed)
     }

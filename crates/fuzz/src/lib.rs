@@ -1,0 +1,356 @@
+//! # twq-fuzz — differential fuzzing for the walking-automata stack
+//!
+//! The paper gives one semantics per query class; this repo grew several
+//! evaluators for each (direct engine, guarded engine, batch engine,
+//! routed graph evaluator, naive/memoized/parallel FO evaluation,
+//! backtracking `FO(∃*)` selection). This crate generates seeded random
+//! well-formed programs (stratified by the Definition 5.1 classes), a
+//! hostile tree corpus, and adversarial budgets, then requires every
+//! applicable evaluator pair to agree — on answers *and* on failure modes.
+//! Disagreements are shrunk by delta debugging and written as replayable
+//! JSONL repros.
+//!
+//! Entry points: [`run_campaign`] (fan a seeded campaign over a
+//! [`Pool`]), [`run_case`] (one case), [`minimize`] (shrink a failing
+//! triple), [`Repro`] (the JSONL codec).
+//!
+//! Campaign results are a pure function of `(seed, cases, mix)`: each case
+//! derives its own RNG from `case_seed`, and the oracle always uses a
+//! private two-worker pool, so `--jobs` only changes wall-clock time.
+
+pub mod gen;
+pub mod minimize;
+pub mod oracle;
+pub mod repro;
+
+pub use gen::{
+    gen_budget, gen_class, gen_formula_case, gen_near_miss, gen_program, gen_program_case,
+    gen_smelly_program, gen_tree, program_error_kind, BudgetSpec, FormulaCase, ProgramCase,
+    Universe,
+};
+pub use minimize::{copy_subtree, delete_subtree, minimize, with_rules};
+pub use oracle::{
+    check_formula_case, check_program_case, check_smelly_program, Discrepancy, InjectedBug,
+    FUZZ_LIMITS,
+};
+pub use repro::{parse_jsonl, render_jsonl, Repro};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use twq_exec::Pool;
+
+use crate::gen::program_error_kind as error_kind;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Campaign seed; every case derives its RNG from this and its index.
+    pub seed: u64,
+    /// Number of cases.
+    pub cases: u64,
+    /// Per-mille of cases that are FO formula cases instead of programs.
+    pub formula_per_mille: u32,
+    /// Per-mille of cases that are near-miss ill-formed builder specs.
+    pub near_miss_per_mille: u32,
+    /// Per-mille of cases that are well-formed but analyzer-smelly.
+    pub smelly_per_mille: u32,
+    /// Shrink failing program cases with [`minimize`].
+    pub minimize: bool,
+    /// Plant a bug for self-testing the oracle and minimizer.
+    pub inject: Option<InjectedBug>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0,
+            cases: 1000,
+            formula_per_mille: 250,
+            near_miss_per_mille: 100,
+            smelly_per_mille: 100,
+            minimize: true,
+            inject: None,
+        }
+    }
+}
+
+/// What a case turned out to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseKind {
+    /// A well-formed program run through the engine-pair oracle.
+    Program,
+    /// An FO formula run through the logic-pair oracle.
+    Formula,
+    /// An ill-formed builder spec checked for the intended rejection.
+    NearMiss,
+    /// A well-formed program the static analyzer must flag.
+    Smelly,
+}
+
+impl CaseKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CaseKind::Program => "program",
+            CaseKind::Formula => "formula",
+            CaseKind::NearMiss => "near-miss",
+            CaseKind::Smelly => "smelly",
+        }
+    }
+}
+
+/// The outcome of one case.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// Case index within the campaign.
+    pub index: u64,
+    /// The per-case seed (replays the case via the generators alone).
+    pub seed: u64,
+    /// What was generated.
+    pub kind: CaseKind,
+    /// The disagreement, if any.
+    pub discrepancy: Option<Discrepancy>,
+    /// The failing triple, for program-shaped cases (minimizable).
+    pub case: Option<ProgramCase>,
+}
+
+/// Derive a per-case seed: splitmix64 over `(campaign seed, index)`, so
+/// case streams are independent and the campaign can fan out in any order.
+pub fn case_seed(campaign_seed: u64, index: u64) -> u64 {
+    let mut z = campaign_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Run one case. `oracle_pool` is the pool handed to the differential
+/// oracle; campaign runs pass a fixed-size private pool so outcomes don't
+/// depend on `--jobs`.
+pub fn run_case(cfg: &FuzzConfig, uni: &Universe, index: u64, oracle_pool: &Pool) -> CaseOutcome {
+    let seed = case_seed(cfg.seed, index);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let roll = rng.gen_range(0..1000u32);
+    let formula_cut = cfg.formula_per_mille;
+    let near_cut = formula_cut + cfg.near_miss_per_mille;
+    let smelly_cut = near_cut + cfg.smelly_per_mille;
+
+    let (kind, discrepancy, case) = if roll < formula_cut {
+        let case = gen_formula_case(&mut rng, uni);
+        (
+            CaseKind::Formula,
+            check_formula_case(&case, oracle_pool),
+            None,
+        )
+    } else if roll < near_cut {
+        let (expected, result) = gen_near_miss(&mut rng, uni);
+        let d = match result {
+            Ok(_) => Some(Discrepancy {
+                pair: "builder near-miss".to_owned(),
+                detail: format!("expected rejection {expected:?}, but the program built"),
+            }),
+            Err(e) if error_kind(&e) == expected => None,
+            Err(e) => Some(Discrepancy {
+                pair: "builder near-miss".to_owned(),
+                detail: format!("expected {expected:?}, got {:?}: {e}", error_kind(&e)),
+            }),
+        };
+        (CaseKind::NearMiss, d, None)
+    } else if roll < smelly_cut {
+        let prog = gen_smelly_program(&mut rng, uni);
+        let d = check_smelly_program(&prog);
+        // Smelly programs are still well-formed: run the full engine
+        // oracle on them too (they stress dead-rule and unsat-guard paths
+        // in `prune`/`run_routed`).
+        let case = ProgramCase {
+            program: prog,
+            tree: gen::gen_tree(&mut rng, uni),
+            budget: BudgetSpec::default(),
+        };
+        let d = d.or_else(|| check_program_case(&case, oracle_pool, cfg.inject));
+        (CaseKind::Smelly, d, Some(case))
+    } else {
+        let case = gen_program_case(&mut rng, uni);
+        let d = check_program_case(&case, oracle_pool, cfg.inject);
+        (CaseKind::Program, d, Some(case))
+    };
+
+    CaseOutcome {
+        index,
+        seed,
+        kind,
+        case: if discrepancy.is_some() { case } else { None },
+        discrepancy,
+    }
+}
+
+/// A campaign failure, optionally minimized, as a writable repro.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Case index within the campaign.
+    pub index: u64,
+    /// The per-case seed.
+    pub seed: u64,
+    /// What was generated.
+    pub kind: CaseKind,
+    /// The disagreement.
+    pub discrepancy: Discrepancy,
+    /// A replayable repro (program-shaped failures only).
+    pub repro: Option<Repro>,
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// Cases run per kind: `(program, formula, near-miss, smelly)`.
+    pub counts: [u64; 4],
+    /// All failures, in case order.
+    pub failures: Vec<Failure>,
+}
+
+impl CampaignReport {
+    /// Total cases run.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether the campaign was clean.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cases ({} program, {} formula, {} near-miss, {} smelly): {} failure(s)",
+            self.total(),
+            self.counts[0],
+            self.counts[1],
+            self.counts[2],
+            self.counts[3],
+            self.failures.len()
+        )
+    }
+}
+
+fn kind_slot(k: CaseKind) -> usize {
+    match k {
+        CaseKind::Program => 0,
+        CaseKind::Formula => 1,
+        CaseKind::NearMiss => 2,
+        CaseKind::Smelly => 3,
+    }
+}
+
+/// Run a seeded campaign, fanning cases across `outer`. Each case's oracle
+/// runs on a private two-worker pool, so the report is identical for any
+/// `outer` size. Failing program cases are minimized (when
+/// `cfg.minimize`) and packaged as repros carrying the universe's
+/// vocabulary.
+pub fn run_campaign(cfg: &FuzzConfig, uni: &Universe, outer: &Pool) -> CampaignReport {
+    let n = usize::try_from(cfg.cases).expect("case count fits usize");
+    let outcomes = outer.scoped(n, |i| {
+        let inner = Pool::new(2);
+        run_case(cfg, uni, i as u64, &inner)
+    });
+
+    let mut report = CampaignReport::default();
+    for out in outcomes {
+        report.counts[kind_slot(out.kind)] += 1;
+        let Some(discrepancy) = out.discrepancy else {
+            continue;
+        };
+        let repro = out.case.map(|case| {
+            let inner = Pool::new(2);
+            let case = if cfg.minimize {
+                minimize(&case, &inner, cfg.inject)
+            } else {
+                case
+            };
+            Repro {
+                vocab: uni.vocab.clone(),
+                case,
+                inject: cfg.inject,
+                pair: discrepancy.pair.clone(),
+                detail: discrepancy.detail.clone(),
+            }
+        });
+        report.failures.push(Failure {
+            index: out.index,
+            seed: out.seed,
+            kind: out.kind,
+            discrepancy,
+            repro,
+        });
+    }
+    report
+}
+
+/// Re-check stored repros: returns the indices (0-based line numbers in
+/// the parsed batch) that still fail.
+pub fn replay(repros: &[Repro], pool: &Pool) -> Vec<usize> {
+    repros
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| check_program_case(&r.case, pool, r.inject).is_some())
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seeds_are_spread() {
+        let a = case_seed(1, 0);
+        let b = case_seed(1, 1);
+        let c = case_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn small_campaign_is_clean_and_deterministic() {
+        let uni = Universe::standard();
+        let cfg = FuzzConfig {
+            seed: 42,
+            cases: 120,
+            ..FuzzConfig::default()
+        };
+        let serial = run_campaign(&cfg, &uni, &Pool::serial());
+        assert!(serial.clean(), "{:#?}", serial.failures);
+        assert_eq!(serial.total(), 120);
+        // Every kind should appear in 120 cases at the default mix.
+        assert!(serial.counts.iter().all(|&c| c > 0), "{:?}", serial.counts);
+        let wide = run_campaign(&cfg, &uni, &Pool::new(4));
+        assert_eq!(serial.counts, wide.counts);
+        assert_eq!(wide.failures.len(), 0);
+    }
+
+    #[test]
+    fn self_test_catches_and_minimizes_the_planted_bug() {
+        let uni = Universe::standard();
+        let cfg = FuzzConfig {
+            seed: 7,
+            cases: 60,
+            inject: Some(InjectedBug::RoutedFlip),
+            ..FuzzConfig::default()
+        };
+        let report = run_campaign(&cfg, &uni, &Pool::new(2));
+        assert!(!report.clean(), "planted bug not caught in 60 cases");
+        let with_repro = report
+            .failures
+            .iter()
+            .find_map(|f| f.repro.as_ref())
+            .expect("program-shaped failure with repro");
+        assert!(with_repro.case.program.state_count() <= 8);
+        assert!(with_repro.case.tree.len() <= 16);
+        // The written repro must replay as still-failing.
+        let line = with_repro.to_json_line();
+        let back = Repro::from_json_line(&line).unwrap();
+        assert_eq!(replay(&[back], &Pool::new(2)), vec![0]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Delta-debugging minimizer: shrink a failing `(program, tree, budget)`
+//! triple to a locally minimal repro.
+//!
+//! Greedy descent: propose candidate simplifications in order of expected
+//! payoff (drop budget axes, hoist/delete tree subtrees, remove rules,
+//! blank guards, flatten actions), keep any candidate that still fails the
+//! oracle, and restart. Every accepted candidate strictly decreases the
+//! lexicographic measure `(tree nodes, rules, states, non-true guards,
+//! non-move actions, budget axes)`, so the loop terminates; the result is
+//! locally minimal in the sense that no single proposed simplification
+//! preserves the failure.
+
+use std::collections::{BTreeSet, HashMap};
+
+use twq_automata::{Action, Dir, Rule, State, TwProgram, TwProgramBuilder};
+use twq_exec::Pool;
+use twq_logic::{RegId, SFormula};
+use twq_tree::{NodeId, Tree, Value};
+
+use crate::gen::{BudgetSpec, ProgramCase};
+use crate::oracle::{check_program_case, InjectedBug};
+
+/// Copy the subtree rooted at `root` into a fresh tree (labels and
+/// attribute values included).
+pub fn copy_subtree(tree: &Tree, root: NodeId) -> Tree {
+    let mut out = Tree::new(tree.label(root));
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    map.insert(root, out.root());
+    // Parent ids precede child ids in the arena, and `nodes()` is a
+    // pre-order walk, so every copied node finds its parent already mapped.
+    let mut stack = vec![root];
+    while let Some(u) = stack.pop() {
+        if u != root {
+            let p = map[&tree.parent(u).expect("non-root has parent")];
+            map.insert(u, out.add_child(p, tree.label(u)));
+        }
+        let kids: Vec<NodeId> = tree.children(u).collect();
+        for k in kids.into_iter().rev() {
+            stack.push(k);
+        }
+    }
+    for a in 0..tree.attr_columns() {
+        let a = twq_tree::AttrId(a as u16);
+        for (&old, &new) in &map {
+            let v = tree.attr(old, a);
+            if v != Value::BOT {
+                out.set_attr(new, a, v);
+            }
+        }
+    }
+    out
+}
+
+/// Rebuild `tree` without the subtree rooted at `victim`. `None` when
+/// `victim` is the root (trees are never empty).
+pub fn delete_subtree(tree: &Tree, victim: NodeId) -> Option<Tree> {
+    if victim == tree.root() {
+        return None;
+    }
+    let mut out = Tree::new(tree.label(tree.root()));
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    map.insert(tree.root(), out.root());
+    let mut stack: Vec<NodeId> = tree.children(tree.root()).collect::<Vec<_>>();
+    stack.reverse();
+    while let Some(u) = stack.pop() {
+        if u == victim {
+            continue;
+        }
+        let p = map[&tree.parent(u).expect("non-root has parent")];
+        map.insert(u, out.add_child(p, tree.label(u)));
+        let kids: Vec<NodeId> = tree.children(u).collect();
+        for k in kids.into_iter().rev() {
+            stack.push(k);
+        }
+    }
+    for a in 0..tree.attr_columns() {
+        let a = twq_tree::AttrId(a as u16);
+        for (&old, &new) in &map {
+            let v = tree.attr(old, a);
+            if v != Value::BOT {
+                out.set_attr(new, a, v);
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Rebuild a program with the given rule set, garbage-collecting every
+/// state not reachable from `{initial, final}` ∪ rule references. Register
+/// declarations are kept verbatim. `None` if validation fails (it should
+/// not, since the rules came from a valid program).
+pub fn with_rules(prog: &TwProgram, rules: &[Rule]) -> Option<TwProgram> {
+    let mut keep: BTreeSet<State> = BTreeSet::new();
+    keep.insert(prog.initial());
+    keep.insert(prog.final_state());
+    for r in rules {
+        keep.insert(r.state);
+        keep.insert(r.action.next_state());
+        if let Action::Atp(_, _, p, _) = &r.action {
+            keep.insert(*p);
+        }
+    }
+    let mut b = TwProgramBuilder::new();
+    let mut map: HashMap<State, State> = HashMap::new();
+    for q in 0..prog.state_count() {
+        let q = State(q as u16);
+        if keep.contains(&q) {
+            map.insert(q, b.state(prog.state_name(q)));
+        }
+    }
+    b.initial(map[&prog.initial()]);
+    b.final_state(map[&prog.final_state()]);
+    let store = prog.initial_store();
+    for (i, &a) in prog.reg_arities().iter().enumerate() {
+        b.register(a, store.get(RegId(i as u8)).clone());
+    }
+    let remap = |a: &Action| -> Action {
+        match a {
+            Action::Move(q, d) => Action::Move(map[q], *d),
+            Action::Update(q, psi, i) => Action::Update(map[q], psi.clone(), *i),
+            Action::Atp(q, phi, p, i) => Action::Atp(map[q], phi.clone(), map[p], *i),
+        }
+    };
+    for r in rules {
+        b.rule(r.label, map[&r.state], r.guard.clone(), remap(&r.action));
+    }
+    b.build().ok()
+}
+
+fn budget_candidates(case: &ProgramCase) -> Vec<ProgramCase> {
+    let mut out = Vec::new();
+    let b = &case.budget;
+    if b.faults.is_some() {
+        out.push(ProgramCase {
+            budget: BudgetSpec {
+                faults: None,
+                ..b.clone()
+            },
+            ..case.clone()
+        });
+    }
+    if b.deadline_ms.is_some() {
+        out.push(ProgramCase {
+            budget: BudgetSpec {
+                deadline_ms: None,
+                ..b.clone()
+            },
+            ..case.clone()
+        });
+    }
+    if b.fuel.is_some() {
+        out.push(ProgramCase {
+            budget: BudgetSpec {
+                fuel: None,
+                ..b.clone()
+            },
+            ..case.clone()
+        });
+    }
+    out
+}
+
+fn tree_candidates(case: &ProgramCase) -> Vec<ProgramCase> {
+    let mut out = Vec::new();
+    // Hoist: each child of the root becomes the whole tree — the biggest
+    // single cut available.
+    for c in case.tree.children(case.tree.root()) {
+        out.push(ProgramCase {
+            tree: copy_subtree(&case.tree, c),
+            ..case.clone()
+        });
+    }
+    // Delete: drop one subtree, deepest arena ids first (leaves before
+    // their ancestors, so small cuts are tried after big ones above).
+    let ids: Vec<NodeId> = case.tree.node_ids().collect();
+    for &u in ids.iter().rev() {
+        if let Some(t) = delete_subtree(&case.tree, u) {
+            out.push(ProgramCase {
+                tree: t,
+                ..case.clone()
+            });
+        }
+    }
+    out
+}
+
+fn program_candidates(case: &ProgramCase) -> Vec<ProgramCase> {
+    let mut out = Vec::new();
+    let rules = case.program.rules();
+    // Remove one rule at a time.
+    for skip in 0..rules.len() {
+        let subset: Vec<Rule> = rules
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, r)| r.clone())
+            .collect();
+        if let Some(p) = with_rules(&case.program, &subset) {
+            out.push(ProgramCase {
+                program: p,
+                ..case.clone()
+            });
+        }
+    }
+    // Blank one non-trivial guard.
+    for (i, r) in rules.iter().enumerate() {
+        if r.guard != SFormula::True {
+            let mut subset: Vec<Rule> = rules.to_vec();
+            subset[i].guard = SFormula::True;
+            if let Some(p) = with_rules(&case.program, &subset) {
+                out.push(ProgramCase {
+                    program: p,
+                    ..case.clone()
+                });
+            }
+        }
+    }
+    // Flatten one Update/Atp action to a plain stay-move.
+    for (i, r) in rules.iter().enumerate() {
+        if !matches!(r.action, Action::Move(_, _)) {
+            let mut subset: Vec<Rule> = rules.to_vec();
+            subset[i].action = Action::Move(r.action.next_state(), Dir::Stay);
+            if let Some(p) = with_rules(&case.program, &subset) {
+                out.push(ProgramCase {
+                    program: p,
+                    ..case.clone()
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Shrink a failing case to a locally minimal one. Returns the input
+/// unchanged when it does not fail the oracle.
+pub fn minimize(case: &ProgramCase, pool: &Pool, inject: Option<InjectedBug>) -> ProgramCase {
+    let mut cur = case.clone();
+    if check_program_case(&cur, pool, inject).is_none() {
+        return cur;
+    }
+    'restart: loop {
+        let candidates = budget_candidates(&cur)
+            .into_iter()
+            .chain(tree_candidates(&cur))
+            .chain(program_candidates(&cur));
+        for cand in candidates {
+            if check_program_case(&cand, pool, inject).is_some() {
+                cur = cand;
+                continue 'restart;
+            }
+        }
+        return cur;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_program_case, Universe};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn subtree_copy_and_delete_are_consistent() {
+        let uni = Universe::standard();
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let tree = crate::gen::gen_tree(&mut rng, &uni);
+            for u in tree.node_ids() {
+                let sub = copy_subtree(&tree, u);
+                sub.check_consistency().unwrap();
+                if let Some(rest) = delete_subtree(&tree, u) {
+                    rest.check_consistency().unwrap();
+                    assert_eq!(rest.len() + sub.len(), tree.len(), "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_rules_garbage_collects_states() {
+        let uni = Universe::standard();
+        let mut rng = StdRng::seed_from_u64(7);
+        let case = gen_program_case(&mut rng, &uni);
+        let p = with_rules(&case.program, &[]).unwrap();
+        assert_eq!(p.state_count(), 2, "only initial and final survive");
+        assert!(p.rules().is_empty());
+    }
+
+    #[test]
+    fn minimizer_shrinks_injected_routed_flip() {
+        let uni = Universe::standard();
+        let pool = Pool::new(2);
+        let mut shrunk = 0;
+        for seed in 0..30 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let case = gen_program_case(&mut rng, &uni);
+            if check_program_case(&case, &pool, Some(InjectedBug::RoutedFlip)).is_none() {
+                continue;
+            }
+            let min = minimize(&case, &pool, Some(InjectedBug::RoutedFlip));
+            assert!(
+                check_program_case(&min, &pool, Some(InjectedBug::RoutedFlip)).is_some(),
+                "seed {seed}: minimized case no longer fails"
+            );
+            assert!(
+                min.program.state_count() <= 8,
+                "seed {seed}: {} states after shrinking",
+                min.program.state_count()
+            );
+            assert!(
+                min.tree.len() <= 16,
+                "seed {seed}: {} tree nodes after shrinking",
+                min.tree.len()
+            );
+            shrunk += 1;
+            if shrunk >= 3 {
+                break;
+            }
+        }
+        assert!(shrunk > 0, "flip never triggered in 30 seeds");
+    }
+}

@@ -1,0 +1,445 @@
+//! The differential oracle: run one case through every applicable
+//! evaluator pair and report the first disagreement.
+//!
+//! | pair | compared |
+//! |------|----------|
+//! | `run` vs `run_guarded(unlimited)` | full `RunReport` |
+//! | `run` vs `run_batch` | full `RunReport`, every batch slot |
+//! | `run` vs `run_routed` | acceptance (skipped on limit halts) |
+//! | `run` vs `run(prune(P))` | acceptance (skipped on limit halts) |
+//! | serial guarded vs `run_batch_guarded` | `Ok` report / trip reason + injected kind, per budget axis |
+//! | `eval_sentence` vs `_memo` vs `_par` | boolean verdict |
+//! | `select` vs `select_memo` vs `select_batch` vs `ExistsFormula::select` | node sets, every context node |
+//! | `select_guarded` vs `select_batch_guarded` | `Ok` set / trip reason, per node |
+//! | near-miss builder spec | rejected with the intended `ProgramError` |
+//! | smelly program | analyzer diagnostics non-empty or pruner fired |
+//!
+//! All comparisons are exact: evaluators disagreeing on *how* they fail
+//! (trip reason, injected fault kind) count as discrepancies just like
+//! wrong answers.
+
+use twq_analyze::{analyze, prune, run_routed};
+use twq_automata::{run, run_batch, run_batch_guarded, run_guarded, Limits, TwProgram};
+use twq_exec::Pool;
+use twq_guard::{GuardError, ResourceGuard, TwqError};
+use twq_logic::fo::build::exists;
+use twq_logic::{
+    eval_sentence, eval_sentence_memo, eval_sentence_par, select, select_batch,
+    select_batch_guarded, select_guarded, select_memo,
+};
+use twq_tree::{DelimTree, NodeId};
+
+use crate::gen::{BudgetSpec, FormulaCase, ProgramCase};
+
+/// Engine limits for fuzz runs: tight enough that cyclic or exploding
+/// programs stop fast, loose enough that ordinary walks finish.
+pub const FUZZ_LIMITS: Limits = Limits {
+    max_steps: 20_000,
+    max_atp_depth: 12,
+    cycle_check_interval: 1,
+};
+
+/// A deliberately planted bug, used by `fuzz --self-test` to prove the
+/// oracle catches discrepancies and the minimizer shrinks them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedBug {
+    /// Flip the routed evaluator's acceptance on every tree with at least
+    /// two nodes. Monotone in the tree, so delta debugging shrinks repros
+    /// to a two-node witness.
+    RoutedFlip,
+}
+
+impl InjectedBug {
+    /// Stable CLI / repro-file name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InjectedBug::RoutedFlip => "routed-flip",
+        }
+    }
+
+    /// Parse the stable name.
+    pub fn from_name(s: &str) -> Option<InjectedBug> {
+        match s {
+            "routed-flip" => Some(InjectedBug::RoutedFlip),
+            _ => None,
+        }
+    }
+}
+
+/// One observed disagreement between two evaluators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Discrepancy {
+    /// Which evaluator pair disagreed (e.g. `"run vs run_routed"`).
+    pub pair: String,
+    /// What each side produced.
+    pub detail: String,
+}
+
+impl Discrepancy {
+    fn new(pair: &str, detail: String) -> Self {
+        Discrepancy {
+            pair: pair.to_owned(),
+            detail,
+        }
+    }
+}
+
+impl std::fmt::Display for Discrepancy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.pair, self.detail)
+    }
+}
+
+fn trip(e: &TwqError) -> &GuardError {
+    e.guard()
+        .expect("evaluators surface guard trips as TwqError::Guard")
+}
+
+/// Compare two guarded verdicts: `Ok` reports must be identical, `Err`
+/// trips must agree on reason *and* injected fault kind.
+fn verdicts_agree<T: PartialEq>(a: &Result<T, TwqError>, b: &Result<T, TwqError>) -> bool {
+    match (a, b) {
+        (Ok(x), Ok(y)) => x == y,
+        (Err(x), Err(y)) => {
+            let (x, y) = (trip(x), trip(y));
+            x.reason == y.reason && x.injected == y.injected
+        }
+        _ => false,
+    }
+}
+
+fn verdict_str<T: std::fmt::Debug>(v: &Result<T, TwqError>) -> String {
+    match v {
+        Ok(x) => format!("Ok({x:?})"),
+        Err(e) => {
+            let g = trip(e);
+            format!("Err(reason={:?}, injected={:?})", g.reason, g.injected)
+        }
+    }
+}
+
+/// Run every evaluator pair applicable to a program case.
+pub fn check_program_case(
+    case: &ProgramCase,
+    pool: &Pool,
+    inject: Option<InjectedBug>,
+) -> Option<Discrepancy> {
+    let prog = &case.program;
+    let delim = DelimTree::build(&case.tree);
+    let base = run(prog, &delim, FUZZ_LIMITS);
+
+    // 1. An unlimited guard must be invisible.
+    let guarded = run_guarded(prog, &delim, FUZZ_LIMITS, &mut ResourceGuard::unlimited());
+    match guarded {
+        Ok(ref r) if *r == base => {}
+        other => {
+            return Some(Discrepancy::new(
+                "run vs run_guarded(unlimited)",
+                format!("base={base:?} guarded={}", verdict_str(&other)),
+            ))
+        }
+    }
+
+    // 2. Batch slots must reproduce the serial report exactly.
+    let trees = vec![case.tree.clone(), case.tree.clone(), case.tree.clone()];
+    for (i, r) in run_batch(prog, &trees, FUZZ_LIMITS, pool)
+        .iter()
+        .enumerate()
+    {
+        if *r != base {
+            return Some(Discrepancy::new(
+                "run vs run_batch",
+                format!("slot {i}: base={base:?} batch={r:?}"),
+            ));
+        }
+    }
+
+    // 3. The routing layer (prune + class-routed evaluator choice) must
+    // agree on acceptance whenever the direct run is definite. (On limit
+    // halts the graph evaluator may legitimately finish where the direct
+    // engine ran out, and vice versa.)
+    if !base.halt.is_limit() {
+        let routed = run_routed(prog, &delim, FUZZ_LIMITS);
+        let mut routed_accepted = routed.accepted;
+        if inject == Some(InjectedBug::RoutedFlip) && case.tree.len() >= 2 {
+            routed_accepted = !routed_accepted;
+        }
+        if routed_accepted != base.accepted() {
+            return Some(Discrepancy::new(
+                "run vs run_routed",
+                format!(
+                    "base halt={:?} accepted={} routed({:?}) accepted={}",
+                    base.halt,
+                    base.accepted(),
+                    routed.evaluator,
+                    routed_accepted
+                ),
+            ));
+        }
+    }
+
+    // 4. Pruning preserves acceptance — but not halt reasons: removing
+    // rules of non-co-accessible states turns a doomed wander (Cycle,
+    // step-limit) into an immediate Stuck. Compare acceptance only, on
+    // definite base runs.
+    if !base.halt.is_limit() {
+        let pruned = prune(prog);
+        let pruned_run = run(&pruned.program, &delim, FUZZ_LIMITS);
+        if pruned_run.accepted() != base.accepted() {
+            return Some(Discrepancy::new(
+                "run vs run(prune)",
+                format!(
+                    "base halt={:?} accepted={} pruned halt={:?} accepted={}",
+                    base.halt,
+                    base.accepted(),
+                    pruned_run.halt,
+                    pruned_run.accepted()
+                ),
+            ));
+        }
+    }
+
+    // 5. Guarded serial vs guarded batch, one axis at a time plus the
+    // combined spec — identical verdicts including trip reasons and
+    // injected fault kinds.
+    for spec in budget_axes(&case.budget) {
+        let serial: Vec<_> = trees
+            .iter()
+            .map(|t| {
+                let mut g = spec.guard();
+                run_guarded(prog, &DelimTree::build(t), FUZZ_LIMITS, &mut g)
+            })
+            .collect();
+        let batch = run_batch_guarded(prog, &trees, FUZZ_LIMITS, pool, || spec.guard());
+        for (i, (s, b)) in serial.iter().zip(&batch).enumerate() {
+            if !verdicts_agree(s, b) {
+                return Some(Discrepancy::new(
+                    "run_guarded vs run_batch_guarded",
+                    format!(
+                        "spec={spec:?} slot {i}: serial={} batch={}",
+                        verdict_str(s),
+                        verdict_str(b)
+                    ),
+                ));
+            }
+        }
+        // A pure fuel/deadline guard only ever *stops* a run; a verdict it
+        // lets through must equal the unguarded report.
+        if spec.faults.is_none() {
+            if let Ok(r) = &serial[0] {
+                if *r != base {
+                    return Some(Discrepancy::new(
+                        "run vs run_guarded(limited)",
+                        format!("spec={spec:?}: base={base:?} guarded={r:?}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    None
+}
+
+/// The budget axes to exercise: each configured constraint in isolation,
+/// then the full combination when it mixes axes.
+fn budget_axes(budget: &BudgetSpec) -> Vec<BudgetSpec> {
+    let mut specs = Vec::new();
+    if let Some(fuel) = budget.fuel {
+        specs.push(BudgetSpec {
+            fuel: Some(fuel),
+            ..BudgetSpec::default()
+        });
+    }
+    if let Some(ms) = budget.deadline_ms {
+        specs.push(BudgetSpec {
+            deadline_ms: Some(ms),
+            ..BudgetSpec::default()
+        });
+    }
+    if let Some(plan) = &budget.faults {
+        specs.push(BudgetSpec {
+            faults: Some(plan.clone()),
+            ..BudgetSpec::default()
+        });
+    }
+    if specs.len() > 1 {
+        specs.push(budget.clone());
+    }
+    specs
+}
+
+/// Run every evaluator pair applicable to a formula case.
+pub fn check_formula_case(case: &FormulaCase, pool: &Pool) -> Option<Discrepancy> {
+    let phi = &case.phi;
+    let tree = &case.tree;
+    let formula = phi.to_formula();
+    let sentence = exists(phi.x(), exists(phi.y(), formula.clone()));
+
+    // 1. Sentence verdict: naive vs memoized vs parallel.
+    let naive = match eval_sentence(tree, &sentence) {
+        Ok(b) => b,
+        Err(e) => {
+            return Some(Discrepancy::new(
+                "eval_sentence",
+                format!("rejected a closed sentence: {e}"),
+            ))
+        }
+    };
+    match eval_sentence_memo(tree, &sentence) {
+        Ok(b) if b == naive => {}
+        other => {
+            return Some(Discrepancy::new(
+                "eval_sentence vs eval_sentence_memo",
+                format!("naive={naive} memo={other:?}"),
+            ))
+        }
+    }
+    match eval_sentence_par(tree, &sentence, pool) {
+        Ok(b) if b == naive => {}
+        other => {
+            return Some(Discrepancy::new(
+                "eval_sentence vs eval_sentence_par",
+                format!("naive={naive} par={other:?}"),
+            ))
+        }
+    }
+
+    // 2. Node selection from every context node: naive recursion vs
+    // memoized vs pooled batch vs the FO(∃*) backtracking selector.
+    let us: Vec<NodeId> = tree.node_ids().collect();
+    let serial: Vec<_> = us
+        .iter()
+        .map(|&u| select(tree, &formula, phi.x(), u, phi.y()))
+        .collect::<Result<_, _>>()
+        .ok()?;
+    for (i, &u) in us.iter().enumerate() {
+        match select_memo(tree, &formula, phi.x(), u, phi.y()) {
+            Ok(s) if s == serial[i] => {}
+            other => {
+                return Some(Discrepancy::new(
+                    "select vs select_memo",
+                    format!("node {u}: naive={:?} memo={other:?}", serial[i]),
+                ))
+            }
+        }
+        let direct = phi.select(tree, u);
+        if direct != serial[i] {
+            return Some(Discrepancy::new(
+                "select vs ExistsFormula::select",
+                format!("node {u}: naive={:?} backtracking={direct:?}", serial[i]),
+            ));
+        }
+    }
+    match select_batch(tree, &formula, phi.x(), &us, phi.y(), pool) {
+        Ok(batch) if batch == serial => {}
+        other => {
+            return Some(Discrepancy::new(
+                "select vs select_batch",
+                format!("serial={serial:?} batch={other:?}"),
+            ))
+        }
+    }
+
+    // 3. Guarded selection: serial fresh-guard loop vs batch factory.
+    if let Some(fuel) = case.fuel {
+        let make = || ResourceGuard::unlimited().with_budget(fuel);
+        let serial: Vec<_> = us
+            .iter()
+            .map(|&u| {
+                let mut g = make();
+                select_guarded(tree, &formula, phi.x(), u, phi.y(), &mut g)
+            })
+            .collect();
+        let batch = select_batch_guarded(tree, &formula, phi.x(), &us, phi.y(), pool, make);
+        for (i, (s, b)) in serial.iter().zip(&batch).enumerate() {
+            if !verdicts_agree(s, b) {
+                return Some(Discrepancy::new(
+                    "select_guarded vs select_batch_guarded",
+                    format!(
+                        "fuel={fuel} node {}: serial={} batch={}",
+                        us[i],
+                        verdict_str(s),
+                        verdict_str(b)
+                    ),
+                ));
+            }
+        }
+    }
+
+    None
+}
+
+/// Check that the analyzer sees something wrong with a deliberately smelly
+/// (but well-formed) program: at least one diagnostic, or a pruner hit.
+pub fn check_smelly_program(prog: &TwProgram) -> Option<Discrepancy> {
+    let analysis = analyze(prog);
+    let pruned = prune(prog);
+    if analysis.diagnostics.is_empty() && !pruned.changed() {
+        return Some(Discrepancy::new(
+            "analyze on smelly program",
+            format!(
+                "no diagnostics and nothing pruned for:\n{}",
+                prog.display(&twq_tree::Vocab::new())
+            ),
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_formula_case, gen_program_case, gen_smelly_program, Universe};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_program_cases_pass_the_oracle() {
+        let uni = Universe::standard();
+        let pool = Pool::new(2);
+        for seed in 0..60 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let case = gen_program_case(&mut rng, &uni);
+            let d = check_program_case(&case, &pool, None);
+            assert!(d.is_none(), "seed {seed}: {}", d.unwrap());
+        }
+    }
+
+    #[test]
+    fn clean_formula_cases_pass_the_oracle() {
+        let uni = Universe::standard();
+        let pool = Pool::new(2);
+        for seed in 100..130 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let case = gen_formula_case(&mut rng, &uni);
+            let d = check_formula_case(&case, &pool);
+            assert!(d.is_none(), "seed {seed}: {}", d.unwrap());
+        }
+    }
+
+    #[test]
+    fn injected_routed_flip_is_caught() {
+        let uni = Universe::standard();
+        let pool = Pool::new(2);
+        let mut caught = 0;
+        for seed in 0..40 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let case = gen_program_case(&mut rng, &uni);
+            if let Some(d) = check_program_case(&case, &pool, Some(InjectedBug::RoutedFlip)) {
+                assert_eq!(d.pair, "run vs run_routed", "{d}");
+                caught += 1;
+            }
+        }
+        assert!(caught > 0, "flip never observable in 40 cases");
+    }
+
+    #[test]
+    fn smelly_programs_trip_the_analyzer_check() {
+        let uni = Universe::standard();
+        for seed in 0..40 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let prog = gen_smelly_program(&mut rng, &uni);
+            assert!(check_smelly_program(&prog).is_none(), "seed {seed}");
+        }
+    }
+}

@@ -8,8 +8,26 @@
 //!
 //! The plan uses an inline splitmix64 generator so this crate keeps its
 //! no-dependency policy (the vendored `rand` shim is not needed here).
+//!
+//! # Compact string form
+//!
+//! A plan's *schedule spec* (seed + rates; not the stream position) round
+//! trips through a compact string so minimized fuzz repros and CLI flags
+//! can fully encode a chaos schedule:
+//!
+//! ```text
+//! SEED[:KIND=RATE[,KIND=RATE...]]
+//! ```
+//!
+//! where `KIND ∈ {fuel, deadline, drop, corrupt}` and `RATE` is per
+//! million site visits. A bare `SEED` means [`FaultPlan::seeded`] (the
+//! default chaos mix); overrides start from those defaults, so
+//! `7:drop=0` is the default plan with transition drops disabled and
+//! `7:fuel=0,deadline=0,drop=0,corrupt=0` is [`FaultPlan::quiet`].
+//! [`fmt::Display`] always prints the fully explicit form.
 
 use std::fmt;
+use std::str::FromStr;
 
 /// The kinds of fault a [`FaultPlan`] can inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -173,6 +191,71 @@ impl FaultPlan {
     }
 }
 
+impl fmt::Display for FaultPlan {
+    /// The fully explicit compact form of the *schedule spec* (seed and
+    /// rates). The generator's stream position is deliberately not part of
+    /// the rendering: `p.to_string().parse()` reconstructs the plan as it
+    /// was before any [`FaultPlan::roll`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:fuel={},deadline={},drop={},corrupt={}",
+            self.seed,
+            self.fuel_per_million,
+            self.deadline_per_million,
+            self.drop_per_million,
+            self.corrupt_per_million
+        )
+    }
+}
+
+/// An error parsing a [`FaultPlan`] compact string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlanParseError(String);
+
+impl fmt::Display for FaultPlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid fault plan {:?} (expected SEED[:KIND=RATE,...] with \
+             KIND in fuel|deadline|drop|corrupt)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for FaultPlanParseError {}
+
+impl FromStr for FaultPlan {
+    type Err = FaultPlanParseError;
+
+    /// Parse the compact form documented at the module level. Inverse of
+    /// [`fmt::Display`] on fresh (un-rolled) plans.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || FaultPlanParseError(s.to_owned());
+        let (seed_part, rates_part) = match s.split_once(':') {
+            Some((a, b)) => (a, Some(b)),
+            None => (s, None),
+        };
+        let seed: u64 = seed_part.trim().parse().map_err(|_| err())?;
+        let mut plan = FaultPlan::seeded(seed);
+        if let Some(rates) = rates_part {
+            for item in rates.split(',') {
+                let (kind, rate) = item.split_once('=').ok_or_else(err)?;
+                let rate: u32 = rate.trim().parse().map_err(|_| err())?;
+                plan = match kind.trim() {
+                    "fuel" => plan.fuel_rate(rate),
+                    "deadline" => plan.deadline_rate(rate),
+                    "drop" => plan.drop_rate(rate),
+                    "corrupt" => plan.corrupt_rate(rate),
+                    _ => return Err(err()),
+                };
+            }
+        }
+        Ok(plan)
+    }
+}
+
 fn splitmix_seed(seed: u64) -> u64 {
     // Decorrelate small consecutive seeds before the first roll.
     seed ^ 0x6A09_E667_F3BC_C909
@@ -230,6 +313,56 @@ mod tests {
         assert!(seen.contains(&FaultKind::DeadlineExpiry));
         assert!(seen.contains(&FaultKind::DropTransition));
         assert!(seen.contains(&FaultKind::CorruptStore));
+    }
+
+    #[test]
+    fn compact_string_round_trips() {
+        for plan in [
+            FaultPlan::seeded(42),
+            FaultPlan::quiet(7),
+            FaultPlan::seeded(u64::MAX).drop_rate(0).fuel_rate(123_456),
+        ] {
+            let s = plan.to_string();
+            let back: FaultPlan = s.parse().unwrap();
+            assert_eq!(back, plan, "{s}");
+        }
+    }
+
+    #[test]
+    fn bare_seed_parses_to_default_mix() {
+        let p: FaultPlan = "42".parse().unwrap();
+        assert_eq!(p, FaultPlan::seeded(42));
+    }
+
+    #[test]
+    fn overrides_start_from_defaults() {
+        let p: FaultPlan = "7:drop=0".parse().unwrap();
+        assert_eq!(p, FaultPlan::seeded(7).drop_rate(0));
+        let q: FaultPlan = "7:fuel=0,deadline=0,drop=0,corrupt=0".parse().unwrap();
+        assert_eq!(q, FaultPlan::quiet(7));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "x",
+            "1:fuel",
+            "1:fuel=abc",
+            "1:turbo=3",
+            "1:fuel=1;drop=2",
+        ] {
+            assert!(bad.parse::<FaultPlan>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn parsed_plan_replays_the_same_fault_stream() {
+        let mut a = FaultPlan::seeded(99).corrupt_rate(500_000);
+        let mut b: FaultPlan = a.to_string().parse().unwrap();
+        for _ in 0..10_000 {
+            assert_eq!(a.roll(FaultSite::Store), b.roll(FaultSite::Store));
+        }
     }
 
     #[test]

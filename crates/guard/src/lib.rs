@@ -45,7 +45,7 @@ mod res;
 mod shared;
 
 pub use error::{DepthKind, GaugeKind, GuardError, Partial, TripReason, TwqError};
-pub use faults::{FaultKind, FaultPlan, FaultSite};
+pub use faults::{FaultKind, FaultPlan, FaultPlanParseError, FaultSite};
 pub use res::{
     Budget, CancelToken, Deadline, DepthGuard, Guard, GuardStats, MemGauge, NullGuard,
     ResourceGuard,

@@ -19,6 +19,14 @@ pub struct TreeGenConfig {
     /// Attributes to populate, each with the value pool to draw from.
     /// Attributes with an empty pool keep `⊥` everywhere.
     pub attributes: Vec<(AttrId, Vec<Value>)>,
+    /// Value-collision knob: `Some(k)` restricts every attribute draw to a
+    /// *shared* datum pool of (at most) `k` values, sampled per seed from
+    /// the union of the attribute pools. Small `k` produces the
+    /// value-collision-heavy data trees of the Figueira–Segoufin style
+    /// hostile workloads — many nodes, few distinct data values — instead
+    /// of uniform draws over each attribute's full pool. `None` keeps the
+    /// original per-attribute uniform behaviour.
+    pub collision_pool: Option<usize>,
 }
 
 impl TreeGenConfig {
@@ -34,6 +42,7 @@ impl TreeGenConfig {
             max_children: 4,
             symbols: vec![sigma, delta],
             attributes: vec![(a, pool)],
+            collision_pool: None,
         }
     }
 }
@@ -64,7 +73,30 @@ pub fn random_tree(cfg: &TreeGenConfig, seed: u64) -> Tree {
             open.swap_remove(slot);
         }
     }
+    // With a collision pool, all attributes share one small per-seed pool;
+    // otherwise each attribute draws uniformly from its own full pool.
+    let shared = cfg.collision_pool.map(|k| {
+        let mut union: Vec<Value> = cfg
+            .attributes
+            .iter()
+            .flat_map(|(_, pool)| pool.iter().copied())
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        let k = k.max(1).min(union.len());
+        // Seeded sample without replacement: partial Fisher–Yates.
+        for i in 0..k {
+            let j = i + rng.gen_range(0..union.len() - i);
+            union.swap(i, j);
+        }
+        union.truncate(k);
+        union
+    });
     for (attr, pool) in &cfg.attributes {
+        let pool = match &shared {
+            Some(s) if !s.is_empty() => s,
+            _ => pool,
+        };
         if pool.is_empty() {
             continue;
         }
@@ -74,6 +106,31 @@ pub fn random_tree(cfg: &TreeGenConfig, seed: u64) -> Tree {
         }
     }
     debug_assert!(tree.check_consistency().is_ok());
+    tree
+}
+
+/// A deep chain of `depth + 1` nodes, each labeled `sym` — the
+/// pathological depth case from the alternating-automata constructions
+/// (Jurdziński–Lazić): O(depth) walks, O(depth) delimiter nesting.
+pub fn chain_tree(sym: SymId, depth: usize) -> Tree {
+    let mut tree = Tree::leaf(sym);
+    let mut cur = tree.root();
+    for _ in 0..depth {
+        cur = tree.add_sym_child(cur, sym);
+    }
+    tree
+}
+
+/// A comb: a spine of `teeth` nodes, each carrying one leaf child — deep
+/// *and* branching at every level, so sibling and parent moves are both
+/// exercised on every spine node.
+pub fn comb_tree(sym: SymId, teeth: usize) -> Tree {
+    let mut tree = Tree::leaf(sym);
+    let mut cur = tree.root();
+    for _ in 0..teeth {
+        tree.add_sym_child(cur, sym);
+        cur = tree.add_sym_child(cur, sym);
+    }
     tree
 }
 
@@ -224,6 +281,80 @@ mod tests {
         for c in t.children(t.root()) {
             assert!(t.is_leaf(c));
         }
+    }
+
+    #[test]
+    fn chain_tree_is_a_chain() {
+        let mut v = Vocab::new();
+        let s = v.sym("s");
+        let t = chain_tree(s, 64);
+        assert_eq!(t.len(), 65);
+        let mut depth = 0;
+        let mut cur = t.root();
+        while let Some(c) = t.first_child(cur) {
+            assert_eq!(t.child_count(cur), 1);
+            cur = c;
+            depth += 1;
+        }
+        assert_eq!(depth, 64);
+        assert_eq!(chain_tree(s, 0).len(), 1);
+    }
+
+    #[test]
+    fn comb_tree_shape() {
+        let mut v = Vocab::new();
+        let s = v.sym("s");
+        let t = comb_tree(s, 10);
+        assert_eq!(t.len(), 21); // root + 10 × (tooth + spine)
+                                 // Every spine node below the root has exactly one leaf sibling.
+        let mut cur = t.root();
+        for _ in 0..10 {
+            assert_eq!(t.child_count(cur), 2);
+            let tooth = t.first_child(cur).unwrap();
+            assert!(t.is_leaf(tooth));
+            cur = t.next_sibling(tooth).unwrap();
+        }
+        assert!(t.is_leaf(cur));
+    }
+
+    #[test]
+    fn collision_pool_limits_distinct_values() {
+        let mut v = Vocab::new();
+        let mut cfg = TreeGenConfig::example32(&mut v, 200, &(0..50).collect::<Vec<_>>());
+        cfg.collision_pool = Some(2);
+        let a = v.attr_opt("a").unwrap();
+        let t = random_tree(&cfg, 11);
+        let mut seen: Vec<Value> = t.node_ids().map(|u| t.attr(u, a)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert!(
+            seen.len() <= 2,
+            "expected ≤ 2 distinct values, got {seen:?}"
+        );
+        // 200 nodes over ≤ 2 values: collisions are guaranteed.
+        assert!(t.len() > seen.len());
+    }
+
+    #[test]
+    fn collision_pool_is_deterministic_and_seed_dependent() {
+        let mut v = Vocab::new();
+        let mut cfg = TreeGenConfig::example32(&mut v, 60, &(0..40).collect::<Vec<_>>());
+        cfg.collision_pool = Some(3);
+        let s1 = crate::parse::tree_to_string(&random_tree(&cfg, 5), &v);
+        let s2 = crate::parse::tree_to_string(&random_tree(&cfg, 5), &v);
+        assert_eq!(s1, s2);
+        let s3 = crate::parse::tree_to_string(&random_tree(&cfg, 6), &v);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn oversized_collision_pool_degrades_to_uniform() {
+        let mut v = Vocab::new();
+        let mut cfg = TreeGenConfig::example32(&mut v, 50, &[1, 2]);
+        cfg.collision_pool = Some(1000);
+        let t = random_tree(&cfg, 3);
+        assert_eq!(t.len(), 50);
+        t.check_consistency().unwrap();
     }
 
     #[test]

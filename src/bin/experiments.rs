@@ -30,8 +30,16 @@
 //!
 //! * `--budget N` — cap every evaluator invocation at `N` fuel units;
 //! * `--timeout MS` — give every invocation a wall-clock deadline;
-//! * `--faults SEED` — inject deterministic faults (dropped transitions,
-//!   corrupted stores, synthetic exhaustion) from a seeded plan.
+//! * `--faults SPEC` — inject deterministic faults (dropped transitions,
+//!   corrupted stores, synthetic exhaustion) from a seeded plan. `SPEC` is
+//!   either a bare seed (`--faults 7`, default rates) or the compact
+//!   `FaultPlan` string `SEED:KIND=RATE,...` with per-million rates over
+//!   `fuel|deadline|drop|corrupt`, e.g. `--faults 7:drop=5000,corrupt=0`.
+//!
+//! `--collisions K` additionally makes every generated data tree draw its
+//! attribute values from a `K`-value per-seed pool (the hostile
+//! collision-heavy corpus of `twq-fuzz`), stressing the value-comparison
+//! paths of E1's register automaton.
 //!
 //! A governed run that trips a limit prints its row with an explicit
 //! `limit-tripped` marker instead of hanging or aborting the sweep.
@@ -72,11 +80,11 @@ use twq::xtm::{
 /// Resource-governance settings from `--budget`, `--timeout`, `--faults`.
 /// Each governed evaluator call gets a **fresh** guard built from these, so
 /// the budget and deadline are per invocation, not per sweep.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct Gov {
     budget: Option<u64>,
     timeout_ms: Option<u64>,
-    faults: Option<u64>,
+    faults: Option<FaultPlan>,
 }
 
 impl Gov {
@@ -92,8 +100,8 @@ impl Gov {
         if let Some(ms) = self.timeout_ms {
             g = g.with_deadline(Duration::from_millis(ms));
         }
-        if let Some(seed) = self.faults {
-            g = g.with_faults(FaultPlan::seeded(seed));
+        if let Some(plan) = &self.faults {
+            g = g.with_faults(plan.clone());
         }
         g
     }
@@ -343,7 +351,7 @@ fn governed_run(
     prog: &TwProgram,
     dt: &DelimTree,
     limits: Limits,
-    gov: Gov,
+    gov: &Gov,
 ) -> Result<twq::automata::RunReport, TwqError> {
     if gov.active() {
         run_guarded(prog, dt, limits, &mut gov.guard())
@@ -357,7 +365,7 @@ fn governed_run_xtm(
     m: &twq::xtm::Xtm,
     dt: &DelimTree,
     limits: XtmLimits,
-    gov: Gov,
+    gov: &Gov,
 ) -> Result<XtmReport, TwqError> {
     if gov.active() {
         run_xtm_guarded(m, dt, limits, &mut gov.guard())
@@ -376,7 +384,7 @@ fn governed_run_protocol(
     sym: twq::tree::SymId,
     attr: twq::tree::AttrId,
     limits: Limits,
-    gov: Gov,
+    gov: &Gov,
 ) -> Result<ProtocolReport, TwqError> {
     if gov.active() {
         run_protocol_guarded(prog, f, g, markers, sym, attr, limits, &mut gov.guard())
@@ -389,11 +397,12 @@ fn main() {
     let (mut json, mut profile, mut strict, mut do_analyze) = (false, false, false, false);
     let mut gov = Gov::default();
     let mut jobs: Option<usize> = None;
+    let mut collisions: Option<usize> = None;
     let mut flame_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     let usage = "expected --json, --profile, --flame PATH, --analyze, --strict, --jobs N, \
-                 --budget N, --timeout MS, and/or --faults SEED";
+                 --budget N, --timeout MS, --collisions K, and/or --faults SEED[:KIND=RATE,...]";
     let numeric = |flag: &str, v: Option<&String>| -> u64 {
         v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
             eprintln!("{flag} requires a numeric value ({usage})");
@@ -415,7 +424,14 @@ fn main() {
             "--jobs" => jobs = Some(numeric("--jobs", it.next()) as usize),
             "--budget" => gov.budget = Some(numeric("--budget", it.next())),
             "--timeout" => gov.timeout_ms = Some(numeric("--timeout", it.next())),
-            "--faults" => gov.faults = Some(numeric("--faults", it.next())),
+            "--collisions" => collisions = Some(numeric("--collisions", it.next()) as usize),
+            "--faults" => {
+                let spec = it.next().map(String::as_str).unwrap_or("");
+                gov.faults = Some(spec.parse::<FaultPlan>().unwrap_or_else(|e| {
+                    eprintln!("--faults: {e} ({usage})");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!("unknown argument `{other}` ({usage})");
                 std::process::exit(2);
@@ -446,26 +462,35 @@ fn main() {
     let rep = rep.as_mut();
     if gov.active() {
         rep.note(&format!(
-            "governance: budget {:?}, timeout {:?} ms, fault seed {:?} (per invocation)",
-            gov.budget, gov.timeout_ms, gov.faults
+            "governance: budget {:?}, timeout {:?} ms, fault plan {} (per invocation)",
+            gov.budget,
+            gov.timeout_ms,
+            gov.faults
+                .as_ref()
+                .map_or_else(|| "none".to_owned(), |p| p.to_string())
+        ));
+    }
+    if let Some(k) = collisions {
+        rep.note(&format!(
+            "collisions: generated trees draw attribute values from a {k}-value per-seed pool"
         ));
     }
     if do_analyze {
         e0_analyze(rep);
     }
-    e1_example32(rep, &mut prof, gov, &pool);
-    e2_xpath(rep, &mut prof, gov, &pool);
-    e3_logspace_pebbles(rep, &mut prof, gov, &pool);
-    e4_twl_ptime(rep, &mut prof, gov, &pool);
-    e5_twr_pspace(rep, &mut prof, gov, &pool);
-    e6_twrl_exptime(rep, &mut prof, gov, &pool);
-    e7_lm_fo(rep, gov);
-    e8_protocol(rep, gov);
+    e1_example32(rep, &mut prof, &gov, collisions, &pool);
+    e2_xpath(rep, &mut prof, &gov, &pool);
+    e3_logspace_pebbles(rep, &mut prof, &gov, &pool);
+    e4_twl_ptime(rep, &mut prof, &gov, &pool);
+    e5_twr_pspace(rep, &mut prof, &gov, &pool);
+    e6_twrl_exptime(rep, &mut prof, &gov, &pool);
+    e7_lm_fo(rep, &gov);
+    e8_protocol(rep, &gov);
     e9_counting(rep);
     e10_types(rep);
-    e11_xtm_vs_tm(rep, gov);
-    e12_prop72(rep, gov);
-    e13_alternation(rep, gov);
+    e11_xtm_vs_tm(rep, &gov);
+    e12_prop72(rep, &gov);
+    e13_alternation(rep, &gov);
     if prof.active {
         prof_summary(rep, &mut prof);
     }
@@ -600,7 +625,13 @@ fn profile_note(rep: &mut dyn Reporter, what: &str, m: &RunMetrics) {
     ));
 }
 
-fn e1_example32(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: &Pool) {
+fn e1_example32(
+    rep: &mut dyn Reporter,
+    prof: &mut Prof,
+    gov: &Gov,
+    collisions: Option<usize>,
+    pool: &Pool,
+) {
     rep.experiment(
         "E1",
         "Example 3.2: the worked tw^{r,l} automaton vs its oracle",
@@ -636,10 +667,13 @@ fn e1_example32(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: &Pool) 
     let cfgs: Vec<(TreeGenConfig, TreeGenConfig)> = sizes
         .iter()
         .map(|&n| {
-            (
-                TreeGenConfig::example32(&mut vocab, n, &[1, 2]),
-                TreeGenConfig::example32(&mut vocab, n, &[7]),
-            )
+            let mut mixed = TreeGenConfig::example32(&mut vocab, n, &[1, 2]);
+            let mut uniform = TreeGenConfig::example32(&mut vocab, n, &[7]);
+            // `--collisions K`: draw attribute values from a K-value
+            // per-seed pool (the twq-fuzz hostile corpus knob).
+            mixed.collision_pool = collisions;
+            uniform.collision_pool = collisions;
+            (mixed, uniform)
         })
         .collect();
     struct E1Row {
@@ -714,7 +748,7 @@ fn e1_example32(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: &Pool) 
     }
 }
 
-fn e2_xpath(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: &Pool) {
+fn e2_xpath(rep: &mut dyn Reporter, prof: &mut Prof, gov: &Gov, pool: &Pool) {
     rep.experiment("E2", "Section 2.3: XPath ≡ compiled FO(∃*) selector");
     let mut vocab = Vocab::new();
     let queries = [
@@ -771,7 +805,7 @@ fn e2_xpath(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: &Pool) {
     }
 }
 
-fn e3_logspace_pebbles(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: &Pool) {
+fn e3_logspace_pebbles(rep: &mut dyn Reporter, prof: &mut Prof, gov: &Gov, pool: &Pool) {
     let profile = prof.active;
     rep.experiment(
         "E3",
@@ -908,7 +942,7 @@ fn e3_logspace_pebbles(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: 
     }
 }
 
-fn e4_twl_ptime(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: &Pool) {
+fn e4_twl_ptime(rep: &mut dyn Reporter, prof: &mut Prof, gov: &Gov, pool: &Pool) {
     let profile = prof.active;
     rep.experiment(
         "E4",
@@ -1017,7 +1051,7 @@ fn e4_twl_ptime(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: &Pool) 
     }
 }
 
-fn e5_twr_pspace(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: &Pool) {
+fn e5_twr_pspace(rep: &mut dyn Reporter, prof: &mut Prof, gov: &Gov, pool: &Pool) {
     let profile = prof.active;
     rep.experiment(
         "E5",
@@ -1120,7 +1154,7 @@ fn e5_twr_pspace(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: &Pool)
     }
 }
 
-fn e6_twrl_exptime(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: &Pool) {
+fn e6_twrl_exptime(rep: &mut dyn Reporter, prof: &mut Prof, gov: &Gov, pool: &Pool) {
     let profile = prof.active;
     rep.experiment(
         "E6",
@@ -1208,7 +1242,7 @@ fn e6_twrl_exptime(rep: &mut dyn Reporter, prof: &mut Prof, gov: Gov, pool: &Poo
     }
 }
 
-fn e7_lm_fo(rep: &mut dyn Reporter, gov: Gov) {
+fn e7_lm_fo(rep: &mut dyn Reporter, gov: &Gov) {
     rep.experiment("E7", "Lemma 4.2: L^m is FO-definable (sentence ≡ decoder)");
     let mut vocab = Vocab::new();
     let markers = Markers::new(2, &mut vocab);
@@ -1280,7 +1314,7 @@ fn e7_lm_fo(rep: &mut dyn Reporter, gov: Gov) {
     }
 }
 
-fn e8_protocol(rep: &mut dyn Reporter, gov: Gov) {
+fn e8_protocol(rep: &mut dyn Reporter, gov: &Gov) {
     rep.experiment(
         "E8",
         "Lemma 4.5: protocol ≡ direct run; alphabet does not grow with input",
@@ -1428,7 +1462,7 @@ fn e10_types(rep: &mut dyn Reporter) {
     ));
 }
 
-fn e11_xtm_vs_tm(rep: &mut dyn Reporter, gov: Gov) {
+fn e11_xtm_vs_tm(rep: &mut dyn Reporter, gov: &Gov) {
     rep.experiment(
         "E11",
         "Theorem 6.2: xTM on trees ≡ ordinary TM on encodings",
@@ -1500,7 +1534,7 @@ fn e11_xtm_vs_tm(rep: &mut dyn Reporter, gov: Gov) {
     }
 }
 
-fn e12_prop72(rep: &mut dyn Reporter, gov: Gov) {
+fn e12_prop72(rep: &mut dyn Reporter, gov: &Gov) {
     rep.experiment(
         "E12",
         "Proposition 7.2 (A=∅): store folds into states, language preserved",
@@ -1566,7 +1600,7 @@ fn e12_prop72(rep: &mut dyn Reporter, gov: Gov) {
     }
 }
 
-fn e13_alternation(rep: &mut dyn Reporter, gov: Gov) {
+fn e13_alternation(rep: &mut dyn Reporter, gov: &Gov) {
     rep.experiment(
         "E13",
         "Alternation (ALOGSPACE=PTIME bridge): alternating xTM configs grow linearly",

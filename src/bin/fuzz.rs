@@ -1,0 +1,240 @@
+//! `fuzz` — differential fuzzing over every evaluator pair (`twq-fuzz`).
+//!
+//! Generates seeded random programs (stratified over the Definition 5.1
+//! classes), hostile trees, and adversarial budgets, and requires the
+//! direct, guarded, batch, routed, pruned, memoized, and parallel
+//! evaluators to agree — on answers and on failure modes. Failing cases
+//! are shrunk by delta debugging and written as replayable JSONL.
+//!
+//! ```sh
+//! cargo run --release --bin fuzz -- --seed 1 --cases 10000 --jobs 2
+//! cargo run --release --bin fuzz -- --seed 1 --cases 200 --out repros.jsonl
+//! cargo run --release --bin fuzz -- --replay repros.jsonl
+//! cargo run --release --bin fuzz -- --self-test
+//! ```
+//!
+//! The campaign result is a pure function of `(--seed, --cases)`; `--jobs`
+//! only changes wall-clock time. Exit status: `0` for a clean campaign
+//! (or a passing self-test), `1` when discrepancies were found, `2` for
+//! usage errors.
+//!
+//! `--self-test` plants [`InjectedBug::RoutedFlip`] into the oracle, then
+//! asserts the campaign catches it, the minimizer shrinks a repro to at
+//! most 8 program states and 16 tree nodes, and the written repro line
+//! replays as still-failing.
+
+use twq::exec::Pool;
+use twq::fuzz::{
+    minimize, parse_jsonl, render_jsonl, replay, run_campaign, FuzzConfig, InjectedBug, Repro,
+    Universe,
+};
+
+struct Args {
+    cfg: FuzzConfig,
+    jobs: Option<usize>,
+    out: Option<String>,
+    replay: Option<String>,
+    self_test: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzz [--seed N] [--cases N] [--jobs N] [--no-minimize] \
+         [--out PATH] [--inject-bug NAME] [--replay PATH] [--self-test]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cfg: FuzzConfig::default(),
+        jobs: None,
+        out: None,
+        replay: None,
+        self_test: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = || -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{arg} expects an argument");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--seed" => match value().parse() {
+                Ok(n) => args.cfg.seed = n,
+                Err(_) => usage(),
+            },
+            "--cases" => match value().parse() {
+                Ok(n) => args.cfg.cases = n,
+                Err(_) => usage(),
+            },
+            "--jobs" => match value().parse() {
+                Ok(n) => args.jobs = Some(n),
+                Err(_) => usage(),
+            },
+            "--no-minimize" => args.cfg.minimize = false,
+            "--minimize" => args.cfg.minimize = true,
+            "--out" => args.out = Some(value()),
+            "--replay" => args.replay = Some(value()),
+            "--inject-bug" => {
+                let name = value();
+                match InjectedBug::from_name(&name) {
+                    Some(b) => args.cfg.inject = Some(b),
+                    None => {
+                        eprintln!("unknown bug {name:?} (expected: routed-flip)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--self-test" => args.self_test = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn run_replay(path: &str, pool: &Pool) -> i32 {
+    let contents = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("fuzz: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let repros = match parse_jsonl(&contents) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fuzz: cannot parse {path}: {e}");
+            return 2;
+        }
+    };
+    let failing = replay(&repros, pool);
+    for (i, r) in repros.iter().enumerate() {
+        let status = if failing.contains(&i) {
+            "STILL FAILING"
+        } else {
+            "no longer fails"
+        };
+        println!(
+            "repro {}: [{}] {} — {status}",
+            i + 1,
+            r.pair,
+            r.detail.lines().next().unwrap_or("")
+        );
+    }
+    println!(
+        "replayed {} repro(s): {} still failing",
+        repros.len(),
+        failing.len()
+    );
+    i32::from(!failing.is_empty())
+}
+
+fn run_self_test(jobs: Option<usize>) -> i32 {
+    let uni = Universe::standard();
+    let cfg = FuzzConfig {
+        seed: 7,
+        cases: 120,
+        inject: Some(InjectedBug::RoutedFlip),
+        minimize: true,
+        ..FuzzConfig::default()
+    };
+    let outer = Pool::new(jobs.unwrap_or(2));
+    let report = run_campaign(&cfg, &uni, &outer);
+    if report.clean() {
+        eprintln!(
+            "self-test FAILED: planted routed-flip not caught in {} cases",
+            cfg.cases
+        );
+        return 1;
+    }
+    let Some(repro) = report.failures.iter().find_map(|f| f.repro.as_ref()) else {
+        eprintln!("self-test FAILED: no program-shaped failure produced a repro");
+        return 1;
+    };
+    let states = repro.case.program.state_count();
+    let nodes = repro.case.tree.len();
+    if states > 8 || nodes > 16 {
+        eprintln!(
+            "self-test FAILED: minimized repro too large ({states} states, {nodes} tree nodes)"
+        );
+        return 1;
+    }
+    let line = repro.to_json_line();
+    let back = match Repro::from_json_line(&line) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("self-test FAILED: repro line does not round-trip: {e}");
+            return 1;
+        }
+    };
+    let pool = Pool::new(2);
+    if replay(std::slice::from_ref(&back), &pool) != vec![0] {
+        eprintln!("self-test FAILED: round-tripped repro no longer fails");
+        return 1;
+    }
+    // The minimized case must be re-shrunk to itself (local minimality).
+    let again = minimize(&back.case, &pool, back.inject);
+    if again.tree.len() > nodes || again.program.state_count() > states {
+        eprintln!("self-test FAILED: minimization is not idempotent");
+        return 1;
+    }
+    println!(
+        "self-test PASSED: {} failure(s) caught, minimized to {states} state(s) / {nodes} node(s), repro replays",
+        report.failures.len()
+    );
+    0
+}
+
+fn main() {
+    let args = parse_args();
+    let pool = match args.jobs {
+        Some(n) => Pool::new(n),
+        None => Pool::with_default_parallelism(),
+    };
+    if let Some(path) = &args.replay {
+        std::process::exit(run_replay(path, &pool));
+    }
+    if args.self_test {
+        std::process::exit(run_self_test(args.jobs));
+    }
+
+    let uni = Universe::standard();
+    let report = run_campaign(&args.cfg, &uni, &pool);
+    println!("fuzz --seed {} : {}", args.cfg.seed, report.summary());
+    for f in &report.failures {
+        println!(
+            "  case {} (seed {:#018x}, {}): [{}] {}",
+            f.index,
+            f.seed,
+            f.kind.name(),
+            f.discrepancy.pair,
+            f.discrepancy.detail.lines().next().unwrap_or("")
+        );
+        if let Some(r) = &f.repro {
+            println!(
+                "    minimized: {} state(s), {} tree node(s)",
+                r.case.program.state_count(),
+                r.case.tree.len()
+            );
+        }
+    }
+    if let Some(path) = &args.out {
+        let repros: Vec<Repro> = report
+            .failures
+            .iter()
+            .filter_map(|f| f.repro.clone())
+            .collect();
+        if repros.is_empty() {
+            println!("no repros to write; {path} not created");
+        } else if let Err(e) = std::fs::write(path, render_jsonl(&repros)) {
+            eprintln!("fuzz: cannot write {path}: {e}");
+            std::process::exit(2);
+        } else {
+            println!("wrote {} repro(s) to {path}", repros.len());
+        }
+    }
+    std::process::exit(i32::from(!report.clean()));
+}

@@ -38,7 +38,10 @@
 //! * [`analyze`] — static analysis: CFG reachability and dead-code
 //!   pruning, guard-overlap detection, register liveness, progress
 //!   analysis, and Definition 5.1 class inference with evaluator routing
-//!   (`twq lint`).
+//!   (`twq lint`);
+//! * [`fuzz`] — differential fuzzing: seeded program/tree/budget
+//!   generators, an evaluator-pair oracle, delta-debugging minimization,
+//!   and replayable JSONL repros (`fuzz`).
 //!
 //! ## Quickstart
 //!
@@ -60,6 +63,7 @@
 pub use twq_analyze as analyze;
 pub use twq_automata as automata;
 pub use twq_exec as exec;
+pub use twq_fuzz as fuzz;
 pub use twq_guard as guard;
 pub use twq_logic as logic;
 pub use twq_obs as obs;

@@ -1,0 +1,118 @@
+//! End-to-end checks for the `twq-fuzz` differential-fuzzing stack.
+//!
+//! The crate's own unit tests cover each module; these integration tests
+//! exercise the public workflow the `fuzz` binary drives: a seeded
+//! campaign over every case kind, the self-test path (plant a bug, catch
+//! it, minimize it, replay it from a JSONL line), and the determinism
+//! contract that `--jobs` never changes a campaign's outcome.
+
+use twq::exec::Pool;
+use twq::fuzz::{
+    case_seed, gen_program_case, minimize, parse_jsonl, render_jsonl, replay, run_campaign,
+    FuzzConfig, InjectedBug, Repro, Universe,
+};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A healthy stack yields a clean campaign across all four case kinds.
+#[test]
+fn seeded_campaign_is_clean() {
+    let uni = Universe::standard();
+    let cfg = FuzzConfig {
+        seed: 1,
+        cases: 200,
+        ..FuzzConfig::default()
+    };
+    let report = run_campaign(&cfg, &uni, &Pool::new(2));
+    assert!(report.clean(), "discrepancies: {:#?}", report.failures);
+    assert_eq!(report.total(), 200);
+    assert!(
+        report.counts.iter().all(|&c| c > 0),
+        "every kind should appear at the default mix: {:?}",
+        report.counts
+    );
+}
+
+/// Campaign outcomes are a pure function of `(seed, cases)` — the outer
+/// pool width only changes wall-clock time.
+#[test]
+fn campaign_is_jobs_invariant() {
+    let uni = Universe::standard();
+    let cfg = FuzzConfig {
+        seed: 3,
+        cases: 80,
+        ..FuzzConfig::default()
+    };
+    let serial = run_campaign(&cfg, &uni, &Pool::serial());
+    let wide = run_campaign(&cfg, &uni, &Pool::new(4));
+    assert_eq!(serial.counts, wide.counts);
+    assert_eq!(serial.failures.len(), wide.failures.len());
+}
+
+/// The self-test loop: plant `RoutedFlip`, catch it, shrink the repro
+/// within the advertised bounds, round-trip it through JSONL, and replay
+/// it as still-failing.
+#[test]
+fn planted_bug_is_caught_minimized_and_replayable() {
+    let uni = Universe::standard();
+    let cfg = FuzzConfig {
+        seed: 7,
+        cases: 120,
+        inject: Some(InjectedBug::RoutedFlip),
+        ..FuzzConfig::default()
+    };
+    let report = run_campaign(&cfg, &uni, &Pool::new(2));
+    assert!(!report.clean(), "planted routed-flip not caught");
+    let repro = report
+        .failures
+        .iter()
+        .find_map(|f| f.repro.as_ref())
+        .expect("a program-shaped failure with a repro");
+    assert!(
+        repro.case.program.state_count() <= 8,
+        "minimized program too large: {} states",
+        repro.case.program.state_count()
+    );
+    assert!(
+        repro.case.tree.len() <= 16,
+        "minimized tree too large: {} nodes",
+        repro.case.tree.len()
+    );
+
+    // JSONL batch round-trip, then replay: the repro must still fail.
+    let jsonl = render_jsonl(std::slice::from_ref(repro));
+    let back = parse_jsonl(&jsonl).expect("rendered repros parse back");
+    assert_eq!(back.len(), 1);
+    let pool = Pool::new(2);
+    assert_eq!(replay(&back, &pool), vec![0]);
+
+    // Without the injected bug the same case is healthy again.
+    let healthy = Repro {
+        inject: None,
+        ..back[0].clone()
+    };
+    assert!(replay(std::slice::from_ref(&healthy), &pool).is_empty());
+}
+
+/// Minimization is a fixpoint: shrinking an already-minimal case again
+/// changes nothing, and shrinking never grows a healthy-run measure.
+#[test]
+fn minimization_is_idempotent() {
+    let uni = Universe::standard();
+    let pool = Pool::new(2);
+    let mut rng = StdRng::seed_from_u64(case_seed(7, 11));
+    let case = gen_program_case(&mut rng, &uni);
+    let once = minimize(&case, &pool, Some(InjectedBug::RoutedFlip));
+    let twice = minimize(&once, &pool, Some(InjectedBug::RoutedFlip));
+    assert!(twice.tree.len() <= once.tree.len());
+    assert!(twice.program.state_count() <= once.program.state_count());
+    assert!(twice.program.rules().len() <= once.program.rules().len());
+}
+
+/// Corrupt JSONL is rejected at decode time, not silently replayed.
+#[test]
+fn corrupt_repro_lines_are_rejected() {
+    assert!(parse_jsonl("this is not json\n").is_err());
+    assert!(parse_jsonl("{\"vocab\":{}}\n").is_err());
+}

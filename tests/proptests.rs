@@ -7,9 +7,9 @@ use twq::logic::eval::select as naive_select;
 use twq::protocol::{
     decode as hs_decode, encode, encode_shuffled, random_hyperset, HyperGenConfig, Markers,
 };
-use twq::tree::generate::{random_tree, TreeGenConfig};
+use twq::tree::generate::{chain_tree, random_tree, TreeGenConfig};
 use twq::tree::order::{doc_index, doc_predecessor, doc_successor, node_at_doc_index};
-use twq::tree::{parse_tree, tree_to_string, DelimTree, Vocab};
+use twq::tree::{parse_tree, tree_to_string, DelimTree, NodeId, NodeSet, Vocab};
 use twq::xpath::{compile, eval_from, random_xpath, XPathGenConfig};
 
 fn arb_tree_params() -> impl Strategy<Value = (u64, usize, usize)> {
@@ -213,5 +213,107 @@ proptest! {
             got.accepted(),
             twq::automata::examples::oracle_example_32(&t, ex.delta, ex.attr)
         );
+    }
+}
+
+// ----- NodeSet word boundaries -----------------------------------------
+//
+// The bitset packs 64 node ids per word; sizes 63/64/65 (and 127/128/129)
+// exercise the last-bit-of-a-word, exact-fit, and first-bit-of-a-new-word
+// cases where masking bugs live. The vendored proptest only samples
+// integer tuples, so sizes index a fixed boundary table and memberships
+// derive from seeded RNGs.
+
+const BOUNDARY_SIZES: [usize; 6] = [63, 64, 65, 127, 128, 129];
+
+fn boundary_sets(n: usize, seed: u64) -> (NodeSet, std::collections::BTreeSet<u32>) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = NodeSet::with_capacity(n);
+    let mut reference = std::collections::BTreeSet::new();
+    for i in 0..n as u32 {
+        if rng.gen_bool(0.5) {
+            set.insert(NodeId(i));
+            reference.insert(i);
+        }
+    }
+    (set, reference)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Set algebra at word boundaries matches a `BTreeSet` reference
+    /// model, and iteration is ascending — i.e. document order on a chain
+    /// tree, whose arena order and pre-order coincide.
+    #[test]
+    fn nodeset_word_boundary_algebra(
+        (size_idx, seed_a, seed_b) in (0usize..6, 0u64..1_000_000, 0u64..1_000_000)
+    ) {
+        let n = BOUNDARY_SIZES[size_idx];
+        let (mut a, ref_a) = boundary_sets(n, seed_a);
+        let (b, ref_b) = boundary_sets(n, seed_b);
+        prop_assert_eq!(a.len(), ref_a.len());
+        for i in 0..n as u32 {
+            prop_assert_eq!(a.contains(NodeId(i)), ref_a.contains(&i));
+        }
+
+        // Ascending iteration ≡ document order: on a chain tree every
+        // node id equals its pre-order index.
+        let chain = chain_tree(twq::tree::SymId(0), n - 1);
+        prop_assert_eq!(chain.len(), n);
+        let doc: Vec<NodeId> = chain.nodes().filter(|u| a.contains(*u)).collect();
+        prop_assert_eq!(a.to_vec(), doc);
+
+        let mut union = a.clone();
+        union.union_with(&b);
+        prop_assert_eq!(
+            union.to_vec(),
+            ref_a.union(&ref_b).map(|&i| NodeId(i)).collect::<Vec<_>>()
+        );
+
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        prop_assert_eq!(
+            inter.to_vec(),
+            ref_a.intersection(&ref_b).map(|&i| NodeId(i)).collect::<Vec<_>>()
+        );
+
+        a.difference_with(&b);
+        prop_assert_eq!(
+            a.to_vec(),
+            ref_a.difference(&ref_b).map(|&i| NodeId(i)).collect::<Vec<_>>()
+        );
+    }
+
+    /// Equality is content-only: the same members held in backings of
+    /// different capacities (auto-grown, exact, oversized) compare equal,
+    /// in both directions, including after removals leave all-zero words.
+    #[test]
+    fn nodeset_eq_ignores_capacity(
+        (size_idx, seed) in (0usize..6, 0u64..1_000_000)
+    ) {
+        let n = BOUNDARY_SIZES[size_idx];
+        let (exact, members) = boundary_sets(n, seed);
+        let mut grown = NodeSet::new();
+        let mut oversized = NodeSet::with_capacity(n + 130);
+        for &i in &members {
+            grown.insert(NodeId(i));
+            oversized.insert(NodeId(i));
+        }
+        prop_assert_eq!(&grown, &exact);
+        prop_assert_eq!(&exact, &grown);
+        prop_assert_eq!(&grown, &oversized);
+        prop_assert_eq!(&oversized, &grown);
+
+        // Insert a member in a fresh top word, then remove it: the
+        // trailing all-zero word must not break equality either way.
+        let far = NodeId((n + 129) as u32);
+        grown.insert(far);
+        prop_assert_ne!(&grown, &exact);
+        grown.remove(far);
+        prop_assert_eq!(&grown, &exact);
+        prop_assert_eq!(&exact, &grown);
     }
 }
