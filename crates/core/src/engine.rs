@@ -24,7 +24,9 @@ use twq_guard::{
 };
 use twq_logic::store::AttrEnv;
 use twq_logic::{eval_query, RegId, Relation, Store};
-use twq_obs::{Collector, FoEval, HaltKind, MetricsCollector, NullCollector, RunMetrics};
+use twq_obs::{
+    Collector, FoEval, HaltKind, MetricsCollector, NullCollector, RunMetrics, Trace, TraceCollector,
+};
 use twq_tree::{DelimTree, NodeId, Tree};
 
 use crate::program::{Action, Dir, State, TwProgram};
@@ -234,6 +236,9 @@ impl<'a, C: Collector, G: Guard> Exec<'a, C, G> {
             TripReason::Depth { .. } => Halt::AtpDepthLimit,
             _ => Halt::StepLimit,
         };
+        if C::ENABLED {
+            self.collector.trip(&e.reason.to_string());
+        }
         if self.trip.is_none() {
             self.trip = Some(e);
         }
@@ -402,6 +407,10 @@ impl<'a, C: Collector, G: Guard> Exec<'a, C, G> {
                     let selected = phi.select_with(self.tree, cfg.node, self.collector);
                     self.collector
                         .atp_enter(cfg.node.0 as u64, selected.len(), depth);
+                    if C::ENABLED {
+                        let ids: Vec<u64> = selected.iter().map(|v| v.0 as u64).collect();
+                        self.collector.selected(&ids);
+                    }
                     let mut acc = Relation::empty(cfg.store.arity(RegId(0)));
                     for v in selected {
                         self.subcomputations += 1;
@@ -701,6 +710,55 @@ pub fn run_traced_with<C: Collector>(
     });
     let report = exec.drive().expect("NullGuard never trips");
     (report, trace)
+}
+
+/// Run while recording a causal [`Trace`] span tree: chain and `atp`
+/// spans with walk paths, atp selection frontiers, and subtree verdicts,
+/// each addressed by a deterministic causal ID. Recording happens on one
+/// thread, so the trace is a pure function of `(prog, delim, limits)`.
+pub fn trace_run(prog: &TwProgram, delim: &DelimTree, limits: Limits) -> (RunReport, Trace) {
+    let mut c = TraceCollector::new();
+    let report = run_with(prog, delim, limits, &mut c);
+    (report, c.finish("run"))
+}
+
+/// [`trace_run`] under a resource [`Guard`]: the trace additionally
+/// carries a `Trip` span (with the rendered [`TripReason`]) at the exact
+/// point the guard fired.
+pub fn trace_run_guarded<G: Guard>(
+    prog: &TwProgram,
+    delim: &DelimTree,
+    limits: Limits,
+    guard: &mut G,
+) -> (Result<RunReport, TwqError>, Trace) {
+    let mut c = TraceCollector::new();
+    let verdict = run_guarded_with(prog, delim, limits, guard, &mut c);
+    (verdict, c.finish("run_guarded"))
+}
+
+/// [`run_batch`] while recording one causal trace for the whole batch:
+/// each tree is traced independently on whichever worker runs it, then
+/// the per-item traces are merged in input order ([`Pool::scoped`]
+/// returns results positionally) — so the merged trace is byte-identical
+/// for any pool size, including the serial one.
+pub fn trace_batch(
+    prog: &TwProgram,
+    trees: &[Tree],
+    limits: Limits,
+    pool: &Pool,
+) -> (Vec<RunReport>, Trace) {
+    let runs = pool.scoped(trees.len(), |i| {
+        let mut c = TraceCollector::new();
+        let report = run_on_tree_with(prog, &trees[i], limits, &mut c);
+        (report, c.finish("run"))
+    });
+    let mut reports = Vec::with_capacity(runs.len());
+    let mut traces = Vec::with_capacity(runs.len());
+    for (report, trace) in runs {
+        reports.push(report);
+        traces.push(trace);
+    }
+    (reports, Trace::merge_batch("run_batch", traces))
 }
 
 /// Render a trace for human reading.

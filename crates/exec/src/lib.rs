@@ -82,6 +82,11 @@ impl Pool {
     /// The caller's thread is worker 0, so a `workers == 1` pool (or a
     /// batch of at most one job) never spawns a thread. A panic in any job
     /// propagates to the caller after the scope joins.
+    ///
+    /// The index-order guarantee is what makes per-job observability
+    /// worker-independent: `twq-core`'s `trace_batch` records one trace per
+    /// job on whichever worker runs it and merges them positionally, so the
+    /// merged trace is byte-identical for every worker count.
     pub fn scoped<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,

@@ -11,18 +11,20 @@
 //! JSONL repros.
 //!
 //! Entry points: [`run_campaign`] (fan a seeded campaign over a
-//! [`Pool`]), [`run_case`] (one case), [`minimize`] (shrink a failing
+//! [`Pool`]), [`run_case`] (one case), [`minimize()`] (shrink a failing
 //! triple), [`Repro`] (the JSONL codec).
 //!
 //! Campaign results are a pure function of `(seed, cases, mix)`: each case
 //! derives its own RNG from `case_seed`, and the oracle always uses a
 //! private two-worker pool, so `--jobs` only changes wall-clock time.
 
+pub mod explain;
 pub mod gen;
 pub mod minimize;
 pub mod oracle;
 pub mod repro;
 
+pub use explain::{explain_repro, explain_with_names};
 pub use gen::{
     gen_budget, gen_class, gen_formula_case, gen_near_miss, gen_program, gen_program_case,
     gen_smelly_program, gen_tree, program_error_kind, BudgetSpec, FormulaCase, ProgramCase,
@@ -54,7 +56,7 @@ pub struct FuzzConfig {
     pub near_miss_per_mille: u32,
     /// Per-mille of cases that are well-formed but analyzer-smelly.
     pub smelly_per_mille: u32,
-    /// Shrink failing program cases with [`minimize`].
+    /// Shrink failing program cases with [`minimize()`].
     pub minimize: bool,
     /// Plant a bug for self-testing the oracle and minimizer.
     pub inject: Option<InjectedBug>,
@@ -150,11 +152,13 @@ pub fn run_case(cfg: &FuzzConfig, uni: &Universe, index: u64, oracle_pool: &Pool
             Ok(_) => Some(Discrepancy {
                 pair: "builder near-miss".to_owned(),
                 detail: format!("expected rejection {expected:?}, but the program built"),
+                divergence: None,
             }),
             Err(e) if error_kind(&e) == expected => None,
             Err(e) => Some(Discrepancy {
                 pair: "builder near-miss".to_owned(),
                 detail: format!("expected {expected:?}, got {:?}: {e}", error_kind(&e)),
+                divergence: None,
             }),
         };
         (CaseKind::NearMiss, d, None)
@@ -264,17 +268,24 @@ pub fn run_campaign(cfg: &FuzzConfig, uni: &Universe, outer: &Pool) -> CampaignR
         };
         let repro = out.case.map(|case| {
             let inner = Pool::new(2);
-            let case = if cfg.minimize {
-                minimize(&case, &inner, cfg.inject)
+            // Re-check the (possibly minimized) case so the embedded
+            // divergence report describes the stored triple, not the
+            // pre-shrink original.
+            let (case, rechecked) = if cfg.minimize {
+                let min = minimize(&case, &inner, cfg.inject);
+                let d = check_program_case(&min, &inner, cfg.inject);
+                (min, d)
             } else {
-                case
+                (case, None)
             };
+            let disc = rechecked.as_ref().unwrap_or(&discrepancy);
             Repro {
                 vocab: uni.vocab.clone(),
                 case,
                 inject: cfg.inject,
-                pair: discrepancy.pair.clone(),
-                detail: discrepancy.detail.clone(),
+                pair: disc.pair.clone(),
+                detail: disc.detail.clone(),
+                divergence: disc.divergence.clone(),
             }
         });
         report.failures.push(Failure {

@@ -19,7 +19,10 @@
 //! wrong answers.
 
 use twq_analyze::{analyze, prune, run_routed};
-use twq_automata::{run, run_batch, run_batch_guarded, run_guarded, Limits, TwProgram};
+use twq_automata::{
+    run, run_batch, run_batch_guarded, run_guarded, trace_batch, trace_run, trace_run_guarded,
+    Limits, TwProgram,
+};
 use twq_exec::Pool;
 use twq_guard::{GuardError, ResourceGuard, TwqError};
 use twq_logic::fo::build::exists;
@@ -27,6 +30,7 @@ use twq_logic::{
     eval_sentence, eval_sentence_memo, eval_sentence_par, select, select_batch,
     select_batch_guarded, select_guarded, select_memo,
 };
+use twq_obs::{diff as trace_diff, Divergence, Trace, Verdict};
 use twq_tree::{DelimTree, NodeId};
 
 use crate::gen::{BudgetSpec, FormulaCase, ProgramCase};
@@ -73,6 +77,11 @@ pub struct Discrepancy {
     pub pair: String,
     /// What each side produced.
     pub detail: String,
+    /// Causal first-divergence report, when both sides could be traced.
+    /// Evaluators without a collector seam (routed graph evaluation,
+    /// batch machinery) contribute verdict-only traces, so the divergence
+    /// lands at the root span `r`.
+    pub divergence: Option<Divergence>,
 }
 
 impl Discrepancy {
@@ -80,13 +89,33 @@ impl Discrepancy {
         Discrepancy {
             pair: pair.to_owned(),
             detail,
+            divergence: None,
         }
+    }
+
+    fn diverging(pair: &str, detail: String, left: &Trace, right: &Trace) -> Self {
+        let mut d = Discrepancy::new(pair, detail);
+        d.divergence = Some(trace_diff(left, right).unwrap_or_else(|| Divergence {
+            at: "r".to_owned(),
+            left_label: left.label.clone(),
+            right_label: right.label.clone(),
+            left: left.root.head(),
+            right: right.root.head(),
+            left_accepted: left.verdict().and_then(|v| v.accepted()),
+            right_accepted: right.verdict().and_then(|v| v.accepted()),
+            note: "traces agree on re-run; divergence outside the traced surface".to_owned(),
+        }));
+        d
     }
 }
 
 impl std::fmt::Display for Discrepancy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "[{}] {}", self.pair, self.detail)
+        write!(f, "[{}] {}", self.pair, self.detail)?;
+        if let Some(d) = &self.divergence {
+            write!(f, "\n  {d}")?;
+        }
+        Ok(())
     }
 }
 
@@ -133,10 +162,15 @@ pub fn check_program_case(
     match guarded {
         Ok(ref r) if *r == base => {}
         other => {
-            return Some(Discrepancy::new(
+            let (_, lt) = trace_run(prog, &delim, FUZZ_LIMITS);
+            let (_, rt) =
+                trace_run_guarded(prog, &delim, FUZZ_LIMITS, &mut ResourceGuard::unlimited());
+            return Some(Discrepancy::diverging(
                 "run vs run_guarded(unlimited)",
                 format!("base={base:?} guarded={}", verdict_str(&other)),
-            ))
+                &lt,
+                &rt,
+            ));
         }
     }
 
@@ -147,9 +181,14 @@ pub fn check_program_case(
         .enumerate()
     {
         if *r != base {
-            return Some(Discrepancy::new(
+            let (_, serial) = trace_run(prog, &delim, FUZZ_LIMITS);
+            let lt = Trace::merge_batch("run x3", vec![serial.clone(), serial.clone(), serial]);
+            let (_, rt) = trace_batch(prog, &trees, FUZZ_LIMITS, pool);
+            return Some(Discrepancy::diverging(
                 "run vs run_batch",
                 format!("slot {i}: base={base:?} batch={r:?}"),
+                &lt,
+                &rt,
             ));
         }
     }
@@ -165,7 +204,16 @@ pub fn check_program_case(
             routed_accepted = !routed_accepted;
         }
         if routed_accepted != base.accepted() {
-            return Some(Discrepancy::new(
+            // The routed graph evaluator has no collector seam: its side is
+            // a verdict-only trace, so the divergence pinpoints the root
+            // acceptance flip (left/right_accepted carry the evidence).
+            let (_, lt) = trace_run(prog, &delim, FUZZ_LIMITS);
+            let rt = Trace::verdict_only(
+                "run_routed",
+                Verdict::Bool(routed_accepted),
+                &format!("evaluator={:?}", routed.evaluator),
+            );
+            return Some(Discrepancy::diverging(
                 "run vs run_routed",
                 format!(
                     "base halt={:?} accepted={} routed({:?}) accepted={}",
@@ -174,6 +222,8 @@ pub fn check_program_case(
                     routed.evaluator,
                     routed_accepted
                 ),
+                &lt,
+                &rt,
             ));
         }
     }
@@ -186,7 +236,10 @@ pub fn check_program_case(
         let pruned = prune(prog);
         let pruned_run = run(&pruned.program, &delim, FUZZ_LIMITS);
         if pruned_run.accepted() != base.accepted() {
-            return Some(Discrepancy::new(
+            let (_, lt) = trace_run(prog, &delim, FUZZ_LIMITS);
+            let (_, mut rt) = trace_run(&pruned.program, &delim, FUZZ_LIMITS);
+            rt.label = "run(prune)".to_owned();
+            return Some(Discrepancy::diverging(
                 "run vs run(prune)",
                 format!(
                     "base halt={:?} accepted={} pruned halt={:?} accepted={}",
@@ -195,6 +248,8 @@ pub fn check_program_case(
                     pruned_run.halt,
                     pruned_run.accepted()
                 ),
+                &lt,
+                &rt,
             ));
         }
     }
@@ -213,13 +268,23 @@ pub fn check_program_case(
         let batch = run_batch_guarded(prog, &trees, FUZZ_LIMITS, pool, || spec.guard());
         for (i, (s, b)) in serial.iter().zip(&batch).enumerate() {
             if !verdicts_agree(s, b) {
-                return Some(Discrepancy::new(
+                let mut g = spec.guard();
+                let (_, lt) = trace_run_guarded(prog, &delim, FUZZ_LIMITS, &mut g);
+                let rv = match b {
+                    Ok(r) => Verdict::Halt(r.halt.kind()),
+                    Err(_) => Verdict::Trip,
+                };
+                let rt =
+                    Trace::verdict_only("run_batch_guarded", rv, &format!("slot {i}, {spec:?}"));
+                return Some(Discrepancy::diverging(
                     "run_guarded vs run_batch_guarded",
                     format!(
                         "spec={spec:?} slot {i}: serial={} batch={}",
                         verdict_str(s),
                         verdict_str(b)
                     ),
+                    &lt,
+                    &rt,
                 ));
             }
         }
@@ -228,9 +293,14 @@ pub fn check_program_case(
         if spec.faults.is_none() {
             if let Ok(r) = &serial[0] {
                 if *r != base {
-                    return Some(Discrepancy::new(
+                    let (_, lt) = trace_run(prog, &delim, FUZZ_LIMITS);
+                    let mut g = spec.guard();
+                    let (_, rt) = trace_run_guarded(prog, &delim, FUZZ_LIMITS, &mut g);
+                    return Some(Discrepancy::diverging(
                         "run vs run_guarded(limited)",
                         format!("spec={spec:?}: base={base:?} guarded={r:?}"),
+                        &lt,
+                        &rt,
                     ));
                 }
             }

@@ -16,6 +16,7 @@ use std::fmt::Write as _;
 use twq_automata::{Action, Dir, State, TwProgram, TwProgramBuilder};
 use twq_logic::{ExistsFormula, Formula, RegId, Relation, SAtom, SFormula, STerm, TreeAtom, Var};
 use twq_obs::json::Json;
+use twq_obs::Divergence;
 use twq_tree::{AttrId, Label, SymId, Tree, Value, ValueRepr, Vocab};
 
 use crate::gen::{BudgetSpec, ProgramCase};
@@ -34,6 +35,10 @@ pub struct Repro {
     pub pair: String,
     /// What each side produced.
     pub detail: String,
+    /// Machine-readable first-divergence report from `twq-obs` trace
+    /// diffing, when the oracle could trace both sides. Absent on repros
+    /// written before traces existed; decode tolerates the missing key.
+    pub divergence: Option<Divergence>,
 }
 
 type DecodeResult<T> = Result<T, String>;
@@ -671,6 +676,12 @@ impl Repro {
             ),
             ("pair", Json::str(self.pair.clone())),
             ("detail", Json::str(self.detail.clone())),
+            (
+                "divergence",
+                self.divergence
+                    .as_ref()
+                    .map_or(Json::Null, Divergence::to_json),
+            ),
         ])
         .render()
     }
@@ -699,6 +710,10 @@ impl Repro {
             inject,
             pair: want_str(want(&j, "pair")?, "pair")?.to_owned(),
             detail: want_str(want(&j, "detail")?, "detail")?.to_owned(),
+            divergence: match j.get("divergence") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(Divergence::from_json(v)?),
+            },
         })
     }
 }
@@ -745,6 +760,16 @@ mod tests {
                 inject: Some(InjectedBug::RoutedFlip),
                 pair: "run vs run_routed".to_owned(),
                 detail: "seeded".to_owned(),
+                divergence: Some(Divergence {
+                    at: "r".to_owned(),
+                    left_label: "run".to_owned(),
+                    right_label: "run_routed".to_owned(),
+                    left: "run → halt=accept".to_owned(),
+                    right: "run → false".to_owned(),
+                    left_accepted: Some(true),
+                    right_accepted: Some(false),
+                    note: "verdict mismatch".to_owned(),
+                }),
             };
             let back = roundtrip(&r);
             // TwProgram doesn't implement PartialEq; compare re-rendered
@@ -753,7 +778,28 @@ mod tests {
             assert_eq!(back.case.budget, r.case.budget);
             assert_eq!(back.case.tree.len(), r.case.tree.len());
             assert_eq!(back.inject, r.inject);
+            assert_eq!(back.divergence, r.divergence);
         }
+    }
+
+    #[test]
+    fn pre_trace_repro_lines_still_decode() {
+        // Repros written before divergence reports existed have no
+        // "divergence" key at all; the decoder must tolerate that.
+        let uni = Universe::standard();
+        let mut rng = StdRng::seed_from_u64(11);
+        let r = Repro {
+            vocab: uni.vocab.clone(),
+            case: gen_program_case(&mut rng, &uni),
+            inject: None,
+            pair: "p".to_owned(),
+            detail: "d".to_owned(),
+            divergence: None,
+        };
+        let line = r.to_json_line().replace(",\"divergence\":null", "");
+        assert!(!line.contains("divergence"));
+        let back = Repro::from_json_line(&line).expect("legacy line decodes");
+        assert_eq!(back.divergence, None);
     }
 
     #[test]
@@ -768,6 +814,7 @@ mod tests {
                 inject: None,
                 pair: "p".to_owned(),
                 detail: "d".to_owned(),
+                divergence: None,
             });
         }
         let text = render_jsonl(&repros);
@@ -793,6 +840,7 @@ mod tests {
             inject: None,
             pair: String::new(),
             detail: String::new(),
+            divergence: None,
         };
         let line = r.to_json_line();
         let bad = line.replace("\"initial\":0", "\"initial\":99");

@@ -14,7 +14,7 @@
 //! [`DepthKind::Quantifier`].
 
 use twq_guard::{DepthKind, Guard, NullGuard, TwqError};
-use twq_obs::{Collector, FoEval, NullCollector};
+use twq_obs::{Collector, FoEval, NullCollector, Trace, TraceCollector, Verdict};
 use twq_tree::{NodeId, NodeSet, Tree};
 
 use crate::fo::{Formula, TreeAtom, Var};
@@ -168,8 +168,10 @@ fn eval_inner<C: Collector, G: Guard>(
             if G::ENABLED {
                 g.enter(DepthKind::Quantifier)?;
             }
+            c.quant_enter(true, u32::from(v.0));
             let saved = asg.get(*v);
             let mut out = Ok(false);
+            let mut witness = None;
             for u in tree.node_ids() {
                 if G::ENABLED {
                     if let Err(e) = g.tick() {
@@ -180,6 +182,8 @@ fn eval_inner<C: Collector, G: Guard>(
                 asg.set(*v, u);
                 match eval_inner(tree, f, asg, c, g) {
                     Ok(true) => {
+                        // `u` is the witness valuation that makes ∃v true.
+                        witness = Some(u64::from(u.0));
                         out = Ok(true);
                         break;
                     }
@@ -194,14 +198,17 @@ fn eval_inner<C: Collector, G: Guard>(
             if G::ENABLED {
                 g.exit(DepthKind::Quantifier);
             }
+            c.quant_exit(matches!(out, Ok(true)), witness);
             out
         }
         Formula::Forall(v, f) => {
             if G::ENABLED {
                 g.enter(DepthKind::Quantifier)?;
             }
+            c.quant_enter(false, u32::from(v.0));
             let saved = asg.get(*v);
             let mut out = Ok(true);
+            let mut witness = None;
             for u in tree.node_ids() {
                 if G::ENABLED {
                     if let Err(e) = g.tick() {
@@ -212,6 +219,8 @@ fn eval_inner<C: Collector, G: Guard>(
                 asg.set(*v, u);
                 match eval_inner(tree, f, asg, c, g) {
                     Ok(false) => {
+                        // `u` is the counterexample that falsifies ∀v.
+                        witness = Some(u64::from(u.0));
                         out = Ok(false);
                         break;
                     }
@@ -226,6 +235,7 @@ fn eval_inner<C: Collector, G: Guard>(
             if G::ENABLED {
                 g.exit(DepthKind::Quantifier);
             }
+            c.quant_exit(matches!(out, Ok(true)), witness);
             out
         }
     }
@@ -373,7 +383,9 @@ pub(crate) fn sat_exists_inner<C: Collector, G: Guard>(
     if G::ENABLED {
         g.enter(DepthKind::Quantifier)?;
     }
+    c.quant_enter(true, u32::from(v.0));
     let mut out = Ok(false);
+    let mut witness = None;
     for u in tree.node_ids() {
         if G::ENABLED {
             if let Err(e) = g.tick() {
@@ -384,6 +396,7 @@ pub(crate) fn sat_exists_inner<C: Collector, G: Guard>(
         asg.set(v, u);
         match sat_exists_inner(tree, matrix, rest, asg, c, g) {
             Ok(true) => {
+                witness = Some(u64::from(u.0));
                 out = Ok(true);
                 break;
             }
@@ -398,6 +411,7 @@ pub(crate) fn sat_exists_inner<C: Collector, G: Guard>(
     if G::ENABLED {
         g.exit(DepthKind::Quantifier);
     }
+    c.quant_exit(matches!(out, Ok(true)), witness);
     out
 }
 
@@ -516,6 +530,7 @@ fn select_inner<C: Collector, G: Guard>(
     );
     asg.set(x, u);
     let mut out = NodeSet::with_capacity(tree.len());
+    let mut ids: Vec<u64> = Vec::new();
     for v in tree.node_ids() {
         if G::ENABLED {
             g.tick()?;
@@ -523,9 +538,49 @@ fn select_inner<C: Collector, G: Guard>(
         asg.set(y, v);
         if eval_inner(tree, formula, &mut asg, c, g)? {
             out.insert(v);
+            if C::ENABLED {
+                ids.push(u64::from(v.0));
+            }
         }
     }
+    if C::ENABLED {
+        c.selected(&ids);
+    }
     Ok(out)
+}
+
+/// [`eval_sentence`] while recording a causal [`Trace`]: one `Quant` span
+/// per quantifier evaluation, carrying the witness valuation that decided
+/// it (the node making an `∃` true, or the counterexample falsifying a
+/// `∀`). The root span's verdict is the sentence's truth value.
+pub fn trace_sentence(tree: &Tree, formula: &Formula) -> (Result<bool, TwqError>, Trace) {
+    let mut c = TraceCollector::new();
+    let verdict = eval_sentence_with(tree, formula, &mut c);
+    let mut t = c.finish("eval_sentence");
+    if let Ok(b) = verdict {
+        t.root.verdict = Some(Verdict::Bool(b));
+    }
+    (verdict, t)
+}
+
+/// [`select`] while recording a causal [`Trace`]: the root span's
+/// frontier is the selected node set and its children are the per-node
+/// quantifier evaluations. The root verdict is whether anything was
+/// selected.
+pub fn trace_select(
+    tree: &Tree,
+    formula: &Formula,
+    x: Var,
+    u: NodeId,
+    y: Var,
+) -> (Result<NodeSet, TwqError>, Trace) {
+    let mut c = TraceCollector::new();
+    let out = select_with(tree, formula, x, u, y, &mut c);
+    let mut t = c.finish("select");
+    if let Ok(s) = &out {
+        t.root.verdict = Some(Verdict::Bool(!s.is_empty()));
+    }
+    (out, t)
 }
 
 /// All pairs `(u, v)` with `t ⊨ φ(u, v)`.

@@ -30,7 +30,8 @@ pub mod store;
 pub mod types;
 
 pub use eval::{
-    eval_sentence, eval_sentence_guarded, select, select_guarded, select_pairs, Assignment,
+    eval_sentence, eval_sentence_guarded, select, select_guarded, select_pairs, trace_select,
+    trace_sentence, Assignment,
 };
 pub use exists::{ExistsError, ExistsFormula};
 pub use fo::{Formula, TreeAtom, Var};

@@ -57,6 +57,28 @@ pub trait Collector {
     /// A protocol message of class `kind` was sent.
     fn message(&mut self, kind: &'static str) {}
 
+    /// An FO quantifier began evaluating (`exists` is `false` for `∀`);
+    /// `var` is the variable slot being bound.
+    fn quant_enter(&mut self, exists: bool, var: u32) {}
+
+    /// The quantifier resolved to `holds`. For a true `∃` (or false `∀`)
+    /// `witness` is the node whose binding decided it.
+    fn quant_exit(&mut self, holds: bool, witness: Option<u64>) {}
+
+    /// An xpath axis step of the named kind began evaluating.
+    fn axis_enter(&mut self, axis: &'static str) {}
+
+    /// The axis step ended, producing `frontier` as its node set.
+    fn axis_exit(&mut self, frontier: &[u64]) {}
+
+    /// A selection primitive (atp look-ahead, FO `select`) chose `nodes`.
+    /// Callers gate the argument build on [`Collector::ENABLED`].
+    fn selected(&mut self, nodes: &[u64]) {}
+
+    /// A resource guard tripped; `reason` is the rendered
+    /// `twq-guard::TripReason` (e.g. "fuel budget exhausted (limit 100)").
+    fn trip(&mut self, reason: &str) {}
+
     /// Bump a named counter by `delta`.
     fn counter(&mut self, name: &'static str, delta: u64) {}
 

@@ -21,6 +21,11 @@
 //!   delta [`Snapshot`]s and JSONL export), and [`FlameProfiler`] (a
 //!   span-stack self-time profiler over the event stream emitting
 //!   flamegraph-collapsed stacks).
+//! * `twq-trace` — the causal trace layer: [`TraceCollector`] records a
+//!   run as a [`Trace`] span tree with deterministic causal IDs, witness
+//!   valuations, and walk paths; [`diff`] pinpoints the first
+//!   [`Divergence`] between two traces of the same input; and
+//!   [`explain_verdict`] answers "why accepted / why rejected".
 //! * [`report`] — the experiment reporting layer: the same stream of
 //!   tables rendered as aligned text or as JSON Lines.
 //! * [`json`] — a small self-contained JSON value/writer/parser (the
@@ -42,6 +47,7 @@ pub mod profile;
 pub mod registry;
 pub mod report;
 pub mod sink;
+pub mod trace;
 
 pub use collect::{Collector, MetricsCollector, NullCollector, PhaseTimer};
 pub use event::{Event, FoEval, HaltKind};
@@ -52,3 +58,7 @@ pub use profile::{FlameProfiler, Frame};
 pub use registry::{Registry, Snapshot};
 pub use report::{col, Cell, Col, HumanReporter, JsonlReporter, Reporter};
 pub use sink::{EventSink, HumanSink, JsonlSink, RingBufferSink, TeeSink};
+pub use trace::{
+    diff, explain_verdict, Divergence, Namer, Span, SpanKind, Trace, TraceCollector, TraceDepth,
+    Verdict,
+};

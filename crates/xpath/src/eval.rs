@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 
 use twq_exec::{BatchProfile, Pool};
 use twq_guard::{DepthKind, Guard, GuardError, NullGuard, TwqError};
-use twq_obs::{Collector, FoEval, NullCollector};
+use twq_obs::{Collector, FoEval, NullCollector, Trace, TraceCollector, Verdict};
 use twq_tree::{Label, NodeId, NodeSet, Tree};
 
 use crate::ast::{Pred, XPath};
@@ -37,6 +37,22 @@ pub fn eval_from_guarded<G: Guard>(
     eval_from_inner(tree, path, x, &mut NullCollector, guard).map_err(TwqError::Guard)
 }
 
+/// The stable axis-step name a trace span carries for each [`XPath`]
+/// variant.
+fn axis_name(path: &XPath) -> &'static str {
+    match path {
+        XPath::Name(_) => "name",
+        XPath::Wild => "wildcard",
+        XPath::Child(..) => "child",
+        XPath::Descendant(..) => "descendant",
+        XPath::FromRoot(_) => "from-root",
+        XPath::FromDesc(_) => "from-desc",
+        XPath::FromChild(_) => "from-child",
+        XPath::Filter(..) => "filter",
+        XPath::Union(..) => "union",
+    }
+}
+
 fn eval_from_inner<C: Collector, G: Guard>(
     tree: &Tree,
     path: &XPath,
@@ -49,7 +65,18 @@ fn eval_from_inner<C: Collector, G: Guard>(
         g.tick()?;
         g.enter(DepthKind::Query)?;
     }
+    if C::ENABLED {
+        c.axis_enter(axis_name(path));
+    }
     let out = eval_from_cases(tree, path, x, c, g);
+    if C::ENABLED {
+        // The axis span's frontier is the step's full result node set.
+        let frontier: Vec<u64> = match &out {
+            Ok(s) => s.iter().map(|n| u64::from(n.0)).collect(),
+            Err(_) => Vec::new(),
+        };
+        c.axis_exit(&frontier);
+    }
     if G::ENABLED {
         g.exit(DepthKind::Query);
     }
@@ -124,6 +151,17 @@ fn eval_from_cases<C: Collector, G: Guard>(
             out
         }
     })
+}
+
+/// [`eval_from`] while recording a causal [`Trace`]: one nested `Axis`
+/// span per subexpression evaluation, each carrying its node frontier.
+/// The root verdict is whether anything was selected.
+pub fn trace_eval_from(tree: &Tree, path: &XPath, x: NodeId) -> (NodeSet, Trace) {
+    let mut c = TraceCollector::new();
+    let out = eval_from_with(tree, path, x, &mut c);
+    let mut t = c.finish("xpath");
+    t.root.verdict = Some(Verdict::Bool(!out.is_empty()));
+    (out, t)
 }
 
 /// Whether a filter predicate holds at node `y`.

@@ -25,7 +25,7 @@ pub use ast::{Pred, XPath};
 pub use compile::{compile, compile_guarded};
 pub use eval::{
     eval_from, eval_from_guarded, eval_from_with, eval_pairs, eval_pairs_guarded, eval_pairs_with,
-    pred_holds, pred_holds_with, select_batch, select_batch_profiled,
+    pred_holds, pred_holds_with, select_batch, select_batch_profiled, trace_eval_from,
 };
 pub use generate::{random_xpath, XPathGenConfig};
 pub use parse::{parse_xpath, XPathParseError};

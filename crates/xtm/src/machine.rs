@@ -18,7 +18,7 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use twq_guard::{FaultKind, FaultSite, GaugeKind, Guard, NullGuard, TwqError};
-use twq_obs::{Collector, HaltKind, NullCollector};
+use twq_obs::{Collector, HaltKind, NullCollector, Trace, TraceCollector};
 use twq_tree::{AttrId, DelimTree, Label, NodeId, Tree, Value};
 
 /// A machine state.
@@ -478,6 +478,16 @@ pub fn run_xtm_guarded<G: Guard>(
     guard: &mut G,
 ) -> Result<XtmReport, TwqError> {
     run_xtm_inner(m, delim, limits, &mut NullCollector, guard)
+}
+
+/// [`run_xtm`] while recording a causal [`Trace`]: the machine's single
+/// chain span carries the head's walk path `(node, state)`; the root
+/// verdict is the halt. Recording is single-threaded, so the trace is a
+/// pure function of `(m, delim, limits)`.
+pub fn trace_xtm(m: &Xtm, delim: &DelimTree, limits: XtmLimits) -> (XtmReport, Trace) {
+    let mut c = TraceCollector::new();
+    let report = run_xtm_with(m, delim, limits, &mut c);
+    (report, c.finish("run_xtm"))
 }
 
 fn run_xtm_inner<C: Collector, G: Guard>(

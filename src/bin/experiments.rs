@@ -21,7 +21,8 @@
 //! theorem's resource claim. It also times every row of the parallel
 //! sweeps (p50/p90/p99 latency histograms), prints the pool's per-worker
 //! telemetry, surfaces a ring-buffer post-mortem when a profiled run
-//! halts `Stuck`/`Nondeterministic`, and closes with a `PROF` summary of
+//! halts abnormally (`Stuck`/`Nondeterministic` or any guard-limit
+//! halt), and closes with a `PROF` summary of
 //! the session's metric registry. `--flame <path>` (implies `--profile`)
 //! additionally writes the profiled runs' self-time stacks in
 //! flamegraph-collapsed form (`E1;q0;atp;q_sel 1234`).
@@ -43,21 +44,27 @@
 //!
 //! A governed run that trips a limit prints its row with an explicit
 //! `limit-tripped` marker instead of hanging or aborting the sweep.
+//!
+//! `--trace PATH` records one representative run per experiment (E1–E7)
+//! as a causal trace (`twq-obs`) and writes them as labeled JSONL —
+//! machine-readable provenance for every table. The regular output is
+//! byte-identical with and without the flag.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use twq::analyze::{analyze, prune, severity_counts};
 use twq::automata::{
-    examples, run, run_graph, run_guarded, run_with, Limits, RunReport, State, TwClass, TwProgram,
+    examples, run, run_graph, run_guarded, run_with, trace_run, Limits, RunReport, State, TwClass,
+    TwProgram,
 };
 use twq::exec::{Pool, PoolStats};
 use twq::guard::{FaultPlan, ResourceGuard, TripReason, TwqError};
 use twq::logic::types::{count_classes, TypeConfig};
-use twq::logic::{eval_sentence, eval_sentence_guarded};
+use twq::logic::{eval_sentence, eval_sentence_guarded, trace_sentence};
 use twq::obs::{
     col, Cell, FlameProfiler, HaltKind, Histogram, HumanReporter, JsonlReporter, MetricsCollector,
-    Registry, Reporter, RingBufferSink, RunMetrics, TeeSink,
+    Registry, Reporter, RingBufferSink, RunMetrics, TeeSink, Trace,
 };
 use twq::protocol::{
     at_most_k_values_program, counting_table, encode, encode_shuffled, in_lm, lm_sentence,
@@ -70,8 +77,8 @@ use twq::sim::{
 };
 use twq::tree::generate::{monadic_tree, random_tree, TreeGenConfig};
 use twq::tree::{DelimTree, Label, Value, Vocab};
-use twq::xpath::{compile, eval_from, eval_from_guarded, parse_xpath};
-use twq::xtm::machine::{run_xtm, run_xtm_guarded, XtmLimits, XtmReport};
+use twq::xpath::{compile, eval_from, eval_from_guarded, parse_xpath, trace_eval_from};
+use twq::xtm::machine::{run_xtm, run_xtm_guarded, trace_xtm, XtmLimits, XtmReport};
 use twq::xtm::tm::tm_leaf_count_even;
 use twq::xtm::{
     encode as xenc, machines, run_alternating, run_alternating_guarded, run_tm, to_bytes,
@@ -152,6 +159,30 @@ struct Prof {
     /// telemetry totals, per-run step counters, guard trips. Dumped as
     /// the closing `PROF` section.
     registry: Registry,
+}
+
+/// Session-wide trace capture behind `--trace PATH`: each experiment
+/// re-runs one representative workload under a trace collector and
+/// records the resulting causal [`Trace`] as a labeled JSONL line.
+/// When inactive no traced re-runs happen at all, so the table output
+/// stays byte-identical to a flagless invocation.
+struct Tracer {
+    /// Where `--trace` writes the JSONL lines, if anywhere.
+    path: Option<String>,
+    /// One `to_json_line()` per recorded trace, labeled `<EXP>:<entry>`.
+    lines: Vec<String>,
+}
+
+impl Tracer {
+    fn active(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Record one representative trace under an experiment label.
+    fn record(&mut self, id: &str, mut trace: Trace) {
+        trace.label = format!("{id}:{}", trace.label);
+        self.lines.push(trace.to_json_line());
+    }
 }
 
 /// [`Pool::scoped`] plus, when profiling, per-row wall-clock latencies
@@ -279,9 +310,20 @@ fn emit_capture(
             ]);
         }
     }
+    // Anomalous halts get a flight-recorder dump: stuck walks and
+    // nondeterministic splits (the original post-mortems), and since the
+    // trace layer landed also guard trips — fuel, deadline, and depth
+    // limit halts — which previously vanished into a bare `limit-tripped`
+    // row marker.
     if matches!(
         cap.metrics.halt,
-        Some(HaltKind::Stuck | HaltKind::Nondeterministic)
+        Some(
+            HaltKind::Stuck
+                | HaltKind::Nondeterministic
+                | HaltKind::StepLimit
+                | HaltKind::AtpDepthLimit
+                | HaltKind::SpaceLimit
+        )
     ) {
         rep.note(&format!(
             "post-mortem ({what}): halted {}, last {} event(s) follow",
@@ -399,10 +441,12 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut collisions: Option<usize> = None;
     let mut flame_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
-    let usage = "expected --json, --profile, --flame PATH, --analyze, --strict, --jobs N, \
-                 --budget N, --timeout MS, --collisions K, and/or --faults SEED[:KIND=RATE,...]";
+    let usage = "expected --json, --profile, --flame PATH, --trace PATH, --analyze, --strict, \
+                 --jobs N, --budget N, --timeout MS, --collisions K, and/or \
+                 --faults SEED[:KIND=RATE,...]";
     let numeric = |flag: &str, v: Option<&String>| -> u64 {
         v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
             eprintln!("{flag} requires a numeric value ({usage})");
@@ -416,6 +460,12 @@ fn main() {
             "--flame" => {
                 flame_path = Some(it.next().cloned().unwrap_or_else(|| {
                     eprintln!("--flame requires a path ({usage})");
+                    std::process::exit(2);
+                }));
+            }
+            "--trace" => {
+                trace_path = Some(it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--trace requires a path ({usage})");
                     std::process::exit(2);
                 }));
             }
@@ -445,6 +495,10 @@ fn main() {
         flame_path,
         flame: String::new(),
         registry: Registry::new(),
+    };
+    let mut tracer = Tracer {
+        path: trace_path,
+        lines: Vec::new(),
     };
     // Rows within E1–E6 are computed across this pool (default: all cores)
     // and printed serially in input order, so the output is independent of
@@ -478,13 +532,13 @@ fn main() {
     if do_analyze {
         e0_analyze(rep);
     }
-    e1_example32(rep, &mut prof, &gov, collisions, &pool);
-    e2_xpath(rep, &mut prof, &gov, &pool);
-    e3_logspace_pebbles(rep, &mut prof, &gov, &pool);
-    e4_twl_ptime(rep, &mut prof, &gov, &pool);
-    e5_twr_pspace(rep, &mut prof, &gov, &pool);
-    e6_twrl_exptime(rep, &mut prof, &gov, &pool);
-    e7_lm_fo(rep, &gov);
+    e1_example32(rep, &mut prof, &mut tracer, &gov, collisions, &pool);
+    e2_xpath(rep, &mut prof, &mut tracer, &gov, &pool);
+    e3_logspace_pebbles(rep, &mut prof, &mut tracer, &gov, &pool);
+    e4_twl_ptime(rep, &mut prof, &mut tracer, &gov, &pool);
+    e5_twr_pspace(rep, &mut prof, &mut tracer, &gov, &pool);
+    e6_twrl_exptime(rep, &mut prof, &mut tracer, &gov, &pool);
+    e7_lm_fo(rep, &mut tracer, &gov);
     e8_protocol(rep, &gov);
     e9_counting(rep);
     e10_types(rep);
@@ -502,6 +556,18 @@ fn main() {
         rep.note(&format!(
             "flame: wrote {} stack line(s) to {path}",
             prof.flame.lines().count()
+        ));
+    }
+    if let Some(path) = &tracer.path {
+        let mut out = tracer.lines.join("\n");
+        out.push('\n');
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("--trace: cannot write {path}: {e}");
+            std::process::exit(4);
+        }
+        rep.note(&format!(
+            "trace: wrote {} causal trace(s) to {path}",
+            tracer.lines.len()
         ));
     }
     if strict && TRIPPED.load(Ordering::Relaxed) {
@@ -628,6 +694,7 @@ fn profile_note(rep: &mut dyn Reporter, what: &str, m: &RunMetrics) {
 fn e1_example32(
     rep: &mut dyn Reporter,
     prof: &mut Prof,
+    tracer: &mut Tracer,
     gov: &Gov,
     collisions: Option<usize>,
     pool: &Pool,
@@ -746,9 +813,15 @@ fn e1_example32(
         let (_, cap) = Capture::collect(|mc| run_with(&prog, &dt, Limits::default(), mc));
         emit_capture(rep, prof, "E1", "n=540, seed 0", &prog, &cap);
     }
+    if tracer.active() {
+        let cfg = TreeGenConfig::example32(&mut vocab, 60, &[1, 2]);
+        let dt = DelimTree::build(&random_tree(&cfg, 0));
+        let (_, t) = trace_run(&prog, &dt, Limits::default());
+        tracer.record("E1", t);
+    }
 }
 
-fn e2_xpath(rep: &mut dyn Reporter, prof: &mut Prof, gov: &Gov, pool: &Pool) {
+fn e2_xpath(rep: &mut dyn Reporter, prof: &mut Prof, tracer: &mut Tracer, gov: &Gov, pool: &Pool) {
     rep.experiment("E2", "Section 2.3: XPath ≡ compiled FO(∃*) selector");
     let mut vocab = Vocab::new();
     let queries = [
@@ -803,9 +876,23 @@ fn e2_xpath(rep: &mut dyn Reporter, prof: &mut Prof, gov: &Gov, pool: &Pool) {
     if let Some(t) = &telemetry {
         pool_telemetry(rep, prof, "E2", t);
     }
+    if tracer.active() {
+        // Representative: the smallest tree under the union-with-filter
+        // query — each axis step's node frontier lands in the trace.
+        let (_, _, ti, path) = &inputs[2];
+        let t = &trees[*ti];
+        let (_, tr) = trace_eval_from(t, path, t.root());
+        tracer.record("E2", tr);
+    }
 }
 
-fn e3_logspace_pebbles(rep: &mut dyn Reporter, prof: &mut Prof, gov: &Gov, pool: &Pool) {
+fn e3_logspace_pebbles(
+    rep: &mut dyn Reporter,
+    prof: &mut Prof,
+    tracer: &mut Tracer,
+    gov: &Gov,
+    pool: &Pool,
+) {
     let profile = prof.active;
     rep.experiment(
         "E3",
@@ -939,10 +1026,24 @@ fn e3_logspace_pebbles(rep: &mut dyn Reporter, prof: &mut Prof, gov: &Gov, pool:
         if let Some(cap) = captured {
             emit_capture(rep, prof, "E3", "n=8", &prog.program, &cap);
         }
+        if tracer.active() {
+            // Both sides of the Theorem 7.1(1) equivalence, on the
+            // smallest tree: the xTM and its compiled pebble walker.
+            let (_, xt) = trace_xtm(&machine, &dts[0], XtmLimits::default());
+            tracer.record(&format!("E3/{name}/xtm"), xt);
+            let (_, pt) = trace_run(&prog.program, &dts[0], Limits::long_walk());
+            tracer.record(&format!("E3/{name}"), pt);
+        }
     }
 }
 
-fn e4_twl_ptime(rep: &mut dyn Reporter, prof: &mut Prof, gov: &Gov, pool: &Pool) {
+fn e4_twl_ptime(
+    rep: &mut dyn Reporter,
+    prof: &mut Prof,
+    tracer: &mut Tracer,
+    gov: &Gov,
+    pool: &Pool,
+) {
     let profile = prof.active;
     rep.experiment(
         "E4",
@@ -1049,9 +1150,19 @@ fn e4_twl_ptime(rep: &mut dyn Reporter, prof: &mut Prof, gov: &Gov, pool: &Pool)
     if let Some(cap) = captured {
         emit_capture(rep, prof, "E4", "direct engine, n=20", &prog, &cap);
     }
+    if tracer.active() {
+        let (_, t) = trace_run(&prog, &dts[0], Limits::default());
+        tracer.record("E4", t);
+    }
 }
 
-fn e5_twr_pspace(rep: &mut dyn Reporter, prof: &mut Prof, gov: &Gov, pool: &Pool) {
+fn e5_twr_pspace(
+    rep: &mut dyn Reporter,
+    prof: &mut Prof,
+    tracer: &mut Tracer,
+    gov: &Gov,
+    pool: &Pool,
+) {
     let profile = prof.active;
     rep.experiment(
         "E5",
@@ -1152,9 +1263,19 @@ fn e5_twr_pspace(rep: &mut dyn Reporter, prof: &mut Prof, gov: &Gov, pool: &Pool
     if let Some(cap) = captured {
         emit_capture(rep, prof, "E5", "n=64", &prog.program, &cap);
     }
+    if tracer.active() {
+        let (_, t) = trace_run(&prog.program, &dts[0], Limits::long_walk());
+        tracer.record("E5", t);
+    }
 }
 
-fn e6_twrl_exptime(rep: &mut dyn Reporter, prof: &mut Prof, gov: &Gov, pool: &Pool) {
+fn e6_twrl_exptime(
+    rep: &mut dyn Reporter,
+    prof: &mut Prof,
+    tracer: &mut Tracer,
+    gov: &Gov,
+    pool: &Pool,
+) {
     let profile = prof.active;
     rep.experiment(
         "E6",
@@ -1240,9 +1361,14 @@ fn e6_twrl_exptime(rep: &mut dyn Reporter, prof: &mut Prof, gov: &Gov, pool: &Po
     if let Some((pr, cap)) = captured {
         emit_capture(rep, prof, "E6", "k=8", &pr, &cap);
     }
+    if tracer.active() {
+        let (prog, dt) = &items[0];
+        let (_, t) = trace_run(prog, dt, Limits::default());
+        tracer.record("E6", t);
+    }
 }
 
-fn e7_lm_fo(rep: &mut dyn Reporter, gov: &Gov) {
+fn e7_lm_fo(rep: &mut dyn Reporter, tracer: &mut Tracer, gov: &Gov) {
     rep.experiment("E7", "Lemma 4.2: L^m is FO-definable (sentence ≡ decoder)");
     let mut vocab = Vocab::new();
     let markers = Markers::new(2, &mut vocab);
@@ -1311,6 +1437,22 @@ fn e7_lm_fo(rep: &mut dyn Reporter, gov: &Gov) {
             Cell::int(out),
             agree_cell,
         ]);
+    }
+    if tracer.active() {
+        // Representative: the m=1 sentence on an in-L^m pair, with the
+        // quantifier witnesses that satisfy it in the trace.
+        let phi = lm_sentence(1, attr, &markers);
+        let cfg = HyperGenConfig {
+            level: 1,
+            data: data.clone(),
+            max_members: 2,
+        };
+        let h = random_hyperset(&cfg, 0);
+        let f = encode(&h, &markers);
+        let g = encode_shuffled(&h, &markers, 0);
+        let t = split_string_tree(&f, &g, &markers, sym, attr);
+        let (_, tr) = trace_sentence(&t, &phi);
+        tracer.record("E7", tr);
     }
 }
 

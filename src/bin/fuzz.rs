@@ -9,7 +9,7 @@
 //! ```sh
 //! cargo run --release --bin fuzz -- --seed 1 --cases 10000 --jobs 2
 //! cargo run --release --bin fuzz -- --seed 1 --cases 200 --out repros.jsonl
-//! cargo run --release --bin fuzz -- --replay repros.jsonl
+//! cargo run --release --bin fuzz -- --replay repros.jsonl --explain
 //! cargo run --release --bin fuzz -- --self-test
 //! ```
 //!
@@ -18,15 +18,19 @@
 //! (or a passing self-test), `1` when discrepancies were found, `2` for
 //! usage errors.
 //!
+//! `--replay --explain` additionally renders each repro's embedded
+//! first-divergence report and a traced walk transcript of the base run.
+//!
 //! `--self-test` plants [`InjectedBug::RoutedFlip`] into the oracle, then
 //! asserts the campaign catches it, the minimizer shrinks a repro to at
-//! most 8 program states and 16 tree nodes, and the written repro line
-//! replays as still-failing.
+//! most 8 program states and 16 tree nodes, the written repro line replays
+//! as still-failing, and the embedded divergence report identifies the
+//! routed-acceptance flip at the root span.
 
 use twq::exec::Pool;
 use twq::fuzz::{
-    minimize, parse_jsonl, render_jsonl, replay, run_campaign, FuzzConfig, InjectedBug, Repro,
-    Universe,
+    explain_repro, minimize, parse_jsonl, render_jsonl, replay, run_campaign, FuzzConfig,
+    InjectedBug, Repro, Universe,
 };
 
 struct Args {
@@ -34,13 +38,14 @@ struct Args {
     jobs: Option<usize>,
     out: Option<String>,
     replay: Option<String>,
+    explain: bool,
     self_test: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: fuzz [--seed N] [--cases N] [--jobs N] [--no-minimize] \
-         [--out PATH] [--inject-bug NAME] [--replay PATH] [--self-test]"
+         [--out PATH] [--inject-bug NAME] [--replay PATH [--explain]] [--self-test]"
     );
     std::process::exit(2);
 }
@@ -51,6 +56,7 @@ fn parse_args() -> Args {
         jobs: None,
         out: None,
         replay: None,
+        explain: false,
         self_test: false,
     };
     let mut it = std::env::args().skip(1);
@@ -88,6 +94,7 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--explain" => args.explain = true,
             "--self-test" => args.self_test = true,
             _ => usage(),
         }
@@ -95,7 +102,7 @@ fn parse_args() -> Args {
     args
 }
 
-fn run_replay(path: &str, pool: &Pool) -> i32 {
+fn run_replay(path: &str, pool: &Pool, explain: bool) -> i32 {
     let contents = match std::fs::read_to_string(path) {
         Ok(c) => c,
         Err(e) => {
@@ -123,6 +130,11 @@ fn run_replay(path: &str, pool: &Pool) -> i32 {
             r.pair,
             r.detail.lines().next().unwrap_or("")
         );
+        if explain {
+            for line in explain_repro(r).lines() {
+                println!("    {line}");
+            }
+        }
     }
     println!(
         "replayed {} repro(s): {} still failing",
@@ -162,6 +174,20 @@ fn run_self_test(jobs: Option<usize>) -> i32 {
         );
         return 1;
     }
+    // The repro must embed a divergence report pinning the routed flip:
+    // first divergent span at the root, with opposite acceptances.
+    let Some(div) = &repro.divergence else {
+        eprintln!("self-test FAILED: repro embeds no divergence report");
+        return 1;
+    };
+    if div.at != "r" || !div.right_label.contains("routed") {
+        eprintln!("self-test FAILED: divergence does not name the routed root flip: {div}");
+        return 1;
+    }
+    if div.left_accepted.is_none() || div.left_accepted == div.right_accepted {
+        eprintln!("self-test FAILED: divergence does not show an acceptance flip: {div}");
+        return 1;
+    }
     let line = repro.to_json_line();
     let back = match Repro::from_json_line(&line) {
         Ok(r) => r,
@@ -170,6 +196,15 @@ fn run_self_test(jobs: Option<usize>) -> i32 {
             return 1;
         }
     };
+    if back.divergence.as_ref() != Some(div) {
+        eprintln!("self-test FAILED: divergence report does not round-trip");
+        return 1;
+    }
+    let explained = explain_repro(&back);
+    if !explained.contains("first divergence at r:") {
+        eprintln!("self-test FAILED: explanation omits the divergence:\n{explained}");
+        return 1;
+    }
     let pool = Pool::new(2);
     if replay(std::slice::from_ref(&back), &pool) != vec![0] {
         eprintln!("self-test FAILED: round-tripped repro no longer fails");
@@ -182,8 +217,10 @@ fn run_self_test(jobs: Option<usize>) -> i32 {
         return 1;
     }
     println!(
-        "self-test PASSED: {} failure(s) caught, minimized to {states} state(s) / {nodes} node(s), repro replays",
-        report.failures.len()
+        "self-test PASSED: {} failure(s) caught, minimized to {states} state(s) / {nodes} node(s), \
+         repro replays, divergence pins the flip at {}",
+        report.failures.len(),
+        div.at
     );
     0
 }
@@ -195,7 +232,7 @@ fn main() {
         None => Pool::with_default_parallelism(),
     };
     if let Some(path) = &args.replay {
-        std::process::exit(run_replay(path, &pool));
+        std::process::exit(run_replay(path, &pool, args.explain));
     }
     if args.self_test {
         std::process::exit(run_self_test(args.jobs));
