@@ -18,7 +18,7 @@ use twq_tree::generate::{
     chain_tree, comb_tree, perfect_tree, random_tree, star_tree, TreeGenConfig,
 };
 use twq_tree::{AttrId, Label, SymId, Tree, Value, Vocab};
-use twq_xpath::{compile, random_xpath, XPathGenConfig};
+use twq_xpath::{compile, random_xpath_shaped, SelectionTest, XPath, XPathGenConfig, XPathShape};
 
 /// The shared generation universe: Example 3.2's `{σ, δ}` alphabet, the
 /// attribute `a`, and a small integer datum pool. Every generated program,
@@ -117,11 +117,22 @@ pub struct ProgramCase {
 }
 
 /// A differential formula case: evaluate the binary `FO(∃*)` formula on
-/// `tree` through every FO evaluator pair.
+/// `tree` through every FO evaluator pair, and — when the source XPath is
+/// known — every rewritten-vs-direct XPath pair too.
 #[derive(Debug, Clone)]
 pub struct FormulaCase {
     /// The XPath-compiled binary formula.
     pub phi: ExistsFormula,
+    /// The source XPath `phi` was compiled from (`None` only for the
+    /// fallback selector); drives the `twq-rw` rewritten-vs-direct pairs.
+    pub path: Option<XPath>,
+    /// The element alphabet the tree was generated over (a sound
+    /// [`twq_rw::RewriteCtx`] assumption for the planner pair).
+    pub alphabet: Vec<SymId>,
+    /// The witness attribute for the routed acceptor pair.
+    pub id_attr: AttrId,
+    /// The selection test for the routed acceptor pair.
+    pub test: SelectionTest,
     /// The data tree.
     pub tree: Tree,
     /// Optional fuel for the guarded selection pair.
@@ -464,6 +475,11 @@ pub fn gen_program_case(rng: &mut StdRng, uni: &Universe) -> ProgramCase {
 
 /// Generate a formula case: an XPath-compiled binary `FO(∃*)` formula
 /// small enough for the naive `O(|t|^q)` evaluator, on a small tree.
+///
+/// Half the corpus is drawn union-heavy or filter-heavy (see
+/// [`XPathShape`]) so the `twq-rw` rule set — union canonicalization,
+/// subsumption pruning, filter pushdown, tautology elimination — actually
+/// fires on fuzz inputs instead of idling on step-only paths.
 pub fn gen_formula_case(rng: &mut StdRng, uni: &Universe) -> FormulaCase {
     let xcfg = XPathGenConfig {
         symbols: uni.symbols.clone(),
@@ -471,15 +487,29 @@ pub fn gen_formula_case(rng: &mut StdRng, uni: &Universe) -> FormulaCase {
         values: vec![uni.values[0]],
         max_depth: 2,
     };
-    let mut phi = None;
+    let shape = match rng.gen_range(0..4u32) {
+        0 | 1 => XPathShape::Uniform,
+        2 => XPathShape::UnionHeavy,
+        _ => XPathShape::FilterHeavy,
+    };
+    let mut picked = None;
     for _ in 0..32 {
-        let cand = compile(&random_xpath(&xcfg, rng.next_u64()));
+        let path = random_xpath_shaped(&xcfg, rng.next_u64(), shape);
+        let cand = compile(&path);
         if cand.quantified().len() <= 4 {
-            phi = Some(cand);
+            picked = Some((cand, path));
             break;
         }
     }
-    let phi = phi.unwrap_or_else(selectors::descendants);
+    let (phi, path) = match picked {
+        Some((phi, path)) => (phi, Some(path)),
+        None => (selectors::descendants(), None),
+    };
+    let test = match rng.gen_range(0..4u32) {
+        0 | 1 => SelectionTest::NonEmpty,
+        2 => SelectionTest::SomeValue(uni.attr, uni.value(rng)),
+        _ => SelectionTest::AllValue(uni.attr, uni.value(rng)),
+    };
     // Naive selection is O(n^{q+2}); keep the tree tiny.
     let cfg = TreeGenConfig {
         nodes: rng.gen_range(1..=9),
@@ -490,7 +520,15 @@ pub fn gen_formula_case(rng: &mut StdRng, uni: &Universe) -> FormulaCase {
     };
     let tree = random_tree(&cfg, rng.next_u64());
     let fuel = rng.gen_bool(0.4).then(|| rng.gen_range(0..=300));
-    FormulaCase { phi, tree, fuel }
+    FormulaCase {
+        phi,
+        path,
+        alphabet: uni.symbols.clone(),
+        id_attr: uni.attr,
+        test,
+        tree,
+        fuel,
+    }
 }
 
 /// The stable name of a [`ProgramError`] variant, used to assert that a

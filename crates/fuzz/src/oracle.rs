@@ -11,6 +11,12 @@
 //! | `eval_sentence` vs `_memo` vs `_par` | boolean verdict |
 //! | `select` vs `select_memo` vs `select_batch` vs `ExistsFormula::select` | node sets, every context node |
 //! | `select_guarded` vs `select_batch_guarded` | `Ok` set / trip reason, per node |
+//! | `eval_sentence` vs `eval_sentence_rewritten` | boolean verdict |
+//! | `select` vs `fo_select_rewritten` vs `normalize_exists(φ).select` | node sets, every context node |
+//! | `eval_from` vs `eval_from_rewritten` | node sets, every context node |
+//! | `eval_pairs` vs `eval_pairs_rewritten` | the full binary relation |
+//! | `eval_from` vs `run_query_planned` | root node set, certificate-chosen evaluator |
+//! | `run_routed(compile(p))` vs `run_query_routed(p)` | acceptance, certificate-aware routing |
 //! | near-miss builder spec | rejected with the intended `ProgramError` |
 //! | smelly program | analyzer diagnostics non-empty or pruner fired |
 //!
@@ -31,7 +37,12 @@ use twq_logic::{
     select_batch_guarded, select_guarded, select_memo,
 };
 use twq_obs::{diff as trace_diff, Divergence, Trace, Verdict};
+use twq_rw::{
+    eval_from_rewritten, eval_pairs_rewritten, eval_sentence_rewritten, fo_select_rewritten,
+    normalize_exists, run_query_planned, run_query_routed, RewriteCtx,
+};
 use twq_tree::{DelimTree, NodeId};
+use twq_xpath::{eval_from, eval_pairs, xpath_to_program};
 
 use crate::gen::{BudgetSpec, FormulaCase, ProgramCase};
 
@@ -410,7 +421,105 @@ pub fn check_formula_case(case: &FormulaCase, pool: &Pool) -> Option<Discrepancy
         }
     }
 
-    // 3. Guarded selection: serial fresh-guard loop vs batch factory.
+    // 3. The rewritten FO twins: normalization must change nothing
+    // observable, for the closed sentence, the raw matrix from every
+    // context node, and the prenex FO(∃*) backtracking selector.
+    match eval_sentence_rewritten(tree, &sentence) {
+        Ok(b) if b == naive => {}
+        other => {
+            return Some(Discrepancy::new(
+                "eval_sentence vs eval_sentence_rewritten",
+                format!("naive={naive} rewritten={other:?}"),
+            ))
+        }
+    }
+    let phi_norm = normalize_exists(phi);
+    for (i, &u) in us.iter().enumerate() {
+        match fo_select_rewritten(tree, &formula, phi.x(), u, phi.y()) {
+            Ok(s) if s == serial[i] => {}
+            other => {
+                return Some(Discrepancy::new(
+                    "select vs fo_select_rewritten",
+                    format!("node {u}: naive={:?} rewritten={other:?}", serial[i]),
+                ))
+            }
+        }
+        let norm_sel = phi_norm.select(tree, u);
+        if norm_sel != serial[i] {
+            return Some(Discrepancy::new(
+                "select vs normalize_exists(phi).select",
+                format!("node {u}: naive={:?} normalized={norm_sel:?}", serial[i]),
+            ));
+        }
+    }
+
+    // 4. The rewritten XPath twins, when the source query is known: the
+    // rewrite engine, the certificate-driven planner, and the
+    // certificate-aware routed acceptor must all reproduce the naive
+    // relational answers exactly.
+    if let Some(path) = &case.path {
+        let direct_pairs = eval_pairs(tree, path);
+        let rewritten_pairs = eval_pairs_rewritten(tree, path);
+        if rewritten_pairs != direct_pairs {
+            return Some(Discrepancy::new(
+                "eval_pairs vs eval_pairs_rewritten",
+                format!("direct={direct_pairs:?} rewritten={rewritten_pairs:?}"),
+            ));
+        }
+        for &u in &us {
+            let direct = eval_from(tree, path, u);
+            let rewritten = eval_from_rewritten(tree, path, u);
+            if rewritten != direct {
+                return Some(Discrepancy::new(
+                    "eval_from vs eval_from_rewritten",
+                    format!("node {u}: direct={direct:?} rewritten={rewritten:?}"),
+                ));
+            }
+        }
+        // The planner may route to the streaming evaluator or short-circuit
+        // on an Empty certificate; either way the root answer is fixed.
+        let ctx = RewriteCtx::unconstrained().with_alphabet(case.alphabet.iter().copied());
+        let root_direct = eval_from(tree, path, tree.root());
+        let (planned, plan) = run_query_planned(tree, path, &ctx);
+        if planned != root_direct {
+            return Some(Discrepancy::new(
+                "eval_from vs run_query_planned",
+                format!(
+                    "evaluator={:?}: direct={root_direct:?} planned={planned:?}",
+                    plan.evaluator
+                ),
+            ));
+        }
+        // Routed acceptance: compile the *unrewritten* query and route it
+        // naively; the certificate-aware router must agree even when it
+        // decides without walking (provably-empty short-circuit).
+        let delim = DelimTree::build(tree);
+        let naive_prog = xpath_to_program(path, &case.alphabet, case.id_attr, case.test);
+        let naive_routed = run_routed(&naive_prog, &delim, FUZZ_LIMITS);
+        let certified = run_query_routed(
+            path,
+            &delim,
+            &case.alphabet,
+            case.id_attr,
+            case.test,
+            FUZZ_LIMITS,
+        );
+        if certified.accepted != naive_routed.accepted {
+            return Some(Discrepancy::new(
+                "run_routed vs run_query_routed",
+                format!(
+                    "test={:?}: naive accepted={} certified accepted={} (walked={}, {:?})",
+                    case.test,
+                    naive_routed.accepted,
+                    certified.accepted,
+                    certified.routed.is_some(),
+                    certified.rewritten.certificate
+                ),
+            ));
+        }
+    }
+
+    // 5. Guarded selection: serial fresh-guard loop vs batch factory.
     if let Some(fuel) = case.fuel {
         let make = || ResourceGuard::unlimited().with_budget(fuel);
         let serial: Vec<_> = us

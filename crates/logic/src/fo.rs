@@ -28,7 +28,11 @@ impl fmt::Display for Var {
 }
 
 /// An atomic formula over the tree vocabulary.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// `Ord` is the canonical atom order used by the `twq-rw` normalizer to
+/// sort and deduplicate conjuncts/disjuncts; it is the derived structural
+/// order and carries no semantic meaning.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TreeAtom {
     /// `E(x, y)`: `y` is a child of `x`.
     Edge(Var, Var),
@@ -118,7 +122,10 @@ impl TreeAtom {
 }
 
 /// A first-order formula over the tree vocabulary.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// `Ord` is the canonical formula order used by the `twq-rw` normalizer
+/// (see `TreeAtom`); it carries no semantic meaning.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Formula {
     /// The constant true.
     True,

@@ -82,6 +82,13 @@ pub trait Collector {
     /// Bump a named counter by `delta`.
     fn counter(&mut self, name: &'static str, delta: u64) {}
 
+    /// Bump a rewrite-phase counter by `delta`. Unlike [`Collector::counter`]
+    /// (which lands under `run/<name>` in a session [`Registry`]), rewrite
+    /// counters keep their full name verbatim — the `twq-rw` pass reports
+    /// `rewrite/rules_fired/<rule>`, `rewrite/pruned_branches`, and
+    /// `rewrite/certified_streamable` through this hook.
+    fn rewrite_counter(&mut self, name: &'static str, delta: u64) {}
+
     /// A named phase finished after `nanos` nanoseconds of wall clock.
     fn phase(&mut self, name: &'static str, nanos: u64) {}
 
@@ -231,6 +238,13 @@ impl Collector for MetricsCollector<'_> {
         *self.metrics.counters.entry(name).or_insert(0) += delta;
         if let Some(reg) = self.registry.as_deref_mut() {
             reg.counter_add(&format!("run/{name}"), delta);
+        }
+    }
+
+    fn rewrite_counter(&mut self, name: &'static str, delta: u64) {
+        *self.metrics.counters.entry(name).or_insert(0) += delta;
+        if let Some(reg) = self.registry.as_deref_mut() {
+            reg.counter_add(name, delta);
         }
     }
 

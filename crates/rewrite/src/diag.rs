@@ -1,0 +1,76 @@
+//! Query-level diagnostics: the `RW` (rewrite) and `ST` (streamability)
+//! codes that extend the `twq-analyze` taxonomy from programs to queries.
+//!
+//! `twq_analyze::Diagnostic` anchors findings to `TwProgram` locations;
+//! query findings anchor to the query text itself, so they carry their own
+//! record type while reusing [`Severity`] (and the same rendered shape) so
+//! `lint` can fold both into one report.
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | RW001 | info     | a provably-empty union branch was deleted |
+//! | RW002 | warning  | the whole query is provably empty |
+//! | RW003 | info     | a union branch was subsumed (`p ⊑ q`) and pruned |
+//! | RW004 | info     | a tautological filter was dropped |
+//! | ST001 | info     | certified streamable, with its depth-state bound |
+//! | ST002 | info     | not streamable, with the offending construct |
+
+pub use twq_analyze::Severity;
+
+/// A finding about a query (XPath or FO), in the style of
+/// [`twq_analyze::Diagnostic`] but without a program location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryDiagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// Stable machine-readable code (`RW...` / `ST...`).
+    pub code: &'static str,
+    /// Human-readable message.
+    pub message: String,
+    /// What to do about it.
+    pub hint: &'static str,
+}
+
+impl QueryDiagnostic {
+    /// Render as a one-line finding, matching the analyze format
+    /// (`severity[CODE] query: message (hint)`).
+    pub fn render(&self) -> String {
+        format!(
+            "{}[{}] query: {} ({})",
+            self.severity, self.code, self.message, self.hint
+        )
+    }
+}
+
+/// `(errors, warnings, infos)` over a slice of query findings.
+pub fn query_severity_counts(diags: &[QueryDiagnostic]) -> (usize, usize, usize) {
+    let mut c = (0, 0, 0);
+    for d in diags {
+        match d.severity {
+            Severity::Error => c.0 += 1,
+            Severity::Warning => c.1 += 1,
+            Severity::Info => c.2 += 1,
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_matches_analyze_shape() {
+        let d = QueryDiagnostic {
+            severity: Severity::Warning,
+            code: "RW002",
+            message: "query is provably empty".to_owned(),
+            hint: "every branch was deleted",
+        };
+        assert_eq!(
+            d.render(),
+            "warning[RW002] query: query is provably empty (every branch was deleted)"
+        );
+        assert_eq!(query_severity_counts(&[d]), (0, 1, 0));
+    }
+}

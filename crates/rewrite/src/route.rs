@@ -1,0 +1,221 @@
+//! Certificate-aware query planning: the rewritten evaluator twins for
+//! `twq-xpath`, and the routing layer that consults the streamability
+//! certificate before picking an evaluator (the front half of the
+//! ROADMAP item 3 planner).
+
+use std::collections::BTreeSet;
+
+use twq_analyze::{run_routed, Routed};
+use twq_automata::{Limits, TwProgram};
+use twq_exec::Pool;
+use twq_tree::{AttrId, DelimTree, NodeId, NodeSet, SymId, Tree};
+use twq_xpath::{eval_from, eval_pairs, select_batch, xpath_to_program, SelectionTest, XPath};
+
+use crate::contain::RewriteCtx;
+use crate::stream::{stream_select, Certificate};
+use crate::{rewrite_in, Rewritten};
+
+/// `eval_from` through the rewriter: rewrite once, short-circuit provably
+/// empty queries, evaluate the normal form. Byte-identical results to the
+/// naive path (the fuzz oracle and `experiments --rewrite` enforce this).
+pub fn eval_from_rewritten(tree: &Tree, path: &XPath, x: NodeId) -> NodeSet {
+    let rw = rewrite_in(path, &RewriteCtx::unconstrained());
+    if rw.provably_empty {
+        return NodeSet::new();
+    }
+    eval_from(tree, &rw.output, x)
+}
+
+/// `eval_pairs` through the rewriter.
+pub fn eval_pairs_rewritten(tree: &Tree, path: &XPath) -> BTreeSet<(NodeId, NodeId)> {
+    let rw = rewrite_in(path, &RewriteCtx::unconstrained());
+    if rw.provably_empty {
+        return BTreeSet::new();
+    }
+    eval_pairs(tree, &rw.output)
+}
+
+/// `select_batch` through the rewriter: the rewrite runs once, the
+/// normal form is evaluated for every context.
+pub fn select_batch_rewritten(
+    tree: &Tree,
+    path: &XPath,
+    contexts: &[NodeId],
+    pool: &Pool,
+) -> Vec<NodeSet> {
+    let rw = rewrite_in(path, &RewriteCtx::unconstrained());
+    if rw.provably_empty {
+        return contexts.iter().map(|_| NodeSet::new()).collect();
+    }
+    select_batch(tree, &rw.output, contexts, pool)
+}
+
+/// Which evaluator the planner picked for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannedEvaluator {
+    /// Provably empty: no evaluation at all.
+    EmptyShortCircuit,
+    /// Certified streamable: the one-pass evaluator.
+    Streaming,
+    /// The relational reference evaluator.
+    Relational,
+}
+
+/// A rewritten query plus the evaluator its certificate selects.
+#[derive(Debug)]
+pub struct QueryPlan {
+    /// The rewrite record (normal form, certificate, diagnostics).
+    pub rewritten: Rewritten,
+    /// The choice the certificate justifies.
+    pub evaluator: PlannedEvaluator,
+}
+
+/// Rewrite `q` under `ctx` and pick an evaluator from its certificate.
+pub fn plan_query(q: &XPath, ctx: &RewriteCtx) -> QueryPlan {
+    let rewritten = rewrite_in(q, ctx);
+    let evaluator = match &rewritten.certificate {
+        Certificate::Empty => PlannedEvaluator::EmptyShortCircuit,
+        Certificate::Streamable { .. } => PlannedEvaluator::Streaming,
+        Certificate::NotStreamable { .. } => PlannedEvaluator::Relational,
+    };
+    QueryPlan {
+        rewritten,
+        evaluator,
+    }
+}
+
+/// Evaluate `q` from the root along its plan. Equal to
+/// `eval_from(tree, q, tree.root())` whichever evaluator runs.
+pub fn run_query_planned(tree: &Tree, q: &XPath, ctx: &RewriteCtx) -> (NodeSet, QueryPlan) {
+    let plan = plan_query(q, ctx);
+    let out = match plan.evaluator {
+        PlannedEvaluator::EmptyShortCircuit => NodeSet::new(),
+        PlannedEvaluator::Streaming => {
+            stream_select(tree, &plan.rewritten.output)
+                .expect("certified streamable")
+                .0
+        }
+        PlannedEvaluator::Relational => eval_from(tree, &plan.rewritten.output, tree.root()),
+    };
+    (out, plan)
+}
+
+/// Compile the *rewritten* query to a `tw^{r,l}` acceptor, returning the
+/// rewrite record alongside (its certificate travels with the program).
+pub fn xpath_to_program_rewritten(
+    query: &XPath,
+    alphabet: &[SymId],
+    id_attr: AttrId,
+    test: SelectionTest,
+) -> (TwProgram, Rewritten) {
+    let rw = rewrite_in(query, &RewriteCtx::unconstrained());
+    let prog = xpath_to_program(&rw.output, alphabet, id_attr, test);
+    (prog, rw)
+}
+
+/// A certificate-aware routed run of a query acceptor.
+#[derive(Debug)]
+pub struct QueryRouted {
+    /// The rewrite record consulted before routing.
+    pub rewritten: Rewritten,
+    /// The analyze-layer routing record, when a walk actually ran
+    /// (`None` when the certificate short-circuited it).
+    pub routed: Option<Routed>,
+    /// The acceptance verdict.
+    pub accepted: bool,
+}
+
+/// Route a query end to end: consult the rewrite certificate first — a
+/// provably-empty query is decided without compiling or walking — then
+/// compile the normal form and hand it to `analyze::run_routed`.
+pub fn run_query_routed(
+    query: &XPath,
+    delim: &DelimTree,
+    alphabet: &[SymId],
+    id_attr: AttrId,
+    test: SelectionTest,
+    limits: Limits,
+) -> QueryRouted {
+    let rw = rewrite_in(query, &RewriteCtx::unconstrained());
+    if rw.provably_empty {
+        // An empty selection accepts exactly the vacuous test.
+        let accepted = matches!(test, SelectionTest::AllValue(..));
+        return QueryRouted {
+            rewritten: rw,
+            routed: None,
+            accepted,
+        };
+    }
+    let prog = xpath_to_program(&rw.output, alphabet, id_attr, test);
+    let routed = run_routed(&prog, delim, limits);
+    let accepted = routed.accepted;
+    QueryRouted {
+        rewritten: rw,
+        routed: Some(routed),
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twq_tree::{parse_tree, Vocab};
+    use twq_xpath::ast::xb;
+
+    #[test]
+    fn planned_run_matches_naive() {
+        let mut v = Vocab::new();
+        let t = parse_tree("sigma(delta(sigma,sigma),sigma(delta))", &mut v).unwrap();
+        let sigma = v.sym("sigma");
+        let delta = v.sym("delta");
+        let ctx = RewriteCtx::unconstrained();
+        let queries = vec![
+            xb::from_desc(xb::name(delta)),
+            xb::union(
+                xb::child(xb::name(sigma), xb::name(delta)),
+                xb::desc(xb::name(sigma), xb::name(delta)),
+            ),
+            xb::filter(xb::from_desc(xb::wild()), xb::name(sigma)),
+        ];
+        for q in queries {
+            let (got, plan) = run_query_planned(&t, &q, &ctx);
+            let want = eval_from(&t, &q, t.root());
+            assert_eq!(
+                got.iter().collect::<Vec<_>>(),
+                want.iter().collect::<Vec<_>>(),
+                "query {} via {:?}",
+                q.display(&v),
+                plan.evaluator
+            );
+        }
+    }
+
+    #[test]
+    fn empty_certificate_short_circuits_routing() {
+        let mut v = Vocab::new();
+        let t = parse_tree("sigma(delta)", &mut v).unwrap();
+        let sigma = v.sym("sigma");
+        let ghost = v.sym("ghost");
+        let id = v.attr("id");
+        let ctx = RewriteCtx::unconstrained().with_alphabet([sigma]);
+        let plan = plan_query(&xb::name(ghost), &ctx);
+        assert_eq!(plan.evaluator, PlannedEvaluator::EmptyShortCircuit);
+        // Structurally-empty query: label clash needs no ctx at all.
+        let clash = twq_xpath::XPath::Filter(
+            Box::new(xb::name(sigma)),
+            Box::new(twq_xpath::Pred::Path(xb::name(ghost))),
+        );
+        let delim = DelimTree::build(&t);
+        let routed = run_query_routed(
+            &clash,
+            &delim,
+            &[sigma, ghost],
+            id,
+            SelectionTest::NonEmpty,
+            Limits::default(),
+        );
+        assert!(routed.rewritten.provably_empty);
+        assert!(routed.routed.is_none());
+        assert!(!routed.accepted);
+    }
+}

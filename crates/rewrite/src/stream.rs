@@ -1,0 +1,337 @@
+//! Streamability certification and a one-pass streaming evaluator.
+//!
+//! A normalized query is **streamable** when a single document-order pass
+//! with per-depth state can answer it from the root: downward axes only,
+//! no path predicates (they demand look-ahead into the unread suffix),
+//! and no absolute (`FromRoot`) re-entry below the top. Certified queries
+//! compile to a tiny NFA whose per-node active set is bounded by
+//! `max_depth_state` — the memory the pass holds per open tree level, the
+//! query-level face of the paper's bounded-configuration argument (§7,
+//! Thm 7.1). `stream_select` runs that pass; `tests/rewrite.rs` validates
+//! the certificate empirically with a `MemGauge` on the active set.
+
+use twq_guard::{GaugeKind, MemGauge, TripReason};
+use twq_tree::{AttrId, Label, NodeId, NodeSet, SymId, Tree, Value};
+use twq_xpath::{Pred, XPath};
+
+/// What the certification pass concluded about a (normalized) query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Certificate {
+    /// The query is provably empty: no evaluator needs to run at all.
+    Empty,
+    /// One-pass safe; a streaming run keeps at most `max_depth_state`
+    /// active NFA states per open tree level.
+    Streamable {
+        /// Upper bound on the per-level active-state count.
+        max_depth_state: usize,
+    },
+    /// Not one-pass safe; `witness` names the offending construct.
+    NotStreamable {
+        /// Why a single forward pass cannot answer the query.
+        witness: String,
+    },
+}
+
+impl Certificate {
+    /// Is this a `Streamable` certificate?
+    pub fn is_streamable(&self) -> bool {
+        matches!(self, Certificate::Streamable { .. })
+    }
+}
+
+/// Check the one-pass-safe subset; `Ok` returns the query under any
+/// outermost `FromRoot` (streaming starts at the root anyway).
+fn check_streamable(q: &XPath) -> Result<&XPath, String> {
+    let inner = match q {
+        XPath::FromRoot(p) => &**p,
+        _ => q,
+    };
+    scan(inner)?;
+    Ok(inner)
+}
+
+fn scan(q: &XPath) -> Result<(), String> {
+    match q {
+        XPath::Name(_) | XPath::Wild => Ok(()),
+        XPath::Child(a, b) | XPath::Descendant(a, b) | XPath::Union(a, b) => {
+            scan(a)?;
+            scan(b)
+        }
+        XPath::FromDesc(p) | XPath::FromChild(p) => scan(p),
+        XPath::FromRoot(_) => Err("nested absolute path re-enters the root mid-stream".to_owned()),
+        XPath::Filter(p, pred) => {
+            if let Pred::Path(_) = **pred {
+                return Err(
+                    "path predicate requires look-ahead beyond the streamed prefix".to_owned(),
+                );
+            }
+            scan(p)
+        }
+    }
+}
+
+/// A per-node test gating an NFA state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum NodeTest {
+    Lab(SymId),
+    AttrConst(AttrId, Value),
+    AttrAttr(AttrId, AttrId),
+}
+
+impl NodeTest {
+    fn passes(&self, tree: &Tree, u: NodeId) -> bool {
+        match *self {
+            NodeTest::Lab(s) => tree.label(u) == Label::Sym(s),
+            NodeTest::AttrConst(a, d) => tree.attr(u, a) == d,
+            NodeTest::AttrAttr(a, b) => tree.attr(u, a) == tree.attr(u, b),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct StateData {
+    /// All must pass at the node for the state to stay active there.
+    tests: Vec<NodeTest>,
+    /// States active at the node's children when this one survives.
+    out: Vec<u32>,
+    /// Surviving here selects the node.
+    accept: bool,
+}
+
+/// The compiled streaming NFA. States anchor at tree nodes; an edge from
+/// `s` to `t ∈ out(s)` consumes one tree edge (descendant loops are
+/// self-edges). Compilation is continuation-passing, right to left.
+#[derive(Debug)]
+struct StreamNfa {
+    states: Vec<StateData>,
+    start: Vec<u32>,
+}
+
+impl StreamNfa {
+    fn compile(q: &XPath) -> StreamNfa {
+        let mut nfa = StreamNfa {
+            states: Vec::new(),
+            start: Vec::new(),
+        };
+        let acc = nfa.push(Vec::new(), Vec::new(), true);
+        let mut start = nfa.comp(q, &[acc]);
+        start.sort_unstable();
+        start.dedup();
+        nfa.start = start;
+        nfa
+    }
+
+    fn push(&mut self, tests: Vec<NodeTest>, out: Vec<u32>, accept: bool) -> u32 {
+        let id = self.states.len() as u32;
+        self.states.push(StateData { tests, out, accept });
+        id
+    }
+
+    /// Clone `c` with an extra test (fresh state: shared continuations
+    /// must not pick up each other's tests).
+    fn with_test(&mut self, c: u32, t: NodeTest) -> u32 {
+        let mut d = self.states[c as usize].clone();
+        d.tests.push(t);
+        let id = self.states.len() as u32;
+        self.states.push(d);
+        id
+    }
+
+    /// Entry states for `q` followed by the continuation `cont`, where
+    /// `cont` states anchor at the node `q` selects.
+    fn comp(&mut self, q: &XPath, cont: &[u32]) -> Vec<u32> {
+        match q {
+            XPath::Wild => cont.to_vec(),
+            XPath::Name(s) => cont
+                .iter()
+                .map(|&c| self.with_test(c, NodeTest::Lab(*s)))
+                .collect(),
+            XPath::Child(a, b) => {
+                let e2 = self.comp(b, cont);
+                let mid = self.push(Vec::new(), e2, false);
+                self.comp(a, &[mid])
+            }
+            XPath::FromChild(p) => {
+                let e2 = self.comp(p, cont);
+                vec![self.push(Vec::new(), e2, false)]
+            }
+            XPath::Descendant(a, b) => {
+                let m = self.push_loop(b, cont);
+                self.comp(a, &[m])
+            }
+            XPath::FromDesc(p) => {
+                let m = self.push_loop(p, cont);
+                vec![m]
+            }
+            XPath::Union(a, b) => {
+                let mut v = self.comp(a, cont);
+                v.extend(self.comp(b, cont));
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+            XPath::Filter(p, pred) => {
+                let t = match &**pred {
+                    Pred::AttrEqConst(a, d) => NodeTest::AttrConst(*a, *d),
+                    Pred::AttrEqAttr(a, b) => NodeTest::AttrAttr(*a, *b),
+                    Pred::Path(_) => unreachable!("rejected by certification"),
+                };
+                let cont2: Vec<u32> = cont.iter().map(|&c| self.with_test(c, t.clone())).collect();
+                self.comp(p, &cont2)
+            }
+            XPath::FromRoot(_) => unreachable!("rejected by certification"),
+        }
+    }
+
+    /// A descendant step into `body` with continuation `cont`: a fresh
+    /// state that re-arms itself at every child (the ≥1-edge loop) and
+    /// also enters the body.
+    fn push_loop(&mut self, body: &XPath, cont: &[u32]) -> u32 {
+        let id = self.push(Vec::new(), Vec::new(), false);
+        let mut out = self.comp(body, cont);
+        out.push(id);
+        out.sort_unstable();
+        out.dedup();
+        self.states[id as usize].out = out;
+        id
+    }
+}
+
+/// Certify a query. Call on the *normalized* form — the rewriter runs
+/// this automatically and folds the result into its diagnostics.
+pub fn certify(q: &XPath) -> Certificate {
+    match check_streamable(q) {
+        Err(witness) => Certificate::NotStreamable { witness },
+        Ok(inner) => {
+            let nfa = StreamNfa::compile(inner);
+            Certificate::Streamable {
+                max_depth_state: nfa.states.len(),
+            }
+        }
+    }
+}
+
+/// Counters from a streaming run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Largest active-state set seen at any node (≤ `max_depth_state`).
+    pub max_active: usize,
+    /// Nodes visited (pruned subtrees are skipped).
+    pub nodes_visited: usize,
+}
+
+/// One-pass evaluation of a certified query from the root, equal to
+/// `eval_from(tree, q, tree.root())`. `None` if `q` is not streamable.
+pub fn stream_select(tree: &Tree, q: &XPath) -> Option<(NodeSet, StreamStats)> {
+    let mut gauge = MemGauge::unlimited();
+    stream_select_gauged(tree, q, &mut gauge).ok().flatten()
+}
+
+/// [`stream_select`] observing the per-node active-state count on the
+/// gauge's [`GaugeKind::Relation`] channel — the empirical check that a
+/// certificate's `max_depth_state` bound holds.
+#[allow(clippy::type_complexity)]
+pub fn stream_select_gauged(
+    tree: &Tree,
+    q: &XPath,
+    gauge: &mut MemGauge,
+) -> Result<Option<(NodeSet, StreamStats)>, TripReason> {
+    let Ok(inner) = check_streamable(q) else {
+        return Ok(None);
+    };
+    let nfa = StreamNfa::compile(inner);
+    let mut selected = NodeSet::new();
+    let mut stats = StreamStats {
+        max_active: 0,
+        nodes_visited: 0,
+    };
+    let mut stack: Vec<(NodeId, Vec<u32>)> = vec![(tree.root(), nfa.start.clone())];
+    while let Some((u, active)) = stack.pop() {
+        stats.nodes_visited += 1;
+        let surviving: Vec<u32> = active
+            .into_iter()
+            .filter(|&s| {
+                nfa.states[s as usize]
+                    .tests
+                    .iter()
+                    .all(|t| t.passes(tree, u))
+            })
+            .collect();
+        stats.max_active = stats.max_active.max(surviving.len());
+        gauge.observe(GaugeKind::Relation, surviving.len())?;
+        if surviving.iter().any(|&s| nfa.states[s as usize].accept) {
+            selected.insert(u);
+        }
+        let mut next: Vec<u32> = surviving
+            .iter()
+            .flat_map(|&s| nfa.states[s as usize].out.iter().copied())
+            .collect();
+        next.sort_unstable();
+        next.dedup();
+        if !next.is_empty() {
+            for c in tree.children(u) {
+                stack.push((c, next.clone()));
+            }
+        }
+    }
+    Ok(Some((selected, stats)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twq_tree::{parse_tree, Vocab};
+    use twq_xpath::ast::xb;
+    use twq_xpath::eval_from;
+
+    #[test]
+    fn certificates() {
+        let mut v = Vocab::new();
+        let a = xb::name(v.sym("a"));
+        let b = xb::name(v.sym("b"));
+        let c = certify(&xb::desc(a.clone(), b.clone()));
+        assert!(c.is_streamable());
+        let c = certify(&xb::filter(a.clone(), b.clone()));
+        let Certificate::NotStreamable { witness } = c else {
+            panic!("path predicate must not certify: {c:?}");
+        };
+        assert!(witness.contains("look-ahead"), "{witness}");
+        let c = certify(&xb::child(a.clone(), xb::from_root(b.clone())));
+        assert!(matches!(c, Certificate::NotStreamable { .. }));
+        // Outermost absolute paths are fine.
+        assert!(certify(&xb::from_root(xb::from_desc(b))).is_streamable());
+    }
+
+    #[test]
+    fn stream_matches_eval_from_root() {
+        let mut v = Vocab::new();
+        let t = parse_tree(
+            "sigma[a=0](delta[a=1](sigma[a=1],sigma[a=2]),sigma[a=1](delta[a=0]))",
+            &mut v,
+        )
+        .unwrap();
+        let sigma = v.sym("sigma");
+        let delta = v.sym("delta");
+        let k = v.attr("a");
+        let one = v.val_int(1);
+        let queries = vec![
+            xb::from_desc(xb::name(delta)),
+            xb::desc(xb::name(sigma), xb::name(sigma)),
+            xb::from_desc(xb::filter_attr_const(xb::name(sigma), k, one)),
+            xb::union(xb::name(sigma), xb::from_child(xb::name(delta))),
+            xb::from_root(xb::from_desc(xb::wild())),
+            xb::wild(),
+        ];
+        for q in queries {
+            let (got, stats) = stream_select(&t, &q).expect("streamable");
+            let want = eval_from(&t, &q, t.root());
+            let got: Vec<_> = got.iter().collect();
+            let want: Vec<_> = want.iter().collect();
+            assert_eq!(got, want, "query {}", q.display(&v));
+            let Certificate::Streamable { max_depth_state } = certify(&q) else {
+                panic!("expected streamable");
+            };
+            assert!(stats.max_active <= max_depth_state);
+        }
+    }
+}

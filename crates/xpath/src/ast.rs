@@ -9,7 +9,11 @@
 use twq_tree::{AttrId, SymId, Value, Vocab};
 
 /// An XPath expression.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Ord` is the *canonical expression order* used by the `twq-rw` rewriter
+/// to sort and deduplicate union branches and filter chains; it is the
+/// derived structural order and carries no semantic meaning.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum XPath {
     /// Element test `σ`: `{(x, x) | lab(x) = σ}`.
     Name(SymId),
@@ -37,7 +41,7 @@ pub enum XPath {
 }
 
 /// A filter predicate.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Pred {
     /// `[p]`: the path selects at least one node from here.
     Path(XPath),

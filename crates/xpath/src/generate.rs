@@ -26,6 +26,79 @@ pub fn random_xpath(cfg: &XPathGenConfig, seed: u64) -> XPath {
     gen(cfg, &mut rng, cfg.max_depth)
 }
 
+/// Structural bias for [`random_xpath_shaped`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XPathShape {
+    /// The [`random_xpath`] distribution.
+    Uniform,
+    /// Union-dense expressions: stresses union canonicalization,
+    /// subsumption-based pruning, and empty-branch deletion.
+    UnionHeavy,
+    /// Filter-dense expressions: stresses filter pushdown, filter-chain
+    /// canonicalization, and tautology elimination.
+    FilterHeavy,
+}
+
+/// Generate a random expression with a structural bias. `Uniform` is
+/// exactly [`random_xpath`].
+pub fn random_xpath_shaped(cfg: &XPathGenConfig, seed: u64, shape: XPathShape) -> XPath {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match shape {
+        XPathShape::Uniform => gen(cfg, &mut rng, cfg.max_depth),
+        XPathShape::UnionHeavy | XPathShape::FilterHeavy => {
+            gen_shaped(cfg, &mut rng, cfg.max_depth, shape)
+        }
+    }
+}
+
+fn gen_shaped(cfg: &XPathGenConfig, rng: &mut StdRng, depth: usize, shape: XPathShape) -> XPath {
+    let leaf = |rng: &mut StdRng| {
+        if rng.gen_bool(0.3) || cfg.symbols.is_empty() {
+            XPath::Wild
+        } else {
+            XPath::Name(cfg.symbols[rng.gen_range(0..cfg.symbols.len())])
+        }
+    };
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.gen_range(0..10u8) {
+        0 | 1 => leaf(rng),
+        2 => XPath::Child(
+            Box::new(gen_shaped(cfg, rng, depth - 1, shape)),
+            Box::new(gen_shaped(cfg, rng, depth - 1, shape)),
+        ),
+        3 => XPath::Descendant(
+            Box::new(gen_shaped(cfg, rng, depth - 1, shape)),
+            Box::new(gen_shaped(cfg, rng, depth - 1, shape)),
+        ),
+        4 => XPath::FromDesc(Box::new(gen_shaped(cfg, rng, depth - 1, shape))),
+        _ if shape == XPathShape::UnionHeavy => XPath::Union(
+            Box::new(gen_shaped(cfg, rng, depth - 1, shape)),
+            Box::new(gen_shaped(cfg, rng, depth - 1, shape)),
+        ),
+        _ => {
+            let base = gen_shaped(cfg, rng, depth - 1, shape);
+            // A slice of tautological predicates keeps the
+            // filter-true/filter-dedupe rules exercised.
+            let pred = if rng.gen_bool(0.15) {
+                Pred::Path(XPath::Wild)
+            } else if !cfg.attrs.is_empty() && rng.gen_bool(0.4) {
+                let a = cfg.attrs[rng.gen_range(0..cfg.attrs.len())];
+                if !cfg.values.is_empty() && rng.gen_bool(0.7) {
+                    Pred::AttrEqConst(a, cfg.values[rng.gen_range(0..cfg.values.len())])
+                } else {
+                    let b = cfg.attrs[rng.gen_range(0..cfg.attrs.len())];
+                    Pred::AttrEqAttr(a, b)
+                }
+            } else {
+                Pred::Path(gen_shaped(cfg, rng, depth - 1, shape))
+            };
+            XPath::Filter(Box::new(base), Box::new(pred))
+        }
+    }
+}
+
 fn gen(cfg: &XPathGenConfig, rng: &mut StdRng, depth: usize) -> XPath {
     let leaf = |rng: &mut StdRng| {
         if rng.gen_bool(0.3) || cfg.symbols.is_empty() {
@@ -91,5 +164,58 @@ mod tests {
             assert_eq!(p1, p2);
             assert!(p1.size() <= 200, "size {} too large", p1.size());
         }
+    }
+
+    #[test]
+    fn shaped_generator_is_deterministic_and_biased() {
+        let mut v = Vocab::new();
+        let cfg = XPathGenConfig {
+            symbols: vec![v.sym("a"), v.sym("b")],
+            attrs: vec![v.attr("k")],
+            values: vec![v.val_int(1)],
+            max_depth: 4,
+        };
+        fn count(p: &XPath, unions: &mut usize, filters: &mut usize) {
+            match p {
+                XPath::Union(a, b) => {
+                    *unions += 1;
+                    count(a, unions, filters);
+                    count(b, unions, filters);
+                }
+                XPath::Filter(a, q) => {
+                    *filters += 1;
+                    count(a, unions, filters);
+                    if let Pred::Path(inner) = &**q {
+                        count(inner, unions, filters);
+                    }
+                }
+                XPath::Child(a, b) | XPath::Descendant(a, b) => {
+                    count(a, unions, filters);
+                    count(b, unions, filters);
+                }
+                XPath::FromRoot(a) | XPath::FromDesc(a) | XPath::FromChild(a) => {
+                    count(a, unions, filters)
+                }
+                XPath::Name(_) | XPath::Wild => {}
+            }
+        }
+        let (mut u_tot, mut f_tot) = (0usize, 0usize);
+        for seed in 0..40 {
+            let u = random_xpath_shaped(&cfg, seed, XPathShape::UnionHeavy);
+            assert_eq!(u, random_xpath_shaped(&cfg, seed, XPathShape::UnionHeavy));
+            let f = random_xpath_shaped(&cfg, seed, XPathShape::FilterHeavy);
+            let (mut us, mut fs) = (0, 0);
+            count(&u, &mut us, &mut fs);
+            u_tot += us;
+            let (mut us2, mut fs2) = (0, 0);
+            count(&f, &mut us2, &mut fs2);
+            f_tot += fs2;
+            assert_eq!(
+                random_xpath_shaped(&cfg, seed, XPathShape::Uniform),
+                random_xpath(&cfg, seed)
+            );
+        }
+        assert!(u_tot > 40, "union-heavy shape produced {u_tot} unions");
+        assert!(f_tot > 40, "filter-heavy shape produced {f_tot} filters");
     }
 }

@@ -45,6 +45,13 @@
 //! A governed run that trips a limit prints its row with an explicit
 //! `limit-tripped` marker instead of hanging or aborting the sweep.
 //!
+//! `--rewrite` routes the query-shaped experiments through the `twq-rw`
+//! rewriter twins — E2's XPath evaluation through `eval_from_rewritten`,
+//! E7's sentence evaluation through `eval_sentence_rewritten` — asserting
+//! agreement with the naive path on every row. The printed output is
+//! byte-identical to a run without the flag (CI diffs the two), so the
+//! rewrite layer is exercised without perturbing a single table.
+//!
 //! `--trace PATH` records one representative run per experiment (E1–E7)
 //! as a causal trace (`twq-obs`) and writes them as labeled JSONL —
 //! machine-readable provenance for every table. The regular output is
@@ -71,6 +78,7 @@ use twq::protocol::{
     random_hyperset, run_protocol, run_protocol_guarded, split_string_tree, HyperGenConfig,
     Markers, ProtocolReport,
 };
+use twq::rw::{eval_from_rewritten, eval_sentence_rewritten};
 use twq::sim::{
     compile_logspace, compile_logspace_guarded, compile_pspace, compile_pspace_guarded,
     delta_count_mod3, eliminate_store, eliminate_store_guarded,
@@ -437,6 +445,7 @@ fn governed_run_protocol(
 
 fn main() {
     let (mut json, mut profile, mut strict, mut do_analyze) = (false, false, false, false);
+    let mut use_rewrite = false;
     let mut gov = Gov::default();
     let mut jobs: Option<usize> = None;
     let mut collisions: Option<usize> = None;
@@ -445,7 +454,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     let usage = "expected --json, --profile, --flame PATH, --trace PATH, --analyze, --strict, \
-                 --jobs N, --budget N, --timeout MS, --collisions K, and/or \
+                 --rewrite, --jobs N, --budget N, --timeout MS, --collisions K, and/or \
                  --faults SEED[:KIND=RATE,...]";
     let numeric = |flag: &str, v: Option<&String>| -> u64 {
         v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -471,6 +480,7 @@ fn main() {
             }
             "--strict" => strict = true,
             "--analyze" => do_analyze = true,
+            "--rewrite" => use_rewrite = true,
             "--jobs" => jobs = Some(numeric("--jobs", it.next()) as usize),
             "--budget" => gov.budget = Some(numeric("--budget", it.next())),
             "--timeout" => gov.timeout_ms = Some(numeric("--timeout", it.next())),
@@ -533,12 +543,12 @@ fn main() {
         e0_analyze(rep);
     }
     e1_example32(rep, &mut prof, &mut tracer, &gov, collisions, &pool);
-    e2_xpath(rep, &mut prof, &mut tracer, &gov, &pool);
+    e2_xpath(rep, &mut prof, &mut tracer, &gov, &pool, use_rewrite);
     e3_logspace_pebbles(rep, &mut prof, &mut tracer, &gov, &pool);
     e4_twl_ptime(rep, &mut prof, &mut tracer, &gov, &pool);
     e5_twr_pspace(rep, &mut prof, &mut tracer, &gov, &pool);
     e6_twrl_exptime(rep, &mut prof, &mut tracer, &gov, &pool);
-    e7_lm_fo(rep, &mut tracer, &gov);
+    e7_lm_fo(rep, &mut tracer, &gov, use_rewrite);
     e8_protocol(rep, &gov);
     e9_counting(rep);
     e10_types(rep);
@@ -821,7 +831,14 @@ fn e1_example32(
     }
 }
 
-fn e2_xpath(rep: &mut dyn Reporter, prof: &mut Prof, tracer: &mut Tracer, gov: &Gov, pool: &Pool) {
+fn e2_xpath(
+    rep: &mut dyn Reporter,
+    prof: &mut Prof,
+    tracer: &mut Tracer,
+    gov: &Gov,
+    pool: &Pool,
+    use_rewrite: bool,
+) {
     rep.experiment("E2", "Section 2.3: XPath ≡ compiled FO(∃*) selector");
     let mut vocab = Vocab::new();
     let queries = [
@@ -857,7 +874,19 @@ fn e2_xpath(rep: &mut dyn Reporter, prof: &mut Prof, tracer: &mut Tracer, gov: &
         let direct = if gov.active() {
             eval_from_guarded(t, path, t.root(), &mut gov.guard())
         } else {
-            Ok(eval_from(t, path, t.root()))
+            let d = eval_from(t, path, t.root());
+            if use_rewrite {
+                // --rewrite: the twin must reproduce the naive answer
+                // exactly; the printed row is built from the (identical)
+                // naive result, keeping the output byte-stable.
+                let twin = eval_from_rewritten(t, path, t.root());
+                assert_eq!(
+                    twin, d,
+                    "--rewrite: eval_from_rewritten diverged on `{}`",
+                    inputs[i].1
+                );
+            }
+            Ok(d)
         };
         direct.map(|d| {
             let agree = d == compile(path).select(t, t.root());
@@ -1368,7 +1397,7 @@ fn e6_twrl_exptime(
     }
 }
 
-fn e7_lm_fo(rep: &mut dyn Reporter, tracer: &mut Tracer, gov: &Gov) {
+fn e7_lm_fo(rep: &mut dyn Reporter, tracer: &mut Tracer, gov: &Gov, use_rewrite: bool) {
     rep.experiment("E7", "Lemma 4.2: L^m is FO-definable (sentence ≡ decoder)");
     let mut vocab = Vocab::new();
     let markers = Markers::new(2, &mut vocab);
@@ -1416,7 +1445,16 @@ fn e7_lm_fo(rep: &mut dyn Reporter, tracer: &mut Tracer, gov: &Gov) {
                         }
                     }
                 } else {
-                    eval_sentence(&t, &phi).expect("L_m sentence is closed")
+                    let b = eval_sentence(&t, &phi).expect("L_m sentence is closed");
+                    if use_rewrite {
+                        let twin =
+                            eval_sentence_rewritten(&t, &phi).expect("normal form stays closed");
+                        assert_eq!(
+                            twin, b,
+                            "--rewrite: eval_sentence_rewritten diverged (m={m})"
+                        );
+                    }
+                    b
                 };
                 agree &= got == expect;
                 if expect {

@@ -1,34 +1,45 @@
-//! `twq lint` — the static analyzer (`twq-analyze`) as a command.
+//! `twq lint` — the static analyzers (`twq-analyze`, `twq-rw`) as a
+//! command.
 //!
 //! Runs every analysis pass — control-flow reachability, guard overlap,
 //! store liveness/arity, progress, class inference — over the bundled
 //! program roster (the worked examples, the protocol walker, the
 //! Theorem 7.1 compiler outputs, and XPath-compiled acceptors) and
-//! reports structured diagnostics.
+//! reports structured diagnostics. Beyond `TwProgram` specs it also
+//! accepts *query* inputs — XPath expressions and FO formulas — which go
+//! through the `twq-rw` rewriter: canonical normal form, emptiness
+//! check, and the streamability certificate, reported as `RW`/`ST`
+//! diagnostics with before/after display.
 //!
 //! ```sh
 //! cargo run --release --bin lint            # aligned text tables
 //! cargo run --release --bin lint -- --json  # one JSON record per row
 //! cargo run --release --bin lint -- --zoo   # + the seeded ill-formed zoo
 //! cargo run --release --bin lint -- --jobs 4  # analyze the roster in parallel
+//! cargo run --release --bin lint -- --rewrite           # + the query roster
+//! cargo run --release --bin lint -- --query '//b[a]'    # lint one XPath query
+//! cargo run --release --bin lint -- --fo 'E x. leaf(x)' # lint one FO formula
 //! ```
 //!
 //! Analysis runs fan out across a worker pool (`--jobs N`, default = all
 //! cores); results print in roster order regardless of worker count.
 //!
-//! Exit status: `0` when the roster is clean of error-severity findings,
-//! `1` otherwise (the `--zoo` section is deliberately broken and never
-//! affects the exit status).
+//! Exit status: `0` when the roster (and any supplied queries) is clean
+//! of error-severity findings, `1` otherwise (the `--zoo` section is
+//! deliberately broken and never affects the exit status); `2` on
+//! unparseable arguments or queries.
 
 use twq::analyze::{analyze, analyze_for_class, lint_zoo, prune, severity_counts};
 use twq::automata::{examples, TwProgram};
 use twq::exec::Pool;
+use twq::logic::{parse_fo, Formula};
 use twq::obs::{col, Cell, HumanReporter, JsonlReporter, Reporter};
 use twq::protocol::at_most_k_values_program;
+use twq::rw::{normalize_formula, query_severity_counts, rewrite, Certificate, Rewritten};
 use twq::sim::{compile_logspace, compile_pspace, delta_count_mod3};
 use twq::tree::generate::TreeGenConfig;
 use twq::tree::{Label, Vocab};
-use twq::xpath::{parse_xpath, xpath_to_program, SelectionTest};
+use twq::xpath::{parse_xpath, xpath_to_program, SelectionTest, XPath};
 use twq::xtm::machines;
 
 /// Every program the repository ships, paired with a stable name.
@@ -94,14 +105,120 @@ fn roster(vocab: &mut Vocab) -> Vec<(String, TwProgram)> {
     out
 }
 
+/// The bundled query roster for `--rewrite`: each entry exercises a
+/// different slice of the rule catalog and certificate taxonomy.
+fn query_roster(vocab: &mut Vocab) -> Vec<(String, XPath)> {
+    [
+        // Clean and streamable.
+        "sigma/delta",
+        // Path predicate: certified not streamable (ST002).
+        "//delta[sigma]",
+        // Duplicate + subsumed union branches (RW003).
+        "sigma/delta | sigma/delta | sigma//delta",
+        // Wildcard fusion and a tautological attribute filter (RW004).
+        "*/delta | sigma//delta[@a=@a]",
+        // Conflicting attribute constants: provably empty (RW002).
+        "delta[@a=1][@a=2]",
+        // Axis fusion: // ∘ // collapses to one descendant hop.
+        "//sigma//sigma",
+    ]
+    .into_iter()
+    .map(|q| (q.to_owned(), parse_xpath(q, vocab).expect("roster parses")))
+    .collect()
+}
+
+/// The bundled FO roster for `--rewrite`: redundancy the normalizer must
+/// strip while preserving meaning.
+fn fo_roster(vocab: &mut Vocab) -> Vec<(String, Formula)> {
+    [
+        "E x. lab(sigma, x) & lab(sigma, x)",
+        "E x. E y. (E(x,y) | E(x,y)) & x = x",
+        "E x. !!leaf(x) & (root(x) | !root(x))",
+    ]
+    .into_iter()
+    .map(|q| {
+        (
+            q.to_owned(),
+            parse_fo(q, vocab).expect("roster parses").formula,
+        )
+    })
+    .collect()
+}
+
+/// One row-block of the rewrite table: certificate summary plus every
+/// `RW`/`ST` diagnostic the pass emitted.
+fn report_query(rep: &mut dyn Reporter, name: &str, rw: &Rewritten, vocab: &Vocab) -> usize {
+    let cert = match &rw.certificate {
+        Certificate::Empty => "empty".to_owned(),
+        Certificate::Streamable { max_depth_state } => format!("stream({max_depth_state})"),
+        Certificate::NotStreamable { .. } => "relational".to_owned(),
+    };
+    if rw.diagnostics.is_empty() {
+        rep.row(&[
+            Cell::str(name.to_owned()),
+            Cell::str(cert.clone()),
+            Cell::str("clean"),
+            Cell::str("-"),
+            Cell::str("-"),
+        ]);
+    }
+    for d in &rw.diagnostics {
+        rep.row(&[
+            Cell::str(name.to_owned()),
+            Cell::str(cert.clone()),
+            Cell::str(d.severity.name()),
+            Cell::str(d.code),
+            Cell::str(format!("{} ({})", d.message, d.hint)),
+        ]);
+    }
+    if rw.output != rw.input {
+        let fired: Vec<String> = rw
+            .fired
+            .iter()
+            .map(|(n, c)| {
+                if *c > 1 {
+                    format!("{n}\u{d7}{c}")
+                } else {
+                    (*n).to_owned()
+                }
+            })
+            .collect();
+        rep.note(&format!(
+            "{name}: `{}` => `{}` ({})",
+            rw.input.display(vocab),
+            rw.output.display(vocab),
+            fired.join(", ")
+        ));
+    }
+    let (errors, _, _) = query_severity_counts(&rw.diagnostics);
+    errors
+}
+
 fn main() {
-    let (mut json, mut zoo) = (false, false);
+    let (mut json, mut zoo, mut rewrite_mode) = (false, false, false);
     let mut jobs: Option<usize> = None;
+    let mut user_queries: Vec<String> = Vec::new();
+    let mut user_fos: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--zoo" => zoo = true,
+            "--rewrite" => rewrite_mode = true,
+            "--query" => match it.next() {
+                Some(q) => user_queries.push(q),
+                None => {
+                    eprintln!("--query expects an XPath expression");
+                    std::process::exit(2);
+                }
+            },
+            "--fo" => match it.next() {
+                Some(q) => user_fos.push(q),
+                None => {
+                    eprintln!("--fo expects an FO formula");
+                    std::process::exit(2);
+                }
+            },
             "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) => jobs = Some(n),
                 None => {
@@ -110,7 +227,10 @@ fn main() {
                 }
             },
             other => {
-                eprintln!("unknown argument `{other}` (expected --json, --zoo, and/or --jobs N)");
+                eprintln!(
+                    "unknown argument `{other}` (expected --json, --zoo, --rewrite, \
+                     --query EXPR, --fo EXPR, and/or --jobs N)"
+                );
                 std::process::exit(2);
             }
         }
@@ -207,6 +327,80 @@ fn main() {
     }
     for note in &pruned_notes {
         rep.note(note);
+    }
+
+    // Query-level static analysis: the twq-rw rewriter over the bundled
+    // query roster (`--rewrite`) and/or user-supplied queries.
+    if rewrite_mode || !user_queries.is_empty() || !user_fos.is_empty() {
+        let mut queries: Vec<(String, XPath)> = if rewrite_mode {
+            query_roster(&mut vocab)
+        } else {
+            Vec::new()
+        };
+        for q in &user_queries {
+            match parse_xpath(q, &mut vocab) {
+                Ok(p) => queries.push((q.clone(), p)),
+                Err(e) => {
+                    eprintln!("--query `{q}`: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        rep.experiment(
+            "rewrite",
+            "query-level static analysis: normal form, emptiness, streamability",
+        );
+        rep.table(
+            None,
+            0,
+            &[
+                col("query", 36),
+                col("cert", 10),
+                col("severity", 8),
+                col("code", 6),
+                col("finding", 64),
+            ],
+        );
+        // Execute (parallel): the rewriter is pure in the query.
+        let rewrites = pool.scoped(queries.len(), |i| rewrite(&queries[i].1));
+        for ((name, _), rw) in queries.iter().zip(&rewrites) {
+            errors += report_query(rep, name, rw, &vocab);
+        }
+
+        let mut formulas: Vec<(String, Formula)> = if rewrite_mode {
+            fo_roster(&mut vocab)
+        } else {
+            Vec::new()
+        };
+        for q in &user_fos {
+            match parse_fo(q, &mut vocab) {
+                Ok(p) => formulas.push((q.clone(), p.formula)),
+                Err(e) => {
+                    eprintln!("--fo `{q}`: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if !formulas.is_empty() {
+            rep.experiment("rewrite-fo", "FO normal forms: before => after");
+            rep.table(
+                None,
+                0,
+                &[
+                    col("formula", 44),
+                    col("changed", 7),
+                    col("normal form", 56),
+                ],
+            );
+            let normed = pool.scoped(formulas.len(), |i| normalize_formula(&formulas[i].1));
+            for ((name, f), nf) in formulas.iter().zip(&normed) {
+                rep.row(&[
+                    Cell::str(name.clone()),
+                    (*nf != *f).into(),
+                    Cell::str(nf.display(&vocab)),
+                ]);
+            }
+        }
     }
 
     if zoo {

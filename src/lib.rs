@@ -39,6 +39,10 @@
 //!   pruning, guard-overlap detection, register liveness, progress
 //!   analysis, and Definition 5.1 class inference with evaluator routing
 //!   (`twq lint`);
+//! * [`rw`] — query-level static analysis: canonical normal forms for
+//!   XPath and FO(∃*), a named-rule rewrite engine, conservative
+//!   emptiness/containment checking, and streamability certification
+//!   with a one-pass evaluator (`lint --rewrite`, `--rewrite`);
 //! * [`fuzz`] — differential fuzzing: seeded program/tree/budget
 //!   generators, an evaluator-pair oracle, delta-debugging minimization,
 //!   and replayable JSONL repros (`fuzz`).
@@ -68,6 +72,7 @@ pub use twq_guard as guard;
 pub use twq_logic as logic;
 pub use twq_obs as obs;
 pub use twq_protocol as protocol;
+pub use twq_rw as rw;
 pub use twq_sim as sim;
 pub use twq_tree as tree;
 pub use twq_xpath as xpath;
