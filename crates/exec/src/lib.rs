@@ -138,6 +138,71 @@ impl Pool {
         pairs.sort_unstable_by_key(|&(i, _)| i);
         pairs.into_iter().map(|(_, v)| v).collect()
     }
+
+    /// [`Pool::scoped`] with one reusable scratch value per worker: each
+    /// worker builds its scratch once with `make` and threads it through
+    /// every job it executes, so allocation-heavy jobs (index builds, sort
+    /// buffers) amortize their working memory across the batch instead of
+    /// re-allocating per job.
+    ///
+    /// Same index-order and serial-path guarantees as `scoped`: with one
+    /// worker (or `n <= 1`) a single scratch is built and the jobs run
+    /// inline in index order. Jobs must not rely on *which* scratch they
+    /// receive — stealing moves jobs between workers — only that it was
+    /// produced by `make` and previously seen only by jobs on the same
+    /// worker.
+    pub fn scoped_scratch<S, T, M, F>(&self, n: usize, make: M, f: F) -> Vec<T>
+    where
+        T: Send,
+        M: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        let workers = self.workers.min(n.max(1));
+        if workers <= 1 {
+            let mut scratch = make();
+            return (0..n).map(|i| f(&mut scratch, i)).collect();
+        }
+
+        let chunk = n.div_ceil(workers);
+        let ranges: Vec<AtomicU64> = (0..workers)
+            .map(|w| {
+                let lo = (w * chunk).min(n) as u64;
+                let hi = ((w + 1) * chunk).min(n) as u64;
+                AtomicU64::new(lo << 32 | hi)
+            })
+            .collect();
+        let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+
+        let work = |me: usize| {
+            let mut scratch = make();
+            let mut local: Vec<(usize, T)> = Vec::new();
+            loop {
+                let i = match pop_front(&ranges[me]) {
+                    Some(i) => i,
+                    None => match steal(&ranges, me) {
+                        Some(i) => i,
+                        None => break,
+                    },
+                };
+                local.push((i, f(&mut scratch, i)));
+            }
+            if !local.is_empty() {
+                results.lock().expect("pool results poisoned").extend(local);
+            }
+        };
+
+        std::thread::scope(|s| {
+            for me in 1..workers {
+                s.spawn(move || work(me));
+            }
+            work(0);
+        });
+
+        let mut pairs = results.into_inner().expect("pool results poisoned");
+        debug_assert_eq!(pairs.len(), n);
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, v)| v).collect()
+    }
 }
 
 impl Pool {
@@ -512,6 +577,44 @@ mod tests {
         p.merge(&q);
         assert_eq!(p.latencies_ns, vec![5, 6, 7]);
         assert_eq!(p.stats.totals().tasks, 1);
+    }
+
+    #[test]
+    fn scratch_results_match_scoped() {
+        for workers in [1usize, 2, 4, 7] {
+            let pool = Pool::new(workers);
+            // Scratch is a reusable buffer; the job output must not depend
+            // on which worker's buffer served it.
+            let out = pool.scoped_scratch(100, Vec::<usize>::new, |buf, i| {
+                buf.clear();
+                buf.extend(0..=i);
+                buf.iter().sum::<usize>()
+            });
+            let want: Vec<usize> = (0..100).map(|i| i * (i + 1) / 2).collect();
+            assert_eq!(out, want, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn scratch_is_built_once_per_worker_on_the_serial_path() {
+        let builds = AtomicUsize::new(0);
+        let out = Pool::serial().scoped_scratch(
+            10,
+            || {
+                builds.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |seen, i| {
+                *seen += 1;
+                (*seen, i)
+            },
+        );
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+        // One scratch sees every job, in index order.
+        assert_eq!(out, (0..10).map(|i| (i as u64 + 1, i)).collect::<Vec<_>>());
+        // Zero jobs: no panic, nothing runs.
+        let empty = Pool::new(4).scoped_scratch(0, || (), |_, i| i);
+        assert_eq!(empty, Vec::<usize>::new());
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! | `eval_from` vs `eval_from_rewritten` | node sets, every context node |
 //! | `eval_pairs` vs `eval_pairs_rewritten` | the full binary relation |
 //! | `eval_from` vs `run_query_planned` | root node set, certificate-chosen evaluator |
+//! | `select` vs `fo_select_routed` | node sets, every context node, fragment-routed |
+//! | `eval_from` vs `select_indexed` | node sets, every context node, bitset algebra |
+//! | `eval_from` vs `run_query_indexed` | root node set, forced walk / forced index / cost-based |
 //! | `run_routed(compile(p))` vs `run_query_routed(p)` | acceptance, certificate-aware routing |
 //! | near-miss builder spec | rejected with the intended `ProgramError` |
 //! | smelly program | analyzer diagnostics non-empty or pruner fired |
@@ -31,6 +34,7 @@ use twq_automata::{
 };
 use twq_exec::Pool;
 use twq_guard::{GuardError, ResourceGuard, TwqError};
+use twq_index::{fo_select_routed, select_indexed, CostModel, Force, TreeIndex};
 use twq_logic::fo::build::exists;
 use twq_logic::{
     eval_sentence, eval_sentence_memo, eval_sentence_par, select, select_batch,
@@ -39,7 +43,7 @@ use twq_logic::{
 use twq_obs::{diff as trace_diff, Divergence, Trace, Verdict};
 use twq_rw::{
     eval_from_rewritten, eval_pairs_rewritten, eval_sentence_rewritten, fo_select_rewritten,
-    normalize_exists, run_query_planned, run_query_routed, RewriteCtx,
+    normalize_exists, run_query_indexed, run_query_planned, run_query_routed, RewriteCtx,
 };
 use twq_tree::{DelimTree, NodeId};
 use twq_xpath::{eval_from, eval_pairs, xpath_to_program};
@@ -434,6 +438,7 @@ pub fn check_formula_case(case: &FormulaCase, pool: &Pool) -> Option<Discrepancy
         }
     }
     let phi_norm = normalize_exists(phi);
+    let idx = TreeIndex::build(tree);
     for (i, &u) in us.iter().enumerate() {
         match fo_select_rewritten(tree, &formula, phi.x(), u, phi.y()) {
             Ok(s) if s == serial[i] => {}
@@ -449,6 +454,18 @@ pub fn check_formula_case(case: &FormulaCase, pool: &Pool) -> Option<Discrepancy
             return Some(Discrepancy::new(
                 "select vs normalize_exists(phi).select",
                 format!("node {u}: naive={:?} normalized={norm_sel:?}", serial[i]),
+            ));
+        }
+        // The index router: in-fragment formulas go through the bitset
+        // algebra, the rest fall back — either way the sets must match.
+        let (routed_sel, indexed) = fo_select_routed(tree, &idx, phi, u);
+        if routed_sel != serial[i] {
+            return Some(Discrepancy::new(
+                "select vs fo_select_routed",
+                format!(
+                    "node {u} (indexed={indexed}): naive={:?} routed={routed_sel:?}",
+                    serial[i]
+                ),
             ));
         }
     }
@@ -475,6 +492,13 @@ pub fn check_formula_case(case: &FormulaCase, pool: &Pool) -> Option<Discrepancy
                     format!("node {u}: direct={direct:?} rewritten={rewritten:?}"),
                 ));
             }
+            let via_index = select_indexed(tree, &idx, path, u);
+            if via_index != direct {
+                return Some(Discrepancy::new(
+                    "eval_from vs select_indexed",
+                    format!("node {u}: direct={direct:?} indexed={via_index:?}"),
+                ));
+            }
         }
         // The planner may route to the streaming evaluator or short-circuit
         // on an Empty certificate; either way the root answer is fixed.
@@ -489,6 +513,22 @@ pub fn check_formula_case(case: &FormulaCase, pool: &Pool) -> Option<Discrepancy
                     plan.evaluator
                 ),
             ));
+        }
+        // The cost-based index planner, under every override: forced walk,
+        // forced index, and the cost model's own pick must all reproduce
+        // the naive root answer.
+        let model = CostModel::default();
+        for force in [Force::Auto, Force::Index, Force::Walk] {
+            let (ix_out, ix_plan) = run_query_indexed(tree, &idx, path, &ctx, &model, force);
+            if ix_out != root_direct {
+                return Some(Discrepancy::new(
+                    "eval_from vs run_query_indexed",
+                    format!(
+                        "force={force:?} evaluator={:?}: direct={root_direct:?} indexed={ix_out:?}",
+                        ix_plan.evaluator
+                    ),
+                ));
+            }
         }
         // Routed acceptance: compile the *unrewritten* query and route it
         // naively; the certificate-aware router must agree even when it

@@ -111,6 +111,25 @@ impl ExistsFormula {
         self.quantified.len() + self.matrix.size()
     }
 
+    /// Whether the selecting pair is all the formula talks about: no
+    /// quantified variables were declared and the matrix is built from
+    /// `∧`/`∨` over atoms (no negation) mentioning only `x` and `y`.
+    ///
+    /// This is the positive existential two-variable fragment the
+    /// `twq-index` layer translates to set algebra; everything else keeps
+    /// the backtracking [`select`](ExistsFormula::select) evaluator.
+    pub fn is_positive_xy(&self) -> bool {
+        fn positive(f: &Formula, x: Var, y: Var) -> bool {
+            match f {
+                Formula::True | Formula::False => true,
+                Formula::Atom(a) => a.vars().iter().all(|&v| v == x || v == y),
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().all(|g| positive(g, x, y)),
+                Formula::Not(_) | Formula::Exists(..) | Formula::Forall(..) => false,
+            }
+        }
+        self.quantified.is_empty() && positive(&self.matrix, self.x, self.y)
+    }
+
     /// All nodes `v` with `t ⊨ φ(u, v)` — the `atp` selection primitive.
     ///
     /// Uses backtracking with three-valued pruning over the existential

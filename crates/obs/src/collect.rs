@@ -89,6 +89,13 @@ pub trait Collector {
     /// `rewrite/certified_streamable` through this hook.
     fn rewrite_counter(&mut self, name: &'static str, delta: u64) {}
 
+    /// Bump an index-layer counter by `delta`. Like
+    /// [`Collector::rewrite_counter`], the name lands in the registry
+    /// verbatim — the `twq-index` build and planner report
+    /// `index/postings_bytes`, `index/plan_indexed`, `index/plan_walk`,
+    /// `index/fallback`, and `index/cost_err_pct` through this hook.
+    fn index_counter(&mut self, name: &'static str, delta: u64) {}
+
     /// A named phase finished after `nanos` nanoseconds of wall clock.
     fn phase(&mut self, name: &'static str, nanos: u64) {}
 
@@ -248,6 +255,13 @@ impl Collector for MetricsCollector<'_> {
         }
     }
 
+    fn index_counter(&mut self, name: &'static str, delta: u64) {
+        *self.metrics.counters.entry(name).or_insert(0) += delta;
+        if let Some(reg) = self.registry.as_deref_mut() {
+            reg.counter_add(name, delta);
+        }
+    }
+
     fn phase(&mut self, name: &'static str, nanos: u64) {
         self.metrics.phases.push((name, nanos));
         if let Some(reg) = self.registry.as_deref_mut() {
@@ -370,6 +384,20 @@ mod tests {
         let h = reg.hist("phase/run").expect("phase recorded");
         assert_eq!(h.count(), 1);
         assert_eq!(h.max(), Some(1234));
+    }
+
+    #[test]
+    fn index_counters_keep_verbatim_names() {
+        let mut reg = Registry::new();
+        let mut c = MetricsCollector::with_registry(&mut reg);
+        c.index_counter("index/postings_bytes", 640);
+        c.index_counter("index/plan_indexed", 1);
+        c.index_counter("index/plan_indexed", 1);
+        let m = c.into_metrics();
+        assert_eq!(m.counters.get("index/postings_bytes"), Some(&640));
+        assert_eq!(reg.counter("index/plan_indexed"), 2);
+        // No `run/` prefix: index counters land verbatim like rewrite ones.
+        assert_eq!(reg.counter("run/index/plan_indexed"), 0);
     }
 
     #[test]

@@ -41,8 +41,10 @@ pub use diag::{query_severity_counts, QueryDiagnostic, Severity};
 pub use fo::{eval_sentence_rewritten, fo_select_rewritten, normalize_exists, normalize_formula};
 pub use norm::{apply_rule_deep, normalize, normalize_in, normalize_seeded};
 pub use route::{
-    eval_from_rewritten, eval_pairs_rewritten, plan_query, run_query_planned, run_query_routed,
-    select_batch_rewritten, xpath_to_program_rewritten, PlannedEvaluator, QueryPlan, QueryRouted,
+    eval_from_rewritten, eval_pairs_rewritten, plan_indexed, plan_indexed_with, plan_query,
+    run_query_indexed, run_query_indexed_with, run_query_planned, run_query_routed,
+    select_batch_rewritten, xpath_to_program_rewritten, IndexedEvaluator, IndexedPlan,
+    PlannedEvaluator, QueryPlan, QueryRouted,
 };
 pub use rules::{rule, RwRule, CATALOG};
 pub use stream::{certify, stream_select, stream_select_gauged, Certificate, StreamStats};

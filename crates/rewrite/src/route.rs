@@ -4,10 +4,15 @@
 //! ROADMAP item 3 planner).
 
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 use twq_analyze::{run_routed, Routed};
 use twq_automata::{Limits, TwProgram};
 use twq_exec::Pool;
+use twq_index::{
+    compile_xpath, eval_plan_from, Choice, CostModel, Estimate, Force, IxPlan, TreeIndex,
+};
+use twq_obs::{Collector, NullCollector};
 use twq_tree::{AttrId, DelimTree, NodeId, NodeSet, SymId, Tree};
 use twq_xpath::{eval_from, eval_pairs, select_batch, xpath_to_program, SelectionTest, XPath};
 
@@ -156,6 +161,160 @@ pub fn run_query_routed(
     }
 }
 
+/// Which evaluator the cost-based planner picked for a query against an
+/// indexed tree (the back half of the ROADMAP item 3 planner: rewrite
+/// first, then price walk against index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexedEvaluator {
+    /// Provably empty after rewriting: no evaluation at all.
+    EmptyShortCircuit,
+    /// The bitset evaluator over the compiled index plan.
+    Indexed,
+    /// The walking evaluator on the rewritten query.
+    Walking,
+}
+
+/// A rewritten query plus the evaluator the cost model selects for one
+/// specific [`TreeIndex`].
+#[derive(Debug)]
+pub struct IndexedPlan {
+    /// The rewrite record (normal form, certificate, diagnostics).
+    pub rewritten: Rewritten,
+    /// The cost model's verdict (or the forced override).
+    pub evaluator: IndexedEvaluator,
+    /// The compiled index plan (`None` after an empty short-circuit).
+    pub plan: Option<IxPlan>,
+    /// Both sides of the cost comparison (`None` after a short-circuit).
+    pub estimate: Option<Estimate>,
+}
+
+/// Rewrite `q` under `ctx`, compile the normal form into the index
+/// algebra, and let `model` pick walk or index for this `index`.
+pub fn plan_indexed(
+    q: &XPath,
+    ctx: &RewriteCtx,
+    index: &TreeIndex,
+    model: &CostModel,
+    force: Force,
+) -> IndexedPlan {
+    plan_indexed_with(q, ctx, index, model, force, &mut NullCollector)
+}
+
+/// [`plan_indexed`] with instrumentation: reports `index/plan_empty`,
+/// `index/plan_indexed`, or `index/plan_walk` through `c`.
+pub fn plan_indexed_with<C: Collector>(
+    q: &XPath,
+    ctx: &RewriteCtx,
+    index: &TreeIndex,
+    model: &CostModel,
+    force: Force,
+    c: &mut C,
+) -> IndexedPlan {
+    let rewritten = crate::rewrite_with(q, ctx, c);
+    if rewritten.provably_empty {
+        if C::ENABLED {
+            c.index_counter("index/plan_empty", 1);
+        }
+        return IndexedPlan {
+            rewritten,
+            evaluator: IndexedEvaluator::EmptyShortCircuit,
+            plan: None,
+            estimate: None,
+        };
+    }
+    let plan = compile_xpath(&rewritten.output);
+    let estimate = model.estimate(index, &plan, &rewritten.output);
+    let evaluator = match model.choose(&estimate, plan.size(), force) {
+        Choice::Index => IndexedEvaluator::Indexed,
+        Choice::Walk => IndexedEvaluator::Walking,
+    };
+    if C::ENABLED {
+        c.index_counter(
+            match evaluator {
+                IndexedEvaluator::Indexed => "index/plan_indexed",
+                _ => "index/plan_walk",
+            },
+            1,
+        );
+    }
+    IndexedPlan {
+        rewritten,
+        evaluator,
+        plan: Some(plan),
+        estimate: Some(estimate),
+    }
+}
+
+/// Evaluate `q` from the root along its cost-based plan. Equal to
+/// `eval_from(tree, q, tree.root())` whichever evaluator runs (the fuzz
+/// oracle and `experiments --index` enforce this).
+///
+/// The walking fallback evaluates the query *as given*, not the rewrite
+/// normal form: the planner priced it against a direct walk, and the
+/// normal form (tuned for the index algebra and the streaming evaluator)
+/// can carry different walking constants — e.g. filter pushdown trades
+/// one filtered scan for a per-descendant evaluation. The rewrite still
+/// runs first for the emptiness certificate and plan compilation.
+pub fn run_query_indexed(
+    tree: &Tree,
+    index: &TreeIndex,
+    q: &XPath,
+    ctx: &RewriteCtx,
+    model: &CostModel,
+    force: Force,
+) -> (NodeSet, IndexedPlan) {
+    run_query_indexed_with(tree, index, q, ctx, model, force, &mut NullCollector)
+}
+
+/// [`run_query_indexed`] with instrumentation: alongside the planning
+/// counters it records the actual-vs-estimated pair the chosen side ran at
+/// (`index/act_index_ns` + `index/est_index_ns`, or the walk pair) and the
+/// absolute relative error `index/cost_err_pct` — the feedback
+/// [`CostModel::calibrated`] closes the loop on.
+#[allow(clippy::too_many_arguments)]
+pub fn run_query_indexed_with<C: Collector>(
+    tree: &Tree,
+    index: &TreeIndex,
+    q: &XPath,
+    ctx: &RewriteCtx,
+    model: &CostModel,
+    force: Force,
+    c: &mut C,
+) -> (NodeSet, IndexedPlan) {
+    let plan = plan_indexed_with(q, ctx, index, model, force, c);
+    let t0 = Instant::now();
+    let out = match plan.evaluator {
+        IndexedEvaluator::EmptyShortCircuit => NodeSet::new(),
+        IndexedEvaluator::Indexed => eval_plan_from(
+            tree,
+            index,
+            plan.plan.as_ref().expect("indexed plan present"),
+            tree.root(),
+        ),
+        IndexedEvaluator::Walking => eval_from(tree, q, tree.root()),
+    };
+    if C::ENABLED {
+        if let Some(est) = &plan.estimate {
+            let act = t0.elapsed().as_nanos() as u64;
+            let est_ns = match plan.evaluator {
+                IndexedEvaluator::Indexed => est.index_ns,
+                _ => est.walk_ns,
+            };
+            let (act_key, est_key) = match plan.evaluator {
+                IndexedEvaluator::Indexed => ("index/act_index_ns", "index/est_index_ns"),
+                _ => ("index/act_walk_ns", "index/est_walk_ns"),
+            };
+            c.index_counter(act_key, act);
+            c.index_counter(est_key, est_ns as u64);
+            if act > 0 {
+                let err = ((act as f64 - est_ns).abs() / act as f64 * 100.0) as u64;
+                c.index_counter("index/cost_err_pct", err);
+            }
+        }
+    }
+    (out, plan)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +347,66 @@ mod tests {
                 plan.evaluator
             );
         }
+    }
+
+    #[test]
+    fn indexed_run_matches_naive_under_every_force() {
+        let mut v = Vocab::new();
+        let t = parse_tree(
+            "lib(book[y=1999](title,author,author),book[y=2001](title,author))",
+            &mut v,
+        )
+        .unwrap();
+        let idx = TreeIndex::build(&t);
+        let ctx = RewriteCtx::unconstrained();
+        let model = CostModel::default();
+        let lib = v.sym("lib");
+        let book = v.sym("book");
+        let author = v.sym("author");
+        let queries = vec![
+            xb::from_desc(xb::name(author)),
+            xb::child(xb::name(lib), xb::name(book)),
+            xb::filter(xb::from_desc(xb::wild()), xb::name(author)),
+        ];
+        for q in &queries {
+            let want = eval_from(&t, q, t.root());
+            for force in [Force::Auto, Force::Index, Force::Walk] {
+                let (got, plan) = run_query_indexed(&t, &idx, q, &ctx, &model, force);
+                assert_eq!(
+                    got.iter().collect::<Vec<_>>(),
+                    want.iter().collect::<Vec<_>>(),
+                    "query {} forced {force:?} via {:?}",
+                    q.display(&v),
+                    plan.evaluator
+                );
+                match force {
+                    Force::Index => assert_eq!(plan.evaluator, IndexedEvaluator::Indexed),
+                    Force::Walk => assert_eq!(plan.evaluator, IndexedEvaluator::Walking),
+                    Force::Auto => assert!(plan.estimate.is_some()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_plan_short_circuits_provably_empty_queries() {
+        let mut v = Vocab::new();
+        let t = parse_tree("sigma(delta)", &mut v).unwrap();
+        let idx = TreeIndex::build(&t);
+        let sigma = v.sym("sigma");
+        let ghost = v.sym("ghost");
+        let ctx = RewriteCtx::unconstrained().with_alphabet([sigma]);
+        let (out, plan) = run_query_indexed(
+            &t,
+            &idx,
+            &xb::name(ghost),
+            &ctx,
+            &CostModel::default(),
+            Force::Auto,
+        );
+        assert!(out.is_empty());
+        assert_eq!(plan.evaluator, IndexedEvaluator::EmptyShortCircuit);
+        assert!(plan.plan.is_none() && plan.estimate.is_none());
     }
 
     #[test]

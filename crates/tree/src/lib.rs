@@ -36,6 +36,7 @@ pub mod xml;
 
 pub use delim::DelimTree;
 pub use nodeset::NodeSet;
+pub use order::DocIntervals;
 pub use parse::{parse_tree, tree_to_string, ParseError};
 pub use tree::{Label, NodeId, Tree};
 pub use vocab::{AttrId, SymId, Value, ValueRepr, Vocab};

@@ -64,6 +64,13 @@ impl NodeSet {
         self.len
     }
 
+    /// Number of 64-bit words currently allocated (8 bytes each) — the
+    /// index layer's postings-memory accounting.
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
     /// Whether the set is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
@@ -93,6 +100,33 @@ impl NodeSet {
         self.words[w] |= mask;
         self.len += fresh as usize;
         fresh
+    }
+
+    /// Insert every id in `lo..=hi`, whole words at a time: the boundary
+    /// words get masked fills, everything strictly between is set to `!0`.
+    /// This is what makes a document-order descendant step a range fill
+    /// rather than a per-node loop.
+    pub fn insert_range(&mut self, lo: NodeId, hi: NodeId) {
+        let (lo, hi) = (lo.idx(), hi.idx());
+        if lo > hi {
+            return;
+        }
+        let (wl, wh) = (lo / BITS, hi / BITS);
+        if wh >= self.words.len() {
+            self.words.resize(wh + 1, 0);
+        }
+        let mask_lo = !0u64 << (lo % BITS);
+        let mask_hi = !0u64 >> (BITS - 1 - hi % BITS);
+        if wl == wh {
+            self.words[wl] |= mask_lo & mask_hi;
+        } else {
+            self.words[wl] |= mask_lo;
+            for w in &mut self.words[wl + 1..wh] {
+                *w = !0;
+            }
+            self.words[wh] |= mask_hi;
+        }
+        self.recount();
     }
 
     /// Remove `v`; returns `true` if it was present.
@@ -284,6 +318,36 @@ mod tests {
         let mut grown = small.clone();
         grown.union_with(&ids(&[500]).into_iter().collect());
         assert_eq!(grown.to_vec(), ids(&[1, 500]));
+    }
+
+    #[test]
+    fn insert_range_matches_per_node_inserts() {
+        // Word boundaries are where the masked fill can go wrong: check
+        // ranges that start/end at 0, 63, 64, 65, 127, 128, 129.
+        let edges = [0u32, 1, 62, 63, 64, 65, 126, 127, 128, 129, 200];
+        for &lo in &edges {
+            for &hi in &edges {
+                let mut fast = NodeSet::new();
+                fast.insert_range(NodeId(lo), NodeId(hi));
+                let slow: NodeSet = (lo..=hi).map(NodeId).collect();
+                assert_eq!(fast, slow, "range {lo}..={hi}");
+                assert_eq!(fast.len(), slow.len(), "range {lo}..={hi}");
+            }
+        }
+        // Empty range (lo > hi) is a no-op, not a panic.
+        let mut s: NodeSet = ids(&[5]).into_iter().collect();
+        s.insert_range(NodeId(9), NodeId(3));
+        assert_eq!(s.to_vec(), ids(&[5]));
+    }
+
+    #[test]
+    fn insert_range_merges_with_existing_members() {
+        let mut s: NodeSet = ids(&[2, 70, 300]).into_iter().collect();
+        s.insert_range(NodeId(60), NodeId(130));
+        let mut want: NodeSet = (60..=130).map(NodeId).collect();
+        want.insert(NodeId(2));
+        want.insert(NodeId(300));
+        assert_eq!(s, want);
     }
 
     #[test]

@@ -60,6 +60,95 @@ pub fn node_at_doc_index(tree: &Tree, j: usize) -> Option<NodeId> {
     tree.nodes().nth(j)
 }
 
+/// Document-order interval encoding of a tree.
+///
+/// `begin(u)` is the pre-order position of `u` and `end(u)` the largest
+/// pre-order position inside `u`'s subtree, so the two invariants the
+/// index layer relies on are:
+///
+/// * `v` is a descendant-or-self of `u` **iff**
+///   `begin(u) <= begin(v) && begin(v) <= end(u)`;
+/// * the strict descendants of `u` are exactly the contiguous pre-order
+///   range `begin(u)+1 ..= end(u)`.
+///
+/// The second invariant turns a descendant axis step over a word-packed
+/// [`NodeSet`](crate::NodeSet) in pre-order space into a range fill.
+/// Built in two linear passes: one pre-order traversal for `begin` and
+/// the pre-order→node permutation, then one reverse pass propagating
+/// subtree maxima to parents (sound because the arena guarantees
+/// `parent.idx() < child.idx()` — children are appended after their
+/// parent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocIntervals {
+    begin: Vec<u32>,
+    end: Vec<u32>,
+    node_of_pre: Vec<NodeId>,
+}
+
+impl DocIntervals {
+    /// Compute the encoding for `tree`.
+    pub fn build(tree: &Tree) -> DocIntervals {
+        let n = tree.len();
+        let mut begin = vec![0u32; n];
+        let mut node_of_pre = vec![NodeId(0); n];
+        for (j, u) in tree.nodes().enumerate() {
+            begin[u.idx()] = j as u32;
+            node_of_pre[j] = u;
+        }
+        let mut end = begin.clone();
+        // Reverse pre-order: every node is visited before its parent, so
+        // one max-accumulation per edge settles all subtree maxima.
+        for j in (1..n).rev() {
+            let u = node_of_pre[j];
+            let p = tree.parent(u).expect("non-root has a parent").idx();
+            end[p] = end[p].max(end[u.idx()]);
+        }
+        DocIntervals {
+            begin,
+            end,
+            node_of_pre,
+        }
+    }
+
+    /// Number of nodes covered (`tree.len()` at build time).
+    pub fn len(&self) -> usize {
+        self.begin.len()
+    }
+
+    /// Whether the encoding covers no nodes (never true for a built tree,
+    /// which always has a root).
+    pub fn is_empty(&self) -> bool {
+        self.begin.is_empty()
+    }
+
+    /// Pre-order position of `u` (root is 0).
+    #[inline]
+    pub fn begin(&self, u: NodeId) -> u32 {
+        self.begin[u.idx()]
+    }
+
+    /// Largest pre-order position inside `u`'s subtree; equals
+    /// `begin(u)` exactly when `u` is a leaf.
+    #[inline]
+    pub fn end(&self, u: NodeId) -> u32 {
+        self.end[u.idx()]
+    }
+
+    /// The node at pre-order position `pre`.
+    #[inline]
+    pub fn node_at(&self, pre: u32) -> NodeId {
+        self.node_of_pre[pre as usize]
+    }
+
+    /// Whether `v` lies in `u`'s subtree (descendant-or-self), by interval
+    /// containment — no tree access, no climbing.
+    #[inline]
+    pub fn in_subtree(&self, u: NodeId, v: NodeId) -> bool {
+        let b = self.begin[v.idx()];
+        self.begin[u.idx()] <= b && b <= self.end[u.idx()]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +194,28 @@ mod tests {
             }
         }
         assert_eq!(doc_predecessor(&t, t.root()), None);
+    }
+
+    #[test]
+    fn intervals_agree_with_climbing() {
+        let t = sample();
+        let iv = DocIntervals::build(&t);
+        assert_eq!(iv.len(), t.len());
+        assert!(!iv.is_empty());
+        assert_eq!(iv.begin(t.root()), 0);
+        assert_eq!(iv.end(t.root()) as usize, t.len() - 1);
+        // begin is the doc_index permutation, node_at its inverse.
+        let idx = doc_index(&t);
+        for u in t.node_ids() {
+            assert_eq!(iv.begin(u) as usize, idx[u.idx()]);
+            assert_eq!(iv.node_at(iv.begin(u)), u);
+            // Interval containment matches the climbing ancestor test for
+            // every pair, leaves included (begin == end on leaves).
+            for v in t.node_ids() {
+                let walked = u == v || t.is_strict_ancestor(u, v);
+                assert_eq!(iv.in_subtree(u, v), walked, "{u:?} {v:?}");
+            }
+        }
     }
 
     #[test]

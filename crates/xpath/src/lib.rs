@@ -12,10 +12,13 @@
 //!   equivalent to the reference semantics by property tests;
 //! * [`generate`] — random expression workloads;
 //! * [`to_program`] — the XSLT loop closed: XPath queries compiled into
-//!   `tw^{r,l}` acceptors whose `atp` uses the compiled selector.
+//!   `tw^{r,l}` acceptors whose `atp` uses the compiled selector;
+//! * [`cost`] — a symbolic estimate of the reference evaluator's work,
+//!   consumed by the `twq-index` walk-vs-index planner.
 
 pub mod ast;
 pub mod compile;
+pub mod cost;
 pub mod eval;
 pub mod generate;
 pub mod parse;
@@ -23,6 +26,7 @@ pub mod to_program;
 
 pub use ast::{Pred, XPath};
 pub use compile::{compile, compile_guarded};
+pub use cost::{walk_cost, WalkEstimate, WalkParams};
 pub use eval::{
     eval_from, eval_from_guarded, eval_from_with, eval_pairs, eval_pairs_guarded, eval_pairs_with,
     pred_holds, pred_holds_with, select_batch, select_batch_profiled, trace_eval_from,

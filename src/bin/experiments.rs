@@ -52,6 +52,13 @@
 //! byte-identical to a run without the flag (CI diffs the two), so the
 //! rewrite layer is exercised without perturbing a single table.
 //!
+//! `--index` routes E2's XPath evaluation through the `twq-index`
+//! bitset-algebra twins as well: every query row is re-answered by
+//! `select_indexed` over a per-tree `TreeIndex` and by the cost-based
+//! `run_query_indexed` planner under every `Force` override, asserting
+//! agreement with the naive path. Like `--rewrite`, the printed output is
+//! byte-identical to a run without the flag (CI diffs the two).
+//!
 //! `--trace PATH` records one representative run per experiment (E1–E7)
 //! as a causal trace (`twq-obs`) and writes them as labeled JSONL —
 //! machine-readable provenance for every table. The regular output is
@@ -67,6 +74,7 @@ use twq::automata::{
 };
 use twq::exec::{Pool, PoolStats};
 use twq::guard::{FaultPlan, ResourceGuard, TripReason, TwqError};
+use twq::index::{select_indexed, CostModel, Force, TreeIndex};
 use twq::logic::types::{count_classes, TypeConfig};
 use twq::logic::{eval_sentence, eval_sentence_guarded, trace_sentence};
 use twq::obs::{
@@ -78,7 +86,7 @@ use twq::protocol::{
     random_hyperset, run_protocol, run_protocol_guarded, split_string_tree, HyperGenConfig,
     Markers, ProtocolReport,
 };
-use twq::rw::{eval_from_rewritten, eval_sentence_rewritten};
+use twq::rw::{eval_from_rewritten, eval_sentence_rewritten, run_query_indexed, RewriteCtx};
 use twq::sim::{
     compile_logspace, compile_logspace_guarded, compile_pspace, compile_pspace_guarded,
     delta_count_mod3, eliminate_store, eliminate_store_guarded,
@@ -446,6 +454,7 @@ fn governed_run_protocol(
 fn main() {
     let (mut json, mut profile, mut strict, mut do_analyze) = (false, false, false, false);
     let mut use_rewrite = false;
+    let mut use_index = false;
     let mut gov = Gov::default();
     let mut jobs: Option<usize> = None;
     let mut collisions: Option<usize> = None;
@@ -454,7 +463,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     let usage = "expected --json, --profile, --flame PATH, --trace PATH, --analyze, --strict, \
-                 --rewrite, --jobs N, --budget N, --timeout MS, --collisions K, and/or \
+                 --rewrite, --index, --jobs N, --budget N, --timeout MS, --collisions K, and/or \
                  --faults SEED[:KIND=RATE,...]";
     let numeric = |flag: &str, v: Option<&String>| -> u64 {
         v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -481,6 +490,7 @@ fn main() {
             "--strict" => strict = true,
             "--analyze" => do_analyze = true,
             "--rewrite" => use_rewrite = true,
+            "--index" => use_index = true,
             "--jobs" => jobs = Some(numeric("--jobs", it.next()) as usize),
             "--budget" => gov.budget = Some(numeric("--budget", it.next())),
             "--timeout" => gov.timeout_ms = Some(numeric("--timeout", it.next())),
@@ -543,7 +553,15 @@ fn main() {
         e0_analyze(rep);
     }
     e1_example32(rep, &mut prof, &mut tracer, &gov, collisions, &pool);
-    e2_xpath(rep, &mut prof, &mut tracer, &gov, &pool, use_rewrite);
+    e2_xpath(
+        rep,
+        &mut prof,
+        &mut tracer,
+        &gov,
+        &pool,
+        use_rewrite,
+        use_index,
+    );
     e3_logspace_pebbles(rep, &mut prof, &mut tracer, &gov, &pool);
     e4_twl_ptime(rep, &mut prof, &mut tracer, &gov, &pool);
     e5_twr_pspace(rep, &mut prof, &mut tracer, &gov, &pool);
@@ -838,6 +856,7 @@ fn e2_xpath(
     gov: &Gov,
     pool: &Pool,
     use_rewrite: bool,
+    use_index: bool,
 ) {
     rep.experiment("E2", "Section 2.3: XPath ≡ compiled FO(∃*) selector");
     let mut vocab = Vocab::new();
@@ -867,6 +886,13 @@ fn e2_xpath(
             inputs.push((n, q, trees.len() - 1, path));
         }
     }
+    // `--index`: per-tree indexes for the bitset-algebra twins, built
+    // serially so the parallel rows only read them.
+    let indexes: Vec<TreeIndex> = if use_index {
+        trees.iter().map(TreeIndex::build).collect()
+    } else {
+        Vec::new()
+    };
     // Execute (parallel): direct evaluation vs the compiled selector.
     let (rows, telemetry) = scoped_rows(pool, prof.active, inputs.len(), |i| {
         let (_, _, ti, path) = &inputs[i];
@@ -885,6 +911,29 @@ fn e2_xpath(
                     "--rewrite: eval_from_rewritten diverged on `{}`",
                     inputs[i].1
                 );
+            }
+            if use_index {
+                // --index: same byte-stable twin discipline for the index
+                // algebra — the direct index evaluator and the cost-based
+                // planner under every `Force` override must all reproduce
+                // the naive answer; rows still print from the naive result.
+                let idx = &indexes[*ti];
+                let twin = select_indexed(t, idx, path, t.root());
+                assert_eq!(
+                    twin, d,
+                    "--index: select_indexed diverged on `{}`",
+                    inputs[i].1
+                );
+                let ctx = RewriteCtx::unconstrained();
+                let model = CostModel::default();
+                for force in [Force::Auto, Force::Index, Force::Walk] {
+                    let (planned, _) = run_query_indexed(t, idx, path, &ctx, &model, force);
+                    assert_eq!(
+                        planned, d,
+                        "--index: run_query_indexed({force:?}) diverged on `{}`",
+                        inputs[i].1
+                    );
+                }
             }
             Ok(d)
         };

@@ -11,6 +11,13 @@
 //! check, and the streamability certificate, reported as `RW`/`ST`
 //! diagnostics with before/after display.
 //!
+//! `--index` adds the cost-based planner's verdict for each query:
+//! the compiled index-algebra plan and both sides of the walk-vs-index
+//! cost comparison over a representative generated document, so the
+//! planning decision (`twq-index`) is inspectable without running a
+//! query. Combine with `--query EXPR` to plan one query, or use alone
+//! to plan the bundled roster.
+//!
 //! ```sh
 //! cargo run --release --bin lint            # aligned text tables
 //! cargo run --release --bin lint -- --json  # one JSON record per row
@@ -19,6 +26,7 @@
 //! cargo run --release --bin lint -- --rewrite           # + the query roster
 //! cargo run --release --bin lint -- --query '//b[a]'    # lint one XPath query
 //! cargo run --release --bin lint -- --fo 'E x. leaf(x)' # lint one FO formula
+//! cargo run --release --bin lint -- --index --query '//b[a]' # + planner verdict
 //! ```
 //!
 //! Analysis runs fan out across a worker pool (`--jobs N`, default = all
@@ -32,12 +40,16 @@
 use twq::analyze::{analyze, analyze_for_class, lint_zoo, prune, severity_counts};
 use twq::automata::{examples, TwProgram};
 use twq::exec::Pool;
+use twq::index::{CostModel, Force, TreeIndex};
 use twq::logic::{parse_fo, Formula};
 use twq::obs::{col, Cell, HumanReporter, JsonlReporter, Reporter};
 use twq::protocol::at_most_k_values_program;
-use twq::rw::{normalize_formula, query_severity_counts, rewrite, Certificate, Rewritten};
+use twq::rw::{
+    normalize_formula, plan_indexed, query_severity_counts, rewrite, Certificate, IndexedEvaluator,
+    RewriteCtx, Rewritten,
+};
 use twq::sim::{compile_logspace, compile_pspace, delta_count_mod3};
-use twq::tree::generate::TreeGenConfig;
+use twq::tree::generate::{random_tree, TreeGenConfig};
 use twq::tree::{Label, Vocab};
 use twq::xpath::{parse_xpath, xpath_to_program, SelectionTest, XPath};
 use twq::xtm::machines;
@@ -195,7 +207,7 @@ fn report_query(rep: &mut dyn Reporter, name: &str, rw: &Rewritten, vocab: &Voca
 }
 
 fn main() {
-    let (mut json, mut zoo, mut rewrite_mode) = (false, false, false);
+    let (mut json, mut zoo, mut rewrite_mode, mut index_mode) = (false, false, false, false);
     let mut jobs: Option<usize> = None;
     let mut user_queries: Vec<String> = Vec::new();
     let mut user_fos: Vec<String> = Vec::new();
@@ -205,6 +217,7 @@ fn main() {
             "--json" => json = true,
             "--zoo" => zoo = true,
             "--rewrite" => rewrite_mode = true,
+            "--index" => index_mode = true,
             "--query" => match it.next() {
                 Some(q) => user_queries.push(q),
                 None => {
@@ -228,7 +241,7 @@ fn main() {
             },
             other => {
                 eprintln!(
-                    "unknown argument `{other}` (expected --json, --zoo, --rewrite, \
+                    "unknown argument `{other}` (expected --json, --zoo, --rewrite, --index, \
                      --query EXPR, --fo EXPR, and/or --jobs N)"
                 );
                 std::process::exit(2);
@@ -330,13 +343,18 @@ fn main() {
     }
 
     // Query-level static analysis: the twq-rw rewriter over the bundled
-    // query roster (`--rewrite`) and/or user-supplied queries.
-    if rewrite_mode || !user_queries.is_empty() || !user_fos.is_empty() {
-        let mut queries: Vec<(String, XPath)> = if rewrite_mode {
-            query_roster(&mut vocab)
-        } else {
-            Vec::new()
-        };
+    // query roster (`--rewrite`) and/or user-supplied queries, plus the
+    // `twq-index` planner verdicts (`--index`).
+    let query_analysis = rewrite_mode || !user_queries.is_empty() || !user_fos.is_empty();
+    if query_analysis || index_mode {
+        // `--index` with no `--query` plans the bundled roster, mirroring
+        // how `--rewrite` lints it.
+        let mut queries: Vec<(String, XPath)> =
+            if rewrite_mode || (index_mode && user_queries.is_empty()) {
+                query_roster(&mut vocab)
+            } else {
+                Vec::new()
+            };
         for q in &user_queries {
             match parse_xpath(q, &mut vocab) {
                 Ok(p) => queries.push((q.clone(), p)),
@@ -346,25 +364,83 @@ fn main() {
                 }
             }
         }
-        rep.experiment(
-            "rewrite",
-            "query-level static analysis: normal form, emptiness, streamability",
-        );
-        rep.table(
-            None,
-            0,
-            &[
-                col("query", 36),
-                col("cert", 10),
-                col("severity", 8),
-                col("code", 6),
-                col("finding", 64),
-            ],
-        );
-        // Execute (parallel): the rewriter is pure in the query.
-        let rewrites = pool.scoped(queries.len(), |i| rewrite(&queries[i].1));
-        for ((name, _), rw) in queries.iter().zip(&rewrites) {
-            errors += report_query(rep, name, rw, &vocab);
+        if query_analysis {
+            rep.experiment(
+                "rewrite",
+                "query-level static analysis: normal form, emptiness, streamability",
+            );
+            rep.table(
+                None,
+                0,
+                &[
+                    col("query", 36),
+                    col("cert", 10),
+                    col("severity", 8),
+                    col("code", 6),
+                    col("finding", 64),
+                ],
+            );
+            // Execute (parallel): the rewriter is pure in the query.
+            let rewrites = pool.scoped(queries.len(), |i| rewrite(&queries[i].1));
+            for ((name, _), rw) in queries.iter().zip(&rewrites) {
+                errors += report_query(rep, name, rw, &vocab);
+            }
+        }
+
+        if index_mode {
+            rep.experiment(
+                "index",
+                "cost-based walk-vs-index planning over a representative document",
+            );
+            // The cost model prices plans against concrete posting sizes,
+            // so planning needs a document; a seeded generated tree keeps
+            // the verdicts reproducible. Nothing is evaluated here.
+            let cfg = TreeGenConfig::example32(&mut vocab, 256, &[1, 2]);
+            let doc = random_tree(&cfg, 7);
+            let idx = TreeIndex::build(&doc);
+            let ctx = RewriteCtx::unconstrained();
+            let model = CostModel::default();
+            rep.note(&format!(
+                "planning against a generated {}-node example 3.2 document",
+                doc.len()
+            ));
+            rep.table(
+                None,
+                0,
+                &[
+                    col("query", 36),
+                    col("evaluator", 9),
+                    col("est index ns", 12),
+                    col("est walk ns", 12),
+                    col("plan", 56),
+                ],
+            );
+            // Execute (parallel): planning is pure in the query and index.
+            let plans = pool.scoped(queries.len(), |i| {
+                plan_indexed(&queries[i].1, &ctx, &idx, &model, Force::Auto)
+            });
+            for ((name, _), plan) in queries.iter().zip(&plans) {
+                let evaluator = match plan.evaluator {
+                    IndexedEvaluator::EmptyShortCircuit => "empty",
+                    IndexedEvaluator::Indexed => "index",
+                    IndexedEvaluator::Walking => "walk",
+                };
+                let (est_ix, est_walk) = plan.estimate.as_ref().map_or_else(
+                    || ("-".to_owned(), "-".to_owned()),
+                    |e| (format!("{:.0}", e.index_ns), format!("{:.0}", e.walk_ns)),
+                );
+                let shown = plan.plan.as_ref().map_or_else(
+                    || "(short-circuit: provably empty)".to_owned(),
+                    |p| p.display(&vocab),
+                );
+                rep.row(&[
+                    Cell::str(name.clone()),
+                    Cell::str(evaluator),
+                    Cell::str(est_ix),
+                    Cell::str(est_walk),
+                    Cell::str(shown),
+                ]);
+            }
         }
 
         let mut formulas: Vec<(String, Formula)> = if rewrite_mode {

@@ -69,6 +69,7 @@ pub use twq_automata as automata;
 pub use twq_exec as exec;
 pub use twq_fuzz as fuzz;
 pub use twq_guard as guard;
+pub use twq_index as index;
 pub use twq_logic as logic;
 pub use twq_obs as obs;
 pub use twq_protocol as protocol;
